@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the dominance-check kernels (§5.1):
+//! per-pair cost of S-SD, SS-SD, P-SD, F-SD and F⁺-SD at the paper's
+//! default object/query sizes, with and without the filtering techniques.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osd_core::{dominates, Database, DominanceCache, FilterConfig, Operator, PreparedQuery, Stats};
+use osd_datagen::{object_around, DOMAIN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds a pair of nearby objects plus a query, at instance count `m`.
+fn pair(m: usize, seed: u64) -> (Database, PreparedQuery) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c1: Vec<f64> = (0..3).map(|_| rng.gen_range(0.3..0.4) * DOMAIN).collect();
+    let c2: Vec<f64> = (0..3).map(|_| rng.gen_range(0.4..0.5) * DOMAIN).collect();
+    let cq: Vec<f64> = (0..3).map(|_| rng.gen_range(0.25..0.35) * DOMAIN).collect();
+    let u = object_around(&mut rng, &c1, 3, m, 400.0);
+    let v = object_around(&mut rng, &c2, 3, m, 400.0);
+    let q = object_around(&mut rng, &cq, 3, 30.min(m.max(2)), 200.0);
+    (Database::new(vec![u, v]), PreparedQuery::new(q))
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_check");
+    for m in [10usize, 40, 100] {
+        let (db, q) = pair(m, 42);
+        for op in Operator::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(op.label(), m),
+                &m,
+                |b, _| {
+                    b.iter(|| {
+                        // Fresh cache per iteration: measures the un-amortised
+                        // pair cost, as a NNC query pays it on first contact.
+                        let mut cache = DominanceCache::new(db.len());
+                        let mut stats = Stats::default();
+                        black_box(dominates(
+                            op,
+                            &db,
+                            0,
+                            1,
+                            &q,
+                            &FilterConfig::all(),
+                            &mut cache,
+                            &mut stats,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_filter_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psd_filter_ladder");
+    let (db, q) = pair(40, 7);
+    for (name, cfg) in FilterConfig::ablation_ladder() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = DominanceCache::new(db.len());
+                let mut stats = Stats::default();
+                black_box(dominates(
+                    Operator::PSd,
+                    &db,
+                    0,
+                    1,
+                    &q,
+                    &cfg,
+                    &mut cache,
+                    &mut stats,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssd_cache_amortisation");
+    let (db, q) = pair(40, 11);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let mut cache = DominanceCache::new(db.len());
+            let mut stats = Stats::default();
+            black_box(dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats))
+        })
+    });
+    group.bench_function("warm_cache", |b| {
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        // Prime the distributions once.
+        let _ = dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats);
+        b.iter(|| {
+            let mut stats = Stats::default();
+            black_box(dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_filter_configs, bench_cached_vs_cold);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark of the end-to-end NNC computation (Algorithm 1) on
+//! a laptop-scale A-N dataset, per operator, plus index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osd_bench::{build, DatasetId, Scale};
+use osd_core::{nn_candidates, Database, FilterConfig, Operator};
+use std::hint::black_box;
+
+fn bench_nnc(c: &mut Criterion) {
+    let scale = Scale { n: 1_000, queries: 1, ..Scale::laptop() };
+    let bench = build(DatasetId::AN, &scale);
+    let query = &bench.queries[0];
+    let mut group = c.benchmark_group("nnc_query");
+    group.sample_size(20);
+    for op in Operator::ALL {
+        group.bench_with_input(BenchmarkId::new(op.label(), scale.n), &op, |b, &op| {
+            b.iter(|| black_box(nn_candidates(&bench.db, query, op, &FilterConfig::all())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("database_build");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let scale = Scale { n, queries: 1, ..Scale::laptop() };
+        let objects = osd_bench::datasets::build_objects(DatasetId::AN, &scale);
+        group.bench_with_input(BenchmarkId::new("a_n", n), &n, |b, _| {
+            b.iter(|| black_box(Database::new(objects.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nnc, bench_index_build);
+criterion_main!(benches);

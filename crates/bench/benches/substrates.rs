@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks of the substrates: R-tree construction and
+//! queries, stochastic-order scans, max-flow / min-cost-flow solves, and
+//! convex-hull extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osd_flow::{MaxFlow, MinCostFlow};
+use osd_geom::{hull_vertices, Mbr, Point};
+use osd_rtree::{Entry, RTree};
+use osd_uncertain::{stochastically_dominates, DistanceDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(vec![rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)]))
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    for n in [1_000usize, 10_000, 100_000] {
+        let pts = random_points(n, 3);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            b.iter(|| {
+                let entries: Vec<Entry<usize>> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| Entry { mbr: Mbr::from_point(p), item: i })
+                    .collect();
+                black_box(RTree::bulk_load(32, entries))
+            })
+        });
+        let entries: Vec<Entry<usize>> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Entry { mbr: Mbr::from_point(p), item: i })
+            .collect();
+        let tree = RTree::bulk_load(32, entries);
+        let q = Point::new(vec![5_000.0, 5_000.0]);
+        group.bench_with_input(BenchmarkId::new("nearest", n), &n, |b, _| {
+            b.iter(|| black_box(tree.nearest(&q)))
+        });
+        group.bench_with_input(BenchmarkId::new("furthest", n), &n, |b, _| {
+            b.iter(|| black_box(tree.furthest(&q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stochastic_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stochastic_order_scan");
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [100usize, 1_000, 10_000] {
+        let mk = |rng: &mut StdRng, shift: f64| {
+            let atoms: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.gen_range(0.0..1_000.0) + shift, 1.0 / n as f64))
+                .collect();
+            DistanceDistribution::from_atoms(atoms)
+        };
+        let x = mk(&mut rng, 0.0);
+        let y = mk(&mut rng, 100.0);
+        group.bench_with_input(BenchmarkId::new("atoms", n), &n, |b, _| {
+            b.iter(|| black_box(stochastically_dominates(&x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    for m in [10usize, 40, 100] {
+        // Dense bipartite m × m network with unit-share capacities.
+        group.bench_with_input(BenchmarkId::new("dinic_bipartite", m), &m, |b, _| {
+            b.iter(|| {
+                let (s, t) = (2 * m, 2 * m + 1);
+                let mut g = MaxFlow::new(2 * m + 2);
+                for i in 0..m {
+                    g.add_edge(s, i, 1_000);
+                    g.add_edge(m + i, t, 1_000);
+                    for j in 0..m {
+                        if (i + j) % 3 != 0 {
+                            g.add_edge(i, m + j, u64::MAX / 4);
+                        }
+                    }
+                }
+                black_box(g.max_flow(s, t))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mcmf_transport", m), &m, |b, _| {
+            let mut rng = StdRng::seed_from_u64(m as u64);
+            let costs: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..100.0)).collect())
+                .collect();
+            b.iter(|| {
+                let (s, t) = (2 * m, 2 * m + 1);
+                let mut g = MinCostFlow::new(2 * m + 2);
+                for i in 0..m {
+                    g.add_edge(s, i, 1_000, 0.0);
+                    g.add_edge(m + i, t, 1_000, 0.0);
+                    for j in 0..m {
+                        g.add_edge(i, m + j, u64::MAX / 4, costs[i][j]);
+                    }
+                }
+                black_box(g.min_cost_flow(s, t, 1_000 * m as u64))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_hull");
+    for n in [10usize, 30, 100] {
+        let pts = random_points(n, 9);
+        group.bench_with_input(BenchmarkId::new("monotone_chain_2d", n), &n, |b, _| {
+            b.iter(|| black_box(hull_vertices(&pts)))
+        });
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let pts3: Vec<Point> = (0..n)
+            .map(|_| {
+                Point::new(vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lp_hull_3d", n), &n, |b, _| {
+            b.iter(|| black_box(hull_vertices(&pts3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtree, bench_stochastic_scan, bench_flow, bench_hull);
+criterion_main!(benches);

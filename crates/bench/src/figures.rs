@@ -1,0 +1,306 @@
+//! One function per figure of the paper's evaluation (§6 and Appendix C).
+//!
+//! Every function prints the same rows/series the paper plots. Absolute
+//! numbers differ (scaled datasets, surrogate generators, different
+//! hardware) but the *shapes* — who wins, by what factor, where crossovers
+//! fall — are the reproduction target. See EXPERIMENTS.md.
+
+use crate::datasets::{build, build_objects, build_queries, DatasetId, Workbench};
+use crate::params::{Scale, Sweeps};
+use crate::runner::{run_all_ops, run_all_ops_parallel, run_cell, Report};
+use osd_core::{
+    dominates, DominanceCache, FilterConfig, Operator, ProgressiveNnc, Stats,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Figure 10: average NN-candidate count per dataset, all five operators.
+pub fn fig10(scale: &Scale, report: &Report) {
+    fig10_with_threads(scale, report, 1)
+}
+
+/// [`fig10`] with the workload spread over `threads` OS threads.
+pub fn fig10_with_threads(scale: &Scale, report: &Report, threads: usize) {
+    let cols: Vec<String> = DatasetId::ALL.iter().map(|d| d.label().to_string()).collect();
+    let mut rows: Vec<(String, Vec<f64>)> = Operator::ALL
+        .iter()
+        .map(|op| (op.label().to_string(), Vec::new()))
+        .collect();
+    for id in DatasetId::ALL {
+        eprintln!("[fig10] running {}", id.label());
+        let bench = build(id, scale);
+        let cells = run_all_ops_parallel(&bench, &FilterConfig::all(), threads);
+        for (row, cell) in rows.iter_mut().zip(cells) {
+            row.1.push(cell.avg_candidates);
+        }
+    }
+    report.table("Figure 10: candidate size by dataset", "dataset", &cols, &rows);
+}
+
+/// Figure 12: average query response time (ms) per dataset.
+pub fn fig12(scale: &Scale, report: &Report) {
+    let cols: Vec<String> = DatasetId::ALL.iter().map(|d| d.label().to_string()).collect();
+    let mut rows: Vec<(String, Vec<f64>)> = Operator::ALL
+        .iter()
+        .map(|op| (op.label().to_string(), Vec::new()))
+        .collect();
+    for id in DatasetId::ALL {
+        eprintln!("[fig12] running {}", id.label());
+        let bench = build(id, scale);
+        for (row, cell) in rows.iter_mut().zip(run_all_ops(&bench, &FilterConfig::all())) {
+            row.1.push(cell.avg_time_ms);
+        }
+    }
+    report.table("Figure 12: response time (ms) by dataset", "dataset", &cols, &rows);
+}
+
+/// Which parameter a Figure 11/13 sub-plot sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// (a) object instances `m_d` on A-N.
+    Md,
+    /// (b) object edge `h_d` on A-N.
+    Hd,
+    /// (c) query instances `m_q` on A-N.
+    Mq,
+    /// (d) query edge `h_q` on A-N.
+    Hq,
+    /// (e) object count `n` on USA.
+    N,
+    /// (f) dimensionality `d` on A-N.
+    Dim,
+}
+
+impl SweepParam {
+    /// All six sub-plots.
+    pub const ALL: [SweepParam; 6] = [
+        SweepParam::Md,
+        SweepParam::Hd,
+        SweepParam::Mq,
+        SweepParam::Hq,
+        SweepParam::N,
+        SweepParam::Dim,
+    ];
+
+    /// Axis label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepParam::Md => "m_d",
+            SweepParam::Hd => "h_d",
+            SweepParam::Mq => "m_q",
+            SweepParam::Hq => "h_q",
+            SweepParam::N => "n",
+            SweepParam::Dim => "d",
+        }
+    }
+
+    /// Parses a `--param` value.
+    pub fn parse(s: &str) -> Option<SweepParam> {
+        match s {
+            "md" => Some(SweepParam::Md),
+            "hd" => Some(SweepParam::Hd),
+            "mq" => Some(SweepParam::Mq),
+            "hq" => Some(SweepParam::Hq),
+            "n" => Some(SweepParam::N),
+            "d" | "dim" => Some(SweepParam::Dim),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the benches of one sweep: `(axis value label, workbench)`.
+fn sweep_benches(param: SweepParam, scale: &Scale, paper: bool) -> Vec<(String, Workbench)> {
+    let dataset = if param == SweepParam::N { DatasetId::Usa } else { DatasetId::AN };
+    let points: Vec<Scale> = match param {
+        SweepParam::Md => Sweeps::m_d(paper)
+            .into_iter()
+            .map(|v| Scale { m_d: v, ..scale.clone() })
+            .collect(),
+        SweepParam::Hd => Sweeps::h_d()
+            .into_iter()
+            .map(|v| Scale { h_d: v, ..scale.clone() })
+            .collect(),
+        SweepParam::Mq => Sweeps::m_q(paper)
+            .into_iter()
+            .map(|v| Scale { m_q: v, ..scale.clone() })
+            .collect(),
+        SweepParam::Hq => Sweeps::h_q()
+            .into_iter()
+            .map(|v| Scale { h_q: v, ..scale.clone() })
+            .collect(),
+        SweepParam::N => Sweeps::n(paper)
+            .into_iter()
+            .map(|v| Scale { n: v, ..scale.clone() })
+            .collect(),
+        SweepParam::Dim => Sweeps::dim()
+            .into_iter()
+            .map(|v| Scale { dim: v, ..scale.clone() })
+            .collect(),
+    };
+    points
+        .into_iter()
+        .map(|s| {
+            let label = match param {
+                SweepParam::Md => s.m_d.to_string(),
+                SweepParam::Hd => s.h_d.to_string(),
+                SweepParam::Mq => s.m_q.to_string(),
+                SweepParam::Hq => s.h_q.to_string(),
+                SweepParam::N => s.n.to_string(),
+                SweepParam::Dim => s.dim.to_string(),
+            };
+            eprintln!("[sweep {}] {} = {}", dataset.label(), param.label(), label);
+            (label, build(dataset, &s))
+        })
+        .collect()
+}
+
+/// Figures 11 (candidate size) and 13 (response time): parameter sweeps.
+pub fn fig11_13(param: SweepParam, scale: &Scale, paper: bool, report: &Report) {
+    let benches = sweep_benches(param, scale, paper);
+    let cols: Vec<String> = benches.iter().map(|(l, _)| l.clone()).collect();
+    let mut size_rows: Vec<(String, Vec<f64>)> = Operator::ALL
+        .iter()
+        .map(|op| (op.label().to_string(), Vec::new()))
+        .collect();
+    let mut time_rows = size_rows.clone();
+    for (_, bench) in &benches {
+        for ((srow, trow), cell) in size_rows
+            .iter_mut()
+            .zip(time_rows.iter_mut())
+            .zip(run_all_ops(bench, &FilterConfig::all()))
+        {
+            srow.1.push(cell.avg_candidates);
+            trow.1.push(cell.avg_time_ms);
+        }
+    }
+    report.table(
+        &format!("Figure 11: candidate size vs {}", param.label()),
+        param.label(),
+        &cols,
+        &size_rows,
+    );
+    report.table(
+        &format!("Figure 13: response time (ms) vs {}", param.label()),
+        param.label(),
+        &cols,
+        &time_rows,
+    );
+}
+
+/// Figure 14: the progressive property on USA — response time and candidate
+/// quality as functions of the candidate-return progress.
+pub fn fig14(scale: &Scale, report: &Report) {
+    let bench = build(DatasetId::Usa, scale);
+    let deciles = 10usize;
+    let mut time_at = vec![0.0f64; deciles + 1];
+    let mut quality_at = vec![0.0f64; deciles + 1];
+    let mut counted = vec![0usize; deciles + 1];
+    // Quality = number of objects a returned candidate dominates; estimated
+    // against a fixed random sample of objects to bound the cost.
+    let sample_size = 300.min(bench.db.len());
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xf14);
+    let sample: Vec<usize> = (0..sample_size)
+        .map(|_| rng.gen_range(0..bench.db.len()))
+        .collect();
+    let cfg = FilterConfig::all();
+
+    for q in &bench.queries {
+        let mut prog = ProgressiveNnc::new(&bench.db, q, Operator::PSd, &cfg);
+        let mut emitted = Vec::new();
+        while let Some(c) = prog.next_candidate() {
+            emitted.push(c);
+        }
+        if emitted.is_empty() {
+            continue;
+        }
+        let total_time = emitted.last().unwrap().elapsed.as_secs_f64();
+        let k = emitted.len();
+        let mut cache = DominanceCache::new(bench.db.len());
+        let mut stats = Stats::default();
+        let dominated: Vec<f64> = emitted
+            .iter()
+            .map(|c| {
+                let hits = sample
+                    .iter()
+                    .filter(|&&v| {
+                        v != c.id
+                            && dominates(
+                                Operator::PSd,
+                                &bench.db,
+                                c.id,
+                                v,
+                                q,
+                                &cfg,
+                                &mut cache,
+                                &mut stats,
+                            )
+                    })
+                    .count();
+                hits as f64 * bench.db.len() as f64 / sample_size as f64
+            })
+            .collect();
+        for dec in 0..=deciles {
+            let upto = ((dec * k).div_ceil(deciles)).clamp(1, k);
+            time_at[dec] += emitted[upto - 1].elapsed.as_secs_f64() / total_time.max(1e-12);
+            quality_at[dec] += dominated[..upto].iter().sum::<f64>() / upto as f64;
+            counted[dec] += 1;
+        }
+    }
+    let cols: Vec<String> = (0..=deciles).map(|d| format!("{}%", d * 10)).collect();
+    let time_row: Vec<f64> = time_at
+        .iter()
+        .zip(&counted)
+        .map(|(t, &c)| if c > 0 { 100.0 * t / c as f64 } else { 0.0 })
+        .collect();
+    let quality_row: Vec<f64> = quality_at
+        .iter()
+        .zip(&counted)
+        .map(|(q, &c)| if c > 0 { q / c as f64 } else { 0.0 })
+        .collect();
+    report.table(
+        "Figure 14(a): PSD time to return X% of candidates (% of total)",
+        "progress",
+        &cols,
+        &[("time%".to_string(), time_row)],
+    );
+    report.table(
+        "Figure 14(b): candidate quality (avg objects dominated, est.)",
+        "progress",
+        &cols,
+        &[("quality".to_string(), quality_row)],
+    );
+}
+
+/// Figure 16 (Appendix C): filtering-technique ablation — average instance
+/// comparisons vs `m_d` on HOUSE for SSD, SSSD and PSD under
+/// BF / L / LP / LG / LGP / All.
+pub fn fig16(scale: &Scale, paper: bool, report: &Report) {
+    let m_ds = Sweeps::m_d(paper);
+    for op in [Operator::SSd, Operator::SsSd, Operator::PSd] {
+        let mut rows: Vec<(String, Vec<f64>)> = FilterConfig::ablation_ladder()
+            .iter()
+            .map(|(name, _)| (name.to_string(), Vec::new()))
+            .collect();
+        let cols: Vec<String> = m_ds.iter().map(|m| m.to_string()).collect();
+        for &m_d in &m_ds {
+            eprintln!("[fig16 {}] m_d = {}", op.label(), m_d);
+            let s = Scale { m_d, ..scale.clone() };
+            let objects = build_objects(DatasetId::House, &s);
+            let queries = build_queries(&objects, DatasetId::House, &s);
+            let bench = Workbench {
+                db: osd_core::Database::new(objects),
+                queries,
+            };
+            for (row, (_, cfg)) in rows.iter_mut().zip(FilterConfig::ablation_ladder()) {
+                let cell = run_cell(&bench, op, &cfg);
+                row.1.push(cell.avg_comparisons);
+            }
+        }
+        report.table(
+            &format!("Figure 16: avg instance comparisons vs m_d ({}, HOUSE)", op.label()),
+            "m_d",
+            &cols,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # osd-bench
+//!
+//! The experiment harness reproducing every figure of the paper's
+//! evaluation (§6 and Appendix C). The `repro` binary exposes one
+//! subcommand per figure; `crates/bench/benches/` holds Criterion
+//! microbenchmarks of the dominance-check kernels.
+//!
+//! ```text
+//! cargo run --release -p osd-bench --bin repro -- fig10
+//! cargo run --release -p osd-bench --bin repro -- fig11 --param hd
+//! cargo run --release -p osd-bench --bin repro -- all --paper-scale
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod figures;
+pub mod motivation;
+pub mod params;
+pub mod runner;
+
+pub use datasets::{build, DatasetId, Workbench};
+pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
+pub use motivation::motivation;
+pub use params::{Scale, Sweeps};
+pub use runner::{print_table, run_all_ops, run_all_ops_parallel, run_cell, run_cell_parallel, CellResult, Report};

@@ -1,0 +1,101 @@
+//! The §1 motivation, measured: how often does the NN-core of Yuen et al.
+//! (the prior NN-candidate proposal) miss the winner of a popular NN
+//! function, and how do the candidate-set sizes compare?
+//!
+//! Not a figure in the paper — the paper *argues* this with Figure 1 and
+//! then excludes NN-core from the evaluation (Remark 1); this harness
+//! quantifies the argument on generated data.
+
+use crate::datasets::{build, DatasetId};
+use crate::params::Scale;
+use crate::runner::Report;
+use osd_core::{nn_candidates, FilterConfig, Operator};
+use osd_nnfuncs::{emd, hausdorff, N1Function};
+use osd_nncore::nn_core;
+
+/// Runs the NN-core comparison on one dataset and prints, per function, the
+/// fraction of queries whose winner is *missed* by NN-core but kept by the
+/// matching SD candidate set, plus the average set sizes.
+pub fn motivation(scale: &Scale, report: &Report) {
+    // NN-core is O(n²) pairwise win probabilities over all instances, so
+    // the comparison runs on a reduced object count; a widened object edge
+    // makes the objects overlap, which is where the methods disagree.
+    let scale = Scale {
+        n: scale.n.min(300),
+        h_d: scale.h_d.max(2_000.0),
+        ..scale.clone()
+    };
+    let bench = build(DatasetId::AN, &scale);
+    let objects = bench.db.objects();
+    let cfg = FilterConfig::all();
+
+    let mut core_sizes = 0usize;
+    let mut ssd_sizes = 0usize;
+    let mut psd_sizes = 0usize;
+    let mut misses_core = [0usize; 6];
+    let mut misses_sd = [0usize; 6];
+
+    for q in &bench.queries {
+        let core = nn_core(objects, q.object());
+        let ssd = nn_candidates(&bench.db, q, Operator::SSd, &cfg).ids();
+        let psd = nn_candidates(&bench.db, q, Operator::PSd, &cfg).ids();
+        core_sizes += core.len();
+        ssd_sizes += ssd.len();
+        psd_sizes += psd.len();
+
+        // Winners under six representative functions; the first four are N1
+        // (compare vs S-SD), the last two N3 (compare vs P-SD).
+        let winners: Vec<(usize, bool)> = vec![
+            (argmin(objects.len(), |i| N1Function::Min.score(&objects[i], q.object())), true),
+            (argmin(objects.len(), |i| N1Function::Mean.score(&objects[i], q.object())), true),
+            (argmin(objects.len(), |i| N1Function::Max.score(&objects[i], q.object())), true),
+            (argmin(objects.len(), |i| N1Function::Quantile(0.5).score(&objects[i], q.object())), true),
+            (argmin(objects.len(), |i| hausdorff(&objects[i], q.object())), false),
+            (argmin(objects.len(), |i| emd(&objects[i], q.object())), false),
+        ];
+        for (fi, &(w, is_n1)) in winners.iter().enumerate() {
+            if !core.contains(&w) {
+                misses_core[fi] += 1;
+            }
+            let sd_set = if is_n1 { &ssd } else { &psd };
+            if !sd_set.contains(&w) {
+                misses_sd[fi] += 1;
+            }
+        }
+    }
+
+    let nq = bench.queries.len().max(1) as f64;
+    let names = ["min", "mean", "max", "quantile(0.5)", "hausdorff", "emd"];
+    let cols: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    report.table(
+        "Motivation: fraction of queries whose winner is missed",
+        "method",
+        &cols,
+        &[
+            (
+                "NN-core".to_string(),
+                misses_core.iter().map(|&m| m as f64 / nq).collect(),
+            ),
+            (
+                "SD ops".to_string(),
+                misses_sd.iter().map(|&m| m as f64 / nq).collect(),
+            ),
+        ],
+    );
+    report.table(
+        "Motivation: average candidate-set size",
+        "method",
+        &["size".to_string()],
+        &[
+            ("NN-core".to_string(), vec![core_sizes as f64 / nq]),
+            ("SSD".to_string(), vec![ssd_sizes as f64 / nq]),
+            ("PSD".to_string(), vec![psd_sizes as f64 / nq]),
+        ],
+    );
+}
+
+fn argmin(n: usize, score: impl Fn(usize) -> f64) -> usize {
+    (0..n)
+        .min_by(|&a, &b| score(a).total_cmp(&score(b)))
+        .expect("non-empty")
+}

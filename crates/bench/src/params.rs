@@ -1,0 +1,107 @@
+//! Experiment parameters (Table 2) with laptop-scale defaults.
+//!
+//! The paper's defaults (`n = 100k`, `m_d = 40`, `m_q = 30`, 100 queries)
+//! make a full sweep a cluster-afternoon job; the harness defaults scale
+//! the object count and workload down so every figure reproduces in
+//! minutes, and `--paper-scale` restores the original values.
+//! EXPERIMENTS.md records which scale produced each reported number.
+
+/// Tunable experiment scale.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Number of objects (`n`). Paper default: 100_000.
+    pub n: usize,
+    /// Instances per object (`m_d`). Paper default: 40.
+    pub m_d: usize,
+    /// Expected object edge length (`h_d`). Paper default: 400.
+    pub h_d: f64,
+    /// Query instances (`m_q`). Paper default: 30.
+    pub m_q: usize,
+    /// Expected query edge length (`h_q`). Paper default: 200.
+    pub h_q: f64,
+    /// Dimensionality (`d`). Paper default: 3.
+    pub dim: usize,
+    /// Queries per workload. Paper default: 100.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Laptop-scale defaults: every figure runs in minutes while keeping the
+    /// paper's *ratios* (`h_q = h_d / 2`, `m_q = 3·m_d / 4`).
+    pub fn laptop() -> Self {
+        Scale {
+            n: 2_000,
+            m_d: 12,
+            h_d: 400.0,
+            m_q: 9,
+            h_q: 200.0,
+            dim: 3,
+            queries: 10,
+            seed: 0x0517,
+        }
+    }
+
+    /// The paper's Table 2 defaults.
+    pub fn paper() -> Self {
+        Scale {
+            n: 100_000,
+            m_d: 40,
+            h_d: 400.0,
+            m_q: 30,
+            h_q: 200.0,
+            dim: 3,
+            queries: 100,
+            seed: 0x0517,
+        }
+    }
+}
+
+/// Sweep values per figure axis. Laptop-scale sweeps shrink `n` and `m`
+/// proportionally; the remaining axes keep the paper's literal values.
+pub struct Sweeps;
+
+impl Sweeps {
+    /// `m_d` axis (Figures 11(a)/13(a)/16). Paper: 20..100 step 20.
+    pub fn m_d(paper: bool) -> Vec<usize> {
+        if paper {
+            vec![20, 40, 60, 80, 100]
+        } else {
+            vec![6, 12, 18, 24, 30]
+        }
+    }
+
+    /// `h_d` axis (Figures 11(b)/13(b)). Paper: 100..500.
+    pub fn h_d() -> Vec<f64> {
+        vec![100.0, 200.0, 300.0, 400.0, 500.0]
+    }
+
+    /// `m_q` axis (Figures 11(c)/13(c)). Paper: 10..50.
+    pub fn m_q(paper: bool) -> Vec<usize> {
+        if paper {
+            vec![10, 20, 30, 40, 50]
+        } else {
+            vec![3, 6, 9, 12, 15]
+        }
+    }
+
+    /// `h_q` axis (Figures 11(d)/13(d)). Paper: 100..500.
+    pub fn h_q() -> Vec<f64> {
+        vec![100.0, 200.0, 300.0, 400.0, 500.0]
+    }
+
+    /// `n` axis (Figures 11(e)/13(e)). Paper: 200k..1M on USA.
+    pub fn n(paper: bool) -> Vec<usize> {
+        if paper {
+            vec![200_000, 400_000, 600_000, 800_000, 1_000_000]
+        } else {
+            vec![1_000, 2_000, 4_000, 6_000, 8_000]
+        }
+    }
+
+    /// `d` axis (Figures 11(f)/13(f)). Paper: 2..5.
+    pub fn dim() -> Vec<usize> {
+        vec![2, 3, 4, 5]
+    }
+}

@@ -1,0 +1,51 @@
+//! Smoke tests: every figure function runs end-to-end at micro scale
+//! without panicking. Guards the harness against API drift.
+
+use osd_bench::{
+    fig10, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam,
+};
+
+fn micro() -> Scale {
+    Scale {
+        n: 60,
+        m_d: 3,
+        m_q: 3,
+        queries: 2,
+        ..Scale::laptop()
+    }
+}
+
+#[test]
+fn fig10_and_12_run() {
+    let s = micro();
+    let r = Report::stdout();
+    fig10(&s, &r);
+    fig12(&s, &r);
+}
+
+#[test]
+fn sweeps_run() {
+    let s = micro();
+    let r = Report::stdout();
+    // One cheap axis suffices to exercise the sweep plumbing; the n-axis
+    // would override scale.n with the laptop sweep values.
+    fig11_13(SweepParam::Hq, &s, false, &r);
+    fig11_13(SweepParam::Dim, &s, false, &r);
+}
+
+#[test]
+fn fig14_runs() {
+    fig14(&micro(), &Report::stdout());
+}
+
+#[test]
+fn fig16_runs() {
+    let s = Scale { n: 40, queries: 1, ..micro() };
+    fig16(&s, false, &Report::stdout());
+}
+
+#[test]
+fn motivation_runs() {
+    let s = Scale { n: 30, queries: 2, ..micro() };
+    motivation(&s, &Report::stdout());
+}

@@ -1,0 +1,174 @@
+//! Argument handling for the `osd` CLI.
+
+use osd_core::Operator;
+use osd_geom::Point;
+use osd_uncertain::UncertainObject;
+use std::fmt;
+
+/// CLI-level errors, printable to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// A malformed flag or value.
+    BadArgument(String),
+    /// A missing required flag.
+    Missing(String),
+    /// Anything bubbling up from the library layers.
+    Data(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::BadArgument(m) => write!(f, "bad argument: {m}"),
+            CliError::Missing(m) => write!(f, "missing argument: {m}"),
+            CliError::Data(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses a query specification of the form `"x,y;x,y;…"` (one instance
+/// per semicolon-separated group, uniform probabilities) into an object.
+///
+/// # Errors
+/// Returns [`CliError::BadArgument`] on malformed input.
+pub fn parse_query_spec(spec: &str) -> Result<UncertainObject, CliError> {
+    let mut points = Vec::new();
+    for (i, group) in spec.split(';').enumerate() {
+        let group = group.trim();
+        if group.is_empty() {
+            continue;
+        }
+        let coords: Result<Vec<f64>, _> = group
+            .split(',')
+            .map(|c| c.trim().parse::<f64>())
+            .collect();
+        let coords = coords
+            .map_err(|_| CliError::BadArgument(format!("instance {}: {:?}", i + 1, group)))?;
+        if coords.is_empty() {
+            return Err(CliError::BadArgument(format!("instance {} is empty", i + 1)));
+        }
+        points.push(Point::new(coords));
+    }
+    if points.is_empty() {
+        return Err(CliError::BadArgument("query has no instances".into()));
+    }
+    let dim = points[0].dim();
+    if points.iter().any(|p| p.dim() != dim) {
+        return Err(CliError::BadArgument(
+            "query instances disagree on dimensionality".into(),
+        ));
+    }
+    Ok(UncertainObject::uniform(points))
+}
+
+/// Parses an operator name.
+///
+/// # Errors
+/// Returns [`CliError::BadArgument`] for unknown names.
+pub fn parse_operator(name: &str) -> Result<Operator, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "ssd" | "s-sd" => Ok(Operator::SSd),
+        "sssd" | "ss-sd" => Ok(Operator::SsSd),
+        "psd" | "p-sd" => Ok(Operator::PSd),
+        "fsd" | "f-sd" => Ok(Operator::FSd),
+        "f+sd" | "fplussd" | "fplus" => Ok(Operator::FPlusSd),
+        other => Err(CliError::BadArgument(format!(
+            "unknown operator {other:?} (use ssd | sssd | psd | fsd | f+sd)"
+        ))),
+    }
+}
+
+/// A tiny flag scanner: `--name value` pairs plus boolean `--name` flags.
+pub struct Flags {
+    args: Vec<String>,
+}
+
+impl Flags {
+    /// Wraps an argument list (without the subcommand).
+    pub fn new(args: Vec<String>) -> Self {
+        Flags { args }
+    }
+
+    /// The value following `--name`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// A required `--name value`.
+    ///
+    /// # Errors
+    /// Returns [`CliError::Missing`] when absent.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.value(name).ok_or_else(|| CliError::Missing(name.into()))
+    }
+
+    /// Whether the boolean flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// A parsed optional value with a default.
+    ///
+    /// # Errors
+    /// Returns [`CliError::BadArgument`] when the value does not parse.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::BadArgument(format!("{name} = {v:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_instance_query() {
+        let q = parse_query_spec("1,2; 3,4 ;5,6").unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dim(), 2);
+        let total: f64 = q.instances().iter().map(|i| i.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query_spec("").is_err());
+        assert!(parse_query_spec("1,2;x,4").is_err());
+        assert!(parse_query_spec("1,2;3").is_err()); // mixed dims
+    }
+
+    #[test]
+    fn operator_names() {
+        assert_eq!(parse_operator("PSD").unwrap(), Operator::PSd);
+        assert_eq!(parse_operator("f+sd").unwrap(), Operator::FPlusSd);
+        assert!(parse_operator("xyz").is_err());
+    }
+
+    #[test]
+    fn flag_scanner() {
+        let f = Flags::new(vec![
+            "--data".into(),
+            "x.csv".into(),
+            "--progressive".into(),
+            "--k".into(),
+            "3".into(),
+        ]);
+        assert_eq!(f.value("--data"), Some("x.csv"));
+        assert!(f.has("--progressive"));
+        assert!(!f.has("--nope"));
+        assert_eq!(f.parsed_or("--k", 1usize).unwrap(), 3);
+        assert_eq!(f.parsed_or("--missing", 7usize).unwrap(), 7);
+        assert!(f.required("--data").is_ok());
+        assert!(f.required("--query").is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Subcommand implementations for the `osd` CLI.
+
+use crate::args::{parse_operator, parse_query_spec, CliError, Flags};
+use osd_core::{
+    k_nn_candidates, nn_candidates, Database, FilterConfig, PreparedQuery, ProgressiveNnc,
+};
+use osd_datagen::{
+    generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
+    CenterDistribution, SynthParams,
+};
+use osd_nnfuncs::{emd, hausdorff, sum_min, N1Function, StableAggregate};
+use std::path::Path;
+
+/// `osd query`: load a CSV dataset and print the NN candidates of a query.
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags or unreadable data.
+pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
+    let data = flags.required("--data")?;
+    let query = parse_query_spec(flags.required("--query")?)?;
+    let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
+    let k: usize = flags.parsed_or("--k", 1)?;
+    let progressive = flags.has("--progressive");
+
+    let objects =
+        read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    if objects[0].dim() != query.dim() {
+        return Err(CliError::Data(format!(
+            "query dimensionality {} does not match the dataset's {}",
+            query.dim(),
+            objects[0].dim()
+        )));
+    }
+    let db = Database::new(objects);
+    let pq = PreparedQuery::new(query);
+    let cfg = FilterConfig::all();
+
+    if progressive {
+        println!("{:>8} {:>12} {:>12}", "object", "min-dist", "elapsed");
+        let mut stream = ProgressiveNnc::new(&db, &pq, op, &cfg);
+        while let Some(c) = stream.next_candidate() {
+            println!("{:>8} {:>12.3} {:>10.2?}", c.id, c.min_dist, c.elapsed);
+        }
+        return Ok(());
+    }
+    if k > 1 {
+        let res = k_nn_candidates(&db, &pq, op, k, &cfg);
+        println!(
+            "{} {}-robust candidates under {}:",
+            res.candidates.len(),
+            k,
+            op.label()
+        );
+        for (c, dominators) in &res.candidates {
+            println!("  object {:>6}  min-dist {:>10.3}  dominators {}", c.id, c.min_dist, dominators);
+        }
+    } else {
+        let res = nn_candidates(&db, &pq, op, &cfg);
+        println!("{} candidates under {}:", res.candidates.len(), op.label());
+        for c in &res.candidates {
+            println!("  object {:>6}  min-dist {:>10.3}", c.id, c.min_dist);
+        }
+    }
+    Ok(())
+}
+
+/// `osd score`: score one object of the dataset under the implemented NN
+/// functions (useful once the user picks a function for the shortlist).
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags or unreadable data.
+pub fn cmd_score(flags: &Flags) -> Result<(), CliError> {
+    let data = flags.required("--data")?;
+    let query = parse_query_spec(flags.required("--query")?)?;
+    let id: usize = flags
+        .required("--object")?
+        .parse()
+        .map_err(|_| CliError::BadArgument("--object must be an id".into()))?;
+    let objects =
+        read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let obj = objects
+        .get(id)
+        .ok_or_else(|| CliError::Data(format!("object {id} out of range (n = {})", objects.len())))?;
+
+    println!("object {id} vs query:");
+    for f in [
+        N1Function::Min,
+        N1Function::Mean,
+        N1Function::Max,
+        N1Function::Quantile(0.25),
+        N1Function::Quantile(0.5),
+        N1Function::Quantile(0.75),
+    ] {
+        println!("  {:<16} {:>12.4}", f.name(), f.score(obj, &query));
+    }
+    println!("  {:<16} {:>12.4}", "hausdorff", hausdorff(obj, &query));
+    println!("  {:<16} {:>12.4}", "sum-min", sum_min(obj, &query));
+    println!("  {:<16} {:>12.4}", "emd", emd(obj, &query));
+    Ok(())
+}
+
+/// `osd gen`: generate a synthetic/surrogate dataset into a CSV file.
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags or write failures.
+pub fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
+    let out = flags.required("--out")?;
+    let kind = flags.value("--dataset").unwrap_or("anti");
+    let n: usize = flags.parsed_or("--n", 1000)?;
+    let m: usize = flags.parsed_or("--m", 10)?;
+    let dim: usize = flags.parsed_or("--dim", 3)?;
+    let edge: f64 = flags.parsed_or("--edge", 400.0)?;
+    let seed: u64 = flags.parsed_or("--seed", 42)?;
+
+    let objects = match kind {
+        "anti" | "indep" => {
+            let centers = if kind == "anti" {
+                CenterDistribution::AntiCorrelated
+            } else {
+                CenterDistribution::Independent
+            };
+            generate_objects(&SynthParams { n, dim, instances: m, edge, centers, seed })
+        }
+        "gw" | "gowalla" => gowalla_like(n, m, seed),
+        "nba" => nba_like(n, m, seed),
+        other => {
+            return Err(CliError::BadArgument(format!(
+                "unknown dataset {other:?} (use anti | indep | gw | nba)"
+            )))
+        }
+    };
+    write_objects_csv(Path::new(out), &objects).map_err(|e| CliError::Data(e.to_string()))?;
+    println!(
+        "wrote {} objects × {} instances to {out}",
+        objects.len(),
+        objects[0].len()
+    );
+    Ok(())
+}
+
+/// Dispatches a subcommand. Returns `Err` with a printable message on any
+/// failure; the caller maps it to the exit code.
+///
+/// # Errors
+/// Propagates the subcommand's [`CliError`].
+pub fn run(subcommand: &str, flags: &Flags) -> Result<(), CliError> {
+    match subcommand {
+        "query" => cmd_query(flags),
+        "score" => cmd_score(flags),
+        "gen" => cmd_gen(flags),
+        other => Err(CliError::BadArgument(format!(
+            "unknown subcommand {other:?} (use query | score | gen)"
+        ))),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "osd — optimal spatial dominance NN-candidate search
+
+USAGE:
+  osd gen   --out data.csv [--dataset anti|indep|gw|nba] [--n N] [--m M]
+            [--dim D] [--edge H] [--seed S]
+  osd query --data data.csv --query \"x,y;x,y;…\" [--op ssd|sssd|psd|fsd|f+sd]
+            [--k K] [--progressive]
+  osd score --data data.csv --query \"x,y;…\" --object ID
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(kv: &[&str]) -> Flags {
+        Flags::new(kv.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("osd-cli-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_then_query_roundtrip() {
+        let out = tmp("gen.csv");
+        cmd_gen(&flags(&[
+            "--out", &out, "--dataset", "indep", "--n", "50", "--m", "4", "--dim", "2",
+        ]))
+        .unwrap();
+        cmd_query(&flags(&[
+            "--data", &out, "--query", "5000,5000;5100,5100", "--op", "sssd",
+        ]))
+        .unwrap();
+        cmd_query(&flags(&[
+            "--data", &out, "--query", "5000,5000", "--k", "3",
+        ]))
+        .unwrap();
+        cmd_score(&flags(&["--data", &out, "--query", "0,0", "--object", "0"])).unwrap();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let out = tmp("dim.csv");
+        cmd_gen(&flags(&["--out", &out, "--dataset", "indep", "--n", "10", "--dim", "2"])).unwrap();
+        let err = cmd_query(&flags(&["--data", &out, "--query", "1,2,3"])).unwrap_err();
+        std::fs::remove_file(&out).ok();
+        assert!(err.to_string().contains("dimensionality"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(run("frobnicate", &flags(&[])).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let err = cmd_query(&flags(&["--query", "1,2"])).unwrap_err();
+        assert!(matches!(err, CliError::Missing(_)));
+    }
+}

@@ -1,0 +1,10 @@
+//! # osd-cli
+//!
+//! Library half of the `osd` command-line tool: argument parsing and the
+//! subcommand implementations, kept out of `main.rs` so they are testable.
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_query_spec, CliError};

@@ -1,0 +1,34 @@
+//! Brute-force NNC computation — the `O(n²)` reference implementation.
+//!
+//! Definition 6 directly: an object is a candidate iff no other object
+//! dominates it. Used as the correctness oracle for Algorithm 1 and as the
+//! `BF` baseline of the Appendix C ablation.
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::{dominates, Operator};
+use crate::query::PreparedQuery;
+
+/// Computes `NNC(O, Q, SD)` by checking every object against every other.
+/// Returns candidate ids in ascending id order plus the accumulated
+/// counters.
+pub fn nn_candidates_bruteforce(
+    db: &Database,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+) -> (Vec<usize>, Stats) {
+    let mut stats = Stats::default();
+    let mut cache = DominanceCache::new(db.len());
+    let mut out = Vec::new();
+    'outer: for v in 0..db.len() {
+        for u in 0..db.len() {
+            if u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats) {
+                continue 'outer;
+            }
+        }
+        out.push(v);
+    }
+    (out, stats)
+}

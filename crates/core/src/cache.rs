@@ -1,0 +1,283 @@
+//! Per-query caches of derived object state.
+//!
+//! A single NNC query compares each visited object against many candidates
+//! (Algorithm 1), so distance distributions, statistics, quantised masses
+//! and distance-space mappings are computed once per object per query and
+//! shared across all pairwise checks.
+
+use crate::config::Stats;
+use crate::db::Database;
+use crate::query::PreparedQuery;
+use osd_geom::{distance_space, Point};
+use osd_rtree::{Entry, RTree};
+use osd_uncertain::{quantize, DistanceDistribution};
+use std::rc::Rc;
+
+/// min / mean / max of a distance distribution — the statistic-pruning
+/// triple of Theorem 11.
+pub type AggStats = (f64, f64, f64);
+
+/// Distance-space image of an object: the mapped points plus an R-tree over
+/// them (payload = instance index).
+pub type MappedInstances = (Vec<Point>, RTree<usize>);
+
+/// Lazily-populated per-object derived state for one query.
+pub struct DominanceCache {
+    /// `U_Q` per object.
+    dist_q: Vec<Option<Rc<DistanceDistribution>>>,
+    /// `U_q` for every query instance, per object.
+    per_q: Vec<Option<Rc<Vec<DistanceDistribution>>>>,
+    /// min/mean/max of `U_Q`, per object.
+    agg: Vec<Option<AggStats>>,
+    /// min/mean/max of each `U_q`, per object.
+    per_q_agg: Vec<Option<Rc<Vec<AggStats>>>>,
+    /// Quantised instance masses, per object.
+    quanta: Vec<Option<Rc<Vec<u64>>>>,
+    /// Distance-space image of the instances w.r.t. the query hull, plus an
+    /// R-tree over it (for the §5.1.2 range-query network construction).
+    mapped: Vec<Option<Rc<MappedInstances>>>,
+    /// Indices of instances lying inside `CH(Q)`, per object (the geometric
+    /// early-reject of the P-SD check).
+    in_hull: Vec<Option<Rc<Vec<usize>>>>,
+}
+
+impl DominanceCache {
+    /// Creates an empty cache for a database of `n` objects.
+    pub fn new(n: usize) -> Self {
+        DominanceCache {
+            dist_q: vec![None; n],
+            per_q: vec![None; n],
+            agg: vec![None; n],
+            per_q_agg: vec![None; n],
+            quanta: vec![None; n],
+            mapped: vec![None; n],
+            in_hull: vec![None; n],
+        }
+    }
+
+    /// The full distance distribution `U_Q` of object `id`.
+    pub fn dist_q(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> Rc<DistanceDistribution> {
+        if let Some(d) = &self.dist_q[id] {
+            return Rc::clone(d);
+        }
+        let obj = db.object(id);
+        stats.instance_comparisons += (obj.len() * query.len()) as u64;
+        let d = Rc::new(DistanceDistribution::between(obj, query.object()));
+        self.dist_q[id] = Some(Rc::clone(&d));
+        d
+    }
+
+    /// The per-query-instance distributions `U_q` of object `id`, in query
+    /// instance order.
+    pub fn per_q(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> Rc<Vec<DistanceDistribution>> {
+        if let Some(d) = &self.per_q[id] {
+            return Rc::clone(d);
+        }
+        let obj = db.object(id);
+        stats.instance_comparisons += (obj.len() * query.len()) as u64;
+        let d = Rc::new(
+            query
+                .object()
+                .instances()
+                .iter()
+                .map(|q| DistanceDistribution::to_instance(obj, &q.point))
+                .collect::<Vec<_>>(),
+        );
+        self.per_q[id] = Some(Rc::clone(&d));
+        d
+    }
+
+    /// min/mean/max of `U_Q`.
+    pub fn agg(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> AggStats {
+        if let Some(a) = self.agg[id] {
+            return a;
+        }
+        let d = self.dist_q(db, query, id, stats);
+        let a = (d.min(), d.mean(), d.max());
+        self.agg[id] = Some(a);
+        a
+    }
+
+    /// min/mean/max of each `U_q`.
+    pub fn per_q_agg(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> Rc<Vec<AggStats>> {
+        if let Some(a) = &self.per_q_agg[id] {
+            return Rc::clone(a);
+        }
+        let per_q = self.per_q(db, query, id, stats);
+        let a = Rc::new(
+            per_q
+                .iter()
+                .map(|d| (d.min(), d.mean(), d.max()))
+                .collect::<Vec<_>>(),
+        );
+        self.per_q_agg[id] = Some(Rc::clone(&a));
+        a
+    }
+
+    /// Fixed-point instance masses of object `id` (summing to `SCALE`).
+    pub fn quanta(&mut self, db: &Database, id: usize) -> Rc<Vec<u64>> {
+        if let Some(q) = &self.quanta[id] {
+            return Rc::clone(q);
+        }
+        let probs: Vec<f64> = db.object(id).instances().iter().map(|i| i.prob).collect();
+        let q = Rc::new(quantize(&probs));
+        self.quanta[id] = Some(Rc::clone(&q));
+        q
+    }
+
+    /// Distance-space mapping of the instances of `id` w.r.t. the query hull
+    /// (`u ↦ (δ(u, q_1), …, δ(u, q_k))`), with an R-tree over the images.
+    /// In this space `u ⪯_Q v` is coordinate-wise dominance (§5.1.2).
+    pub fn mapped(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> Rc<MappedInstances> {
+        if let Some(m) = &self.mapped[id] {
+            return Rc::clone(m);
+        }
+        let obj = db.object(id);
+        let hull = query.hull();
+        stats.instance_comparisons += (obj.len() * hull.len()) as u64;
+        let points: Vec<Point> = obj
+            .instances()
+            .iter()
+            .map(|u| distance_space(&u.point, hull))
+            .collect();
+        let entries: Vec<Entry<usize>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Entry {
+                mbr: osd_geom::Mbr::from_point(p),
+                item: i,
+            })
+            .collect();
+        let tree = RTree::bulk_load(8, entries);
+        let m = Rc::new((points, tree));
+        self.mapped[id] = Some(Rc::clone(&m));
+        m
+    }
+
+    /// Indices of instances of `id` that lie inside (or on) the convex hull
+    /// of the query. An instance inside `CH(Q)` can only be peer-dominated
+    /// by a coincident instance (§5.1.2).
+    pub fn in_hull_instances(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        stats: &mut Stats,
+    ) -> Rc<Vec<usize>> {
+        if let Some(l) = &self.in_hull[id] {
+            return Rc::clone(l);
+        }
+        let obj = db.object(id);
+        let hull = query.hull();
+        stats.instance_comparisons += obj.len() as u64;
+        let list: Vec<usize> = obj
+            .instances()
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| {
+                // Cheap MBR reject before the LP containment test.
+                query.mbr().contains_point(&inst.point)
+                    && osd_geom::point_in_hull(&inst.point, hull)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let list = Rc::new(list);
+        self.in_hull[id] = Some(Rc::clone(&list));
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_uncertain::UncertainObject;
+
+    fn p2(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    fn setup() -> (Database, PreparedQuery) {
+        let db = Database::new(vec![
+            UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]),
+            UncertainObject::uniform(vec![p2(5.0, 5.0), p2(6.0, 5.0)]),
+        ]);
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 1.0), p2(1.0, 1.0)]));
+        (db, q)
+    }
+
+    #[test]
+    fn caching_counts_cost_once() {
+        let (db, q) = setup();
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let d1 = cache.dist_q(&db, &q, 0, &mut stats);
+        let after_first = stats.instance_comparisons;
+        let d2 = cache.dist_q(&db, &q, 0, &mut stats);
+        assert_eq!(stats.instance_comparisons, after_first, "second hit must be free");
+        assert!(Rc::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn per_q_matches_direct_construction() {
+        let (db, q) = setup();
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let per_q = cache.per_q(&db, &q, 1, &mut stats);
+        assert_eq!(per_q.len(), 2);
+        let direct = DistanceDistribution::to_instance(db.object(1), &q.points()[0]);
+        assert!(per_q[0].approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn agg_matches_distribution_stats() {
+        let (db, q) = setup();
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let (mn, mean, mx) = cache.agg(&db, &q, 0, &mut stats);
+        let d = cache.dist_q(&db, &q, 0, &mut stats);
+        assert_eq!(mn, d.min());
+        assert_eq!(mean, d.mean());
+        assert_eq!(mx, d.max());
+    }
+
+    #[test]
+    fn mapped_dimensionality_is_hull_size() {
+        let (db, q) = setup();
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let m = cache.mapped(&db, &q, 0, &mut stats);
+        assert_eq!(m.0.len(), 2);
+        assert_eq!(m.0[0].dim(), q.hull().len());
+        assert_eq!(m.1.len(), 2);
+    }
+}

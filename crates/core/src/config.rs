@@ -1,0 +1,134 @@
+//! Filtering configuration and cost counters.
+//!
+//! §5.1 of the paper layers four families of filtering techniques on the
+//! brute-force dominance checks; Appendix C ablates them one by one
+//! (Figure 16) with the configurations BF, L, LP, LG, LGP and All. This
+//! module exposes those switches and the counters the ablation reports.
+
+/// Switches for the dominance-check filtering techniques of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Level-by-level pruning/validation over local R-tree nodes (the `L`
+    /// component, §5.1.2).
+    pub level_by_level: bool,
+    /// Statistic-based pruning on min/mean/max (Theorem 11) and cover-based
+    /// pruning through the operator hierarchy (the `P` component).
+    pub pruning: bool,
+    /// Geometric optimisations: restricting `⪯_Q` tests to the convex-hull
+    /// vertices of the query, the in-hull early reject, and the
+    /// distance-space mapping (the `G` component).
+    pub geometric: bool,
+    /// Cover-based validation via the exact MBR dominance test (Theorem 4).
+    pub mbr_validation: bool,
+}
+
+impl FilterConfig {
+    /// Brute force: every filter disabled.
+    pub const fn bf() -> Self {
+        FilterConfig {
+            level_by_level: false,
+            pruning: false,
+            geometric: false,
+            mbr_validation: false,
+        }
+    }
+
+    /// `L`: level-by-level searching added to brute force.
+    pub const fn l() -> Self {
+        FilterConfig { level_by_level: true, ..Self::bf() }
+    }
+
+    /// `LP`: level-by-level plus pruning rules.
+    pub const fn lp() -> Self {
+        FilterConfig { pruning: true, ..Self::l() }
+    }
+
+    /// `LG`: level-by-level plus geometric strategy.
+    pub const fn lg() -> Self {
+        FilterConfig { geometric: true, ..Self::l() }
+    }
+
+    /// `LGP`: level-by-level, geometric and pruning.
+    pub const fn lgp() -> Self {
+        FilterConfig { pruning: true, ..Self::lg() }
+    }
+
+    /// `All`: every filtering technique, including MBR validation.
+    pub const fn all() -> Self {
+        FilterConfig { mbr_validation: true, ..Self::lgp() }
+    }
+
+    /// The ablation ladder of Appendix C, in presentation order.
+    pub fn ablation_ladder() -> [(&'static str, FilterConfig); 6] {
+        [
+            ("BF", Self::bf()),
+            ("L", Self::l()),
+            ("LP", Self::lp()),
+            ("LG", Self::lg()),
+            ("LGP", Self::lgp()),
+            ("All", Self::all()),
+        ]
+    }
+}
+
+impl Default for FilterConfig {
+    /// The full configuration used by the headline experiments.
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Cost counters for the effectiveness/efficiency experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instance-level comparisons: distance evaluations, sorted-atom scan
+    /// steps and `⪯_Q` point tests — the y-axis of Figure 16.
+    pub instance_comparisons: u64,
+    /// Object-pair dominance checks started.
+    pub dominance_checks: u64,
+    /// Exact max-flow computations run by the P-SD check.
+    pub flow_runs: u64,
+    /// MBR-level dominance tests (validation / level-by-level / entry
+    /// pruning in Algorithm 1).
+    pub mbr_checks: u64,
+}
+
+impl Stats {
+    /// Adds another counter set into this one.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.instance_comparisons += other.instance_comparisons;
+        self.dominance_checks += other.dominance_checks;
+        self.flow_runs += other.flow_runs;
+        self.mbr_checks += other.mbr_checks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_features() {
+        let ladder = FilterConfig::ablation_ladder();
+        assert_eq!(ladder[0].1, FilterConfig::bf());
+        assert_eq!(ladder[5].1, FilterConfig::all());
+        assert!(ladder[1].1.level_by_level && !ladder[1].1.pruning);
+        assert!(ladder[2].1.pruning && !ladder[2].1.geometric);
+        assert!(ladder[3].1.geometric && !ladder[3].1.pruning);
+        assert!(ladder[4].1.geometric && ladder[4].1.pruning);
+    }
+
+    #[test]
+    fn default_is_all() {
+        assert_eq!(FilterConfig::default(), FilterConfig::all());
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = Stats { instance_comparisons: 1, dominance_checks: 2, flow_runs: 3, mbr_checks: 4 };
+        let b = Stats { instance_comparisons: 10, dominance_checks: 20, flow_runs: 30, mbr_checks: 40 };
+        a.absorb(&b);
+        assert_eq!(a.instance_comparisons, 11);
+        assert_eq!(a.mbr_checks, 44);
+    }
+}

@@ -1,0 +1,210 @@
+//! The object database: `n + 1` R-trees as in §6.
+//!
+//! A global R-tree organises the objects' MBRs (driving the best-first NNC
+//! search of Algorithm 1); each object keeps a small local R-tree over its
+//! instances (fan-out 4 in the paper), supplying nearest/furthest-neighbour
+//! primitives and the node partitions of the level-by-level techniques.
+
+use osd_geom::Mbr;
+use osd_rtree::{Entry, RTree};
+use osd_uncertain::UncertainObject;
+
+/// Default fan-out of the global R-tree.
+pub const DEFAULT_GLOBAL_FANOUT: usize = 32;
+/// Fan-out of the per-object local R-trees (matches the paper's setting).
+pub const DEFAULT_LOCAL_FANOUT: usize = 4;
+
+/// A set of multi-instance objects indexed for NN-candidate search.
+pub struct Database {
+    objects: Vec<UncertainObject>,
+    local: Vec<RTree<usize>>,
+    global: RTree<usize>,
+}
+
+impl Database {
+    /// Indexes `objects` with default fan-outs.
+    pub fn new(objects: Vec<UncertainObject>) -> Self {
+        Self::with_fanouts(objects, DEFAULT_GLOBAL_FANOUT, DEFAULT_LOCAL_FANOUT)
+    }
+
+    /// Indexes `objects` with explicit global/local R-tree fan-outs.
+    ///
+    /// # Panics
+    /// Panics if `objects` is empty or dimensionalities are inconsistent.
+    pub fn with_fanouts(
+        objects: Vec<UncertainObject>,
+        global_fanout: usize,
+        local_fanout: usize,
+    ) -> Self {
+        assert!(!objects.is_empty(), "a database needs at least one object");
+        let dim = objects[0].dim();
+        assert!(
+            objects.iter().all(|o| o.dim() == dim),
+            "all objects must share one dimensionality"
+        );
+        let local: Vec<RTree<usize>> = objects
+            .iter()
+            .map(|o| {
+                let entries: Vec<Entry<usize>> = o
+                    .instances()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, inst)| Entry {
+                        mbr: Mbr::from_point(&inst.point),
+                        item: i,
+                    })
+                    .collect();
+                RTree::bulk_load(local_fanout, entries)
+            })
+            .collect();
+        let global_entries: Vec<Entry<usize>> = objects
+            .iter()
+            .enumerate()
+            .map(|(id, o)| Entry {
+                mbr: o.mbr().clone(),
+                item: id,
+            })
+            .collect();
+        let global = RTree::bulk_load(global_fanout, global_entries);
+        Database { objects, local, global }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Never true: databases are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dimensionality of the instance space.
+    pub fn dim(&self) -> usize {
+        self.objects[0].dim()
+    }
+
+    /// The objects.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// Object by id.
+    pub fn object(&self, id: usize) -> &UncertainObject {
+        &self.objects[id]
+    }
+
+    /// Local R-tree over the instances of object `id` (payload = instance
+    /// index).
+    pub fn local_tree(&self, id: usize) -> &RTree<usize> {
+        &self.local[id]
+    }
+
+    /// The global R-tree over object MBRs (payload = object id).
+    pub fn global_tree(&self) -> &RTree<usize> {
+        &self.global
+    }
+
+    /// Appends a new object, indexing it incrementally (local R-tree built
+    /// by bulk load, global R-tree by insertion). Returns the new object id.
+    ///
+    /// # Panics
+    /// Panics if the object's dimensionality differs from the database's.
+    pub fn insert_object(&mut self, object: UncertainObject) -> usize {
+        self.insert_object_with_fanout(object, DEFAULT_LOCAL_FANOUT)
+    }
+
+    /// As [`Database::insert_object`] with an explicit local fan-out.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn insert_object_with_fanout(
+        &mut self,
+        object: UncertainObject,
+        local_fanout: usize,
+    ) -> usize {
+        assert_eq!(
+            object.dim(),
+            self.dim(),
+            "inserted object dimensionality must match the database"
+        );
+        let id = self.objects.len();
+        let entries: Vec<Entry<usize>> = object
+            .instances()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| Entry {
+                mbr: Mbr::from_point(&inst.point),
+                item: i,
+            })
+            .collect();
+        self.local.push(RTree::bulk_load(local_fanout, entries));
+        self.global.insert(object.mbr().clone(), id);
+        self.objects.push(object);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    #[test]
+    fn builds_all_trees() {
+        let objs = vec![
+            obj(&[(0.0, 0.0), (1.0, 1.0)]),
+            obj(&[(5.0, 5.0), (6.0, 6.0), (7.0, 5.0)]),
+        ];
+        let db = Database::new(objs);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.dim(), 2);
+        assert_eq!(db.local_tree(0).len(), 2);
+        assert_eq!(db.local_tree(1).len(), 3);
+        assert_eq!(db.global_tree().len(), 2);
+    }
+
+    #[test]
+    fn local_tree_supports_nn_and_fn() {
+        let db = Database::new(vec![obj(&[(0.0, 0.0), (4.0, 0.0), (9.0, 0.0)])]);
+        let q = Point::new(vec![3.0, 0.0]);
+        let (idx, d) = db.local_tree(0).nearest(&q).unwrap();
+        assert_eq!(*idx, 1);
+        assert_eq!(d, 1.0);
+        let (idx, d) = db.local_tree(0).furthest(&q).unwrap();
+        assert_eq!(*idx, 2);
+        assert_eq!(d, 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn empty_rejected() {
+        let _ = Database::new(vec![]);
+    }
+
+    #[test]
+    fn insert_object_extends_all_indexes() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0), (1.0, 1.0)])]);
+        let id = db.insert_object(obj(&[(5.0, 5.0), (6.0, 6.0), (7.0, 5.0)]));
+        assert_eq!(id, 1);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.local_tree(1).len(), 3);
+        assert_eq!(db.global_tree().len(), 2);
+        // The global tree can find the new object by proximity.
+        let hits = db
+            .global_tree()
+            .range_intersecting(&Mbr::new(vec![4.0, 4.0], vec![8.0, 8.0]));
+        assert!(hits.into_iter().any(|&h| h == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality must match")]
+    fn insert_wrong_dim_rejected() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0)])]);
+        db.insert_object(UncertainObject::uniform(vec![Point::new(vec![1.0, 2.0, 3.0])]));
+    }
+}

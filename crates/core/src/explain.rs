@@ -1,0 +1,109 @@
+//! Explanation utilities: *why* is an object (not) a candidate?
+//!
+//! The paper's use case has a human browsing the shortlist; these helpers
+//! answer the follow-up questions — which objects dominate a non-candidate,
+//! and what does the full dominance relation look like.
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::{dominates, Operator};
+use crate::query::PreparedQuery;
+
+/// All objects that dominate `v` under `op` (empty iff `v` is a candidate).
+pub fn dominators_of(
+    db: &Database,
+    query: &PreparedQuery,
+    op: Operator,
+    v: usize,
+    cfg: &FilterConfig,
+) -> Vec<usize> {
+    let mut cache = DominanceCache::new(db.len());
+    let mut stats = Stats::default();
+    (0..db.len())
+        .filter(|&u| u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats))
+        .collect()
+}
+
+/// The full `n × n` dominance matrix: `m[u][v]` iff `u` dominates `v`.
+/// Quadratic — intended for analysis of small candidate sets, not full
+/// databases.
+pub fn dominance_matrix(
+    db: &Database,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+) -> Vec<Vec<bool>> {
+    let mut cache = DominanceCache::new(db.len());
+    let mut stats = Stats::default();
+    let n = db.len();
+    let mut m = vec![vec![false; n]; n];
+    for (u, row) in m.iter_mut().enumerate() {
+        for (v, cell) in row.iter_mut().enumerate() {
+            if u != v {
+                *cell = dominates(op, db, u, v, query, cfg, &mut cache, &mut stats);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnc::nn_candidates;
+    use osd_geom::Point;
+    use osd_uncertain::UncertainObject;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    fn setup() -> (Database, PreparedQuery) {
+        let db = Database::new(vec![
+            obj(&[(1.0, 0.0), (2.0, 0.0)]),
+            obj(&[(5.0, 0.0), (6.0, 0.0)]),
+            obj(&[(9.0, 0.0), (10.0, 0.0)]),
+        ]);
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        (db, q)
+    }
+
+    #[test]
+    fn dominators_match_candidacy() {
+        let (db, q) = setup();
+        let cfg = FilterConfig::all();
+        let candidates = nn_candidates(&db, &q, Operator::PSd, &cfg).ids();
+        for v in 0..db.len() {
+            let doms = dominators_of(&db, &q, Operator::PSd, v, &cfg);
+            assert_eq!(
+                doms.is_empty(),
+                candidates.contains(&v),
+                "object {v}: dominators {doms:?} vs candidates {candidates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_consistent_with_dominators() {
+        let (db, q) = setup();
+        let cfg = FilterConfig::all();
+        let m = dominance_matrix(&db, &q, Operator::SSd, &cfg);
+        for v in 0..db.len() {
+            let from_matrix: Vec<usize> = (0..db.len()).filter(|&u| m[u][v]).collect();
+            assert_eq!(from_matrix, dominators_of(&db, &q, Operator::SSd, v, &cfg));
+        }
+        // A dominance chain: 0 → 1 → 2 with transitivity 0 → 2.
+        assert!(m[0][1] && m[1][2] && m[0][2]);
+        assert!(!m[1][0] && !m[2][1] && !m[2][0]);
+    }
+
+    #[test]
+    fn diagonal_is_false() {
+        let (db, q) = setup();
+        let m = dominance_matrix(&db, &q, Operator::FSd, &FilterConfig::all());
+        for (i, row) in m.iter().enumerate() {
+            assert!(!row[i]);
+        }
+    }
+}

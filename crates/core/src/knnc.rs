@@ -1,0 +1,336 @@
+//! k-robust NN candidates — a skyband-style extension of Definition 6.
+//!
+//! `NNC_k(O, Q, SD)` contains every object dominated by **fewer than `k`**
+//! other objects (so `NNC_1` is the paper's NNC). The set is useful when a
+//! user wants a shortlist resilient to removing up to `k − 1` objects: if
+//! any `k − 1` candidates are taken away (sold out, offline, …), the NN
+//! under every covered function is still inside the set.
+//!
+//! Correctness of the traversal argument extends from Algorithm 1: objects
+//! arrive in non-decreasing true `δ_min(V, Q)`, so every dominator of `V`
+//! either precedes `V` or ties it; by transitivity, a preceding object that
+//! was itself excluded (≥ k dominators) contributes its own dominators, all
+//! of which also dominate `V` — hence counting dominators among *kept*
+//! candidates suffices (the classic k-skyband argument).
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::nnc::Candidate;
+use crate::ops::{dominates, Operator};
+use crate::query::PreparedQuery;
+use osd_geom::{mbr_dominates, mbr_dominates_strict};
+use osd_rtree::Node;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Result of a k-robust candidate computation.
+#[derive(Debug)]
+pub struct KnncResult {
+    /// Kept candidates in emission order, each with the number of kept
+    /// candidates dominating it (`< k`).
+    pub candidates: Vec<(Candidate, usize)>,
+    /// Cost counters.
+    pub stats: Stats,
+}
+
+impl KnncResult {
+    /// Candidate ids in emission order.
+    pub fn ids(&self) -> Vec<usize> {
+        self.candidates.iter().map(|(c, _)| c.id).collect()
+    }
+}
+
+enum Slot<'a> {
+    Node(&'a Node<usize>),
+    Object(usize),
+}
+
+struct HeapItem<'a> {
+    key: f64,
+    slot: Slot<'a>,
+}
+
+impl PartialEq for HeapItem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapItem<'_> {}
+impl PartialOrd for HeapItem<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.total_cmp(&self.key)
+    }
+}
+
+/// Computes the k-robust NN candidates (`k = 1` reproduces
+/// [`crate::nn_candidates`]).
+///
+/// ```
+/// use osd_core::{k_nn_candidates, Database, FilterConfig, Operator, PreparedQuery};
+/// use osd_geom::Point;
+/// use osd_uncertain::UncertainObject;
+///
+/// // A dominance chain along a line: NNC_k is exactly the first k objects.
+/// let objects: Vec<UncertainObject> = (0..5)
+///     .map(|i| UncertainObject::uniform(vec![Point::from([2.0 + 3.0 * i as f64, 0.0])]))
+///     .collect();
+/// let db = Database::new(objects);
+/// let q = PreparedQuery::new(UncertainObject::uniform(vec![Point::from([0.0, 0.0])]));
+/// let res = k_nn_candidates(&db, &q, Operator::PSd, 2, &FilterConfig::all());
+/// let mut ids = res.ids();
+/// ids.sort_unstable();
+/// assert_eq!(ids, vec![0, 1]);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn k_nn_candidates(
+    db: &Database,
+    query: &PreparedQuery,
+    op: Operator,
+    k: usize,
+    cfg: &FilterConfig,
+) -> KnncResult {
+    assert!(k >= 1, "k must be at least 1");
+    let mut stats = Stats::default();
+    let mut cache = DominanceCache::new(db.len());
+    let mut kept: Vec<(Candidate, usize)> = Vec::new();
+    let start = Instant::now();
+
+    let mut heap = BinaryHeap::new();
+    if let Some(root) = db.global_tree().root() {
+        heap.push(HeapItem {
+            key: root.mbr().min_dist2(query.mbr()),
+            slot: Slot::Node(root),
+        });
+    }
+    let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
+
+    while let Some(HeapItem { key, slot }) = heap.pop() {
+        match slot {
+            Slot::Object(v) => {
+                let mut dominators = 0usize;
+                let kept_ids: Vec<usize> = kept.iter().map(|(c, _)| c.id).collect();
+                for u in kept_ids {
+                    if dominates(op, db, u, v, query, cfg, &mut cache, &mut stats) {
+                        dominators += 1;
+                        if dominators >= k {
+                            break;
+                        }
+                    }
+                }
+                if dominators < k {
+                    kept.push((
+                        Candidate {
+                            id: v,
+                            min_dist: key.max(0.0).sqrt(),
+                            elapsed: start.elapsed(),
+                        },
+                        dominators,
+                    ));
+                }
+            }
+            Slot::Node(node) => {
+                if entry_pruned(db, query, &kept, k, strict, &node.mbr(), &mut stats, cfg) {
+                    continue;
+                }
+                match node {
+                    Node::Leaf(entries) => {
+                        for e in entries {
+                            if !entry_pruned(db, query, &kept, k, strict, &e.mbr, &mut stats, cfg) {
+                                let key = object_min_dist2(db, query, e.item, &mut stats);
+                                heap.push(HeapItem {
+                                    key,
+                                    slot: Slot::Object(e.item),
+                                });
+                            }
+                        }
+                    }
+                    Node::Inner(children) => {
+                        for c in children {
+                            if !entry_pruned(db, query, &kept, k, strict, &c.mbr, &mut stats, cfg) {
+                                heap.push(HeapItem {
+                                    key: c.mbr.min_dist2(query.mbr()),
+                                    slot: Slot::Node(&c.node),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    KnncResult { candidates: kept, stats }
+}
+
+/// Brute-force oracle: objects dominated by fewer than `k` others.
+pub fn k_nn_candidates_bruteforce(
+    db: &Database,
+    query: &PreparedQuery,
+    op: Operator,
+    k: usize,
+    cfg: &FilterConfig,
+) -> Vec<usize> {
+    assert!(k >= 1, "k must be at least 1");
+    let mut stats = Stats::default();
+    let mut cache = DominanceCache::new(db.len());
+    (0..db.len())
+        .filter(|&v| {
+            let dominators = (0..db.len())
+                .filter(|&u| u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats))
+                .count();
+            dominators < k
+        })
+        .collect()
+}
+
+/// Subtree pruning: discard when at least `k` kept candidates MBR-dominate
+/// the entry (every object inside then has ≥ k dominators).
+#[allow(clippy::too_many_arguments)]
+fn entry_pruned(
+    db: &Database,
+    query: &PreparedQuery,
+    kept: &[(Candidate, usize)],
+    k: usize,
+    strict: bool,
+    e_mbr: &osd_geom::Mbr,
+    stats: &mut Stats,
+    cfg: &FilterConfig,
+) -> bool {
+    if !cfg.mbr_validation {
+        return false;
+    }
+    let mut dominators = 0usize;
+    for (c, _) in kept {
+        stats.mbr_checks += 1;
+        let u_mbr = db.object(c.id).mbr();
+        let dominated = if strict {
+            mbr_dominates_strict(u_mbr, e_mbr, query.mbr())
+        } else {
+            mbr_dominates(u_mbr, e_mbr, query.mbr())
+        };
+        if dominated {
+            dominators += 1;
+            if dominators >= k {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, stats: &mut Stats) -> f64 {
+    let tree = db.local_tree(v);
+    let mut best = f64::INFINITY;
+    for q in query.points() {
+        stats.instance_comparisons += 1;
+        if let Some((_, d)) = tree.nearest(q) {
+            best = best.min(d * d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnc::nn_candidates;
+    use osd_geom::Point;
+    use osd_uncertain::UncertainObject;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    fn line_db() -> Database {
+        // Objects at increasing distance along a line: each dominates all
+        // the ones after it.
+        Database::new(
+            (0..6)
+                .map(|i| {
+                    let x = 2.0 + 3.0 * i as f64;
+                    obj(&[(x, 0.0), (x + 0.5, 0.0)])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn k1_equals_nnc() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        for op in Operator::ALL {
+            let k1 = k_nn_candidates(&db, &q, op, 1, &FilterConfig::all());
+            let nnc = nn_candidates(&db, &q, op, &FilterConfig::all());
+            assert_eq!(k1.ids(), nnc.ids(), "k=1 must equal NNC for {op:?}");
+        }
+    }
+
+    #[test]
+    fn chain_grows_one_per_k() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        // On a dominance chain, NNC_k is exactly the first k objects.
+        for k in 1..=6 {
+            let res = k_nn_candidates(&db, &q, Operator::SSd, k, &FilterConfig::all());
+            let mut ids = res.ids();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..k).collect::<Vec<_>>(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let objects: Vec<UncertainObject> = (0..30)
+            .map(|_| {
+                let cx = rng.gen_range(0.0..100.0);
+                let cy = rng.gen_range(0.0..100.0);
+                obj(&[
+                    (cx, cy),
+                    (cx + rng.gen_range(0.0..5.0), cy + rng.gen_range(0.0..5.0)),
+                ])
+            })
+            .collect();
+        let db = Database::with_fanouts(objects, 4, 2);
+        let q = PreparedQuery::new(obj(&[(50.0, 50.0), (52.0, 48.0)]));
+        for op in Operator::ALL {
+            for k in [1usize, 2, 3, 5] {
+                let mut algo = k_nn_candidates(&db, &q, op, k, &FilterConfig::all()).ids();
+                algo.sort_unstable();
+                let brute = k_nn_candidates_bruteforce(&db, &q, op, k, &FilterConfig::all());
+                assert_eq!(algo, brute, "k-NNC mismatch for {op:?}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let mut prev: Vec<usize> = Vec::new();
+        for k in 1..=6 {
+            let mut ids = k_nn_candidates(&db, &q, Operator::PSd, k, &FilterConfig::all()).ids();
+            ids.sort_unstable();
+            assert!(prev.iter().all(|i| ids.contains(i)), "NNC_k must grow with k");
+            prev = ids;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_rejected() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let _ = k_nn_candidates(&db, &q, Operator::SSd, 0, &FilterConfig::all());
+    }
+}

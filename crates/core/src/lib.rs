@@ -1,0 +1,60 @@
+//! # osd-core
+//!
+//! The primary contribution of *Optimal Spatial Dominance: An Effective
+//! Search of Nearest Neighbor Candidates* (SIGMOD 2015): three spatial
+//! dominance operators — stochastic (S-SD), strict stochastic (SS-SD) and
+//! peer (P-SD) — that are *optimal* (correct and complete) with respect to
+//! growing families of NN functions, plus the F-SD / F⁺-SD baselines and
+//! the NN-candidate computation built on them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use osd_core::{nn_candidates, Database, FilterConfig, Operator, PreparedQuery};
+//! use osd_geom::Point;
+//! use osd_uncertain::UncertainObject;
+//!
+//! let objects = vec![
+//!     UncertainObject::uniform(vec![Point::from([1.0, 1.0]), Point::from([2.0, 1.0])]),
+//!     UncertainObject::uniform(vec![Point::from([8.0, 8.0]), Point::from([9.0, 9.0])]),
+//! ];
+//! let db = Database::new(objects);
+//! let query = PreparedQuery::new(UncertainObject::uniform(vec![Point::from([0.0, 0.0])]));
+//! let result = nn_candidates(&db, &query, Operator::PSd, &FilterConfig::all());
+//! assert_eq!(result.ids(), vec![0]); // the far object is peer-dominated
+//! ```
+//!
+//! ## Structure
+//!
+//! * [`Database`] — objects indexed by a global R-tree plus per-object
+//!   local R-trees (§6's n+1-tree layout);
+//! * [`PreparedQuery`] — the query with its convex hull cached;
+//! * [`Operator`] / [`dominates`] — the five dominance checks with the
+//!   §5.1 filtering techniques, switchable via [`FilterConfig`];
+//! * [`nn_candidates`] / [`ProgressiveNnc`] — Algorithm 1 (batch and
+//!   progressive);
+//! * [`nn_candidates_bruteforce`] — the O(n²) reference oracle;
+//! * [`Stats`] — instance-comparison/flow/MBR counters for the Appendix C
+//!   ablation.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod cache;
+pub mod config;
+pub mod db;
+pub mod explain;
+pub mod knnc;
+pub mod nnc;
+pub mod ops;
+pub mod query;
+
+pub use brute::nn_candidates_bruteforce;
+pub use cache::DominanceCache;
+pub use config::{FilterConfig, Stats};
+pub use db::Database;
+pub use explain::{dominance_matrix, dominators_of};
+pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};
+pub use nnc::{nn_candidates, Candidate, NncResult, ProgressiveNnc};
+pub use ops::{dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate, ss_sd, Operator};
+pub use query::PreparedQuery;

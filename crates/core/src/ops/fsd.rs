@@ -1,0 +1,60 @@
+//! The instance-level F-SD dominance check (§1, implemented per §6).
+//!
+//! `F-SD(U, V, Q)` iff `δ(u, q) ≤ δ(v, q)` for every `u ∈ U`, `v ∈ V`,
+//! `q ∈ Q` — equivalently `δ_max(q, U) ≤ δ_min(q, V)` per query instance.
+//! Only the convex-hull vertices of `Q` need checking (same half-space
+//! argument as P-SD), and each bound is answered by the object's local
+//! R-tree: a furthest-neighbour search on `U` and a nearest-neighbour
+//! search on `V`.
+//!
+//! The paper's F-SD carries no `U_Q ≠ V_Q` side condition, which makes the
+//! literal Definition 6 drop *both* members of an exactly-tied pair
+//! (mutual domination) — leaving the candidate set without any
+//! representative of the tied optimum. We therefore apply the same
+//! equal-distribution guard as the strict operators: an object never
+//! dominates its exact distributional twin. On continuous data (no exact
+//! ties) this is observationally identical to the paper.
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::query::PreparedQuery;
+use crate::ops::strict_guard;
+use osd_geom::mbr_dominates;
+
+pub(crate) fn check(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    if cfg.mbr_validation {
+        stats.mbr_checks += 1;
+        if mbr_dominates(db.object(u).mbr(), db.object(v).mbr(), query.mbr()) {
+            return strict_guard(db, u, v, query, cache, stats);
+        }
+    }
+    let pts = query.eval_points(cfg.geometric);
+    let tree_u = db.local_tree(u);
+    let tree_v = db.local_tree(v);
+    for q in pts {
+        // Cheap MBR bounds first: if even the boxes separate, skip the
+        // tree searches for this query instance.
+        stats.instance_comparisons += 2;
+        let max_u_bound = db.object(u).mbr().max_dist_point(q);
+        let min_v_bound = db.object(v).mbr().min_dist_point(q);
+        if max_u_bound <= min_v_bound {
+            continue;
+        }
+        let (_, d_max_u) = tree_u.furthest(q).expect("objects are non-empty");
+        let (_, d_min_v) = tree_v.nearest(q).expect("objects are non-empty");
+        stats.instance_comparisons += (db.object(u).len() + db.object(v).len()) as u64;
+        if d_max_u > d_min_v {
+            return false;
+        }
+    }
+    strict_guard(db, u, v, query, cache, stats)
+}

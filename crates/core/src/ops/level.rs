@@ -1,0 +1,165 @@
+//! Level-by-level stochastic dominance bounds (§5.1.1, last paragraph):
+//! "Suppose instances of each object are organized by an R-tree, we may
+//! easily extend the above algorithms to conduct dominance check in a
+//! level-by-level fashion."
+//!
+//! At R-tree level ℓ each object is a set of node groups with known MBRs
+//! and probability masses. Placing a group's whole mass at its minimal
+//! (resp. maximal) distance to a query instance yields an *optimistic*
+//! (resp. *pessimistic*) bound distribution:
+//!
+//! ```text
+//! U_opt ⪯_st U_Q ⪯_st U_pes
+//! ```
+//!
+//! which gives, by transitivity of `⪯_st`:
+//!
+//! * **validation** — `U_pes ⪯_st V_opt  ⇒  U_Q ⪯_st V_Q`
+//!   (plus `mean(U_pes) < mean(V_opt)` to certify `U_Q ≠ V_Q`);
+//! * **pruning** — `¬(U_opt ⪯_st V_pes)  ⇒  ¬(U_Q ⪯_st V_Q)`.
+//!
+//! The check descends level by level and stops as soon as either rule
+//! fires; inconclusive descents fall through to the exact scan.
+
+use crate::config::Stats;
+use crate::db::Database;
+use crate::query::PreparedQuery;
+use osd_geom::Mbr;
+use osd_uncertain::stochastic::stochastically_dominates_counted;
+use osd_uncertain::DistanceDistribution;
+
+/// Which distribution the level bounds approximate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Granularity {
+    /// Bounds on the full `U_Q` (for S-SD).
+    Whole,
+    /// Bounds on each `U_q` separately (for SS-SD).
+    PerInstance,
+}
+
+/// Attempts to decide `U_Q ⪯_st V_Q` (strictly, for the SD side condition)
+/// from R-tree node bounds. `Some(true)` = validated, `Some(false)` =
+/// pruned, `None` = inconclusive.
+pub(crate) fn try_decide(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    granularity: Granularity,
+    stats: &mut Stats,
+) -> Option<bool> {
+    let tree_u = db.local_tree(u);
+    let tree_v = db.local_tree(v);
+    let depth = tree_u
+        .height()
+        .unwrap_or(0)
+        .max(tree_v.height().unwrap_or(0));
+    for level in 1..=depth {
+        let gu = tree_u.level_groups(level);
+        let gv = tree_v.level_groups(level);
+        // Once both partitions are down to single instances the bounds are
+        // exact but cost as much as the exact scan — stop early.
+        if gu.len() == db.object(u).len() && gv.len() == db.object(v).len() {
+            return None;
+        }
+        let masses_u = group_masses(db, u, &gu);
+        let masses_v = group_masses(db, v, &gv);
+        match granularity {
+            Granularity::Whole => {
+                let (u_opt, u_pes) = bound_whole(query, &gu, &masses_u, stats);
+                let (v_opt, v_pes) = bound_whole(query, &gv, &masses_v, stats);
+                if validated(&u_pes, &v_opt, stats) {
+                    return Some(true);
+                }
+                if !stochastically_dominates_counted(&u_opt, &v_pes, &mut stats.instance_comparisons)
+                {
+                    return Some(false);
+                }
+            }
+            Granularity::PerInstance => {
+                let mut all_validated = true;
+                for q in query.object().instances() {
+                    let (u_opt, u_pes) = bound_instance(&q.point, &gu, &masses_u, stats);
+                    let (v_opt, v_pes) = bound_instance(&q.point, &gv, &masses_v, stats);
+                    if !stochastically_dominates_counted(
+                        &u_opt,
+                        &v_pes,
+                        &mut stats.instance_comparisons,
+                    ) {
+                        return Some(false);
+                    }
+                    if all_validated && !validated(&u_pes, &v_opt, stats) {
+                        all_validated = false;
+                    }
+                }
+                if all_validated {
+                    return Some(true);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn group_masses(db: &Database, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<f64> {
+    let obj = db.object(id);
+    groups
+        .iter()
+        .map(|(_, items)| items.iter().map(|&&i| obj.instances()[i].prob).sum())
+        .collect()
+}
+
+/// Optimistic / pessimistic bounds on the whole `U_Q`.
+fn bound_whole(
+    query: &PreparedQuery,
+    groups: &[(Mbr, Vec<&usize>)],
+    masses: &[f64],
+    stats: &mut Stats,
+) -> (DistanceDistribution, DistanceDistribution) {
+    let mut lo = Vec::with_capacity(groups.len() * query.len());
+    let mut hi = Vec::with_capacity(groups.len() * query.len());
+    for q in query.object().instances() {
+        for ((mbr, _), &mass) in groups.iter().zip(masses) {
+            stats.instance_comparisons += 2;
+            lo.push((mbr.min_dist_point(&q.point), q.prob * mass));
+            hi.push((mbr.max_dist_point(&q.point), q.prob * mass));
+        }
+    }
+    (
+        DistanceDistribution::from_atoms(lo),
+        DistanceDistribution::from_atoms(hi),
+    )
+}
+
+/// Optimistic / pessimistic bounds on a single `U_q`.
+fn bound_instance(
+    q: &osd_geom::Point,
+    groups: &[(Mbr, Vec<&usize>)],
+    masses: &[f64],
+    stats: &mut Stats,
+) -> (DistanceDistribution, DistanceDistribution) {
+    let mut lo = Vec::with_capacity(groups.len());
+    let mut hi = Vec::with_capacity(groups.len());
+    for ((mbr, _), &mass) in groups.iter().zip(masses) {
+        stats.instance_comparisons += 2;
+        lo.push((mbr.min_dist_point(q), mass));
+        hi.push((mbr.max_dist_point(q), mass));
+    }
+    (
+        DistanceDistribution::from_atoms(lo),
+        DistanceDistribution::from_atoms(hi),
+    )
+}
+
+/// Validation with a strictness certificate: pessimistic-U dominating
+/// optimistic-V proves `U_Q ⪯_st V_Q`; a strictly smaller mean proves
+/// `U_Q ≠ V_Q` on top.
+fn validated(
+    u_pes: &DistanceDistribution,
+    v_opt: &DistanceDistribution,
+    stats: &mut Stats,
+) -> bool {
+    stats.instance_comparisons += 1;
+    u_pes.mean() < v_opt.mean()
+        && stochastically_dominates_counted(u_pes, v_opt, &mut stats.instance_comparisons)
+}

@@ -1,0 +1,167 @@
+//! The spatial dominance operators (§2, §5.1).
+//!
+//! * [`Operator`] selects among S-SD, SS-SD, P-SD, F-SD and F⁺-SD;
+//! * [`dominates`] runs the configured dominance check between two objects
+//!   of a [`Database`] with shared caching;
+//! * `s_sd` / `ss_sd` / `p_sd` / `f_sd` / `f_plus_sd` are standalone
+//!   convenience wrappers over raw objects.
+
+mod fsd;
+mod level;
+mod psd;
+pub mod sphere;
+mod ssd;
+mod sssd;
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::query::PreparedQuery;
+use osd_uncertain::UncertainObject;
+
+pub use psd::peer_network_flow;
+pub use sphere::{enclosing_ball, sphere_validate};
+
+/// The spatial dominance operators, ordered from strongest dominance
+/// condition (fewest dominations, most candidates) to weakest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operator {
+    /// Full spatial dominance on MBRs (Emrich et al. \[16\]) — the F⁺-SD
+    /// baseline of §6.
+    FPlusSd,
+    /// Full spatial dominance on instances (§1, §6).
+    FSd,
+    /// Peer spatial dominance (Definition 5) — optimal w.r.t. N1 ∪ N2 ∪ N3.
+    PSd,
+    /// Strict stochastic spatial dominance (Definition 3) — optimal w.r.t.
+    /// N1 ∪ N2.
+    SsSd,
+    /// Stochastic spatial dominance (Definition 2) — optimal w.r.t. N1.
+    SSd,
+}
+
+impl Operator {
+    /// All five operators in the paper's presentation order
+    /// (SSD, SSSD, PSD, FSD, F⁺SD).
+    pub const ALL: [Operator; 5] = [
+        Operator::SSd,
+        Operator::SsSd,
+        Operator::PSd,
+        Operator::FSd,
+        Operator::FPlusSd,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Operator::SSd => "SSD",
+            Operator::SsSd => "SSSD",
+            Operator::PSd => "PSD",
+            Operator::FSd => "FSD",
+            Operator::FPlusSd => "F+SD",
+        }
+    }
+}
+
+/// Checks whether object `u` dominates object `v` w.r.t. `query` under
+/// `op`, using the configured filters and the shared per-query `cache`.
+#[allow(clippy::too_many_arguments)] // mirrors SD(U, V, Q) plus the check context
+pub fn dominates(
+    op: Operator,
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    debug_assert_ne!(u, v, "an object is never checked against itself");
+    stats.dominance_checks += 1;
+    match op {
+        Operator::SSd => ssd::check(db, u, v, query, cfg, cache, stats),
+        Operator::SsSd => sssd::check(db, u, v, query, cfg, cache, stats),
+        Operator::PSd => psd::check(db, u, v, query, cfg, cache, stats),
+        Operator::FSd => fsd::check(db, u, v, query, cfg, cache, stats),
+        Operator::FPlusSd => {
+            // MBR-level antisymmetry guard: mutual MBR dominance only occurs
+            // for exactly-tied configurations (equidistant degenerate boxes),
+            // where neither object should exclude the other — the same
+            // equal-twin rationale as the instance-level guard in `fsd`.
+            stats.mbr_checks += 2;
+            osd_geom::mbr_dominates(db.object(u).mbr(), db.object(v).mbr(), query.mbr())
+                && !osd_geom::mbr_dominates(db.object(v).mbr(), db.object(u).mbr(), query.mbr())
+        }
+    }
+}
+
+/// Cover-based validation (Theorem 4), shared by the strict operators: the
+/// *strict* MBR dominance test guarantees `U_Q ≠ V_Q` on top of full spatial
+/// dominance, so it validates S-SD, SS-SD and P-SD exactly.
+pub(crate) fn validate_mbr(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    stats: &mut Stats,
+) -> bool {
+    stats.mbr_checks += 1;
+    osd_geom::mbr_dominates_strict(db.object(u).mbr(), db.object(v).mbr(), query.mbr())
+}
+
+/// Strictness guard for the exact dominance paths: Definitions 2/3/5
+/// additionally require `U_Q ≠ V_Q`. Only evaluated on the "dominates"
+/// path, so the extra distribution build amortises to at most one per
+/// discarded object.
+pub(crate) fn strict_guard(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    let du = cache.dist_q(db, query, u, stats);
+    let dv = cache.dist_q(db, query, v, stats);
+    stats.instance_comparisons += du.support_size().min(dv.support_size()) as u64;
+    !du.approx_eq(&dv, osd_uncertain::CDF_EPS)
+}
+
+macro_rules! standalone {
+    ($(#[$doc:meta])* $name:ident, $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(u: &UncertainObject, v: &UncertainObject, q: &UncertainObject) -> bool {
+            let db = Database::new(vec![u.clone(), v.clone()]);
+            let query = PreparedQuery::new(q.clone());
+            let mut cache = DominanceCache::new(2);
+            let mut stats = Stats::default();
+            dominates($op, &db, 0, 1, &query, &FilterConfig::all(), &mut cache, &mut stats)
+        }
+    };
+}
+
+standalone!(
+    /// Standalone stochastic spatial dominance check: `S-SD(u, v, q)`.
+    s_sd,
+    Operator::SSd
+);
+standalone!(
+    /// Standalone strict stochastic spatial dominance check: `SS-SD(u, v, q)`.
+    ss_sd,
+    Operator::SsSd
+);
+standalone!(
+    /// Standalone peer spatial dominance check: `P-SD(u, v, q)`.
+    p_sd,
+    Operator::PSd
+);
+standalone!(
+    /// Standalone instance-level full spatial dominance check: `F-SD(u, v, q)`.
+    f_sd,
+    Operator::FSd
+);
+standalone!(
+    /// Standalone MBR-level full spatial dominance check: `F⁺-SD(u, v, q)`.
+    f_plus_sd,
+    Operator::FPlusSd
+);

@@ -1,0 +1,268 @@
+//! The P-SD dominance check (Definition 5, §5.1.2).
+//!
+//! `P-SD(U, V, Q)` holds iff there is a match `M_{U,V}` with
+//! `t.u ⪯_Q t.v` for every tuple, and `U_Q ≠ V_Q`. By Theorem 12 the match
+//! exists iff the bipartite network — source→`u` with capacity `p(u)`,
+//! `v`→sink with capacity `p(v)`, `u`→`v` with capacity ∞ iff `u ⪯_Q v` —
+//! carries a max-flow of value 1 (here: the fixed-point total `SCALE`).
+//!
+//! Filter stack, in order:
+//! 1. cover-based validation via strict MBR dominance (Theorem 4);
+//! 2. cover-based pruning through S-SD and SS-SD (`P-SD ⊂ SS-SD ⊂ S-SD`);
+//! 3. geometric early reject: an instance of `V` inside `CH(Q)` can only be
+//!    matched by a coincident instance of `U`;
+//! 4. level-by-level pruning/validation over local R-tree nodes with the
+//!    optimistic (`G⁺`) and pessimistic (`G⁻`) networks;
+//! 5. the exact instance network, built either by nested `⪯_Q` scans over
+//!    the hull vertices or by R-tree range queries in distance space.
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::{strict_guard, validate_mbr};
+use crate::query::PreparedQuery;
+use osd_flow::MaxFlow;
+use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr, Point};
+use osd_uncertain::{UncertainObject, SCALE};
+
+/// Hull sizes up to this use the distance-space R-tree strategy for network
+/// construction; larger hulls fall back to direct scans (high-dimensional
+/// R-trees stop paying off).
+const MAX_MAPPED_DIM: usize = 8;
+
+pub(crate) fn check(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    // 1. Cover-based validation (Theorem 4).
+    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+        return true;
+    }
+
+    // 2. Statistic-based pruning (Theorem 11, via the cover chain): P-SD
+    //    implies S-SD and SS-SD, so any inverted min/mean/max statistic of
+    //    the (cached) distance distributions disproves P-SD at the cost of
+    //    a few comparisons.
+    if cfg.pruning {
+        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
+        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
+        stats.instance_comparisons += 3;
+        if min_u > min_v || mean_u > mean_v || max_u > max_v {
+            return false;
+        }
+        let agg_u = cache.per_q_agg(db, query, u, stats);
+        let agg_v = cache.per_q_agg(db, query, v, stats);
+        stats.instance_comparisons += 3 * agg_u.len() as u64;
+        for (a, b) in agg_u.iter().zip(agg_v.iter()) {
+            if a.0 > b.0 || a.1 > b.1 || a.2 > b.2 {
+                return false;
+            }
+        }
+    }
+
+    // 3. Geometric early reject: instances of V inside CH(Q) are only
+    //    dominated by coincident instances of U.
+    if cfg.geometric {
+        let blocked = cache.in_hull_instances(db, query, v, stats);
+        if !blocked.is_empty() {
+            let uo = db.object(u);
+            for &vi in blocked.iter() {
+                let vp = &db.object(v).instances()[vi].point;
+                stats.instance_comparisons += uo.len() as u64;
+                let coincident = uo.instances().iter().any(|ui| ui.point == *vp);
+                if !coincident {
+                    return false;
+                }
+            }
+        }
+    }
+
+    // 4. Level-by-level pruning/validation over local R-tree nodes.
+    if cfg.level_by_level {
+        let quanta_u = cache.quanta(db, u);
+        let quanta_v = cache.quanta(db, v);
+        let tree_u = db.local_tree(u);
+        let tree_v = db.local_tree(v);
+        let depth = tree_u
+            .height()
+            .unwrap_or(0)
+            .max(tree_v.height().unwrap_or(0));
+        for level in 1..=depth {
+            let gu = tree_u.level_groups(level);
+            let gv = tree_v.level_groups(level);
+            let caps_u: Vec<u64> = gu
+                .iter()
+                .map(|(_, items)| items.iter().map(|&&i| quanta_u[i]).sum())
+                .collect();
+            let caps_v: Vec<u64> = gv
+                .iter()
+                .map(|(_, items)| items.iter().map(|&&i| quanta_v[i]).sum())
+                .collect();
+            stats.mbr_checks += (gu.len() * gv.len()) as u64;
+
+            // Pessimistic network G⁻: group-level full dominance implies
+            // every contained instance pair relates; flow 1 validates P-SD.
+            let val_edges = group_edges(&gu, &gv, |mu, mv| {
+                mbr_dominates(mu, mv, query.mbr())
+            });
+            if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, stats) {
+                return strict_guard(db, u, v, query, cache, stats);
+            }
+
+            // Optimistic network G⁺: an edge survives unless V's group
+            // *strictly* dominates U's (which forbids even tie edges);
+            // failing to saturate disproves P-SD.
+            let prune_edges = group_edges(&gu, &gv, |mu, mv| {
+                !mbr_dominates_strict(mv, mu, query.mbr())
+            });
+            if !saturates(&caps_u, &caps_v, &prune_edges, stats) {
+                return false;
+            }
+        }
+    }
+
+    // 5. Cover-based pruning with the full scans: ¬S-SD ⇒ ¬P-SD and
+    //    ¬SS-SD ⇒ ¬P-SD (Theorem 2). Run after the cheaper filters so the
+    //    O(m|Q|) scans only pay when everything else was inconclusive but
+    //    before the O(m²) exact network.
+    if cfg.pruning {
+        if !super::ssd::check(db, u, v, query, cfg, cache, stats) {
+            return false;
+        }
+        if !super::sssd::check(db, u, v, query, cfg, cache, stats) {
+            return false;
+        }
+    }
+
+    // 6. Exact instance-level network (Theorem 12).
+    let quanta_u = cache.quanta(db, u);
+    let quanta_v = cache.quanta(db, v);
+    let pts = query.eval_points(cfg.geometric);
+    let uo = db.object(u);
+    let vo = db.object(v);
+
+    let edges: Vec<(usize, usize)> = if cfg.geometric && query.hull().len() <= MAX_MAPPED_DIM {
+        // Distance-space strategy: u ⪯_Q v ⟺ u's image is coordinate-wise
+        // below v's image; answered per v by a containment range query.
+        let mapped_u = cache.mapped(db, query, u, stats);
+        let mapped_v = cache.mapped(db, query, v, stats);
+        let k = query.hull().len();
+        let mut edges = Vec::new();
+        for (j, v_img) in mapped_v.0.iter().enumerate() {
+            let range = Mbr::new(vec![0.0; k], v_img.coords().to_vec());
+            let hits = mapped_u.1.range_contained(&range);
+            stats.instance_comparisons += (hits.len() + 1) as u64;
+            edges.extend(hits.into_iter().map(|&i| (i, j)));
+        }
+        edges
+    } else {
+        let mut edges = Vec::new();
+        for (i, ui) in uo.instances().iter().enumerate() {
+            for (j, vj) in vo.instances().iter().enumerate() {
+                if closer_counted(&ui.point, &vj.point, pts, stats) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges
+    };
+
+    saturates(&quanta_u, &quanta_v, &edges, stats) && strict_guard(db, u, v, query, cache, stats)
+}
+
+/// `δ(u, q) ≤ δ(v, q)` for every evaluation point, with comparison counting.
+fn closer_counted(u: &Point, v: &Point, pts: &[Point], stats: &mut Stats) -> bool {
+    for q in pts {
+        stats.instance_comparisons += 1;
+        if u.dist2(q) > v.dist2(q) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Edges between group lists under `relate`.
+fn group_edges<T>(
+    gu: &[(Mbr, Vec<T>)],
+    gv: &[(Mbr, Vec<T>)],
+    relate: impl Fn(&Mbr, &Mbr) -> bool,
+) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for (i, (mu, _)) in gu.iter().enumerate() {
+        for (j, (mv, _)) in gv.iter().enumerate() {
+            if relate(mu, mv) {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+/// Runs the bipartite max-flow: `true` iff all `SCALE` units route.
+fn saturates(caps_u: &[u64], caps_v: &[u64], edges: &[(usize, usize)], stats: &mut Stats) -> bool {
+    // Cheap necessary condition: every positive-mass u needs an edge.
+    let mut has_edge = vec![false; caps_u.len()];
+    for &(i, _) in edges {
+        has_edge[i] = true;
+    }
+    if has_edge
+        .iter()
+        .zip(caps_u.iter())
+        .any(|(&h, &c)| c > 0 && !h)
+    {
+        return false;
+    }
+    stats.flow_runs += 1;
+    let nu = caps_u.len();
+    let nv = caps_v.len();
+    let s = nu + nv;
+    let t = s + 1;
+    let mut g = MaxFlow::new(nu + nv + 2);
+    for (i, &c) in caps_u.iter().enumerate() {
+        g.add_edge(s, i, c);
+    }
+    for (j, &c) in caps_v.iter().enumerate() {
+        g.add_edge(nu + j, t, c);
+    }
+    for &(i, j) in edges {
+        g.add_edge(i, nu + j, u64::MAX / 4);
+    }
+    g.max_flow(s, t) == SCALE
+}
+
+/// Builds the exact Theorem-12 network for two raw objects and returns
+/// `(max_flow, SCALE)` — exposed so tests can exercise the reduction
+/// directly.
+pub fn peer_network_flow(
+    u: &UncertainObject,
+    v: &UncertainObject,
+    query: &UncertainObject,
+) -> (u64, u64) {
+    let q_pts = query.points();
+    let quanta_u = osd_uncertain::quantize(&u.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let quanta_v = osd_uncertain::quantize(&v.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let nu = u.len();
+    let nv = v.len();
+    let s = nu + nv;
+    let t = s + 1;
+    let mut g = MaxFlow::new(nu + nv + 2);
+    for (i, &c) in quanta_u.iter().enumerate() {
+        g.add_edge(s, i, c);
+    }
+    for (j, &c) in quanta_v.iter().enumerate() {
+        g.add_edge(nu + j, t, c);
+    }
+    for (i, ui) in u.instances().iter().enumerate() {
+        for (j, vj) in v.instances().iter().enumerate() {
+            if osd_geom::closer_to_all(&ui.point, &vj.point, &q_pts) {
+                g.add_edge(i, nu + j, u64::MAX / 4);
+            }
+        }
+    }
+    (g.max_flow(s, t), SCALE)
+}

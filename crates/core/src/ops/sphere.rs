@@ -1,0 +1,88 @@
+//! Hypersphere-based validation (the alternative approximation of
+//! Long et al. \[25\], noted after Theorem 4: "filtering technique in \[25\]
+//! may also be applied if objects are approximated by hyperspheres").
+//!
+//! Objects are approximated by their minimal enclosing balls; the
+//! triangle-inequality sphere test then certifies full spatial dominance
+//! of the underlying instance sets, which by Theorem 4 validates every SD
+//! operator. The test is *sound but not tight* (Long et al.'s optimal
+//! decision is their paper's contribution), so it is offered as an extra
+//! validation primitive rather than wired into the default filter stack —
+//! the MBR validation of \[16\] is tight and already the default.
+
+use osd_geom::sphere::{min_enclosing_ball, sphere_dominates_sufficient, Sphere};
+use osd_uncertain::UncertainObject;
+
+/// The minimal enclosing ball of an object's instances.
+pub fn enclosing_ball(object: &UncertainObject) -> Sphere {
+    min_enclosing_ball(&object.points())
+}
+
+/// Sphere-level validation: `true` certifies `F-SD(U, V, Q)` on the raw
+/// instance sets (and hence, by Theorem 4, P-SD / SS-SD / S-SD except for
+/// the measure-zero `U_Q = V_Q` tie, which strict callers must still
+/// guard). `false` is inconclusive.
+pub fn sphere_validate(u: &UncertainObject, v: &UncertainObject, q: &UncertainObject) -> bool {
+    sphere_dominates_sufficient(&enclosing_ball(u), &enclosing_ball(v), &enclosing_ball(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{f_sd, p_sd, s_sd, ss_sd};
+    use osd_geom::Point;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    #[test]
+    fn validation_implies_every_operator() {
+        let q = obj(&[(0.0, 0.0), (1.0, 1.0)]);
+        let u = obj(&[(0.5, 0.5), (1.0, 0.5)]);
+        let v = obj(&[(40.0, 40.0), (41.0, 41.0)]);
+        assert!(sphere_validate(&u, &v, &q));
+        assert!(f_sd(&u, &v, &q));
+        assert!(p_sd(&u, &v, &q));
+        assert!(ss_sd(&u, &v, &q));
+        assert!(s_sd(&u, &v, &q));
+    }
+
+    #[test]
+    fn inconclusive_on_overlap() {
+        let q = obj(&[(0.0, 0.0)]);
+        let u = obj(&[(1.0, 0.0), (3.0, 0.0)]);
+        let v = obj(&[(2.0, 0.0), (4.0, 0.0)]);
+        assert!(!sphere_validate(&u, &v, &q));
+    }
+
+    /// The sphere test is strictly weaker than the exact MBR test on boxy
+    /// data (it wraps the box corners into a bigger ball), so it must never
+    /// fire when F-SD itself does not hold.
+    #[test]
+    fn soundness_spot_checks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut fired = 0;
+        for _ in 0..200 {
+            let mk = |rng: &mut StdRng, cx: f64, cy: f64, s: f64| {
+                obj(&[
+                    (cx + rng.gen_range(-s..s), cy + rng.gen_range(-s..s)),
+                    (cx + rng.gen_range(-s..s), cy + rng.gen_range(-s..s)),
+                ])
+            };
+            let (ux, uy) = (rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let (vx, vy) = (rng.gen_range(0.0..60.0), rng.gen_range(0.0..60.0));
+            let (qx, qy) = (rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0));
+            let u = mk(&mut rng, ux, uy, 2.0);
+            let v = mk(&mut rng, vx, vy, 2.0);
+            let q = mk(&mut rng, qx, qy, 2.0);
+            if sphere_validate(&u, &v, &q) {
+                fired += 1;
+                assert!(f_sd(&u, &v, &q), "sphere validation fired on a non-dominating pair");
+            }
+        }
+        assert!(fired > 0, "the spot check never exercised the positive path");
+    }
+}

@@ -1,0 +1,52 @@
+//! The S-SD dominance check (Definition 2, §5.1.1).
+//!
+//! `S-SD(U, V, Q)` iff `U_Q ⪯_st V_Q` and `U_Q ≠ V_Q`. Decided by a single
+//! merged scan of the sorted pairwise distances, with:
+//!
+//! * cover-based *validation* via strict MBR dominance (Theorem 4);
+//! * statistic-based *pruning* on min/mean/max (Theorem 11).
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::{strict_guard, validate_mbr};
+use crate::query::PreparedQuery;
+use osd_uncertain::stochastic::stochastically_dominates_counted;
+
+pub(crate) fn check(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    // Cover-based validation (Theorem 4).
+    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+        return true;
+    }
+    // Statistic-based pruning (Theorem 11): any inverted statistic disproves
+    // stochastic dominance.
+    if cfg.pruning {
+        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
+        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
+        stats.instance_comparisons += 3;
+        if min_u > min_v || mean_u > mean_v || max_u > max_v {
+            return false;
+        }
+    }
+    // Level-by-level bounds over the local R-tree nodes (§5.1.1).
+    if cfg.level_by_level {
+        if let Some(decision) =
+            super::level::try_decide(db, u, v, query, super::level::Granularity::Whole, stats)
+        {
+            return decision;
+        }
+    }
+    // Full single-scan check.
+    let du = cache.dist_q(db, query, u, stats);
+    let dv = cache.dist_q(db, query, v, stats);
+    stochastically_dominates_counted(&du, &dv, &mut stats.instance_comparisons)
+        && strict_guard(db, u, v, query, cache, stats)
+}

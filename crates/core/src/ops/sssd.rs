@@ -1,0 +1,72 @@
+//! The SS-SD dominance check (Definition 3, §5.1.1).
+//!
+//! `SS-SD(U, V, Q)` iff `U_q ⪯_st V_q` for **every** query instance `q`,
+//! and `U_Q ≠ V_Q`. One merged scan per query instance, with:
+//!
+//! * cover-based validation via strict MBR dominance (Theorem 4);
+//! * statistic-based pruning per query instance (Theorem 11);
+//! * cover-based pruning through S-SD: `¬S-SD(U,V,Q) ⇒ ¬SS-SD(U,V,Q)`
+//!   (SS-SD ⊂ S-SD, Theorem 2) — the aggregate statistics of `U_Q` give a
+//!   cheap necessary condition before the per-instance scans run.
+
+use crate::cache::DominanceCache;
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::{strict_guard, validate_mbr};
+use crate::query::PreparedQuery;
+use osd_uncertain::stochastic::stochastically_dominates_counted;
+
+pub(crate) fn check(
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
+    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+        return true;
+    }
+    if cfg.pruning {
+        // Cover-based pruning via the S-SD statistics: SS-SD implies S-SD,
+        // so any inverted aggregate statistic of U_Q vs V_Q disproves SS-SD.
+        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
+        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
+        stats.instance_comparisons += 3;
+        if min_u > min_v || mean_u > mean_v || max_u > max_v {
+            return false;
+        }
+        // Per-query-instance statistic pruning.
+        let agg_u = cache.per_q_agg(db, query, u, stats);
+        let agg_v = cache.per_q_agg(db, query, v, stats);
+        stats.instance_comparisons += 3 * agg_u.len() as u64;
+        for (a, b) in agg_u.iter().zip(agg_v.iter()) {
+            if a.0 > b.0 || a.1 > b.1 || a.2 > b.2 {
+                return false;
+            }
+        }
+    }
+    // Level-by-level bounds per query instance (§5.1.1).
+    if cfg.level_by_level {
+        if let Some(decision) = super::level::try_decide(
+            db,
+            u,
+            v,
+            query,
+            super::level::Granularity::PerInstance,
+            stats,
+        ) {
+            return decision;
+        }
+    }
+    // Full check: one scan per query instance.
+    let du = cache.per_q(db, query, u, stats);
+    let dv = cache.per_q(db, query, v, stats);
+    for (x, y) in du.iter().zip(dv.iter()) {
+        if !stochastically_dominates_counted(x, y, &mut stats.instance_comparisons) {
+            return false;
+        }
+    }
+    strict_guard(db, u, v, query, cache, stats)
+}

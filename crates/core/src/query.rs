@@ -1,0 +1,119 @@
+//! Prepared query objects.
+//!
+//! A query is itself a multi-instance object. Preparing it once extracts the
+//! convex-hull vertices of its instances — by the half-space argument of
+//! §5.1.2 the `u ⪯_Q v` relation (and hence the F-SD and P-SD checks) only
+//! depends on those — and caches the query MBR used by every MBR-level test.
+
+use osd_geom::{hull_vertices, Mbr, Point};
+use osd_uncertain::UncertainObject;
+
+/// A query with its derived geometry cached.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    object: UncertainObject,
+    hull: Vec<Point>,
+    all_points: Vec<Point>,
+}
+
+impl PreparedQuery {
+    /// Prepares a query object: computes hull vertices and caches points.
+    pub fn new(object: UncertainObject) -> Self {
+        let all_points = object.points();
+        let hull = hull_vertices(&all_points);
+        PreparedQuery { object, hull, all_points }
+    }
+
+    /// The underlying query object.
+    pub fn object(&self) -> &UncertainObject {
+        &self.object
+    }
+
+    /// All query instance points.
+    pub fn points(&self) -> &[Point] {
+        &self.all_points
+    }
+
+    /// Convex-hull vertices of the query instances.
+    pub fn hull(&self) -> &[Point] {
+        &self.hull
+    }
+
+    /// The evaluation points for `⪯_Q` tests: hull vertices when the
+    /// geometric optimisation is on, every instance otherwise. Both choices
+    /// decide the relation identically (§5.1.2); the hull is just smaller.
+    pub fn eval_points(&self, geometric: bool) -> &[Point] {
+        if geometric {
+            &self.hull
+        } else {
+            &self.all_points
+        }
+    }
+
+    /// The query MBR.
+    pub fn mbr(&self) -> &Mbr {
+        self.object.mbr()
+    }
+
+    /// Number of query instances (`|Q|`).
+    pub fn len(&self) -> usize {
+        self.object.len()
+    }
+
+    /// Never true: the underlying object is non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl From<UncertainObject> for PreparedQuery {
+    fn from(o: UncertainObject) -> Self {
+        PreparedQuery::new(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    #[test]
+    fn hull_is_subset_of_points() {
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![
+            p2(0.0, 0.0),
+            p2(4.0, 0.0),
+            p2(4.0, 4.0),
+            p2(0.0, 4.0),
+            p2(2.0, 2.0), // interior instance
+        ]));
+        assert_eq!(q.points().len(), 5);
+        assert_eq!(q.hull().len(), 4);
+        assert_eq!(q.eval_points(true).len(), 4);
+        assert_eq!(q.eval_points(false).len(), 5);
+    }
+
+    #[test]
+    fn hull_reduction_preserves_closer_relation() {
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![
+            p2(0.0, 0.0),
+            p2(6.0, 0.0),
+            p2(3.0, 5.0),
+            p2(3.0, 2.0), // interior
+        ]));
+        let u = p2(-1.0, 0.0);
+        let v = p2(9.0, 9.0);
+        let full = osd_geom::closer_to_all(&u, &v, q.eval_points(false));
+        let hull = osd_geom::closer_to_all(&u, &v, q.eval_points(true));
+        assert_eq!(full, hull);
+    }
+
+    #[test]
+    fn single_instance_query() {
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![p2(1.0, 1.0)]));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.hull().len(), 1);
+    }
+}

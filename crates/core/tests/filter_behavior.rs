@@ -1,0 +1,171 @@
+//! Behavioural tests of the §5.1 filtering fast paths, observed through the
+//! cost counters: the point is not just that the filters are *correct*
+//! (operator_props covers that) but that they actually *fire* — validation
+//! decides far-apart pairs without touching instances, statistic pruning
+//! kills inverted pairs cheaply, and the level-by-level bounds resolve
+//! node-separable pairs before the exact scans.
+
+use osd_core::{dominates, Database, DominanceCache, FilterConfig, Operator, PreparedQuery, Stats};
+use osd_geom::Point;
+use osd_uncertain::UncertainObject;
+
+fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+    UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+}
+
+/// A pair separated far beyond the query extent: strict MBR validation must
+/// decide every operator without any instance comparisons.
+#[test]
+fn mbr_validation_decides_far_pairs_for_free() {
+    let db = Database::new(vec![
+        obj(&[(0.0, 0.0), (1.0, 1.0), (0.5, 0.8)]),
+        obj(&[(500.0, 500.0), (501.0, 499.0), (500.5, 500.5)]),
+    ]);
+    let q = PreparedQuery::new(obj(&[(0.0, 1.0), (1.0, 0.0)]));
+    for op in [Operator::SSd, Operator::SsSd, Operator::PSd] {
+        let mut cache = DominanceCache::new(2);
+        let mut stats = Stats::default();
+        assert!(dominates(op, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats));
+        assert_eq!(
+            stats.instance_comparisons, 0,
+            "{op:?} should be decided by MBR validation alone"
+        );
+        assert!(stats.mbr_checks >= 1);
+    }
+}
+
+/// An inverted pair (candidate farther than the probe) with overlapping
+/// boxes: statistic pruning must reject it without running the full scan.
+/// The statistic path still builds the cached distributions once, so the
+/// comparison count is bounded by the build cost plus a constant rather
+/// than by a full merged scan per query instance.
+#[test]
+fn statistic_pruning_rejects_inverted_pairs_cheaply() {
+    // u is farther overall (its min distance already exceeds v's max).
+    let u = obj(&[(10.0, 0.0), (12.0, 0.0)]);
+    let v = obj(&[(1.0, 0.0), (2.0, 0.0)]);
+    let db = Database::new(vec![u, v]);
+    let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+    let mut cache = DominanceCache::new(2);
+    let mut stats = Stats::default();
+    let cfg = FilterConfig { level_by_level: false, ..FilterConfig::all() };
+    assert!(!dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    // Build cost: 2 instances × 1 query instance per object = 4, plus the
+    // 3 statistic comparisons. A full scan would add ≥ 2 more per pair.
+    assert!(
+        stats.instance_comparisons <= 4 + 3,
+        "expected the statistic path only, got {} comparisons",
+        stats.instance_comparisons
+    );
+}
+
+/// With everything disabled (BF), the same decision costs strictly more
+/// instance comparisons than the full filter stack on a non-trivial pair.
+#[test]
+fn full_stack_is_cheaper_than_bruteforce() {
+    let u = obj(&[(1.0, 0.0), (2.0, 1.0), (1.5, 0.5), (0.5, 1.5)]);
+    let v = obj(&[(6.0, 0.0), (7.0, 1.0), (6.5, 0.5), (5.5, 1.5)]);
+    let db = Database::new(vec![u, v]);
+    let q = PreparedQuery::new(obj(&[(0.0, 0.0), (0.5, 0.5), (1.0, 0.0)]));
+    let run = |cfg: &FilterConfig| {
+        let mut cache = DominanceCache::new(2);
+        let mut stats = Stats::default();
+        let d = dominates(Operator::PSd, &db, 0, 1, &q, cfg, &mut cache, &mut stats);
+        (d, stats.instance_comparisons)
+    };
+    let (d_bf, c_bf) = run(&FilterConfig::bf());
+    let (d_all, c_all) = run(&FilterConfig::all());
+    assert_eq!(d_bf, d_all, "filters must not change the verdict");
+    assert!(
+        c_all < c_bf,
+        "full stack ({c_all}) should beat brute force ({c_bf})"
+    );
+}
+
+/// Level-by-level bounds resolve pairs whose local R-tree nodes separate,
+/// without building the exact distributions.
+#[test]
+fn level_bounds_decide_node_separable_pairs() {
+    // Two tight clusters per object, many instances, well separated: the
+    // level-1 node MBRs already order the distributions.
+    let mk = |cx: f64| {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push((cx + (i % 3) as f64 * 0.1, (i / 3) as f64 * 0.1));
+        }
+        obj(&pts)
+    };
+    let db = Database::new(vec![mk(5.0), mk(50.0)]);
+    let q = PreparedQuery::new(obj(&[(0.0, 0.0), (1.0, 0.0)]));
+    // Disable MBR validation so the level path is the first resolver.
+    let cfg = FilterConfig { mbr_validation: false, ..FilterConfig::all() };
+    let mut cache = DominanceCache::new(2);
+    let mut stats = Stats::default();
+    assert!(dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    // The full distributions have 8 × 2 = 16 atoms each; deciding at the
+    // node level must use far fewer comparisons than two 16-atom builds
+    // plus a 16-vs-16 merged scan (~48); statistic pruning builds them
+    // anyway, so check the level path fires before any exact scan by
+    // disabling pruning as well.
+    let cfg = FilterConfig {
+        mbr_validation: false,
+        pruning: false,
+        ..FilterConfig::all()
+    };
+    let mut cache = DominanceCache::new(2);
+    let mut stats = Stats::default();
+    assert!(dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    assert!(
+        stats.instance_comparisons < 32,
+        "level bounds should decide before exact builds, got {}",
+        stats.instance_comparisons
+    );
+}
+
+/// The P-SD in-hull geometric reject fires: an instance of V strictly
+/// inside CH(Q) with no coincident U instance makes P-SD false without a
+/// flow computation.
+#[test]
+fn in_hull_reject_skips_the_flow() {
+    let u = obj(&[(10.0, 10.0), (11.0, 11.0)]);
+    // v1 sits inside the query hull.
+    let v = obj(&[(1.0, 1.0), (12.0, 12.0)]);
+    let q = PreparedQuery::new(obj(&[(0.0, 0.0), (3.0, 0.0), (0.0, 3.0), (3.0, 3.0)]));
+    let db = Database::new(vec![u, v]);
+    let cfg = FilterConfig {
+        mbr_validation: false,
+        pruning: false,
+        level_by_level: false,
+        geometric: true,
+    };
+    let mut cache = DominanceCache::new(2);
+    let mut stats = Stats::default();
+    assert!(!dominates(Operator::PSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    assert_eq!(stats.flow_runs, 0, "the in-hull reject should avoid max-flow");
+}
+
+/// Caching across pairwise checks: the second check against the same
+/// candidate reuses the cached distributions.
+#[test]
+fn cache_amortises_repeated_checks() {
+    let db = Database::new(vec![
+        obj(&[(1.0, 0.0), (2.0, 0.0)]),
+        obj(&[(3.0, 0.0), (4.0, 0.0)]),
+        obj(&[(5.0, 0.0), (6.0, 0.0)]),
+    ]);
+    let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+    let cfg = FilterConfig { mbr_validation: false, level_by_level: false, ..FilterConfig::all() };
+    let mut cache = DominanceCache::new(3);
+    let mut s1 = Stats::default();
+    let _ = dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut s1);
+    let mut s2 = Stats::default();
+    let _ = dominates(Operator::SSd, &db, 0, 2, &q, &cfg, &mut cache, &mut s2);
+    // The second check shares object 0's distribution: it must be cheaper
+    // than the first (which built two distributions).
+    assert!(
+        s2.instance_comparisons < s1.instance_comparisons,
+        "expected cache reuse: first {} vs second {}",
+        s1.instance_comparisons,
+        s2.instance_comparisons
+    );
+}

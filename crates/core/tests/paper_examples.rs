@@ -1,0 +1,270 @@
+//! Verbatim reproductions of the paper's worked examples (Figures 2–9, 15
+//! and Examples 2, 3, 5), each realised as concrete 2-D geometry whose
+//! pairwise distances match the figures.
+
+use osd_core::{
+    f_plus_sd, f_sd, nn_candidates, p_sd, peer_network_flow, s_sd, ss_sd, Database, FilterConfig,
+    Operator, PreparedQuery,
+};
+use osd_geom::Point;
+use osd_uncertain::{UncertainObject, SCALE};
+
+/// Places a point at distances `(d1, d2)` from `q1 = (0,0)` and
+/// `q2 = (D, 0)`. Panics if the distances violate the triangle inequality.
+fn place(d1: f64, d2: f64, big_d: f64) -> Point {
+    assert!(
+        (d1 - d2).abs() <= big_d + 1e-9 && big_d <= d1 + d2 + 1e-9,
+        "distances ({d1}, {d2}) not realisable at separation {big_d}"
+    );
+    let x = (big_d * big_d + d1 * d1 - d2 * d2) / (2.0 * big_d);
+    let y = (d1 * d1 - x * x).max(0.0).sqrt();
+    Point::new(vec![x, y])
+}
+
+fn two_queries(big_d: f64) -> UncertainObject {
+    UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0]), Point::new(vec![big_d, 0.0])])
+}
+
+#[test]
+fn placement_helper_is_exact() {
+    let p = place(5.0, 15.0, 15.0);
+    assert!((p.dist(&Point::new(vec![0.0, 0.0])) - 5.0).abs() < 1e-9);
+    assert!((p.dist(&Point::new(vec![15.0, 0.0])) - 15.0).abs() < 1e-9);
+}
+
+/// Figure 2: F-SD with well-separated vs overlapping objects.
+#[test]
+fn figure2_full_spatial_dominance() {
+    let q = UncertainObject::uniform(vec![
+        Point::new(vec![0.0, 0.0]),
+        Point::new(vec![1.0, 0.0]),
+        Point::new(vec![0.5, 1.0]),
+    ]);
+    // A hugs the query; B is far: every a is closer than every b to every q.
+    let a = UncertainObject::uniform(vec![
+        Point::new(vec![0.4, 0.4]),
+        Point::new(vec![0.6, 0.5]),
+    ]);
+    let b = UncertainObject::uniform(vec![
+        Point::new(vec![20.0, 0.0]),
+        Point::new(vec![21.0, 1.0]),
+    ]);
+    // C overlaps the query region: some c beats some a for some q.
+    let c = UncertainObject::uniform(vec![
+        Point::new(vec![0.45, 0.45]),
+        Point::new(vec![30.0, 30.0]),
+    ]);
+    assert!(f_sd(&a, &b, &q), "F-SD(A,B,Q) should hold");
+    assert!(!f_sd(&a, &c, &q), "¬F-SD(A,C,Q): C has an instance next to Q");
+    assert!(!f_sd(&b, &a, &q));
+}
+
+/// Figure 3: S-SD vs SS-SD and the N2 counterexample. Distance matrix
+/// (rows: instance, cols: δ to q1, q2), |q1 q2| = 8:
+///   A: a1 (1, 8),  a2 (4, 7)      — best at q1
+///   B: b1 (2, 8.5), b2 (5, 7.5)   — dominated by A everywhere
+///   C: c1 (10, 6),  c2 (11, 7)    — always best at q2
+#[test]
+fn figure3_ssd_vs_sssd() {
+    let big_d = 8.0;
+    let q = two_queries(big_d);
+    let a = UncertainObject::uniform(vec![place(1.0, 8.0, big_d), place(4.0, 7.0, big_d)]);
+    let b = UncertainObject::uniform(vec![place(2.0, 8.5, big_d), place(5.0, 7.5, big_d)]);
+    let c = UncertainObject::uniform(vec![place(10.0, 6.0, big_d), place(11.0, 7.0, big_d)]);
+
+    // The paper's Figure 3 claims:
+    assert!(s_sd(&a, &b, &q), "S-SD(A,B,Q)");
+    assert!(s_sd(&a, &c, &q), "S-SD(A,C,Q)");
+    assert!(ss_sd(&a, &b, &q), "SS-SD(A,B,Q)");
+    assert!(!ss_sd(&a, &c, &q), "¬SS-SD(A,C,Q): C beats A at q2");
+    assert!(!ss_sd(&b, &c, &q));
+
+    // NNC under S-SD is {A}; under SS-SD it grows to {A, C} (Figure 5's
+    // inclusion chain in action).
+    let db = Database::new(vec![a, b, c]);
+    let pq = PreparedQuery::new(q);
+    let ssd = nn_candidates(&db, &pq, Operator::SSd, &FilterConfig::all());
+    let mut ids = ssd.ids();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0]);
+    let sssd = nn_candidates(&db, &pq, Operator::SsSd, &FilterConfig::all());
+    let mut ids = sssd.ids();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 2]);
+}
+
+/// Figure 3's possible-world point, kept in core terms: C is stochastically
+/// dominated by A (S-SD(A,C)) yet wins **every** possible world in which q2
+/// occurs, so no operator covering N2 may let A dominate C — and SS-SD
+/// indeed does not.
+#[test]
+fn figure3_world_semantics_motivation() {
+    let big_d = 8.0;
+    let q = two_queries(big_d);
+    let a = UncertainObject::uniform(vec![place(1.0, 8.0, big_d), place(4.0, 7.0, big_d)]);
+    let c = UncertainObject::uniform(vec![place(10.0, 6.0, big_d), place(11.0, 7.0, big_d)]);
+    // C's every distance to q2 (6, 7) undercuts A's every distance to q2
+    // (8, 7): specifically max(C_q2) = 7 ≤ min(A_q2) = 7 with a strict win
+    // for c1.
+    assert!(s_sd(&a, &c, &q));
+    assert!(!ss_sd(&a, &c, &q));
+}
+
+/// Figure 4: SS-SD does not cover N3 (EMD can invert the preference), and
+/// P-SD fixes it. Distance matrix with |q1 q2| = 6.75:
+///   A: a1 (1, 6),    a2 (2, 7)
+///   B: b1 (1, 7.5),  b2 (2.5, 6.5)   — SS-SD(A,B) holds, EMD prefers B
+///   C: c1 (2.2, 7.2), c2 (1.5, 6.2)  — P-SD(A,C) via the crossing match
+#[test]
+fn figure4_psd_vs_sssd() {
+    let big_d = 6.75;
+    let q = two_queries(big_d);
+    let a = UncertainObject::uniform(vec![place(1.0, 6.0, big_d), place(2.0, 7.0, big_d)]);
+    let b = UncertainObject::uniform(vec![place(1.0, 7.5, big_d), place(2.5, 6.5, big_d)]);
+    let c = UncertainObject::uniform(vec![place(2.2, 7.2, big_d), place(1.5, 6.2, big_d)]);
+
+    assert!(s_sd(&a, &b, &q), "S-SD(A,B,Q)");
+    assert!(ss_sd(&a, &b, &q), "SS-SD(A,B,Q)");
+    assert!(!p_sd(&a, &b, &q), "¬P-SD(A,B,Q): a2 has no peer in B");
+    assert!(p_sd(&a, &c, &q), "P-SD(A,C,Q) via a1→c2, a2→c1");
+    assert!(!f_sd(&a, &c, &q), "¬F-SD(A,C,Q): the match must cross");
+
+    // NNC: {A} under SS-SD, {A, B} under P-SD (Figure 4's narrative).
+    let db = Database::new(vec![a, b, c]);
+    let pq = PreparedQuery::new(q);
+    let mut sssd = nn_candidates(&db, &pq, Operator::SsSd, &FilterConfig::all()).ids();
+    sssd.sort_unstable();
+    assert_eq!(sssd, vec![0]);
+    let mut psd = nn_candidates(&db, &pq, Operator::PSd, &FilterConfig::all()).ids();
+    psd.sort_unstable();
+    assert_eq!(psd, vec![0, 1]);
+}
+
+/// Example 2 / Figure 6(a): single-instance A and B, S-SD without SS-SD.
+#[test]
+fn example2_figure6a() {
+    // 1-D line: q1 = 0, q2 = 20; A at 17, B at −5.
+    let q = UncertainObject::uniform(vec![Point::new(vec![0.0]), Point::new(vec![20.0])]);
+    let a = UncertainObject::uniform(vec![Point::new(vec![17.0])]);
+    let b = UncertainObject::uniform(vec![Point::new(vec![-5.0])]);
+    // A_Q = {(3,.5),(17,.5)}, B_Q = {(5,.5),(25,.5)}.
+    assert!(s_sd(&a, &b, &q), "S-SD(A,B,Q)");
+    assert!(!ss_sd(&a, &b, &q), "¬SS-SD(A,B,Q): B beats A at q1 (5 < 17)");
+}
+
+/// Example 2 / Figure 6(b): A_q1 = {5,8}, A_q2 = {10,23},
+/// B_q1 = B_q2 = {10,25} ⇒ SS-SD(A,B,Q).
+#[test]
+fn example2_figure6b() {
+    let big_d = 15.0;
+    let q = two_queries(big_d);
+    let a = UncertainObject::uniform(vec![place(5.0, 10.0, big_d), place(8.0, 23.0, big_d)]);
+    let b = UncertainObject::uniform(vec![place(10.0, 10.0, big_d), place(25.0, 25.0, big_d)]);
+    assert!(ss_sd(&a, &b, &q), "SS-SD(A,B,Q)");
+    assert!(s_sd(&a, &b, &q), "S-SD(A,B,Q) by cover (Theorem 2)");
+}
+
+/// Example 3 / Figure 8: the explicit match witnessing P-SD(A,B,Q).
+/// δ(a1,q1)=5<10, δ(a1,q2)=15<20, δ(a2,q1)=20<25, δ(a2,q2)=10<15.
+#[test]
+fn example3_figure8() {
+    let big_d = 15.0;
+    let q = two_queries(big_d);
+    let a = UncertainObject::uniform(vec![place(5.0, 15.0, big_d), place(20.0, 10.0, big_d)]);
+    let b = UncertainObject::uniform(vec![place(10.0, 20.0, big_d), place(25.0, 15.0, big_d)]);
+    assert!(p_sd(&a, &b, &q), "P-SD(A,B,Q) via the identity match");
+    assert!(ss_sd(&a, &b, &q), "SS-SD follows by cover");
+    assert!(!f_sd(&a, &b, &q), "¬F-SD: δ(a2,q1)=20 > δ(b1,q1)=10");
+}
+
+/// Example 5 / Figure 9: the max-flow reduction (Theorem 12). U has three
+/// instances with masses (.5, .2, .3); V has two with (.5, .5); the edge
+/// set is exactly {u1v1, u1v2, u2v1, u2v2, u3v2} and flow value 1 exists.
+#[test]
+fn example5_figure9_maxflow() {
+    // Single query instance at the origin: u ⪯_Q v ⟺ |u| ≤ |v|.
+    let q = UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0])]);
+    let u = UncertainObject::new(vec![
+        (Point::new(vec![1.0, 0.0]), 0.5),  // r = 1
+        (Point::new(vec![0.0, 2.0]), 0.2),  // r = 2
+        (Point::new(vec![4.0, 0.0]), 0.3),  // r = 4
+    ]);
+    let v = UncertainObject::new(vec![
+        (Point::new(vec![3.0, 0.0]), 0.5),  // r = 3: u1, u2 reach it
+        (Point::new(vec![0.0, 5.0]), 0.5),  // r = 5: all reach it
+    ]);
+    let (flow, total) = peer_network_flow(&u, &v, &q);
+    assert_eq!(flow, total, "Figure 9's network saturates");
+    assert_eq!(total, SCALE);
+    assert!(p_sd(&u, &v, &q));
+    // Reversed, u1 (r=1) cannot be matched by any v.
+    let (flow_rev, _) = peer_network_flow(&v, &u, &q);
+    assert!(flow_rev < SCALE);
+    assert!(!p_sd(&v, &u, &q));
+}
+
+/// Figure 15 / Theorem 3: with |Q| = 1 the three strict operators agree and
+/// F-SD remains strictly stronger.
+#[test]
+fn figure15_single_query_instance() {
+    let q = UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0])]);
+    let a = UncertainObject::uniform(vec![
+        Point::new(vec![1.0, 0.0]),
+        Point::new(vec![10.0, 0.0]),
+    ]);
+    let b = UncertainObject::uniform(vec![
+        Point::new(vec![2.0, 0.0]),
+        Point::new(vec![11.0, 0.0]),
+    ]);
+    assert!(s_sd(&a, &b, &q));
+    assert!(ss_sd(&a, &b, &q));
+    assert!(p_sd(&a, &b, &q));
+    assert!(!f_sd(&a, &b, &q), "F-SD still fails: max(A)=10 > min(B)=2");
+    assert!(!f_plus_sd(&a, &b, &q));
+}
+
+/// Theorem 4 / cover validation: MBR-level F-SD implies every operator.
+#[test]
+fn theorem4_mbr_validation_implies_all() {
+    let q = UncertainObject::uniform(vec![
+        Point::new(vec![0.0, 0.0]),
+        Point::new(vec![1.0, 1.0]),
+    ]);
+    let a = UncertainObject::uniform(vec![
+        Point::new(vec![0.2, 0.2]),
+        Point::new(vec![0.8, 0.8]),
+    ]);
+    let b = UncertainObject::uniform(vec![
+        Point::new(vec![50.0, 50.0]),
+        Point::new(vec![51.0, 51.0]),
+    ]);
+    assert!(f_plus_sd(&a, &b, &q));
+    assert!(f_sd(&a, &b, &q));
+    assert!(p_sd(&a, &b, &q));
+    assert!(ss_sd(&a, &b, &q));
+    assert!(s_sd(&a, &b, &q));
+}
+
+/// Identical objects never dominate each other: the strict operators have
+/// the `U_Q ≠ V_Q` side condition (Definitions 2/3/5), and our F-SD/F⁺-SD
+/// apply the same equal-twin guard (the literal paper definition would
+/// mutually eliminate both twins, leaving no representative of the tied
+/// optimum in the candidate set).
+#[test]
+fn identical_objects_stay_candidates() {
+    let q = UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0])]);
+    let a = UncertainObject::uniform(vec![Point::new(vec![1.0, 1.0])]);
+    let twin = a.clone();
+    assert!(!s_sd(&a, &twin, &q));
+    assert!(!ss_sd(&a, &twin, &q));
+    assert!(!p_sd(&a, &twin, &q));
+    assert!(!f_sd(&a, &twin, &q));
+    assert!(!f_plus_sd(&a, &twin, &q));
+    let db = Database::new(vec![a, twin]);
+    let pq = PreparedQuery::new(q);
+    for op in Operator::ALL {
+        let mut ids = nn_candidates(&db, &pq, op, &FilterConfig::all()).ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1], "{op:?} must keep both twins");
+    }
+}

@@ -1,0 +1,27 @@
+//! # osd-datagen
+//!
+//! Dataset and workload generators for the `osd` experiments (§6, Table 2):
+//!
+//! * [`synthetic`] — anti-correlated / independent object centres
+//!   (Börzsönyi et al.), normal instance clouds parameterised by
+//!   `n, d, m_d, h_d`, plus matching query workloads (`m_q, h_q`);
+//! * [`semireal`] — structural surrogates for the paper's real datasets
+//!   (NBA, GoWalla, HOUSE, CA, USA); the substitution rationale is in
+//!   `DESIGN.md`;
+//! * [`rng`] — seeded Box–Muller sampling (generation is fully
+//!   deterministic given the seed).
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod rng;
+pub mod semireal;
+pub mod synthetic;
+
+pub use io::{read_objects_csv, write_objects_csv, DataError};
+pub use semireal::{
+    clustered_centers_2d, gowalla_like, house_like_centers, nba_like, objects_from_centers,
+};
+pub use synthetic::{
+    generate_objects, generate_queries, object_around, CenterDistribution, SynthParams, DOMAIN,
+};

@@ -1,0 +1,48 @@
+//! Small sampling helpers on top of `rand` (Box–Muller normal sampling,
+//! so no extra distribution crate is needed).
+
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller.
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sd)`.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// Samples `N(mean, sd)` clamped into `[lo, hi]`.
+pub fn normal_clamped<R: Rng>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamping_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            let x = normal_clamped(&mut rng, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Surrogate generators for the paper's real and semi-real datasets.
+//!
+//! The originals (NBA game logs, GoWalla check-ins, HOUSE expenditure
+//! shares, the CA and USGS location sets) are not redistributable, so each
+//! generator reproduces the *structural property* the experiments depend on
+//! — see the substitution table in `DESIGN.md`:
+//!
+//! * `NBA` — few objects, 3-d, heavily **overlapping** instance clouds;
+//! * `GW`  — many objects, 2-d, multi-hotspot per-object clouds;
+//! * `HOUSE` — 3-d correlated centres (expenditure shares);
+//! * `CA`  — 2-d clustered locations (road-network flavour);
+//! * `USA` — 2-d clustered, scalable to millions of points.
+
+use crate::rng::normal;
+use crate::synthetic::{object_around, DOMAIN};
+use osd_geom::Point;
+use osd_uncertain::UncertainObject;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NBA surrogate: `n` players with `instances` 3-d game records each.
+/// Per-player means differ mildly while the per-player spread is large, so
+/// instance clouds overlap heavily — the property the paper highlights for
+/// NBA/GW ("instances of objects are highly overlapped").
+pub fn nba_like(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Player skill level shifts the mean of (points, assists,
+            // rebounds); game-to-game variance is comparable to the skill
+            // spread, so clouds overlap.
+            let skill = rng.gen_range(0.2..1.0);
+            let mean = [
+                skill * 0.55 * DOMAIN,
+                skill * 0.35 * DOMAIN,
+                skill * 0.45 * DOMAIN,
+            ];
+            let pts: Vec<Point> = (0..instances)
+                .map(|_| {
+                    Point::new(vec![
+                        normal(&mut rng, mean[0], 0.18 * DOMAIN).clamp(0.0, DOMAIN),
+                        normal(&mut rng, mean[1], 0.15 * DOMAIN).clamp(0.0, DOMAIN),
+                        normal(&mut rng, mean[2], 0.16 * DOMAIN).clamp(0.0, DOMAIN),
+                    ])
+                })
+                .collect();
+            UncertainObject::uniform(pts)
+        })
+        .collect()
+}
+
+/// GoWalla surrogate: `n` users, each with 2–4 "home" hotspots and
+/// `instances` 2-d check-ins scattered tightly around them. Hotspots are
+/// drawn from a shared set of city centres so different users overlap.
+pub fn gowalla_like(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A shared map of "cities".
+    let cities: Vec<[f64; 2]> = (0..64)
+        .map(|_| [rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)])
+        .collect();
+    (0..n)
+        .map(|_| {
+            let hotspot_count = rng.gen_range(2..=4);
+            let hotspots: Vec<[f64; 2]> = (0..hotspot_count)
+                .map(|_| {
+                    let c = cities[rng.gen_range(0..cities.len())];
+                    [
+                        normal(&mut rng, c[0], 0.01 * DOMAIN).clamp(0.0, DOMAIN),
+                        normal(&mut rng, c[1], 0.01 * DOMAIN).clamp(0.0, DOMAIN),
+                    ]
+                })
+                .collect();
+            let pts: Vec<Point> = (0..instances)
+                .map(|_| {
+                    let h = &hotspots[rng.gen_range(0..hotspots.len())];
+                    Point::new(vec![
+                        normal(&mut rng, h[0], 0.005 * DOMAIN).clamp(0.0, DOMAIN),
+                        normal(&mut rng, h[1], 0.005 * DOMAIN).clamp(0.0, DOMAIN),
+                    ])
+                })
+                .collect();
+            UncertainObject::uniform(pts)
+        })
+        .collect()
+}
+
+/// HOUSE surrogate centres: 3-d expenditure shares — three positively
+/// bounded, negatively coupled fractions of a family budget, scaled to the
+/// domain.
+pub fn house_like_centers(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Dirichlet-flavoured shares via normalised exponentials.
+            let a: f64 = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+            let b: f64 = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+            let c: f64 = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+            let s = a + b + c;
+            vec![a / s * DOMAIN, b / s * DOMAIN, c / s * DOMAIN]
+        })
+        .collect()
+}
+
+/// CA/USA surrogate centres: 2-d clustered locations. Cluster centres are
+/// uniform; cluster populations follow a Zipf-ish skew; points scatter with
+/// cluster-specific spread (tight towns, loose countryside).
+pub fn clustered_centers_2d(n: usize, clusters: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs: Vec<([f64; 2], f64)> = (0..clusters.max(1))
+        .map(|_| {
+            let hub = [rng.gen_range(0.0..DOMAIN), rng.gen_range(0.0..DOMAIN)];
+            let spread = rng.gen_range(0.003..0.03) * DOMAIN;
+            (hub, spread)
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            // Zipf-ish hub choice: prefer low-index hubs.
+            let r: f64 = rng.gen_range(0.0f64..1.0);
+            let idx = ((hubs.len() as f64).powf(r) - 1.0) as usize;
+            let (hub, spread) = &hubs[idx.min(hubs.len() - 1)];
+            vec![
+                normal(&mut rng, hub[0], *spread).clamp(0.0, DOMAIN),
+                normal(&mut rng, hub[1], *spread).clamp(0.0, DOMAIN),
+            ]
+        })
+        .collect()
+}
+
+/// Builds multi-instance objects from semi-real centres the way §6 does:
+/// the centre distribution comes from the (surrogate) real data, the
+/// instance clouds use the synthetic mechanism (`h_d`, normal instances).
+pub fn objects_from_centers(
+    centers: &[Vec<f64>],
+    instances: usize,
+    edge: f64,
+    seed: u64,
+) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    centers
+        .iter()
+        .map(|c| object_around(&mut rng, c, c.len(), instances, edge))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nba_objects_overlap_heavily() {
+        let objs = nba_like(30, 20, 3);
+        assert_eq!(objs.len(), 30);
+        // Overlap proxy: the average pairwise MBR intersection rate is high.
+        let mut inter = 0usize;
+        let mut total = 0usize;
+        for i in 0..objs.len() {
+            for j in (i + 1)..objs.len() {
+                total += 1;
+                if objs[i].mbr().intersects(objs[j].mbr()) {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(
+            inter as f64 / total as f64 > 0.5,
+            "NBA surrogate should overlap: {inter}/{total}"
+        );
+    }
+
+    #[test]
+    fn gowalla_objects_are_2d_and_multimodal() {
+        let objs = gowalla_like(20, 30, 4);
+        for o in &objs {
+            assert_eq!(o.dim(), 2);
+            assert_eq!(o.len(), 30);
+        }
+    }
+
+    #[test]
+    fn house_centers_live_on_simplex() {
+        let cs = house_like_centers(200, 5);
+        for c in &cs {
+            let sum: f64 = c.iter().sum();
+            assert!((sum - DOMAIN).abs() < 1e-6, "shares must sum to the domain");
+            assert!(c.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn clustered_centers_cluster() {
+        let cs = clustered_centers_2d(2000, 16, 6);
+        assert_eq!(cs.len(), 2000);
+        // Clustering proxy: mean nearest-neighbour distance is far below the
+        // uniform expectation (~0.5 · DOMAIN / sqrt(n)).
+        let mut nn_sum = 0.0;
+        for (i, a) in cs.iter().enumerate().take(200) {
+            let mut best = f64::INFINITY;
+            for (j, b) in cs.iter().enumerate() {
+                if i != j {
+                    let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+                    best = best.min(d);
+                }
+            }
+            nn_sum += best;
+        }
+        let mean_nn = nn_sum / 200.0;
+        let uniform_expect = 0.5 * DOMAIN / (cs.len() as f64).sqrt();
+        assert!(mean_nn < uniform_expect, "not clustered: {mean_nn} vs {uniform_expect}");
+    }
+
+    #[test]
+    fn objects_from_centers_respect_dim() {
+        let cs = house_like_centers(10, 7);
+        let objs = objects_from_centers(&cs, 5, 100.0, 8);
+        assert_eq!(objs.len(), 10);
+        for o in &objs {
+            assert_eq!(o.dim(), 3);
+            assert_eq!(o.len(), 5);
+        }
+    }
+}

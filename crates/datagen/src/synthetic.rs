@@ -1,0 +1,223 @@
+//! Synthetic datasets per §6 / Table 2 of the paper.
+//!
+//! Object *centres* follow the anti-correlated or independent distributions
+//! of Börzsönyi et al. \[8\]; each object's MBB edge lengths are drawn from
+//! `U(0, 2·h_d)`; instances are drawn from a normal distribution with
+//! standard deviation `h_d / 2` around the centre, truncated to the MBB.
+//! All dimensions live in the domain `[0, 10000]`.
+
+use crate::rng::{normal_clamped, std_normal};
+use osd_geom::Point;
+use osd_uncertain::UncertainObject;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain upper bound used throughout the experiments.
+pub const DOMAIN: f64 = 10_000.0;
+
+/// Centre placement distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CenterDistribution {
+    /// `A`: anti-correlated — centres near the hyperplane `Σ x_i = const`
+    /// with negatively correlated coordinates (Börzsönyi et al.).
+    AntiCorrelated,
+    /// `E`: independent — coordinates i.i.d. uniform.
+    Independent,
+}
+
+/// Parameters of a synthetic dataset (Table 2 names in comments).
+#[derive(Debug, Clone)]
+pub struct SynthParams {
+    /// Number of objects (`n`).
+    pub n: usize,
+    /// Dimensionality (`d`).
+    pub dim: usize,
+    /// Instances per object (`m_d`).
+    pub instances: usize,
+    /// Expected MBB edge length (`h_d`); actual edges ~ `U(0, 2·h_d)`.
+    pub edge: f64,
+    /// Centre distribution (anti / indep).
+    pub centers: CenterDistribution,
+    /// RNG seed — all generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl SynthParams {
+    /// The paper's default configuration (scaled `n` is the caller's
+    /// business): `d = 3`, `m_d = 40`, `h_d = 400`, anti-correlated.
+    pub fn paper_default(n: usize) -> Self {
+        SynthParams {
+            n,
+            dim: 3,
+            instances: 40,
+            edge: 400.0,
+            centers: CenterDistribution::AntiCorrelated,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Generates the object set.
+pub fn generate_objects(p: &SynthParams) -> Vec<UncertainObject> {
+    assert!(p.n > 0 && p.dim > 0 && p.instances > 0, "degenerate parameters");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..p.n)
+        .map(|_| {
+            let center = sample_center(&mut rng, p.dim, p.centers);
+            object_around(&mut rng, &center, p.dim, p.instances, p.edge)
+        })
+        .collect()
+}
+
+/// Generates `count` query objects with `m_q` instances and edge `h_q`,
+/// centred at positions drawn like the data centres (the paper picks query
+/// centres from the underlying dataset).
+pub fn generate_queries(
+    p: &SynthParams,
+    count: usize,
+    m_q: usize,
+    h_q: f64,
+    seed: u64,
+) -> Vec<UncertainObject> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let center = sample_center(&mut rng, p.dim, p.centers);
+            object_around(&mut rng, &center, p.dim, m_q, h_q)
+        })
+        .collect()
+}
+
+/// Builds one multi-instance object around `center`: MBB edges
+/// `~U(0, 2·edge)` per dimension, instances `N(center, edge/2)` truncated
+/// to the MBB (and the domain), uniform instance probabilities.
+pub fn object_around<R: Rng>(
+    rng: &mut R,
+    center: &[f64],
+    dim: usize,
+    instances: usize,
+    edge: f64,
+) -> UncertainObject {
+    debug_assert_eq!(center.len(), dim);
+    let half: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..=edge.max(1e-9))).collect();
+    let pts: Vec<Point> = (0..instances)
+        .map(|_| {
+            let coords: Vec<f64> = (0..dim)
+                .map(|i| {
+                    let lo = (center[i] - half[i]).max(0.0);
+                    let hi = (center[i] + half[i]).min(DOMAIN);
+                    normal_clamped(rng, center[i], edge / 2.0, lo.min(hi), hi.max(lo))
+                })
+                .collect();
+            Point::new(coords)
+        })
+        .collect();
+    UncertainObject::uniform(pts)
+}
+
+fn sample_center<R: Rng>(rng: &mut R, dim: usize, dist: CenterDistribution) -> Vec<f64> {
+    match dist {
+        CenterDistribution::Independent => (0..dim).map(|_| rng.gen_range(0.0..DOMAIN)).collect(),
+        CenterDistribution::AntiCorrelated => anti_correlated(rng, dim),
+    }
+}
+
+/// Börzsönyi-style anti-correlated sampling: pick a plane offset
+/// `v ~ N(0.5, 0.0625)`, spread it across dimensions by repeatedly moving
+/// mass between coordinate pairs, keeping `Σ x_i = d·v` while maximising
+/// negative pairwise correlation.
+fn anti_correlated<R: Rng>(rng: &mut R, dim: usize) -> Vec<f64> {
+    // Plane position.
+    let v = (0.5 + 0.0625 * std_normal(rng)).clamp(0.0, 1.0);
+    let mut x = vec![v; dim];
+    if dim > 1 {
+        // Redistribute mass between random pairs: one coordinate gains what
+        // the other loses, preserving the plane constraint.
+        for _ in 0..dim * 4 {
+            let i = rng.gen_range(0..dim);
+            let j = rng.gen_range(0..dim);
+            if i == j {
+                continue;
+            }
+            let room = x[i].min(1.0 - x[j]);
+            let delta = rng.gen_range(0.0..=room.max(1e-12)).min(room);
+            x[i] -= delta;
+            x[j] += delta;
+        }
+    }
+    x.into_iter().map(|c| c * DOMAIN).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = SynthParams { n: 5, dim: 2, instances: 3, edge: 100.0, centers: CenterDistribution::Independent, seed: 42 };
+        let a = generate_objects(&p);
+        let b = generate_objects(&p);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.points().len(), y.points().len());
+            for (px, py) in x.points().iter().zip(y.points().iter()) {
+                assert_eq!(px.coords(), py.coords());
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_parameters() {
+        let p = SynthParams { n: 20, dim: 3, instances: 7, edge: 200.0, centers: CenterDistribution::AntiCorrelated, seed: 1 };
+        let objs = generate_objects(&p);
+        assert_eq!(objs.len(), 20);
+        for o in &objs {
+            assert_eq!(o.len(), 7);
+            assert_eq!(o.dim(), 3);
+            // Instances stay in the domain.
+            for pt in o.points() {
+                for &c in pt.coords() {
+                    assert!((0.0..=DOMAIN).contains(&c), "coordinate {c} out of domain");
+                }
+            }
+            // The MBB respects (roughly) the 2·h_d upper bound per edge.
+            for i in 0..3 {
+                let w = o.mbr().hi()[i] - o.mbr().lo()[i];
+                assert!(w <= 2.0 * 200.0 + 1e-9, "edge {w} too long");
+            }
+        }
+    }
+
+    #[test]
+    fn anti_correlated_centers_sum_is_stable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // The coordinate sum concentrates around d·0.5·DOMAIN.
+        let d = 3;
+        let sums: Vec<f64> = (0..500)
+            .map(|_| anti_correlated(&mut rng, d).iter().sum::<f64>())
+            .collect();
+        let mean = sums.iter().sum::<f64>() / sums.len() as f64;
+        let expect = d as f64 * 0.5 * DOMAIN;
+        assert!((mean - expect).abs() < 0.05 * expect, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn anti_correlated_negative_correlation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let pts: Vec<Vec<f64>> = (0..2000).map(|_| anti_correlated(&mut rng, 2)).collect();
+        let mx = pts.iter().map(|p| p[0]).sum::<f64>() / pts.len() as f64;
+        let my = pts.iter().map(|p| p[1]).sum::<f64>() / pts.len() as f64;
+        let cov = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / pts.len() as f64;
+        assert!(cov < 0.0, "expected negative covariance, got {cov}");
+    }
+
+    #[test]
+    fn queries_have_requested_shape() {
+        let p = SynthParams::paper_default(10);
+        let qs = generate_queries(&p, 4, 9, 150.0, 99);
+        assert_eq!(qs.len(), 4);
+        for q in &qs {
+            assert_eq!(q.len(), 9);
+            assert_eq!(q.dim(), 3);
+        }
+    }
+}

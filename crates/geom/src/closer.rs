@@ -1,0 +1,89 @@
+//! The `u ⪯_Q v` relation: instance-level closeness w.r.t. a query point set.
+//!
+//! `u ⪯_Q v` holds iff `δ(u, q) ≤ δ(v, q)` for **every** `q ∈ Q`
+//! (Definition preceding Definition 5 in the paper). Geometrically this means
+//! every query point lies on `u`'s side of the bisector hyperplane between
+//! `u` and `v`, so it suffices to test the vertices of `CH(Q)` (§5.1.2).
+
+use crate::point::Point;
+
+/// Returns `true` iff `δ(u, q) ≤ δ(v, q)` for every `q` in `queries`.
+///
+/// Callers that have already reduced the query to its convex-hull vertices
+/// should pass only those — the result is identical and the scan shorter.
+pub fn closer_to_all(u: &Point, v: &Point, queries: &[Point]) -> bool {
+    queries.iter().all(|q| u.dist2(q) <= v.dist2(q))
+}
+
+/// Bisector side test: `true` iff `q` is (weakly) on `u`'s side of the
+/// perpendicular bisector hyperplane of segment `(u, v)`.
+///
+/// Equivalent to `δ(q, u) ≤ δ(q, v)` but phrased as a half-space test:
+/// `(v − u) · q ≤ (|v|² − |u|²) / 2`.
+pub fn on_near_side(q: &Point, u: &Point, v: &Point) -> bool {
+    debug_assert_eq!(q.dim(), u.dim());
+    debug_assert_eq!(q.dim(), v.dim());
+    let mut lhs = 0.0;
+    let mut rhs = 0.0;
+    for i in 0..q.dim() {
+        let (ui, vi) = (u.coord(i), v.coord(i));
+        lhs += (vi - ui) * q.coord(i);
+        rhs += vi * vi - ui * ui;
+    }
+    lhs <= 0.5 * rhs
+}
+
+/// Maps an instance into "query-distance space": the `k`-dimensional point
+/// `(δ(u, q_1), …, δ(u, q_k))` for hull vertices `q_1..q_k`.
+///
+/// In this space `u ⪯_Q v` is plain coordinate-wise dominance, which lets the
+/// peer-dominance network construction use R-tree range queries (§5.1.2).
+pub fn distance_space(u: &Point, hull: &[Point]) -> Point {
+    Point::new(hull.iter().map(|q| u.dist(q)).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    #[test]
+    fn closer_matches_direct_definition() {
+        let u = p2(0.0, 0.0);
+        let v = p2(10.0, 0.0);
+        let qs = vec![p2(1.0, 1.0), p2(2.0, -1.0), p2(0.0, 3.0)];
+        assert!(closer_to_all(&u, &v, &qs));
+        assert!(!closer_to_all(&v, &u, &qs));
+        // A query point past the midpoint flips it.
+        let qs2 = vec![p2(1.0, 1.0), p2(9.0, 0.0)];
+        assert!(!closer_to_all(&u, &v, &qs2));
+    }
+
+    #[test]
+    fn empty_query_set_is_vacuous() {
+        assert!(closer_to_all(&p2(0.0, 0.0), &p2(1.0, 1.0), &[]));
+    }
+
+    #[test]
+    fn bisector_test_agrees_with_distances() {
+        let u = p2(0.0, 0.0);
+        let v = p2(4.0, 0.0);
+        for q in [p2(1.0, 5.0), p2(2.0, 0.0), p2(3.0, -2.0), p2(-1.0, 0.0)] {
+            assert_eq!(on_near_side(&q, &u, &v), q.dist2(&u) <= q.dist2(&v));
+        }
+    }
+
+    #[test]
+    fn distance_space_dominance_equivalence() {
+        let hull = vec![p2(0.0, 0.0), p2(4.0, 0.0), p2(2.0, 3.0)];
+        let u = p2(1.0, 1.0);
+        let v = p2(5.0, 5.0);
+        let du = distance_space(&u, &hull);
+        let dv = distance_space(&v, &hull);
+        let coordwise = (0..du.dim()).all(|i| du.coord(i) <= dv.coord(i));
+        assert_eq!(coordwise, closer_to_all(&u, &v, &hull));
+    }
+}

@@ -1,0 +1,245 @@
+//! Convex hull utilities.
+//!
+//! The peer and full spatial dominance checks only need to evaluate query
+//! instances that are *vertices of the convex hull* of the query (§5.1.2 of
+//! the paper): `u ⪯_Q v` constrains all of `Q` to one side of the bisector
+//! hyperplane of `(u, v)`, and half-space containment of a point set is
+//! decided by its hull vertices.
+//!
+//! * In 2-D we run Andrew's monotone chain — `O(n log n)`.
+//! * In `d ≥ 3` we extract hull vertices with an LP test per point
+//!   (a point is a hull vertex iff it is not a convex combination of the
+//!   others) — `O(n · LP)`, fine for query objects with tens of instances.
+//! * In 1-D the hull is the min/max pair.
+
+use crate::lp::{LpResult, StandardLp};
+use crate::point::Point;
+
+/// Returns the indices of the convex-hull vertices of `points`.
+///
+/// Duplicate points contribute a single representative. Interior and
+/// non-vertex boundary points are excluded. The result is unordered for
+/// `d ≠ 2`; for `d = 2` it is in counter-clockwise order.
+///
+/// # Panics
+/// Panics if `points` is empty or dimensionalities are inconsistent.
+pub fn hull_vertex_indices(points: &[Point]) -> Vec<usize> {
+    let d = points.first().expect("hull of an empty set").dim();
+    assert!(points.iter().all(|p| p.dim() == d), "mixed dimensionality");
+    match d {
+        1 => hull_1d(points),
+        2 => monotone_chain(points),
+        _ => hull_lp(points),
+    }
+}
+
+/// Convenience wrapper returning the hull vertices themselves.
+pub fn hull_vertices(points: &[Point]) -> Vec<Point> {
+    hull_vertex_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Tests whether `p` lies inside (or on the boundary of) the convex hull of
+/// `points`, via LP feasibility of `Σ λ_i x_i = p, Σ λ_i = 1, λ ≥ 0`.
+///
+/// Works in any dimension. Returns `false` for an empty `points` slice.
+pub fn point_in_hull(p: &Point, points: &[Point]) -> bool {
+    if points.is_empty() {
+        return false;
+    }
+    let d = p.dim();
+    let n = points.len();
+    let mut a = Vec::with_capacity(d + 1);
+    for i in 0..d {
+        a.push(points.iter().map(|x| x.coord(i)).collect::<Vec<_>>());
+    }
+    a.push(vec![1.0; n]);
+    let mut b: Vec<f64> = p.coords().to_vec();
+    b.push(1.0);
+    let lp = StandardLp::new(a, b, vec![0.0; n]);
+    matches!(lp.solve(), LpResult::Optimal { .. })
+}
+
+fn hull_1d(points: &[Point]) -> Vec<usize> {
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        if p.coord(0) < points[lo].coord(0) {
+            lo = i;
+        }
+        if p.coord(0) > points[hi].coord(0) {
+            hi = i;
+        }
+    }
+    if lo == hi {
+        vec![lo]
+    } else {
+        vec![lo, hi]
+    }
+}
+
+/// Andrew's monotone chain in 2-D, returning vertex indices in CCW order.
+fn monotone_chain(points: &[Point]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .coord(0)
+            .total_cmp(&points[b].coord(0))
+            .then(points[a].coord(1).total_cmp(&points[b].coord(1)))
+    });
+    idx.dedup_by(|&mut a, &mut b| {
+        points[a].coord(0) == points[b].coord(0) && points[a].coord(1) == points[b].coord(1)
+    });
+    let n = idx.len();
+    if n <= 2 {
+        return idx;
+    }
+
+    let cross = |o: usize, a: usize, b: usize| -> f64 {
+        let (ox, oy) = (points[o].coord(0), points[o].coord(1));
+        let (ax, ay) = (points[a].coord(0), points[a].coord(1));
+        let (bx, by) = (points[b].coord(0), points[b].coord(1));
+        (ax - ox) * (by - oy) - (ay - oy) * (bx - ox)
+    };
+
+    let mut hull: Vec<usize> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &i in &idx {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in idx.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], i) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(i);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// LP-based hull vertex extraction for `d ≥ 3`.
+fn hull_lp(points: &[Point]) -> Vec<usize> {
+    let mut seen: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    'outer: for i in 0..points.len() {
+        // Skip exact duplicates of already-processed points.
+        for &j in &seen {
+            if points[i] == points[j] {
+                continue 'outer;
+            }
+        }
+        seen.push(i);
+        let others: Vec<Point> = points
+            .iter()
+            .enumerate()
+            .filter(|&(j, p)| j != i && *p != points[i])
+            .map(|(_, p)| p.clone())
+            .collect();
+        if others.is_empty() || !point_in_hull(&points[i], &others) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    #[test]
+    fn square_with_interior_point() {
+        let pts = vec![
+            p2(0.0, 0.0),
+            p2(4.0, 0.0),
+            p2(4.0, 4.0),
+            p2(0.0, 4.0),
+            p2(2.0, 2.0), // interior
+            p2(2.0, 0.0), // on an edge, not a vertex
+        ];
+        let mut h = hull_vertex_indices(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn collinear_points_keep_extremes() {
+        let pts = vec![p2(0.0, 0.0), p2(1.0, 1.0), p2(2.0, 2.0), p2(3.0, 3.0)];
+        let mut h = hull_vertex_indices(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![0, 3]);
+    }
+
+    #[test]
+    fn single_and_duplicate_points() {
+        let pts = vec![p2(1.0, 1.0)];
+        assert_eq!(hull_vertex_indices(&pts), vec![0]);
+        let dups = vec![p2(1.0, 1.0), p2(1.0, 1.0), p2(1.0, 1.0)];
+        assert_eq!(hull_vertex_indices(&dups).len(), 1);
+    }
+
+    #[test]
+    fn one_dimensional_hull() {
+        let pts: Vec<Point> = [5.0, 1.0, 3.0, 9.0, 7.0]
+            .iter()
+            .map(|&x| Point::new(vec![x]))
+            .collect();
+        let mut h = hull_vertex_indices(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![1, 3]); // min = 1.0 at idx 1, max = 9.0 at idx 3
+    }
+
+    #[test]
+    fn three_dimensional_tetrahedron_plus_center() {
+        let pts = vec![
+            Point::new(vec![0.0, 0.0, 0.0]),
+            Point::new(vec![1.0, 0.0, 0.0]),
+            Point::new(vec![0.0, 1.0, 0.0]),
+            Point::new(vec![0.0, 0.0, 1.0]),
+            Point::new(vec![0.25, 0.25, 0.25]), // inside
+        ];
+        let mut h = hull_vertex_indices(&pts);
+        h.sort_unstable();
+        assert_eq!(h, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn point_in_hull_2d() {
+        let square = vec![p2(0.0, 0.0), p2(2.0, 0.0), p2(2.0, 2.0), p2(0.0, 2.0)];
+        assert!(point_in_hull(&p2(1.0, 1.0), &square));
+        assert!(point_in_hull(&p2(0.0, 0.0), &square)); // vertex counts
+        assert!(point_in_hull(&p2(1.0, 0.0), &square)); // edge counts
+        assert!(!point_in_hull(&p2(3.0, 1.0), &square));
+        assert!(!point_in_hull(&p2(-0.1, 1.0), &square));
+    }
+
+    #[test]
+    fn point_in_hull_empty_set() {
+        assert!(!point_in_hull(&p2(0.0, 0.0), &[]));
+    }
+
+    #[test]
+    fn ccw_order_in_2d() {
+        let pts = vec![p2(0.0, 0.0), p2(2.0, 0.0), p2(2.0, 2.0), p2(0.0, 2.0)];
+        let h = hull_vertex_indices(&pts);
+        // signed area of the returned polygon must be positive (CCW)
+        let mut area = 0.0;
+        for k in 0..h.len() {
+            let a = &pts[h[k]];
+            let b = &pts[h[(k + 1) % h.len()]];
+            area += a.coord(0) * b.coord(1) - b.coord(0) * a.coord(1);
+        }
+        assert!(area > 0.0);
+    }
+}

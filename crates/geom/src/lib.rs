@@ -1,0 +1,57 @@
+//! # osd-geom
+//!
+//! Geometry substrate for the `osd` workspace — the from-scratch primitives
+//! that *Optimal Spatial Dominance* (SIGMOD 2015) builds on:
+//!
+//! * [`Point`] — d-dimensional instances with Euclidean distances;
+//! * [`Mbr`] — minimal bounding rectangles with min/max distance bounds;
+//! * [`mbr_dominates`] — the exact `O(d)` MBR-level full-spatial-dominance
+//!   test (Emrich et al., reused by the paper as F⁺-SD and for cover-based
+//!   validation);
+//! * [`hull`] — convex-hull vertex extraction (monotone chain in 2-D, LP
+//!   based in higher dimensions) plus point-in-hull tests;
+//! * [`closer`] — the `u ⪯_Q v` relation and its distance-space mapping;
+//! * [`lp`] — a small dense two-phase simplex solver backing the hull code;
+//! * [`sphere`] — Welzl minimal enclosing balls and the hypersphere
+//!   dominance filter of Long et al.
+//!
+//! ```
+//! use osd_geom::{hull_vertices, mbr_dominates, min_enclosing_ball, Mbr, Point};
+//!
+//! // Convex hull: the interior point is dropped.
+//! let pts = vec![
+//!     Point::from([0.0, 0.0]),
+//!     Point::from([4.0, 0.0]),
+//!     Point::from([4.0, 4.0]),
+//!     Point::from([0.0, 4.0]),
+//!     Point::from([2.0, 2.0]),
+//! ];
+//! assert_eq!(hull_vertices(&pts).len(), 4);
+//!
+//! // Exact O(d) MBR dominance: U beats V for every query position in Q.
+//! let u = Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+//! let v = Mbr::new(vec![10.0, 10.0], vec![11.0, 11.0]);
+//! let q = Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+//! assert!(mbr_dominates(&u, &v, &q));
+//!
+//! // Minimal enclosing ball (Welzl).
+//! let ball = min_enclosing_ball(&pts);
+//! assert!((ball.radius - 8f64.sqrt()).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod closer;
+pub mod dominance;
+pub mod hull;
+pub mod lp;
+pub mod mbr;
+pub mod point;
+pub mod sphere;
+
+pub use closer::{closer_to_all, distance_space, on_near_side};
+pub use dominance::{mbr_dominates, mbr_dominates_strict};
+pub use hull::{hull_vertex_indices, hull_vertices, point_in_hull};
+pub use mbr::Mbr;
+pub use point::Point;
+pub use sphere::{min_enclosing_ball, sphere_dominates_sufficient, Sphere};

@@ -1,0 +1,292 @@
+//! A small dense two-phase simplex solver.
+//!
+//! Used by the geometry layer for convex-hull membership and hull-vertex
+//! tests in dimensions above two (the paper's C++ implementation delegated
+//! hull computation to qhull; we build the needed primitives ourselves).
+//!
+//! Solves problems in standard form:
+//!
+//! ```text
+//! minimize    c · x
+//! subject to  A x = b,   x ≥ 0
+//! ```
+//!
+//! Problem sizes in this crate are tiny (tens of variables, `d + 1`
+//! constraints), so a dense tableau with Bland's anti-cycling rule is both
+//! simple and fast enough.
+
+/// Outcome of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found: the variable assignment and objective value.
+    Optimal {
+        /// The optimal variable assignment.
+        x: Vec<f64>,
+        /// The optimal objective value `c·x`.
+        objective: f64,
+    },
+    /// The constraint set `Ax = b, x ≥ 0` is empty.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// A dense standard-form linear program.
+#[derive(Debug, Clone)]
+pub struct StandardLp {
+    /// Constraint matrix, row-major: `rows × cols`.
+    a: Vec<Vec<f64>>,
+    /// Right-hand side, one entry per row.
+    b: Vec<f64>,
+    /// Objective coefficients, one per column.
+    c: Vec<f64>,
+}
+
+impl StandardLp {
+    /// Creates a standard-form LP `min c·x  s.t.  Ax = b, x ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if the shapes are inconsistent.
+    pub fn new(a: Vec<Vec<f64>>, b: Vec<f64>, c: Vec<f64>) -> Self {
+        assert_eq!(a.len(), b.len(), "one rhs entry per constraint row");
+        for row in &a {
+            assert_eq!(row.len(), c.len(), "row width must match objective");
+        }
+        StandardLp { a, b, c }
+    }
+
+    /// Solves the LP with the two-phase simplex method.
+    pub fn solve(&self) -> LpResult {
+        let m = self.a.len();
+        let n = self.c.len();
+        if m == 0 {
+            // No constraints: optimum is 0 at x = 0 unless some c_j < 0.
+            if self.c.iter().any(|&cj| cj < -EPS) {
+                return LpResult::Unbounded;
+            }
+            return LpResult::Optimal {
+                x: vec![0.0; n],
+                objective: 0.0,
+            };
+        }
+
+        // Tableau layout: columns [x_0..x_n | artificial_0..artificial_m | rhs].
+        // Rows [constraint_0..constraint_m | objective].
+        let cols = n + m + 1;
+        let mut t = vec![vec![0.0; cols]; m + 1];
+        for (i, row) in self.a.iter().enumerate() {
+            let flip = if self.b[i] < 0.0 { -1.0 } else { 1.0 };
+            for (j, &v) in row.iter().enumerate() {
+                t[i][j] = flip * v;
+            }
+            t[i][n + i] = 1.0;
+            t[i][cols - 1] = flip * self.b[i];
+        }
+        let mut basis: Vec<usize> = (n..n + m).collect();
+
+        // Phase 1: minimise the sum of artificials. Expressing the objective
+        // in the initial (all-artificial) basis gives reduced cost
+        // `-Σ_i a_ij` for each real column and 0 for the basic artificials;
+        // the rhs entry holds the negated current objective value.
+        for j in 0..cols {
+            let s: f64 = t[..m].iter().map(|row| row[j]).sum();
+            t[m][j] = -s;
+        }
+        for cell in t[m][n..n + m].iter_mut() {
+            *cell = 0.0;
+        }
+        // Entering columns are restricted to the real variables; artificial
+        // variables never need to re-enter the basis.
+        if !simplex(&mut t, &mut basis, n) {
+            unreachable!("phase-1 objective is bounded below by 0");
+        }
+        if t[m][cols - 1].abs() > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial variables that remain basic out of the basis.
+        for i in 0..m {
+            if basis[i] >= n {
+                if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j);
+                }
+                // If the row is all-zero over real variables it is a
+                // redundant constraint; the artificial stays basic at zero,
+                // which is harmless as long as it never re-enters (it cannot:
+                // phase 2 restricts entering columns to the real variables).
+            }
+        }
+
+        // Phase 2: install the real objective expressed in the current basis.
+        t[m].iter_mut().for_each(|c| *c = 0.0);
+        t[m][..n].copy_from_slice(&self.c);
+        for i in 0..m {
+            if basis[i] < n {
+                let cb = self.c[basis[i]];
+                if cb != 0.0 {
+                    let row = t[i].clone();
+                    for (cell, &p) in t[m].iter_mut().zip(row.iter()) {
+                        *cell -= cb * p;
+                    }
+                }
+            }
+        }
+        if !simplex(&mut t, &mut basis, n) {
+            return LpResult::Unbounded;
+        }
+
+        let mut x = vec![0.0; n];
+        for (i, &bj) in basis.iter().enumerate() {
+            if bj < n {
+                x[bj] = t[i][cols - 1];
+            }
+        }
+        let objective: f64 = self.c.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+        LpResult::Optimal { x, objective }
+    }
+}
+
+/// Runs simplex iterations on the tableau until optimality (`true`) or a
+/// certificate of unboundedness (`false`). Only columns `< limit` may enter
+/// the basis. Uses Bland's rule for anti-cycling.
+fn simplex(t: &mut [Vec<f64>], basis: &mut [usize], limit: usize) -> bool {
+    let m = t.len() - 1;
+    let cols = t[0].len();
+    loop {
+        // Bland: entering column = smallest index with negative reduced cost.
+        let Some(enter) = (0..limit).find(|&j| t[m][j] < -EPS) else {
+            return true;
+        };
+        // Ratio test, Bland tie-break on smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][enter] > EPS {
+                let ratio = t[i][cols - 1] / t[i][enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // nothing limits the entering variable
+        };
+        pivot(t, basis, leave, enter);
+    }
+}
+
+/// Pivots the tableau so that column `enter` becomes basic in row `leave`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], leave: usize, enter: usize) {
+    let pv = t[leave][enter];
+    debug_assert!(pv.abs() > 1e-12, "pivot on a (near-)zero element");
+    for cell in t[leave].iter_mut() {
+        *cell /= pv;
+    }
+    let pivot_row = t[leave].clone();
+    for (i, row) in t.iter_mut().enumerate() {
+        if i != leave {
+            let f = row[enter];
+            if f != 0.0 {
+                for (cell, &p) in row.iter_mut().zip(pivot_row.iter()) {
+                    *cell -= f * p;
+                }
+            }
+        }
+    }
+    basis[leave] = enter;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_opt(r: &LpResult, want: f64) {
+        match r {
+            LpResult::Optimal { objective, .. } => {
+                assert!(
+                    (objective - want).abs() < 1e-6,
+                    "objective {objective} != {want}"
+                );
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_bounded_problem() {
+        // min -x - y  s.t.  x + y + s = 4, x + 3y + t = 6
+        let lp = StandardLp::new(
+            vec![
+                vec![1.0, 1.0, 1.0, 0.0],
+                vec![1.0, 3.0, 0.0, 1.0],
+            ],
+            vec![4.0, 6.0],
+            vec![-1.0, -1.0, 0.0, 0.0],
+        );
+        assert_opt(&lp.solve(), -4.0); // x=4, y=0 or x=3,y=1
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x = 1 and x = 2 simultaneously.
+        let lp = StandardLp::new(
+            vec![vec![1.0], vec![1.0]],
+            vec![1.0, 2.0],
+            vec![0.0],
+        );
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x  s.t.  x - y = 0  (x can grow with y)
+        let lp = StandardLp::new(
+            vec![vec![1.0, -1.0]],
+            vec![0.0],
+            vec![-1.0, 0.0],
+        );
+        assert_eq!(lp.solve(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // -x = -3  =>  x = 3; min x = 3.
+        let lp = StandardLp::new(vec![vec![-1.0]], vec![-3.0], vec![1.0]);
+        let r = lp.solve();
+        assert_opt(&r, 3.0);
+    }
+
+    #[test]
+    fn convex_combination_feasibility() {
+        // Is (0.5) a convex combination of {0, 1}?  λ0*0 + λ1*1 = 0.5, Σλ = 1.
+        let lp = StandardLp::new(
+            vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+            vec![0.5, 1.0],
+            vec![0.0, 0.0],
+        );
+        assert!(matches!(lp.solve(), LpResult::Optimal { .. }));
+        // Is (2.0)?  Infeasible.
+        let lp = StandardLp::new(
+            vec![vec![0.0, 1.0], vec![1.0, 1.0]],
+            vec![2.0, 1.0],
+            vec![0.0, 0.0],
+        );
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // Duplicate rows are redundant but consistent.
+        let lp = StandardLp::new(
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![2.0, 2.0],
+            vec![1.0, 2.0],
+        );
+        assert_opt(&lp.solve(), 2.0); // x=2, y=0
+    }
+}

@@ -1,0 +1,224 @@
+//! d-dimensional points and Euclidean distance primitives.
+//!
+//! The paper assumes Euclidean distance throughout (§2.1) but notes the
+//! techniques extend to other metrics; we keep the point representation
+//! metric-agnostic and expose squared/plain Euclidean helpers.
+
+use std::fmt;
+
+/// A point (instance) in d-dimensional space.
+///
+/// Coordinates are stored in a boxed slice: a point is created once and never
+/// resized, so we save a word over `Vec` (see the type-size guidance in the
+/// Rust perf book) — millions of instances are held in memory at once.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    /// Panics if `coords` is empty or contains a non-finite value.
+    pub fn new(coords: impl Into<Box<[f64]>>) -> Self {
+        let coords = coords.into();
+        assert!(!coords.is_empty(), "a point needs at least one dimension");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "point coordinates must be finite"
+        );
+        Point { coords }
+    }
+
+    /// The dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The `i`-th coordinate (`p[i]` in the paper's notation).
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Squared Euclidean distance to another point.
+    ///
+    /// # Panics
+    /// Panics in debug builds if dimensions differ.
+    #[inline]
+    pub fn dist2(&self, other: &Point) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Euclidean distance δ(u, v) to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Manhattan (L1) distance. The paper's techniques extend to other
+    /// metrics (§2.1); the dominance operators as shipped use L2, but the
+    /// metric helpers are provided for downstream distance distributions.
+    pub fn dist_l1(&self, other: &Point) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Chebyshev (L∞) distance.
+    pub fn dist_linf(&self, other: &Point) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Minkowski distance of order `p ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (not a metric below 1).
+    pub fn dist_minkowski(&self, other: &Point, p: f64) -> f64 {
+        assert!(p >= 1.0, "Minkowski order must be at least 1");
+        debug_assert_eq!(self.dim(), other.dim());
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs().powf(p))
+            .sum::<f64>()
+            .powf(1.0 / p)
+    }
+
+    /// Minimal Euclidean distance from this point to a non-empty set of
+    /// points: `δ_min(x, S) = min_{y ∈ S} δ(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `set` is empty.
+    pub fn dist_min(&self, set: &[Point]) -> f64 {
+        set.iter()
+            .map(|y| self.dist(y))
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("δ_min of an empty set is undefined")
+    }
+
+    /// Maximal Euclidean distance from this point to a non-empty set of
+    /// points: `δ_max(x, S) = max_{y ∈ S} δ(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `set` is empty.
+    pub fn dist_max(&self, set: &[Point]) -> f64 {
+        set.iter()
+            .map(|y| self.dist(y))
+            .max_by(|a, b| a.total_cmp(b))
+            .expect("δ_max of an empty set is undefined")
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(v: Vec<f64>) -> Self {
+        Point::new(v)
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for Point {
+    fn from(a: [f64; N]) -> Self {
+        Point::new(a.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::new(c.to_vec())
+    }
+
+    #[test]
+    fn distance_basics() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, 4.0]);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let a = p(&[1.0, 2.0, 3.0]);
+        let b = p(&[-4.0, 0.5, 9.0]);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn min_max_set_distance() {
+        let x = p(&[0.0, 0.0]);
+        let set = vec![p(&[1.0, 0.0]), p(&[0.0, 2.0]), p(&[3.0, 4.0])];
+        assert_eq!(x.dist_min(&set), 1.0);
+        assert_eq!(x.dist_max(&set), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_point_rejected() {
+        let _ = Point::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = p(&[0.0, f64::NAN]);
+    }
+
+    #[test]
+    fn minkowski_family_consistent() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, 4.0]);
+        assert_eq!(a.dist_l1(&b), 7.0);
+        assert_eq!(a.dist_linf(&b), 4.0);
+        assert!((a.dist_minkowski(&b, 1.0) - 7.0).abs() < 1e-12);
+        assert!((a.dist_minkowski(&b, 2.0) - 5.0).abs() < 1e-12);
+        // L∞ is the p → ∞ limit; p = 64 is already close.
+        assert!((a.dist_minkowski(&b, 64.0) - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn minkowski_below_one_rejected() {
+        let a = p(&[0.0]);
+        let _ = a.dist_minkowski(&p(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn from_array() {
+        let a: Point = [1.0, 2.0].into();
+        assert_eq!(a.dim(), 2);
+        assert_eq!(a.coord(1), 2.0);
+    }
+}

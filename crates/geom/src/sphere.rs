@@ -1,0 +1,286 @@
+//! Hyperspheres: minimal enclosing balls (Welzl's algorithm) and the
+//! sphere-based full-spatial-dominance filter.
+//!
+//! The paper notes (§4.1) that the filtering technique of Long et al.
+//! (SIGMOD 2014, \[25\]) "may also be applied if objects are approximated by
+//! hyperspheres". This module supplies the primitives: an exact minimal
+//! enclosing ball in any dimension and a *sound* (sufficient, not tight)
+//! sphere dominance test — Long et al.'s optimal test is their
+//! contribution; the triangle-inequality bound below never validates a
+//! false dominance, it merely validates fewer true ones.
+
+use crate::point::Point;
+
+/// A d-dimensional ball.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sphere {
+    /// Centre point.
+    pub center: Point,
+    /// Radius (≥ 0).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Whether the ball contains `p` (with a small tolerance).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.dist(p) <= self.radius + 1e-9
+    }
+
+    /// Minimal distance from `q` to the ball (0 if inside).
+    pub fn min_dist(&self, q: &Point) -> f64 {
+        (self.center.dist(q) - self.radius).max(0.0)
+    }
+
+    /// Maximal distance from `q` to the ball.
+    pub fn max_dist(&self, q: &Point) -> f64 {
+        self.center.dist(q) + self.radius
+    }
+}
+
+/// Computes the minimal enclosing ball of `points` with Welzl's
+/// move-to-front algorithm (expected linear time).
+///
+/// # Panics
+/// Panics if `points` is empty.
+pub fn min_enclosing_ball(points: &[Point]) -> Sphere {
+    assert!(!points.is_empty(), "MEB of an empty point set");
+    let dim = points[0].dim();
+    let mut pts: Vec<&Point> = points.iter().collect();
+    welzl(&mut pts, &mut Vec::new(), dim)
+}
+
+fn welzl<'a>(pts: &mut Vec<&'a Point>, support: &mut Vec<&'a Point>, dim: usize) -> Sphere {
+    if pts.is_empty() || support.len() == dim + 1 {
+        return ball_from_support(support, dim);
+    }
+    let p = pts.pop().expect("non-empty");
+    let ball = welzl(pts, support, dim);
+    if ball.contains(p) {
+        pts.push(p);
+        return ball;
+    }
+    support.push(p);
+    let ball = welzl(pts, support, dim);
+    support.pop();
+    pts.push(p);
+    // Move-to-front: keep boundary points near the start for later calls.
+    let idx = pts.len() - 1;
+    pts.swap(0, idx);
+    ball
+}
+
+/// Exact circumball of ≤ d+1 support points: centre
+/// `c = p0 + Σ λ_i (p_i − p0)` with `(p_i − p0)·(c − p0) = |p_i − p0|²/2`.
+fn ball_from_support(support: &[&Point], dim: usize) -> Sphere {
+    match support.len() {
+        0 => Sphere {
+            center: Point::new(vec![0.0; dim]),
+            radius: 0.0,
+        },
+        1 => Sphere {
+            center: support[0].clone(),
+            radius: 0.0,
+        },
+        _ => {
+            let p0 = support[0];
+            let k = support.len() - 1;
+            // Build the k×k system A λ = b with
+            // A[i][j] = (p_{i+1} − p0)·(p_{j+1} − p0), b[i] = |p_{i+1} − p0|²/2.
+            let diffs: Vec<Vec<f64>> = support[1..]
+                .iter()
+                .map(|p| {
+                    p.coords()
+                        .iter()
+                        .zip(p0.coords())
+                        .map(|(a, b)| a - b)
+                        .collect()
+                })
+                .collect();
+            let mut a = vec![vec![0.0f64; k]; k];
+            let mut b = vec![0.0f64; k];
+            for i in 0..k {
+                for j in 0..k {
+                    a[i][j] = dot(&diffs[i], &diffs[j]);
+                }
+                b[i] = 0.5 * dot(&diffs[i], &diffs[i]);
+            }
+            let lambda = solve(a, b);
+            let mut center: Vec<f64> = p0.coords().to_vec();
+            for (l, d) in lambda.iter().zip(diffs.iter()) {
+                for (c, dc) in center.iter_mut().zip(d.iter()) {
+                    *c += l * dc;
+                }
+            }
+            let center = Point::new(center);
+            let radius = support
+                .iter()
+                .map(|p| center.dist(p))
+                .fold(0.0f64, f64::max);
+            Sphere { center, radius }
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Gaussian elimination with partial pivoting; near-singular systems
+/// (degenerate support sets) zero the dependent coordinates, which keeps
+/// the ball finite and the enclosing radius is re-measured afterwards.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty system");
+        if a[pivot][col].abs() < 1e-12 {
+            // Dependent direction: leave λ at 0.
+            for row in a.iter_mut().skip(col) {
+                row[col] = 0.0;
+            }
+            continue;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let pv = a[col][col];
+        for cell in a[col][col..n].iter_mut() {
+            *cell /= pv;
+        }
+        b[col] /= pv;
+        for i in 0..n {
+            if i != col {
+                let f = a[i][col];
+                if f != 0.0 {
+                    let pivot_row = a[col].clone();
+                    for (cell, &p) in a[i].iter_mut().zip(pivot_row.iter()) {
+                        *cell -= f * p;
+                    }
+                    b[i] -= f * b[col];
+                }
+            }
+        }
+    }
+    b
+}
+
+/// Sufficient hypersphere dominance: every point of `u` is at least as
+/// close as every point of `v` to every point of `q` whenever
+///
+/// ```text
+/// |c_q − c_u| + r_q + r_u  ≤  |c_q − c_v| − r_q − r_v
+/// ```
+///
+/// (triangle-inequality bound). `true` guarantees F-SD of the enclosed
+/// point sets; `false` is inconclusive — the optimal decision is the
+/// subject of \[25\].
+pub fn sphere_dominates_sufficient(u: &Sphere, v: &Sphere, q: &Sphere) -> bool {
+    let du = q.center.dist(&u.center);
+    let dv = q.center.dist(&v.center);
+    du + q.radius + u.radius <= dv - q.radius - v.radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(c: &[f64]) -> Point {
+        Point::new(c.to_vec())
+    }
+
+    #[test]
+    fn meb_of_single_and_pair() {
+        let s = min_enclosing_ball(&[p(&[2.0, 3.0])]);
+        assert_eq!(s.radius, 0.0);
+        assert_eq!(s.center, p(&[2.0, 3.0]));
+        let s = min_enclosing_ball(&[p(&[0.0, 0.0]), p(&[4.0, 0.0])]);
+        assert!((s.radius - 2.0).abs() < 1e-9);
+        assert!(s.center.dist(&p(&[2.0, 0.0])) < 1e-9);
+    }
+
+    #[test]
+    fn meb_of_triangle() {
+        // Right triangle: MEB is the circumcircle on the hypotenuse.
+        let pts = [p(&[0.0, 0.0]), p(&[6.0, 0.0]), p(&[0.0, 8.0])];
+        let s = min_enclosing_ball(&pts);
+        assert!((s.radius - 5.0).abs() < 1e-9);
+        assert!(s.center.dist(&p(&[3.0, 4.0])) < 1e-9);
+        for q in &pts {
+            assert!(s.contains(q));
+        }
+    }
+
+    #[test]
+    fn meb_contains_all_and_is_tight() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for dim in [2usize, 3, 4] {
+            for _ in 0..20 {
+                let pts: Vec<Point> = (0..rng.gen_range(1..20))
+                    .map(|_| {
+                        Point::new((0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect::<Vec<_>>())
+                    })
+                    .collect();
+                let s = min_enclosing_ball(&pts);
+                for q in &pts {
+                    assert!(s.contains(q), "MEB misses a point (dim {dim})");
+                }
+                // Tightness: radius is at least half the diameter.
+                let mut diam = 0.0f64;
+                for i in 0..pts.len() {
+                    for j in (i + 1)..pts.len() {
+                        diam = diam.max(pts[i].dist(&pts[j]));
+                    }
+                }
+                assert!(
+                    s.radius <= diam + 1e-6,
+                    "radius {} exceeds diameter {diam}",
+                    s.radius
+                );
+                assert!(s.radius >= diam / 2.0 - 1e-6, "radius below half-diameter");
+            }
+        }
+    }
+
+    #[test]
+    fn meb_degenerate_duplicates() {
+        let pts = vec![p(&[1.0, 1.0]); 5];
+        let s = min_enclosing_ball(&pts);
+        assert!(s.radius < 1e-9);
+    }
+
+    #[test]
+    fn sphere_dominance_sound() {
+        let u = Sphere { center: p(&[0.0, 0.0]), radius: 1.0 };
+        let v = Sphere { center: p(&[20.0, 0.0]), radius: 1.0 };
+        let q = Sphere { center: p(&[0.0, 3.0]), radius: 1.0 };
+        assert!(sphere_dominates_sufficient(&u, &v, &q));
+        assert!(!sphere_dominates_sufficient(&v, &u, &q));
+        // Sample check: every (qp, up, vp) triple satisfies the distances.
+        for t in 0..16 {
+            let ang = t as f64;
+            let qp = p(&[ang.cos() + 0.0, ang.sin() + 3.0]);
+            let up = p(&[(ang * 1.7).cos(), (ang * 1.7).sin()]);
+            let vp = p(&[20.0 + (ang * 2.3).cos(), (ang * 2.3).sin()]);
+            assert!(up.dist(&qp) <= vp.dist(&qp));
+        }
+    }
+
+    #[test]
+    fn sphere_dominance_inconclusive_when_overlapping() {
+        let u = Sphere { center: p(&[0.0, 0.0]), radius: 2.0 };
+        let v = Sphere { center: p(&[1.0, 0.0]), radius: 2.0 };
+        let q = Sphere { center: p(&[0.0, 1.0]), radius: 0.5 };
+        assert!(!sphere_dominates_sufficient(&u, &v, &q));
+    }
+
+    #[test]
+    fn min_max_dist_bounds() {
+        let s = Sphere { center: p(&[0.0, 0.0]), radius: 2.0 };
+        let q = p(&[5.0, 0.0]);
+        assert!((s.min_dist(&q) - 3.0).abs() < 1e-12);
+        assert!((s.max_dist(&q) - 7.0).abs() < 1e-12);
+        assert_eq!(s.min_dist(&p(&[1.0, 0.0])), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! # osd-nncore
+//!
+//! The **NN-core** competitor of Yuen et al. (TKDE 2010, \[36\] in the
+//! paper): NN candidates derived from pairwise *superseding* competitions.
+//!
+//! `U` supersedes `V` w.r.t. the query when `U` is more likely than not to
+//! be the closer of the two; the NN-core is the minimal set of objects such
+//! that every member supersedes every non-member (the *top cycle* of the
+//! superseding tournament).
+//!
+//! The paper's §1 shows NN-core is **too aggressive**: in Figure 1 the
+//! NN-core is `{A}`, yet `C` is the NN under `max` and `B` under the
+//! expected distance — so NN-core can miss the winner of common N1
+//! functions (Remark 1 excludes it from the paper's evaluation for exactly
+//! this reason). This crate exists so that claim can be demonstrated and
+//! tested, not as a recommended operator.
+//!
+//! ```
+//! use osd_geom::Point;
+//! use osd_nncore::{nn_core, supersedes};
+//! use osd_uncertain::UncertainObject;
+//!
+//! let q = UncertainObject::uniform(vec![Point::from([0.0])]);
+//! let near = UncertainObject::uniform(vec![Point::from([1.0]), Point::from([2.0])]);
+//! let far = UncertainObject::uniform(vec![Point::from([5.0]), Point::from([6.0])]);
+//! assert!(supersedes(&near, &far, &q));
+//! assert_eq!(nn_core(&[near, far], &q), vec![0]);
+//! ```
+#![warn(missing_docs)]
+
+use osd_uncertain::UncertainObject;
+
+/// `Pr(δ(U, Q) < δ(V, Q))` under independent instance draws (exact ties
+/// contribute half their mass, keeping the competition symmetric:
+/// `win(U,V) + win(V,U) = 1`).
+pub fn win_probability(u: &UncertainObject, v: &UncertainObject, query: &UncertainObject) -> f64 {
+    let mut win = 0.0;
+    for q in query.instances() {
+        for ui in u.instances() {
+            let du = q.point.dist(&ui.point);
+            for vj in v.instances() {
+                let dv = q.point.dist(&vj.point);
+                let mass = q.prob * ui.prob * vj.prob;
+                if du < dv {
+                    win += mass;
+                } else if du == dv {
+                    win += 0.5 * mass;
+                }
+            }
+        }
+    }
+    win
+}
+
+/// Whether `U` supersedes `V`: `Pr(U closer) > 1/2`.
+pub fn supersedes(u: &UncertainObject, v: &UncertainObject, query: &UncertainObject) -> bool {
+    win_probability(u, v, query) > 0.5
+}
+
+/// Computes the NN-core: the minimal set `S` with every member superseding
+/// every non-member. With strict majority wins the superseding relation is
+/// a (possibly tied) tournament whose top cycle is found by ordering
+/// objects by win count and taking the shortest prefix that beats all of
+/// the rest. Returns indices into `objects`, ascending.
+///
+/// # Panics
+/// Panics if `objects` is empty.
+pub fn nn_core(objects: &[UncertainObject], query: &UncertainObject) -> Vec<usize> {
+    assert!(!objects.is_empty(), "NN-core of an empty object set");
+    let n = objects.len();
+    if n == 1 {
+        return vec![0];
+    }
+    // Pairwise win matrix.
+    let mut beats = vec![vec![false; n]; n];
+    let mut wins = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = win_probability(&objects[i], &objects[j], query);
+            if p > 0.5 {
+                beats[i][j] = true;
+                wins[i] += 1;
+            } else if p < 0.5 {
+                beats[j][i] = true;
+                wins[j] += 1;
+            }
+            // Exact ties leave both directions false: a tie blocks both
+            // objects from excluding each other, growing the core.
+        }
+    }
+    // Order by win count (descending) and find the shortest dominant prefix.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
+    for k in 1..n {
+        let (core, rest) = order.split_at(k);
+        let dominant = core
+            .iter()
+            .all(|&u| rest.iter().all(|&v| beats[u][v]));
+        if dominant {
+            let mut out = core.to_vec();
+            out.sort_unstable();
+            return out;
+        }
+    }
+    let mut out = order;
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    fn obj(points: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::new(
+            points
+                .iter()
+                .map(|&(x, p)| (Point::new(vec![x]), p))
+                .collect(),
+        )
+    }
+
+    /// Figure 1 of the paper: three objects, two instances each at
+    /// probability 0.6/0.4, query a single point. A supersedes B and C,
+    /// B supersedes C, so NN-core = {A} — even though `max` prefers C and
+    /// the expected distance prefers B.
+    #[test]
+    fn figure1_nn_core_is_a() {
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        // Distances mirror Figure 1's competition structure:
+        // A = {1 (.6), 8 (.4)}, B = {2 (.6), 5 (.4)}, C = {4 (.6), 4.5 (.4)}.
+        let a = obj(&[(1.0, 0.6), (8.0, 0.4)]);
+        let b = obj(&[(2.0, 0.6), (5.0, 0.4)]);
+        let c = obj(&[(4.0, 0.6), (4.5, 0.4)]);
+
+        assert!((win_probability(&a, &b, &q) - 0.6).abs() < 1e-12);
+        assert!(supersedes(&a, &b, &q));
+        assert!(supersedes(&a, &c, &q));
+        assert!(supersedes(&b, &c, &q));
+
+        let objects = vec![a.clone(), b.clone(), c.clone()];
+        assert_eq!(nn_core(&objects, &q), vec![0]);
+
+        // …yet C is the NN under max, and B under the expected distance:
+        // NN-core missed both (the paper's motivating observation).
+        use osd_nnfuncs::{nn_under, N1Function};
+        let nn_max = nn_under(&objects, |o| N1Function::Max.score(o, &q)).unwrap();
+        let nn_mean = nn_under(&objects, |o| N1Function::Mean.score(o, &q)).unwrap();
+        assert_eq!(nn_max, 2);
+        assert_eq!(nn_mean, 1);
+        assert!(!nn_core(&objects, &q).contains(&nn_max));
+        assert!(!nn_core(&objects, &q).contains(&nn_mean));
+    }
+
+    #[test]
+    fn win_probabilities_are_complementary() {
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let a = obj(&[(1.0, 0.5), (3.0, 0.5)]);
+        let b = obj(&[(2.0, 0.5), (4.0, 0.5)]);
+        let ab = win_probability(&a, &b, &q);
+        let ba = win_probability(&b, &a, &q);
+        assert!((ab + ba - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_keeps_both_in_core() {
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let a = obj(&[(1.0, 0.5), (4.0, 0.5)]);
+        let twin = a.clone();
+        let objects = vec![a, twin];
+        assert_eq!(nn_core(&objects, &q), vec![0, 1]);
+    }
+
+    #[test]
+    fn rock_paper_scissors_cycle_is_whole_core() {
+        // A 3-cycle in the superseding tournament: the top cycle is all
+        // three objects.
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        // Classic non-transitive construction (intransitive dice, smaller
+        // distance wins): A = {1, 6, 8}, B = {2, 4, 9}, C = {3, 5, 7}:
+        // Pr(A<B) = Pr(B<C) = Pr(C<A) = 5/9.
+        let third = 1.0 / 3.0;
+        let a = obj(&[(1.0, third), (6.0, third), (8.0, third)]);
+        let b = obj(&[(2.0, third), (4.0, third), (9.0, third)]);
+        let c = obj(&[(3.0, third), (5.0, third), (7.0, third)]);
+        assert!(supersedes(&a, &b, &q));
+        assert!(supersedes(&b, &c, &q));
+        assert!(supersedes(&c, &a, &q));
+        let objects = vec![a, b, c];
+        assert_eq!(nn_core(&objects, &q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_instance_query_supported() {
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0]), Point::new(vec![10.0])]);
+        let near_both = obj(&[(4.0, 0.5), (6.0, 0.5)]);
+        let far = obj(&[(20.0, 0.5), (25.0, 0.5)]);
+        assert!(supersedes(&near_both, &far, &q));
+        let objects = vec![near_both, far];
+        assert_eq!(nn_core(&objects, &q), vec![0]);
+    }
+
+    #[test]
+    fn single_object_core() {
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let objects = vec![obj(&[(1.0, 1.0)])];
+        assert_eq!(nn_core(&objects, &q), vec![0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # osd-nnfuncs
+//!
+//! The three NN-function families that the spatial dominance operators of
+//! *Optimal Spatial Dominance* (SIGMOD 2015) are optimal against:
+//!
+//! * [`n1`] — all-pairs aggregates over the distance distribution `U_Q`:
+//!   min, max, mean (expected distance), φ-quantile and stable linear
+//!   combinations (§3.2);
+//! * [`n2`] — possible-world based functions via the parameterized ranking
+//!   model: NN probability, expected rank, global top-k, arbitrary
+//!   non-decreasing position weights; exact polynomial computation through a
+//!   Poisson-binomial rank-distribution DP plus a brute-force world
+//!   enumeration oracle (§3.3);
+//! * [`n3`] — selected-pairs functions: Hausdorff, Sum-of-Minimal and the
+//!   Earth Mover's / Netflow distance solved by exact min-cost max-flow
+//!   (§3.4, Appendix A).
+//!
+//! Scores follow the paper's convention: **smaller is better** (probability
+//! based scores are negated inside the parameterized weights).
+//!
+//! ```
+//! use osd_geom::Point;
+//! use osd_nnfuncs::{emd, hausdorff, nn_probability, N1Function};
+//! use osd_uncertain::UncertainObject;
+//!
+//! let q = UncertainObject::uniform(vec![Point::from([0.0])]);
+//! let a = UncertainObject::uniform(vec![Point::from([1.0]), Point::from([3.0])]);
+//! let b = UncertainObject::uniform(vec![Point::from([2.0]), Point::from([4.0])]);
+//!
+//! // N1: aggregate functions over all pairwise distances.
+//! assert_eq!(N1Function::Mean.score(&a, &q), 2.0);
+//! assert_eq!(N1Function::Quantile(0.5).score(&b, &q), 2.0);
+//!
+//! // N2: possible-world based — Pr(a is the nearest neighbour).
+//! let objs = vec![a.clone(), b.clone()];
+//! assert!(nn_probability(&objs, 0, &q) > 0.5);
+//!
+//! // N3: selected-pairs distances.
+//! assert_eq!(hausdorff(&a, &q), 3.0);
+//! assert!((emd(&a, &q) - 2.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counterpart;
+pub mod n1;
+pub mod n2;
+pub mod n3;
+pub mod sampling;
+
+pub use counterpart::{counterpart, emd_selection, selection_cost, SelectedPair};
+pub use n1::{nn_under, LinearCombination, N1Function, StableAggregate};
+pub use n2::{nn_probability, rank_distribution, rank_distribution_bruteforce, N2Function};
+pub use n3::{emd, emd_bruteforce_uniform, hausdorff, netflow, sum_min};
+pub use sampling::{nn_probability_sampled, rank_distribution_sampled};

@@ -1,0 +1,182 @@
+//! Family N1 — all-pairs based NN functions (§3.2).
+//!
+//! `f(U) = g(U_Q)` for a *stable* aggregate `g` (Definition 8): one that
+//! respects the stochastic order. The classic instantiations are `min`,
+//! `max`, `mean` (expected distance) and the φ-quantile (Definition 10),
+//! plus arbitrary non-negative linear combinations of them (any convex
+//! combination of stable aggregates is stable).
+
+use osd_uncertain::{DistanceDistribution, UncertainObject};
+
+/// A stable aggregate over a distance distribution: `X ⪯_st Y` must imply
+/// `g(X) ≤ g(Y)`.
+pub trait StableAggregate {
+    /// Aggregates the distribution into a score (smaller is better).
+    fn aggregate(&self, dist: &DistanceDistribution) -> f64;
+    /// Human-readable name, for experiment output.
+    fn name(&self) -> String;
+}
+
+/// The premier N1 aggregates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum N1Function {
+    /// Smallest pairwise distance.
+    Min,
+    /// Largest pairwise distance.
+    Max,
+    /// Expected (mean) distance.
+    Mean,
+    /// φ-quantile distance (Definition 10), `0 < φ ≤ 1`.
+    Quantile(f64),
+}
+
+impl StableAggregate for N1Function {
+    fn aggregate(&self, dist: &DistanceDistribution) -> f64 {
+        match *self {
+            N1Function::Min => dist.min(),
+            N1Function::Max => dist.max(),
+            N1Function::Mean => dist.mean(),
+            N1Function::Quantile(phi) => dist.quantile(phi),
+        }
+    }
+
+    fn name(&self) -> String {
+        match *self {
+            N1Function::Min => "min".into(),
+            N1Function::Max => "max".into(),
+            N1Function::Mean => "mean".into(),
+            N1Function::Quantile(phi) => format!("quantile({phi})"),
+        }
+    }
+}
+
+impl N1Function {
+    /// Scores `object` against `query`: `f(U) = g(U_Q)`.
+    pub fn score(&self, object: &UncertainObject, query: &UncertainObject) -> f64 {
+        self.aggregate(&DistanceDistribution::between(object, query))
+    }
+}
+
+/// A non-negative linear combination of stable aggregates — itself stable,
+/// demonstrating that N1 is an infinite family.
+pub struct LinearCombination {
+    terms: Vec<(f64, N1Function)>,
+}
+
+impl LinearCombination {
+    /// Creates `Σ w_i · g_i` with all `w_i ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if empty or any weight is negative.
+    pub fn new(terms: Vec<(f64, N1Function)>) -> Self {
+        assert!(!terms.is_empty(), "a combination needs at least one term");
+        assert!(terms.iter().all(|&(w, _)| w >= 0.0), "weights must be non-negative");
+        LinearCombination { terms }
+    }
+
+    /// Scores `object` against `query`.
+    pub fn score(&self, object: &UncertainObject, query: &UncertainObject) -> f64 {
+        let d = DistanceDistribution::between(object, query);
+        self.aggregate(&d)
+    }
+}
+
+impl StableAggregate for LinearCombination {
+    fn aggregate(&self, dist: &DistanceDistribution) -> f64 {
+        self.terms
+            .iter()
+            .map(|(w, g)| w * g.aggregate(dist))
+            .sum()
+    }
+
+    fn name(&self) -> String {
+        let parts: Vec<String> = self
+            .terms
+            .iter()
+            .map(|(w, g)| format!("{w}*{}", g.name()))
+            .collect();
+        parts.join(" + ")
+    }
+}
+
+/// Returns the NN object index under `f` (smallest score; ties to the lower
+/// index). `None` when `objects` is empty.
+pub fn nn_under<F: Fn(&UncertainObject) -> f64>(objects: &[UncertainObject], f: F) -> Option<usize> {
+    objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (i, f(o)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    fn obj(points: &[f64]) -> UncertainObject {
+        UncertainObject::uniform(points.iter().map(|&x| Point::new(vec![x])).collect())
+    }
+
+    #[test]
+    fn min_max_mean_on_line() {
+        let q = obj(&[0.0]);
+        let a = obj(&[1.0, 3.0]);
+        assert_eq!(N1Function::Min.score(&a, &q), 1.0);
+        assert_eq!(N1Function::Max.score(&a, &q), 3.0);
+        assert_eq!(N1Function::Mean.score(&a, &q), 2.0);
+    }
+
+    #[test]
+    fn quantile_on_line() {
+        let q = obj(&[0.0]);
+        let a = obj(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(N1Function::Quantile(0.25).score(&a, &q), 1.0);
+        assert_eq!(N1Function::Quantile(0.5).score(&a, &q), 2.0);
+        assert_eq!(N1Function::Quantile(0.75).score(&a, &q), 3.0);
+        assert_eq!(N1Function::Quantile(1.0).score(&a, &q), 4.0);
+    }
+
+    /// Figure 1's observation: under `max`, C is the NN; under `mean`
+    /// (expected), B is the NN — different functions pick different objects.
+    #[test]
+    fn different_functions_different_nn() {
+        let q = obj(&[0.0]);
+        // A: close but with a far tail; B: best mean; C: best max.
+        let a = UncertainObject::new(vec![
+            (Point::new(vec![1.0]), 0.6),
+            (Point::new(vec![10.0]), 0.4),
+        ]);
+        let b = UncertainObject::new(vec![
+            (Point::new(vec![2.0]), 0.6),
+            (Point::new(vec![5.0]), 0.4),
+        ]);
+        let c = UncertainObject::new(vec![
+            (Point::new(vec![4.0]), 0.6),
+            (Point::new(vec![4.5]), 0.4),
+        ]);
+        let objs = vec![a, b, c];
+        let nn_max = nn_under(&objs, |o| N1Function::Max.score(o, &q)).unwrap();
+        let nn_mean = nn_under(&objs, |o| N1Function::Mean.score(o, &q)).unwrap();
+        let nn_min = nn_under(&objs, |o| N1Function::Min.score(o, &q)).unwrap();
+        assert_eq!(nn_max, 2);
+        assert_eq!(nn_mean, 1);
+        assert_eq!(nn_min, 0);
+    }
+
+    #[test]
+    fn linear_combination_is_stable_shape() {
+        let q = obj(&[0.0]);
+        let a = obj(&[1.0, 3.0]);
+        let f = LinearCombination::new(vec![(0.5, N1Function::Min), (0.5, N1Function::Max)]);
+        assert_eq!(f.score(&a, &q), 2.0);
+        assert!(f.name().contains("min"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = LinearCombination::new(vec![(-1.0, N1Function::Min)]);
+    }
+}

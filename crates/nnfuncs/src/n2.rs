@@ -1,0 +1,277 @@
+//! Family N2 — possible-world based NN functions (§3.3).
+//!
+//! A possible world `W` picks one instance from each object and from the
+//! query; the object's rank `r(U, W)` follows traditional NN semantics. The
+//! parameterized ranking model of Li et al. \[23\] unifies the popular
+//! instantiations: `Υ(U) = Σ_i ω(i) · Pr(r(U) = i)` with non-decreasing
+//! position weights `ω`.
+//!
+//! The rank distribution is computed **exactly in polynomial time**: fixing
+//! a query instance `q` and an instance `u ∈ U`, every other object `V` is
+//! closer than `U` independently with probability `Pr(δ(V, q) < δ(u, q))`,
+//! so the rank is `1 +` a Poisson-binomial variable, evaluated by an
+//! `O(n²)` dynamic program. A brute-force possible-world enumerator serves
+//! as a small-input oracle.
+//!
+//! Ranks use the standard tie rule `r(U, W) = 1 + |{V : δ(V, W) < δ(U, W)}|`
+//! (ties share the better rank), applied consistently in both the factored
+//! computation and the oracle.
+
+use osd_uncertain::{for_each_world, UncertainObject};
+
+/// Exact rank distribution of `objects[target]` w.r.t. `query`:
+/// entry `i` is `Pr(r(U) = i + 1)`.
+///
+/// Runs in `O(|Q| · m · (n · m̄ + n²))` where `m̄` bounds instance counts.
+///
+/// # Panics
+/// Panics if `target` is out of range.
+pub fn rank_distribution(
+    objects: &[UncertainObject],
+    target: usize,
+    query: &UncertainObject,
+) -> Vec<f64> {
+    assert!(target < objects.len(), "target index out of range");
+    let n = objects.len();
+    let mut rank = vec![0.0f64; n];
+    let u_obj = &objects[target];
+    for q in query.instances() {
+        for u in u_obj.instances() {
+            let d = q.point.dist(&u.point);
+            // Pr(V strictly closer than d) per competitor.
+            let closer: Vec<f64> = objects
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != target)
+                .map(|(_, v)| {
+                    v.instances()
+                        .iter()
+                        .filter(|vi| q.point.dist(&vi.point) < d)
+                        .map(|vi| vi.prob)
+                        .sum::<f64>()
+                })
+                .collect();
+            // Poisson-binomial DP: f[k] = Pr(exactly k competitors closer).
+            let mut f = vec![0.0f64; closer.len() + 1];
+            f[0] = 1.0;
+            for (idx, &b) in closer.iter().enumerate() {
+                for k in (0..=idx).rev() {
+                    let move_up = f[k] * b;
+                    f[k + 1] += move_up;
+                    f[k] -= move_up;
+                }
+            }
+            let w = q.prob * u.prob;
+            for (k, &fk) in f.iter().enumerate() {
+                rank[k] += w * fk;
+            }
+        }
+    }
+    rank
+}
+
+/// Brute-force oracle: the same rank distribution via possible-world
+/// enumeration. Exponential — only for small inputs/tests.
+pub fn rank_distribution_bruteforce(
+    objects: &[UncertainObject],
+    target: usize,
+    query: &UncertainObject,
+) -> Vec<f64> {
+    assert!(target < objects.len(), "target index out of range");
+    let mut participants: Vec<&UncertainObject> = Vec::with_capacity(objects.len() + 1);
+    participants.push(query);
+    participants.extend(objects.iter());
+    let mut rank = vec![0.0f64; objects.len()];
+    for_each_world(&participants, |choice, prob| {
+        let q = &query.instances()[choice[0]].point;
+        let dists: Vec<f64> = objects
+            .iter()
+            .enumerate()
+            .map(|(j, o)| q.dist(&o.instances()[choice[j + 1]].point))
+            .collect();
+        let du = dists[target];
+        let closer = dists
+            .iter()
+            .enumerate()
+            .filter(|&(j, &dv)| j != target && dv < du)
+            .count();
+        rank[closer] += prob;
+    });
+    rank
+}
+
+/// Position-weight schemes `ω(i)` for the parameterized ranking model.
+/// Weights must be non-decreasing in `i` (better positions weigh less,
+/// because smaller scores are better).
+#[derive(Debug, Clone, PartialEq)]
+pub enum N2Function {
+    /// NN probability: `ω(1) = −1`, else 0 — `Υ(U) = −Pr(U is the NN)`.
+    NnProbability,
+    /// Expected rank: `ω(i) = i`.
+    ExpectedRank,
+    /// Global top-k: `ω(i) = −1` for `i ≤ k`, else 0 — `Υ(U) = −Pr(r(U) ≤ k)`.
+    GlobalTopK(usize),
+    /// Arbitrary non-decreasing weights; positions past the end reuse the
+    /// last weight.
+    Parameterized(Vec<f64>),
+}
+
+impl N2Function {
+    /// The weight `ω(i)` for 1-based position `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        debug_assert!(i >= 1);
+        match self {
+            N2Function::NnProbability => {
+                if i == 1 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            N2Function::ExpectedRank => i as f64,
+            N2Function::GlobalTopK(k) => {
+                if i <= *k {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            N2Function::Parameterized(w) => {
+                if w.is_empty() {
+                    0.0
+                } else {
+                    w[(i - 1).min(w.len() - 1)]
+                }
+            }
+        }
+    }
+
+    /// The parameterized ranking score `Υ(U) = Σ_i ω(i) Pr(r(U) = i)`
+    /// (smaller is better).
+    pub fn score(&self, objects: &[UncertainObject], target: usize, query: &UncertainObject) -> f64 {
+        let rank = rank_distribution(objects, target, query);
+        self.score_from_rank(&rank)
+    }
+
+    /// Applies the weights to a precomputed rank distribution.
+    pub fn score_from_rank(&self, rank: &[f64]) -> f64 {
+        rank.iter()
+            .enumerate()
+            .map(|(k, &p)| self.weight(k + 1) * p)
+            .sum()
+    }
+
+    /// Display name for experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            N2Function::NnProbability => "nn-probability".into(),
+            N2Function::ExpectedRank => "expected-rank".into(),
+            N2Function::GlobalTopK(k) => format!("global-top-{k}"),
+            N2Function::Parameterized(_) => "parameterized".into(),
+        }
+    }
+}
+
+/// Convenience: `Pr(U is the NN)` — the Figure 1 measure.
+pub fn nn_probability(objects: &[UncertainObject], target: usize, query: &UncertainObject) -> f64 {
+    rank_distribution(objects, target, query)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    fn obj(points: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::new(points.iter().map(|&(x, p)| (Point::new(vec![x]), p)).collect())
+    }
+
+    /// Figure 1 of the paper: q single instance; A, B, C with two instances
+    /// each at probability 0.6/0.4. NN probabilities: A 0.6·? … we encode
+    /// distances directly as 1-D positions. From the figure narrative:
+    /// A beats B with probability 0.6; C is NN under `max`.
+    /// Distances (to q at 0): a1 = 1, a2 = 8; b1 = 2, b2 = 7; c1 = 3, c2 = 4.
+    #[test]
+    fn figure1_style_nn_probabilities() {
+        let a = obj(&[(1.0, 0.6), (8.0, 0.4)]);
+        let b = obj(&[(2.0, 0.6), (7.0, 0.4)]);
+        let c = obj(&[(3.0, 0.6), (4.0, 0.4)]);
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let objs = vec![a, b, c];
+        let exact: Vec<f64> = (0..3).map(|t| nn_probability(&objs, t, &q)).collect();
+        let brute: Vec<f64> = (0..3)
+            .map(|t| rank_distribution_bruteforce(&objs, t, &q)[0])
+            .collect();
+        for (e, b) in exact.iter().zip(brute.iter()) {
+            assert!((e - b).abs() < 1e-12, "exact {e} vs brute {b}");
+        }
+        let total: f64 = exact.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "NN probabilities should sum to 1, got {total}");
+        // A is NN whenever a1 is drawn (prob 0.6) — nothing beats distance 1.
+        assert!((exact[0] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_random_shape() {
+        let a = obj(&[(1.0, 0.3), (6.0, 0.7)]);
+        let b = obj(&[(2.0, 0.5), (5.0, 0.5)]);
+        let c = obj(&[(3.0, 0.2), (4.0, 0.8)]);
+        let q = UncertainObject::new(vec![
+            (Point::new(vec![0.0]), 0.4),
+            (Point::new(vec![10.0]), 0.6),
+        ]);
+        let objs = vec![a, b, c];
+        for t in 0..3 {
+            let exact = rank_distribution(&objs, t, &q);
+            let brute = rank_distribution_bruteforce(&objs, t, &q);
+            for (e, b) in exact.iter().zip(brute.iter()) {
+                assert!((e - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_distribution_sums_to_one() {
+        let objs = vec![
+            obj(&[(1.0, 0.5), (2.0, 0.5)]),
+            obj(&[(1.5, 0.5), (2.5, 0.5)]),
+        ];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        for t in 0..2 {
+            let r = rank_distribution(&objs, t, &q);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_rank_scores() {
+        // A strictly closer than B: E[rank(A)] = 1, E[rank(B)] = 2.
+        let objs = vec![obj(&[(1.0, 1.0)]), obj(&[(2.0, 1.0)])];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let f = N2Function::ExpectedRank;
+        assert!((f.score(&objs, 0, &q) - 1.0).abs() < 1e-12);
+        assert!((f.score(&objs, 1, &q) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_topk_reduces_to_nn_probability_at_k1() {
+        let objs = vec![
+            obj(&[(1.0, 0.5), (4.0, 0.5)]),
+            obj(&[(2.0, 0.5), (3.0, 0.5)]),
+        ];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        for t in 0..2 {
+            let g1 = N2Function::GlobalTopK(1).score(&objs, t, &q);
+            let nn = N2Function::NnProbability.score(&objs, t, &q);
+            assert!((g1 - nn).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parameterized_weights_clamp() {
+        let f = N2Function::Parameterized(vec![0.0, 1.0]);
+        assert_eq!(f.weight(1), 0.0);
+        assert_eq!(f.weight(2), 1.0);
+        assert_eq!(f.weight(9), 1.0); // clamped to last
+    }
+}

@@ -1,0 +1,139 @@
+//! Monte-Carlo estimation of the N2 rank distribution.
+//!
+//! The exact Poisson-binomial computation ([`crate::rank_distribution`]) is
+//! `O(|Q|·m·n²)`; for scoring large candidate sets against many objects a
+//! sampled estimate is often enough. Worlds are drawn directly from the
+//! instance distributions (§3.3's possible-world semantics), so the
+//! estimator is unbiased; the standard error of each rank probability is
+//! `≤ 1/(2√samples)`.
+
+use osd_uncertain::UncertainObject;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws an instance index according to the instance probabilities.
+fn draw<R: Rng>(rng: &mut R, obj: &UncertainObject) -> usize {
+    let mut t: f64 = rng.gen_range(0.0..1.0);
+    for (i, inst) in obj.instances().iter().enumerate() {
+        if t < inst.prob {
+            return i;
+        }
+        t -= inst.prob;
+    }
+    obj.len() - 1
+}
+
+/// Monte-Carlo estimate of `Pr(r(U) = i + 1)` for `objects[target]`,
+/// from `samples` sampled possible worlds (deterministic in `seed`).
+///
+/// # Panics
+/// Panics if `target` is out of range or `samples` is zero.
+pub fn rank_distribution_sampled(
+    objects: &[UncertainObject],
+    target: usize,
+    query: &UncertainObject,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(target < objects.len(), "target index out of range");
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tally = vec![0u64; objects.len()];
+    for _ in 0..samples {
+        let qp = &query.instances()[draw(&mut rng, query)].point;
+        let du = {
+            let u = &objects[target];
+            qp.dist(&u.instances()[draw(&mut rng, u)].point)
+        };
+        let closer = objects
+            .iter()
+            .enumerate()
+            .filter(|&(j, o)| {
+                j != target && qp.dist(&o.instances()[draw(&mut rng, o)].point) < du
+            })
+            .count();
+        tally[closer] += 1;
+    }
+    tally
+        .into_iter()
+        .map(|c| c as f64 / samples as f64)
+        .collect()
+}
+
+/// Monte-Carlo NN probability: `Pr(r(U) = 1)`.
+pub fn nn_probability_sampled(
+    objects: &[UncertainObject],
+    target: usize,
+    query: &UncertainObject,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    rank_distribution_sampled(objects, target, query, samples, seed)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::n2::rank_distribution;
+    use osd_geom::Point;
+
+    fn obj(points: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::new(
+            points
+                .iter()
+                .map(|&(x, p)| (Point::new(vec![x]), p))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn converges_to_exact() {
+        let objs = vec![
+            obj(&[(1.0, 0.3), (6.0, 0.7)]),
+            obj(&[(2.0, 0.5), (5.0, 0.5)]),
+            obj(&[(3.0, 0.2), (4.0, 0.8)]),
+        ];
+        let q = UncertainObject::new(vec![
+            (Point::new(vec![0.0]), 0.4),
+            (Point::new(vec![10.0]), 0.6),
+        ]);
+        for target in 0..objs.len() {
+            let exact = rank_distribution(&objs, target, &q);
+            let est = rank_distribution_sampled(&objs, target, &q, 60_000, 7);
+            for (e, s) in exact.iter().zip(est.iter()) {
+                assert!(
+                    (e - s).abs() < 0.02,
+                    "target {target}: exact {e} vs sampled {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let objs = vec![obj(&[(1.0, 1.0)]), obj(&[(2.0, 1.0)])];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let a = rank_distribution_sampled(&objs, 0, &q, 500, 42);
+        let b = rank_distribution_sampled(&objs, 0, &q, 500, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn certain_ordering_is_exact_even_with_few_samples() {
+        let objs = vec![obj(&[(1.0, 1.0)]), obj(&[(2.0, 1.0)]), obj(&[(3.0, 1.0)])];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let r = rank_distribution_sampled(&objs, 1, &q, 50, 3);
+        assert_eq!(r, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let objs = vec![
+            obj(&[(1.0, 0.5), (4.0, 0.5)]),
+            obj(&[(2.0, 0.5), (3.0, 0.5)]),
+        ];
+        let q = UncertainObject::uniform(vec![Point::new(vec![0.0])]);
+        let r = rank_distribution_sampled(&objs, 0, &q, 1_000, 5);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

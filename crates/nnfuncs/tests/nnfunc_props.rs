@@ -1,0 +1,132 @@
+//! Property tests for the NN-function families: exact computations vs
+//! brute-force oracles, and the stability properties claimed in §3.
+
+use osd_geom::Point;
+use osd_nnfuncs::{
+    emd, emd_bruteforce_uniform, rank_distribution, rank_distribution_bruteforce, N1Function,
+    N2Function,
+};
+use osd_uncertain::{DistanceDistribution, UncertainObject};
+use proptest::prelude::*;
+
+/// A small random 2-D object: up to `max_m` instances with random masses.
+fn object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObject> {
+    prop::collection::vec(((0.0f64..100.0, 0.0f64..100.0), 0.05f64..1.0), 1..max_m).prop_map(
+        |insts| {
+            let total: f64 = insts.iter().map(|&(_, w)| w).sum();
+            UncertainObject::new(
+                insts
+                    .into_iter()
+                    .map(|((x, y), w)| (Point::new(vec![x, y]), w / total))
+                    .collect(),
+            )
+        },
+    )
+}
+
+/// A uniform-mass object with exactly `m` instances.
+fn uniform_object(m: usize) -> impl Strategy<Value = UncertainObject> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), m..=m)
+        .prop_map(|pts| UncertainObject::uniform(pts.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// N2: Poisson-binomial rank distribution equals world enumeration.
+    #[test]
+    fn prop_rank_distribution_exact(
+        objs in prop::collection::vec(object_strategy(4), 2..4),
+        q in object_strategy(4),
+    ) {
+        for target in 0..objs.len() {
+            let fast = rank_distribution(&objs, target, &q);
+            let brute = rank_distribution_bruteforce(&objs, target, &q);
+            prop_assert_eq!(fast.len(), brute.len());
+            for (f, b) in fast.iter().zip(brute.iter()) {
+                prop_assert!((f - b).abs() < 1e-9, "rank dist mismatch: {} vs {}", f, b);
+            }
+            prop_assert!((fast.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// N3: min-cost-flow EMD equals permutation brute force for uniform
+    /// equal-size objects.
+    #[test]
+    fn prop_emd_exact(u in uniform_object(4), q in uniform_object(4)) {
+        let fast = emd(&u, &q);
+        let brute = emd_bruteforce_uniform(&u, &q);
+        prop_assert!((fast - brute).abs() < 1e-6, "emd {} vs brute {}", fast, brute);
+    }
+
+    /// EMD is a metric on uniform same-size objects: symmetry and the
+    /// triangle inequality.
+    #[test]
+    fn prop_emd_metric(
+        a in uniform_object(3), b in uniform_object(3), c in uniform_object(3),
+    ) {
+        let ab = emd(&a, &b);
+        let ba = emd(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        let bc = emd(&b, &c);
+        let ac = emd(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    /// N1 stability: moving an object strictly closer to the query can only
+    /// improve (not worsen) every N1 score.
+    #[test]
+    fn prop_n1_monotone_under_shift(
+        pts in prop::collection::vec((10.0f64..100.0, 10.0f64..100.0), 1..6),
+        q in uniform_object(3),
+        shrink in 0.1f64..1.0,
+    ) {
+        // `closer` scales every instance toward the query centroid — its
+        // distance distribution is stochastically dominated by the original.
+        let centroid = {
+            let mut c = vec![0.0; 2];
+            for i in q.instances() {
+                c[0] += i.point.coord(0) * i.prob;
+                c[1] += i.point.coord(1) * i.prob;
+            }
+            c
+        };
+        let orig = UncertainObject::uniform(
+            pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect());
+        let closer = UncertainObject::uniform(pts.iter().map(|&(x, y)| {
+            Point::new(vec![
+                centroid[0] + (x - centroid[0]) * shrink,
+                centroid[1] + (y - centroid[1]) * shrink,
+            ])
+        }).collect());
+        // Shrinking toward the centroid does NOT always stochastically
+        // dominate (instances can move away from off-centroid query points),
+        // so guard the property on the actual order.
+        let d_orig = DistanceDistribution::between(&orig, &q);
+        let d_closer = DistanceDistribution::between(&closer, &q);
+        if osd_uncertain::stochastically_dominates(&d_closer, &d_orig) {
+            for f in [N1Function::Min, N1Function::Max, N1Function::Mean,
+                      N1Function::Quantile(0.3), N1Function::Quantile(0.8)] {
+                prop_assert!(f.score(&closer, &q) <= f.score(&orig, &q) + 1e-9,
+                    "{:?} violated stability", f);
+            }
+        }
+    }
+
+    /// N2 scores derived from a rank distribution respect first-order
+    /// dominance of rank distributions (stable aggregate property).
+    #[test]
+    fn prop_n2_weights_nondecreasing_consistency(
+        objs in prop::collection::vec(object_strategy(3), 2..4),
+        q in object_strategy(3),
+        k in 1usize..4,
+    ) {
+        // Global top-k score must be monotone in k (more positions counted
+        // can only increase the captured probability).
+        for t in 0..objs.len() {
+            let s_k = N2Function::GlobalTopK(k).score(&objs, t, &q);
+            let s_k1 = N2Function::GlobalTopK(k + 1).score(&objs, t, &q);
+            prop_assert!(s_k1 <= s_k + 1e-12);
+        }
+    }
+}

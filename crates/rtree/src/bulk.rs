@@ -1,0 +1,132 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! STR packs `n` rectangles into `⌈n / M⌉` leaves by recursively slicing the
+//! data into vertical "slabs" along successive dimensions, then builds upper
+//! levels by packing the resulting node MBRs the same way. The result is a
+//! balanced tree with near-100 % node utilisation — the standard choice for
+//! static experiment datasets.
+
+use crate::node::{Child, Entry, Node, RTree};
+use osd_geom::Mbr;
+
+impl<T> RTree<T> {
+    /// Builds a tree from `entries` using STR packing.
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 2`.
+    pub fn bulk_load(max_entries: usize, entries: Vec<Entry<T>>) -> Self {
+        let mut tree = RTree::new(max_entries);
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len();
+        let dim = entries[0].mbr.dim();
+
+        // Pack entries into leaves.
+        let mut level: Vec<Child<T>> = pack(entries, max_entries, dim, |group| {
+            let mbr = group
+                .iter()
+                .skip(1)
+                .fold(group[0].mbr.clone(), |mut acc, e| {
+                    acc.expand(&e.mbr);
+                    acc
+                });
+            Child {
+                mbr,
+                node: Box::new(Node::Leaf(group)),
+            }
+        });
+
+        // Pack node levels until a single root remains.
+        while level.len() > 1 {
+            level = pack(level, max_entries, dim, |group| {
+                let mbr = group
+                    .iter()
+                    .skip(1)
+                    .fold(group[0].mbr.clone(), |mut acc, c| {
+                        acc.expand(&c.mbr);
+                        acc
+                    });
+                Child {
+                    mbr,
+                    node: Box::new(Node::Inner(group)),
+                }
+            });
+        }
+        tree.root = level.pop();
+        tree
+    }
+}
+
+/// Trait unifying the two packable kinds (leaf entries and children).
+trait HasMbr {
+    fn mbr_ref(&self) -> &Mbr;
+}
+impl<T> HasMbr for Entry<T> {
+    fn mbr_ref(&self) -> &Mbr {
+        &self.mbr
+    }
+}
+impl<T> HasMbr for Child<T> {
+    fn mbr_ref(&self) -> &Mbr {
+        &self.mbr
+    }
+}
+
+/// Packs `items` into groups of at most `cap`, returning one built node per
+/// group via `build`.
+fn pack<I: HasMbr, O>(
+    items: Vec<I>,
+    cap: usize,
+    dim: usize,
+    build: impl Fn(Vec<I>) -> O,
+) -> Vec<O> {
+    let mut out = Vec::with_capacity(items.len().div_ceil(cap));
+    tile(items, cap, dim, 0, &build, &mut out);
+    out
+}
+
+/// Recursive STR tiling: sort by the centre of dimension `d`, cut into
+/// `⌈P^(1/(dim−d))⌉` slabs, recurse on the next dimension.
+fn tile<I: HasMbr, O>(
+    mut items: Vec<I>,
+    cap: usize,
+    dim: usize,
+    d: usize,
+    build: &impl Fn(Vec<I>) -> O,
+    out: &mut Vec<O>,
+) {
+    if items.len() <= cap {
+        out.push(build(items));
+        return;
+    }
+    if d + 1 == dim {
+        // Last dimension: emit consecutive runs of `cap`.
+        sort_by_center(&mut items, d);
+        let mut rest = items;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(cap));
+            out.push(build(rest));
+            rest = tail;
+        }
+        return;
+    }
+    sort_by_center(&mut items, d);
+    let pages = items.len().div_ceil(cap);
+    let slabs = (pages as f64).powf(1.0 / (dim - d) as f64).ceil() as usize;
+    let per_slab = items.len().div_ceil(slabs.max(1));
+    let mut rest = items;
+    while !rest.is_empty() {
+        let tail = rest.split_off(rest.len().min(per_slab));
+        tile(rest, cap, dim, d + 1, build, out);
+        rest = tail;
+    }
+}
+
+fn sort_by_center<I: HasMbr>(items: &mut [I], d: usize) {
+    items.sort_by(|a, b| {
+        let ca = a.mbr_ref().lo()[d] + a.mbr_ref().hi()[d];
+        let cb = b.mbr_ref().lo()[d] + b.mbr_ref().hi()[d];
+        ca.total_cmp(&cb)
+    });
+}

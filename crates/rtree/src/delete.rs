@@ -1,0 +1,184 @@
+//! Entry deletion with Guttman-style tree condensation.
+//!
+//! Underfull nodes (below half fan-out) are dissolved and their entries
+//! reinserted; a root left with a single child is collapsed.
+
+use crate::node::{Entry, Node, RTree};
+use osd_geom::Mbr;
+
+impl<T> RTree<T> {
+    /// Removes one entry whose MBR intersects `mbr` and whose item matches
+    /// `pred`, returning it. The tree is condensed afterwards: underfull
+    /// nodes are dissolved and their entries reinserted.
+    pub fn remove_item(&mut self, mbr: &Mbr, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let min_fill = (self.max_entries / 2).max(1);
+        let mut root = self.root.take()?;
+        let mut orphans: Vec<Entry<T>> = Vec::new();
+        let removed = remove_rec(&mut root.node, mbr, &pred, min_fill, &mut orphans);
+        if removed.is_none() {
+            debug_assert!(orphans.is_empty());
+            self.root = Some(root);
+            return None;
+        }
+        self.len -= 1;
+
+        // Re-tighten or drop the root.
+        if root.node.slot_count() == 0 {
+            self.root = None;
+        } else {
+            // Collapse chains of single-child inner nodes.
+            loop {
+                let collapse = matches!(root.node.as_ref(), Node::Inner(cs) if cs.len() == 1);
+                if !collapse {
+                    break;
+                }
+                let Node::Inner(mut cs) = *root.node else { unreachable!() };
+                root = cs.pop().expect("one child");
+            }
+            root.mbr = root.node.mbr();
+            self.root = Some(root);
+        }
+
+        // Reinsert orphaned entries (len was adjusted once for the removal;
+        // insert() will re-count the orphans, so pre-subtract them).
+        self.len -= orphans.len();
+        for e in orphans {
+            self.insert(e.mbr, e.item);
+        }
+        removed
+    }
+}
+
+/// Removes a matching entry below `node`; underfull descendants are
+/// dissolved into `orphans`. Returns the removed item.
+fn remove_rec<T>(
+    node: &mut Node<T>,
+    mbr: &Mbr,
+    pred: &impl Fn(&T) -> bool,
+    min_fill: usize,
+    orphans: &mut Vec<Entry<T>>,
+) -> Option<T> {
+    match node {
+        Node::Leaf(entries) => {
+            let idx = entries
+                .iter()
+                .position(|e| e.mbr.intersects(mbr) && pred(&e.item))?;
+            Some(entries.remove(idx).item)
+        }
+        Node::Inner(children) => {
+            let mut removed = None;
+            let mut hit_child = None;
+            for (i, c) in children.iter_mut().enumerate() {
+                if c.mbr.intersects(mbr) {
+                    if let Some(item) = remove_rec(&mut c.node, mbr, pred, min_fill, orphans) {
+                        removed = Some(item);
+                        hit_child = Some(i);
+                        break;
+                    }
+                }
+            }
+            let i = hit_child?;
+            if children[i].node.slot_count() < min_fill {
+                // Dissolve the underfull child: all its remaining entries
+                // become orphans to reinsert.
+                let child = children.remove(i);
+                collect_entries(*child.node, orphans);
+            } else {
+                children[i].mbr = children[i].node.mbr();
+            }
+            removed
+        }
+    }
+}
+
+fn collect_entries<T>(node: Node<T>, out: &mut Vec<Entry<T>>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Inner(children) => {
+            for c in children {
+                collect_entries(*c.node, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    fn build(points: &[(f64, f64)], fanout: usize) -> RTree<usize> {
+        let entries: Vec<Entry<usize>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Entry {
+                mbr: Mbr::from_point(&pt(x, y)),
+                item: i,
+            })
+            .collect();
+        RTree::bulk_load(fanout, entries)
+    }
+
+    #[test]
+    fn remove_and_query() {
+        let pts: Vec<(f64, f64)> = (0..40).map(|i| ((i % 8) as f64, (i / 8) as f64)).collect();
+        let mut t = build(&pts, 4);
+        let target = Mbr::from_point(&pt(3.0, 2.0)); // item 19
+        let removed = t.remove_item(&target, |&i| i == 19);
+        assert_eq!(removed, Some(19));
+        assert_eq!(t.len(), 39);
+        let hits: Vec<usize> = t.range_intersecting(&target).into_iter().copied().collect();
+        assert!(!hits.contains(&19));
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = build(&[(0.0, 0.0), (1.0, 1.0)], 4);
+        let missing = Mbr::from_point(&pt(9.0, 9.0));
+        assert_eq!(t.remove_item(&missing, |_| true), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_everything() {
+        let pts: Vec<(f64, f64)> = (0..25).map(|i| (i as f64, (i * 3 % 7) as f64)).collect();
+        let mut t = build(&pts, 3);
+        for i in 0..25usize {
+            let target = Mbr::from_point(&pt(pts[i].0, pts[i].1));
+            assert_eq!(t.remove_item(&target, |&x| x == i), Some(i), "removing {i}");
+            assert_eq!(t.len(), 25 - i - 1);
+            // Remaining queries stay consistent with a scan.
+            let all: Vec<usize> = t.items().into_iter().copied().collect();
+            assert_eq!(all.len(), t.len());
+            assert!(!all.contains(&i));
+        }
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+    }
+
+    #[test]
+    fn nearest_still_exact_after_removals() {
+        let pts: Vec<(f64, f64)> = (0..60)
+            .map(|i| (((i * 37) % 101) as f64, ((i * 61) % 97) as f64))
+            .collect();
+        let mut t = build(&pts, 4);
+        let mut alive: Vec<usize> = (0..60).collect();
+        for k in [5usize, 17, 33, 42, 58, 0, 12] {
+            let target = Mbr::from_point(&pt(pts[k].0, pts[k].1));
+            assert_eq!(t.remove_item(&target, |&x| x == k), Some(k));
+            alive.retain(|&x| x != k);
+            let q = pt(50.0, 50.0);
+            let (got, d) = t.nearest(&q).unwrap();
+            let want = alive
+                .iter()
+                .map(|&i| q.dist(&pt(pts[i].0, pts[i].1)))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - want).abs() < 1e-9, "nearest broken after removing {k}");
+            assert!(alive.contains(got));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Incremental insertion (Guttman's algorithm with quadratic split).
+
+use crate::node::{Child, Entry, Node, RTree};
+use osd_geom::Mbr;
+
+impl<T> RTree<T> {
+    /// Inserts an item with its bounding box.
+    pub fn insert(&mut self, mbr: Mbr, item: T) {
+        self.len += 1;
+        let entry = Entry { mbr, item };
+        match self.root.take() {
+            None => {
+                let mbr = entry.mbr.clone();
+                self.root = Some(Child {
+                    mbr,
+                    node: Box::new(Node::Leaf(vec![entry])),
+                });
+            }
+            Some(mut root) => {
+                root.mbr.expand(&entry.mbr);
+                if let Some(split) = insert_rec(&mut root.node, entry, self.max_entries) {
+                    // Root overflowed: grow the tree by one level. The old
+                    // root's box must be re-tightened — the split moved some
+                    // of its entries into the new sibling.
+                    let mut old = root;
+                    old.mbr = old.node.mbr();
+                    let mut mbr = old.mbr.clone();
+                    mbr.expand(&split.mbr);
+                    self.root = Some(Child {
+                        mbr,
+                        node: Box::new(Node::Inner(vec![old, split])),
+                    });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive insertion; returns a new sibling child if `node` was split.
+fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, cap: usize) -> Option<Child<T>> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push(entry);
+            if entries.len() <= cap {
+                return None;
+            }
+            let (a, b) = quadratic_split(std::mem::take(entries), |e: &Entry<T>| &e.mbr);
+            let mbr_b = mbr_of(&b, |e| &e.mbr);
+            *entries = a;
+            Some(Child {
+                mbr: mbr_b,
+                node: Box::new(Node::Leaf(b)),
+            })
+        }
+        Node::Inner(children) => {
+            // Choose the child needing the least volume enlargement
+            // (ties: smaller volume).
+            let best = (0..children.len())
+                .min_by(|&i, &j| {
+                    let (ei, vi) = enlargement(&children[i].mbr, &entry.mbr);
+                    let (ej, vj) = enlargement(&children[j].mbr, &entry.mbr);
+                    ei.total_cmp(&ej).then(vi.total_cmp(&vj))
+                })
+                .expect("inner node with no children");
+            children[best].mbr.expand(&entry.mbr);
+            if let Some(split) = insert_rec(&mut children[best].node, entry, cap) {
+                // Re-tighten the split child's box (the split moved entries out).
+                children[best].mbr = children[best].node.mbr();
+                children.push(split);
+                if children.len() > cap {
+                    let (a, b) = quadratic_split(std::mem::take(children), |c: &Child<T>| &c.mbr);
+                    let mbr_b = mbr_of(&b, |c| &c.mbr);
+                    *children = a;
+                    return Some(Child {
+                        mbr: mbr_b,
+                        node: Box::new(Node::Inner(b)),
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+fn enlargement(node: &Mbr, add: &Mbr) -> (f64, f64) {
+    let grown = node.union(add);
+    let v = node.volume();
+    (grown.volume() - v, v)
+}
+
+fn mbr_of<I>(items: &[I], get: impl Fn(&I) -> &Mbr) -> Mbr {
+    let mut m = get(&items[0]).clone();
+    for it in &items[1..] {
+        m.expand(get(it));
+    }
+    m
+}
+
+/// Guttman's quadratic split: pick the pair of slots wasting the most area
+/// as seeds, then greedily assign the rest by enlargement preference.
+fn quadratic_split<I>(items: Vec<I>, get: impl Fn(&I) -> &Mbr) -> (Vec<I>, Vec<I>) {
+    debug_assert!(items.len() >= 2);
+    let n = items.len();
+
+    // Seed selection: maximise dead volume of the pair's union.
+    let (mut s1, mut s2, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let u = get(&items[i]).union(get(&items[j]));
+            let waste = u.volume() - get(&items[i]).volume() - get(&items[j]).volume();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+
+    let mut a: Vec<I> = Vec::with_capacity(n);
+    let mut b: Vec<I> = Vec::with_capacity(n);
+    let mut mbr_a: Option<Mbr> = None;
+    let mut mbr_b: Option<Mbr> = None;
+    let mut rest: Vec<I> = Vec::with_capacity(n);
+    for (k, item) in items.into_iter().enumerate() {
+        if k == s1 {
+            mbr_a = Some(get(&item).clone());
+            a.push(item);
+        } else if k == s2 {
+            mbr_b = Some(get(&item).clone());
+            b.push(item);
+        } else {
+            rest.push(item);
+        }
+    }
+    let (mut mbr_a, mut mbr_b) = (mbr_a.unwrap(), mbr_b.unwrap());
+
+    for item in rest.into_iter() {
+        let ga = mbr_a.union(get(&item)).volume() - mbr_a.volume();
+        let gb = mbr_b.union(get(&item)).volume() - mbr_b.volume();
+        // Prefer the group with the smaller enlargement; break ties towards
+        // the emptier group to keep the split roughly balanced.
+        let to_a = ga < gb || (ga == gb && a.len() <= b.len());
+        if to_a {
+            mbr_a.expand(get(&item));
+            a.push(item);
+        } else {
+            mbr_b.expand(get(&item));
+            b.push(item);
+        }
+    }
+    (a, b)
+}

@@ -1,0 +1,49 @@
+//! # osd-rtree
+//!
+//! In-memory R-tree substrate for the `osd` workspace. The paper's
+//! evaluation (§6) indexes data with *n + 1* R-trees: one **global** tree
+//! over the objects' MBRs driving the best-first NNC search (Algorithm 1)
+//! and one small **local** tree (fan-out 4) per object over its instances,
+//! supplying the NN / furthest-neighbour primitives of the instance-level
+//! F-SD check and the node partitions of the level-by-level P-SD
+//! pruning/validation (§5.1.2).
+//!
+//! Features:
+//! * STR bulk loading ([`RTree::bulk_load`]) and Guttman-style insertion
+//!   with quadratic split ([`RTree::insert`]);
+//! * range queries (intersection and containment), exact nearest / furthest
+//!   neighbour, k-NN, and a generic monotone best-first traversal
+//!   ([`RTree::iter_by`]);
+//! * read-only node access ([`RTree::root`], [`RTree::level_groups`]) so
+//!   higher layers can run their own pruned traversals.
+//!
+//! ```
+//! use osd_geom::{Mbr, Point};
+//! use osd_rtree::{Entry, RTree};
+//!
+//! let entries: Vec<Entry<usize>> = (0..100)
+//!     .map(|i| Entry {
+//!         mbr: Mbr::from_point(&Point::from([(i % 10) as f64, (i / 10) as f64])),
+//!         item: i,
+//!     })
+//!     .collect();
+//! let tree = RTree::bulk_load(8, entries);
+//!
+//! let q = Point::from([4.2, 4.9]);
+//! let (nearest, dist) = tree.nearest(&q).unwrap();
+//! assert_eq!(*nearest, 54); // the point (4, 5)
+//! assert!(dist < 0.5);
+//! let hits = tree.range_intersecting(&Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+//! assert_eq!(hits.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bulk;
+mod delete;
+mod insert;
+mod node;
+mod query;
+
+pub use node::{point_entries, Child, Entry, Node, RTree};
+pub use query::BestFirstIter;

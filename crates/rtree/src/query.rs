@@ -1,0 +1,190 @@
+//! Spatial queries: range, nearest, furthest and generic best-first
+//! traversal in non-decreasing (or non-increasing) key order.
+
+use crate::node::{Node, RTree};
+use osd_geom::{Mbr, Point};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+impl<T> RTree<T> {
+    /// All items whose MBR intersects `query`.
+    pub fn range_intersecting(&self, query: &Mbr) -> Vec<&T> {
+        let mut out = Vec::new();
+        if let Some(c) = &self.root {
+            if c.mbr.intersects(query) {
+                range_rec(&c.node, query, &mut out);
+            }
+        }
+        out
+    }
+
+    /// All items whose MBR is fully contained in `query`.
+    ///
+    /// For point data this is the rectangular range query used by the
+    /// distance-space network construction of §5.1.2.
+    pub fn range_contained(&self, query: &Mbr) -> Vec<&T> {
+        let mut out = Vec::new();
+        if let Some(c) = &self.root {
+            if c.mbr.intersects(query) {
+                contained_rec(&c.node, query, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The item nearest to `p` by minimal MBR distance, with that distance.
+    ///
+    /// For point payloads (degenerate boxes) this is the exact nearest
+    /// neighbour; this is the `δ_min(q, V)` primitive of the instance-level
+    /// F-SD check (§6).
+    pub fn nearest(&self, p: &Point) -> Option<(&T, f64)> {
+        let p = p.clone();
+        self.nearest_by(move |mbr| mbr.min_dist2_point(&p))
+            .map(|(t, d2)| (t, d2.sqrt()))
+    }
+
+    /// The item with the greatest maximal MBR distance from `p`.
+    ///
+    /// For point payloads this is the exact furthest neighbour — the
+    /// `δ_max(q, U)` primitive of the instance-level F-SD check (§6).
+    pub fn furthest(&self, p: &Point) -> Option<(&T, f64)> {
+        // Best-first on the *upper* bound: a node's max distance bounds all
+        // items below it from above, so negating gives a monotone key.
+        let p = p.clone();
+        self.nearest_by(move |mbr| -mbr.max_dist2_point(&p))
+            .map(|(t, d2)| (t, (-d2).sqrt()))
+    }
+
+    /// The `k` items nearest to `p` (by minimal MBR distance), closest first.
+    pub fn k_nearest(&self, p: &Point, k: usize) -> Vec<(&T, f64)> {
+        let p = p.clone();
+        let mut out = Vec::with_capacity(k);
+        for (t, d2) in self.iter_by(move |mbr| mbr.min_dist2_point(&p)).take(k) {
+            out.push((t, d2.sqrt()));
+        }
+        out
+    }
+
+    /// First item of a best-first traversal keyed by `key` on MBRs.
+    pub fn nearest_by<'a, F: Fn(&Mbr) -> f64 + 'a>(&'a self, key: F) -> Option<(&'a T, f64)> {
+        self.iter_by(key).next()
+    }
+
+    /// Best-first traversal yielding `(item, key(item_mbr))` in
+    /// non-decreasing key order.
+    ///
+    /// `key` must be monotone: `key(parent_mbr) ≤ key(child_mbr)` for every
+    /// child contained in the parent. Both `min_dist*` (lower bounds) and
+    /// negated `max_dist*` (upper bounds) satisfy this.
+    pub fn iter_by<'a, F: Fn(&Mbr) -> f64 + 'a>(&'a self, key: F) -> BestFirstIter<'a, T, F> {
+        let mut heap = BinaryHeap::new();
+        if let Some(c) = &self.root {
+            heap.push(HeapItem {
+                key: key(&c.mbr),
+                slot: Slot::Node(&c.node),
+            });
+        }
+        BestFirstIter { heap, key }
+    }
+}
+
+fn range_rec<'a, T>(node: &'a Node<T>, query: &Mbr, out: &mut Vec<&'a T>) {
+    match node {
+        Node::Leaf(es) => {
+            for e in es {
+                if e.mbr.intersects(query) {
+                    out.push(&e.item);
+                }
+            }
+        }
+        Node::Inner(cs) => {
+            for c in cs {
+                if c.mbr.intersects(query) {
+                    range_rec(&c.node, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn contained_rec<'a, T>(node: &'a Node<T>, query: &Mbr, out: &mut Vec<&'a T>) {
+    match node {
+        Node::Leaf(es) => {
+            for e in es {
+                if query.contains(&e.mbr) {
+                    out.push(&e.item);
+                }
+            }
+        }
+        Node::Inner(cs) => {
+            for c in cs {
+                if c.mbr.intersects(query) {
+                    contained_rec(&c.node, query, out);
+                }
+            }
+        }
+    }
+}
+
+enum Slot<'a, T> {
+    Node(&'a Node<T>),
+    Item(&'a T),
+}
+
+struct HeapItem<'a, T> {
+    key: f64,
+    slot: Slot<'a, T>,
+}
+
+impl<T> PartialEq for HeapItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for HeapItem<'_, T> {}
+impl<T> PartialOrd for HeapItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapItem<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on key via reversed comparison.
+        other.key.total_cmp(&self.key)
+    }
+}
+
+/// Iterator produced by [`RTree::iter_by`].
+pub struct BestFirstIter<'a, T, F: Fn(&Mbr) -> f64> {
+    heap: BinaryHeap<HeapItem<'a, T>>,
+    key: F,
+}
+
+impl<'a, T, F: Fn(&Mbr) -> f64> Iterator for BestFirstIter<'a, T, F> {
+    type Item = (&'a T, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(HeapItem { key, slot }) = self.heap.pop() {
+            match slot {
+                Slot::Item(t) => return Some((t, key)),
+                Slot::Node(Node::Leaf(es)) => {
+                    for e in es {
+                        self.heap.push(HeapItem {
+                            key: (self.key)(&e.mbr),
+                            slot: Slot::Item(&e.item),
+                        });
+                    }
+                }
+                Slot::Node(Node::Inner(cs)) => {
+                    for c in cs {
+                        self.heap.push(HeapItem {
+                            key: (self.key)(&c.mbr),
+                            slot: Slot::Node(&c.node),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}

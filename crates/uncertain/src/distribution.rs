@@ -1,0 +1,217 @@
+//! Discrete distance distributions (`U_Q`, `U_q`) and their statistics.
+//!
+//! Given an object `U` and a query `Q`, the distance distribution `U_Q` is
+//! the discrete random variable over all instance pairs: pair `(q, u)`
+//! carries value `δ(q, u)` and probability `p(q)·p(u)` (§2.1). The
+//! per-query-instance distribution `U_q` restricts to pairs involving `q`.
+
+use crate::object::UncertainObject;
+use osd_geom::Point;
+
+/// A discrete distribution over distances: `(value, probability)` atoms
+/// sorted by non-decreasing value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceDistribution {
+    atoms: Vec<(f64, f64)>,
+}
+
+impl DistanceDistribution {
+    /// Builds a distribution from raw `(value, probability)` atoms.
+    ///
+    /// Atoms are sorted; equal values are merged. Probabilities must be
+    /// positive and sum to 1 (within `1e-6`).
+    ///
+    /// # Panics
+    /// Panics on empty input, non-positive probabilities, or a bad sum.
+    pub fn from_atoms(mut atoms: Vec<(f64, f64)>) -> Self {
+        assert!(!atoms.is_empty(), "a distribution needs at least one atom");
+        let mut sum = 0.0;
+        for &(v, p) in &atoms {
+            assert!(v.is_finite(), "distribution values must be finite");
+            assert!(p > 0.0 && p.is_finite(), "atom probabilities must be positive");
+            sum += p;
+        }
+        assert!((sum - 1.0).abs() <= 1e-6, "atom probabilities must sum to 1, got {sum}");
+        atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Merge equal values to keep the support minimal.
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
+        for (v, p) in atoms {
+            match merged.last_mut() {
+                Some(last) if last.0 == v => last.1 += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        DistanceDistribution { atoms: merged }
+    }
+
+    /// The distance distribution `U_Q` of `object` w.r.t. the multi-instance
+    /// `query` — all pairwise distances with product probabilities.
+    pub fn between(object: &UncertainObject, query: &UncertainObject) -> Self {
+        let mut atoms = Vec::with_capacity(object.len() * query.len());
+        for q in query.instances() {
+            for u in object.instances() {
+                atoms.push((q.point.dist(&u.point), q.prob * u.prob));
+            }
+        }
+        DistanceDistribution::from_atoms(atoms)
+    }
+
+    /// The distance distribution `U_q` of `object` w.r.t. a single query
+    /// instance `q`.
+    pub fn to_instance(object: &UncertainObject, q: &Point) -> Self {
+        let atoms = object
+            .instances()
+            .iter()
+            .map(|u| (q.dist(&u.point), u.prob))
+            .collect();
+        DistanceDistribution::from_atoms(atoms)
+    }
+
+    /// The sorted `(value, probability)` atoms.
+    #[inline]
+    pub fn atoms(&self) -> &[(f64, f64)] {
+        &self.atoms
+    }
+
+    /// Number of distinct support values.
+    pub fn support_size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Smallest support value.
+    pub fn min(&self) -> f64 {
+        self.atoms[0].0
+    }
+
+    /// Largest support value.
+    pub fn max(&self) -> f64 {
+        self.atoms[self.atoms.len() - 1].0
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.atoms.iter().map(|&(v, p)| v * p).sum()
+    }
+
+    /// The φ-quantile (Definition 10): the value of the first atom at which
+    /// the accumulated probability reaches `φ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < φ ≤ 1`.
+    pub fn quantile(&self, phi: f64) -> f64 {
+        assert!(phi > 0.0 && phi <= 1.0, "quantile level must be in (0, 1]");
+        let mut acc = 0.0;
+        for &(v, p) in &self.atoms {
+            acc += p;
+            // Small tolerance so that e.g. φ = 0.5 hits an atom whose
+            // accumulated mass is 0.5 up to float rounding.
+            if acc + 1e-12 >= phi {
+                return v;
+            }
+        }
+        self.max()
+    }
+
+    /// `Pr(X ≤ λ)`.
+    pub fn cdf(&self, lambda: f64) -> f64 {
+        self.atoms
+            .iter()
+            .take_while(|&&(v, _)| v <= lambda)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// Approximate equality of distributions (same support and masses up to
+    /// `eps`). Used for the `U_Q ≠ V_Q` side condition of Definitions 2/3/5.
+    pub fn approx_eq(&self, other: &Self, eps: f64) -> bool {
+        self.atoms.len() == other.atoms.len()
+            && self
+                .atoms
+                .iter()
+                .zip(other.atoms.iter())
+                .all(|(&(v1, p1), &(v2, p2))| (v1 - v2).abs() <= eps && (p1 - p2).abs() <= eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p2(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    /// Example 1 of the paper (Figure 6(b)): A_Q = {(5,.25),(8,.25),(10,.25),(23,.25)}.
+    #[test]
+    fn paper_example_1_distribution() {
+        // Construct points realising the distances of Figure 6(b):
+        // δ(q1,a1)=5, δ(q1,a2)=8, δ(q2,a1)=10, δ(q2,a2)=23. Use 1-D points on
+        // a line: q1 = 0, a1 = 5, a2 = 8 gives δ(q1,·) = 5, 8. Pick q2 = 15:
+        // δ(q2,a1) = 10, δ(q2,a2) = 7 — wrong; use q2 = -5: δ = 10, 13 — wrong.
+        // Distances cannot all be realised in 1-D, so feed atoms directly.
+        let a_q = DistanceDistribution::from_atoms(vec![
+            (5.0, 0.25),
+            (8.0, 0.25),
+            (10.0, 0.25),
+            (23.0, 0.25),
+        ]);
+        assert_eq!(a_q.min(), 5.0);
+        assert_eq!(a_q.max(), 23.0);
+        assert!((a_q.mean() - 11.5).abs() < 1e-12);
+        assert_eq!(a_q.quantile(0.25), 5.0);
+        assert_eq!(a_q.quantile(0.5), 8.0);
+        assert_eq!(a_q.quantile(1.0), 23.0);
+    }
+
+    #[test]
+    fn between_enumerates_all_pairs() {
+        let a = UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]);
+        let q = UncertainObject::uniform(vec![p2(0.0, 0.0), p2(0.0, 2.0)]);
+        let d = DistanceDistribution::between(&a, &q);
+        // distances: 0, 1, 2, sqrt(5); all prob 0.25
+        assert_eq!(d.support_size(), 4);
+        assert_eq!(d.min(), 0.0);
+        assert!((d.max() - 5f64.sqrt()).abs() < 1e-12);
+        let total: f64 = d.atoms().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_instance_uses_instance_probs() {
+        let a = UncertainObject::new(vec![(p2(3.0, 0.0), 0.3), (p2(0.0, 4.0), 0.7)]);
+        let d = DistanceDistribution::to_instance(&a, &p2(0.0, 0.0));
+        assert_eq!(d.atoms(), &[(3.0, 0.3), (4.0, 0.7)]);
+    }
+
+    #[test]
+    fn merging_equal_values() {
+        let d = DistanceDistribution::from_atoms(vec![(1.0, 0.5), (1.0, 0.25), (2.0, 0.25)]);
+        assert_eq!(d.support_size(), 2);
+        assert_eq!(d.atoms()[0], (1.0, 0.75));
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let d = DistanceDistribution::from_atoms(vec![(1.0, 0.5), (3.0, 0.5)]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.5);
+        assert_eq!(d.cdf(2.9), 0.5);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_detects_differences() {
+        let d1 = DistanceDistribution::from_atoms(vec![(1.0, 0.5), (2.0, 0.5)]);
+        let d2 = DistanceDistribution::from_atoms(vec![(1.0, 0.5), (2.0, 0.5)]);
+        let d3 = DistanceDistribution::from_atoms(vec![(1.0, 0.4), (2.0, 0.6)]);
+        assert!(d1.approx_eq(&d2, 1e-9));
+        assert!(!d1.approx_eq(&d3, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1]")]
+    fn quantile_zero_rejected() {
+        let d = DistanceDistribution::from_atoms(vec![(1.0, 1.0)]);
+        let _ = d.quantile(0.0);
+    }
+}

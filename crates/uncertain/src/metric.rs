@@ -1,0 +1,166 @@
+//! Metric-parameterised distance distributions.
+//!
+//! §2.1 of the paper: "Although we assume that δ(u, v) represents Euclidean
+//! distance…, our techniques can be trivially extended to other metrics."
+//! The *stochastic* operators (S-SD, SS-SD) only consume pairwise
+//! distances, so they generalise directly; this module builds their
+//! distributions under any [`Metric`]. The geometric accelerations
+//! (MBR dominance, convex hulls, bisector half-spaces) are L2-specific and
+//! stay with the default pipeline.
+
+use crate::distribution::DistanceDistribution;
+use crate::object::UncertainObject;
+use crate::stochastic::strictly_dominates;
+use osd_geom::Point;
+
+/// The supported point-to-point metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Metric {
+    /// Manhattan distance.
+    L1,
+    /// Euclidean distance (the paper's default).
+    L2,
+    /// Chebyshev distance.
+    LInf,
+    /// Minkowski distance of order `p ≥ 1`.
+    Minkowski(f64),
+}
+
+impl Metric {
+    /// The distance between two points under this metric.
+    pub fn dist(&self, a: &Point, b: &Point) -> f64 {
+        match *self {
+            Metric::L1 => a.dist_l1(b),
+            Metric::L2 => a.dist(b),
+            Metric::LInf => a.dist_linf(b),
+            Metric::Minkowski(p) => a.dist_minkowski(b, p),
+        }
+    }
+}
+
+/// The distance distribution `U_Q` under `metric`.
+pub fn distribution_between(
+    object: &UncertainObject,
+    query: &UncertainObject,
+    metric: Metric,
+) -> DistanceDistribution {
+    let mut atoms = Vec::with_capacity(object.len() * query.len());
+    for q in query.instances() {
+        for u in object.instances() {
+            atoms.push((metric.dist(&q.point, &u.point), q.prob * u.prob));
+        }
+    }
+    DistanceDistribution::from_atoms(atoms)
+}
+
+/// The distance distribution `U_q` under `metric`.
+pub fn distribution_to_instance(
+    object: &UncertainObject,
+    q: &Point,
+    metric: Metric,
+) -> DistanceDistribution {
+    DistanceDistribution::from_atoms(
+        object
+            .instances()
+            .iter()
+            .map(|u| (metric.dist(q, &u.point), u.prob))
+            .collect(),
+    )
+}
+
+/// Metric-generalised S-SD (Definition 2 under `metric`).
+pub fn s_sd_metric(
+    u: &UncertainObject,
+    v: &UncertainObject,
+    query: &UncertainObject,
+    metric: Metric,
+) -> bool {
+    let du = distribution_between(u, query, metric);
+    let dv = distribution_between(v, query, metric);
+    strictly_dominates(&du, &dv)
+}
+
+/// Metric-generalised SS-SD (Definition 3 under `metric`).
+pub fn ss_sd_metric(
+    u: &UncertainObject,
+    v: &UncertainObject,
+    query: &UncertainObject,
+    metric: Metric,
+) -> bool {
+    for q in query.instances() {
+        let du = distribution_to_instance(u, &q.point, metric);
+        let dv = distribution_to_instance(v, &q.point, metric);
+        if !crate::stochastic::stochastically_dominates(&du, &dv) {
+            return false;
+        }
+    }
+    let du = distribution_between(u, query, metric);
+    let dv = distribution_between(v, query, metric);
+    !du.approx_eq(&dv, crate::stochastic::CDF_EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj2(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    #[test]
+    fn l2_matches_default_distribution() {
+        let u = obj2(&[(0.0, 0.0), (1.0, 2.0)]);
+        let q = obj2(&[(5.0, 5.0)]);
+        let a = distribution_between(&u, &q, Metric::L2);
+        let b = DistanceDistribution::between(&u, &q);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn metrics_can_disagree_on_dominance() {
+        // Pick points where L1 and L∞ order distances differently:
+        // from q = (0,0): u = (3, 3): L1 = 6, L∞ = 3; v = (5, 0): L1 = 5, L∞ = 5.
+        let q = obj2(&[(0.0, 0.0)]);
+        let u = obj2(&[(3.0, 3.0)]);
+        let v = obj2(&[(5.0, 0.0)]);
+        // L∞: u (3) beats v (5). L1: v (5) beats u (6).
+        assert!(s_sd_metric(&u, &v, &q, Metric::LInf));
+        assert!(!s_sd_metric(&u, &v, &q, Metric::L1));
+        assert!(s_sd_metric(&v, &u, &q, Metric::L1));
+    }
+
+    #[test]
+    fn clear_separation_dominates_under_every_metric() {
+        let q = obj2(&[(0.0, 0.0), (1.0, 1.0)]);
+        let u = obj2(&[(1.0, 0.5), (0.5, 1.0)]);
+        let v = obj2(&[(30.0, 30.0), (31.0, 29.0)]);
+        for m in [Metric::L1, Metric::L2, Metric::LInf, Metric::Minkowski(3.0)] {
+            assert!(s_sd_metric(&u, &v, &q, m), "{m:?}");
+            assert!(ss_sd_metric(&u, &v, &q, m), "{m:?}");
+            assert!(!s_sd_metric(&v, &u, &q, m), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn ss_implies_s_under_any_metric() {
+        // Spot-check the Theorem 2 cover relation on a non-L2 metric.
+        let q = obj2(&[(0.0, 0.0), (4.0, 0.0)]);
+        let u = obj2(&[(1.0, 0.0), (2.0, 1.0)]);
+        let v = obj2(&[(1.5, 2.0), (2.5, 3.0)]);
+        for m in [Metric::L1, Metric::LInf] {
+            if ss_sd_metric(&u, &v, &q, m) {
+                assert!(s_sd_metric(&u, &v, &q, m), "cover violated under {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_objects_not_strict_under_any_metric() {
+        let q = obj2(&[(0.0, 0.0)]);
+        let u = obj2(&[(1.0, 1.0), (2.0, 2.0)]);
+        for m in [Metric::L1, Metric::L2, Metric::LInf] {
+            assert!(!s_sd_metric(&u, &u, &q, m));
+            assert!(!ss_sd_metric(&u, &u, &q, m));
+        }
+    }
+}

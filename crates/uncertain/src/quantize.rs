@@ -1,0 +1,115 @@
+//! Fixed-point quantisation of probability masses.
+//!
+//! The P-SD max-flow check (Theorem 12) asks whether the network carries a
+//! flow of value exactly 1. Running Dinic on floating-point capacities would
+//! make that test fragile, so probabilities are quantised to integers
+//! summing to exactly [`SCALE`]; the flow test becomes exact integer
+//! arithmetic. Rounding uses largest-remainder apportionment, so the
+//! per-mass error is below `1 / SCALE ≈ 2.3e-10` — far beneath the
+//! probability granularity of any realistic object.
+
+/// Fixed-point denominator: quantised masses sum to exactly this value.
+pub const SCALE: u64 = 1 << 32;
+
+/// Quantises probabilities (summing to 1 within `1e-6`) into integers
+/// summing to exactly [`SCALE`], using largest-remainder rounding.
+///
+/// Every positive input receives a positive output (a mass can lose at most
+/// its fractional part, and inputs below one quantum are bumped to one by
+/// the remainder distribution or a final correction).
+///
+/// # Panics
+/// Panics if `probs` is empty, contains non-positive values, or does not sum
+/// to 1 within `1e-6`.
+pub fn quantize(probs: &[f64]) -> Vec<u64> {
+    assert!(!probs.is_empty(), "cannot quantise an empty mass vector");
+    let sum: f64 = probs.iter().sum();
+    assert!(
+        (sum - 1.0).abs() <= 1e-6,
+        "probabilities must sum to 1, got {sum}"
+    );
+    assert!(probs.iter().all(|&p| p > 0.0), "masses must be positive");
+
+    let mut out: Vec<u64> = Vec::with_capacity(probs.len());
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(probs.len());
+    let mut used: u64 = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        let exact = p / sum * SCALE as f64;
+        let floor = exact.floor() as u64;
+        out.push(floor);
+        used += floor;
+        fracs.push((exact - floor as f64, i));
+    }
+    // Distribute the remaining quanta to the largest fractional parts.
+    let mut remaining = SCALE - used;
+    fracs.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for &(_, i) in fracs.iter().cycle().take(remaining as usize) {
+        out[i] += 1;
+        remaining -= 1;
+        if remaining == 0 {
+            break;
+        }
+    }
+    // Guarantee positivity: steal a quantum from the largest entry for any
+    // zero (can only happen for masses below 2^-32).
+    for i in 0..out.len() {
+        if out[i] == 0 {
+            let max_idx = (0..out.len())
+                .max_by_key(|&j| out[j])
+                .expect("non-empty");
+            debug_assert!(out[max_idx] > 1);
+            out[max_idx] -= 1;
+            out[i] = 1;
+        }
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), SCALE);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_halves() {
+        assert_eq!(quantize(&[0.5, 0.5]), vec![SCALE / 2, SCALE / 2]);
+    }
+
+    #[test]
+    fn thirds_sum_exactly() {
+        let q = quantize(&[1.0 / 3.0; 3]);
+        assert_eq!(q.iter().sum::<u64>(), SCALE);
+        for &v in &q {
+            assert!((v as i64 - (SCALE / 3) as i64).unsigned_abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn skewed_masses() {
+        let q = quantize(&[0.9, 0.05, 0.05]);
+        assert_eq!(q.iter().sum::<u64>(), SCALE);
+        assert!(q[0] > q[1]);
+    }
+
+    #[test]
+    fn tiny_mass_stays_positive() {
+        let eps = 1e-12;
+        let q = quantize(&[1.0 - eps, eps]);
+        assert_eq!(q.iter().sum::<u64>(), SCALE);
+        assert!(q[1] >= 1);
+    }
+
+    #[test]
+    fn many_uniform_masses() {
+        let n = 97;
+        let probs = vec![1.0 / n as f64; n];
+        let q = quantize(&probs);
+        assert_eq!(q.iter().sum::<u64>(), SCALE);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_sum_rejected() {
+        let _ = quantize(&[0.5, 0.4]);
+    }
+}

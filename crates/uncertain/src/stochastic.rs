@@ -1,0 +1,158 @@
+//! The usual stochastic order `X ⪯_st Y` (Definition 1) and its single-scan
+//! decision procedure (§5.1.1).
+//!
+//! `X ⪯_st Y` iff `Pr(X ≤ λ) ≥ Pr(Y ≤ λ)` for every `λ`. On discrete
+//! distributions with sorted atoms this is decided with one merged scan of
+//! the two supports, tracking the CDF gap
+//! `F(λ) = Pr(X ≤ λ) − Pr(Y ≤ λ)` and rejecting on the first `λ` with
+//! `F(λ) < 0`. Theorem 10 shows Ω(n log n) is unavoidable for
+//! comparison-based algorithms, so scanning pre-sorted atoms is optimal.
+
+use crate::distribution::DistanceDistribution;
+
+/// Tolerance absorbing float accumulation error in CDF comparisons.
+pub const CDF_EPS: f64 = 1e-9;
+
+/// Decides `x ⪯_st y` (allowing equality: a distribution dominates itself).
+pub fn stochastically_dominates(x: &DistanceDistribution, y: &DistanceDistribution) -> bool {
+    stochastically_dominates_counted(x, y, &mut 0)
+}
+
+/// As [`stochastically_dominates`], also counting the number of atom
+/// comparisons performed — the cost metric of the Appendix C ablation.
+pub fn stochastically_dominates_counted(
+    x: &DistanceDistribution,
+    y: &DistanceDistribution,
+    comparisons: &mut u64,
+) -> bool {
+    let xs = x.atoms();
+    let ys = y.atoms();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut gap = 0.0f64; // Pr(X ≤ λ) − Pr(Y ≤ λ) after processing values ≤ λ
+    while j < ys.len() {
+        *comparisons += 1;
+        // Advance λ to the next distinct support value of either side;
+        // consume all X atoms with value ≤ that λ first.
+        let lambda = if i < xs.len() && xs[i].0 <= ys[j].0 {
+            xs[i].0
+        } else {
+            ys[j].0
+        };
+        while i < xs.len() && xs[i].0 <= lambda {
+            gap += xs[i].1;
+            i += 1;
+        }
+        while j < ys.len() && ys[j].0 <= lambda {
+            gap -= ys[j].1;
+            j += 1;
+        }
+        if gap < -CDF_EPS {
+            return false;
+        }
+    }
+    // Remaining X atoms only increase the gap; no further checks needed.
+    true
+}
+
+/// Strict variant used by the SD operators (Definitions 2/3): dominance in
+/// stochastic order *and* the distributions differ.
+pub fn strictly_dominates(x: &DistanceDistribution, y: &DistanceDistribution) -> bool {
+    stochastically_dominates(x, y) && !x.approx_eq(y, CDF_EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(atoms: &[(f64, f64)]) -> DistanceDistribution {
+        DistanceDistribution::from_atoms(atoms.to_vec())
+    }
+
+    #[test]
+    fn identical_distributions_dominate_nonstrictly() {
+        let x = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        assert!(stochastically_dominates(&x, &x));
+        assert!(!strictly_dominates(&x, &x));
+    }
+
+    #[test]
+    fn shifted_distribution_dominates() {
+        let x = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let y = d(&[(2.0, 0.5), (3.0, 0.5)]);
+        assert!(stochastically_dominates(&x, &y));
+        assert!(!stochastically_dominates(&y, &x));
+        assert!(strictly_dominates(&x, &y));
+    }
+
+    /// Figure 3(b): A_Q ⪯st B_Q, A_Q ⪯st C_Q, but B and C are incomparable.
+    #[test]
+    fn paper_figure3_orders() {
+        // Distance distributions with pair probability 0.25 each; values
+        // chosen to mirror the figure's sorted orderings.
+        let a = d(&[(2.0, 0.25), (3.0, 0.25), (4.0, 0.25), (5.0, 0.25)]);
+        let b = d(&[(3.0, 0.25), (4.0, 0.25), (5.0, 0.25), (6.0, 0.25)]);
+        let c = d(&[(1.0, 0.25), (2.0, 0.25), (8.0, 0.25), (9.0, 0.25)]);
+        assert!(stochastically_dominates(&a, &b));
+        assert!(!stochastically_dominates(&b, &c));
+        assert!(!stochastically_dominates(&c, &b));
+    }
+
+    #[test]
+    fn crossing_cdfs_incomparable() {
+        let x = d(&[(0.0, 0.5), (10.0, 0.5)]);
+        let y = d(&[(4.0, 0.5), (6.0, 0.5)]);
+        assert!(!stochastically_dominates(&x, &y));
+        assert!(!stochastically_dominates(&y, &x));
+    }
+
+    #[test]
+    fn dominance_with_unequal_supports() {
+        let x = d(&[(1.0, 1.0)]);
+        let y = d(&[(1.0, 0.2), (5.0, 0.3), (7.0, 0.5)]);
+        assert!(stochastically_dominates(&x, &y));
+        assert!(!stochastically_dominates(&y, &x));
+    }
+
+    #[test]
+    fn ties_at_equal_values() {
+        // Same support, Y has more mass high.
+        let x = d(&[(1.0, 0.6), (2.0, 0.4)]);
+        let y = d(&[(1.0, 0.4), (2.0, 0.6)]);
+        assert!(stochastically_dominates(&x, &y));
+        assert!(!stochastically_dominates(&y, &x));
+    }
+
+    #[test]
+    fn comparison_counter_increments() {
+        let x = d(&[(1.0, 0.5), (2.0, 0.5)]);
+        let y = d(&[(2.0, 0.5), (3.0, 0.5)]);
+        let mut c = 0;
+        let _ = stochastically_dominates_counted(&x, &y, &mut c);
+        assert!(c > 0);
+    }
+
+    /// Dominance must agree with the CDF definition on dense λ probes.
+    #[test]
+    fn agrees_with_cdf_definition() {
+        let cases = [
+            (d(&[(1.0, 0.3), (4.0, 0.7)]), d(&[(2.0, 0.5), (3.0, 0.5)])),
+            (d(&[(1.0, 1.0)]), d(&[(0.5, 0.5), (9.0, 0.5)])),
+            (d(&[(2.0, 0.5), (3.0, 0.5)]), d(&[(2.0, 0.5), (3.0, 0.5)])),
+        ];
+        for (x, y) in cases {
+            let want = {
+                let mut ok = true;
+                let mut probes: Vec<f64> =
+                    x.atoms().iter().chain(y.atoms()).map(|&(v, _)| v).collect();
+                probes.sort_by(f64::total_cmp);
+                for &l in &probes {
+                    if x.cdf(l) < y.cdf(l) - 1e-12 {
+                        ok = false;
+                    }
+                }
+                ok
+            };
+            assert_eq!(stochastically_dominates(&x, &y), want);
+        }
+    }
+}

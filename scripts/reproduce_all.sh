@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, paper figures, stress validation, benches.
+# Usage: scripts/reproduce_all.sh [--paper-scale]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --workspace --release
+
+echo "== test suite =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== randomized stress validation (200 rounds) =="
+cargo run --release -p osd-bench --bin stress -- 200
+
+echo "== paper figures =="
+cargo run --release -p osd-bench --bin repro -- all "$@" --out-dir results/
+
+echo "== motivation experiment (NN-core comparison) =="
+cargo run --release -p osd-bench --bin repro -- motivation --out-dir results/
+
+echo "== microbenchmarks =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done — figures in results/, raw criterion data in target/criterion/"

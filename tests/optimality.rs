@@ -1,0 +1,198 @@
+//! Cross-crate verification of the paper's optimality theorems (§4.2):
+//!
+//! * **Correctness** — `SD(U, V, Q)` implies `f(U) ≤ f(V)` for every
+//!   implemented `f` in the family the operator covers (Theorems 5–8);
+//! * **Completeness** — `¬SD(U, V, Q)` implies a constructive witness
+//!   function in the family prefers `V` (quantiles for S-SD, weighted
+//!   per-world indicators for SS-SD);
+//! * **Candidate containment** — the winner of every implemented NN
+//!   function lies inside the matching operator's candidate set.
+
+use osd::prelude::*;
+use osd_uncertain::CDF_EPS;
+use proptest::prelude::*;
+
+fn object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObject> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..max_m).prop_map(|pts| {
+        UncertainObject::uniform(pts.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect())
+    })
+}
+
+const QUANTILE_GRID: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 5 (correctness): S-SD(U,V,Q) ⇒ f(U) ≤ f(V) for all N1.
+    #[test]
+    fn ssd_correct_wrt_n1(u in object_strategy(5), v in object_strategy(5), q in object_strategy(5)) {
+        if s_sd(&u, &v, &q) {
+            for f in [N1Function::Min, N1Function::Max, N1Function::Mean] {
+                prop_assert!(f.score(&u, &q) <= f.score(&v, &q) + 1e-9, "{f:?} violated");
+            }
+            for phi in QUANTILE_GRID {
+                let f = N1Function::Quantile(phi);
+                prop_assert!(f.score(&u, &q) <= f.score(&v, &q) + 1e-9, "quantile {phi} violated");
+            }
+        }
+    }
+
+    /// Theorem 5 (completeness): ¬S-SD(U,V,Q) and ¬(U_Q = V_Q) ⇒ some
+    /// quantile ranks V strictly better (the proof's witness: φ at the CDF
+    /// crossing).
+    #[test]
+    fn ssd_complete_wrt_n1(u in object_strategy(5), v in object_strategy(5), q in object_strategy(5)) {
+        let du = DistanceDistribution::between(&u, &q);
+        let dv = DistanceDistribution::between(&v, &q);
+        if !s_sd(&u, &v, &q) && !du.approx_eq(&dv, CDF_EPS) {
+            // Witness per Appendix B.4: λ with Pr(U≤λ) < Pr(V≤λ); then
+            // φ = Pr(V≤λ) satisfies quan_φ(V) ≤ λ < quan_φ(U).
+            let mut witness = false;
+            let mut probes: Vec<f64> = du.atoms().iter().chain(dv.atoms()).map(|&(x, _)| x).collect();
+            probes.sort_by(f64::total_cmp);
+            for lambda in probes {
+                let (cu, cv) = (du.cdf(lambda), dv.cdf(lambda));
+                if cu < cv - 1e-9 {
+                    let phi = cv;
+                    if dv.quantile(phi) < du.quantile(phi) - 1e-12 {
+                        witness = true;
+                        break;
+                    }
+                }
+            }
+            prop_assert!(witness, "no quantile witness found for ¬S-SD pair");
+        }
+    }
+
+    /// Theorem 6 (correctness): SS-SD(U,V,Q) ⇒ N2 scores ordered — NN
+    /// probability, expected rank, global top-k, and the full rank
+    /// distribution in first-order dominance, in the presence of arbitrary
+    /// other objects.
+    #[test]
+    fn sssd_correct_wrt_n2(
+        u in object_strategy(4), v in object_strategy(4),
+        others in prop::collection::vec(object_strategy(4), 0..3),
+        q in object_strategy(4),
+    ) {
+        if ss_sd(&u, &v, &q) {
+            let mut objects = vec![u, v];
+            objects.extend(others);
+            for f in [N2Function::NnProbability, N2Function::ExpectedRank,
+                      N2Function::GlobalTopK(1), N2Function::GlobalTopK(2)] {
+                let su = f.score(&objects, 0, &q);
+                let sv = f.score(&objects, 1, &q);
+                prop_assert!(su <= sv + 1e-9, "{} violated: {su} > {sv}", f.name());
+            }
+            // First-order dominance of the rank distributions: U's CDF over
+            // ranks is everywhere at least V's.
+            let ru = rank_distribution(&objects, 0, &q);
+            let rv = rank_distribution(&objects, 1, &q);
+            let mut acc_u = 0.0;
+            let mut acc_v = 0.0;
+            for (a, b) in ru.iter().zip(rv.iter()) {
+                acc_u += a;
+                acc_v += b;
+                prop_assert!(acc_u >= acc_v - 1e-9, "rank CDF dominance violated");
+            }
+        }
+    }
+
+    /// Theorem 6 (completeness): ¬SS-SD(U,V,Q) ⇒ the constructive witness
+    /// of Appendix B.5 — a per-world indicator weighted by the failing
+    /// query instance — ranks V strictly better.
+    #[test]
+    fn sssd_complete_wrt_n2(u in object_strategy(4), v in object_strategy(4), q in object_strategy(4)) {
+        let du = DistanceDistribution::between(&u, &q);
+        let dv = DistanceDistribution::between(&v, &q);
+        if !ss_sd(&u, &v, &q) && !du.approx_eq(&dv, CDF_EPS) {
+            // Find a failing query instance q1 and level λ1 with
+            // Pr(U_q1 > λ1) > Pr(V_q1 > λ1).
+            let mut witness = false;
+            'outer: for qi in q.instances() {
+                let uq = DistanceDistribution::to_instance(&u, &qi.point);
+                let vq = DistanceDistribution::to_instance(&v, &qi.point);
+                let mut probes: Vec<f64> =
+                    uq.atoms().iter().chain(vq.atoms()).map(|&(x, _)| x).collect();
+                probes.sort_by(f64::total_cmp);
+                for lambda in probes {
+                    if uq.cdf(lambda) < vq.cdf(lambda) - 1e-9 {
+                        // f(X) = Pr(X_q1 > λ1)·p(q1): a valid N2 function
+                        // (stable weighted sum of per-world indicators).
+                        let fu = (1.0 - uq.cdf(lambda)) * qi.prob;
+                        let fv = (1.0 - vq.cdf(lambda)) * qi.prob;
+                        if fv < fu - 1e-12 {
+                            witness = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            prop_assert!(witness, "no per-instance witness found for ¬SS-SD pair");
+        }
+    }
+
+    /// Theorem 7 (correctness): P-SD(U,V,Q) ⇒ N3 scores ordered —
+    /// Hausdorff, Sum-of-Min and EMD/Netflow.
+    #[test]
+    fn psd_correct_wrt_n3(u in object_strategy(5), v in object_strategy(5), q in object_strategy(5)) {
+        if p_sd(&u, &v, &q) {
+            prop_assert!(hausdorff(&u, &q) <= hausdorff(&v, &q) + 1e-9, "hausdorff violated");
+            prop_assert!(sum_min(&u, &q) <= sum_min(&v, &q) + 1e-9, "sum_min violated");
+            prop_assert!(emd(&u, &q) <= emd(&v, &q) + 1e-6, "emd violated");
+            prop_assert!(netflow(&u, &q) <= netflow(&v, &q) + 1e-6, "netflow violated");
+        }
+    }
+
+    /// Theorem 8: F-SD is correct w.r.t. everything but NOT complete — it
+    /// never contradicts P-SD, and the strictness gap is witnessed
+    /// elsewhere (Figure 4 unit test).
+    #[test]
+    fn fsd_correct_wrt_all(u in object_strategy(5), v in object_strategy(5), q in object_strategy(5)) {
+        if f_sd(&u, &v, &q) {
+            for f in [N1Function::Min, N1Function::Max, N1Function::Mean] {
+                prop_assert!(f.score(&u, &q) <= f.score(&v, &q) + 1e-9);
+            }
+            prop_assert!(hausdorff(&u, &q) <= hausdorff(&v, &q) + 1e-9);
+            prop_assert!(emd(&u, &q) <= emd(&v, &q) + 1e-6);
+        }
+    }
+
+    /// Candidate containment: the winner of every implemented function lies
+    /// in the candidate set of the operator covering its family.
+    #[test]
+    fn winners_inside_candidate_sets(
+        objs in prop::collection::vec(object_strategy(4), 3..8),
+        q in object_strategy(4),
+    ) {
+        let db = Database::new(objs.clone());
+        let pq = PreparedQuery::new(q.clone());
+        let cfg = FilterConfig::all();
+        let ssd: Vec<usize> = nn_candidates(&db, &pq, Operator::SSd, &cfg).ids();
+        let sssd: Vec<usize> = nn_candidates(&db, &pq, Operator::SsSd, &cfg).ids();
+        let psd: Vec<usize> = nn_candidates(&db, &pq, Operator::PSd, &cfg).ids();
+
+        // N1 winners must be inside NNC(S-SD).
+        for f in [N1Function::Min, N1Function::Max, N1Function::Mean, N1Function::Quantile(0.5)] {
+            let w = argmin(objs.len(), |i| f.score(&objs[i], &q));
+            prop_assert!(ssd.contains(&w), "{f:?} winner {w} outside NNC(S-SD) {ssd:?}");
+        }
+        // N2 winners must be inside NNC(SS-SD).
+        for f in [N2Function::NnProbability, N2Function::ExpectedRank] {
+            let w = argmin(objs.len(), |i| f.score(&objs, i, &q));
+            prop_assert!(sssd.contains(&w), "{} winner {w} outside NNC(SS-SD) {sssd:?}", f.name());
+        }
+        // N3 winners must be inside NNC(P-SD).
+        let w = argmin(objs.len(), |i| hausdorff(&objs[i], &q));
+        prop_assert!(psd.contains(&w), "hausdorff winner {w} outside NNC(P-SD) {psd:?}");
+        let w = argmin(objs.len(), |i| emd(&objs[i], &q));
+        prop_assert!(psd.contains(&w), "emd winner {w} outside NNC(P-SD) {psd:?}");
+        let w = argmin(objs.len(), |i| sum_min(&objs[i], &q));
+        prop_assert!(psd.contains(&w), "sum_min winner {w} outside NNC(P-SD) {psd:?}");
+    }
+}
+
+fn argmin(n: usize, score: impl Fn(usize) -> f64) -> usize {
+    (0..n)
+        .min_by(|&a, &b| score(a).total_cmp(&score(b)))
+        .expect("non-empty")
+}
