@@ -2,6 +2,9 @@
 //! per-pair cost of S-SD, SS-SD, P-SD, F-SD and F⁺-SD at the paper's
 //! default object/query sizes, with and without the filtering techniques.
 
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osd_core::{dominates, Database, DominanceCache, FilterConfig, Operator, PreparedQuery, Stats};
 use osd_datagen::{object_around, DOMAIN};
@@ -26,28 +29,24 @@ fn bench_operators(c: &mut Criterion) {
     for m in [10usize, 40, 100] {
         let (db, q) = pair(m, 42);
         for op in Operator::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(op.label(), m),
-                &m,
-                |b, _| {
-                    b.iter(|| {
-                        // Fresh cache per iteration: measures the un-amortised
-                        // pair cost, as a NNC query pays it on first contact.
-                        let mut cache = DominanceCache::new(db.len());
-                        let mut stats = Stats::default();
-                        black_box(dominates(
-                            op,
-                            &db,
-                            0,
-                            1,
-                            &q,
-                            &FilterConfig::all(),
-                            &mut cache,
-                            &mut stats,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(op.label(), m), &m, |b, _| {
+                b.iter(|| {
+                    // Fresh cache per iteration: measures the un-amortised
+                    // pair cost, as a NNC query pays it on first contact.
+                    let mut cache = DominanceCache::new(db.len());
+                    let mut stats = Stats::default();
+                    black_box(dominates(
+                        op,
+                        &db,
+                        0,
+                        1,
+                        &q,
+                        &FilterConfig::all(),
+                        &mut cache,
+                        &mut stats,
+                    ))
+                })
+            });
         }
     }
     group.finish();
@@ -84,21 +83,53 @@ fn bench_cached_vs_cold(c: &mut Criterion) {
         b.iter(|| {
             let mut cache = DominanceCache::new(db.len());
             let mut stats = Stats::default();
-            black_box(dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats))
+            black_box(dominates(
+                Operator::SSd,
+                &db,
+                0,
+                1,
+                &q,
+                &FilterConfig::all(),
+                &mut cache,
+                &mut stats,
+            ))
         })
     });
     group.bench_function("warm_cache", |b| {
         let mut cache = DominanceCache::new(db.len());
         let mut stats = Stats::default();
         // Prime the distributions once.
-        let _ = dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats);
+        let _ = dominates(
+            Operator::SSd,
+            &db,
+            0,
+            1,
+            &q,
+            &FilterConfig::all(),
+            &mut cache,
+            &mut stats,
+        );
         b.iter(|| {
             let mut stats = Stats::default();
-            black_box(dominates(Operator::SSd, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats))
+            black_box(dominates(
+                Operator::SSd,
+                &db,
+                0,
+                1,
+                &q,
+                &FilterConfig::all(),
+                &mut cache,
+                &mut stats,
+            ))
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_operators, bench_filter_configs, bench_cached_vs_cold);
+criterion_group!(
+    benches,
+    bench_operators,
+    bench_filter_configs,
+    bench_cached_vs_cold
+);
 criterion_main!(benches);

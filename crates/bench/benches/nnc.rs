@@ -1,13 +1,20 @@
 //! Criterion benchmark of the end-to-end NNC computation (Algorithm 1) on
 //! a laptop-scale A-N dataset, per operator, plus index construction.
 
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osd_bench::{build, DatasetId, Scale};
 use osd_core::{nn_candidates, Database, FilterConfig, Operator};
 use std::hint::black_box;
 
 fn bench_nnc(c: &mut Criterion) {
-    let scale = Scale { n: 1_000, queries: 1, ..Scale::laptop() };
+    let scale = Scale {
+        n: 1_000,
+        queries: 1,
+        ..Scale::laptop()
+    };
     let bench = build(DatasetId::AN, &scale);
     let query = &bench.queries[0];
     let mut group = c.benchmark_group("nnc_query");
@@ -24,7 +31,11 @@ fn bench_index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("database_build");
     group.sample_size(10);
     for n in [1_000usize, 5_000] {
-        let scale = Scale { n, queries: 1, ..Scale::laptop() };
+        let scale = Scale {
+            n,
+            queries: 1,
+            ..Scale::laptop()
+        };
         let objects = osd_bench::datasets::build_objects(DatasetId::AN, &scale);
         group.bench_with_input(BenchmarkId::new("a_n", n), &n, |b, _| {
             b.iter(|| black_box(Database::new(objects.clone())))

@@ -2,6 +2,9 @@
 //! queries, stochastic-order scans, max-flow / min-cost-flow solves, and
 //! convex-hull extraction.
 
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osd_flow::{MaxFlow, MinCostFlow};
 use osd_geom::{hull_vertices, Mbr, Point};
@@ -14,7 +17,12 @@ use std::hint::black_box;
 fn random_points(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| Point::new(vec![rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)]))
+        .map(|_| {
+            Point::new(vec![
+                rng.gen_range(0.0..10_000.0),
+                rng.gen_range(0.0..10_000.0),
+            ])
+        })
         .collect()
 }
 
@@ -27,7 +35,10 @@ fn bench_rtree(c: &mut Criterion) {
                 let entries: Vec<Entry<usize>> = pts
                     .iter()
                     .enumerate()
-                    .map(|(i, p)| Entry { mbr: Mbr::from_point(p), item: i })
+                    .map(|(i, p)| Entry {
+                        mbr: Mbr::from_point(p),
+                        item: i,
+                    })
                     .collect();
                 black_box(RTree::bulk_load(32, entries))
             })
@@ -35,7 +46,10 @@ fn bench_rtree(c: &mut Criterion) {
         let entries: Vec<Entry<usize>> = pts
             .iter()
             .enumerate()
-            .map(|(i, p)| Entry { mbr: Mbr::from_point(p), item: i })
+            .map(|(i, p)| Entry {
+                mbr: Mbr::from_point(p),
+                item: i,
+            })
             .collect();
         let tree = RTree::bulk_load(32, entries);
         let q = Point::new(vec![5_000.0, 5_000.0]);
@@ -96,11 +110,11 @@ fn bench_flow(c: &mut Criterion) {
             b.iter(|| {
                 let (s, t) = (2 * m, 2 * m + 1);
                 let mut g = MinCostFlow::new(2 * m + 2);
-                for i in 0..m {
+                for (i, row) in costs.iter().enumerate() {
                     g.add_edge(s, i, 1_000, 0.0);
                     g.add_edge(m + i, t, 1_000, 0.0);
-                    for j in 0..m {
-                        g.add_edge(i, m + j, u64::MAX / 4, costs[i][j]);
+                    for (j, &cost) in row.iter().enumerate() {
+                        g.add_edge(i, m + j, u64::MAX / 4, cost);
                     }
                 }
                 black_box(g.min_cost_flow(s, t, 1_000 * m as u64))
@@ -134,5 +148,11 @@ fn bench_hull(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rtree, bench_stochastic_scan, bench_flow, bench_hull);
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_stochastic_scan,
+    bench_flow,
+    bench_hull
+);
 criterion_main!(benches);

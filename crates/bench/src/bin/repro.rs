@@ -11,7 +11,12 @@
 //!   --param <axis>     fig11/fig13 axis: md | hd | mq | hq | n | d
 //! ```
 
-use osd_bench::{fig10_with_threads, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam};
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use osd_bench::{
+    fig10_with_threads, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +26,11 @@ fn main() {
     }
     let cmd = args[0].as_str();
     let paper = args.iter().any(|a| a == "--paper-scale");
-    let mut scale = if paper { Scale::paper() } else { Scale::laptop() };
+    let mut scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::laptop()
+    };
     let mut param: Option<SweepParam> = None;
     let mut report = Report::stdout();
     let mut threads = 1usize;

@@ -14,9 +14,12 @@
 //! cargo run --release -p osd-bench --bin stress -- [rounds] [seed]
 //! ```
 
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use osd_core::{
-    k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates, nn_candidates_bruteforce,
-    Database, FilterConfig, Operator, PreparedQuery,
+    k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates, nn_candidates_bruteforce, Database,
+    FilterConfig, Operator, PreparedQuery,
 };
 use osd_datagen::{object_around, DOMAIN};
 use osd_nnfuncs::{emd, hausdorff, sum_min, N1Function};
@@ -85,7 +88,12 @@ fn main() {
         // is on the winning *score*, not the tie-broken winner id.)
         let ssd = &sets[0];
         let psd = &sets[2];
-        for f in [N1Function::Min, N1Function::Mean, N1Function::Max, N1Function::Quantile(0.5)] {
+        for f in [
+            N1Function::Min,
+            N1Function::Mean,
+            N1Function::Max,
+            N1Function::Quantile(0.5),
+        ] {
             let best = (0..n)
                 .map(|i| f.score(&objects[i], &query))
                 .fold(f64::INFINITY, f64::min);

@@ -8,9 +8,7 @@
 use crate::datasets::{build, build_objects, build_queries, DatasetId, Workbench};
 use crate::params::{Scale, Sweeps};
 use crate::runner::{run_all_ops, run_all_ops_parallel, run_cell, Report};
-use osd_core::{
-    dominates, DominanceCache, FilterConfig, Operator, ProgressiveNnc, Stats,
-};
+use osd_core::{dominates, DominanceCache, FilterConfig, Operator, ProgressiveNnc, Stats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,7 +19,10 @@ pub fn fig10(scale: &Scale, report: &Report) {
 
 /// [`fig10`] with the workload spread over `threads` OS threads.
 pub fn fig10_with_threads(scale: &Scale, report: &Report, threads: usize) {
-    let cols: Vec<String> = DatasetId::ALL.iter().map(|d| d.label().to_string()).collect();
+    let cols: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.label().to_string())
+        .collect();
     let mut rows: Vec<(String, Vec<f64>)> = Operator::ALL
         .iter()
         .map(|op| (op.label().to_string(), Vec::new()))
@@ -34,12 +35,20 @@ pub fn fig10_with_threads(scale: &Scale, report: &Report, threads: usize) {
             row.1.push(cell.avg_candidates);
         }
     }
-    report.table("Figure 10: candidate size by dataset", "dataset", &cols, &rows);
+    report.table(
+        "Figure 10: candidate size by dataset",
+        "dataset",
+        &cols,
+        &rows,
+    );
 }
 
 /// Figure 12: average query response time (ms) per dataset.
 pub fn fig12(scale: &Scale, report: &Report) {
-    let cols: Vec<String> = DatasetId::ALL.iter().map(|d| d.label().to_string()).collect();
+    let cols: Vec<String> = DatasetId::ALL
+        .iter()
+        .map(|d| d.label().to_string())
+        .collect();
     let mut rows: Vec<(String, Vec<f64>)> = Operator::ALL
         .iter()
         .map(|op| (op.label().to_string(), Vec::new()))
@@ -47,11 +56,19 @@ pub fn fig12(scale: &Scale, report: &Report) {
     for id in DatasetId::ALL {
         eprintln!("[fig12] running {}", id.label());
         let bench = build(id, scale);
-        for (row, cell) in rows.iter_mut().zip(run_all_ops(&bench, &FilterConfig::all())) {
+        for (row, cell) in rows
+            .iter_mut()
+            .zip(run_all_ops(&bench, &FilterConfig::all()))
+        {
             row.1.push(cell.avg_time_ms);
         }
     }
-    report.table("Figure 12: response time (ms) by dataset", "dataset", &cols, &rows);
+    report.table(
+        "Figure 12: response time (ms) by dataset",
+        "dataset",
+        &cols,
+        &rows,
+    );
 }
 
 /// Which parameter a Figure 11/13 sub-plot sweeps.
@@ -110,31 +127,53 @@ impl SweepParam {
 
 /// Builds the benches of one sweep: `(axis value label, workbench)`.
 fn sweep_benches(param: SweepParam, scale: &Scale, paper: bool) -> Vec<(String, Workbench)> {
-    let dataset = if param == SweepParam::N { DatasetId::Usa } else { DatasetId::AN };
+    let dataset = if param == SweepParam::N {
+        DatasetId::Usa
+    } else {
+        DatasetId::AN
+    };
     let points: Vec<Scale> = match param {
         SweepParam::Md => Sweeps::m_d(paper)
             .into_iter()
-            .map(|v| Scale { m_d: v, ..scale.clone() })
+            .map(|v| Scale {
+                m_d: v,
+                ..scale.clone()
+            })
             .collect(),
         SweepParam::Hd => Sweeps::h_d()
             .into_iter()
-            .map(|v| Scale { h_d: v, ..scale.clone() })
+            .map(|v| Scale {
+                h_d: v,
+                ..scale.clone()
+            })
             .collect(),
         SweepParam::Mq => Sweeps::m_q(paper)
             .into_iter()
-            .map(|v| Scale { m_q: v, ..scale.clone() })
+            .map(|v| Scale {
+                m_q: v,
+                ..scale.clone()
+            })
             .collect(),
         SweepParam::Hq => Sweeps::h_q()
             .into_iter()
-            .map(|v| Scale { h_q: v, ..scale.clone() })
+            .map(|v| Scale {
+                h_q: v,
+                ..scale.clone()
+            })
             .collect(),
         SweepParam::N => Sweeps::n(paper)
             .into_iter()
-            .map(|v| Scale { n: v, ..scale.clone() })
+            .map(|v| Scale {
+                n: v,
+                ..scale.clone()
+            })
             .collect(),
         SweepParam::Dim => Sweeps::dim()
             .into_iter()
-            .map(|v| Scale { dim: v, ..scale.clone() })
+            .map(|v| Scale {
+                dim: v,
+                ..scale.clone()
+            })
             .collect(),
     };
     points
@@ -284,7 +323,10 @@ pub fn fig16(scale: &Scale, paper: bool, report: &Report) {
         let cols: Vec<String> = m_ds.iter().map(|m| m.to_string()).collect();
         for &m_d in &m_ds {
             eprintln!("[fig16 {}] m_d = {}", op.label(), m_d);
-            let s = Scale { m_d, ..scale.clone() };
+            let s = Scale {
+                m_d,
+                ..scale.clone()
+            };
             let objects = build_objects(DatasetId::House, &s);
             let queries = build_queries(&objects, DatasetId::House, &s);
             let bench = Workbench {
@@ -297,7 +339,10 @@ pub fn fig16(scale: &Scale, paper: bool, report: &Report) {
             }
         }
         report.table(
-            &format!("Figure 16: avg instance comparisons vs m_d ({}, HOUSE)", op.label()),
+            &format!(
+                "Figure 16: avg instance comparisons vs m_d ({}, HOUSE)",
+                op.label()
+            ),
             "m_d",
             &cols,
             &rows,

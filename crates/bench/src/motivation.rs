@@ -10,8 +10,8 @@ use crate::datasets::{build, DatasetId};
 use crate::params::Scale;
 use crate::runner::Report;
 use osd_core::{nn_candidates, FilterConfig, Operator};
-use osd_nnfuncs::{emd, hausdorff, N1Function};
 use osd_nncore::nn_core;
+use osd_nnfuncs::{emd, hausdorff, N1Function};
 
 /// Runs the NN-core comparison on one dataset and prints, per function, the
 /// fraction of queries whose winner is *missed* by NN-core but kept by the
@@ -46,12 +46,38 @@ pub fn motivation(scale: &Scale, report: &Report) {
         // Winners under six representative functions; the first four are N1
         // (compare vs S-SD), the last two N3 (compare vs P-SD).
         let winners: Vec<(usize, bool)> = vec![
-            (argmin(objects.len(), |i| N1Function::Min.score(&objects[i], q.object())), true),
-            (argmin(objects.len(), |i| N1Function::Mean.score(&objects[i], q.object())), true),
-            (argmin(objects.len(), |i| N1Function::Max.score(&objects[i], q.object())), true),
-            (argmin(objects.len(), |i| N1Function::Quantile(0.5).score(&objects[i], q.object())), true),
-            (argmin(objects.len(), |i| hausdorff(&objects[i], q.object())), false),
-            (argmin(objects.len(), |i| emd(&objects[i], q.object())), false),
+            (
+                argmin(objects.len(), |i| {
+                    N1Function::Min.score(&objects[i], q.object())
+                }),
+                true,
+            ),
+            (
+                argmin(objects.len(), |i| {
+                    N1Function::Mean.score(&objects[i], q.object())
+                }),
+                true,
+            ),
+            (
+                argmin(objects.len(), |i| {
+                    N1Function::Max.score(&objects[i], q.object())
+                }),
+                true,
+            ),
+            (
+                argmin(objects.len(), |i| {
+                    N1Function::Quantile(0.5).score(&objects[i], q.object())
+                }),
+                true,
+            ),
+            (
+                argmin(objects.len(), |i| hausdorff(&objects[i], q.object())),
+                false,
+            ),
+            (
+                argmin(objects.len(), |i| emd(&objects[i], q.object())),
+                false,
+            ),
         ];
         for (fi, &(w, is_n1)) in winners.iter().enumerate() {
             if !core.contains(&w) {

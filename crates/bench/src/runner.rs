@@ -69,7 +69,10 @@ pub fn run_cell_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let elapsed = started.elapsed();
     let mut candidates = 0usize;
@@ -135,11 +138,19 @@ impl Report {
 
     /// A report mirroring CSVs into `dir` (created on first use).
     pub fn with_csv(dir: impl Into<std::path::PathBuf>) -> Self {
-        Report { out_dir: Some(dir.into()) }
+        Report {
+            out_dir: Some(dir.into()),
+        }
     }
 
     /// Emits one table.
-    pub fn table(&self, title: &str, col_header: &str, cols: &[String], rows: &[(String, Vec<f64>)]) {
+    pub fn table(
+        &self,
+        title: &str,
+        col_header: &str,
+        cols: &[String],
+        rows: &[(String, Vec<f64>)],
+    ) {
         print_table(title, col_header, cols, rows);
         if let Some(dir) = &self.out_dir {
             if let Err(e) = write_csv(dir, title, col_header, cols, rows) {
@@ -160,7 +171,13 @@ fn write_csv(
     std::fs::create_dir_all(dir)?;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())

@@ -1,9 +1,15 @@
 //! Smoke tests: every figure function runs end-to-end at micro scale
 //! without panicking. Guards the harness against API drift.
 
-use osd_bench::{
-    fig10, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam,
-};
+// Integration test: exact expected values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
+use osd_bench::{fig10, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam};
 
 fn micro() -> Scale {
     Scale {
@@ -40,12 +46,20 @@ fn fig14_runs() {
 
 #[test]
 fn fig16_runs() {
-    let s = Scale { n: 40, queries: 1, ..micro() };
+    let s = Scale {
+        n: 40,
+        queries: 1,
+        ..micro()
+    };
     fig16(&s, false, &Report::stdout());
 }
 
 #[test]
 fn motivation_runs() {
-    let s = Scale { n: 30, queries: 2, ..micro() };
+    let s = Scale {
+        n: 30,
+        queries: 2,
+        ..micro()
+    };
     motivation(&s, &Report::stdout());
 }

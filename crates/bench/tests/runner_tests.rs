@@ -2,6 +2,14 @@
 //! on candidate counts and exact counters, the dataset builders honour
 //! their parameters, and the CSV mirror round-trips.
 
+// Integration test: exact expected values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
 use osd_bench::{build, run_cell, run_cell_parallel, DatasetId, Report, Scale};
 use osd_core::{FilterConfig, Operator};
 
@@ -21,8 +29,14 @@ fn parallel_runner_matches_sequential() {
     for op in [Operator::SSd, Operator::PSd, Operator::FPlusSd] {
         let seq = run_cell(&bench, op, &FilterConfig::all());
         let par = run_cell_parallel(&bench, op, &FilterConfig::all(), 4);
-        assert_eq!(seq.avg_candidates, par.avg_candidates, "{op:?} candidates diverge");
-        assert_eq!(seq.avg_comparisons, par.avg_comparisons, "{op:?} counters diverge");
+        assert_eq!(
+            seq.avg_candidates, par.avg_candidates,
+            "{op:?} candidates diverge"
+        );
+        assert_eq!(
+            seq.avg_comparisons, par.avg_comparisons,
+            "{op:?} counters diverge"
+        );
         assert_eq!(seq.avg_flow_runs, par.avg_flow_runs);
         assert_eq!(seq.avg_mbr_checks, par.avg_mbr_checks);
     }
@@ -34,7 +48,7 @@ fn dataset_builders_honour_scale() {
     for id in DatasetId::ALL {
         let bench = build(id, &scale);
         assert_eq!(bench.queries.len(), scale.queries, "{id:?}");
-        assert!(bench.db.len() > 0, "{id:?}");
+        assert!(!bench.db.is_empty(), "{id:?}");
         let dim = bench.db.dim();
         assert!(dim == 2 || dim == 3, "{id:?} unexpected dim {dim}");
         for q in &bench.queries {

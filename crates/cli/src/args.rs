@@ -40,14 +40,15 @@ pub fn parse_query_spec(spec: &str) -> Result<UncertainObject, CliError> {
         if group.is_empty() {
             continue;
         }
-        let coords: Result<Vec<f64>, _> = group
-            .split(',')
-            .map(|c| c.trim().parse::<f64>())
-            .collect();
+        let coords: Result<Vec<f64>, _> =
+            group.split(',').map(|c| c.trim().parse::<f64>()).collect();
         let coords = coords
             .map_err(|_| CliError::BadArgument(format!("instance {}: {:?}", i + 1, group)))?;
         if coords.is_empty() {
-            return Err(CliError::BadArgument(format!("instance {} is empty", i + 1)));
+            return Err(CliError::BadArgument(format!(
+                "instance {} is empty",
+                i + 1
+            )));
         }
         points.push(Point::new(coords));
     }
@@ -105,7 +106,8 @@ impl Flags {
     /// # Errors
     /// Returns [`CliError::Missing`] when absent.
     pub fn required(&self, name: &str) -> Result<&str, CliError> {
-        self.value(name).ok_or_else(|| CliError::Missing(name.into()))
+        self.value(name)
+            .ok_or_else(|| CliError::Missing(name.into()))
     }
 
     /// Whether the boolean flag `--name` is present.
@@ -129,6 +131,9 @@ impl Flags {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

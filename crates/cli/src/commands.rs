@@ -22,8 +22,7 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let k: usize = flags.parsed_or("--k", 1)?;
     let progressive = flags.has("--progressive");
 
-    let objects =
-        read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
     if objects[0].dim() != query.dim() {
         return Err(CliError::Data(format!(
             "query dimensionality {} does not match the dataset's {}",
@@ -52,7 +51,10 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             op.label()
         );
         for (c, dominators) in &res.candidates {
-            println!("  object {:>6}  min-dist {:>10.3}  dominators {}", c.id, c.min_dist, dominators);
+            println!(
+                "  object {:>6}  min-dist {:>10.3}  dominators {}",
+                c.id, c.min_dist, dominators
+            );
         }
     } else {
         let res = nn_candidates(&db, &pq, op, &cfg);
@@ -76,11 +78,10 @@ pub fn cmd_score(flags: &Flags) -> Result<(), CliError> {
         .required("--object")?
         .parse()
         .map_err(|_| CliError::BadArgument("--object must be an id".into()))?;
-    let objects =
-        read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
-    let obj = objects
-        .get(id)
-        .ok_or_else(|| CliError::Data(format!("object {id} out of range (n = {})", objects.len())))?;
+    let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let obj = objects.get(id).ok_or_else(|| {
+        CliError::Data(format!("object {id} out of range (n = {})", objects.len()))
+    })?;
 
     println!("object {id} vs query:");
     for f in [
@@ -119,7 +120,14 @@ pub fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
             } else {
                 CenterDistribution::Independent
             };
-            generate_objects(&SynthParams { n, dim, instances: m, edge, centers, seed })
+            generate_objects(&SynthParams {
+                n,
+                dim,
+                instances: m,
+                edge,
+                centers,
+                seed,
+            })
         }
         "gw" | "gowalla" => gowalla_like(n, m, seed),
         "nba" => nba_like(n, m, seed),
@@ -169,6 +177,9 @@ USAGE:
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn flags(kv: &[&str]) -> Flags {
@@ -185,15 +196,34 @@ mod tests {
     fn gen_then_query_roundtrip() {
         let out = tmp("gen.csv");
         cmd_gen(&flags(&[
-            "--out", &out, "--dataset", "indep", "--n", "50", "--m", "4", "--dim", "2",
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "50",
+            "--m",
+            "4",
+            "--dim",
+            "2",
         ]))
         .unwrap();
         cmd_query(&flags(&[
-            "--data", &out, "--query", "5000,5000;5100,5100", "--op", "sssd",
+            "--data",
+            &out,
+            "--query",
+            "5000,5000;5100,5100",
+            "--op",
+            "sssd",
         ]))
         .unwrap();
         cmd_query(&flags(&[
-            "--data", &out, "--query", "5000,5000", "--k", "3",
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--k",
+            "3",
         ]))
         .unwrap();
         cmd_score(&flags(&["--data", &out, "--query", "0,0", "--object", "0"])).unwrap();
@@ -203,7 +233,17 @@ mod tests {
     #[test]
     fn dimension_mismatch_reported() {
         let out = tmp("dim.csv");
-        cmd_gen(&flags(&["--out", &out, "--dataset", "indep", "--n", "10", "--dim", "2"])).unwrap();
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "10",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
         let err = cmd_query(&flags(&["--data", &out, "--query", "1,2,3"])).unwrap_err();
         std::fs::remove_file(&out).ok();
         assert!(err.to_string().contains("dimensionality"));

@@ -1,5 +1,8 @@
 //! `osd` — command-line NN-candidate search.
 
+// Leaf binary/bench: panic-family lints relaxed (see workspace policy).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use osd_cli::args::Flags;
 use osd_cli::commands::{run, usage};
 

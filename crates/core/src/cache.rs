@@ -219,6 +219,9 @@ impl DominanceCache {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_uncertain::UncertainObject;
 
@@ -243,7 +246,10 @@ mod tests {
         let d1 = cache.dist_q(&db, &q, 0, &mut stats);
         let after_first = stats.instance_comparisons;
         let d2 = cache.dist_q(&db, &q, 0, &mut stats);
-        assert_eq!(stats.instance_comparisons, after_first, "second hit must be free");
+        assert_eq!(
+            stats.instance_comparisons, after_first,
+            "second hit must be free"
+        );
         assert!(Rc::ptr_eq(&d1, &d2));
     }
 

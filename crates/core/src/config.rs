@@ -35,27 +35,42 @@ impl FilterConfig {
 
     /// `L`: level-by-level searching added to brute force.
     pub const fn l() -> Self {
-        FilterConfig { level_by_level: true, ..Self::bf() }
+        FilterConfig {
+            level_by_level: true,
+            ..Self::bf()
+        }
     }
 
     /// `LP`: level-by-level plus pruning rules.
     pub const fn lp() -> Self {
-        FilterConfig { pruning: true, ..Self::l() }
+        FilterConfig {
+            pruning: true,
+            ..Self::l()
+        }
     }
 
     /// `LG`: level-by-level plus geometric strategy.
     pub const fn lg() -> Self {
-        FilterConfig { geometric: true, ..Self::l() }
+        FilterConfig {
+            geometric: true,
+            ..Self::l()
+        }
     }
 
     /// `LGP`: level-by-level, geometric and pruning.
     pub const fn lgp() -> Self {
-        FilterConfig { pruning: true, ..Self::lg() }
+        FilterConfig {
+            pruning: true,
+            ..Self::lg()
+        }
     }
 
     /// `All`: every filtering technique, including MBR validation.
     pub const fn all() -> Self {
-        FilterConfig { mbr_validation: true, ..Self::lgp() }
+        FilterConfig {
+            mbr_validation: true,
+            ..Self::lgp()
+        }
     }
 
     /// The ablation ladder of Appendix C, in presentation order.
@@ -105,6 +120,9 @@ impl Stats {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
@@ -125,8 +143,18 @@ mod tests {
 
     #[test]
     fn stats_absorb() {
-        let mut a = Stats { instance_comparisons: 1, dominance_checks: 2, flow_runs: 3, mbr_checks: 4 };
-        let b = Stats { instance_comparisons: 10, dominance_checks: 20, flow_runs: 30, mbr_checks: 40 };
+        let mut a = Stats {
+            instance_comparisons: 1,
+            dominance_checks: 2,
+            flow_runs: 3,
+            mbr_checks: 4,
+        };
+        let b = Stats {
+            instance_comparisons: 10,
+            dominance_checks: 20,
+            flow_runs: 30,
+            mbr_checks: 40,
+        };
         a.absorb(&b);
         assert_eq!(a.instance_comparisons, 11);
         assert_eq!(a.mbr_checks, 44);

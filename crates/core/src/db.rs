@@ -66,7 +66,11 @@ impl Database {
             })
             .collect();
         let global = RTree::bulk_load(global_fanout, global_entries);
-        Database { objects, local, global }
+        Database {
+            objects,
+            local,
+            global,
+        }
     }
 
     /// Number of objects.
@@ -147,6 +151,9 @@ impl Database {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 
@@ -205,6 +212,8 @@ mod tests {
     #[should_panic(expected = "dimensionality must match")]
     fn insert_wrong_dim_rejected() {
         let mut db = Database::new(vec![obj(&[(0.0, 0.0)])]);
-        db.insert_object(UncertainObject::uniform(vec![Point::new(vec![1.0, 2.0, 3.0])]));
+        db.insert_object(UncertainObject::uniform(vec![Point::new(vec![
+            1.0, 2.0, 3.0,
+        ])]));
     }
 }

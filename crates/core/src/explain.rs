@@ -50,6 +50,9 @@ pub fn dominance_matrix(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::nnc::nn_candidates;
     use osd_geom::Point;
@@ -89,6 +92,8 @@ mod tests {
         let (db, q) = setup();
         let cfg = FilterConfig::all();
         let m = dominance_matrix(&db, &q, Operator::SSd, &cfg);
+        // `v` is a column index, not a row: range-loop is the clear spelling.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..db.len() {
             let from_matrix: Vec<usize> = (0..db.len()).filter(|&u| m[u][v]).collect();
             assert_eq!(from_matrix, dominators_of(&db, &q, Operator::SSd, v, &cfg));

@@ -167,7 +167,10 @@ pub fn k_nn_candidates(
             }
         }
     }
-    KnncResult { candidates: kept, stats }
+    KnncResult {
+        candidates: kept,
+        stats,
+    }
 }
 
 /// Brute-force oracle: objects dominated by fewer than `k` others.
@@ -240,6 +243,9 @@ fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, stats: &mut 
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::nnc::nn_candidates;
     use osd_geom::Point;
@@ -321,7 +327,10 @@ mod tests {
         for k in 1..=6 {
             let mut ids = k_nn_candidates(&db, &q, Operator::PSd, k, &FilterConfig::all()).ids();
             ids.sort_unstable();
-            assert!(prev.iter().all(|i| ids.contains(i)), "NNC_k must grow with k");
+            assert!(
+                prev.iter().all(|i| ids.contains(i)),
+                "NNC_k must grow with k"
+            );
             prev = ids;
         }
     }

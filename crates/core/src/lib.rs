@@ -44,6 +44,8 @@ pub mod cache;
 pub mod config;
 pub mod db;
 pub mod explain;
+#[cfg(feature = "strict-invariants")]
+pub mod invariants;
 pub mod knnc;
 pub mod nnc;
 pub mod ops;
@@ -56,5 +58,8 @@ pub use db::Database;
 pub use explain::{dominance_matrix, dominators_of};
 pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};
 pub use nnc::{nn_candidates, Candidate, NncResult, ProgressiveNnc};
-pub use ops::{dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate, ss_sd, Operator};
+pub use ops::{
+    dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate,
+    ss_sd, Operator,
+};
 pub use query::PreparedQuery;

@@ -121,7 +121,12 @@ pub struct ProgressiveNnc<'a> {
 
 impl<'a> ProgressiveNnc<'a> {
     /// Starts a traversal.
-    pub fn new(db: &'a Database, query: &'a PreparedQuery, op: Operator, cfg: &FilterConfig) -> Self {
+    pub fn new(
+        db: &'a Database,
+        query: &'a PreparedQuery,
+        op: Operator,
+        cfg: &FilterConfig,
+    ) -> Self {
         let mut heap = BinaryHeap::new();
         if let Some(root) = db.global_tree().root() {
             heap.push(HeapItem {

@@ -18,8 +18,8 @@
 use crate::cache::DominanceCache;
 use crate::config::{FilterConfig, Stats};
 use crate::db::Database;
-use crate::query::PreparedQuery;
 use crate::ops::strict_guard;
+use crate::query::PreparedQuery;
 use osd_geom::mbr_dominates;
 
 pub(crate) fn check(
@@ -49,8 +49,10 @@ pub(crate) fn check(
         if max_u_bound <= min_v_bound {
             continue;
         }
-        let (_, d_max_u) = tree_u.furthest(q).expect("objects are non-empty");
-        let (_, d_min_v) = tree_v.nearest(q).expect("objects are non-empty");
+        // Objects are non-empty, so both searches return a hit; fall back to
+        // the (conservative) MBR bounds if a tree were ever empty.
+        let d_max_u = tree_u.furthest(q).map_or(max_u_bound, |(_, d)| d);
+        let d_min_v = tree_v.nearest(q).map_or(min_v_bound, |(_, d)| d);
         stats.instance_comparisons += (db.object(u).len() + db.object(v).len()) as u64;
         if d_max_u > d_min_v {
             return false;

@@ -71,8 +71,11 @@ pub(crate) fn try_decide(
                 if validated(&u_pes, &v_opt, stats) {
                     return Some(true);
                 }
-                if !stochastically_dominates_counted(&u_opt, &v_pes, &mut stats.instance_comparisons)
-                {
+                if !stochastically_dominates_counted(
+                    &u_opt,
+                    &v_pes,
+                    &mut stats.instance_comparisons,
+                ) {
                     return Some(false);
                 }
             }

@@ -51,7 +51,7 @@ impl Operator {
         Operator::FPlusSd,
     ];
 
-    /// The label used in the paper's figures.
+    /// The label used in the paper's figures (§6 evaluation).
     pub fn label(&self) -> &'static str {
         match self {
             Operator::SSd => "SSD",
@@ -64,7 +64,11 @@ impl Operator {
 }
 
 /// Checks whether object `u` dominates object `v` w.r.t. `query` under
-/// `op`, using the configured filters and the shared per-query `cache`.
+/// `op` — the `SD(U, V, Q)` dispatch over Definitions 2–6 of the paper —
+/// using the configured filters and the shared per-query `cache`.
+///
+/// With the `strict-invariants` feature the result is cross-checked
+/// against the cover chain of Theorem 2 on every call.
 #[allow(clippy::too_many_arguments)] // mirrors SD(U, V, Q) plus the check context
 pub fn dominates(
     op: Operator,
@@ -78,6 +82,25 @@ pub fn dominates(
 ) -> bool {
     debug_assert_ne!(u, v, "an object is never checked against itself");
     stats.dominance_checks += 1;
+    let result = raw_check(op, db, u, v, query, cfg, cache, stats);
+    #[cfg(feature = "strict-invariants")]
+    audit_cover_chain(op, result, db, u, v, query, cfg, cache);
+    result
+}
+
+/// The undecorated per-operator dispatch (no stats bump, no audit) —
+/// shared by [`dominates`] and the `strict-invariants` cover-chain audit.
+#[allow(clippy::too_many_arguments)] // mirrors SD(U, V, Q) plus the check context
+fn raw_check(
+    op: Operator,
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+    stats: &mut Stats,
+) -> bool {
     match op {
         Operator::SSd => ssd::check(db, u, v, query, cfg, cache, stats),
         Operator::SsSd => sssd::check(db, u, v, query, cfg, cache, stats),
@@ -93,6 +116,46 @@ pub fn dominates(
                 && !osd_geom::mbr_dominates(db.object(v).mbr(), db.object(u).mbr(), query.mbr())
         }
     }
+}
+
+/// Cover-chain audit (Theorem 2): `F-SD ⊂ P-SD ⊂ SS-SD ⊂ S-SD` — a
+/// domination under a stronger operator must also hold under the next
+/// weaker one. Cross-checked on small inputs only (the weaker check costs
+/// up to a flow solve), via `debug_assert!` so release builds pay nothing
+/// even with the feature on.
+#[cfg(feature = "strict-invariants")]
+#[allow(clippy::too_many_arguments)] // mirrors the check context it audits
+fn audit_cover_chain(
+    op: Operator,
+    result: bool,
+    db: &Database,
+    u: usize,
+    v: usize,
+    query: &PreparedQuery,
+    cfg: &FilterConfig,
+    cache: &mut DominanceCache,
+) {
+    const MAX_AUDIT_INSTANCES: usize = 8;
+    if !result
+        || db.object(u).len() > MAX_AUDIT_INSTANCES
+        || db.object(v).len() > MAX_AUDIT_INSTANCES
+        || query.len() > MAX_AUDIT_INSTANCES
+    {
+        return;
+    }
+    // F⁺-SD is the MBR-level baseline, outside the Theorem 2 chain.
+    let weaker = match op {
+        Operator::FPlusSd | Operator::SSd => return,
+        Operator::FSd => Operator::PSd,
+        Operator::PSd => Operator::SsSd,
+        Operator::SsSd => Operator::SSd,
+    };
+    let mut audit_stats = Stats::default();
+    let weaker_holds = raw_check(weaker, db, u, v, query, cfg, cache, &mut audit_stats);
+    debug_assert!(
+        weaker_holds,
+        "cover chain (Theorem 2) violated: {op:?} dominates u={u}, v={v} but {weaker:?} does not"
+    );
 }
 
 /// Cover-based validation (Theorem 4), shared by the strict operators: the
@@ -141,27 +204,27 @@ macro_rules! standalone {
 }
 
 standalone!(
-    /// Standalone stochastic spatial dominance check: `S-SD(u, v, q)`.
+    /// Standalone stochastic spatial dominance check: `S-SD(u, v, q)` (Definition 2).
     s_sd,
     Operator::SSd
 );
 standalone!(
-    /// Standalone strict stochastic spatial dominance check: `SS-SD(u, v, q)`.
+    /// Standalone strict stochastic spatial dominance check: `SS-SD(u, v, q)` (Definition 3).
     ss_sd,
     Operator::SsSd
 );
 standalone!(
-    /// Standalone peer spatial dominance check: `P-SD(u, v, q)`.
+    /// Standalone peer spatial dominance check: `P-SD(u, v, q)` (Definition 5).
     p_sd,
     Operator::PSd
 );
 standalone!(
-    /// Standalone instance-level full spatial dominance check: `F-SD(u, v, q)`.
+    /// Standalone instance-level full spatial dominance check: `F-SD(u, v, q)` (Definition 6).
     f_sd,
     Operator::FSd
 );
 standalone!(
-    /// Standalone MBR-level full spatial dominance check: `F⁺-SD(u, v, q)`.
+    /// Standalone MBR-level full spatial dominance check: `F⁺-SD(u, v, q)` (Definition 6 over MBRs, §6).
     f_plus_sd,
     Operator::FPlusSd
 );

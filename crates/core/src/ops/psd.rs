@@ -107,9 +107,7 @@ pub(crate) fn check(
 
             // Pessimistic network G⁻: group-level full dominance implies
             // every contained instance pair relates; flow 1 validates P-SD.
-            let val_edges = group_edges(&gu, &gv, |mu, mv| {
-                mbr_dominates(mu, mv, query.mbr())
-            });
+            let val_edges = group_edges(&gu, &gv, |mu, mv| mbr_dominates(mu, mv, query.mbr()));
             if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, stats) {
                 return strict_guard(db, u, v, query, cache, stats);
             }
@@ -244,8 +242,10 @@ pub fn peer_network_flow(
     query: &UncertainObject,
 ) -> (u64, u64) {
     let q_pts = query.points();
-    let quanta_u = osd_uncertain::quantize(&u.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
-    let quanta_v = osd_uncertain::quantize(&v.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let quanta_u =
+        osd_uncertain::quantize(&u.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let quanta_v =
+        osd_uncertain::quantize(&v.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
     let nu = u.len();
     let nv = v.len();
     let s = nu + nv;

@@ -13,7 +13,8 @@
 use osd_geom::sphere::{min_enclosing_ball, sphere_dominates_sufficient, Sphere};
 use osd_uncertain::UncertainObject;
 
-/// The minimal enclosing ball of an object's instances.
+/// The minimal enclosing ball of an object's instances (the hypersphere
+/// approximation suggested after Theorem 4).
 pub fn enclosing_ball(object: &UncertainObject) -> Sphere {
     min_enclosing_ball(&object.points())
 }
@@ -28,6 +29,9 @@ pub fn sphere_validate(u: &UncertainObject, v: &UncertainObject, q: &UncertainOb
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::ops::{f_sd, p_sd, s_sd, ss_sd};
     use osd_geom::Point;
@@ -80,9 +84,15 @@ mod tests {
             let q = mk(&mut rng, qx, qy, 2.0);
             if sphere_validate(&u, &v, &q) {
                 fired += 1;
-                assert!(f_sd(&u, &v, &q), "sphere validation fired on a non-dominating pair");
+                assert!(
+                    f_sd(&u, &v, &q),
+                    "sphere validation fired on a non-dominating pair"
+                );
             }
         }
-        assert!(fired > 0, "the spot check never exercised the positive path");
+        assert!(
+            fired > 0,
+            "the spot check never exercised the positive path"
+        );
     }
 }

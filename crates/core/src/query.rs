@@ -21,7 +21,11 @@ impl PreparedQuery {
     pub fn new(object: UncertainObject) -> Self {
         let all_points = object.points();
         let hull = hull_vertices(&all_points);
-        PreparedQuery { object, hull, all_points }
+        PreparedQuery {
+            object,
+            hull,
+            all_points,
+        }
     }
 
     /// The underlying query object.
@@ -74,6 +78,9 @@ impl From<UncertainObject> for PreparedQuery {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p2(x: f64, y: f64) -> Point {

@@ -25,7 +25,16 @@ fn mbr_validation_decides_far_pairs_for_free() {
     for op in [Operator::SSd, Operator::SsSd, Operator::PSd] {
         let mut cache = DominanceCache::new(2);
         let mut stats = Stats::default();
-        assert!(dominates(op, &db, 0, 1, &q, &FilterConfig::all(), &mut cache, &mut stats));
+        assert!(dominates(
+            op,
+            &db,
+            0,
+            1,
+            &q,
+            &FilterConfig::all(),
+            &mut cache,
+            &mut stats
+        ));
         assert_eq!(
             stats.instance_comparisons, 0,
             "{op:?} should be decided by MBR validation alone"
@@ -48,8 +57,20 @@ fn statistic_pruning_rejects_inverted_pairs_cheaply() {
     let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
     let mut cache = DominanceCache::new(2);
     let mut stats = Stats::default();
-    let cfg = FilterConfig { level_by_level: false, ..FilterConfig::all() };
-    assert!(!dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    let cfg = FilterConfig {
+        level_by_level: false,
+        ..FilterConfig::all()
+    };
+    assert!(!dominates(
+        Operator::SSd,
+        &db,
+        0,
+        1,
+        &q,
+        &cfg,
+        &mut cache,
+        &mut stats
+    ));
     // Build cost: 2 instances × 1 query instance per object = 4, plus the
     // 3 statistic comparisons. A full scan would add ≥ 2 more per pair.
     assert!(
@@ -98,10 +119,22 @@ fn level_bounds_decide_node_separable_pairs() {
     let db = Database::new(vec![mk(5.0), mk(50.0)]);
     let q = PreparedQuery::new(obj(&[(0.0, 0.0), (1.0, 0.0)]));
     // Disable MBR validation so the level path is the first resolver.
-    let cfg = FilterConfig { mbr_validation: false, ..FilterConfig::all() };
+    let cfg = FilterConfig {
+        mbr_validation: false,
+        ..FilterConfig::all()
+    };
     let mut cache = DominanceCache::new(2);
     let mut stats = Stats::default();
-    assert!(dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    assert!(dominates(
+        Operator::SSd,
+        &db,
+        0,
+        1,
+        &q,
+        &cfg,
+        &mut cache,
+        &mut stats
+    ));
     // The full distributions have 8 × 2 = 16 atoms each; deciding at the
     // node level must use far fewer comparisons than two 16-atom builds
     // plus a 16-vs-16 merged scan (~48); statistic pruning builds them
@@ -114,7 +147,16 @@ fn level_bounds_decide_node_separable_pairs() {
     };
     let mut cache = DominanceCache::new(2);
     let mut stats = Stats::default();
-    assert!(dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
+    assert!(dominates(
+        Operator::SSd,
+        &db,
+        0,
+        1,
+        &q,
+        &cfg,
+        &mut cache,
+        &mut stats
+    ));
     assert!(
         stats.instance_comparisons < 32,
         "level bounds should decide before exact builds, got {}",
@@ -140,8 +182,20 @@ fn in_hull_reject_skips_the_flow() {
     };
     let mut cache = DominanceCache::new(2);
     let mut stats = Stats::default();
-    assert!(!dominates(Operator::PSd, &db, 0, 1, &q, &cfg, &mut cache, &mut stats));
-    assert_eq!(stats.flow_runs, 0, "the in-hull reject should avoid max-flow");
+    assert!(!dominates(
+        Operator::PSd,
+        &db,
+        0,
+        1,
+        &q,
+        &cfg,
+        &mut cache,
+        &mut stats
+    ));
+    assert_eq!(
+        stats.flow_runs, 0,
+        "the in-hull reject should avoid max-flow"
+    );
 }
 
 /// Caching across pairwise checks: the second check against the same
@@ -154,7 +208,11 @@ fn cache_amortises_repeated_checks() {
         obj(&[(5.0, 0.0), (6.0, 0.0)]),
     ]);
     let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
-    let cfg = FilterConfig { mbr_validation: false, level_by_level: false, ..FilterConfig::all() };
+    let cfg = FilterConfig {
+        mbr_validation: false,
+        level_by_level: false,
+        ..FilterConfig::all()
+    };
     let mut cache = DominanceCache::new(3);
     let mut s1 = Stats::default();
     let _ = dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut s1);

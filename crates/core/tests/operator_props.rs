@@ -14,7 +14,11 @@ use proptest::prelude::*;
 
 fn object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObject> {
     prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..max_m).prop_map(|pts| {
-        UncertainObject::uniform(pts.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect())
+        UncertainObject::uniform(
+            pts.into_iter()
+                .map(|(x, y)| Point::new(vec![x, y]))
+                .collect(),
+        )
     })
 }
 
@@ -33,7 +37,14 @@ fn weighted_object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObje
 }
 
 /// Decides dominance for one operator under a given filter config.
-fn check(op: Operator, db: &Database, u: usize, v: usize, q: &PreparedQuery, cfg: &FilterConfig) -> bool {
+fn check(
+    op: Operator,
+    db: &Database,
+    u: usize,
+    v: usize,
+    q: &PreparedQuery,
+    cfg: &FilterConfig,
+) -> bool {
     let mut cache = DominanceCache::new(db.len());
     let mut stats = Stats::default();
     dominates(op, db, u, v, q, cfg, &mut cache, &mut stats)

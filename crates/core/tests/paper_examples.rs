@@ -22,7 +22,10 @@ fn place(d1: f64, d2: f64, big_d: f64) -> Point {
 }
 
 fn two_queries(big_d: f64) -> UncertainObject {
-    UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0]), Point::new(vec![big_d, 0.0])])
+    UncertainObject::uniform(vec![
+        Point::new(vec![0.0, 0.0]),
+        Point::new(vec![big_d, 0.0]),
+    ])
 }
 
 #[test]
@@ -41,10 +44,7 @@ fn figure2_full_spatial_dominance() {
         Point::new(vec![0.5, 1.0]),
     ]);
     // A hugs the query; B is far: every a is closer than every b to every q.
-    let a = UncertainObject::uniform(vec![
-        Point::new(vec![0.4, 0.4]),
-        Point::new(vec![0.6, 0.5]),
-    ]);
+    let a = UncertainObject::uniform(vec![Point::new(vec![0.4, 0.4]), Point::new(vec![0.6, 0.5])]);
     let b = UncertainObject::uniform(vec![
         Point::new(vec![20.0, 0.0]),
         Point::new(vec![21.0, 1.0]),
@@ -55,7 +55,10 @@ fn figure2_full_spatial_dominance() {
         Point::new(vec![30.0, 30.0]),
     ]);
     assert!(f_sd(&a, &b, &q), "F-SD(A,B,Q) should hold");
-    assert!(!f_sd(&a, &c, &q), "¬F-SD(A,C,Q): C has an instance next to Q");
+    assert!(
+        !f_sd(&a, &c, &q),
+        "¬F-SD(A,C,Q): C has an instance next to Q"
+    );
     assert!(!f_sd(&b, &a, &q));
 }
 
@@ -149,7 +152,10 @@ fn example2_figure6a() {
     let b = UncertainObject::uniform(vec![Point::new(vec![-5.0])]);
     // A_Q = {(3,.5),(17,.5)}, B_Q = {(5,.5),(25,.5)}.
     assert!(s_sd(&a, &b, &q), "S-SD(A,B,Q)");
-    assert!(!ss_sd(&a, &b, &q), "¬SS-SD(A,B,Q): B beats A at q1 (5 < 17)");
+    assert!(
+        !ss_sd(&a, &b, &q),
+        "¬SS-SD(A,B,Q): B beats A at q1 (5 < 17)"
+    );
 }
 
 /// Example 2 / Figure 6(b): A_q1 = {5,8}, A_q2 = {10,23},
@@ -185,13 +191,13 @@ fn example5_figure9_maxflow() {
     // Single query instance at the origin: u ⪯_Q v ⟺ |u| ≤ |v|.
     let q = UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0])]);
     let u = UncertainObject::new(vec![
-        (Point::new(vec![1.0, 0.0]), 0.5),  // r = 1
-        (Point::new(vec![0.0, 2.0]), 0.2),  // r = 2
-        (Point::new(vec![4.0, 0.0]), 0.3),  // r = 4
+        (Point::new(vec![1.0, 0.0]), 0.5), // r = 1
+        (Point::new(vec![0.0, 2.0]), 0.2), // r = 2
+        (Point::new(vec![4.0, 0.0]), 0.3), // r = 4
     ]);
     let v = UncertainObject::new(vec![
-        (Point::new(vec![3.0, 0.0]), 0.5),  // r = 3: u1, u2 reach it
-        (Point::new(vec![0.0, 5.0]), 0.5),  // r = 5: all reach it
+        (Point::new(vec![3.0, 0.0]), 0.5), // r = 3: u1, u2 reach it
+        (Point::new(vec![0.0, 5.0]), 0.5), // r = 5: all reach it
     ]);
     let (flow, total) = peer_network_flow(&u, &v, &q);
     assert_eq!(flow, total, "Figure 9's network saturates");
@@ -226,14 +232,8 @@ fn figure15_single_query_instance() {
 /// Theorem 4 / cover validation: MBR-level F-SD implies every operator.
 #[test]
 fn theorem4_mbr_validation_implies_all() {
-    let q = UncertainObject::uniform(vec![
-        Point::new(vec![0.0, 0.0]),
-        Point::new(vec![1.0, 1.0]),
-    ]);
-    let a = UncertainObject::uniform(vec![
-        Point::new(vec![0.2, 0.2]),
-        Point::new(vec![0.8, 0.8]),
-    ]);
+    let q = UncertainObject::uniform(vec![Point::new(vec![0.0, 0.0]), Point::new(vec![1.0, 1.0])]);
+    let a = UncertainObject::uniform(vec![Point::new(vec![0.2, 0.2]), Point::new(vec![0.8, 0.8])]);
     let b = UncertainObject::uniform(vec![
         Point::new(vec![50.0, 50.0]),
         Point::new(vec![51.0, 51.0]),

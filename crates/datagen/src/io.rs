@@ -124,7 +124,10 @@ pub fn read_objects_csv(path: &Path) -> Result<Vec<UncertainObject>, DataError> 
                     .map_err(|_| DataError::Parse(lineno + 1, format!("bad coordinate {f:?}")))
             })
             .collect();
-        groups.entry(id).or_default().push((Point::new(coords?), weight));
+        groups
+            .entry(id)
+            .or_default()
+            .push((Point::new(coords?), weight));
     }
     if groups.is_empty() {
         return Err(DataError::Empty);
@@ -139,6 +142,9 @@ pub fn read_objects_csv(path: &Path) -> Result<Vec<UncertainObject>, DataError> 
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::synthetic::{generate_objects, CenterDistribution, SynthParams};
 
@@ -192,7 +198,11 @@ mod tests {
     #[test]
     fn malformed_rows_are_reported_with_line_numbers() {
         let path = tmp("bad.csv");
-        std::fs::write(&path, "object_id,weight,coords...\n0,1.0,1.0\nnot-an-id,1.0,2.0\n").unwrap();
+        std::fs::write(
+            &path,
+            "object_id,weight,coords...\n0,1.0,1.0\nnot-an-id,1.0,2.0\n",
+        )
+        .unwrap();
         let err = read_objects_csv(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         match err {

@@ -22,6 +22,9 @@ pub fn normal_clamped<R: Rng>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64)
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

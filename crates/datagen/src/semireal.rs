@@ -145,6 +145,9 @@ pub fn objects_from_centers(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
@@ -206,7 +209,10 @@ mod tests {
         }
         let mean_nn = nn_sum / 200.0;
         let uniform_expect = 0.5 * DOMAIN / (cs.len() as f64).sqrt();
-        assert!(mean_nn < uniform_expect, "not clustered: {mean_nn} vs {uniform_expect}");
+        assert!(
+            mean_nn < uniform_expect,
+            "not clustered: {mean_nn} vs {uniform_expect}"
+        );
     }
 
     #[test]

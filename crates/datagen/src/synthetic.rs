@@ -59,7 +59,10 @@ impl SynthParams {
 
 /// Generates the object set.
 pub fn generate_objects(p: &SynthParams) -> Vec<UncertainObject> {
-    assert!(p.n > 0 && p.dim > 0 && p.instances > 0, "degenerate parameters");
+    assert!(
+        p.n > 0 && p.dim > 0 && p.instances > 0,
+        "degenerate parameters"
+    );
     let mut rng = StdRng::seed_from_u64(p.seed);
     (0..p.n)
         .map(|_| {
@@ -99,7 +102,9 @@ pub fn object_around<R: Rng>(
     edge: f64,
 ) -> UncertainObject {
     debug_assert_eq!(center.len(), dim);
-    let half: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..=edge.max(1e-9))).collect();
+    let half: Vec<f64> = (0..dim)
+        .map(|_| rng.gen_range(0.0..=edge.max(1e-9)))
+        .collect();
     let pts: Vec<Point> = (0..instances)
         .map(|_| {
             let coords: Vec<f64> = (0..dim)
@@ -150,11 +155,21 @@ fn anti_correlated<R: Rng>(rng: &mut R, dim: usize) -> Vec<f64> {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
     fn deterministic_given_seed() {
-        let p = SynthParams { n: 5, dim: 2, instances: 3, edge: 100.0, centers: CenterDistribution::Independent, seed: 42 };
+        let p = SynthParams {
+            n: 5,
+            dim: 2,
+            instances: 3,
+            edge: 100.0,
+            centers: CenterDistribution::Independent,
+            seed: 42,
+        };
         let a = generate_objects(&p);
         let b = generate_objects(&p);
         for (x, y) in a.iter().zip(b.iter()) {
@@ -167,7 +182,14 @@ mod tests {
 
     #[test]
     fn shapes_match_parameters() {
-        let p = SynthParams { n: 20, dim: 3, instances: 7, edge: 200.0, centers: CenterDistribution::AntiCorrelated, seed: 1 };
+        let p = SynthParams {
+            n: 20,
+            dim: 3,
+            instances: 7,
+            edge: 200.0,
+            centers: CenterDistribution::AntiCorrelated,
+            seed: 1,
+        };
         let objs = generate_objects(&p);
         assert_eq!(objs.len(), 20);
         for o in &objs {
@@ -197,7 +219,10 @@ mod tests {
             .collect();
         let mean = sums.iter().sum::<f64>() / sums.len() as f64;
         let expect = d as f64 * 0.5 * DOMAIN;
-        assert!((mean - expect).abs() < 0.05 * expect, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() < 0.05 * expect,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -51,12 +51,23 @@ impl MaxFlow {
     /// # Panics
     /// Panics if either endpoint is out of range or the edge is a self-loop.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: Cap) -> usize {
-        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "vertex out of range"
+        );
         assert_ne!(from, to, "self-loops are not allowed");
         let rev_from = self.graph[to].len();
         let idx = self.graph[from].len();
-        self.graph[from].push(Edge { to, cap, rev: rev_from });
-        self.graph[to].push(Edge { to: from, cap: 0, rev: idx });
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: idx,
+        });
         self.handles.push((from, idx));
         self.handles.len() - 1
     }
@@ -134,6 +145,9 @@ impl MaxFlow {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -46,13 +46,29 @@ impl MinCostFlow {
     /// Panics on out-of-range endpoints, self-loops, or negative/non-finite
     /// cost.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: Cap, cost: f64) -> usize {
-        assert!(from < self.graph.len() && to < self.graph.len(), "vertex out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "vertex out of range"
+        );
         assert_ne!(from, to, "self-loops are not allowed");
-        assert!(cost >= 0.0 && cost.is_finite(), "edge cost must be finite and non-negative");
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "edge cost must be finite and non-negative"
+        );
         let rev_from = self.graph[to].len();
         let idx = self.graph[from].len();
-        self.graph[from].push(Edge { to, cap, cost, rev: rev_from });
-        self.graph[to].push(Edge { to: from, cap: 0, cost: -cost, rev: idx });
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            cost,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: idx,
+        });
         self.handles.push((from, idx));
         self.handles.len() - 1
     }
@@ -125,6 +141,9 @@ impl MinCostFlow {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

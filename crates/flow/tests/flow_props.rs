@@ -118,9 +118,9 @@ proptest! {
             net[u] -= f as i128;
             net[v] += f as i128;
         }
-        for x in 0..n {
+        for (x, &nx) in net.iter().enumerate() {
             if x != s && x != t {
-                prop_assert_eq!(net[x], 0, "conservation violated at {}", x);
+                prop_assert_eq!(nx, 0, "conservation violated at {}", x);
             }
         }
         prop_assert_eq!(net[t], total as i128);
@@ -136,11 +136,11 @@ proptest! {
         let costs: Vec<Vec<f64>> = (0..n).map(|i| (0..n).map(|j| raw[i * 5 + j]).collect()).collect();
         let (s, t) = (2 * n, 2 * n + 1);
         let mut g = MinCostFlow::new(2 * n + 2);
-        for i in 0..n {
+        for (i, row) in costs.iter().enumerate() {
             g.add_edge(s, i, 1, 0.0);
             g.add_edge(n + i, t, 1, 0.0);
-            for j in 0..n {
-                g.add_edge(i, n + j, 1, costs[i][j]);
+            for (j, &cost) in row.iter().enumerate() {
+                g.add_edge(i, n + j, 1, cost);
             }
         }
         let (flow, cost) = g.min_cost_flow(s, t, n as u64);

@@ -44,6 +44,9 @@ pub fn distance_space(u: &Point, hull: &[Point]) -> Point {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p2(x: f64, y: f64) -> Point {

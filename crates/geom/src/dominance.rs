@@ -102,6 +102,9 @@ fn max_total_gap(u: &Mbr, v: &Mbr, q_mbr: &Mbr) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::point::Point;
 

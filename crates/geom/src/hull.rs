@@ -24,7 +24,8 @@ use crate::point::Point;
 /// # Panics
 /// Panics if `points` is empty or dimensionalities are inconsistent.
 pub fn hull_vertex_indices(points: &[Point]) -> Vec<usize> {
-    let d = points.first().expect("hull of an empty set").dim();
+    assert!(!points.is_empty(), "hull of an empty set");
+    let d = points[0].dim();
     assert!(points.iter().all(|p| p.dim() == d), "mixed dimensionality");
     match d {
         1 => hull_1d(points),
@@ -90,7 +91,8 @@ fn monotone_chain(points: &[Point]) -> Vec<usize> {
             .then(points[a].coord(1).total_cmp(&points[b].coord(1)))
     });
     idx.dedup_by(|&mut a, &mut b| {
-        points[a].coord(0) == points[b].coord(0) && points[a].coord(1) == points[b].coord(1)
+        points[a].coord(0).total_cmp(&points[b].coord(0)).is_eq()
+            && points[a].coord(1).total_cmp(&points[b].coord(1)).is_eq()
     });
     let n = idx.len();
     if n <= 2 {
@@ -152,6 +154,9 @@ fn hull_lp(points: &[Point]) -> Vec<usize> {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p2(x: f64, y: f64) -> Point {

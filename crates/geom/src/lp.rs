@@ -165,8 +165,7 @@ fn simplex(t: &mut [Vec<f64>], basis: &mut [usize], limit: usize) -> bool {
             if t[i][enter] > EPS {
                 let ratio = t[i][cols - 1] / t[i][enter];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -203,6 +202,9 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], leave: usize, enter: usize) {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn assert_opt(r: &LpResult, want: f64) {
@@ -221,10 +223,7 @@ mod tests {
     fn simple_bounded_problem() {
         // min -x - y  s.t.  x + y + s = 4, x + 3y + t = 6
         let lp = StandardLp::new(
-            vec![
-                vec![1.0, 1.0, 1.0, 0.0],
-                vec![1.0, 3.0, 0.0, 1.0],
-            ],
+            vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, 3.0, 0.0, 1.0]],
             vec![4.0, 6.0],
             vec![-1.0, -1.0, 0.0, 0.0],
         );
@@ -234,22 +233,14 @@ mod tests {
     #[test]
     fn infeasible_detected() {
         // x = 1 and x = 2 simultaneously.
-        let lp = StandardLp::new(
-            vec![vec![1.0], vec![1.0]],
-            vec![1.0, 2.0],
-            vec![0.0],
-        );
+        let lp = StandardLp::new(vec![vec![1.0], vec![1.0]], vec![1.0, 2.0], vec![0.0]);
         assert_eq!(lp.solve(), LpResult::Infeasible);
     }
 
     #[test]
     fn unbounded_detected() {
         // min -x  s.t.  x - y = 0  (x can grow with y)
-        let lp = StandardLp::new(
-            vec![vec![1.0, -1.0]],
-            vec![0.0],
-            vec![-1.0, 0.0],
-        );
+        let lp = StandardLp::new(vec![vec![1.0, -1.0]], vec![0.0], vec![-1.0, 0.0]);
         assert_eq!(lp.solve(), LpResult::Unbounded);
     }
 

@@ -40,8 +40,8 @@ impl Mbr {
     /// # Panics
     /// Panics if `points` is empty.
     pub fn from_points(points: &[Point]) -> Self {
-        let first = points.first().expect("MBR of an empty point set");
-        let mut lo: Vec<f64> = first.coords().to_vec();
+        assert!(!points.is_empty(), "MBR of an empty point set");
+        let mut lo: Vec<f64> = points[0].coords().to_vec();
         let mut hi = lo.clone();
         for p in &points[1..] {
             for (i, &c) in p.coords().iter().enumerate() {
@@ -119,20 +119,13 @@ impl Mbr {
 
     /// Half-perimeter (sum of edge lengths) — the R*-tree margin measure.
     pub fn margin(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(self.hi.iter())
-            .map(|(l, h)| h - l)
-            .sum()
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).sum()
     }
 
     /// Whether `self` fully contains `other`.
     pub fn contains(&self, other: &Mbr) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.lo
-            .iter()
-            .zip(other.lo.iter())
-            .all(|(a, b)| a <= b)
+        self.lo.iter().zip(other.lo.iter()).all(|(a, b)| a <= b)
             && self.hi.iter().zip(other.hi.iter()).all(|(a, b)| a >= b)
     }
 
@@ -148,10 +141,7 @@ impl Mbr {
     /// Whether the two boxes intersect (share at least one point).
     pub fn intersects(&self, other: &Mbr) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
-        self.lo
-            .iter()
-            .zip(other.hi.iter())
-            .all(|(l, h)| l <= h)
+        self.lo.iter().zip(other.hi.iter()).all(|(l, h)| l <= h)
             && other.lo.iter().zip(self.hi.iter()).all(|(l, h)| l <= h)
     }
 
@@ -251,6 +241,9 @@ impl fmt::Debug for Mbr {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p(c: &[f64]) -> Point {

@@ -91,7 +91,8 @@ impl Point {
             .iter()
             .zip(other.coords.iter())
             .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0)
     }
 
     /// Minkowski distance of order `p ≥ 1`.
@@ -115,10 +116,11 @@ impl Point {
     /// # Panics
     /// Panics if `set` is empty.
     pub fn dist_min(&self, set: &[Point]) -> f64 {
+        assert!(!set.is_empty(), "δ_min of an empty set is undefined");
         set.iter()
             .map(|y| self.dist(y))
-            .min_by(|a, b| a.total_cmp(b))
-            .expect("δ_min of an empty set is undefined")
+            .min_by(f64::total_cmp)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// Maximal Euclidean distance from this point to a non-empty set of
@@ -127,10 +129,11 @@ impl Point {
     /// # Panics
     /// Panics if `set` is empty.
     pub fn dist_max(&self, set: &[Point]) -> f64 {
+        assert!(!set.is_empty(), "δ_max of an empty set is undefined");
         set.iter()
             .map(|y| self.dist(y))
-            .max_by(|a, b| a.total_cmp(b))
-            .expect("δ_max of an empty set is undefined")
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0)
     }
 }
 
@@ -154,6 +157,9 @@ impl<const N: usize> From<[f64; N]> for Point {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p(c: &[f64]) -> Point {

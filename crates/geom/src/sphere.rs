@@ -50,10 +50,12 @@ pub fn min_enclosing_ball(points: &[Point]) -> Sphere {
 }
 
 fn welzl<'a>(pts: &mut Vec<&'a Point>, support: &mut Vec<&'a Point>, dim: usize) -> Sphere {
-    if pts.is_empty() || support.len() == dim + 1 {
+    if support.len() == dim + 1 {
         return ball_from_support(support, dim);
     }
-    let p = pts.pop().expect("non-empty");
+    let Some(p) = pts.pop() else {
+        return ball_from_support(support, dim);
+    };
     let ball = welzl(pts, support, dim);
     if ball.contains(p) {
         pts.push(p);
@@ -115,7 +117,8 @@ fn ball_from_support(support: &[&Point], dim: usize) -> Sphere {
             let radius = support
                 .iter()
                 .map(|p| center.dist(p))
-                .fold(0.0f64, f64::max);
+                .max_by(f64::total_cmp)
+                .unwrap_or(0.0);
             Sphere { center, radius }
         }
     }
@@ -133,7 +136,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         let pivot = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty system");
+            .unwrap_or(col);
         if a[pivot][col].abs() < 1e-12 {
             // Dependent direction: leave λ at 0.
             for row in a.iter_mut().skip(col) {
@@ -151,7 +154,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for i in 0..n {
             if i != col {
                 let f = a[i][col];
-                if f != 0.0 {
+                if f.abs() > 0.0 {
                     let pivot_row = a[col].clone();
                     for (cell, &p) in a[i].iter_mut().zip(pivot_row.iter()) {
                         *cell -= f * p;
@@ -182,6 +185,9 @@ pub fn sphere_dominates_sufficient(u: &Sphere, v: &Sphere, q: &Sphere) -> bool {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p(c: &[f64]) -> Point {
@@ -219,7 +225,11 @@ mod tests {
             for _ in 0..20 {
                 let pts: Vec<Point> = (0..rng.gen_range(1..20))
                     .map(|_| {
-                        Point::new((0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect::<Vec<_>>())
+                        Point::new(
+                            (0..dim)
+                                .map(|_| rng.gen_range(-10.0..10.0))
+                                .collect::<Vec<_>>(),
+                        )
                     })
                     .collect();
                 let s = min_enclosing_ball(&pts);
@@ -252,9 +262,18 @@ mod tests {
 
     #[test]
     fn sphere_dominance_sound() {
-        let u = Sphere { center: p(&[0.0, 0.0]), radius: 1.0 };
-        let v = Sphere { center: p(&[20.0, 0.0]), radius: 1.0 };
-        let q = Sphere { center: p(&[0.0, 3.0]), radius: 1.0 };
+        let u = Sphere {
+            center: p(&[0.0, 0.0]),
+            radius: 1.0,
+        };
+        let v = Sphere {
+            center: p(&[20.0, 0.0]),
+            radius: 1.0,
+        };
+        let q = Sphere {
+            center: p(&[0.0, 3.0]),
+            radius: 1.0,
+        };
         assert!(sphere_dominates_sufficient(&u, &v, &q));
         assert!(!sphere_dominates_sufficient(&v, &u, &q));
         // Sample check: every (qp, up, vp) triple satisfies the distances.
@@ -269,15 +288,27 @@ mod tests {
 
     #[test]
     fn sphere_dominance_inconclusive_when_overlapping() {
-        let u = Sphere { center: p(&[0.0, 0.0]), radius: 2.0 };
-        let v = Sphere { center: p(&[1.0, 0.0]), radius: 2.0 };
-        let q = Sphere { center: p(&[0.0, 1.0]), radius: 0.5 };
+        let u = Sphere {
+            center: p(&[0.0, 0.0]),
+            radius: 2.0,
+        };
+        let v = Sphere {
+            center: p(&[1.0, 0.0]),
+            radius: 2.0,
+        };
+        let q = Sphere {
+            center: p(&[0.0, 1.0]),
+            radius: 0.5,
+        };
         assert!(!sphere_dominates_sufficient(&u, &v, &q));
     }
 
     #[test]
     fn min_max_dist_bounds() {
-        let s = Sphere { center: p(&[0.0, 0.0]), radius: 2.0 };
+        let s = Sphere {
+            center: p(&[0.0, 0.0]),
+            radius: 2.0,
+        };
         let q = p(&[5.0, 0.0]);
         assert!((s.min_dist(&q) - 3.0).abs() < 1e-12);
         assert!((s.max_dist(&q) - 7.0).abs() < 1e-12);

@@ -41,10 +41,10 @@ pub fn win_probability(u: &UncertainObject, v: &UncertainObject, query: &Uncerta
             for vj in v.instances() {
                 let dv = q.point.dist(&vj.point);
                 let mass = q.prob * ui.prob * vj.prob;
-                if du < dv {
-                    win += mass;
-                } else if du == dv {
-                    win += 0.5 * mass;
+                match du.total_cmp(&dv) {
+                    std::cmp::Ordering::Less => win += mass,
+                    std::cmp::Ordering::Equal => win += 0.5 * mass,
+                    std::cmp::Ordering::Greater => {}
                 }
             }
         }
@@ -93,9 +93,7 @@ pub fn nn_core(objects: &[UncertainObject], query: &UncertainObject) -> Vec<usiz
     order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(a.cmp(&b)));
     for k in 1..n {
         let (core, rest) = order.split_at(k);
-        let dominant = core
-            .iter()
-            .all(|&u| rest.iter().all(|&v| beats[u][v]));
+        let dominant = core.iter().all(|&u| rest.iter().all(|&v| beats[u][v]));
         if dominant {
             let mut out = core.to_vec();
             out.sort_unstable();
@@ -109,6 +107,9 @@ pub fn nn_core(objects: &[UncertainObject], query: &UncertainObject) -> Vec<usiz
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 

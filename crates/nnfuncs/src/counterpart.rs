@@ -53,7 +53,13 @@ pub fn emd_selection(object: &UncertainObject, query: &UncertainObject) -> Vec<S
     use osd_uncertain::{quantize, SCALE};
     let m = object.len();
     let k = query.len();
-    let u_caps = quantize(&object.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let u_caps = quantize(
+        &object
+            .instances()
+            .iter()
+            .map(|i| i.prob)
+            .collect::<Vec<_>>(),
+    );
     let q_caps = quantize(&query.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
     let s = k + m;
     let t = k + m + 1;
@@ -110,6 +116,9 @@ pub fn counterpart(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::n3::emd;
     use osd_geom::Point;

@@ -70,7 +70,10 @@ impl LinearCombination {
     /// Panics if empty or any weight is negative.
     pub fn new(terms: Vec<(f64, N1Function)>) -> Self {
         assert!(!terms.is_empty(), "a combination needs at least one term");
-        assert!(terms.iter().all(|&(w, _)| w >= 0.0), "weights must be non-negative");
+        assert!(
+            terms.iter().all(|&(w, _)| w >= 0.0),
+            "weights must be non-negative"
+        );
         LinearCombination { terms }
     }
 
@@ -83,10 +86,7 @@ impl LinearCombination {
 
 impl StableAggregate for LinearCombination {
     fn aggregate(&self, dist: &DistanceDistribution) -> f64 {
-        self.terms
-            .iter()
-            .map(|(w, g)| w * g.aggregate(dist))
-            .sum()
+        self.terms.iter().map(|(w, g)| w * g.aggregate(dist)).sum()
     }
 
     fn name(&self) -> String {
@@ -101,7 +101,10 @@ impl StableAggregate for LinearCombination {
 
 /// Returns the NN object index under `f` (smallest score; ties to the lower
 /// index). `None` when `objects` is empty.
-pub fn nn_under<F: Fn(&UncertainObject) -> f64>(objects: &[UncertainObject], f: F) -> Option<usize> {
+pub fn nn_under<F: Fn(&UncertainObject) -> f64>(
+    objects: &[UncertainObject],
+    f: F,
+) -> Option<usize> {
     objects
         .iter()
         .enumerate()
@@ -112,6 +115,9 @@ pub fn nn_under<F: Fn(&UncertainObject) -> f64>(objects: &[UncertainObject], f: 
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 

@@ -148,7 +148,12 @@ impl N2Function {
 
     /// The parameterized ranking score `Υ(U) = Σ_i ω(i) Pr(r(U) = i)`
     /// (smaller is better).
-    pub fn score(&self, objects: &[UncertainObject], target: usize, query: &UncertainObject) -> f64 {
+    pub fn score(
+        &self,
+        objects: &[UncertainObject],
+        target: usize,
+        query: &UncertainObject,
+    ) -> f64 {
         let rank = rank_distribution(objects, target, query);
         self.score_from_rank(&rank)
     }
@@ -179,11 +184,19 @@ pub fn nn_probability(objects: &[UncertainObject], target: usize, query: &Uncert
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 
     fn obj(points: &[(f64, f64)]) -> UncertainObject {
-        UncertainObject::new(points.iter().map(|&(x, p)| (Point::new(vec![x]), p)).collect())
+        UncertainObject::new(
+            points
+                .iter()
+                .map(|&(x, p)| (Point::new(vec![x]), p))
+                .collect(),
+        )
     }
 
     /// Figure 1 of the paper: q single instance; A, B, C with two instances
@@ -206,7 +219,10 @@ mod tests {
             assert!((e - b).abs() < 1e-12, "exact {e} vs brute {b}");
         }
         let total: f64 = exact.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "NN probabilities should sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "NN probabilities should sum to 1, got {total}"
+        );
         // A is NN whenever a1 is drawn (prob 0.6) — nothing beats distance 1.
         assert!((exact[0] - 0.6).abs() < 1e-9);
     }

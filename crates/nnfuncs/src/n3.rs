@@ -55,7 +55,13 @@ pub fn sum_min(object: &UncertainObject, query: &UncertainObject) -> f64 {
 pub fn emd(object: &UncertainObject, query: &UncertainObject) -> f64 {
     let m = object.len();
     let k = query.len();
-    let u_caps = quantize(&object.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
+    let u_caps = quantize(
+        &object
+            .instances()
+            .iter()
+            .map(|i| i.prob)
+            .collect::<Vec<_>>(),
+    );
     let q_caps = quantize(&query.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
 
     // Vertices: 0..k = query instances, k..k+m = object instances, then s, t.
@@ -94,7 +100,11 @@ pub fn netflow(object: &UncertainObject, query: &UncertainObject) -> f64 {
 /// instances.
 pub fn emd_bruteforce_uniform(object: &UncertainObject, query: &UncertainObject) -> f64 {
     let n = object.len();
-    assert_eq!(n, query.len(), "brute-force EMD needs equal instance counts");
+    assert_eq!(
+        n,
+        query.len(),
+        "brute-force EMD needs equal instance counts"
+    );
     assert!(n <= 9, "brute-force EMD is factorial; keep n ≤ 9");
     let p = 1.0 / n as f64;
     for inst in object.instances().iter().chain(query.instances()) {
@@ -111,7 +121,12 @@ pub fn emd_bruteforce_uniform(object: &UncertainObject, query: &UncertainObject)
         let cost: f64 = perm
             .iter()
             .enumerate()
-            .map(|(i, &j)| object.instances()[i].point.dist(&query.instances()[j].point) * p)
+            .map(|(i, &j)| {
+                object.instances()[i]
+                    .point
+                    .dist(&query.instances()[j].point)
+                    * p
+            })
             .sum();
         if cost < best {
             best = cost;
@@ -134,6 +149,9 @@ fn permute(arr: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 
@@ -182,10 +200,7 @@ mod tests {
         for (u, q) in cases {
             let fast = emd(&u, &q);
             let brute = emd_bruteforce_uniform(&u, &q);
-            assert!(
-                (fast - brute).abs() < 1e-6,
-                "emd {fast} vs brute {brute}"
-            );
+            assert!((fast - brute).abs() < 1e-6, "emd {fast} vs brute {brute}");
         }
     }
 

@@ -48,9 +48,7 @@ pub fn rank_distribution_sampled(
         let closer = objects
             .iter()
             .enumerate()
-            .filter(|&(j, o)| {
-                j != target && qp.dist(&o.instances()[draw(&mut rng, o)].point) < du
-            })
+            .filter(|&(j, o)| j != target && qp.dist(&o.instances()[draw(&mut rng, o)].point) < du)
             .count();
         tally[closer] += 1;
     }
@@ -73,6 +71,9 @@ pub fn nn_probability_sampled(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::n2::rank_distribution;
     use osd_geom::Point;

@@ -26,8 +26,13 @@ fn object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObject> {
 
 /// A uniform-mass object with exactly `m` instances.
 fn uniform_object(m: usize) -> impl Strategy<Value = UncertainObject> {
-    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), m..=m)
-        .prop_map(|pts| UncertainObject::uniform(pts.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect()))
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), m..=m).prop_map(|pts| {
+        UncertainObject::uniform(
+            pts.into_iter()
+                .map(|(x, y)| Point::new(vec![x, y]))
+                .collect(),
+        )
+    })
 }
 
 proptest! {

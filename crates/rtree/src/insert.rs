@@ -35,6 +35,10 @@ impl<T> RTree<T> {
                 }
             }
         }
+        #[cfg(feature = "strict-invariants")]
+        if let Err(e) = self.validate_structure() {
+            debug_assert!(false, "R-tree invariant broken after insert: {e}");
+        }
     }
 }
 
@@ -57,13 +61,14 @@ fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, cap: usize) -> Option<Chil
         Node::Inner(children) => {
             // Choose the child needing the least volume enlargement
             // (ties: smaller volume).
+            assert!(!children.is_empty(), "inner node with no children");
             let best = (0..children.len())
                 .min_by(|&i, &j| {
                     let (ei, vi) = enlargement(&children[i].mbr, &entry.mbr);
                     let (ej, vj) = enlargement(&children[j].mbr, &entry.mbr);
                     ei.total_cmp(&ej).then(vi.total_cmp(&vj))
                 })
-                .expect("inner node with no children");
+                .unwrap_or(0);
             children[best].mbr.expand(&entry.mbr);
             if let Some(split) = insert_rec(&mut children[best].node, entry, cap) {
                 // Re-tighten the split child's box (the split moved entries out).
@@ -118,30 +123,33 @@ fn quadratic_split<I>(items: Vec<I>, get: impl Fn(&I) -> &Mbr) -> (Vec<I>, Vec<I
         }
     }
 
+    // `s1 < s2` always hold after seed selection, so the seed boxes can be
+    // cloned up front instead of threading `Option`s through the partition.
+    let mut mbr_a: Mbr = get(&items[s1]).clone();
+    let mut mbr_b: Mbr = get(&items[s2]).clone();
     let mut a: Vec<I> = Vec::with_capacity(n);
     let mut b: Vec<I> = Vec::with_capacity(n);
-    let mut mbr_a: Option<Mbr> = None;
-    let mut mbr_b: Option<Mbr> = None;
     let mut rest: Vec<I> = Vec::with_capacity(n);
     for (k, item) in items.into_iter().enumerate() {
         if k == s1 {
-            mbr_a = Some(get(&item).clone());
             a.push(item);
         } else if k == s2 {
-            mbr_b = Some(get(&item).clone());
             b.push(item);
         } else {
             rest.push(item);
         }
     }
-    let (mut mbr_a, mut mbr_b) = (mbr_a.unwrap(), mbr_b.unwrap());
 
     for item in rest.into_iter() {
         let ga = mbr_a.union(get(&item)).volume() - mbr_a.volume();
         let gb = mbr_b.union(get(&item)).volume() - mbr_b.volume();
         // Prefer the group with the smaller enlargement; break ties towards
         // the emptier group to keep the split roughly balanced.
-        let to_a = ga < gb || (ga == gb && a.len() <= b.len());
+        let to_a = match ga.total_cmp(&gb) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => a.len() <= b.len(),
+            std::cmp::Ordering::Greater => false,
+        };
         if to_a {
             mbr_a.expand(get(&item));
             a.push(item);

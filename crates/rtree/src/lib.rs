@@ -44,6 +44,8 @@ mod delete;
 mod insert;
 mod node;
 mod query;
+mod validate;
 
 pub use node::{point_entries, Child, Entry, Node, RTree};
 pub use query::BestFirstIter;
+pub use validate::{StructureError, StructureErrorKind};

@@ -49,17 +49,17 @@ impl<T> Node<T> {
     pub fn mbr(&self) -> Mbr {
         match self {
             Node::Leaf(es) => {
-                let mut it = es.iter();
-                let mut m = it.next().expect("empty leaf").mbr.clone();
-                for e in it {
+                assert!(!es.is_empty(), "empty leaf node has no MBR");
+                let mut m = es[0].mbr.clone();
+                for e in &es[1..] {
                     m.expand(&e.mbr);
                 }
                 m
             }
             Node::Inner(cs) => {
-                let mut it = cs.iter();
-                let mut m = it.next().expect("empty inner node").mbr.clone();
-                for c in it {
+                assert!(!cs.is_empty(), "empty inner node has no MBR");
+                let mut m = cs[0].mbr.clone();
+                for c in &cs[1..] {
                     m.expand(&c.mbr);
                 }
                 m

@@ -54,7 +54,9 @@ fn empty_tree() {
     assert!(t.is_empty());
     assert!(t.root().is_none());
     assert!(t.nearest(&pt(0.0, 0.0)).is_none());
-    assert!(t.range_intersecting(&Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0])).is_empty());
+    assert!(t
+        .range_intersecting(&Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]))
+        .is_empty());
 }
 
 #[test]
@@ -125,7 +127,11 @@ fn level_groups_partition_items() {
             .flat_map(|(_, items)| items.iter().map(|i| **i))
             .collect();
         all.sort_unstable();
-        assert_eq!(all, (0..64).collect::<Vec<_>>(), "level {level} not a partition");
+        assert_eq!(
+            all,
+            (0..64).collect::<Vec<_>>(),
+            "level {level} not a partition"
+        );
         // Every group MBR must contain its items.
         for (mbr, items) in &groups {
             for &&i in items {
@@ -139,9 +145,18 @@ fn level_groups_partition_items() {
 fn contained_vs_intersecting() {
     // Boxes (not points): containment is strictly stronger.
     let entries = vec![
-        Entry { mbr: Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]), item: 0usize },
-        Entry { mbr: Mbr::new(vec![1.0, 1.0], vec![5.0, 5.0]), item: 1 },
-        Entry { mbr: Mbr::new(vec![6.0, 6.0], vec![7.0, 7.0]), item: 2 },
+        Entry {
+            mbr: Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]),
+            item: 0usize,
+        },
+        Entry {
+            mbr: Mbr::new(vec![1.0, 1.0], vec![5.0, 5.0]),
+            item: 1,
+        },
+        Entry {
+            mbr: Mbr::new(vec![6.0, 6.0], vec![7.0, 7.0]),
+            item: 2,
+        },
     ];
     let t = RTree::bulk_load(4, entries);
     let q = Mbr::new(vec![0.0, 0.0], vec![3.0, 3.0]);

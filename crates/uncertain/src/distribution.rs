@@ -28,16 +28,22 @@ impl DistanceDistribution {
         let mut sum = 0.0;
         for &(v, p) in &atoms {
             assert!(v.is_finite(), "distribution values must be finite");
-            assert!(p > 0.0 && p.is_finite(), "atom probabilities must be positive");
+            assert!(
+                p > 0.0 && p.is_finite(),
+                "atom probabilities must be positive"
+            );
             sum += p;
         }
-        assert!((sum - 1.0).abs() <= 1e-6, "atom probabilities must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() <= 1e-6,
+            "atom probabilities must sum to 1, got {sum}"
+        );
         atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Merge equal values to keep the support minimal.
         let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
         for (v, p) in atoms {
             match merged.last_mut() {
-                Some(last) if last.0 == v => last.1 += p,
+                Some(last) if last.0.total_cmp(&v).is_eq() => last.1 += p,
                 _ => merged.push((v, p)),
             }
         }
@@ -135,6 +141,9 @@ impl DistanceDistribution {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p2(x: f64, y: f64) -> Point {

@@ -33,7 +33,10 @@ impl fmt::Display for ObjectError {
         match self {
             ObjectError::Empty => write!(f, "an object needs at least one instance"),
             ObjectError::DimensionMismatch { expected, found } => {
-                write!(f, "instance dimensionality mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "instance dimensionality mismatch: expected {expected}, found {found}"
+                )
             }
             ObjectError::BadProbability(p) => {
                 write!(f, "instance probability must be in (0, 1], got {p}")

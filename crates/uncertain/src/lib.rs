@@ -60,5 +60,7 @@ pub use matching::{construct_match, is_valid_match, match_dominates, MatchTuple}
 pub use metric::{s_sd_metric, ss_sd_metric, Metric};
 pub use object::{Instance, UncertainObject};
 pub use quantize::{quantize, SCALE};
-pub use stochastic::{stochastically_dominates, stochastically_dominates_counted, strictly_dominates, CDF_EPS};
+pub use stochastic::{
+    stochastically_dominates, stochastically_dominates_counted, strictly_dominates, CDF_EPS,
+};
 pub use world::for_each_world;

@@ -47,7 +47,11 @@ pub fn construct_match(
                 return None;
             }
             let take = need.min(x_rem);
-            tuples.push(MatchTuple { x: i, y: j, p: take });
+            tuples.push(MatchTuple {
+                x: i,
+                y: j,
+                p: take,
+            });
             need -= take;
             x_rem -= take;
             if x_rem <= CDF_EPS {
@@ -99,6 +103,9 @@ pub fn is_valid_match(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::stochastic::stochastically_dominates;
 

@@ -101,6 +101,9 @@ pub fn ss_sd_metric(
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn obj2(pts: &[(f64, f64)]) -> UncertainObject {

@@ -40,18 +40,20 @@ impl UncertainObject {
     pub fn new(instances: Vec<(Point, f64)>) -> Self {
         match Self::try_new(instances) {
             Ok(o) => o,
-            Err(ObjectError::Empty) => panic!("an object needs at least one instance"),
-            Err(ObjectError::DimensionMismatch { .. }) => {
-                panic!("instance dimensionality mismatch")
-            }
-            Err(ObjectError::BadProbability(p)) => {
-                panic!("instance probability must be in (0, 1], got {p}")
-            }
-            Err(ObjectError::BadMass(s)) => {
-                panic!("instance probabilities must sum to 1, got {s}")
-            }
-            Err(e) => panic!("{e}"),
+            Err(e) => Self::invalid(e),
         }
+    }
+
+    /// Aborts a panicking constructor with the invariant violation `e`.
+    ///
+    /// The panicking constructors are the documented ergonomic path for
+    /// trusted, programmatic data; the `try_*` variants are the fallible
+    /// path. This is the single place the crate's `clippy::panic` policy is
+    /// waived to honour that contract.
+    #[cold]
+    #[allow(clippy::panic)]
+    fn invalid(e: ObjectError) -> ! {
+        panic!("{e}")
     }
 
     /// Fallible variant of [`UncertainObject::new`] for untrusted input.
@@ -66,7 +68,10 @@ impl UncertainObject {
         let mut sum = 0.0;
         for (p, pr) in &instances {
             if p.dim() != dim {
-                return Err(ObjectError::DimensionMismatch { expected: dim, found: p.dim() });
+                return Err(ObjectError::DimensionMismatch {
+                    expected: dim,
+                    found: p.dim(),
+                });
             }
             if !(*pr > 0.0 && *pr <= 1.0 && pr.is_finite()) {
                 return Err(ObjectError::BadProbability(*pr));
@@ -108,9 +113,7 @@ impl UncertainObject {
     pub fn from_weighted(instances: Vec<(Point, f64)>) -> Self {
         match Self::try_from_weighted(instances) {
             Ok(o) => o,
-            Err(ObjectError::Empty) => panic!("an object needs at least one instance"),
-            Err(ObjectError::BadWeight(w)) => panic!("instance weights must be positive, got {w}"),
-            Err(e) => panic!("{e}"),
+            Err(e) => Self::invalid(e),
         }
     }
 
@@ -131,12 +134,7 @@ impl UncertainObject {
                 return Err(ObjectError::BadWeight(*w));
             }
         }
-        Self::try_new(
-            instances
-                .into_iter()
-                .map(|(p, w)| (p, w / total))
-                .collect(),
-        )
+        Self::try_new(instances.into_iter().map(|(p, w)| (p, w / total)).collect())
     }
 
     /// Number of instances (`|U|`).
@@ -197,6 +195,9 @@ impl UncertainObject {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p2(x: f64, y: f64) -> Point {
@@ -251,21 +252,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality mismatch")]
     fn mixed_dims_rejected() {
-        let _ = UncertainObject::new(vec![
-            (Point::new(vec![0.0]), 0.5),
-            (p2(1.0, 1.0), 0.5),
-        ]);
+        let _ = UncertainObject::new(vec![(Point::new(vec![0.0]), 0.5), (p2(1.0, 1.0), 0.5)]);
     }
 
     #[test]
     fn try_new_reports_structured_errors() {
         use crate::error::ObjectError;
-        assert!(matches!(UncertainObject::try_new(vec![]), Err(ObjectError::Empty)));
-        let r = UncertainObject::try_new(vec![
-            (Point::new(vec![0.0]), 0.5),
-            (p2(1.0, 1.0), 0.5),
-        ]);
-        assert!(matches!(r, Err(ObjectError::DimensionMismatch { expected: 1, found: 2 })));
+        assert!(matches!(
+            UncertainObject::try_new(vec![]),
+            Err(ObjectError::Empty)
+        ));
+        let r = UncertainObject::try_new(vec![(Point::new(vec![0.0]), 0.5), (p2(1.0, 1.0), 0.5)]);
+        assert!(matches!(
+            r,
+            Err(ObjectError::DimensionMismatch {
+                expected: 1,
+                found: 2
+            })
+        ));
         let r = UncertainObject::try_new(vec![(p2(0.0, 0.0), 1.5)]);
         assert!(matches!(r, Err(ObjectError::BadProbability(_))));
         let r = UncertainObject::try_new(vec![(p2(0.0, 0.0), 0.4)]);

@@ -54,9 +54,7 @@ pub fn quantize(probs: &[f64]) -> Vec<u64> {
     // zero (can only happen for masses below 2^-32).
     for i in 0..out.len() {
         if out[i] == 0 {
-            let max_idx = (0..out.len())
-                .max_by_key(|&j| out[j])
-                .expect("non-empty");
+            let max_idx = (0..out.len()).max_by_key(|&j| out[j]).unwrap_or(i);
             debug_assert!(out[max_idx] > 1);
             out[max_idx] -= 1;
             out[i] = 1;
@@ -68,6 +66,9 @@ pub fn quantize(probs: &[f64]) -> Vec<u64> {
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -62,6 +62,9 @@ pub fn strictly_dominates(x: &DistanceDistribution, y: &DistanceDistribution) ->
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn d(atoms: &[(f64, f64)]) -> DistanceDistribution {

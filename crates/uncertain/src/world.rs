@@ -49,11 +49,19 @@ pub fn for_each_world(objects: &[&UncertainObject], mut visit: impl FnMut(&[usiz
 
 #[cfg(test)]
 mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use osd_geom::Point;
 
     fn obj(points: &[(f64, f64)]) -> UncertainObject {
-        UncertainObject::uniform(points.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+        UncertainObject::uniform(
+            points
+                .iter()
+                .map(|&(x, y)| Point::new(vec![x, y]))
+                .collect(),
+        )
     }
 
     #[test]

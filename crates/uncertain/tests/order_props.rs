@@ -13,9 +13,7 @@ use proptest::prelude::*;
 fn dist_strategy(max_atoms: usize) -> impl Strategy<Value = DistanceDistribution> {
     prop::collection::vec((0.0f64..100.0, 0.05f64..1.0), 1..max_atoms).prop_map(|atoms| {
         let total: f64 = atoms.iter().map(|&(_, w)| w).sum();
-        DistanceDistribution::from_atoms(
-            atoms.into_iter().map(|(v, w)| (v, w / total)).collect(),
-        )
+        DistanceDistribution::from_atoms(atoms.into_iter().map(|(v, w)| (v, w / total)).collect())
     })
 }
 
@@ -28,9 +26,7 @@ fn st_oracle(x: &DistanceDistribution, y: &DistanceDistribution) -> bool {
         .map(|&(v, _)| v)
         .collect();
     probes.sort_by(f64::total_cmp);
-    probes
-        .iter()
-        .all(|&l| x.cdf(l) >= y.cdf(l) - 1e-7)
+    probes.iter().all(|&l| x.cdf(l) >= y.cdf(l) - 1e-7)
 }
 
 proptest! {

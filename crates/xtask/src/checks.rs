@@ -1,0 +1,492 @@
+//! The `check` rules.
+//!
+//! Each rule is a pure function over a scanned [`SourceFile`]; `run_all`
+//! walks the library-crate source trees and applies the rules that match
+//! each file's location. Test modules (`#[cfg(test)]`) are exempt
+//! throughout — the rules police shipping code, not test scaffolding.
+
+use crate::scan::{rust_files, SourceFile};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Source roots of the *library* crates (relative to the repo root). The
+/// bench/cli leaves, examples, integration tests and the vendored shims
+/// are intentionally not listed.
+const LIB_SRC_DIRS: &[&str] = &[
+    "src",
+    "crates/geom/src",
+    "crates/uncertain/src",
+    "crates/flow/src",
+    "crates/rtree/src",
+    "crates/nnfuncs/src",
+    "crates/core/src",
+    "crates/nncore/src",
+    "crates/datagen/src",
+];
+
+/// The dominance kernels where exact float comparison is banned outright.
+const KERNEL_DIRS: &[&str] = &["crates/core/src/ops"];
+const KERNEL_FILES: &[&str] = &["crates/geom/src/dominance.rs"];
+
+/// Directory whose `pub fn`s must cite the paper.
+const OPS_DIR: &str = "crates/core/src/ops";
+
+/// Doc-comment substrings accepted as a paper citation.
+const CITATION_KEYWORDS: &[&str] = &[
+    "Definition",
+    "Theorem",
+    "Lemma",
+    "Corollary",
+    "Algorithm",
+    "Remark",
+    "Figure",
+    "Section",
+    "§",
+];
+
+/// A single rule violation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the repo root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Runs every rule over the library source trees under `root`.
+pub fn run_all(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for dir in LIB_SRC_DIRS {
+        let abs_dir = root.join(dir);
+        if !abs_dir.is_dir() {
+            continue;
+        }
+        for (abs, rel) in rust_files(root, &abs_dir)? {
+            let file = SourceFile::load(&abs, rel)?;
+            check_file(&file, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+/// Applies the rules that match `file`'s location.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
+    no_partial_cmp_unwrap(file, out);
+    no_println_in_libs(file, out);
+    no_panic_allow_in_libs(file, out);
+    if is_kernel(&file.path) {
+        no_float_eq_in_kernels(file, out);
+    }
+    if file.path.starts_with(OPS_DIR) {
+        doc_cites_paper(file, out);
+    }
+}
+
+fn is_kernel(path: &Path) -> bool {
+    KERNEL_DIRS.iter().any(|d| path.starts_with(d))
+        || KERNEL_FILES.iter().any(|f| Path::new(f) == path)
+}
+
+fn push(out: &mut Vec<Violation>, file: &SourceFile, line: usize, rule: &'static str, msg: String) {
+    out.push(Violation {
+        path: file.path.display().to_string(),
+        line,
+        rule,
+        msg,
+    });
+}
+
+/// Rule 1: `partial_cmp(..)` must not be unwrapped — NaN makes it `None`
+/// and the panic surfaces far from the data that caused it. Distances are
+/// ordered with `f64::total_cmp` instead.
+fn no_partial_cmp_unwrap(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(at) = line.code.find("partial_cmp") else {
+            continue;
+        };
+        let after = &line.code[at..];
+        let mut offending = after.contains(".unwrap()") || after.contains(".expect(");
+        if !offending {
+            // Chained on the next code line: `.partial_cmp(b)\n  .unwrap()`.
+            if let Some(next) = file.lines[i + 1..]
+                .iter()
+                .find(|l| !l.code.trim().is_empty())
+            {
+                let t = next.code.trim_start();
+                offending = t.starts_with(".unwrap()") || t.starts_with(".expect(");
+            }
+        }
+        if offending {
+            push(
+                out,
+                file,
+                line.num,
+                "no-partial-cmp-unwrap",
+                "partial_cmp(..).unwrap()/expect(..) panics on NaN; order distances with f64::total_cmp".into(),
+            );
+        }
+    }
+}
+
+/// Rule 2: no `==` / `!=` on floating-point values in the dominance
+/// kernels. Detection is heuristic (no type information): a comparison is
+/// flagged when either operand textually looks float-valued — a float
+/// literal, an `f64`/`f32` mention, or a distance-producing call.
+fn no_float_eq_in_kernels(file: &SourceFile, out: &mut Vec<Violation>) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for (at, op) in eq_operators(&line.code) {
+            let (lhs, rhs) = operands(&line.code, at, op.len());
+            if looks_float(lhs) || looks_float(rhs) {
+                push(
+                    out,
+                    file,
+                    line.num,
+                    "no-float-eq-in-kernels",
+                    format!(
+                        "`{op}` on a floating-point value in a dominance kernel; use total_cmp or an epsilon"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Finds `==` / `!=` token positions in blanked code.
+fn eq_operators(code: &str) -> Vec<(usize, &'static str)> {
+    let b = code.as_bytes();
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let pair = &b[i..i + 2];
+        if pair == b"==" {
+            let prev_ok = i == 0 || !matches!(b[i - 1], b'<' | b'>' | b'!' | b'=');
+            let next_ok = i + 2 >= b.len() || b[i + 2] != b'=';
+            if prev_ok && next_ok {
+                found.push((i, "=="));
+            }
+            i += 2;
+        } else if pair == b"!=" {
+            let next_ok = i + 2 >= b.len() || b[i + 2] != b'=';
+            if next_ok {
+                found.push((i, "!="));
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
+/// Extracts the textual operands around the comparison at `at`.
+fn operands(code: &str, at: usize, op_len: usize) -> (&str, &str) {
+    const STOPS: &[char] = &[',', ';', '(', ')', '{', '}', '&', '|'];
+    let left = &code[..at];
+    let lstart = left.rfind(STOPS).map_or(0, |p| p + 1);
+    let right = &code[at + op_len..];
+    let rend = right.find(STOPS).unwrap_or(right.len());
+    (left[lstart..].trim(), right[..rend].trim())
+}
+
+/// Whether an operand snippet textually looks like an `f64` value.
+fn looks_float(snippet: &str) -> bool {
+    const MARKERS: &[&str] = &[
+        "f64",
+        "f32",
+        ".dist(",
+        ".volume(",
+        ".min_dist",
+        ".max_dist",
+        ".coord(",
+        ".prob",
+        "d_min",
+        "d_max",
+        ".mean(",
+        ".quantile(",
+        ".cdf(",
+    ];
+    if MARKERS.iter().any(|m| snippet.contains(m)) {
+        return true;
+    }
+    // A float literal: digit '.' followed by a digit or a non-identifier.
+    let b = snippet.as_bytes();
+    for i in 1..b.len() {
+        if b[i] == b'.'
+            && b[i - 1].is_ascii_digit()
+            && b.get(i + 1)
+                .is_none_or(|c| !c.is_ascii_alphabetic() && *c != b'.')
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule 3: every `pub fn` in `core::ops` carries a doc comment that cites
+/// the paper construct it implements.
+fn doc_cites_paper(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(name) = pub_fn_name(&line.code) else {
+            continue;
+        };
+        if name.starts_with('$') {
+            // `pub fn $name` inside a macro definition: the doc arrives at
+            // the expansion site, which this textual pass cannot attach.
+            continue;
+        }
+        let doc = collect_doc(&file.lines[..i]);
+        if doc.is_empty() {
+            push(
+                out,
+                file,
+                line.num,
+                "doc-cites-paper",
+                format!("`pub fn {name}` in core::ops has no doc comment"),
+            );
+        } else if !CITATION_KEYWORDS.iter().any(|k| doc.contains(k)) {
+            push(
+                out,
+                file,
+                line.num,
+                "doc-cites-paper",
+                format!(
+                    "doc comment of `pub fn {name}` cites no paper construct (Definition/Theorem/§ ...)"
+                ),
+            );
+        }
+    }
+}
+
+/// If `code` declares a `pub fn`, returns the function name.
+fn pub_fn_name(code: &str) -> Option<&str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    // Skip qualifiers: `const`, `async`, `unsafe`, `extern "C"` (blanked).
+    let mut rest = rest.trim_start();
+    for q in ["const ", "async ", "unsafe ", "extern "] {
+        if let Some(r) = rest.strip_prefix(q) {
+            rest = r.trim_start();
+        }
+    }
+    let rest = rest.strip_prefix("fn ")?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_' && c != '$')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Collects the doc-comment text immediately above a declaration,
+/// skipping interleaved attributes.
+fn collect_doc(above: &[crate::scan::Line]) -> String {
+    let mut doc_lines: Vec<&str> = Vec::new();
+    for line in above.iter().rev() {
+        let t = line.raw.trim_start();
+        if line.doc {
+            doc_lines.push(t);
+        } else if t.starts_with("#[") || t.starts_with("#!") {
+            continue;
+        } else {
+            break;
+        }
+    }
+    doc_lines.reverse();
+    doc_lines.join("\n")
+}
+
+/// Rule 4: library crates never print — reporting belongs to bench/cli.
+fn no_println_in_libs(file: &SourceFile, out: &mut Vec<Violation>) {
+    const BANNED: &[&str] = &["println!", "print!", "eprintln!", "eprint!"];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        if let Some(m) = BANNED.iter().find(|m| line.code.contains(*m)) {
+            push(
+                out,
+                file,
+                line.num,
+                "no-println-in-libs",
+                format!("`{m}` in a library crate; return data and let bench/cli report it"),
+            );
+        }
+    }
+}
+
+/// Rule 5: only the bench/cli/example leaves may opt out of the workspace
+/// panic-family lints; a crate-level `#![allow(..)]` of them in a library
+/// crate defeats the whole gate.
+fn no_panic_allow_in_libs(file: &SourceFile, out: &mut Vec<Violation>) {
+    const GATED: &[&str] = &[
+        "clippy::unwrap_used",
+        "clippy::expect_used",
+        "clippy::panic",
+    ];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        if !line.code.contains("#![allow(") {
+            continue;
+        }
+        if let Some(l) = GATED.iter().find(|l| {
+            // `clippy::panic` must not also match `clippy::panic_in_result_fn`-style names.
+            line.code
+                .split(|c: char| !c.is_alphanumeric() && c != '_' && c != ':')
+                .any(|tok| tok == **l)
+        }) {
+            push(
+                out,
+                file,
+                line.num,
+                "no-panic-allow-in-libs",
+                format!("crate-level `#![allow({l})]` in a library crate; only bench/cli leaves may opt out"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn check_src(path: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse(PathBuf::from(path), src);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap() {
+        let v = check_src(
+            "crates/geom/src/point.rs",
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n",
+        );
+        assert_eq!(rules(&v), vec!["no-partial-cmp-unwrap"]);
+    }
+
+    #[test]
+    fn flags_chained_partial_cmp_expect() {
+        let v = check_src(
+            "crates/geom/src/point.rs",
+            "fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b)\n        .expect(\"no NaN\");\n}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-partial-cmp-unwrap"]);
+    }
+
+    #[test]
+    fn accepts_manual_ord_impls() {
+        let v = check_src(
+            "crates/core/src/nnc.rs",
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n    Some(self.cmp(other))\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_float_eq_in_kernel_only() {
+        let src = "fn f(d: f64) -> bool { d == 0.0 }\n";
+        assert_eq!(
+            rules(&check_src("crates/core/src/ops/ssd.rs", src)),
+            vec!["no-float-eq-in-kernels"]
+        );
+        // Same code outside a kernel path: the rule does not apply.
+        assert!(check_src("crates/uncertain/src/object.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_eq_in_kernel_is_fine() {
+        let v = check_src(
+            "crates/core/src/ops/level.rs",
+            "/// Per Theorem 7.\npub fn f(a: usize, b: usize) -> bool { a == b }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_undocumented_ops_pub_fn() {
+        let v = check_src("crates/core/src/ops/mod.rs", "pub fn naked() {}\n");
+        assert_eq!(rules(&v), vec!["doc-cites-paper"]);
+    }
+
+    #[test]
+    fn flags_citation_free_doc() {
+        let v = check_src(
+            "crates/core/src/ops/mod.rs",
+            "/// Does things.\npub fn vague() {}\n",
+        );
+        assert_eq!(rules(&v), vec!["doc-cites-paper"]);
+        assert!(v[0].msg.contains("cites no paper construct"));
+    }
+
+    #[test]
+    fn accepts_cited_doc_with_attributes() {
+        let v = check_src(
+            "crates/core/src/ops/mod.rs",
+            "/// Implements Definition 5.\n#[inline]\npub fn cited() {}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn flags_println_but_not_in_strings_or_tests() {
+        let v = check_src("crates/flow/src/lib.rs", "fn f() { println!(\"x\"); }\n");
+        assert_eq!(rules(&v), vec!["no-println-in-libs"]);
+        let ok = "fn f() { let _ = \"println!\"; }\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"debug\"); }\n}\n";
+        assert!(check_src("crates/flow/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn flags_crate_level_panic_allow() {
+        let v = check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(clippy::unwrap_used)]\nfn f() {}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-panic-allow-in-libs"]);
+        // Unrelated allows are fine.
+        assert!(check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(clippy::module_name_repetitions)]\nfn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn pub_fn_name_parses_qualifiers() {
+        assert_eq!(pub_fn_name("pub fn foo(a: u8) {"), Some("foo"));
+        assert_eq!(pub_fn_name("    pub const fn bar() {"), Some("bar"));
+        assert_eq!(pub_fn_name("pub fn $name(u: &U) {"), Some("$name"));
+        assert_eq!(pub_fn_name("pub struct S;"), None);
+        assert_eq!(pub_fn_name("fn private() {}"), None);
+    }
+}

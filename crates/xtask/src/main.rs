@@ -1,0 +1,90 @@
+//! `xtask` — repo-specific developer tooling.
+//!
+//! The only subcommand today is `check`, a std-only source scanner that
+//! enforces rules the stock lint stack cannot express (see
+//! `DESIGN.md`, "Static analysis & invariants"):
+//!
+//! 1. **`no-partial-cmp-unwrap`** — distance orderings must use
+//!    `f64::total_cmp`, never `partial_cmp(..).unwrap()` /
+//!    `partial_cmp(..).expect(..)`, which panic on NaN.
+//! 2. **`no-float-eq-in-kernels`** — no `==` / `!=` on floating-point
+//!    values inside the dominance kernels (`geom::dominance`,
+//!    `core::ops`): exact float equality there silently changes the
+//!    operators' tie semantics.
+//! 3. **`doc-cites-paper`** — every `pub fn` in `core::ops` must carry a
+//!    doc comment citing the paper construct it implements (a
+//!    Definition / Theorem / Lemma / Algorithm / § reference).
+//! 4. **`no-println-in-libs`** — library crates never print; reporting
+//!    belongs to the bench/cli leaves.
+//! 5. **`no-panic-allow-in-libs`** — only the bench/cli/example leaves
+//!    may opt out of the workspace panic-family lints with crate-level
+//!    `#![allow(..)]`; library crates may not.
+//!
+//! Diagnostics are `file:line: [rule] message` lines on stdout; the exit
+//! status is nonzero iff any violation was found.
+//!
+//! ```text
+//! cargo run -p xtask -- check [--root <path>]
+//! ```
+
+mod checks;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: cargo run -p xtask -- check [--root <path>]");
+        return ExitCode::FAILURE;
+    };
+    if cmd != "check" {
+        eprintln!("unknown subcommand `{cmd}`; expected `check`");
+        return ExitCode::FAILURE;
+    }
+    let mut root = PathBuf::from(".");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // A wrong --root would otherwise scan zero files and "pass".
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "xtask check: `{}` is not a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    match checks::run_all(&root) {
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask check: ok");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask check: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! A minimal source model for the `check` rules.
+//!
+//! Rust files are loaded line by line with comments and string-literal
+//! *contents* blanked out (lengths preserved, so column positions stay
+//! meaningful), and each line is classified as doc-comment / test-module
+//! code / ordinary code. The rules in [`crate::checks`] then work on the
+//! blanked `code` text, which makes naive substring matching sound: a
+//! `println!` inside a string literal or a comment can no longer match.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One physical source line, pre-processed for rule matching.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub num: usize,
+    /// The line with comments and string contents replaced by spaces.
+    pub code: String,
+    /// The raw line as written.
+    pub raw: String,
+    /// Whether the raw line is a `///` or `//!` doc comment.
+    pub doc: bool,
+    /// Whether the line sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root.
+    pub path: PathBuf,
+    /// The pre-processed lines.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across lines while blanking.
+enum State {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Loads and pre-processes one file. `rel` is the path recorded in
+    /// diagnostics.
+    pub fn load(abs: &Path, rel: PathBuf) -> io::Result<SourceFile> {
+        let text = fs::read_to_string(abs)?;
+        Ok(SourceFile::parse(rel, &text))
+    }
+
+    /// Parses source text (separated from `load` for unit testing).
+    pub fn parse(rel: PathBuf, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut state = State::Code;
+        for (i, raw) in text.lines().enumerate() {
+            let (code, next) = blank_line(raw, state);
+            state = next;
+            let trimmed = raw.trim_start();
+            let doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
+            lines.push(Line {
+                num: i + 1,
+                code,
+                raw: raw.to_string(),
+                doc,
+                in_test: false,
+            });
+        }
+        mark_test_regions(&mut lines);
+        SourceFile { path: rel, lines }
+    }
+}
+
+/// Blanks comments and string contents in one line, threading the lexer
+/// state across line boundaries (block comments and raw strings may span
+/// lines; ordinary string literals in this codebase do not, but a `"` left
+/// open carries over conservatively).
+fn blank_line(raw: &str, mut state: State) -> (String, State) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::BlockComment(depth) => {
+                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    if i + 1 < b.len() {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == '"' && closes_raw(&b, i + 1, hashes) {
+                    out.push('"');
+                    out.extend(std::iter::repeat_n(' ', hashes as usize));
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Code => {
+                if b[i] == '/' && b.get(i + 1) == Some(&'/') {
+                    // Line comment (incl. doc comments): blank the rest.
+                    out.extend(std::iter::repeat_n(' ', b.len() - i));
+                    i = b.len();
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(1);
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    state = State::Str;
+                } else if b[i] == 'r' && raw_str_hashes(&b, i).is_some() {
+                    // Only match a raw string when `r` starts a token.
+                    let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+                    if prev_ident {
+                        out.push(b[i]);
+                        i += 1;
+                    } else if let Some(h) = raw_str_hashes(&b, i) {
+                        out.push('r');
+                        out.extend(std::iter::repeat_n(' ', h as usize));
+                        out.push('"');
+                        i += 2 + h as usize;
+                        state = State::RawStr(h);
+                    }
+                } else if b[i] == '\'' {
+                    // Char literal or lifetime. `'x'` / `'\n'` are blanked;
+                    // a lifetime (`'a` not followed by a closing quote) is
+                    // kept as-is.
+                    if let Some(len) = char_literal_len(&b, i) {
+                        out.push('\'');
+                        out.extend(std::iter::repeat_n(' ', len - 1));
+                        i += len;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (out.into_iter().collect(), state)
+}
+
+/// Whether `chars[at..]` starts with `hashes` consecutive `#`s.
+fn closes_raw(chars: &[char], at: usize, hashes: u32) -> bool {
+    let h = hashes as usize;
+    chars.len() >= at + h && chars[at..at + h].iter().all(|&c| c == '#')
+}
+
+/// If `chars[i..]` starts a raw string literal (`r"` / `r#"` / ...),
+/// returns the number of `#`s.
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<u32> {
+    debug_assert_eq!(chars.get(i), Some(&'r'));
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// If `chars[i..]` is a char literal, returns its total length.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(chars.get(i), Some(&'\''));
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char: find the closing quote within a few characters
+        // (`'\n'`, `'\u{1F600}'`).
+        chars[i + 3..(i + 12).min(chars.len())]
+            .iter()
+            .position(|&c| c == '\'')
+            .map(|off| off + 4)
+    } else if chars.get(i + 2) == Some(&'\'') {
+        Some(3)
+    } else {
+        None
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod ... { ... }` region.
+///
+/// Brace depth is tracked on the blanked `code` text, so braces in strings
+/// and comments do not confuse the count.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_cfg = false;
+    let mut region_floor: Option<i64> = None;
+    for line in lines.iter_mut() {
+        if region_floor.is_none() && line.code.contains("#[cfg(test)]") {
+            pending_cfg = true;
+        }
+        let starts_region = pending_cfg
+            && region_floor.is_none()
+            && line.code.contains("mod")
+            && line.code.contains('{');
+        if starts_region {
+            region_floor = Some(depth);
+            pending_cfg = false;
+        }
+        if region_floor.is_some() {
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, returning `(abs, rel)`
+/// pairs with `rel` relative to `root`.
+pub fn rust_files(root: &Path, dir: &Path) -> io::Result<Vec<(PathBuf, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, dir, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), text)
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = parse("let s = \"println!(1 == 2)\"; // partial_cmp\n");
+        assert!(!f.lines[0].code.contains("println"));
+        assert!(!f.lines[0].code.contains("=="));
+        assert!(!f.lines[0].code.contains("partial_cmp"));
+        assert!(f.lines[0].code.contains("let s ="));
+        assert_eq!(f.lines[0].code.len(), f.lines[0].raw.len());
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = parse("/* a == b\n   c != d */ let x = 1;\n");
+        assert!(!f.lines[0].code.contains("=="));
+        assert!(!f.lines[1].code.contains("!="));
+        assert!(f.lines[1].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = parse("let s = r#\"a.unwrap()\"#;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = parse("let c = '\"'; let d = 1 == 2;\n");
+        assert!(f.lines[0].code.contains("=="), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = parse(src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn doc_lines_are_classified() {
+        let f = parse("//! module\n/// item\nfn x() {}\n");
+        assert!(f.lines[0].doc && f.lines[1].doc && !f.lines[2].doc);
+    }
+}

@@ -8,6 +8,14 @@
 //! cargo run --release --example nba_scouting
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::datagen::nba_like;
 use osd::prelude::*;
 
@@ -37,13 +45,27 @@ fn main() {
     let by_mean = best_by(&db, |o| N1Function::Mean.score(o, target.object()));
     let by_max = best_by(&db, |o| N1Function::Max.score(o, target.object()));
     let by_emd = best_by(&db, |o| emd(o, target.object()));
-    let by_q25 = best_by(&db, |o| N1Function::Quantile(0.25).score(o, target.object()));
+    let by_q25 = best_by(&db, |o| {
+        N1Function::Quantile(0.25).score(o, target.object())
+    });
 
     println!("\n--- winners under specific functions ---");
-    println!("expected distance  → player {by_mean:>3} | in SSD set: {}", ssd.ids().contains(&by_mean));
-    println!("max distance       → player {by_max:>3} | in SSD set: {}", ssd.ids().contains(&by_max));
-    println!("0.25-quantile      → player {by_q25:>3} | in SSD set: {}", ssd.ids().contains(&by_q25));
-    println!("earth mover's      → player {by_emd:>3} | in PSD set: {}", psd.ids().contains(&by_emd));
+    println!(
+        "expected distance  → player {by_mean:>3} | in SSD set: {}",
+        ssd.ids().contains(&by_mean)
+    );
+    println!(
+        "max distance       → player {by_max:>3} | in SSD set: {}",
+        ssd.ids().contains(&by_max)
+    );
+    println!(
+        "0.25-quantile      → player {by_q25:>3} | in SSD set: {}",
+        ssd.ids().contains(&by_q25)
+    );
+    println!(
+        "earth mover's      → player {by_emd:>3} | in PSD set: {}",
+        psd.ids().contains(&by_emd)
+    );
 
     // NN probability (a possible-world / N2 function) on the SS-SD
     // shortlist: computing it for the shortlist only is cheap, and the

@@ -7,6 +7,14 @@
 //! cargo run --release --example nncore_comparison
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::datagen::{generate_objects, CenterDistribution, SynthParams};
 use osd::nncore::{nn_core, win_probability};
 use osd::prelude::*;

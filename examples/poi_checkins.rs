@@ -8,6 +8,14 @@
 //! cargo run --release --example poi_checkins
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::datagen::gowalla_like;
 use osd::prelude::*;
 
@@ -57,7 +65,10 @@ fn main() {
         );
     }
     for (name, f) in [
-        ("hausdorff", hausdorff as fn(&UncertainObject, &UncertainObject) -> f64),
+        (
+            "hausdorff",
+            hausdorff as fn(&UncertainObject, &UncertainObject) -> f64,
+        ),
         ("emd", emd),
         ("sum_min", sum_min),
     ] {

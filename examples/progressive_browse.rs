@@ -6,6 +6,14 @@
 //! cargo run --release --example progressive_browse
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::datagen::{generate_objects, CenterDistribution, SynthParams};
 use osd::prelude::*;
 
@@ -28,7 +36,10 @@ fn main() {
     let cfg = FilterConfig::all();
     let mut traversal = ProgressiveNnc::new(&db, &query, Operator::PSd, &cfg);
 
-    println!("{:>4} {:>8} {:>12} {:>12}", "#", "object", "min-dist", "elapsed");
+    println!(
+        "{:>4} {:>8} {:>12} {:>12}",
+        "#", "object", "min-dist", "elapsed"
+    );
     let mut count = 0;
     while let Some(c) = traversal.next_candidate() {
         count += 1;

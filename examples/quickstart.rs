@@ -5,6 +5,14 @@
 //! cargo run --example quickstart
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::prelude::*;
 
 fn main() {
@@ -24,15 +32,9 @@ fn main() {
             Point::from([1.8, 1.5]),
         ]),
         // 2: one instance very close, one far — risky but sometimes nearest
-        UncertainObject::uniform(vec![
-            Point::from([0.3, 0.4]),
-            Point::from([6.0, 6.0]),
-        ]),
+        UncertainObject::uniform(vec![Point::from([0.3, 0.4]), Point::from([6.0, 6.0])]),
         // 3: clearly distant
-        UncertainObject::uniform(vec![
-            Point::from([9.0, 9.0]),
-            Point::from([9.5, 8.5]),
-        ]),
+        UncertainObject::uniform(vec![Point::from([9.0, 9.0]), Point::from([9.5, 8.5])]),
     ];
 
     // The query is itself uncertain: two possible positions.

@@ -13,6 +13,14 @@
 //! cargo run --release --example robust_shortlist
 //! ```
 
+// Example binary: aborting on bad state is fine here.
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use osd::datagen::{read_objects_csv, write_objects_csv};
 use osd::prelude::*;
 use rand::rngs::StdRng;
@@ -52,7 +60,10 @@ fn main() {
         Point::from([5_120.0, 4_940.0]),
     ]));
 
-    println!("\n{:>3} {:>10} {:>30}", "k", "shortlist", "ids (emission order)");
+    println!(
+        "\n{:>3} {:>10} {:>30}",
+        "k", "shortlist", "ids (emission order)"
+    );
     for k in [1usize, 2, 3, 5] {
         let res = k_nn_candidates(&db, &incident, Operator::SsSd, k, &FilterConfig::all());
         let ids = res.ids();
@@ -66,8 +77,10 @@ fn main() {
 
     // Robustness check: remove the k=1 candidates from the database and
     // verify the next-best is already inside the k=2 shortlist.
-    let k1: Vec<usize> = k_nn_candidates(&db, &incident, Operator::SsSd, 1, &FilterConfig::all()).ids();
-    let k2: Vec<usize> = k_nn_candidates(&db, &incident, Operator::SsSd, 2, &FilterConfig::all()).ids();
+    let k1: Vec<usize> =
+        k_nn_candidates(&db, &incident, Operator::SsSd, 1, &FilterConfig::all()).ids();
+    let k2: Vec<usize> =
+        k_nn_candidates(&db, &incident, Operator::SsSd, 2, &FilterConfig::all()).ids();
     let survivors: Vec<UncertainObject> = (0..db.len())
         .filter(|i| !k1.contains(i))
         .map(|i| db.object(i).clone())
@@ -83,6 +96,10 @@ fn main() {
     println!(
         "\nafter losing every rank-1 candidate, the new candidates {:?} are {} the k=2 shortlist",
         &after[..after.len().min(8)],
-        if all_covered { "all inside" } else { "NOT all inside (!)" }
+        if all_covered {
+            "all inside"
+        } else {
+            "NOT all inside (!)"
+        }
     );
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The static-analysis gate: formatting, clippy (deny-by-default workspace
+# lints), the repo-specific xtask analyzer, and the test suite — in both
+# the default and the strict-invariants configuration.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== xtask check (repo-specific rules) =="
+cargo run -q -p xtask -- check
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo test --features strict-invariants =="
+cargo test -q --features strict-invariants
+cargo test -q -p osd-core --features strict-invariants
+cargo test -q -p osd-rtree --features strict-invariants
+
+echo "check.sh: all gates passed"

@@ -56,8 +56,7 @@ pub mod prelude {
     };
     pub use osd_geom::{Mbr, Point};
     pub use osd_nnfuncs::{
-        emd, hausdorff, netflow, nn_probability, rank_distribution, sum_min, N1Function,
-        N2Function,
+        emd, hausdorff, netflow, nn_probability, rank_distribution, sum_min, N1Function, N2Function,
     };
     pub use osd_uncertain::{DistanceDistribution, UncertainObject};
 }

@@ -8,13 +8,25 @@
 //! * **Candidate containment** — the winner of every implemented NN
 //!   function lies inside the matching operator's candidate set.
 
+// Integration test: exact values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
 use osd::prelude::*;
 use osd_uncertain::CDF_EPS;
 use proptest::prelude::*;
 
 fn object_strategy(max_m: usize) -> impl Strategy<Value = UncertainObject> {
     prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..max_m).prop_map(|pts| {
-        UncertainObject::uniform(pts.into_iter().map(|(x, y)| Point::new(vec![x, y])).collect())
+        UncertainObject::uniform(
+            pts.into_iter()
+                .map(|(x, y)| Point::new(vec![x, y]))
+                .collect(),
+        )
     })
 }
 

@@ -2,6 +2,14 @@
 //! NN-candidate search, checked for the Figure 5 inclusion chain, oracle
 //! agreement, and the multi-valued-object normalisation claim of §1.
 
+// Integration test: exact values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
 use osd::datagen::{
     generate_objects, generate_queries, gowalla_like, nba_like, CenterDistribution, SynthParams,
 };
@@ -38,7 +46,12 @@ fn synthetic_pipeline_inclusion_and_oracle() {
         let sets = candidate_sets(&db, &pq);
         // Figure 5: NNC(S-SD) ⊆ NNC(SS-SD) ⊆ NNC(P-SD) ⊆ NNC(F-SD) ⊆ NNC(F⁺-SD).
         for w in sets.windows(2) {
-            assert!(w[0].is_subset(&w[1]), "inclusion chain broken: {:?} vs {:?}", w[0], w[1]);
+            assert!(
+                w[0].is_subset(&w[1]),
+                "inclusion chain broken: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
         }
         assert!(!sets[0].is_empty(), "candidate sets are never empty");
         // Algorithm 1 agrees with the O(n²) oracle.
@@ -102,8 +115,14 @@ fn multivalued_normalisation_preserves_candidates() {
             (Point::from([2.0, 1.5]), 4.0),
             (Point::from([1.5, 2.0]), 2.0),
         ],
-        vec![(Point::from([3.0, 3.0]), 6.0), (Point::from([4.0, 2.0]), 2.0)],
-        vec![(Point::from([8.0, 8.0]), 4.0), (Point::from([9.0, 9.0]), 4.0)],
+        vec![
+            (Point::from([3.0, 3.0]), 6.0),
+            (Point::from([4.0, 2.0]), 2.0),
+        ],
+        vec![
+            (Point::from([8.0, 8.0]), 4.0),
+            (Point::from([9.0, 9.0]), 4.0),
+        ],
     ];
     let weighted: Vec<UncertainObject> = raw
         .iter()
@@ -113,9 +132,7 @@ fn multivalued_normalisation_preserves_candidates() {
         .iter()
         .map(|insts| {
             let total: f64 = insts.iter().map(|(_, w)| w).sum();
-            UncertainObject::new(
-                insts.iter().map(|(p, w)| (p.clone(), w / total)).collect(),
-            )
+            UncertainObject::new(insts.iter().map(|(p, w)| (p.clone(), w / total)).collect())
         })
         .collect();
     let q = PreparedQuery::new(UncertainObject::uniform(vec![Point::from([0.0, 0.0])]));
@@ -151,8 +168,10 @@ fn filter_ladder_consistent_at_scale() {
                 .into_iter()
                 .collect();
             for (name, cfg) in FilterConfig::ablation_ladder() {
-                let got: BTreeSet<usize> =
-                    nn_candidates(&db, &pq, op, &cfg).ids().into_iter().collect();
+                let got: BTreeSet<usize> = nn_candidates(&db, &pq, op, &cfg)
+                    .ids()
+                    .into_iter()
+                    .collect();
                 assert_eq!(got, baseline, "{op:?} under {name} changed the candidates");
             }
         }

@@ -1,0 +1,100 @@
+//! End-to-end exercise of the `strict-invariants` audit layer.
+//!
+//! With the feature on, every `dominates` call re-checks the Theorem 2
+//! cover chain via `debug_assert!`, every R-tree mutation re-validates the
+//! structure, and the relational spot-checkers of `osd_core::invariants`
+//! become available. This test drives all of them across randomized
+//! databases — it exists so `cargo test --features strict-invariants -q`
+//! demonstrably runs the audit code, not just compiles it.
+#![cfg(feature = "strict-invariants")]
+// Integration test: aborts are intentional.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use osd::core::invariants::{irreflexivity_spot_check, transitivity_spot_check};
+use osd::prelude::*;
+use osd_core::{dominance_matrix, FilterConfig, Operator};
+use osd_geom::Mbr;
+use osd_rtree::{Entry, RTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_objects(rng: &mut StdRng, n: usize, instances: usize) -> Vec<UncertainObject> {
+    (0..n)
+        .map(|_| {
+            UncertainObject::uniform(
+                (0..instances)
+                    .map(|_| Point::new(vec![rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0)]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Every `dominates` call below runs the Theorem 2 cover-chain
+/// `debug_assert!`; the spot-checkers then audit Theorem 9 and the
+/// equal-twin guard over the same databases.
+#[test]
+fn dominance_audits_hold_over_random_databases() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..5 {
+        let mut objects = random_objects(&mut rng, 7, 4);
+        // An exact twin pair exercises the irreflexivity guard.
+        objects.push(objects[0].clone());
+        let db = Database::new(objects);
+        let query = PreparedQuery::new(UncertainObject::uniform(vec![Point::new(vec![
+            rng.gen_range(0.0..30.0),
+            rng.gen_range(0.0..30.0),
+        ])]));
+        let cfg = FilterConfig::all();
+        for op in Operator::ALL {
+            // The matrix fires a cover-chain audit per dominating pair.
+            let m = dominance_matrix(&db, &query, op, &cfg);
+            assert_eq!(m.len(), db.len(), "round {round}");
+            assert_eq!(
+                transitivity_spot_check(&db, &query, op, &cfg),
+                Ok(()),
+                "Theorem 9 violated for {op:?} in round {round}"
+            );
+            assert_eq!(
+                irreflexivity_spot_check(&db, &query, op, &cfg),
+                Ok(()),
+                "equal-twin guard violated for {op:?} in round {round}"
+            );
+        }
+    }
+}
+
+/// Insertions and deletions re-validate the R-tree structure after every
+/// mutation (debug_assert! in insert/remove under this feature); the final
+/// explicit validation confirms the API surface.
+#[test]
+fn rtree_structure_audits_hold_under_churn() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut tree: RTree<usize> = RTree::new(4);
+    let mut live: Vec<(usize, Point)> = Vec::new();
+    for i in 0..250usize {
+        let p = Point::new(vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+        tree.insert(Mbr::from_point(&p), i);
+        live.push((i, p));
+        // Interleave deletions to exercise condensation and re-insertion.
+        if i % 3 == 2 {
+            let victim = live.remove(rng.gen_range(0..live.len()));
+            let removed = tree.remove_item(&Mbr::from_point(&victim.1), |&x| x == victim.0);
+            assert_eq!(removed, Some(victim.0));
+        }
+    }
+    assert_eq!(tree.len(), live.len());
+    tree.validate_structure().expect("tree structure intact");
+
+    // Bulk loading validates too.
+    let entries: Vec<Entry<usize>> = live
+        .iter()
+        .map(|(i, p)| Entry {
+            mbr: Mbr::from_point(p),
+            item: *i,
+        })
+        .collect();
+    let bulk = RTree::bulk_load(6, entries);
+    bulk.validate_structure()
+        .expect("bulk-loaded structure intact");
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal, std-only implementation of the narrow `rand` 0.8 API surface the
+//! repo actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over half-open / inclusive ranges of the primitive
+//! numeric types.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! solid for data generation and property tests, deterministic per seed, and
+//! dependency-free. It is **not** the same stream as upstream `StdRng`
+//! (ChaCha12), so seeds here reproduce runs only against this shim.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits of the stream.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on an empty range,
+    /// matching upstream `rand`.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// User-facing extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_one(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 significant bits, the standard bits-to-unit-interval construction.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into full state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0usize..1_000_000),
+                b.gen_range(0usize..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&i));
+            let j = rng.gen_range(2i32..=4);
+            assert!((2..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn unit_interval_covers_mass() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..10_000).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}
