@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use osd_core::{dominates, Database, DominanceCache, FilterConfig, Operator, PreparedQuery, Stats};
+use osd_core::{CheckCtx, Database, FilterConfig, Operator, PreparedQuery};
 use osd_datagen::{object_around, DOMAIN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,20 +31,10 @@ fn bench_operators(c: &mut Criterion) {
         for op in Operator::ALL {
             group.bench_with_input(BenchmarkId::new(op.label(), m), &m, |b, _| {
                 b.iter(|| {
-                    // Fresh cache per iteration: measures the un-amortised
+                    // Fresh context per iteration: measures the un-amortised
                     // pair cost, as a NNC query pays it on first contact.
-                    let mut cache = DominanceCache::new(db.len());
-                    let mut stats = Stats::default();
-                    black_box(dominates(
-                        op,
-                        &db,
-                        0,
-                        1,
-                        &q,
-                        &FilterConfig::all(),
-                        &mut cache,
-                        &mut stats,
-                    ))
+                    let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
+                    black_box(ctx.dominates(op, 0, 1))
                 })
             });
         }
@@ -58,18 +48,8 @@ fn bench_filter_configs(c: &mut Criterion) {
     for (name, cfg) in FilterConfig::ablation_ladder() {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut cache = DominanceCache::new(db.len());
-                let mut stats = Stats::default();
-                black_box(dominates(
-                    Operator::PSd,
-                    &db,
-                    0,
-                    1,
-                    &q,
-                    &cfg,
-                    &mut cache,
-                    &mut stats,
-                ))
+                let mut ctx = CheckCtx::new(&db, &q, cfg);
+                black_box(ctx.dominates(Operator::PSd, 0, 1))
             })
         });
     }
@@ -81,47 +61,15 @@ fn bench_cached_vs_cold(c: &mut Criterion) {
     let (db, q) = pair(40, 11);
     group.bench_function("cold_cache", |b| {
         b.iter(|| {
-            let mut cache = DominanceCache::new(db.len());
-            let mut stats = Stats::default();
-            black_box(dominates(
-                Operator::SSd,
-                &db,
-                0,
-                1,
-                &q,
-                &FilterConfig::all(),
-                &mut cache,
-                &mut stats,
-            ))
+            let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
+            black_box(ctx.dominates(Operator::SSd, 0, 1))
         })
     });
     group.bench_function("warm_cache", |b| {
-        let mut cache = DominanceCache::new(db.len());
-        let mut stats = Stats::default();
+        let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
         // Prime the distributions once.
-        let _ = dominates(
-            Operator::SSd,
-            &db,
-            0,
-            1,
-            &q,
-            &FilterConfig::all(),
-            &mut cache,
-            &mut stats,
-        );
-        b.iter(|| {
-            let mut stats = Stats::default();
-            black_box(dominates(
-                Operator::SSd,
-                &db,
-                0,
-                1,
-                &q,
-                &FilterConfig::all(),
-                &mut cache,
-                &mut stats,
-            ))
-        })
+        let _ = ctx.dominates(Operator::SSd, 0, 1);
+        b.iter(|| black_box(ctx.dominates(Operator::SSd, 0, 1)))
     });
     group.finish();
 }

@@ -15,7 +15,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use osd_bench::{
-    fig10_with_threads, fig11_13, fig12, fig14, fig16, motivation, Report, Scale, SweepParam,
+    fig10_with_threads, fig11_13, fig12, fig14, fig16, motivation, throughput, Report, Scale,
+    SweepParam,
 };
 
 fn main() {
@@ -34,6 +35,8 @@ fn main() {
     let mut param: Option<SweepParam> = None;
     let mut report = Report::stdout();
     let mut threads = 1usize;
+    let mut threads_list: Vec<usize> = vec![1, 2, 4, 8];
+    let mut json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +55,30 @@ fn main() {
             }
             "--threads" => {
                 threads = next_val(&args, &mut i).max(1);
+            }
+            "--threads-list" => {
+                i += 1;
+                let parsed: Option<Vec<usize>> = args
+                    .get(i)
+                    .map(|v| v.split(',').map(|t| t.parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(list) if !list.is_empty() => threads_list = list,
+                    _ => {
+                        eprintln!("expected a comma-separated list after --threads-list");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json = Some(path.clone()),
+                    None => {
+                        eprintln!("expected a path after --json");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--out-dir" => {
                 i += 1;
@@ -87,6 +114,7 @@ fn main() {
         },
         "fig14" => fig14(&scale, &report),
         "motivation" => motivation(&scale, &report),
+        "throughput" => throughput(&scale, &threads_list, json.as_deref()),
         "fig16" => fig16(&scale, paper, &report),
         "all" => {
             fig10_with_threads(&scale, &report, threads);
@@ -117,8 +145,9 @@ fn next_val(args: &[String], i: &mut usize) -> usize {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|all> \
+        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|all> \
          [--paper-scale] [--n N] [--md M] [--mq M] [--queries Q] \
-         [--param md|hd|mq|hq|n|d] [--out-dir DIR] [--threads T]"
+         [--param md|hd|mq|hq|n|d] [--out-dir DIR] [--threads T] \
+         [--threads-list 1,2,4,8] [--json PATH]"
     );
 }

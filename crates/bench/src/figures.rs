@@ -8,7 +8,7 @@
 use crate::datasets::{build, build_objects, build_queries, DatasetId, Workbench};
 use crate::params::{Scale, Sweeps};
 use crate::runner::{run_all_ops, run_all_ops_parallel, run_cell, Report};
-use osd_core::{dominates, DominanceCache, FilterConfig, Operator, ProgressiveNnc, Stats};
+use osd_core::{CheckCtx, FilterConfig, Operator, ProgressiveNnc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -254,26 +254,13 @@ pub fn fig14(scale: &Scale, report: &Report) {
         }
         let total_time = emitted.last().unwrap().elapsed.as_secs_f64();
         let k = emitted.len();
-        let mut cache = DominanceCache::new(bench.db.len());
-        let mut stats = Stats::default();
+        let mut ctx = CheckCtx::new(&bench.db, q, cfg);
         let dominated: Vec<f64> = emitted
             .iter()
             .map(|c| {
                 let hits = sample
                     .iter()
-                    .filter(|&&v| {
-                        v != c.id
-                            && dominates(
-                                Operator::PSd,
-                                &bench.db,
-                                c.id,
-                                v,
-                                q,
-                                &cfg,
-                                &mut cache,
-                                &mut stats,
-                            )
-                    })
+                    .filter(|&&v| v != c.id && ctx.dominates(Operator::PSd, c.id, v))
                     .count();
                 hits as f64 * bench.db.len() as f64 / sample_size as f64
             })

@@ -23,6 +23,7 @@ pub mod figures;
 pub mod motivation;
 pub mod params;
 pub mod runner;
+pub mod throughput;
 
 pub use datasets::{build, DatasetId, Workbench};
 pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
@@ -31,3 +32,4 @@ pub use params::{Scale, Sweeps};
 pub use runner::{
     print_table, run_all_ops, run_all_ops_parallel, run_cell, run_cell_parallel, CellResult, Report,
 };
+pub use throughput::{host_cpus, measure, throughput, ThroughputPoint, ThroughputReport};

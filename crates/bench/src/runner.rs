@@ -1,7 +1,7 @@
 //! Workload execution and aggregation.
 
 use crate::datasets::Workbench;
-use osd_core::{nn_candidates, FilterConfig, Operator, Stats};
+use osd_core::{batch_stats, nn_candidates, FilterConfig, Operator, QueryEngine, Stats};
 use std::time::Instant;
 
 /// Aggregated measurements of one (dataset, operator, config) cell.
@@ -35,11 +35,11 @@ pub fn run_cell(bench: &Workbench, op: Operator, cfg: &FilterConfig) -> CellResu
     aggregate(op, candidates, total, elapsed, bench.queries.len())
 }
 
-/// As [`run_cell`] but spreading the queries over `threads` OS threads —
-/// queries are independent and the database is shared read-only. Counters
-/// stay exact (they are summed after the join); per-query wall-clock is
-/// reported as aggregate-CPU divided by the workload, so compare
-/// parallel/sequential timings with care.
+/// As [`run_cell`] but spreading the queries over `threads` OS threads via
+/// [`QueryEngine::run_batch`] — queries are independent and the database is
+/// shared read-only. Counters stay exact (per-query [`Stats`] merge after
+/// the join); per-query wall-clock is reported as aggregate-CPU divided by
+/// the workload, so compare parallel/sequential timings with care.
 pub fn run_cell_parallel(
     bench: &Workbench,
     op: Operator,
@@ -50,37 +50,12 @@ pub fn run_cell_parallel(
     if threads == 1 || bench.queries.len() <= 1 {
         return run_cell(bench, op, cfg);
     }
+    let engine = QueryEngine::with_config(&bench.db, op, *cfg);
     let started = Instant::now();
-    let chunk = bench.queries.len().div_ceil(threads);
-    let results: Vec<(usize, Stats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = bench
-            .queries
-            .chunks(chunk)
-            .map(|qs| {
-                scope.spawn(move || {
-                    let mut candidates = 0usize;
-                    let mut total = Stats::default();
-                    for q in qs {
-                        let res = nn_candidates(&bench.db, q, op, cfg);
-                        candidates += res.candidates.len();
-                        total.absorb(&res.stats);
-                    }
-                    (candidates, total)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    let results = engine.run_batch(&bench.queries, threads);
     let elapsed = started.elapsed();
-    let mut candidates = 0usize;
-    let mut total = Stats::default();
-    for (c, s) in results {
-        candidates += c;
-        total.absorb(&s);
-    }
+    let candidates = results.iter().map(|r| r.candidates.len()).sum();
+    let total = batch_stats(&results);
     aggregate(op, candidates, total, elapsed, bench.queries.len())
 }
 

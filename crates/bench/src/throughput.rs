@@ -1,0 +1,220 @@
+//! Batch-query throughput: queries/second vs worker-thread count.
+//!
+//! The figure-repro paths measure *per-query latency* and stay
+//! single-threaded so their timings remain comparable across runs; this
+//! module measures the orthogonal axis the parallel [`QueryEngine`]
+//! opens up — how many independent NNC queries per second one process
+//! answers when the workload is spread over OS threads.
+//!
+//! Every thread count is validated against the single-thread baseline:
+//! the candidate id-lists must be byte-identical, which [`QueryEngine`]
+//! guarantees because workers share the read-only database and only the
+//! per-worker dominance caches differ.
+
+use crate::datasets::{build, DatasetId, Workbench};
+use crate::params::Scale;
+use osd_core::{FilterConfig, Operator, QueryEngine};
+use std::time::Instant;
+
+/// One measured point of the throughput curve.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker-thread count handed to [`QueryEngine::run_batch`].
+    pub threads: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub elapsed_s: f64,
+    /// Queries per second (`queries / elapsed_s`).
+    pub qps: f64,
+}
+
+/// A full throughput run: the workload description plus one point per
+/// thread count, all validated against the sequential baseline.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Dataset label (the sweep runs on A-N).
+    pub dataset: &'static str,
+    /// Operator label.
+    pub op: &'static str,
+    /// Objects in the database.
+    pub objects: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Logical CPUs the host reports (`std::thread::available_parallelism`);
+    /// speedup is bounded by this regardless of the thread counts swept.
+    pub host_cpus: usize,
+    /// One point per requested thread count.
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputReport {
+    /// Renders the report as a JSON document (hand-formatted; the
+    /// workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"operator\": \"{}\",\n", self.op));
+        out.push_str(&format!("  \"objects\": {},\n", self.objects));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"threads\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.3} }}{sep}\n",
+                p.threads, p.elapsed_s, p.qps
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Logical CPUs of the host, `1` when the runtime cannot tell.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs the batch at every thread count in `threads_list` on an A-N
+/// workload built under `scale`, checking each run's candidate ids
+/// against the 1-thread baseline.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence if any multi-thread run
+/// produces candidate ids different from the sequential baseline — that
+/// would be a determinism bug in the engine, not a measurement artefact.
+pub fn measure(
+    scale: &Scale,
+    op: Operator,
+    threads_list: &[usize],
+) -> Result<ThroughputReport, String> {
+    let bench: Workbench = build(DatasetId::AN, scale);
+    let engine = QueryEngine::with_config(&bench.db, op, FilterConfig::all());
+
+    // Sequential baseline: both the reference answer and the 1-thread
+    // timing if the caller asked for it.
+    let started = Instant::now();
+    let baseline = engine.run_batch(&bench.queries, 1);
+    let base_elapsed = started.elapsed().as_secs_f64();
+    let reference: Vec<Vec<usize>> = baseline.iter().map(|r| r.ids()).collect();
+
+    let mut points = Vec::with_capacity(threads_list.len());
+    for &threads in threads_list {
+        let (elapsed_s, ids) = if threads <= 1 {
+            (base_elapsed, reference.clone())
+        } else {
+            let started = Instant::now();
+            let results = engine.run_batch(&bench.queries, threads);
+            let elapsed = started.elapsed().as_secs_f64();
+            (elapsed, results.iter().map(|r| r.ids()).collect())
+        };
+        if ids != reference {
+            return Err(format!(
+                "run_batch({threads} threads) diverged from the sequential baseline"
+            ));
+        }
+        let qps = if elapsed_s > 0.0 {
+            bench.queries.len() as f64 / elapsed_s
+        } else {
+            f64::INFINITY
+        };
+        points.push(ThroughputPoint {
+            threads,
+            elapsed_s,
+            qps,
+        });
+    }
+
+    Ok(ThroughputReport {
+        dataset: DatasetId::AN.label(),
+        op: op.label(),
+        objects: bench.db.len(),
+        queries: bench.queries.len(),
+        host_cpus: host_cpus(),
+        points,
+    })
+}
+
+/// Prints the throughput table and (optionally) writes the JSON document
+/// to `json_path`. Exits non-zero if determinism validation fails.
+pub fn throughput(scale: &Scale, threads_list: &[usize], json_path: Option<&str>) {
+    let report = match measure(scale, Operator::PSd, threads_list) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n== Throughput: {} on {} ({} objects, {} queries, host_cpus={}) ==",
+        report.op, report.dataset, report.objects, report.queries, report.host_cpus
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>9}",
+        "threads", "elapsed_s", "qps", "speedup"
+    );
+    let base_qps = report.points.first().map(|p| p.qps).unwrap_or(0.0);
+    for p in &report.points {
+        let speedup = if base_qps > 0.0 {
+            p.qps / base_qps
+        } else {
+            0.0
+        };
+        println!(
+            "{:>8} {:>12.4} {:>10.2} {:>8.2}x",
+            p.threads, p.elapsed_s, p.qps, speedup
+        );
+    }
+    if let Some(path) = json_path {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_validates_and_reports_every_point() {
+        let scale = Scale {
+            n: 120,
+            m_d: 4,
+            m_q: 3,
+            queries: 6,
+            ..Scale::laptop()
+        };
+        let report = measure(&scale, Operator::SSd, &[1, 2, 4]).unwrap();
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.queries, 6);
+        assert!(report.host_cpus >= 1);
+        for p in &report.points {
+            assert!(p.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_fields() {
+        let report = ThroughputReport {
+            dataset: "A-N",
+            op: "PSD",
+            objects: 10,
+            queries: 2,
+            host_cpus: 1,
+            points: vec![ThroughputPoint {
+                threads: 4,
+                elapsed_s: 0.5,
+                qps: 4.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"host_cpus\": 1"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -3,6 +3,7 @@
 use crate::args::{parse_operator, parse_query_spec, CliError, Flags};
 use osd_core::{
     k_nn_candidates, nn_candidates, Database, FilterConfig, PreparedQuery, ProgressiveNnc,
+    QueryEngine,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -11,23 +12,57 @@ use osd_datagen::{
 use osd_nnfuncs::{emd, hausdorff, sum_min, N1Function, StableAggregate};
 use std::path::Path;
 
-/// `osd query`: load a CSV dataset and print the NN candidates of a query.
+/// `osd query`: load a CSV dataset and print the NN candidates of one
+/// query (`--query "x,y;…"`) or of a whole batch (`--queries FILE`, one
+/// spec per line, spread over `--threads N` worker threads).
 ///
 /// # Errors
 /// Returns a [`CliError`] on bad flags or unreadable data.
 pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let data = flags.required("--data")?;
-    let query = parse_query_spec(flags.required("--query")?)?;
     let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
     let k: usize = flags.parsed_or("--k", 1)?;
+    let threads: usize = flags.parsed_or("--threads", 1)?;
     let progressive = flags.has("--progressive");
 
     let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
-    if objects[0].dim() != query.dim() {
+    let dim = objects[0].dim();
+
+    if let Some(file) = flags.value("--queries") {
+        if flags.value("--query").is_some() {
+            return Err(CliError::BadArgument(
+                "--query and --queries are mutually exclusive".into(),
+            ));
+        }
+        if progressive || k > 1 {
+            return Err(CliError::BadArgument(
+                "--queries batch mode supports neither --progressive nor --k".into(),
+            ));
+        }
+        let queries = read_query_file(Path::new(file), dim)?;
+        let db = Database::new(objects);
+        let engine = QueryEngine::new(&db, op);
+        let results = engine.run_batch(&queries, threads.max(1));
+        for (i, res) in results.iter().enumerate() {
+            println!(
+                "query {:>4}: {} candidates under {}:",
+                i + 1,
+                res.candidates.len(),
+                op.label()
+            );
+            for c in &res.candidates {
+                println!("  object {:>6}  min-dist {:>10.3}", c.id, c.min_dist);
+            }
+        }
+        return Ok(());
+    }
+
+    let query = parse_query_spec(flags.required("--query")?)?;
+    if dim != query.dim() {
         return Err(CliError::Data(format!(
             "query dimensionality {} does not match the dataset's {}",
             query.dim(),
-            objects[0].dim()
+            dim
         )));
     }
     let db = Database::new(objects);
@@ -64,6 +99,40 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Reads a batch-query file: one `"x,y;x,y;…"` spec per line; blank lines
+/// and `#` comments are skipped. Every query must match the dataset's
+/// dimensionality `dim`.
+fn read_query_file(path: &Path, dim: usize) -> Result<Vec<PreparedQuery>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Data(e.to_string()))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let obj = parse_query_spec(line).map_err(|e| {
+            CliError::BadArgument(format!("{}:{}: {e}", path.display(), lineno + 1))
+        })?;
+        if obj.dim() != dim {
+            return Err(CliError::Data(format!(
+                "{}:{}: query dimensionality {} does not match the dataset's {}",
+                path.display(),
+                lineno + 1,
+                obj.dim(),
+                dim
+            )));
+        }
+        queries.push(PreparedQuery::new(obj));
+    }
+    if queries.is_empty() {
+        return Err(CliError::Data(format!(
+            "{}: no queries (all lines blank or comments)",
+            path.display()
+        )));
+    }
+    Ok(queries)
 }
 
 /// `osd score`: score one object of the dataset under the implemented NN
@@ -171,6 +240,8 @@ USAGE:
             [--dim D] [--edge H] [--seed S]
   osd query --data data.csv --query \"x,y;x,y;…\" [--op ssd|sssd|psd|fsd|f+sd]
             [--k K] [--progressive]
+  osd query --data data.csv --queries queries.txt [--op …] [--threads N]
+            (one \"x,y;x,y;…\" spec per line; blank lines and # comments skipped)
   osd score --data data.csv --query \"x,y;…\" --object ID
 "
 }
@@ -228,6 +299,76 @@ mod tests {
         .unwrap();
         cmd_score(&flags(&["--data", &out, "--query", "0,0", "--object", "0"])).unwrap();
         std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn batch_query_file_runs_multithreaded() {
+        let out = tmp("batch.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "40",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let qfile = tmp("batch-queries.txt");
+        std::fs::write(
+            &qfile,
+            "# workload\n5000,5000;5100,5100\n\n2000,8000\n7500,2500;7600,2400\n",
+        )
+        .unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--op",
+            "psd",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        // --query and --queries together is an error.
+        let err = cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--query",
+            "1,2",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qfile).ok();
+    }
+
+    #[test]
+    fn batch_query_file_errors_are_located() {
+        let out = tmp("batchdim.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "10",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let qfile = tmp("batchdim-queries.txt");
+        std::fs::write(&qfile, "1,2\n3,4,5\n").unwrap();
+        let err = cmd_query(&flags(&["--data", &out, "--queries", &qfile])).unwrap_err();
+        assert!(err.to_string().contains(":2:"));
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qfile).ok();
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! dominates it. Used as the correctness oracle for Algorithm 1 and as the
 //! `BF` baseline of the Appendix C ablation.
 
-use crate::cache::DominanceCache;
 use crate::config::{FilterConfig, Stats};
+use crate::ctx::CheckCtx;
 use crate::db::Database;
-use crate::ops::{dominates, Operator};
+use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
 /// Computes `NNC(O, Q, SD)` by checking every object against every other.
@@ -19,16 +19,15 @@ pub fn nn_candidates_bruteforce(
     op: Operator,
     cfg: &FilterConfig,
 ) -> (Vec<usize>, Stats) {
-    let mut stats = Stats::default();
-    let mut cache = DominanceCache::new(db.len());
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     let mut out = Vec::new();
     'outer: for v in 0..db.len() {
         for u in 0..db.len() {
-            if u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats) {
+            if u != v && ctx.dominates(op, u, v) {
                 continue 'outer;
             }
         }
         out.push(v);
     }
-    (out, stats)
+    (out, ctx.stats)
 }

@@ -11,7 +11,7 @@ use crate::query::PreparedQuery;
 use osd_geom::{distance_space, Point};
 use osd_rtree::{Entry, RTree};
 use osd_uncertain::{quantize, DistanceDistribution};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// min / mean / max of a distance distribution — the statistic-pruning
 /// triple of Theorem 11.
@@ -24,21 +24,21 @@ pub type MappedInstances = (Vec<Point>, RTree<usize>);
 /// Lazily-populated per-object derived state for one query.
 pub struct DominanceCache {
     /// `U_Q` per object.
-    dist_q: Vec<Option<Rc<DistanceDistribution>>>,
+    dist_q: Vec<Option<Arc<DistanceDistribution>>>,
     /// `U_q` for every query instance, per object.
-    per_q: Vec<Option<Rc<Vec<DistanceDistribution>>>>,
+    per_q: Vec<Option<Arc<Vec<DistanceDistribution>>>>,
     /// min/mean/max of `U_Q`, per object.
     agg: Vec<Option<AggStats>>,
     /// min/mean/max of each `U_q`, per object.
-    per_q_agg: Vec<Option<Rc<Vec<AggStats>>>>,
+    per_q_agg: Vec<Option<Arc<Vec<AggStats>>>>,
     /// Quantised instance masses, per object.
-    quanta: Vec<Option<Rc<Vec<u64>>>>,
+    quanta: Vec<Option<Arc<Vec<u64>>>>,
     /// Distance-space image of the instances w.r.t. the query hull, plus an
     /// R-tree over it (for the §5.1.2 range-query network construction).
-    mapped: Vec<Option<Rc<MappedInstances>>>,
+    mapped: Vec<Option<Arc<MappedInstances>>>,
     /// Indices of instances lying inside `CH(Q)`, per object (the geometric
     /// early-reject of the P-SD check).
-    in_hull: Vec<Option<Rc<Vec<usize>>>>,
+    in_hull: Vec<Option<Arc<Vec<usize>>>>,
 }
 
 impl DominanceCache {
@@ -62,14 +62,14 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
-    ) -> Rc<DistanceDistribution> {
+    ) -> Arc<DistanceDistribution> {
         if let Some(d) = &self.dist_q[id] {
-            return Rc::clone(d);
+            return Arc::clone(d);
         }
         let obj = db.object(id);
         stats.instance_comparisons += (obj.len() * query.len()) as u64;
-        let d = Rc::new(DistanceDistribution::between(obj, query.object()));
-        self.dist_q[id] = Some(Rc::clone(&d));
+        let d = Arc::new(DistanceDistribution::between(obj, query.object()));
+        self.dist_q[id] = Some(Arc::clone(&d));
         d
     }
 
@@ -81,13 +81,13 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
-    ) -> Rc<Vec<DistanceDistribution>> {
+    ) -> Arc<Vec<DistanceDistribution>> {
         if let Some(d) = &self.per_q[id] {
-            return Rc::clone(d);
+            return Arc::clone(d);
         }
         let obj = db.object(id);
         stats.instance_comparisons += (obj.len() * query.len()) as u64;
-        let d = Rc::new(
+        let d = Arc::new(
             query
                 .object()
                 .instances()
@@ -95,7 +95,7 @@ impl DominanceCache {
                 .map(|q| DistanceDistribution::to_instance(obj, &q.point))
                 .collect::<Vec<_>>(),
         );
-        self.per_q[id] = Some(Rc::clone(&d));
+        self.per_q[id] = Some(Arc::clone(&d));
         d
     }
 
@@ -123,29 +123,29 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
-    ) -> Rc<Vec<AggStats>> {
+    ) -> Arc<Vec<AggStats>> {
         if let Some(a) = &self.per_q_agg[id] {
-            return Rc::clone(a);
+            return Arc::clone(a);
         }
         let per_q = self.per_q(db, query, id, stats);
-        let a = Rc::new(
+        let a = Arc::new(
             per_q
                 .iter()
                 .map(|d| (d.min(), d.mean(), d.max()))
                 .collect::<Vec<_>>(),
         );
-        self.per_q_agg[id] = Some(Rc::clone(&a));
+        self.per_q_agg[id] = Some(Arc::clone(&a));
         a
     }
 
     /// Fixed-point instance masses of object `id` (summing to `SCALE`).
-    pub fn quanta(&mut self, db: &Database, id: usize) -> Rc<Vec<u64>> {
+    pub fn quanta(&mut self, db: &Database, id: usize) -> Arc<Vec<u64>> {
         if let Some(q) = &self.quanta[id] {
-            return Rc::clone(q);
+            return Arc::clone(q);
         }
         let probs: Vec<f64> = db.object(id).instances().iter().map(|i| i.prob).collect();
-        let q = Rc::new(quantize(&probs));
-        self.quanta[id] = Some(Rc::clone(&q));
+        let q = Arc::new(quantize(&probs));
+        self.quanta[id] = Some(Arc::clone(&q));
         q
     }
 
@@ -158,9 +158,9 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
-    ) -> Rc<MappedInstances> {
+    ) -> Arc<MappedInstances> {
         if let Some(m) = &self.mapped[id] {
-            return Rc::clone(m);
+            return Arc::clone(m);
         }
         let obj = db.object(id);
         let hull = query.hull();
@@ -179,8 +179,8 @@ impl DominanceCache {
             })
             .collect();
         let tree = RTree::bulk_load(8, entries);
-        let m = Rc::new((points, tree));
-        self.mapped[id] = Some(Rc::clone(&m));
+        let m = Arc::new((points, tree));
+        self.mapped[id] = Some(Arc::clone(&m));
         m
     }
 
@@ -193,9 +193,9 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
-    ) -> Rc<Vec<usize>> {
+    ) -> Arc<Vec<usize>> {
         if let Some(l) = &self.in_hull[id] {
-            return Rc::clone(l);
+            return Arc::clone(l);
         }
         let obj = db.object(id);
         let hull = query.hull();
@@ -211,8 +211,8 @@ impl DominanceCache {
             })
             .map(|(i, _)| i)
             .collect();
-        let list = Rc::new(list);
-        self.in_hull[id] = Some(Rc::clone(&list));
+        let list = Arc::new(list);
+        self.in_hull[id] = Some(Arc::clone(&list));
         list
     }
 }
@@ -250,7 +250,7 @@ mod tests {
             stats.instance_comparisons, after_first,
             "second hit must be free"
         );
-        assert!(Rc::ptr_eq(&d1, &d2));
+        assert!(Arc::ptr_eq(&d1, &d2));
     }
 
     #[test]

@@ -109,12 +109,22 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Adds another counter set into this one.
-    pub fn absorb(&mut self, other: &Stats) {
+    /// Merges another counter set into this one, field by exact field —
+    /// the aggregation used by the parallel batch executor, where each
+    /// worker accumulates its own `Stats` and the engine folds them
+    /// together. Integer counters make this exact: merged parallel totals
+    /// equal the sequential totals regardless of thread count.
+    pub fn merge(&mut self, other: &Stats) {
         self.instance_comparisons += other.instance_comparisons;
         self.dominance_checks += other.dominance_checks;
         self.flow_runs += other.flow_runs;
         self.mbr_checks += other.mbr_checks;
+    }
+
+    /// Adds another counter set into this one (alias of [`Stats::merge`],
+    /// kept for the established call sites).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.merge(other);
     }
 }
 
@@ -158,5 +168,42 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.instance_comparisons, 11);
         assert_eq!(a.mbr_checks, 44);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_exact() {
+        let parts = [
+            Stats {
+                instance_comparisons: 7,
+                dominance_checks: 1,
+                flow_runs: 0,
+                mbr_checks: 2,
+            },
+            Stats {
+                instance_comparisons: 11,
+                dominance_checks: 4,
+                flow_runs: 5,
+                mbr_checks: 0,
+            },
+            Stats {
+                instance_comparisons: 13,
+                dominance_checks: 2,
+                flow_runs: 1,
+                mbr_checks: 9,
+            },
+        ];
+        let mut fwd = Stats::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Stats::default();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev, "merge order must not matter");
+        assert_eq!(fwd.instance_comparisons, 31);
+        assert_eq!(fwd.dominance_checks, 7);
+        assert_eq!(fwd.flow_runs, 6);
+        assert_eq!(fwd.mbr_checks, 11);
     }
 }

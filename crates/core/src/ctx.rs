@@ -1,0 +1,156 @@
+//! The per-query check context.
+//!
+//! Every dominance check `SD(U, V, Q)` of §5.1 runs against the same
+//! environment: the database the operands live in, the prepared query, the
+//! active filter switches, the per-query derived-state cache and the cost
+//! counters. [`CheckCtx`] bundles that environment into one value so the
+//! operator kernels take `(u, v, ctx)` instead of threading eight loose
+//! arguments, and so one query's mutable state (cache + stats) is a single
+//! owned unit that can move onto a worker thread with the query.
+
+use crate::cache::{AggStats, DominanceCache, MappedInstances};
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::ops::Operator;
+use crate::query::PreparedQuery;
+use osd_uncertain::DistanceDistribution;
+use std::sync::Arc;
+
+/// The environment of one query's dominance checks: shared read-only data
+/// (`db`, `query`), the filter configuration, and the query-local mutable
+/// state (`cache`, `stats`).
+///
+/// A `CheckCtx` is cheap to create (the cache fills lazily) and is never
+/// shared between queries — parallel executors build one per query per
+/// worker, which is what makes inter-query parallelism safe without locks.
+pub struct CheckCtx<'a> {
+    /// The database both operands live in.
+    pub db: &'a Database,
+    /// The prepared query `Q`.
+    pub query: &'a PreparedQuery,
+    /// The §5.1 filtering switches in effect.
+    pub cfg: FilterConfig,
+    /// Lazily-populated per-object derived state for this query.
+    pub cache: DominanceCache,
+    /// Cost counters accumulated across every check run in this context.
+    pub stats: Stats,
+}
+
+impl<'a> CheckCtx<'a> {
+    /// Creates a fresh context (empty cache, zeroed counters) for one query.
+    pub fn new(db: &'a Database, query: &'a PreparedQuery, cfg: FilterConfig) -> Self {
+        CheckCtx {
+            db,
+            query,
+            cfg,
+            cache: DominanceCache::new(db.len()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Checks whether object `u` dominates object `v` under `op` — the
+    /// method form of [`crate::ops::dominates`].
+    pub fn dominates(&mut self, op: Operator, u: usize, v: usize) -> bool {
+        crate::ops::dominates(op, u, v, self)
+    }
+
+    /// The full distance distribution `U_Q` of object `id` (cached).
+    pub fn dist_q(&mut self, id: usize) -> Arc<DistanceDistribution> {
+        self.cache.dist_q(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// The per-query-instance distributions `U_q` of object `id` (cached).
+    pub fn per_q(&mut self, id: usize) -> Arc<Vec<DistanceDistribution>> {
+        self.cache.per_q(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// min/mean/max of `U_Q` (cached).
+    pub fn agg(&mut self, id: usize) -> AggStats {
+        self.cache.agg(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// min/mean/max of each `U_q` (cached).
+    pub fn per_q_agg(&mut self, id: usize) -> Arc<Vec<AggStats>> {
+        self.cache
+            .per_q_agg(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// Fixed-point instance masses of object `id` (cached).
+    pub fn quanta(&mut self, id: usize) -> Arc<Vec<u64>> {
+        self.cache.quanta(self.db, id)
+    }
+
+    /// Distance-space image of object `id` w.r.t. the query hull (cached).
+    pub fn mapped(&mut self, id: usize) -> Arc<MappedInstances> {
+        self.cache.mapped(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// Instances of `id` inside the query's convex hull (cached).
+    pub fn in_hull_instances(&mut self, id: usize) -> Arc<Vec<usize>> {
+        self.cache
+            .in_hull_instances(self.db, self.query, id, &mut self.stats)
+    }
+
+    /// Cover-based validation (Theorem 4), shared by the strict operators:
+    /// the *strict* MBR dominance test guarantees `U_Q ≠ V_Q` on top of
+    /// full spatial dominance, so it validates S-SD, SS-SD and P-SD exactly.
+    pub(crate) fn validate_mbr(&mut self, u: usize, v: usize) -> bool {
+        self.stats.mbr_checks += 1;
+        osd_geom::mbr_dominates_strict(
+            self.db.object(u).mbr(),
+            self.db.object(v).mbr(),
+            self.query.mbr(),
+        )
+    }
+
+    /// Strictness guard for the exact dominance paths: Definitions 2/3/5
+    /// additionally require `U_Q ≠ V_Q`. Only evaluated on the "dominates"
+    /// path, so the extra distribution build amortises to at most one per
+    /// discarded object.
+    pub(crate) fn strict_guard(&mut self, u: usize, v: usize) -> bool {
+        let du = self.dist_q(u);
+        let dv = self.dist_q(v);
+        self.stats.instance_comparisons += du.support_size().min(dv.support_size()) as u64;
+        !du.approx_eq(&dv, osd_uncertain::CDF_EPS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+    use osd_uncertain::UncertainObject;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    #[test]
+    fn ctx_dominates_matches_free_function() {
+        let db = Database::new(vec![
+            obj(&[(1.0, 0.0), (2.0, 0.0)]),
+            obj(&[(8.0, 0.0), (9.0, 0.0)]),
+        ]);
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        for op in Operator::ALL {
+            let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
+            let via_method = ctx.dominates(op, 0, 1);
+            let mut ctx2 = CheckCtx::new(&db, &q, FilterConfig::all());
+            let via_fn = crate::ops::dominates(op, 0, 1, &mut ctx2);
+            assert_eq!(via_method, via_fn, "{op:?}");
+            assert_eq!(ctx.stats, ctx2.stats, "{op:?} counters must agree");
+        }
+    }
+
+    #[test]
+    fn helpers_share_the_cache() {
+        let db = Database::new(vec![obj(&[(1.0, 0.0), (2.0, 0.0)])]);
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
+        let d1 = ctx.dist_q(0);
+        let cost = ctx.stats.instance_comparisons;
+        let d2 = ctx.dist_q(0);
+        assert!(Arc::ptr_eq(&d1, &d2));
+        assert_eq!(ctx.stats.instance_comparisons, cost, "second hit is free");
+    }
+}

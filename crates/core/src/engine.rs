@@ -1,0 +1,237 @@
+//! The query engine: single-query and parallel batch NNC execution.
+//!
+//! One query's mutable state — the [`DominanceCache`] and the [`Stats`]
+//! counters inside its [`CheckCtx`](crate::CheckCtx) — is private to that
+//! query, while the [`Database`] and the prepared queries are shared
+//! read-only. Inter-query parallelism therefore needs no locks at all:
+//! [`QueryEngine::run_batch`] fans queries out over `std::thread::scope`
+//! workers (std-only, per the offline dependency policy), each worker
+//! builds a fresh per-query context for every query it claims, and the
+//! per-query [`Stats`] merge exactly ([`Stats::merge`]) afterwards.
+//!
+//! Because every query runs the identical sequential Algorithm 1 against
+//! an identical environment, the batch result is byte-for-byte the same
+//! regardless of thread count — only wall-clock throughput changes.
+
+use crate::config::{FilterConfig, Stats};
+use crate::db::Database;
+use crate::nnc::{nn_candidates, NncResult};
+use crate::ops::Operator;
+use crate::query::PreparedQuery;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A configured NNC executor over one database: the operator and filter
+/// configuration are fixed at construction, queries are supplied per call.
+#[derive(Clone, Copy)]
+pub struct QueryEngine<'a> {
+    db: &'a Database,
+    op: Operator,
+    cfg: FilterConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine with the default (full) filter configuration.
+    pub fn new(db: &'a Database, op: Operator) -> Self {
+        Self::with_config(db, op, FilterConfig::all())
+    }
+
+    /// Creates an engine with an explicit filter configuration.
+    pub fn with_config(db: &'a Database, op: Operator, cfg: FilterConfig) -> Self {
+        QueryEngine { db, op, cfg }
+    }
+
+    /// The database this engine serves.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The dominance operator in effect.
+    pub fn op(&self) -> Operator {
+        self.op
+    }
+
+    /// The filter configuration in effect.
+    pub fn cfg(&self) -> FilterConfig {
+        self.cfg
+    }
+
+    /// Runs one NNC query (Algorithm 1) — identical to
+    /// [`nn_candidates`](crate::nn_candidates) under this engine's
+    /// configuration.
+    pub fn run(&self, query: &PreparedQuery) -> NncResult {
+        nn_candidates(self.db, query, self.op, &self.cfg)
+    }
+
+    /// Runs a batch of queries across up to `threads` worker threads and
+    /// returns the results in input order.
+    ///
+    /// Work is claimed dynamically (an atomic cursor over the query list),
+    /// so stragglers don't idle the other workers. Each claimed query gets
+    /// a fresh per-query cache inside its worker; no mutable state crosses
+    /// threads, which is why the candidate sets — and, after
+    /// [`batch_stats`] merging, the counters — are identical to running
+    /// the same queries sequentially.
+    ///
+    /// `threads` is clamped to `[1, queries.len()]`; with one thread the
+    /// batch runs inline on the caller's thread. A panicking query is
+    /// propagated to the caller after the scope unwinds.
+    pub fn run_batch(&self, queries: &[PreparedQuery], threads: usize) -> Vec<NncResult> {
+        let n = queries.len();
+        let workers = threads.max(1).min(n.max(1));
+        if workers <= 1 {
+            return queries.iter().map(|q| self.run(q)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, NncResult)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            claimed.push((i, self.run(&queries[i])));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Merges the per-query counters of a batch into one [`Stats`] total via
+/// [`Stats::merge`]. Exact: equals the counters of the same queries run
+/// sequentially against one accumulator.
+pub fn batch_stats(results: &[NncResult]) -> Stats {
+    let mut total = Stats::default();
+    for r in results {
+        total.merge(&r.stats);
+    }
+    total
+}
+
+/// Compile-time `Send + Sync` checks for everything the batch executor
+/// shares or moves across threads (the `static_assertions` idiom, without
+/// the dependency). A non-thread-safe field sneaking into any of these
+/// types fails compilation here rather than at a distant spawn site.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send_sync::<Database>();
+const _: () = assert_send_sync::<PreparedQuery>();
+const _: () = assert_send_sync::<crate::DominanceCache>();
+const _: () = assert_send_sync::<NncResult>();
+const _: () = assert_send_sync::<QueryEngine<'static>>();
+const _: () = assert_send_sync::<crate::CheckCtx<'static>>();
+const _: () = assert_send_sync::<osd_rtree::RTree<usize>>();
+const _: () = assert_send_sync::<osd_uncertain::UncertainObject>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+    use osd_uncertain::UncertainObject;
+
+    /// A deterministic pseudo-random scatter of multi-instance objects
+    /// (xorshift — no RNG dependency in core's dev-deps).
+    fn scatter(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        (0..n)
+            .map(|_| {
+                UncertainObject::uniform(
+                    (0..instances)
+                        .map(|_| Point::new(vec![next(), next()]))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn queries(k: usize, seed: u64) -> Vec<PreparedQuery> {
+        scatter(k, 2, seed)
+            .into_iter()
+            .map(PreparedQuery::new)
+            .collect()
+    }
+
+    #[test]
+    fn run_matches_nn_candidates() {
+        let db = Database::new(scatter(24, 3, 0xBEEF));
+        let q = queries(1, 7).remove(0);
+        for op in Operator::ALL {
+            let engine = QueryEngine::new(&db, op);
+            let a = engine.run(&q);
+            let b = nn_candidates(&db, &q, op, &FilterConfig::all());
+            assert_eq!(a.ids(), b.ids(), "{op:?}");
+            assert_eq!(a.stats, b.stats, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn batch_is_identical_across_thread_counts() {
+        let db = Database::new(scatter(40, 3, 0x0517));
+        let qs = queries(9, 99);
+        let engine = QueryEngine::new(&db, Operator::PSd);
+        let sequential = engine.run_batch(&qs, 1);
+        for threads in [2, 4, 8] {
+            let parallel = engine.run_batch(&qs, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(sequential.iter()) {
+                assert_eq!(p.ids(), s.ids(), "{threads} threads");
+                assert_eq!(p.stats, s.stats, "{threads} threads");
+                assert_eq!(p.objects_checked, s.objects_checked, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_stats_equal_sequential_sum() {
+        let db = Database::new(scatter(30, 2, 0xACE));
+        let qs = queries(6, 3);
+        let engine = QueryEngine::with_config(&db, Operator::SsSd, FilterConfig::all());
+        let mut expected = Stats::default();
+        for q in &qs {
+            expected.merge(&engine.run(q).stats);
+        }
+        let batched = engine.run_batch(&qs, 4);
+        assert_eq!(batch_stats(&batched), expected);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let db = Database::new(scatter(10, 2, 5));
+        let qs = queries(2, 11);
+        let engine = QueryEngine::new(&db, Operator::SSd);
+        // More threads than queries, and zero threads, both behave.
+        let a = engine.run_batch(&qs, 64);
+        let b = engine.run_batch(&qs, 0);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ids(), y.ids());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let db = Database::new(scatter(4, 2, 21));
+        let engine = QueryEngine::new(&db, Operator::FSd);
+        assert!(engine.run_batch(&[], 4).is_empty());
+        assert_eq!(batch_stats(&[]), Stats::default());
+    }
+}

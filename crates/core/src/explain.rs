@@ -4,10 +4,10 @@
 //! answer the follow-up questions — which objects dominate a non-candidate,
 //! and what does the full dominance relation look like.
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
+use crate::config::FilterConfig;
+use crate::ctx::CheckCtx;
 use crate::db::Database;
-use crate::ops::{dominates, Operator};
+use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
 /// All objects that dominate `v` under `op` (empty iff `v` is a candidate).
@@ -18,10 +18,9 @@ pub fn dominators_of(
     v: usize,
     cfg: &FilterConfig,
 ) -> Vec<usize> {
-    let mut cache = DominanceCache::new(db.len());
-    let mut stats = Stats::default();
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     (0..db.len())
-        .filter(|&u| u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats))
+        .filter(|&u| u != v && ctx.dominates(op, u, v))
         .collect()
 }
 
@@ -34,14 +33,13 @@ pub fn dominance_matrix(
     op: Operator,
     cfg: &FilterConfig,
 ) -> Vec<Vec<bool>> {
-    let mut cache = DominanceCache::new(db.len());
-    let mut stats = Stats::default();
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     let n = db.len();
     let mut m = vec![vec![false; n]; n];
     for (u, row) in m.iter_mut().enumerate() {
         for (v, cell) in row.iter_mut().enumerate() {
             if u != v {
-                *cell = dominates(op, db, u, v, query, cfg, &mut cache, &mut stats);
+                *cell = ctx.dominates(op, u, v);
             }
         }
     }

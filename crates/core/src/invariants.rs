@@ -14,10 +14,10 @@
 //! Both are exhaustive over the database they are given — callers keep the
 //! databases small (they are spot-checkers, not production paths).
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
+use crate::config::FilterConfig;
+use crate::ctx::CheckCtx;
 use crate::db::Database;
-use crate::ops::{dominates, Operator};
+use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
 /// Checks Theorem 9 (transitivity) exhaustively over all ordered triples
@@ -30,14 +30,13 @@ pub fn transitivity_spot_check(
     cfg: &FilterConfig,
 ) -> Result<(), (usize, usize, usize)> {
     let n = db.len();
-    let mut cache = DominanceCache::new(n);
-    let mut stats = Stats::default();
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     // Materialise the relation once: n² checks instead of n³.
     let mut dom = vec![vec![false; n]; n];
     for (u, row) in dom.iter_mut().enumerate() {
         for (v, cell) in row.iter_mut().enumerate() {
             if u != v {
-                *cell = dominates(op, db, u, v, query, cfg, &mut cache, &mut stats);
+                *cell = ctx.dominates(op, u, v);
             }
         }
     }
@@ -67,8 +66,7 @@ pub fn irreflexivity_spot_check(
     cfg: &FilterConfig,
 ) -> Result<(), (usize, usize)> {
     let n = db.len();
-    let mut cache = DominanceCache::new(n);
-    let mut stats = Stats::default();
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     for u in 0..n {
         for v in 0..n {
             if u == v {
@@ -76,9 +74,7 @@ pub fn irreflexivity_spot_check(
             }
             let du = osd_uncertain::DistanceDistribution::between(db.object(u), query.object());
             let dv = osd_uncertain::DistanceDistribution::between(db.object(v), query.object());
-            if du.approx_eq(&dv, osd_uncertain::CDF_EPS)
-                && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats)
-            {
+            if du.approx_eq(&dv, osd_uncertain::CDF_EPS) && ctx.dominates(op, u, v) {
                 return Err((u, v));
             }
         }

@@ -13,11 +13,11 @@
 //! of which also dominate `V` — hence counting dominators among *kept*
 //! candidates suffices (the classic k-skyband argument).
 
-use crate::cache::DominanceCache;
 use crate::config::{FilterConfig, Stats};
+use crate::ctx::CheckCtx;
 use crate::db::Database;
 use crate::nnc::Candidate;
-use crate::ops::{dominates, Operator};
+use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict};
 use osd_rtree::Node;
@@ -54,7 +54,9 @@ struct HeapItem<'a> {
 
 impl PartialEq for HeapItem<'_> {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
+        // Total-order equality, so `==` agrees with `Ord::cmp` below even
+        // for NaN/±0.0 keys.
+        self.key.total_cmp(&other.key).is_eq()
     }
 }
 impl Eq for HeapItem<'_> {}
@@ -99,8 +101,7 @@ pub fn k_nn_candidates(
     cfg: &FilterConfig,
 ) -> KnncResult {
     assert!(k >= 1, "k must be at least 1");
-    let mut stats = Stats::default();
-    let mut cache = DominanceCache::new(db.len());
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     let mut kept: Vec<(Candidate, usize)> = Vec::new();
     let start = Instant::now();
 
@@ -119,7 +120,7 @@ pub fn k_nn_candidates(
                 let mut dominators = 0usize;
                 let kept_ids: Vec<usize> = kept.iter().map(|(c, _)| c.id).collect();
                 for u in kept_ids {
-                    if dominates(op, db, u, v, query, cfg, &mut cache, &mut stats) {
+                    if ctx.dominates(op, u, v) {
                         dominators += 1;
                         if dominators >= k {
                             break;
@@ -138,14 +139,14 @@ pub fn k_nn_candidates(
                 }
             }
             Slot::Node(node) => {
-                if entry_pruned(db, query, &kept, k, strict, &node.mbr(), &mut stats, cfg) {
+                if entry_pruned(&mut ctx, &kept, k, strict, &node.mbr()) {
                     continue;
                 }
                 match node {
                     Node::Leaf(entries) => {
                         for e in entries {
-                            if !entry_pruned(db, query, &kept, k, strict, &e.mbr, &mut stats, cfg) {
-                                let key = object_min_dist2(db, query, e.item, &mut stats);
+                            if !entry_pruned(&mut ctx, &kept, k, strict, &e.mbr) {
+                                let key = object_min_dist2(db, query, e.item, &mut ctx.stats);
                                 heap.push(HeapItem {
                                     key,
                                     slot: Slot::Object(e.item),
@@ -155,7 +156,7 @@ pub fn k_nn_candidates(
                     }
                     Node::Inner(children) => {
                         for c in children {
-                            if !entry_pruned(db, query, &kept, k, strict, &c.mbr, &mut stats, cfg) {
+                            if !entry_pruned(&mut ctx, &kept, k, strict, &c.mbr) {
                                 heap.push(HeapItem {
                                     key: c.mbr.min_dist2(query.mbr()),
                                     slot: Slot::Node(&c.node),
@@ -169,7 +170,7 @@ pub fn k_nn_candidates(
     }
     KnncResult {
         candidates: kept,
-        stats,
+        stats: ctx.stats,
     }
 }
 
@@ -182,12 +183,11 @@ pub fn k_nn_candidates_bruteforce(
     cfg: &FilterConfig,
 ) -> Vec<usize> {
     assert!(k >= 1, "k must be at least 1");
-    let mut stats = Stats::default();
-    let mut cache = DominanceCache::new(db.len());
+    let mut ctx = CheckCtx::new(db, query, *cfg);
     (0..db.len())
         .filter(|&v| {
             let dominators = (0..db.len())
-                .filter(|&u| u != v && dominates(op, db, u, v, query, cfg, &mut cache, &mut stats))
+                .filter(|&u| u != v && ctx.dominates(op, u, v))
                 .count();
             dominators < k
         })
@@ -196,28 +196,24 @@ pub fn k_nn_candidates_bruteforce(
 
 /// Subtree pruning: discard when at least `k` kept candidates MBR-dominate
 /// the entry (every object inside then has ≥ k dominators).
-#[allow(clippy::too_many_arguments)]
 fn entry_pruned(
-    db: &Database,
-    query: &PreparedQuery,
+    ctx: &mut CheckCtx<'_>,
     kept: &[(Candidate, usize)],
     k: usize,
     strict: bool,
     e_mbr: &osd_geom::Mbr,
-    stats: &mut Stats,
-    cfg: &FilterConfig,
 ) -> bool {
-    if !cfg.mbr_validation {
+    if !ctx.cfg.mbr_validation {
         return false;
     }
     let mut dominators = 0usize;
     for (c, _) in kept {
-        stats.mbr_checks += 1;
-        let u_mbr = db.object(c.id).mbr();
+        ctx.stats.mbr_checks += 1;
+        let u_mbr = ctx.db.object(c.id).mbr();
         let dominated = if strict {
-            mbr_dominates_strict(u_mbr, e_mbr, query.mbr())
+            mbr_dominates_strict(u_mbr, e_mbr, ctx.query.mbr())
         } else {
-            mbr_dominates(u_mbr, e_mbr, query.mbr())
+            mbr_dominates(u_mbr, e_mbr, ctx.query.mbr())
         };
         if dominated {
             dominators += 1;

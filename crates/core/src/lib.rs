@@ -31,8 +31,12 @@
 //! * [`PreparedQuery`] — the query with its convex hull cached;
 //! * [`Operator`] / [`dominates`] — the five dominance checks with the
 //!   §5.1 filtering techniques, switchable via [`FilterConfig`];
+//! * [`CheckCtx`] — the per-query check environment every operator runs
+//!   against;
 //! * [`nn_candidates`] / [`ProgressiveNnc`] — Algorithm 1 (batch and
 //!   progressive);
+//! * [`QueryEngine`] — single-query and multi-threaded batch execution
+//!   with exact [`Stats`] merging;
 //! * [`nn_candidates_bruteforce`] — the O(n²) reference oracle;
 //! * [`Stats`] — instance-comparison/flow/MBR counters for the Appendix C
 //!   ablation.
@@ -42,7 +46,9 @@
 pub mod brute;
 pub mod cache;
 pub mod config;
+pub mod ctx;
 pub mod db;
+pub mod engine;
 pub mod explain;
 #[cfg(feature = "strict-invariants")]
 pub mod invariants;
@@ -54,7 +60,9 @@ pub mod query;
 pub use brute::nn_candidates_bruteforce;
 pub use cache::DominanceCache;
 pub use config::{FilterConfig, Stats};
+pub use ctx::CheckCtx;
 pub use db::Database;
+pub use engine::{batch_stats, QueryEngine};
 pub use explain::{dominance_matrix, dominators_of};
 pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};
 pub use nnc::{nn_candidates, Candidate, NncResult, ProgressiveNnc};

@@ -12,12 +12,13 @@
 //! candidate MBR-dominates their MBR (Theorem 4 cover validation).
 //!
 //! The traversal is **progressive**: candidates are final the moment they
-//! are emitted, so callers can consume them one by one (Figure 14).
+//! are emitted, so callers can consume them one by one (Figure 14) or
+//! through the [`Iterator`] implementation.
 
-use crate::cache::DominanceCache;
 use crate::config::{FilterConfig, Stats};
+use crate::ctx::CheckCtx;
 use crate::db::Database;
-use crate::ops::{dominates, Operator};
+use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr};
 use osd_rtree::Node;
@@ -67,7 +68,10 @@ struct HeapItem<'a> {
 
 impl PartialEq for HeapItem<'_> {
     fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
+        // Total-order equality, so `==` agrees with `Ord::cmp` below even
+        // for NaN/±0.0 keys (the `Eq` impl requires the two to be
+        // consistent).
+        self.key.total_cmp(&other.key).is_eq()
     }
 }
 impl Eq for HeapItem<'_> {}
@@ -91,31 +95,22 @@ pub fn nn_candidates(
     cfg: &FilterConfig,
 ) -> NncResult {
     let mut progressive = ProgressiveNnc::new(db, query, op, cfg);
-    let mut out = Vec::new();
-    while let Some(c) = progressive.next_candidate() {
-        out.push(c);
-    }
-    NncResult {
-        candidates: out,
-        stats: progressive.stats,
-        objects_checked: progressive.objects_checked,
-    }
+    while progressive.next_candidate().is_some() {}
+    progressive.into_result()
 }
 
 /// A resumable Algorithm-1 traversal that emits candidates one at a time —
 /// the progressive behaviour evaluated in Figure 14.
+///
+/// Also an [`Iterator`] over [`Candidate`]s, so the traversal composes with
+/// adapters: `ProgressiveNnc::new(..).take(3)` yields the first three
+/// candidates without finishing the query.
 pub struct ProgressiveNnc<'a> {
-    db: &'a Database,
-    query: &'a PreparedQuery,
     op: Operator,
-    cfg: FilterConfig,
     heap: BinaryHeap<HeapItem<'a>>,
     candidates: Vec<Candidate>,
-    cache: DominanceCache,
-    /// Cost counters (public so callers can read them mid-traversal).
-    pub stats: Stats,
-    /// Objects that reached a full dominance check.
-    pub objects_checked: usize,
+    ctx: CheckCtx<'a>,
+    objects_checked: usize,
     start: Instant,
 }
 
@@ -135,14 +130,10 @@ impl<'a> ProgressiveNnc<'a> {
             });
         }
         ProgressiveNnc {
-            db,
-            query,
             op,
-            cfg: *cfg,
             heap,
             candidates: Vec::new(),
-            cache: DominanceCache::new(db.len()),
-            stats: Stats::default(),
+            ctx: CheckCtx::new(db, query, *cfg),
             objects_checked: 0,
             start: Instant::now(),
         }
@@ -151,6 +142,26 @@ impl<'a> ProgressiveNnc<'a> {
     /// Candidates emitted so far.
     pub fn emitted(&self) -> &[Candidate] {
         &self.candidates
+    }
+
+    /// Cost counters accumulated so far (readable mid-traversal).
+    pub fn stats(&self) -> &Stats {
+        &self.ctx.stats
+    }
+
+    /// Objects that reached a full dominance check so far.
+    pub fn objects_checked(&self) -> usize {
+        self.objects_checked
+    }
+
+    /// Consumes the traversal into an [`NncResult`] with everything emitted
+    /// so far.
+    pub fn into_result(self) -> NncResult {
+        NncResult {
+            candidates: self.candidates,
+            stats: self.ctx.stats,
+            objects_checked: self.objects_checked,
+        }
     }
 
     /// Advances the traversal until the next candidate is found; `None` when
@@ -195,7 +206,7 @@ impl<'a> ProgressiveNnc<'a> {
                             for c in children {
                                 if !self.entry_pruned(&c.mbr) {
                                     self.heap.push(HeapItem {
-                                        key: c.mbr.min_dist2(self.query.mbr()),
+                                        key: c.mbr.min_dist2(self.ctx.query.mbr()),
                                         slot: Slot::Node(&c.node),
                                     });
                                 }
@@ -214,16 +225,7 @@ impl<'a> ProgressiveNnc<'a> {
         // mutable access to the cache.
         for idx in 0..self.candidates.len() {
             let u = self.candidates[idx].id;
-            if dominates(
-                self.op,
-                self.db,
-                u,
-                v,
-                self.query,
-                &self.cfg,
-                &mut self.cache,
-                &mut self.stats,
-            ) {
+            if self.ctx.dominates(self.op, u, v) {
                 return true;
             }
         }
@@ -232,10 +234,10 @@ impl<'a> ProgressiveNnc<'a> {
 
     /// Exact squared `δ_min(V, Q)` via the object's local R-tree.
     fn object_min_dist2(&mut self, v: usize) -> f64 {
-        let tree = self.db.local_tree(v);
+        let tree = self.ctx.db.local_tree(v);
         let mut best = f64::INFINITY;
-        for q in self.query.points() {
-            self.stats.instance_comparisons += 1;
+        for q in self.ctx.query.points() {
+            self.ctx.stats.instance_comparisons += 1;
             if let Some((_, d)) = tree.nearest(q) {
                 best = best.min(d * d);
             }
@@ -248,7 +250,8 @@ impl<'a> ProgressiveNnc<'a> {
     /// operators use the strict MBR test so that a pruned subtree can never
     /// contain a distribution-equal twin of a candidate.
     fn entry_pruned(&mut self, e_mbr: &Mbr) -> bool {
-        if !self.cfg.mbr_validation && self.op != Operator::FPlusSd && self.op != Operator::FSd {
+        if !self.ctx.cfg.mbr_validation && self.op != Operator::FPlusSd && self.op != Operator::FSd
+        {
             // With validation disabled (BF-style ablations) entries are
             // never pruned for the strict operators, to keep the measured
             // work faithful to the unfiltered algorithm.
@@ -256,17 +259,101 @@ impl<'a> ProgressiveNnc<'a> {
         }
         let strict = !matches!(self.op, Operator::FPlusSd | Operator::FSd);
         for c in &self.candidates {
-            self.stats.mbr_checks += 1;
-            let u_mbr = self.db.object(c.id).mbr();
+            self.ctx.stats.mbr_checks += 1;
+            let u_mbr = self.ctx.db.object(c.id).mbr();
             let dominated = if strict {
-                mbr_dominates_strict(u_mbr, e_mbr, self.query.mbr())
+                mbr_dominates_strict(u_mbr, e_mbr, self.ctx.query.mbr())
             } else {
-                mbr_dominates(u_mbr, e_mbr, self.query.mbr())
+                mbr_dominates(u_mbr, e_mbr, self.ctx.query.mbr())
             };
             if dominated {
                 return true;
             }
         }
         false
+    }
+}
+
+impl Iterator for ProgressiveNnc<'_> {
+    type Item = Candidate;
+
+    fn next(&mut self) -> Option<Candidate> {
+        self.next_candidate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+    use osd_uncertain::UncertainObject;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    fn line_db() -> Database {
+        Database::new(
+            (0..5)
+                .map(|i| {
+                    let x = 2.0 + 3.0 * i as f64;
+                    obj(&[(x, 0.0), (x + 0.5, 0.0)])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn iterator_matches_next_candidate() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let via_iter: Vec<usize> =
+            ProgressiveNnc::new(&db, &q, Operator::PSd, &FilterConfig::all())
+                .map(|c| c.id)
+                .collect();
+        let via_batch = nn_candidates(&db, &q, Operator::PSd, &FilterConfig::all()).ids();
+        assert_eq!(via_iter, via_batch);
+    }
+
+    #[test]
+    fn iterator_composes_with_take() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let first = ProgressiveNnc::new(&db, &q, Operator::SSd, &FilterConfig::all())
+            .take(1)
+            .map(|c| c.id)
+            .collect::<Vec<_>>();
+        assert_eq!(
+            first,
+            vec![0],
+            "nearest object is always the first candidate"
+        );
+    }
+
+    #[test]
+    fn heap_item_eq_agrees_with_ord_on_special_floats() {
+        let a = HeapItem {
+            key: f64::NAN,
+            slot: Slot::Object(0),
+        };
+        let b = HeapItem {
+            key: f64::NAN,
+            slot: Slot::Object(1),
+        };
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert!(a == b, "Eq must agree with Ord for identical NaN keys");
+        let z_pos = HeapItem {
+            key: 0.0,
+            slot: Slot::Object(0),
+        };
+        let z_neg = HeapItem {
+            key: -0.0,
+            slot: Slot::Object(1),
+        };
+        assert_eq!(
+            z_pos == z_neg,
+            z_pos.cmp(&z_neg) == Ordering::Equal,
+            "±0.0 equality must match the total order"
+        );
     }
 }

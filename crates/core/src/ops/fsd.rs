@@ -15,35 +15,25 @@
 //! dominates its exact distributional twin. On continuous data (no exact
 //! ties) this is observationally identical to the paper.
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
-use crate::db::Database;
-use crate::ops::strict_guard;
-use crate::query::PreparedQuery;
+use crate::ctx::CheckCtx;
 use osd_geom::mbr_dominates;
 
-pub(crate) fn check(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
-    if cfg.mbr_validation {
-        stats.mbr_checks += 1;
+pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
+    let db = ctx.db;
+    let query = ctx.query;
+    if ctx.cfg.mbr_validation {
+        ctx.stats.mbr_checks += 1;
         if mbr_dominates(db.object(u).mbr(), db.object(v).mbr(), query.mbr()) {
-            return strict_guard(db, u, v, query, cache, stats);
+            return ctx.strict_guard(u, v);
         }
     }
-    let pts = query.eval_points(cfg.geometric);
+    let pts = query.eval_points(ctx.cfg.geometric);
     let tree_u = db.local_tree(u);
     let tree_v = db.local_tree(v);
     for q in pts {
         // Cheap MBR bounds first: if even the boxes separate, skip the
         // tree searches for this query instance.
-        stats.instance_comparisons += 2;
+        ctx.stats.instance_comparisons += 2;
         let max_u_bound = db.object(u).mbr().max_dist_point(q);
         let min_v_bound = db.object(v).mbr().min_dist_point(q);
         if max_u_bound <= min_v_bound {
@@ -53,10 +43,10 @@ pub(crate) fn check(
         // the (conservative) MBR bounds if a tree were ever empty.
         let d_max_u = tree_u.furthest(q).map_or(max_u_bound, |(_, d)| d);
         let d_min_v = tree_v.nearest(q).map_or(min_v_bound, |(_, d)| d);
-        stats.instance_comparisons += (db.object(u).len() + db.object(v).len()) as u64;
+        ctx.stats.instance_comparisons += (db.object(u).len() + db.object(v).len()) as u64;
         if d_max_u > d_min_v {
             return false;
         }
     }
-    strict_guard(db, u, v, query, cache, stats)
+    ctx.strict_guard(u, v)
 }

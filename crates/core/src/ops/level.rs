@@ -22,6 +22,7 @@
 //! fires; inconclusive descents fall through to the exact scan.
 
 use crate::config::Stats;
+use crate::ctx::CheckCtx;
 use crate::db::Database;
 use crate::query::PreparedQuery;
 use osd_geom::Mbr;
@@ -41,13 +42,14 @@ pub(crate) enum Granularity {
 /// from R-tree node bounds. `Some(true)` = validated, `Some(false)` =
 /// pruned, `None` = inconclusive.
 pub(crate) fn try_decide(
-    db: &Database,
     u: usize,
     v: usize,
-    query: &PreparedQuery,
     granularity: Granularity,
-    stats: &mut Stats,
+    ctx: &mut CheckCtx<'_>,
 ) -> Option<bool> {
+    let db = ctx.db;
+    let query = ctx.query;
+    let stats = &mut ctx.stats;
     let tree_u = db.local_tree(u);
     let tree_v = db.local_tree(v);
     let depth = tree_u

@@ -13,8 +13,8 @@ pub mod sphere;
 mod ssd;
 mod sssd;
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
+use crate::config::FilterConfig;
+use crate::ctx::CheckCtx;
 use crate::db::Database;
 use crate::query::PreparedQuery;
 use osd_uncertain::UncertainObject;
@@ -63,55 +63,37 @@ impl Operator {
     }
 }
 
-/// Checks whether object `u` dominates object `v` w.r.t. `query` under
-/// `op` — the `SD(U, V, Q)` dispatch over Definitions 2–6 of the paper —
-/// using the configured filters and the shared per-query `cache`.
+/// Checks whether object `u` dominates object `v` under `op` — the
+/// `SD(U, V, Q)` dispatch over Definitions 2–6 of the paper — against the
+/// query environment carried by `ctx` (database, prepared query, filter
+/// configuration, per-query cache and cost counters).
 ///
 /// With the `strict-invariants` feature the result is cross-checked
 /// against the cover chain of Theorem 2 on every call.
-#[allow(clippy::too_many_arguments)] // mirrors SD(U, V, Q) plus the check context
-pub fn dominates(
-    op: Operator,
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
+pub fn dominates(op: Operator, u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
     debug_assert_ne!(u, v, "an object is never checked against itself");
-    stats.dominance_checks += 1;
-    let result = raw_check(op, db, u, v, query, cfg, cache, stats);
+    ctx.stats.dominance_checks += 1;
+    let result = raw_check(op, u, v, ctx);
     #[cfg(feature = "strict-invariants")]
-    audit_cover_chain(op, result, db, u, v, query, cfg, cache);
+    audit_cover_chain(op, result, u, v, ctx);
     result
 }
 
 /// The undecorated per-operator dispatch (no stats bump, no audit) —
 /// shared by [`dominates`] and the `strict-invariants` cover-chain audit.
-#[allow(clippy::too_many_arguments)] // mirrors SD(U, V, Q) plus the check context
-fn raw_check(
-    op: Operator,
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
+fn raw_check(op: Operator, u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
     match op {
-        Operator::SSd => ssd::check(db, u, v, query, cfg, cache, stats),
-        Operator::SsSd => sssd::check(db, u, v, query, cfg, cache, stats),
-        Operator::PSd => psd::check(db, u, v, query, cfg, cache, stats),
-        Operator::FSd => fsd::check(db, u, v, query, cfg, cache, stats),
+        Operator::SSd => ssd::check(u, v, ctx),
+        Operator::SsSd => sssd::check(u, v, ctx),
+        Operator::PSd => psd::check(u, v, ctx),
+        Operator::FSd => fsd::check(u, v, ctx),
         Operator::FPlusSd => {
             // MBR-level antisymmetry guard: mutual MBR dominance only occurs
             // for exactly-tied configurations (equidistant degenerate boxes),
             // where neither object should exclude the other — the same
             // equal-twin rationale as the instance-level guard in `fsd`.
-            stats.mbr_checks += 2;
+            ctx.stats.mbr_checks += 2;
+            let (db, query) = (ctx.db, ctx.query);
             osd_geom::mbr_dominates(db.object(u).mbr(), db.object(v).mbr(), query.mbr())
                 && !osd_geom::mbr_dominates(db.object(v).mbr(), db.object(u).mbr(), query.mbr())
         }
@@ -122,24 +104,15 @@ fn raw_check(
 /// domination under a stronger operator must also hold under the next
 /// weaker one. Cross-checked on small inputs only (the weaker check costs
 /// up to a flow solve), via `debug_assert!` so release builds pay nothing
-/// even with the feature on.
+/// even with the feature on. `Stats` is `Copy`, so the audit snapshots and
+/// restores the counters rather than polluting the measured run.
 #[cfg(feature = "strict-invariants")]
-#[allow(clippy::too_many_arguments)] // mirrors the check context it audits
-fn audit_cover_chain(
-    op: Operator,
-    result: bool,
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-) {
+fn audit_cover_chain(op: Operator, result: bool, u: usize, v: usize, ctx: &mut CheckCtx<'_>) {
     const MAX_AUDIT_INSTANCES: usize = 8;
     if !result
-        || db.object(u).len() > MAX_AUDIT_INSTANCES
-        || db.object(v).len() > MAX_AUDIT_INSTANCES
-        || query.len() > MAX_AUDIT_INSTANCES
+        || ctx.db.object(u).len() > MAX_AUDIT_INSTANCES
+        || ctx.db.object(v).len() > MAX_AUDIT_INSTANCES
+        || ctx.query.len() > MAX_AUDIT_INSTANCES
     {
         return;
     }
@@ -150,44 +123,13 @@ fn audit_cover_chain(
         Operator::PSd => Operator::SsSd,
         Operator::SsSd => Operator::SSd,
     };
-    let mut audit_stats = Stats::default();
-    let weaker_holds = raw_check(weaker, db, u, v, query, cfg, cache, &mut audit_stats);
+    let snapshot = ctx.stats;
+    let weaker_holds = raw_check(weaker, u, v, ctx);
+    ctx.stats = snapshot;
     debug_assert!(
         weaker_holds,
         "cover chain (Theorem 2) violated: {op:?} dominates u={u}, v={v} but {weaker:?} does not"
     );
-}
-
-/// Cover-based validation (Theorem 4), shared by the strict operators: the
-/// *strict* MBR dominance test guarantees `U_Q ≠ V_Q` on top of full spatial
-/// dominance, so it validates S-SD, SS-SD and P-SD exactly.
-pub(crate) fn validate_mbr(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    stats: &mut Stats,
-) -> bool {
-    stats.mbr_checks += 1;
-    osd_geom::mbr_dominates_strict(db.object(u).mbr(), db.object(v).mbr(), query.mbr())
-}
-
-/// Strictness guard for the exact dominance paths: Definitions 2/3/5
-/// additionally require `U_Q ≠ V_Q`. Only evaluated on the "dominates"
-/// path, so the extra distribution build amortises to at most one per
-/// discarded object.
-pub(crate) fn strict_guard(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
-    let du = cache.dist_q(db, query, u, stats);
-    let dv = cache.dist_q(db, query, v, stats);
-    stats.instance_comparisons += du.support_size().min(dv.support_size()) as u64;
-    !du.approx_eq(&dv, osd_uncertain::CDF_EPS)
 }
 
 macro_rules! standalone {
@@ -196,9 +138,8 @@ macro_rules! standalone {
         pub fn $name(u: &UncertainObject, v: &UncertainObject, q: &UncertainObject) -> bool {
             let db = Database::new(vec![u.clone(), v.clone()]);
             let query = PreparedQuery::new(q.clone());
-            let mut cache = DominanceCache::new(2);
-            let mut stats = Stats::default();
-            dominates($op, &db, 0, 1, &query, &FilterConfig::all(), &mut cache, &mut stats)
+            let mut ctx = CheckCtx::new(&db, &query, FilterConfig::all());
+            dominates($op, 0, 1, &mut ctx)
         }
     };
 }

@@ -16,11 +16,8 @@
 //! 5. the exact instance network, built either by nested `⪯_Q` scans over
 //!    the hull vertices or by R-tree range queries in distance space.
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
-use crate::db::Database;
-use crate::ops::{strict_guard, validate_mbr};
-use crate::query::PreparedQuery;
+use crate::config::Stats;
+use crate::ctx::CheckCtx;
 use osd_flow::MaxFlow;
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr, Point};
 use osd_uncertain::{UncertainObject, SCALE};
@@ -30,17 +27,14 @@ use osd_uncertain::{UncertainObject, SCALE};
 /// R-trees stop paying off).
 const MAX_MAPPED_DIM: usize = 8;
 
-pub(crate) fn check(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
+pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
+    // The shared read-only environment outlives the `&mut ctx` borrow, so
+    // copy the references out once instead of re-borrowing through `ctx`.
+    let db = ctx.db;
+    let query = ctx.query;
+
     // 1. Cover-based validation (Theorem 4).
-    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+    if ctx.cfg.mbr_validation && ctx.validate_mbr(u, v) {
         return true;
     }
 
@@ -48,16 +42,16 @@ pub(crate) fn check(
     //    implies S-SD and SS-SD, so any inverted min/mean/max statistic of
     //    the (cached) distance distributions disproves P-SD at the cost of
     //    a few comparisons.
-    if cfg.pruning {
-        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
-        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
-        stats.instance_comparisons += 3;
+    if ctx.cfg.pruning {
+        let (min_u, mean_u, max_u) = ctx.agg(u);
+        let (min_v, mean_v, max_v) = ctx.agg(v);
+        ctx.stats.instance_comparisons += 3;
         if min_u > min_v || mean_u > mean_v || max_u > max_v {
             return false;
         }
-        let agg_u = cache.per_q_agg(db, query, u, stats);
-        let agg_v = cache.per_q_agg(db, query, v, stats);
-        stats.instance_comparisons += 3 * agg_u.len() as u64;
+        let agg_u = ctx.per_q_agg(u);
+        let agg_v = ctx.per_q_agg(v);
+        ctx.stats.instance_comparisons += 3 * agg_u.len() as u64;
         for (a, b) in agg_u.iter().zip(agg_v.iter()) {
             if a.0 > b.0 || a.1 > b.1 || a.2 > b.2 {
                 return false;
@@ -67,13 +61,13 @@ pub(crate) fn check(
 
     // 3. Geometric early reject: instances of V inside CH(Q) are only
     //    dominated by coincident instances of U.
-    if cfg.geometric {
-        let blocked = cache.in_hull_instances(db, query, v, stats);
+    if ctx.cfg.geometric {
+        let blocked = ctx.in_hull_instances(v);
         if !blocked.is_empty() {
             let uo = db.object(u);
             for &vi in blocked.iter() {
                 let vp = &db.object(v).instances()[vi].point;
-                stats.instance_comparisons += uo.len() as u64;
+                ctx.stats.instance_comparisons += uo.len() as u64;
                 let coincident = uo.instances().iter().any(|ui| ui.point == *vp);
                 if !coincident {
                     return false;
@@ -83,9 +77,9 @@ pub(crate) fn check(
     }
 
     // 4. Level-by-level pruning/validation over local R-tree nodes.
-    if cfg.level_by_level {
-        let quanta_u = cache.quanta(db, u);
-        let quanta_v = cache.quanta(db, v);
+    if ctx.cfg.level_by_level {
+        let quanta_u = ctx.quanta(u);
+        let quanta_v = ctx.quanta(v);
         let tree_u = db.local_tree(u);
         let tree_v = db.local_tree(v);
         let depth = tree_u
@@ -103,13 +97,13 @@ pub(crate) fn check(
                 .iter()
                 .map(|(_, items)| items.iter().map(|&&i| quanta_v[i]).sum())
                 .collect();
-            stats.mbr_checks += (gu.len() * gv.len()) as u64;
+            ctx.stats.mbr_checks += (gu.len() * gv.len()) as u64;
 
             // Pessimistic network G⁻: group-level full dominance implies
             // every contained instance pair relates; flow 1 validates P-SD.
             let val_edges = group_edges(&gu, &gv, |mu, mv| mbr_dominates(mu, mv, query.mbr()));
-            if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, stats) {
-                return strict_guard(db, u, v, query, cache, stats);
+            if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, &mut ctx.stats) {
+                return ctx.strict_guard(u, v);
             }
 
             // Optimistic network G⁺: an edge survives unless V's group
@@ -118,7 +112,7 @@ pub(crate) fn check(
             let prune_edges = group_edges(&gu, &gv, |mu, mv| {
                 !mbr_dominates_strict(mv, mu, query.mbr())
             });
-            if !saturates(&caps_u, &caps_v, &prune_edges, stats) {
+            if !saturates(&caps_u, &caps_v, &prune_edges, &mut ctx.stats) {
                 return false;
             }
         }
@@ -128,33 +122,33 @@ pub(crate) fn check(
     //    ¬SS-SD ⇒ ¬P-SD (Theorem 2). Run after the cheaper filters so the
     //    O(m|Q|) scans only pay when everything else was inconclusive but
     //    before the O(m²) exact network.
-    if cfg.pruning {
-        if !super::ssd::check(db, u, v, query, cfg, cache, stats) {
+    if ctx.cfg.pruning {
+        if !super::ssd::check(u, v, ctx) {
             return false;
         }
-        if !super::sssd::check(db, u, v, query, cfg, cache, stats) {
+        if !super::sssd::check(u, v, ctx) {
             return false;
         }
     }
 
     // 6. Exact instance-level network (Theorem 12).
-    let quanta_u = cache.quanta(db, u);
-    let quanta_v = cache.quanta(db, v);
-    let pts = query.eval_points(cfg.geometric);
+    let quanta_u = ctx.quanta(u);
+    let quanta_v = ctx.quanta(v);
+    let pts = query.eval_points(ctx.cfg.geometric);
     let uo = db.object(u);
     let vo = db.object(v);
 
-    let edges: Vec<(usize, usize)> = if cfg.geometric && query.hull().len() <= MAX_MAPPED_DIM {
+    let edges: Vec<(usize, usize)> = if ctx.cfg.geometric && query.hull().len() <= MAX_MAPPED_DIM {
         // Distance-space strategy: u ⪯_Q v ⟺ u's image is coordinate-wise
         // below v's image; answered per v by a containment range query.
-        let mapped_u = cache.mapped(db, query, u, stats);
-        let mapped_v = cache.mapped(db, query, v, stats);
+        let mapped_u = ctx.mapped(u);
+        let mapped_v = ctx.mapped(v);
         let k = query.hull().len();
         let mut edges = Vec::new();
         for (j, v_img) in mapped_v.0.iter().enumerate() {
             let range = Mbr::new(vec![0.0; k], v_img.coords().to_vec());
             let hits = mapped_u.1.range_contained(&range);
-            stats.instance_comparisons += (hits.len() + 1) as u64;
+            ctx.stats.instance_comparisons += (hits.len() + 1) as u64;
             edges.extend(hits.into_iter().map(|&i| (i, j)));
         }
         edges
@@ -162,7 +156,7 @@ pub(crate) fn check(
         let mut edges = Vec::new();
         for (i, ui) in uo.instances().iter().enumerate() {
             for (j, vj) in vo.instances().iter().enumerate() {
-                if closer_counted(&ui.point, &vj.point, pts, stats) {
+                if closer_counted(&ui.point, &vj.point, pts, &mut ctx.stats) {
                     edges.push((i, j));
                 }
             }
@@ -170,7 +164,7 @@ pub(crate) fn check(
         edges
     };
 
-    saturates(&quanta_u, &quanta_v, &edges, stats) && strict_guard(db, u, v, query, cache, stats)
+    saturates(&quanta_u, &quanta_v, &edges, &mut ctx.stats) && ctx.strict_guard(u, v)
 }
 
 /// `δ(u, q) ≤ δ(v, q)` for every evaluation point, with comparison counting.

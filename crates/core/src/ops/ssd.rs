@@ -6,47 +6,35 @@
 //! * cover-based *validation* via strict MBR dominance (Theorem 4);
 //! * statistic-based *pruning* on min/mean/max (Theorem 11).
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
-use crate::db::Database;
-use crate::ops::{strict_guard, validate_mbr};
-use crate::query::PreparedQuery;
+use crate::ctx::CheckCtx;
 use osd_uncertain::stochastic::stochastically_dominates_counted;
 
-pub(crate) fn check(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
+pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
     // Cover-based validation (Theorem 4).
-    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+    if ctx.cfg.mbr_validation && ctx.validate_mbr(u, v) {
         return true;
     }
     // Statistic-based pruning (Theorem 11): any inverted statistic disproves
     // stochastic dominance.
-    if cfg.pruning {
-        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
-        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
-        stats.instance_comparisons += 3;
+    if ctx.cfg.pruning {
+        let (min_u, mean_u, max_u) = ctx.agg(u);
+        let (min_v, mean_v, max_v) = ctx.agg(v);
+        ctx.stats.instance_comparisons += 3;
         if min_u > min_v || mean_u > mean_v || max_u > max_v {
             return false;
         }
     }
     // Level-by-level bounds over the local R-tree nodes (§5.1.1).
-    if cfg.level_by_level {
+    if ctx.cfg.level_by_level {
         if let Some(decision) =
-            super::level::try_decide(db, u, v, query, super::level::Granularity::Whole, stats)
+            super::level::try_decide(u, v, super::level::Granularity::Whole, ctx)
         {
             return decision;
         }
     }
     // Full single-scan check.
-    let du = cache.dist_q(db, query, u, stats);
-    let dv = cache.dist_q(db, query, v, stats);
-    stochastically_dominates_counted(&du, &dv, &mut stats.instance_comparisons)
-        && strict_guard(db, u, v, query, cache, stats)
+    let du = ctx.dist_q(u);
+    let dv = ctx.dist_q(v);
+    stochastically_dominates_counted(&du, &dv, &mut ctx.stats.instance_comparisons)
+        && ctx.strict_guard(u, v)
 }

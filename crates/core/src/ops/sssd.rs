@@ -9,38 +9,26 @@
 //!   (SS-SD ⊂ S-SD, Theorem 2) — the aggregate statistics of `U_Q` give a
 //!   cheap necessary condition before the per-instance scans run.
 
-use crate::cache::DominanceCache;
-use crate::config::{FilterConfig, Stats};
-use crate::db::Database;
-use crate::ops::{strict_guard, validate_mbr};
-use crate::query::PreparedQuery;
+use crate::ctx::CheckCtx;
 use osd_uncertain::stochastic::stochastically_dominates_counted;
 
-pub(crate) fn check(
-    db: &Database,
-    u: usize,
-    v: usize,
-    query: &PreparedQuery,
-    cfg: &FilterConfig,
-    cache: &mut DominanceCache,
-    stats: &mut Stats,
-) -> bool {
-    if cfg.mbr_validation && validate_mbr(db, u, v, query, stats) {
+pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
+    if ctx.cfg.mbr_validation && ctx.validate_mbr(u, v) {
         return true;
     }
-    if cfg.pruning {
+    if ctx.cfg.pruning {
         // Cover-based pruning via the S-SD statistics: SS-SD implies S-SD,
         // so any inverted aggregate statistic of U_Q vs V_Q disproves SS-SD.
-        let (min_u, mean_u, max_u) = cache.agg(db, query, u, stats);
-        let (min_v, mean_v, max_v) = cache.agg(db, query, v, stats);
-        stats.instance_comparisons += 3;
+        let (min_u, mean_u, max_u) = ctx.agg(u);
+        let (min_v, mean_v, max_v) = ctx.agg(v);
+        ctx.stats.instance_comparisons += 3;
         if min_u > min_v || mean_u > mean_v || max_u > max_v {
             return false;
         }
         // Per-query-instance statistic pruning.
-        let agg_u = cache.per_q_agg(db, query, u, stats);
-        let agg_v = cache.per_q_agg(db, query, v, stats);
-        stats.instance_comparisons += 3 * agg_u.len() as u64;
+        let agg_u = ctx.per_q_agg(u);
+        let agg_v = ctx.per_q_agg(v);
+        ctx.stats.instance_comparisons += 3 * agg_u.len() as u64;
         for (a, b) in agg_u.iter().zip(agg_v.iter()) {
             if a.0 > b.0 || a.1 > b.1 || a.2 > b.2 {
                 return false;
@@ -48,25 +36,20 @@ pub(crate) fn check(
         }
     }
     // Level-by-level bounds per query instance (§5.1.1).
-    if cfg.level_by_level {
-        if let Some(decision) = super::level::try_decide(
-            db,
-            u,
-            v,
-            query,
-            super::level::Granularity::PerInstance,
-            stats,
-        ) {
+    if ctx.cfg.level_by_level {
+        if let Some(decision) =
+            super::level::try_decide(u, v, super::level::Granularity::PerInstance, ctx)
+        {
             return decision;
         }
     }
     // Full check: one scan per query instance.
-    let du = cache.per_q(db, query, u, stats);
-    let dv = cache.per_q(db, query, v, stats);
+    let du = ctx.per_q(u);
+    let dv = ctx.per_q(v);
     for (x, y) in du.iter().zip(dv.iter()) {
-        if !stochastically_dominates_counted(x, y, &mut stats.instance_comparisons) {
+        if !stochastically_dominates_counted(x, y, &mut ctx.stats.instance_comparisons) {
             return false;
         }
     }
-    strict_guard(db, u, v, query, cache, stats)
+    ctx.strict_guard(u, v)
 }

@@ -7,13 +7,25 @@
 
 use osd_geom::{hull_vertices, Mbr, Point};
 use osd_uncertain::UncertainObject;
+use std::sync::Arc;
 
-/// A query with its derived geometry cached.
-#[derive(Debug, Clone)]
-pub struct PreparedQuery {
+/// The immutable prepared state of a query, shared by every clone of a
+/// [`PreparedQuery`] — and, through them, by every worker of a parallel
+/// batch run.
+#[derive(Debug)]
+struct QueryState {
     object: UncertainObject,
     hull: Vec<Point>,
     all_points: Vec<Point>,
+}
+
+/// A query with its derived geometry cached.
+///
+/// Cloning is cheap (an `Arc` bump): the hull and point caches are computed
+/// once in [`PreparedQuery::new`] and shared read-only thereafter.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    shared: Arc<QueryState>,
 }
 
 impl PreparedQuery {
@@ -22,25 +34,27 @@ impl PreparedQuery {
         let all_points = object.points();
         let hull = hull_vertices(&all_points);
         PreparedQuery {
-            object,
-            hull,
-            all_points,
+            shared: Arc::new(QueryState {
+                object,
+                hull,
+                all_points,
+            }),
         }
     }
 
     /// The underlying query object.
     pub fn object(&self) -> &UncertainObject {
-        &self.object
+        &self.shared.object
     }
 
     /// All query instance points.
     pub fn points(&self) -> &[Point] {
-        &self.all_points
+        &self.shared.all_points
     }
 
     /// Convex-hull vertices of the query instances.
     pub fn hull(&self) -> &[Point] {
-        &self.hull
+        &self.shared.hull
     }
 
     /// The evaluation points for `⪯_Q` tests: hull vertices when the
@@ -48,20 +62,20 @@ impl PreparedQuery {
     /// decide the relation identically (§5.1.2); the hull is just smaller.
     pub fn eval_points(&self, geometric: bool) -> &[Point] {
         if geometric {
-            &self.hull
+            &self.shared.hull
         } else {
-            &self.all_points
+            &self.shared.all_points
         }
     }
 
     /// The query MBR.
     pub fn mbr(&self) -> &Mbr {
-        self.object.mbr()
+        self.shared.object.mbr()
     }
 
     /// Number of query instances (`|Q|`).
     pub fn len(&self) -> usize {
-        self.object.len()
+        self.shared.object.len()
     }
 
     /// Never true: the underlying object is non-empty.
@@ -115,6 +129,14 @@ mod tests {
         let full = osd_geom::closer_to_all(&u, &v, q.eval_points(false));
         let hull = osd_geom::closer_to_all(&u, &v, q.eval_points(true));
         assert_eq!(full, hull);
+    }
+
+    #[test]
+    fn clones_share_prepared_state() {
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]));
+        let c = q.clone();
+        assert!(std::ptr::eq(q.hull().as_ptr(), c.hull().as_ptr()));
+        assert!(std::ptr::eq(q.points().as_ptr(), c.points().as_ptr()));
     }
 
     #[test]

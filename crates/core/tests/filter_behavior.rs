@@ -5,7 +5,7 @@
 //! kills inverted pairs cheaply, and the level-by-level bounds resolve
 //! node-separable pairs before the exact scans.
 
-use osd_core::{dominates, Database, DominanceCache, FilterConfig, Operator, PreparedQuery, Stats};
+use osd_core::{CheckCtx, Database, FilterConfig, Operator, PreparedQuery};
 use osd_geom::Point;
 use osd_uncertain::UncertainObject;
 
@@ -23,23 +23,13 @@ fn mbr_validation_decides_far_pairs_for_free() {
     ]);
     let q = PreparedQuery::new(obj(&[(0.0, 1.0), (1.0, 0.0)]));
     for op in [Operator::SSd, Operator::SsSd, Operator::PSd] {
-        let mut cache = DominanceCache::new(2);
-        let mut stats = Stats::default();
-        assert!(dominates(
-            op,
-            &db,
-            0,
-            1,
-            &q,
-            &FilterConfig::all(),
-            &mut cache,
-            &mut stats
-        ));
+        let mut ctx = CheckCtx::new(&db, &q, FilterConfig::all());
+        assert!(ctx.dominates(op, 0, 1));
         assert_eq!(
-            stats.instance_comparisons, 0,
+            ctx.stats.instance_comparisons, 0,
             "{op:?} should be decided by MBR validation alone"
         );
-        assert!(stats.mbr_checks >= 1);
+        assert!(ctx.stats.mbr_checks >= 1);
     }
 }
 
@@ -55,28 +45,18 @@ fn statistic_pruning_rejects_inverted_pairs_cheaply() {
     let v = obj(&[(1.0, 0.0), (2.0, 0.0)]);
     let db = Database::new(vec![u, v]);
     let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
-    let mut cache = DominanceCache::new(2);
-    let mut stats = Stats::default();
     let cfg = FilterConfig {
         level_by_level: false,
         ..FilterConfig::all()
     };
-    assert!(!dominates(
-        Operator::SSd,
-        &db,
-        0,
-        1,
-        &q,
-        &cfg,
-        &mut cache,
-        &mut stats
-    ));
+    let mut ctx = CheckCtx::new(&db, &q, cfg);
+    assert!(!ctx.dominates(Operator::SSd, 0, 1));
     // Build cost: 2 instances × 1 query instance per object = 4, plus the
     // 3 statistic comparisons. A full scan would add ≥ 2 more per pair.
     assert!(
-        stats.instance_comparisons <= 4 + 3,
+        ctx.stats.instance_comparisons <= 4 + 3,
         "expected the statistic path only, got {} comparisons",
-        stats.instance_comparisons
+        ctx.stats.instance_comparisons
     );
 }
 
@@ -88,14 +68,13 @@ fn full_stack_is_cheaper_than_bruteforce() {
     let v = obj(&[(6.0, 0.0), (7.0, 1.0), (6.5, 0.5), (5.5, 1.5)]);
     let db = Database::new(vec![u, v]);
     let q = PreparedQuery::new(obj(&[(0.0, 0.0), (0.5, 0.5), (1.0, 0.0)]));
-    let run = |cfg: &FilterConfig| {
-        let mut cache = DominanceCache::new(2);
-        let mut stats = Stats::default();
-        let d = dominates(Operator::PSd, &db, 0, 1, &q, cfg, &mut cache, &mut stats);
-        (d, stats.instance_comparisons)
+    let run = |cfg: FilterConfig| {
+        let mut ctx = CheckCtx::new(&db, &q, cfg);
+        let d = ctx.dominates(Operator::PSd, 0, 1);
+        (d, ctx.stats.instance_comparisons)
     };
-    let (d_bf, c_bf) = run(&FilterConfig::bf());
-    let (d_all, c_all) = run(&FilterConfig::all());
+    let (d_bf, c_bf) = run(FilterConfig::bf());
+    let (d_all, c_all) = run(FilterConfig::all());
     assert_eq!(d_bf, d_all, "filters must not change the verdict");
     assert!(
         c_all < c_bf,
@@ -123,18 +102,8 @@ fn level_bounds_decide_node_separable_pairs() {
         mbr_validation: false,
         ..FilterConfig::all()
     };
-    let mut cache = DominanceCache::new(2);
-    let mut stats = Stats::default();
-    assert!(dominates(
-        Operator::SSd,
-        &db,
-        0,
-        1,
-        &q,
-        &cfg,
-        &mut cache,
-        &mut stats
-    ));
+    let mut ctx = CheckCtx::new(&db, &q, cfg);
+    assert!(ctx.dominates(Operator::SSd, 0, 1));
     // The full distributions have 8 × 2 = 16 atoms each; deciding at the
     // node level must use far fewer comparisons than two 16-atom builds
     // plus a 16-vs-16 merged scan (~48); statistic pruning builds them
@@ -145,22 +114,12 @@ fn level_bounds_decide_node_separable_pairs() {
         pruning: false,
         ..FilterConfig::all()
     };
-    let mut cache = DominanceCache::new(2);
-    let mut stats = Stats::default();
-    assert!(dominates(
-        Operator::SSd,
-        &db,
-        0,
-        1,
-        &q,
-        &cfg,
-        &mut cache,
-        &mut stats
-    ));
+    let mut ctx = CheckCtx::new(&db, &q, cfg);
+    assert!(ctx.dominates(Operator::SSd, 0, 1));
     assert!(
-        stats.instance_comparisons < 32,
+        ctx.stats.instance_comparisons < 32,
         "level bounds should decide before exact builds, got {}",
-        stats.instance_comparisons
+        ctx.stats.instance_comparisons
     );
 }
 
@@ -180,20 +139,10 @@ fn in_hull_reject_skips_the_flow() {
         level_by_level: false,
         geometric: true,
     };
-    let mut cache = DominanceCache::new(2);
-    let mut stats = Stats::default();
-    assert!(!dominates(
-        Operator::PSd,
-        &db,
-        0,
-        1,
-        &q,
-        &cfg,
-        &mut cache,
-        &mut stats
-    ));
+    let mut ctx = CheckCtx::new(&db, &q, cfg);
+    assert!(!ctx.dominates(Operator::PSd, 0, 1));
     assert_eq!(
-        stats.flow_runs, 0,
+        ctx.stats.flow_runs, 0,
         "the in-hull reject should avoid max-flow"
     );
 }
@@ -213,17 +162,18 @@ fn cache_amortises_repeated_checks() {
         level_by_level: false,
         ..FilterConfig::all()
     };
-    let mut cache = DominanceCache::new(3);
-    let mut s1 = Stats::default();
-    let _ = dominates(Operator::SSd, &db, 0, 1, &q, &cfg, &mut cache, &mut s1);
-    let mut s2 = Stats::default();
-    let _ = dominates(Operator::SSd, &db, 0, 2, &q, &cfg, &mut cache, &mut s2);
+    let mut ctx = CheckCtx::new(&db, &q, cfg);
+    let _ = ctx.dominates(Operator::SSd, 0, 1);
+    let s1 = ctx.stats;
+    let _ = ctx.dominates(Operator::SSd, 0, 2);
     // The second check shares object 0's distribution: it must be cheaper
-    // than the first (which built two distributions).
+    // than the first (which built two distributions). `Stats` is
+    // cumulative inside one ctx, so compare the increments.
+    let second = ctx.stats.instance_comparisons - s1.instance_comparisons;
     assert!(
-        s2.instance_comparisons < s1.instance_comparisons,
+        second < s1.instance_comparisons,
         "expected cache reuse: first {} vs second {}",
         s1.instance_comparisons,
-        s2.instance_comparisons
+        second
     );
 }

@@ -4,9 +4,8 @@
 //! identically), and Algorithm 1 against the O(n²) oracle.
 
 use osd_core::{
-    dominates, k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates,
-    nn_candidates_bruteforce, Database, DominanceCache, FilterConfig, Operator, PreparedQuery,
-    Stats,
+    k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates, nn_candidates_bruteforce, CheckCtx,
+    Database, FilterConfig, Operator, PreparedQuery,
 };
 use osd_geom::Point;
 use osd_uncertain::UncertainObject;
@@ -45,9 +44,8 @@ fn check(
     q: &PreparedQuery,
     cfg: &FilterConfig,
 ) -> bool {
-    let mut cache = DominanceCache::new(db.len());
-    let mut stats = Stats::default();
-    dominates(op, db, u, v, q, cfg, &mut cache, &mut stats)
+    let mut ctx = CheckCtx::new(db, q, *cfg);
+    ctx.dominates(op, u, v)
 }
 
 proptest! {

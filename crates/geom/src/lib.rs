@@ -55,3 +55,12 @@ pub use hull::{hull_vertex_indices, hull_vertices, point_in_hull};
 pub use mbr::Mbr;
 pub use point::Point;
 pub use sphere::{min_enclosing_ball, sphere_dominates_sufficient, Sphere};
+
+// Compile-time auto-trait surface: the geometry primitives are shared
+// read-only across query-engine worker threads, so losing `Send + Sync`
+// (e.g. by adding an interior-mutable cache field) must fail compilation
+// here, not at a distant spawn site.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Point>();
+const _: () = _assert_send_sync::<Mbr>();
+const _: () = _assert_send_sync::<Sphere>();

@@ -49,3 +49,11 @@ mod validate;
 pub use node::{point_entries, Child, Entry, Node, RTree};
 pub use query::BestFirstIter;
 pub use validate::{StructureError, StructureErrorKind};
+
+// Compile-time auto-trait surface: R-trees (global and per-object local)
+// are read concurrently by query-engine workers, so the index type must
+// stay `Send + Sync` for thread-safe payloads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<RTree<usize>>();
+const _: () = _assert_send_sync::<Node<usize>>();
+const _: () = _assert_send_sync::<Entry<usize>>();

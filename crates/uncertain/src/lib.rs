@@ -64,3 +64,11 @@ pub use stochastic::{
     stochastically_dominates, stochastically_dominates_counted, strictly_dominates, CDF_EPS,
 };
 pub use world::for_each_world;
+
+// Compile-time auto-trait surface: uncertain objects and their distance
+// distributions are shared read-only (and `Arc`-cached) across
+// query-engine worker threads.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<UncertainObject>();
+const _: () = _assert_send_sync::<Instance>();
+const _: () = _assert_send_sync::<DistanceDistribution>();

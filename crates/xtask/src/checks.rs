@@ -27,7 +27,15 @@ const LIB_SRC_DIRS: &[&str] = &[
 
 /// The dominance kernels where exact float comparison is banned outright.
 const KERNEL_DIRS: &[&str] = &["crates/core/src/ops"];
-const KERNEL_FILES: &[&str] = &["crates/geom/src/dominance.rs"];
+const KERNEL_FILES: &[&str] = &[
+    "crates/geom/src/dominance.rs",
+    "crates/core/src/nnc.rs",
+    "crates/core/src/knnc.rs",
+];
+
+/// The crate that must stay `Send + Sync`: single-threaded shared-ownership
+/// types (`Rc`, `RefCell`) would silently break the parallel batch executor.
+const THREAD_SAFE_DIR: &str = "crates/core/src";
 
 /// Directory whose `pub fn`s must cite the paper.
 const OPS_DIR: &str = "crates/core/src/ops";
@@ -95,6 +103,9 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     }
     if file.path.starts_with(OPS_DIR) {
         doc_cites_paper(file, out);
+    }
+    if file.path.starts_with(THREAD_SAFE_DIR) {
+        no_rc_in_core(file, out);
     }
 }
 
@@ -226,6 +237,7 @@ fn looks_float(snippet: &str) -> bool {
         ".mean(",
         ".quantile(",
         ".cdf(",
+        ".key",
     ];
     if MARKERS.iter().any(|m| snippet.contains(m)) {
         return true;
@@ -370,6 +382,32 @@ fn no_panic_allow_in_libs(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 6: `osd-core` is the crate the parallel batch executor shares
+/// across worker threads; `Rc` (or anything from `std::rc`) is `!Send` and
+/// would be caught only at the far-away `QueryEngine` compile-time
+/// assertions. Ban it at the source: shared ownership in core uses `Arc`.
+fn no_rc_in_core(file: &SourceFile, out: &mut Vec<Violation>) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let uses_rc_path = line.code.contains("std::rc");
+        let bare_rc = line
+            .code
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|tok| tok == "Rc");
+        if uses_rc_path || bare_rc {
+            push(
+                out,
+                file,
+                line.num,
+                "no-rc-in-core",
+                "`Rc`/`std::rc` in osd-core; the batch executor shares this crate across threads — use `Arc`".into(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +515,50 @@ mod tests {
         assert!(check_src(
             "crates/rtree/src/lib.rs",
             "#![allow(clippy::module_name_repetitions)]\nfn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn nnc_and_knnc_are_kernels_now() {
+        let src = "fn f(item: &HeapItem) -> bool { item.key == 0.0 }\n";
+        assert_eq!(
+            rules(&check_src("crates/core/src/nnc.rs", src)),
+            vec!["no-float-eq-in-kernels"]
+        );
+        assert_eq!(
+            rules(&check_src("crates/core/src/knnc.rs", src)),
+            vec!["no-float-eq-in-kernels"]
+        );
+        // The `.key` marker alone triggers, even without a literal.
+        let v = check_src(
+            "crates/core/src/nnc.rs",
+            "fn g(a: &HeapItem, b: &HeapItem) -> bool { a.key == b.key }\n",
+        );
+        assert_eq!(rules(&v), vec!["no-float-eq-in-kernels"]);
+    }
+
+    #[test]
+    fn flags_rc_in_core_but_not_arc() {
+        let v = check_src(
+            "crates/core/src/cache.rs",
+            "use std::rc::Rc;\nfn f() { let _x: Rc<u8> = Rc::new(1); }\n",
+        );
+        assert!(rules(&v).iter().all(|r| *r == "no-rc-in-core"));
+        assert_eq!(v.len(), 2);
+        // `Arc` must not false-positive, nor should identifiers containing
+        // the letters (e.g. `Rcu`, `grpc`).
+        assert!(check_src(
+            "crates/core/src/cache.rs",
+            "use std::sync::Arc;\nfn f() { let _x: Arc<u8> = Arc::new(1); }\nfn g(marc: usize) -> usize { marc }\n",
+        )
+        .is_empty());
+        // Outside osd-core the rule does not apply.
+        assert!(check_src("crates/rtree/src/lib.rs", "use std::rc::Rc;\n").is_empty());
+        // Test modules are exempt, as everywhere.
+        assert!(check_src(
+            "crates/core/src/cache.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::rc::Rc;\n}\n",
         )
         .is_empty());
     }

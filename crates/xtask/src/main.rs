@@ -9,8 +9,9 @@
 //!    `partial_cmp(..).expect(..)`, which panic on NaN.
 //! 2. **`no-float-eq-in-kernels`** — no `==` / `!=` on floating-point
 //!    values inside the dominance kernels (`geom::dominance`,
-//!    `core::ops`): exact float equality there silently changes the
-//!    operators' tie semantics.
+//!    `core::ops`, and the `core::nnc` / `core::knnc` traversal heaps):
+//!    exact float equality there silently changes the operators' tie
+//!    semantics, or makes a heap's `Eq` disagree with its `Ord`.
 //! 3. **`doc-cites-paper`** — every `pub fn` in `core::ops` must carry a
 //!    doc comment citing the paper construct it implements (a
 //!    Definition / Theorem / Lemma / Algorithm / § reference).
@@ -19,6 +20,9 @@
 //! 5. **`no-panic-allow-in-libs`** — only the bench/cli/example leaves
 //!    may opt out of the workspace panic-family lints with crate-level
 //!    `#![allow(..)]`; library crates may not.
+//! 6. **`no-rc-in-core`** — no `Rc` / `std::rc` anywhere in `osd-core`:
+//!    the parallel batch executor shares the crate's types across worker
+//!    threads, so shared ownership there must be `Arc`.
 //!
 //! Diagnostics are `file:line: [rule] message` lines on stdout; the exit
 //! status is nonzero iff any violation was found.

@@ -56,6 +56,7 @@ fn main() {
     }
     println!(
         "\nchecked {} objects so far; dominance stats: {:?}",
-        traversal.objects_checked, traversal.stats
+        traversal.objects_checked(),
+        traversal.stats()
     );
 }

@@ -23,4 +23,10 @@ cargo test -q --features strict-invariants
 cargo test -q -p osd-core --features strict-invariants
 cargo test -q -p osd-rtree --features strict-invariants
 
+echo "== batch executor under strict-invariants =="
+# Drives QueryEngine::run_batch with the audit layer on: every dominance
+# check in every worker thread re-runs the cover-chain debug_assert!.
+cargo test -q --features strict-invariants --test strict_invariants \
+  batch_executor_audits_hold_across_threads
+
 echo "check.sh: all gates passed"

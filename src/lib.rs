@@ -50,9 +50,10 @@ pub use osd_uncertain as uncertain;
 /// The most common imports in one place.
 pub mod prelude {
     pub use osd_core::{
-        dominates, f_plus_sd, f_sd, k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates,
-        nn_candidates_bruteforce, p_sd, s_sd, ss_sd, Candidate, Database, DominanceCache,
-        FilterConfig, KnncResult, NncResult, Operator, PreparedQuery, ProgressiveNnc, Stats,
+        batch_stats, dominates, f_plus_sd, f_sd, k_nn_candidates, k_nn_candidates_bruteforce,
+        nn_candidates, nn_candidates_bruteforce, p_sd, s_sd, ss_sd, Candidate, CheckCtx, Database,
+        DominanceCache, FilterConfig, KnncResult, NncResult, Operator, PreparedQuery,
+        ProgressiveNnc, QueryEngine, Stats,
     };
     pub use osd_geom::{Mbr, Point};
     pub use osd_nnfuncs::{

@@ -1,0 +1,83 @@
+//! End-to-end determinism of the parallel batch executor.
+//!
+//! `QueryEngine::run_batch` spreads independent queries over OS threads,
+//! one dominance cache per worker. These tests pin down the contract on a
+//! realistic workload — a 1000-object A-N database — rather than the toy
+//! fixtures of the unit tests: thread count must never change the answer,
+//! and the merged counters must equal the sequential sums exactly.
+
+// Integration test: aborts are intentional.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use osd::datagen::{generate_objects, object_around, CenterDistribution, SynthParams};
+use osd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 1000-object anti-correlated (A-N) database plus a prepared workload.
+fn workbench(queries: usize) -> (Database, Vec<PreparedQuery>) {
+    let objects = generate_objects(&SynthParams {
+        n: 1_000,
+        dim: 3,
+        instances: 6,
+        edge: 400.0,
+        centers: CenterDistribution::AntiCorrelated,
+        seed: 0xA11,
+    });
+    let db = Database::new(objects);
+    let mut rng = StdRng::seed_from_u64(0xA12);
+    let qs = (0..queries)
+        .map(|_| {
+            let center: Vec<f64> = (0..3).map(|_| rng.gen_range(2_000.0..8_000.0)).collect();
+            PreparedQuery::new(object_around(&mut rng, &center, 3, 4, 200.0))
+        })
+        .collect();
+    (db, qs)
+}
+
+/// Candidate ids (and their order) must be identical at every thread
+/// count: parallelism only partitions the workload, never the per-query
+/// traversal.
+#[test]
+fn run_batch_is_deterministic_across_thread_counts() {
+    let (db, queries) = workbench(12);
+    for op in [Operator::SSd, Operator::PSd] {
+        let engine = QueryEngine::new(&db, op);
+        let sequential = engine.run_batch(&queries, 1);
+        let baseline: Vec<Vec<usize>> = sequential.iter().map(|r| r.ids()).collect();
+        assert!(
+            baseline.iter().any(|ids| !ids.is_empty()),
+            "workload produced no candidates at all for {op:?} — fixture too weak"
+        );
+        for threads in [2, 4, 8] {
+            let parallel = engine.run_batch(&queries, threads);
+            let got: Vec<Vec<usize>> = parallel.iter().map(|r| r.ids()).collect();
+            assert_eq!(
+                got, baseline,
+                "{op:?} with {threads} threads diverged from the sequential run"
+            );
+        }
+    }
+}
+
+/// The merged counters of a parallel run equal the exact sum of the
+/// per-query sequential counters — per-worker caches change nothing
+/// because each query gets a fresh cache in both modes.
+#[test]
+fn merged_stats_equal_sequential_sums() {
+    let (db, queries) = workbench(10);
+    let engine = QueryEngine::new(&db, Operator::PSd);
+
+    let mut expected = Stats::default();
+    for q in &queries {
+        let res = nn_candidates(&db, q, Operator::PSd, &FilterConfig::all());
+        expected.merge(&res.stats);
+    }
+    assert!(expected.dominance_checks > 0, "fixture too weak");
+
+    let merged = batch_stats(&engine.run_batch(&queries, 4));
+    assert_eq!(merged.dominance_checks, expected.dominance_checks);
+    assert_eq!(merged.instance_comparisons, expected.instance_comparisons);
+    assert_eq!(merged.flow_runs, expected.flow_runs);
+    assert_eq!(merged.mbr_checks, expected.mbr_checks);
+}

@@ -64,6 +64,32 @@ fn dominance_audits_hold_over_random_databases() {
     }
 }
 
+/// The parallel batch executor under the audit layer: every `dominates`
+/// call inside every worker thread re-runs the Theorem 2 cover-chain
+/// `debug_assert!`, so a cover-chain break anywhere in the parallel path
+/// aborts this test. The answers must still match the sequential run.
+#[test]
+fn batch_executor_audits_hold_across_threads() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let db = Database::new(random_objects(&mut rng, 60, 4));
+    let queries: Vec<PreparedQuery> = (0..8)
+        .map(|_| {
+            PreparedQuery::new(UncertainObject::uniform(vec![Point::new(vec![
+                rng.gen_range(0.0..30.0),
+                rng.gen_range(0.0..30.0),
+            ])]))
+        })
+        .collect();
+    for op in Operator::ALL {
+        let engine = QueryEngine::new(&db, op);
+        let sequential = engine.run_batch(&queries, 1);
+        let parallel = engine.run_batch(&queries, 4);
+        let seq_ids: Vec<Vec<usize>> = sequential.iter().map(|r| r.ids()).collect();
+        let par_ids: Vec<Vec<usize>> = parallel.iter().map(|r| r.ids()).collect();
+        assert_eq!(par_ids, seq_ids, "{op:?} diverged under strict-invariants");
+    }
+}
+
 /// Insertions and deletions re-validate the R-tree structure after every
 /// mutation (debug_assert! in insert/remove under this feature); the final
 /// explicit validation confirms the API surface.
