@@ -23,6 +23,7 @@ pub mod figures;
 pub mod motivation;
 pub mod params;
 pub mod runner;
+pub mod storage;
 pub mod throughput;
 
 pub use datasets::{build, DatasetId, Workbench};
@@ -32,4 +33,5 @@ pub use params::{Scale, Sweeps};
 pub use runner::{
     print_table, run_all_ops, run_all_ops_parallel, run_cell, run_cell_parallel, CellResult, Report,
 };
+pub use storage::{measure_storage, storage, StorageReport};
 pub use throughput::{host_cpus, measure, throughput, ThroughputPoint, ThroughputReport};

@@ -26,7 +26,9 @@ pub fn motivation(scale: &Scale, report: &Report) {
         ..scale.clone()
     };
     let bench = build(DatasetId::AN, &scale);
-    let objects = bench.db.objects();
+    // NN-core and the N1/N3 scorers want boxed objects; materialise them
+    // once from the columnar store.
+    let objects = &bench.db.store().to_objects();
     let cfg = FilterConfig::all();
 
     let mut core_sizes = 0usize;

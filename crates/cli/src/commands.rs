@@ -26,7 +26,10 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let progressive = flags.has("--progressive");
 
     let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
-    let dim = objects[0].dim();
+    let dim = objects
+        .first()
+        .map(osd_uncertain::UncertainObject::dim)
+        .ok_or_else(|| CliError::Data(format!("{data}: dataset is empty")))?;
 
     if let Some(file) = flags.value("--queries") {
         if flags.value("--query").is_some() {
@@ -40,7 +43,7 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             ));
         }
         let queries = read_query_file(Path::new(file), dim)?;
-        let db = Database::new(objects);
+        let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
         let engine = QueryEngine::new(&db, op);
         let results = engine.run_batch(&queries, threads.max(1));
         for (i, res) in results.iter().enumerate() {
@@ -65,7 +68,7 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             dim
         )));
     }
-    let db = Database::new(objects);
+    let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
     let pq = PreparedQuery::new(query);
     let cfg = FilterConfig::all();
 
@@ -388,6 +391,15 @@ mod tests {
         let err = cmd_query(&flags(&["--data", &out, "--query", "1,2,3"])).unwrap_err();
         std::fs::remove_file(&out).ok();
         assert!(err.to_string().contains("dimensionality"));
+    }
+
+    #[test]
+    fn empty_dataset_reported_not_panicked() {
+        let out = tmp("empty.csv");
+        std::fs::write(&out, "").unwrap();
+        let err = cmd_query(&flags(&["--data", &out, "--query", "1,2"])).unwrap_err();
+        std::fs::remove_file(&out).ok();
+        assert!(matches!(err, CliError::Data(_)), "got {err:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::config::Stats;
 use crate::db::Database;
 use crate::query::PreparedQuery;
-use osd_geom::{distance_space, Point};
+use osd_geom::{distance_space_row, Point};
 use osd_rtree::{Entry, RTree};
 use osd_uncertain::{quantize, DistanceDistribution};
 use std::sync::Arc;
@@ -68,7 +68,7 @@ impl DominanceCache {
         }
         let obj = db.object(id);
         stats.instance_comparisons += (obj.len() * query.len()) as u64;
-        let d = Arc::new(DistanceDistribution::between(obj, query.object()));
+        let d = Arc::new(DistanceDistribution::between_ref(obj, query.object()));
         self.dist_q[id] = Some(Arc::clone(&d));
         d
     }
@@ -92,7 +92,7 @@ impl DominanceCache {
                 .object()
                 .instances()
                 .iter()
-                .map(|q| DistanceDistribution::to_instance(obj, &q.point))
+                .map(|q| DistanceDistribution::to_instance_ref(obj, &q.point))
                 .collect::<Vec<_>>(),
         );
         self.per_q[id] = Some(Arc::clone(&d));
@@ -143,8 +143,9 @@ impl DominanceCache {
         if let Some(q) = &self.quanta[id] {
             return Arc::clone(q);
         }
-        let probs: Vec<f64> = db.object(id).instances().iter().map(|i| i.prob).collect();
-        let q = Arc::new(quantize(&probs));
+        // The store's probability column is already contiguous — quantise
+        // the borrowed slice directly, no gather needed.
+        let q = Arc::new(quantize(db.object(id).probs()));
         self.quanta[id] = Some(Arc::clone(&q));
         q
     }
@@ -166,9 +167,9 @@ impl DominanceCache {
         let hull = query.hull();
         stats.instance_comparisons += (obj.len() * hull.len()) as u64;
         let points: Vec<Point> = obj
-            .instances()
-            .iter()
-            .map(|u| distance_space(&u.point, hull))
+            .coords()
+            .chunks_exact(obj.dim())
+            .map(|row| distance_space_row(row, hull))
             .collect();
         let entries: Vec<Entry<usize>> = points
             .iter()
@@ -201,13 +202,12 @@ impl DominanceCache {
         let hull = query.hull();
         stats.instance_comparisons += obj.len() as u64;
         let list: Vec<usize> = obj
-            .instances()
-            .iter()
+            .coords()
+            .chunks_exact(obj.dim())
             .enumerate()
-            .filter(|(_, inst)| {
+            .filter(|(_, row)| {
                 // Cheap MBR reject before the LP containment test.
-                query.mbr().contains_point(&inst.point)
-                    && osd_geom::point_in_hull(&inst.point, hull)
+                query.mbr().contains_row(row) && osd_geom::point_in_hull_row(row, hull)
             })
             .map(|(i, _)| i)
             .collect();
@@ -260,7 +260,7 @@ mod tests {
         let mut stats = Stats::default();
         let per_q = cache.per_q(&db, &q, 1, &mut stats);
         assert_eq!(per_q.len(), 2);
-        let direct = DistanceDistribution::to_instance(db.object(1), &q.points()[0]);
+        let direct = DistanceDistribution::to_instance_ref(db.object(1), &q.instance_points()[0]);
         assert!(per_q[0].approx_eq(&direct, 1e-12));
     }
 

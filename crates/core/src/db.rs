@@ -1,63 +1,146 @@
-//! The object database: `n + 1` R-trees as in §6.
+//! The object database: `n + 1` R-trees as in §6, over a columnar store.
 //!
 //! A global R-tree organises the objects' MBRs (driving the best-first NNC
 //! search of Algorithm 1); each object keeps a small local R-tree over its
 //! instances (fan-out 4 in the paper), supplying nearest/furthest-neighbour
 //! primitives and the node partitions of the level-by-level techniques.
+//!
+//! Instance data lives in one flat [`InstanceStore`] snapshot behind an
+//! `Arc`: the database is a thin index over it, [`Database::object`] hands
+//! out zero-copy [`ObjectRef`] views, and cloning the snapshot for another
+//! reader (or another thread) is a reference-count bump, never a copy of
+//! the coordinates.
 
-use osd_geom::Mbr;
 use osd_rtree::{Entry, RTree};
-use osd_uncertain::UncertainObject;
+use osd_uncertain::{InstanceStore, ObjectRef, StoreError, UncertainObject};
+use std::fmt;
+use std::sync::Arc;
 
 /// Default fan-out of the global R-tree.
 pub const DEFAULT_GLOBAL_FANOUT: usize = 32;
 /// Fan-out of the per-object local R-trees (matches the paper's setting).
 pub const DEFAULT_LOCAL_FANOUT: usize = 4;
 
+/// Why a [`Database`] could not be built or extended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// No objects were supplied.
+    Empty,
+    /// An object disagrees with the database's dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the database (set by the first object).
+        expected: usize,
+        /// Dimensionality of the offending object.
+        found: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Empty => write!(f, "a database needs at least one object"),
+            DbError::DimensionMismatch { expected, found } => write!(
+                f,
+                "object dimensionality must match the database: expected {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<StoreError> for DbError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Empty => DbError::Empty,
+            StoreError::DimensionMismatch { expected, found } => {
+                DbError::DimensionMismatch { expected, found }
+            }
+        }
+    }
+}
+
 /// A set of multi-instance objects indexed for NN-candidate search.
+///
+/// Instance data is held in an `Arc<InstanceStore>` snapshot; the database
+/// itself only owns the index structures.
+#[derive(Debug)]
 pub struct Database {
-    objects: Vec<UncertainObject>,
+    store: Arc<InstanceStore>,
     local: Vec<RTree<usize>>,
     global: RTree<usize>,
 }
 
 impl Database {
     /// Indexes `objects` with default fan-outs.
+    ///
+    /// # Panics
+    /// Panics if `objects` is empty or dimensionalities are inconsistent.
+    /// Use [`Database::try_new`] for untrusted data.
     pub fn new(objects: Vec<UncertainObject>) -> Self {
-        Self::with_fanouts(objects, DEFAULT_GLOBAL_FANOUT, DEFAULT_LOCAL_FANOUT)
+        match Self::try_new(objects) {
+            Ok(db) => db,
+            Err(e) => Self::invalid(e),
+        }
+    }
+
+    /// Fallible variant of [`Database::new`] for untrusted input.
+    ///
+    /// # Errors
+    /// Returns a [`DbError`] describing the first violated invariant.
+    pub fn try_new(objects: Vec<UncertainObject>) -> Result<Self, DbError> {
+        Self::try_with_fanouts(objects, DEFAULT_GLOBAL_FANOUT, DEFAULT_LOCAL_FANOUT)
     }
 
     /// Indexes `objects` with explicit global/local R-tree fan-outs.
     ///
     /// # Panics
     /// Panics if `objects` is empty or dimensionalities are inconsistent.
+    /// Use [`Database::try_with_fanouts`] for untrusted data.
     pub fn with_fanouts(
         objects: Vec<UncertainObject>,
         global_fanout: usize,
         local_fanout: usize,
     ) -> Self {
-        assert!(!objects.is_empty(), "a database needs at least one object");
-        let dim = objects[0].dim();
-        assert!(
-            objects.iter().all(|o| o.dim() == dim),
-            "all objects must share one dimensionality"
-        );
-        let local: Vec<RTree<usize>> = objects
+        match Self::try_with_fanouts(objects, global_fanout, local_fanout) {
+            Ok(db) => db,
+            Err(e) => Self::invalid(e),
+        }
+    }
+
+    /// Fallible variant of [`Database::with_fanouts`].
+    ///
+    /// # Errors
+    /// Returns a [`DbError`] describing the first violated invariant.
+    pub fn try_with_fanouts(
+        objects: Vec<UncertainObject>,
+        global_fanout: usize,
+        local_fanout: usize,
+    ) -> Result<Self, DbError> {
+        let store = InstanceStore::from_objects(&objects)?;
+        Self::from_store(Arc::new(store), global_fanout, local_fanout)
+    }
+
+    /// Indexes an existing columnar snapshot directly — no instance data is
+    /// copied; the database shares the allocation with every other holder
+    /// of the `Arc`.
+    ///
+    /// # Errors
+    /// [`DbError::Empty`] if the store holds no objects.
+    pub fn from_store(
+        store: Arc<InstanceStore>,
+        global_fanout: usize,
+        local_fanout: usize,
+    ) -> Result<Self, DbError> {
+        if store.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let dim = store.dim();
+        let local: Vec<RTree<usize>> = store
             .iter()
-            .map(|o| {
-                let entries: Vec<Entry<usize>> = o
-                    .instances()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, inst)| Entry {
-                        mbr: Mbr::from_point(&inst.point),
-                        item: i,
-                    })
-                    .collect();
-                RTree::bulk_load(local_fanout, entries)
-            })
+            .map(|o| RTree::bulk_load_rows(local_fanout, dim, o.coords()))
             .collect();
-        let global_entries: Vec<Entry<usize>> = objects
+        let global_entries: Vec<Entry<usize>> = store
             .iter()
             .enumerate()
             .map(|(id, o)| Entry {
@@ -66,16 +149,28 @@ impl Database {
             })
             .collect();
         let global = RTree::bulk_load(global_fanout, global_entries);
-        Database {
-            objects,
+        Ok(Database {
+            store,
             local,
             global,
-        }
+        })
+    }
+
+    /// Aborts a panicking constructor with the invariant violation `e`.
+    ///
+    /// The panicking constructors stay the ergonomic path for trusted,
+    /// programmatic data; the `try_*` variants are the fallible path. This
+    /// is the single place this crate's `clippy::panic` policy is waived to
+    /// honour that contract (mirroring `UncertainObject`).
+    #[cold]
+    #[allow(clippy::panic)]
+    fn invalid(e: DbError) -> ! {
+        panic!("{e}")
     }
 
     /// Number of objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.store.len()
     }
 
     /// Never true: databases are non-empty by construction.
@@ -85,17 +180,18 @@ impl Database {
 
     /// Dimensionality of the instance space.
     pub fn dim(&self) -> usize {
-        self.objects[0].dim()
+        self.store.dim()
     }
 
-    /// The objects.
-    pub fn objects(&self) -> &[UncertainObject] {
-        &self.objects
+    /// The columnar instance snapshot this database indexes. Cloning the
+    /// `Arc` shares the allocation with zero copies.
+    pub fn store(&self) -> &Arc<InstanceStore> {
+        &self.store
     }
 
-    /// Object by id.
-    pub fn object(&self, id: usize) -> &UncertainObject {
-        &self.objects[id]
+    /// Zero-copy view of object `id`.
+    pub fn object(&self, id: usize) -> ObjectRef<'_> {
+        self.store.object(id)
     }
 
     /// Local R-tree over the instances of object `id` (payload = instance
@@ -114,6 +210,7 @@ impl Database {
     ///
     /// # Panics
     /// Panics if the object's dimensionality differs from the database's.
+    /// Use [`Database::try_insert_object`] for untrusted data.
     pub fn insert_object(&mut self, object: UncertainObject) -> usize {
         self.insert_object_with_fanout(object, DEFAULT_LOCAL_FANOUT)
     }
@@ -127,25 +224,50 @@ impl Database {
         object: UncertainObject,
         local_fanout: usize,
     ) -> usize {
-        assert_eq!(
-            object.dim(),
-            self.dim(),
-            "inserted object dimensionality must match the database"
-        );
-        let id = self.objects.len();
-        let entries: Vec<Entry<usize>> = object
-            .instances()
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| Entry {
-                mbr: Mbr::from_point(&inst.point),
-                item: i,
-            })
-            .collect();
-        self.local.push(RTree::bulk_load(local_fanout, entries));
-        self.global.insert(object.mbr().clone(), id);
-        self.objects.push(object);
-        id
+        match self.try_insert_object_with_fanout(object, local_fanout) {
+            Ok(id) => id,
+            Err(e) => Self::invalid(e),
+        }
+    }
+
+    /// Fallible variant of [`Database::insert_object`].
+    ///
+    /// # Errors
+    /// [`DbError::DimensionMismatch`] if the object's dimensionality
+    /// differs from the database's.
+    pub fn try_insert_object(&mut self, object: UncertainObject) -> Result<usize, DbError> {
+        self.try_insert_object_with_fanout(object, DEFAULT_LOCAL_FANOUT)
+    }
+
+    /// Fallible variant of [`Database::insert_object_with_fanout`].
+    ///
+    /// If the snapshot is currently shared (other `Arc` holders exist), the
+    /// columns are cloned once before the append — copy-on-write; existing
+    /// readers keep the old snapshot unchanged.
+    ///
+    /// # Errors
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn try_insert_object_with_fanout(
+        &mut self,
+        object: UncertainObject,
+        local_fanout: usize,
+    ) -> Result<usize, DbError> {
+        if object.dim() != self.dim() {
+            return Err(DbError::DimensionMismatch {
+                expected: self.dim(),
+                found: object.dim(),
+            });
+        }
+        let store = Arc::make_mut(&mut self.store);
+        let id = store.push_object(&object)?;
+        let view = store.object(id);
+        self.local.push(RTree::bulk_load_rows(
+            local_fanout,
+            view.dim(),
+            view.coords(),
+        ));
+        self.global.insert(view.mbr().clone(), id);
+        Ok(id)
     }
 }
 
@@ -155,7 +277,7 @@ mod tests {
     #![allow(clippy::float_cmp)]
 
     use super::*;
-    use osd_geom::Point;
+    use osd_geom::{Mbr, Point};
 
     fn obj(pts: &[(f64, f64)]) -> UncertainObject {
         UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
@@ -194,6 +316,56 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_structured_errors() {
+        assert_eq!(Database::try_new(vec![]).unwrap_err(), DbError::Empty);
+        let mixed = vec![
+            obj(&[(0.0, 0.0)]),
+            UncertainObject::uniform(vec![Point::new(vec![1.0])]),
+        ];
+        assert_eq!(
+            Database::try_new(mixed).unwrap_err(),
+            DbError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(Database::try_new(vec![obj(&[(0.0, 0.0)])]).is_ok());
+    }
+
+    #[test]
+    fn db_error_display_matches_panic_contract() {
+        assert!(format!("{}", DbError::Empty).contains("at least one object"));
+        let e = DbError::DimensionMismatch {
+            expected: 2,
+            found: 3,
+        };
+        assert!(format!("{e}").contains("dimensionality must match"));
+    }
+
+    #[test]
+    fn object_views_share_the_snapshot() {
+        let db = Database::new(vec![
+            obj(&[(0.0, 0.0), (1.0, 1.0)]),
+            obj(&[(5.0, 5.0), (6.0, 6.0)]),
+        ]);
+        let snapshot = Arc::clone(db.store());
+        // Views index the same allocation as the snapshot clone.
+        let base = snapshot.coords().as_ptr();
+        assert!(std::ptr::eq(base, db.object(0).coords().as_ptr()));
+        assert_eq!(db.object(1).len(), 2);
+        assert_eq!(db.object(1).row(1), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn from_store_reuses_the_allocation() {
+        let store =
+            Arc::new(InstanceStore::from_objects(&[obj(&[(0.0, 0.0), (1.0, 1.0)])]).unwrap());
+        let db = Database::from_store(Arc::clone(&store), 8, 4).unwrap();
+        assert!(Arc::ptr_eq(db.store(), &store));
+        assert_eq!(db.local_tree(0).len(), 2);
+    }
+
+    #[test]
     fn insert_object_extends_all_indexes() {
         let mut db = Database::new(vec![obj(&[(0.0, 0.0), (1.0, 1.0)])]);
         let id = db.insert_object(obj(&[(5.0, 5.0), (6.0, 6.0), (7.0, 5.0)]));
@@ -206,6 +378,17 @@ mod tests {
             .global_tree()
             .range_intersecting(&Mbr::new(vec![4.0, 4.0], vec![8.0, 8.0]));
         assert!(hits.into_iter().any(|&h| h == 1));
+    }
+
+    #[test]
+    fn insert_is_copy_on_write_for_shared_snapshots() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0), (1.0, 1.0)])]);
+        let before = Arc::clone(db.store());
+        db.insert_object(obj(&[(5.0, 5.0)]));
+        // The old snapshot is untouched; the database now owns a new one.
+        assert_eq!(before.len(), 1);
+        assert_eq!(db.store().len(), 2);
+        assert!(!Arc::ptr_eq(db.store(), &before));
     }
 
     #[test]

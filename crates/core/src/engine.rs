@@ -170,6 +170,23 @@ mod tests {
             .collect()
     }
 
+    /// All worker threads of a batch run see the *same* columnar snapshot:
+    /// the engine borrows the database, which holds one `Arc<InstanceStore>`
+    /// — no per-worker copies of the instance data exist.
+    #[test]
+    fn workers_share_one_store_snapshot() {
+        let db = Database::new(scatter(12, 3, 0xACE));
+        let snapshot = std::sync::Arc::clone(db.store());
+        let engine = QueryEngine::new(&db, Operator::SSd);
+        let _ = engine.run_batch(&queries(6, 11), 3);
+        assert!(
+            std::sync::Arc::ptr_eq(&snapshot, db.store()),
+            "batch execution must not clone or replace the instance store"
+        );
+        // 1 (db) + 1 (snapshot) — workers have exited and added none.
+        assert_eq!(std::sync::Arc::strong_count(db.store()), 2);
+    }
+
     #[test]
     fn run_matches_nn_candidates() {
         let db = Database::new(scatter(24, 3, 0xBEEF));

@@ -72,8 +72,8 @@ pub fn irreflexivity_spot_check(
             if u == v {
                 continue;
             }
-            let du = osd_uncertain::DistanceDistribution::between(db.object(u), query.object());
-            let dv = osd_uncertain::DistanceDistribution::between(db.object(v), query.object());
+            let du = osd_uncertain::DistanceDistribution::between_ref(db.object(u), query.object());
+            let dv = osd_uncertain::DistanceDistribution::between_ref(db.object(v), query.object());
             if du.approx_eq(&dv, osd_uncertain::CDF_EPS) && ctx.dominates(op, u, v) {
                 return Err((u, v));
             }

@@ -228,7 +228,7 @@ fn entry_pruned(
 fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, stats: &mut Stats) -> f64 {
     let tree = db.local_tree(v);
     let mut best = f64::INFINITY;
-    for q in query.points() {
+    for q in query.instance_points() {
         stats.instance_comparisons += 1;
         if let Some((_, d)) = tree.nearest(q) {
             best = best.min(d * d);

@@ -61,7 +61,7 @@ pub use brute::nn_candidates_bruteforce;
 pub use cache::DominanceCache;
 pub use config::{FilterConfig, Stats};
 pub use ctx::CheckCtx;
-pub use db::Database;
+pub use db::{Database, DbError};
 pub use engine::{batch_stats, QueryEngine};
 pub use explain::{dominance_matrix, dominators_of};
 pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};

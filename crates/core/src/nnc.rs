@@ -236,7 +236,7 @@ impl<'a> ProgressiveNnc<'a> {
     fn object_min_dist2(&mut self, v: usize) -> f64 {
         let tree = self.ctx.db.local_tree(v);
         let mut best = f64::INFINITY;
-        for q in self.ctx.query.points() {
+        for q in self.ctx.query.instance_points() {
             self.ctx.stats.instance_comparisons += 1;
             if let Some((_, d)) = tree.nearest(q) {
                 best = best.min(d * d);

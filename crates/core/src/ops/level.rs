@@ -110,7 +110,7 @@ fn group_masses(db: &Database, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<
     let obj = db.object(id);
     groups
         .iter()
-        .map(|(_, items)| items.iter().map(|&&i| obj.instances()[i].prob).sum())
+        .map(|(_, items)| items.iter().map(|&&i| obj.prob(i)).sum())
         .collect()
 }
 

@@ -19,7 +19,7 @@
 use crate::config::Stats;
 use crate::ctx::CheckCtx;
 use osd_flow::MaxFlow;
-use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr, Point};
+use osd_geom::{dist2_slice, mbr_dominates, mbr_dominates_strict, Mbr, Point};
 use osd_uncertain::{UncertainObject, SCALE};
 
 /// Hull sizes up to this use the distance-space R-tree strategy for network
@@ -65,10 +65,13 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
         let blocked = ctx.in_hull_instances(v);
         if !blocked.is_empty() {
             let uo = db.object(u);
+            let dim = uo.dim();
             for &vi in blocked.iter() {
-                let vp = &db.object(v).instances()[vi].point;
+                let vp = db.object(v).row(vi);
                 ctx.stats.instance_comparisons += uo.len() as u64;
-                let coincident = uo.instances().iter().any(|ui| ui.point == *vp);
+                // Coincidence is exact coordinate equality (same semantics
+                // as the boxed `Point` comparison this replaces).
+                let coincident = uo.coords().chunks_exact(dim).any(|ui| ui == vp);
                 if !coincident {
                     return false;
                 }
@@ -146,17 +149,18 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
         let k = query.hull().len();
         let mut edges = Vec::new();
         for (j, v_img) in mapped_v.0.iter().enumerate() {
-            let range = Mbr::new(vec![0.0; k], v_img.coords().to_vec());
+            let range = Mbr::new(vec![0.0; k], v_img.coords());
             let hits = mapped_u.1.range_contained(&range);
             ctx.stats.instance_comparisons += (hits.len() + 1) as u64;
             edges.extend(hits.into_iter().map(|&i| (i, j)));
         }
         edges
     } else {
+        let dim = uo.dim();
         let mut edges = Vec::new();
-        for (i, ui) in uo.instances().iter().enumerate() {
-            for (j, vj) in vo.instances().iter().enumerate() {
-                if closer_counted(&ui.point, &vj.point, pts, &mut ctx.stats) {
+        for (i, ui) in uo.coords().chunks_exact(dim).enumerate() {
+            for (j, vj) in vo.coords().chunks_exact(dim).enumerate() {
+                if closer_counted(ui, vj, pts, &mut ctx.stats) {
                     edges.push((i, j));
                 }
             }
@@ -168,10 +172,11 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
 }
 
 /// `δ(u, q) ≤ δ(v, q)` for every evaluation point, with comparison counting.
-fn closer_counted(u: &Point, v: &Point, pts: &[Point], stats: &mut Stats) -> bool {
+/// Operates on borrowed coordinate rows straight out of the instance store.
+fn closer_counted(u: &[f64], v: &[f64], pts: &[Point], stats: &mut Stats) -> bool {
     for q in pts {
         stats.instance_comparisons += 1;
-        if u.dist2(q) > v.dist2(q) {
+        if dist2_slice(u, q.coords()) > dist2_slice(v, q.coords()) {
             return false;
         }
     }
@@ -235,7 +240,7 @@ pub fn peer_network_flow(
     v: &UncertainObject,
     query: &UncertainObject,
 ) -> (u64, u64) {
-    let q_pts = query.points();
+    let q_pts: Vec<Point> = query.instances().iter().map(|i| i.point.clone()).collect();
     let quanta_u =
         osd_uncertain::quantize(&u.instances().iter().map(|i| i.prob).collect::<Vec<_>>());
     let quanta_v =

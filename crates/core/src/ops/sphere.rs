@@ -16,7 +16,8 @@ use osd_uncertain::UncertainObject;
 /// The minimal enclosing ball of an object's instances (the hypersphere
 /// approximation suggested after Theorem 4).
 pub fn enclosing_ball(object: &UncertainObject) -> Sphere {
-    min_enclosing_ball(&object.points())
+    let pts: Vec<_> = object.instances().iter().map(|i| i.point.clone()).collect();
+    min_enclosing_ball(&pts)
 }
 
 /// Sphere-level validation: `true` certifies `F-SD(U, V, Q)` on the raw

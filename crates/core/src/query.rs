@@ -31,7 +31,7 @@ pub struct PreparedQuery {
 impl PreparedQuery {
     /// Prepares a query object: computes hull vertices and caches points.
     pub fn new(object: UncertainObject) -> Self {
-        let all_points = object.points();
+        let all_points: Vec<Point> = object.instances().iter().map(|i| i.point.clone()).collect();
         let hull = hull_vertices(&all_points);
         PreparedQuery {
             shared: Arc::new(QueryState {
@@ -47,8 +47,9 @@ impl PreparedQuery {
         &self.shared.object
     }
 
-    /// All query instance points.
-    pub fn points(&self) -> &[Point] {
+    /// All query instance points — borrowed from the prepared state
+    /// (computed once in [`PreparedQuery::new`], never re-allocated).
+    pub fn instance_points(&self) -> &[Point] {
         &self.shared.all_points
     }
 
@@ -110,7 +111,7 @@ mod tests {
             p2(0.0, 4.0),
             p2(2.0, 2.0), // interior instance
         ]));
-        assert_eq!(q.points().len(), 5);
+        assert_eq!(q.instance_points().len(), 5);
         assert_eq!(q.hull().len(), 4);
         assert_eq!(q.eval_points(true).len(), 4);
         assert_eq!(q.eval_points(false).len(), 5);
@@ -136,7 +137,10 @@ mod tests {
         let q = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]));
         let c = q.clone();
         assert!(std::ptr::eq(q.hull().as_ptr(), c.hull().as_ptr()));
-        assert!(std::ptr::eq(q.points().as_ptr(), c.points().as_ptr()));
+        assert!(std::ptr::eq(
+            q.instance_points().as_ptr(),
+            c.instance_points().as_ptr()
+        ));
     }
 
     #[test]

@@ -173,9 +173,9 @@ mod tests {
         let a = generate_objects(&p);
         let b = generate_objects(&p);
         for (x, y) in a.iter().zip(b.iter()) {
-            assert_eq!(x.points().len(), y.points().len());
-            for (px, py) in x.points().iter().zip(y.points().iter()) {
-                assert_eq!(px.coords(), py.coords());
+            assert_eq!(x.len(), y.len());
+            for (px, py) in x.instances().iter().zip(y.instances().iter()) {
+                assert_eq!(px.point.coords(), py.point.coords());
             }
         }
     }
@@ -196,7 +196,7 @@ mod tests {
             assert_eq!(o.len(), 7);
             assert_eq!(o.dim(), 3);
             // Instances stay in the domain.
-            for pt in o.points() {
+            for pt in o.instances().iter().map(|i| &i.point) {
                 for &c in pt.coords() {
                     assert!((0.0..=DOMAIN).contains(&c), "coordinate {c} out of domain");
                 }

@@ -5,7 +5,7 @@
 //! every query point lies on `u`'s side of the bisector hyperplane between
 //! `u` and `v`, so it suffices to test the vertices of `CH(Q)` (§5.1.2).
 
-use crate::point::Point;
+use crate::point::{dist2_slice, dist_slice, Point};
 
 /// Returns `true` iff `δ(u, q) ≤ δ(v, q)` for every `q` in `queries`.
 ///
@@ -13,6 +13,14 @@ use crate::point::Point;
 /// should pass only those — the result is identical and the scan shorter.
 pub fn closer_to_all(u: &Point, v: &Point, queries: &[Point]) -> bool {
     queries.iter().all(|q| u.dist2(q) <= v.dist2(q))
+}
+
+/// Borrowed-row twin of [`closer_to_all`] for instances held in a flat
+/// row-major store: `true` iff `δ(u, q) ≤ δ(v, q)` for every `q`.
+pub fn closer_to_all_rows(u: &[f64], v: &[f64], queries: &[Point]) -> bool {
+    queries
+        .iter()
+        .all(|q| dist2_slice(u, q.coords()) <= dist2_slice(v, q.coords()))
 }
 
 /// Bisector side test: `true` iff `q` is (weakly) on `u`'s side of the
@@ -40,6 +48,17 @@ pub fn on_near_side(q: &Point, u: &Point, v: &Point) -> bool {
 /// peer-dominance network construction use R-tree range queries (§5.1.2).
 pub fn distance_space(u: &Point, hull: &[Point]) -> Point {
     Point::new(hull.iter().map(|q| u.dist(q)).collect::<Vec<_>>())
+}
+
+/// Borrowed-row twin of [`distance_space`]: maps the coordinate row `u` to
+/// `(δ(u, q_1), …, δ(u, q_k))`. Bit-identical to the [`Point`] path because
+/// [`dist_slice`] folds in the same order as [`Point::dist`].
+pub fn distance_space_row(u: &[f64], hull: &[Point]) -> Point {
+    Point::new(
+        hull.iter()
+            .map(|q| dist_slice(u, q.coords()))
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]
@@ -76,6 +95,22 @@ mod tests {
         let v = p2(4.0, 0.0);
         for q in [p2(1.0, 5.0), p2(2.0, 0.0), p2(3.0, -2.0), p2(-1.0, 0.0)] {
             assert_eq!(on_near_side(&q, &u, &v), q.dist2(&u) <= q.dist2(&v));
+        }
+    }
+
+    #[test]
+    fn row_variants_match_point_variants() {
+        let hull = vec![p2(0.0, 0.0), p2(4.0, 0.0), p2(2.0, 3.0)];
+        let u = p2(1.25, -0.5);
+        let v = p2(5.0, 5.0);
+        assert_eq!(
+            closer_to_all_rows(u.coords(), v.coords(), &hull),
+            closer_to_all(&u, &v, &hull)
+        );
+        let a = distance_space(&u, &hull);
+        let b = distance_space_row(u.coords(), &hull);
+        for i in 0..a.dim() {
+            assert_eq!(a.coord(i).to_bits(), b.coord(i).to_bits());
         }
     }
 

@@ -47,17 +47,23 @@ pub fn hull_vertices(points: &[Point]) -> Vec<Point> {
 ///
 /// Works in any dimension. Returns `false` for an empty `points` slice.
 pub fn point_in_hull(p: &Point, points: &[Point]) -> bool {
+    point_in_hull_row(p.coords(), points)
+}
+
+/// Borrowed-row twin of [`point_in_hull`]: tests whether the coordinate row
+/// `p` lies inside (or on the boundary of) the convex hull of `points`.
+pub fn point_in_hull_row(p: &[f64], points: &[Point]) -> bool {
     if points.is_empty() {
         return false;
     }
-    let d = p.dim();
+    let d = p.len();
     let n = points.len();
     let mut a = Vec::with_capacity(d + 1);
     for i in 0..d {
         a.push(points.iter().map(|x| x.coord(i)).collect::<Vec<_>>());
     }
     a.push(vec![1.0; n]);
-    let mut b: Vec<f64> = p.coords().to_vec();
+    let mut b: Vec<f64> = p.to_vec();
     b.push(1.0);
     let lp = StandardLp::new(a, b, vec![0.0; n]);
     matches!(lp.solve(), LpResult::Optimal { .. })

@@ -49,11 +49,13 @@ pub mod mbr;
 pub mod point;
 pub mod sphere;
 
-pub use closer::{closer_to_all, distance_space, on_near_side};
+pub use closer::{
+    closer_to_all, closer_to_all_rows, distance_space, distance_space_row, on_near_side,
+};
 pub use dominance::{mbr_dominates, mbr_dominates_strict};
-pub use hull::{hull_vertex_indices, hull_vertices, point_in_hull};
+pub use hull::{hull_vertex_indices, hull_vertices, point_in_hull, point_in_hull_row};
 pub use mbr::Mbr;
-pub use point::Point;
+pub use point::{dist2_slice, dist_slice, Point};
 pub use sphere::{min_enclosing_ball, sphere_dominates_sufficient, Sphere};
 
 // Compile-time auto-trait surface: the geometry primitives are shared

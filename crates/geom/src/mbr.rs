@@ -52,6 +52,33 @@ impl Mbr {
         Mbr::new(lo, hi)
     }
 
+    /// The tightest MBR enclosing a non-empty row-major coordinate block of
+    /// `rows.len() / dim` points — the borrowed-slice twin of
+    /// [`Mbr::from_points`], with the identical left-to-right min/max fold so
+    /// the corners are bit-for-bit equal.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty, `dim` is zero, or `rows.len()` is not a
+    /// multiple of `dim`.
+    pub fn from_rows(rows: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "an MBR needs at least one dimension");
+        assert!(!rows.is_empty(), "MBR of an empty point set");
+        assert_eq!(
+            rows.len() % dim,
+            0,
+            "row block length must be a multiple of dim"
+        );
+        let mut lo: Vec<f64> = rows[..dim].to_vec();
+        let mut hi = lo.clone();
+        for row in rows.chunks_exact(dim).skip(1) {
+            for (i, &c) in row.iter().enumerate() {
+                lo[i] = lo[i].min(c);
+                hi[i] = hi[i].max(c);
+            }
+        }
+        Mbr::new(lo, hi)
+    }
+
     /// Dimensionality.
     #[inline]
     pub fn dim(&self) -> usize {
@@ -138,6 +165,15 @@ impl Mbr {
             .all(|(i, &c)| self.lo[i] <= c && c <= self.hi[i])
     }
 
+    /// Whether `self` contains the point with coordinate row `row` — the
+    /// borrowed-slice twin of [`Mbr::contains_point`].
+    pub fn contains_row(&self, row: &[f64]) -> bool {
+        debug_assert_eq!(self.dim(), row.len());
+        row.iter()
+            .enumerate()
+            .all(|(i, &c)| self.lo[i] <= c && c <= self.hi[i])
+    }
+
     /// Whether the two boxes intersect (share at least one point).
     pub fn intersects(&self, other: &Mbr) -> bool {
         debug_assert_eq!(self.dim(), other.dim());
@@ -170,6 +206,32 @@ impl Mbr {
         self.min_dist2_point(p).sqrt()
     }
 
+    /// Squared minimal distance from a coordinate row to this box — the
+    /// borrowed-slice twin of [`Mbr::min_dist2_point`] (same per-dimension
+    /// fold, bit-identical results).
+    pub fn min_dist2_row(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), row.len());
+        row.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = if c < self.lo[i] {
+                    self.lo[i] - c
+                } else if c > self.hi[i] {
+                    c - self.hi[i]
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// Minimal distance from a coordinate row to this box.
+    #[inline]
+    pub fn min_dist_row(&self, row: &[f64]) -> f64 {
+        self.min_dist2_row(row).sqrt()
+    }
+
     /// Squared maximal distance from a point to this box (distance to the
     /// farthest corner).
     pub fn max_dist2_point(&self, p: &Point) -> f64 {
@@ -188,6 +250,25 @@ impl Mbr {
     #[inline]
     pub fn max_dist_point(&self, p: &Point) -> f64 {
         self.max_dist2_point(p).sqrt()
+    }
+
+    /// Squared maximal distance from a coordinate row to this box — the
+    /// borrowed-slice twin of [`Mbr::max_dist2_point`].
+    pub fn max_dist2_row(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(self.dim(), row.len());
+        row.iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = (c - self.lo[i]).abs().max((c - self.hi[i]).abs());
+                d * d
+            })
+            .sum()
+    }
+
+    /// Maximal distance from a coordinate row to this box.
+    #[inline]
+    pub fn max_dist_row(&self, row: &[f64]) -> f64 {
+        self.max_dist2_row(row).sqrt()
     }
 
     /// Squared minimal distance between two boxes (0 if they intersect).
@@ -314,5 +395,50 @@ mod tests {
     #[should_panic(expected = "lower corner")]
     fn inverted_box_rejected() {
         let _ = b(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_points_bitwise() {
+        let pts = vec![p(&[1.0, 5.0]), p(&[3.0, 2.0]), p(&[-1.0, 4.0])];
+        let rows: Vec<f64> = pts.iter().flat_map(|q| q.coords().to_vec()).collect();
+        let a = Mbr::from_points(&pts);
+        let c = Mbr::from_rows(&rows, 2);
+        assert_eq!(a, c);
+        for (x, y) in a.lo().iter().zip(c.lo().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.hi().iter().zip(c.hi().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn row_kernels_match_point_kernels() {
+        let m = b(&[0.0, 0.0], &[4.0, 4.0]);
+        for q in [p(&[2.0, 2.0]), p(&[6.0, 2.0]), p(&[-1.5, 7.25])] {
+            assert_eq!(m.contains_row(q.coords()), m.contains_point(&q));
+            assert_eq!(
+                m.min_dist2_row(q.coords()).to_bits(),
+                m.min_dist2_point(&q).to_bits()
+            );
+            assert_eq!(
+                m.max_dist2_row(q.coords()).to_bits(),
+                m.max_dist2_point(&q).to_bits()
+            );
+            assert_eq!(
+                m.min_dist_row(q.coords()).to_bits(),
+                m.min_dist_point(&q).to_bits()
+            );
+            assert_eq!(
+                m.max_dist_row(q.coords()).to_bits(),
+                m.max_dist_point(&q).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_row_block_rejected() {
+        let _ = Mbr::from_rows(&[0.0, 1.0, 2.0], 2);
     }
 }

@@ -137,6 +137,34 @@ impl Point {
     }
 }
 
+/// Squared Euclidean distance between two coordinate rows.
+///
+/// This is the borrowed-slice twin of [`Point::dist2`] for callers that keep
+/// instances in a flat row-major store: the fold order (left-to-right
+/// `zip`/`sum`) is identical, so results are bit-for-bit equal to the boxed
+/// representation.
+///
+/// # Panics
+/// Panics in debug builds if the rows have different lengths.
+#[inline]
+pub fn dist2_slice(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance δ(a, b) between two coordinate rows — the
+/// borrowed-slice twin of [`Point::dist`].
+#[inline]
+pub fn dist_slice(a: &[f64], b: &[f64]) -> f64 {
+    dist2_slice(a, b).sqrt()
+}
+
 impl fmt::Debug for Point {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Point{:?}", self.coords)
@@ -219,6 +247,20 @@ mod tests {
     fn minkowski_below_one_rejected() {
         let a = p(&[0.0]);
         let _ = a.dist_minkowski(&p(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn slice_kernels_match_point_kernels_bitwise() {
+        let a = p(&[0.1, 0.2, 0.3, 0.4]);
+        let b = p(&[-1.7, 2.5, 0.30000000000000004, 1e-13]);
+        assert_eq!(
+            dist2_slice(a.coords(), b.coords()).to_bits(),
+            a.dist2(&b).to_bits()
+        );
+        assert_eq!(
+            dist_slice(a.coords(), b.coords()).to_bits(),
+            a.dist(&b).to_bits()
+        );
     }
 
     #[test]

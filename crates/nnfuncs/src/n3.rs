@@ -7,13 +7,21 @@
 //! max-flow substrate on fixed-point capacities.
 
 use osd_flow::MinCostFlow;
+use osd_geom::Point;
 use osd_uncertain::{quantize, UncertainObject, SCALE};
+
+/// Materialises an object's instance points (the owned `points()` accessor
+/// was removed with the columnar store; these N3 scorers still want a
+/// contiguous point list for `dist_min`).
+fn instance_points(object: &UncertainObject) -> Vec<Point> {
+    object.instances().iter().map(|i| i.point.clone()).collect()
+}
 
 /// Hausdorff distance (Definition 11):
 /// `max( max_u δ_min(u, Q), max_q δ_min(q, U) )`.
 pub fn hausdorff(object: &UncertainObject, query: &UncertainObject) -> f64 {
-    let q_pts = query.points();
-    let u_pts = object.points();
+    let q_pts = instance_points(query);
+    let u_pts = instance_points(object);
     let forward = object
         .instances()
         .iter()
@@ -30,8 +38,8 @@ pub fn hausdorff(object: &UncertainObject, query: &UncertainObject) -> f64 {
 /// Sum-of-Minimal distance (Ramon & Bruynooghe \[27\]), probability-weighted:
 /// `½ ( Σ_u p(u) δ_min(u, Q) + Σ_q p(q) δ_min(q, U) )`.
 pub fn sum_min(object: &UncertainObject, query: &UncertainObject) -> f64 {
-    let q_pts = query.points();
-    let u_pts = object.points();
+    let q_pts = instance_points(query);
+    let u_pts = instance_points(object);
     let forward: f64 = object
         .instances()
         .iter()

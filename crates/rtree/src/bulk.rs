@@ -58,6 +58,37 @@ impl<T> RTree<T> {
     }
 }
 
+impl RTree<usize> {
+    /// Builds a tree over a row-major coordinate block: one degenerate
+    /// (point) rectangle per `dim`-sized row, with the row index as payload.
+    ///
+    /// This is the zero-copy companion of [`RTree::bulk_load`] for flat
+    /// instance stores — entries are materialised straight from the borrowed
+    /// slice, with no intermediate owned point set. The produced tree is
+    /// identical to bulk-loading `Entry { mbr: Mbr::from_point(row_i), item: i }`.
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 2`, `dim` is zero, or `rows.len()` is not a
+    /// multiple of `dim`.
+    pub fn bulk_load_rows(max_entries: usize, dim: usize, rows: &[f64]) -> Self {
+        assert!(dim > 0, "rows need at least one dimension");
+        assert_eq!(
+            rows.len() % dim,
+            0,
+            "row block length must be a multiple of dim"
+        );
+        let entries: Vec<Entry<usize>> = rows
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| Entry {
+                mbr: Mbr::new(row, row),
+                item: i,
+            })
+            .collect();
+        RTree::bulk_load(max_entries, entries)
+    }
+}
+
 /// Trait unifying the two packable kinds (leaf entries and children).
 trait HasMbr {
     fn mbr_ref(&self) -> &Mbr;
@@ -129,4 +160,44 @@ fn sort_by_center<I: HasMbr>(items: &mut [I], d: usize) {
         let cb = b.mbr_ref().lo()[d] + b.mbr_ref().hi()[d];
         ca.total_cmp(&cb)
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osd_geom::Point;
+
+    #[test]
+    fn bulk_load_rows_matches_point_entry_bulk_load() {
+        let rows: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin() * 50.0).collect();
+        let dim = 3;
+        let from_rows = RTree::bulk_load_rows(4, dim, &rows);
+        let entries: Vec<Entry<usize>> = rows
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| Entry {
+                mbr: Mbr::from_point(&Point::new(row.to_vec())),
+                item: i,
+            })
+            .collect();
+        let from_points = RTree::bulk_load(4, entries);
+        assert_eq!(from_rows.len(), from_points.len());
+        assert_eq!(from_rows.height(), from_points.height());
+        assert_eq!(from_rows.mbr(), from_points.mbr());
+        assert!(from_rows.validate_structure().is_ok());
+        let probe = Point::new(vec![0.1, -0.2, 0.3]);
+        assert_eq!(from_rows.nearest(&probe), from_points.nearest(&probe));
+    }
+
+    #[test]
+    fn bulk_load_rows_empty_is_fine() {
+        let t = RTree::bulk_load_rows(4, 2, &[]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bulk_load_rows_ragged_rejected() {
+        let _ = RTree::bulk_load_rows(4, 2, &[1.0, 2.0, 3.0]);
+    }
 }

@@ -6,7 +6,8 @@
 //! per-query-instance distribution `U_q` restricts to pairs involving `q`.
 
 use crate::object::UncertainObject;
-use osd_geom::Point;
+use crate::store::ObjectRef;
+use osd_geom::{dist_slice, Point};
 
 /// A discrete distribution over distances: `(value, probability)` atoms
 /// sorted by non-decreasing value.
@@ -69,6 +70,33 @@ impl DistanceDistribution {
             .instances()
             .iter()
             .map(|u| (q.dist(&u.point), u.prob))
+            .collect();
+        DistanceDistribution::from_atoms(atoms)
+    }
+
+    /// Borrowed-store twin of [`DistanceDistribution::between`]: `U_Q` for
+    /// an object held in an [`InstanceStore`](crate::InstanceStore) view.
+    ///
+    /// The atom enumeration order (query-instance outer, object-instance
+    /// inner) and the per-pair distance fold are identical to the boxed
+    /// path, so the resulting distribution is bit-for-bit the same.
+    pub fn between_ref(object: ObjectRef<'_>, query: &UncertainObject) -> Self {
+        let mut atoms = Vec::with_capacity(object.len() * query.len());
+        for q in query.instances() {
+            for u in object.instances() {
+                atoms.push((dist_slice(q.point.coords(), u.row), q.prob * u.prob));
+            }
+        }
+        DistanceDistribution::from_atoms(atoms)
+    }
+
+    /// Borrowed-store twin of [`DistanceDistribution::to_instance`]: `U_q`
+    /// for an object held in an [`InstanceStore`](crate::InstanceStore)
+    /// view.
+    pub fn to_instance_ref(object: ObjectRef<'_>, q: &Point) -> Self {
+        let atoms = object
+            .instances()
+            .map(|u| (dist_slice(q.coords(), u.row), u.prob))
             .collect();
         DistanceDistribution::from_atoms(atoms)
     }
@@ -190,6 +218,31 @@ mod tests {
         let a = UncertainObject::new(vec![(p2(3.0, 0.0), 0.3), (p2(0.0, 4.0), 0.7)]);
         let d = DistanceDistribution::to_instance(&a, &p2(0.0, 0.0));
         assert_eq!(d.atoms(), &[(3.0, 0.3), (4.0, 0.7)]);
+    }
+
+    #[test]
+    fn ref_constructors_match_boxed_constructors_bitwise() {
+        use crate::store::InstanceStore;
+        let objects = vec![
+            UncertainObject::new(vec![(p2(3.0, 0.0), 0.3), (p2(0.0, 4.0), 0.7)]),
+            UncertainObject::uniform(vec![p2(0.1, 0.2), p2(-1.5, 2.25), p2(3.0, 3.0)]),
+        ];
+        let query = UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 1.0)]);
+        let store = InstanceStore::from_objects(&objects).unwrap();
+        for (id, o) in objects.iter().enumerate() {
+            let boxed = DistanceDistribution::between(o, &query);
+            let via_ref = DistanceDistribution::between_ref(store.object(id), &query);
+            assert_eq!(boxed.atoms().len(), via_ref.atoms().len());
+            for (a, b) in boxed.atoms().iter().zip(via_ref.atoms().iter()) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            for q in query.instances() {
+                let boxed = DistanceDistribution::to_instance(o, &q.point);
+                let via_ref = DistanceDistribution::to_instance_ref(store.object(id), &q.point);
+                assert_eq!(boxed, via_ref);
+            }
+        }
     }
 
     #[test]

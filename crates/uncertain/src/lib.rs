@@ -52,6 +52,7 @@ pub mod metric;
 pub mod object;
 pub mod quantize;
 pub mod stochastic;
+pub mod store;
 pub mod world;
 
 pub use distribution::DistanceDistribution;
@@ -63,6 +64,7 @@ pub use quantize::{quantize, SCALE};
 pub use stochastic::{
     stochastically_dominates, stochastically_dominates_counted, strictly_dominates, CDF_EPS,
 };
+pub use store::{InstanceRef, InstanceStore, ObjectRef, StoreError};
 pub use world::for_each_world;
 
 // Compile-time auto-trait surface: uncertain objects and their distance
@@ -72,3 +74,7 @@ const fn _assert_send_sync<T: Send + Sync>() {}
 const _: () = _assert_send_sync::<UncertainObject>();
 const _: () = _assert_send_sync::<Instance>();
 const _: () = _assert_send_sync::<DistanceDistribution>();
+const _: () = _assert_send_sync::<InstanceStore>();
+const _: () = _assert_send_sync::<ObjectRef<'static>>();
+const _: () = _assert_send_sync::<InstanceRef<'static>>();
+const _: () = _assert_send_sync::<StoreError>();

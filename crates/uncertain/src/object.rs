@@ -160,11 +160,6 @@ impl UncertainObject {
         &self.instances
     }
 
-    /// The instance points, without probabilities.
-    pub fn points(&self) -> Vec<Point> {
-        self.instances.iter().map(|i| i.point.clone()).collect()
-    }
-
     /// Dimensionality of the instance space.
     pub fn dim(&self) -> usize {
         self.instances[0].point.dim()

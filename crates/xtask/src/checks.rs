@@ -37,6 +37,12 @@ const KERNEL_FILES: &[&str] = &[
 /// types (`Rc`, `RefCell`) would silently break the parallel batch executor.
 const THREAD_SAFE_DIR: &str = "crates/core/src";
 
+/// Hot query paths that must read instance data as borrowed slices out of
+/// the columnar `InstanceStore`. Materialising owned point sets here would
+/// silently reintroduce the per-check allocations the flat layout removed.
+const HOT_PATH_DIRS: &[&str] = &["crates/core/src/ops"];
+const HOT_PATH_FILES: &[&str] = &["crates/core/src/nnc.rs", "crates/core/src/knnc.rs"];
+
 /// Directory whose `pub fn`s must cite the paper.
 const OPS_DIR: &str = "crates/core/src/ops";
 
@@ -107,11 +113,19 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     if file.path.starts_with(THREAD_SAFE_DIR) {
         no_rc_in_core(file, out);
     }
+    if is_hot_path(&file.path) {
+        no_owned_points_in_hot_paths(file, out);
+    }
 }
 
 fn is_kernel(path: &Path) -> bool {
     KERNEL_DIRS.iter().any(|d| path.starts_with(d))
         || KERNEL_FILES.iter().any(|f| Path::new(f) == path)
+}
+
+fn is_hot_path(path: &Path) -> bool {
+    HOT_PATH_DIRS.iter().any(|d| path.starts_with(d))
+        || HOT_PATH_FILES.iter().any(|f| Path::new(f) == path)
 }
 
 fn push(out: &mut Vec<Violation>, file: &SourceFile, line: usize, rule: &'static str, msg: String) {
@@ -408,6 +422,38 @@ fn no_rc_in_core(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 7: the dominance kernels and the NNC/k-NNC traversals operate on
+/// borrowed rows of the columnar instance store. Gathering owned point sets
+/// (`.points()`) or cloning borrowed slices (`.to_vec(`) inside these files
+/// allocates per dominance check and defeats the flat SoA layout.
+fn no_owned_points_in_hot_paths(file: &SourceFile, out: &mut Vec<Violation>) {
+    const BANNED: &[(&str, &str)] = &[
+        (".points()", "gathers an owned copy of the instance points"),
+        (
+            ".to_vec(",
+            "clones a borrowed slice into a fresh allocation",
+        ),
+    ];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for (pat, what) in BANNED {
+            if line.code.contains(pat) {
+                push(
+                    out,
+                    file,
+                    line.num,
+                    "no-owned-points-in-hot-paths",
+                    format!(
+                        "`{pat}` in a hot query path {what}; borrow rows from the InstanceStore instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +605,36 @@ mod tests {
         assert!(check_src(
             "crates/core/src/cache.rs",
             "#[cfg(test)]\nmod tests {\n    use std::rc::Rc;\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_owned_points_in_hot_paths() {
+        let gather =
+            "/// Theorem 12 helper.\npub fn f(q: &UncertainObject) { let _ = q.points(); }\n";
+        assert_eq!(
+            rules(&check_src("crates/core/src/ops/psd.rs", gather)),
+            vec!["no-owned-points-in-hot-paths"]
+        );
+        let clone = "fn g(v: &[f64]) -> Vec<f64> { v.to_vec() }\n";
+        assert_eq!(
+            rules(&check_src("crates/core/src/nnc.rs", clone)),
+            vec!["no-owned-points-in-hot-paths"]
+        );
+        assert_eq!(
+            rules(&check_src("crates/core/src/knnc.rs", clone)),
+            vec!["no-owned-points-in-hot-paths"]
+        );
+        // Outside the hot paths both are allowed.
+        assert!(check_src("crates/core/src/cache.rs", clone).is_empty());
+        // Borrowing accessors with similar names do not trip the rule.
+        let ok = "fn h(q: &PreparedQuery) { let _ = q.instance_points(); let _ = q.eval_points(true); }\n";
+        assert!(check_src("crates/core/src/nnc.rs", ok).is_empty());
+        // Test modules are exempt, as everywhere.
+        assert!(check_src(
+            "crates/core/src/ops/psd.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(v: &[f64]) { let _ = v.to_vec(); }\n}\n",
         )
         .is_empty());
     }

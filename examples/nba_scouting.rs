@@ -72,10 +72,10 @@ fn main() {
     // winner is guaranteed to be inside.
     println!("\n--- NN probability across the SS-SD shortlist ---");
     let shortlist = sssd.ids();
-    let objects = db.objects();
+    let objects = db.store().to_objects();
     let mut scored: Vec<(usize, f64)> = shortlist
         .iter()
-        .map(|&id| (id, nn_probability(objects, id, target.object())))
+        .map(|&id| (id, nn_probability(&objects, id, target.object())))
         .collect();
     scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (id, p) in scored.iter().take(5) {
@@ -90,7 +90,8 @@ fn main() {
 }
 
 fn best_by(db: &Database, score: impl Fn(&UncertainObject) -> f64) -> usize {
+    let objects = db.store().to_objects();
     (0..db.len())
-        .min_by(|&a, &b| score(db.object(a)).total_cmp(&score(db.object(b))))
+        .min_by(|&a, &b| score(&objects[a]).total_cmp(&score(&objects[b])))
         .unwrap()
 }

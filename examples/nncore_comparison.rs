@@ -53,6 +53,7 @@ fn main() {
         seed: 404,
     });
     let db = Database::new(objects);
+    let boxed = db.store().to_objects();
     let mut core_misses = 0;
     let mut sd_misses = 0;
     let queries = 10;
@@ -61,9 +62,9 @@ fn main() {
             3_000.0 + 500.0 * k as f64,
             5_000.0,
         ])]));
-        let core = nn_core(db.objects(), q.object());
+        let core = nn_core(&boxed, q.object());
         let ssd = nn_candidates(&db, &q, Operator::SSd, &FilterConfig::all()).ids();
-        let w = best(db.objects(), |o| N1Function::Max.score(o, q.object()));
+        let w = best(&boxed, |o| N1Function::Max.score(o, q.object()));
         if !core.contains(&w) {
             core_misses += 1;
         }

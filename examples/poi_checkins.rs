@@ -50,11 +50,12 @@ fn main() {
         N1Function::Max,
         N1Function::Quantile(0.5),
     ];
+    let boxed = db.store().to_objects();
     for f in n1_funcs {
         let best = (0..db.len())
             .min_by(|&a, &b| {
-                f.score(db.object(a), venue.object())
-                    .total_cmp(&f.score(db.object(b), venue.object()))
+                f.score(&boxed[a], venue.object())
+                    .total_cmp(&f.score(&boxed[b], venue.object()))
             })
             .unwrap();
         println!(
@@ -73,9 +74,7 @@ fn main() {
         ("sum_min", sum_min),
     ] {
         let best = (0..db.len())
-            .min_by(|&a, &b| {
-                f(db.object(a), venue.object()).total_cmp(&f(db.object(b), venue.object()))
-            })
+            .min_by(|&a, &b| f(&boxed[a], venue.object()).total_cmp(&f(&boxed[b], venue.object())))
             .unwrap();
         println!(
             "{:<14} → user {:>3} (in P-SD candidates: {})",

@@ -58,16 +58,16 @@ fn main() {
     }
 
     // Why the far object never shows up: everything peer-dominates it.
-    let far = db.object(3).clone();
-    let near = db.object(0).clone();
+    let far = db.object(3).to_object();
+    let near = db.object(0).to_object();
     println!(
         "\nP-SD(near, far, Q) = {}",
         p_sd(&near, &far, query.object())
     );
 
     // And why object 2 survives: under the `min` aggregate it is the best.
-    let d0 = DistanceDistribution::between(db.object(0), query.object());
-    let d2 = DistanceDistribution::between(db.object(2), query.object());
+    let d0 = DistanceDistribution::between_ref(db.object(0), query.object());
+    let d2 = DistanceDistribution::between_ref(db.object(2), query.object());
     println!(
         "min-dist: object0 = {:.3}, object2 = {:.3}  (object2 wins under f = min)",
         d0.min(),

@@ -83,7 +83,7 @@ fn main() {
         k_nn_candidates(&db, &incident, Operator::SsSd, 2, &FilterConfig::all()).ids();
     let survivors: Vec<UncertainObject> = (0..db.len())
         .filter(|i| !k1.contains(i))
-        .map(|i| db.object(i).clone())
+        .map(|i| db.object(i).to_object())
         .collect();
     let id_map: Vec<usize> = (0..db.len()).filter(|i| !k1.contains(i)).collect();
     let db2 = Database::new(survivors);

@@ -23,6 +23,12 @@ cargo test -q --features strict-invariants
 cargo test -q -p osd-core --features strict-invariants
 cargo test -q -p osd-rtree --features strict-invariants
 
+echo "== columnar store round-trip (bit-identity) =="
+# The SoA InstanceStore must be a bit-for-bit re-encoding of the boxed
+# object model, with and without the audit layer.
+cargo test -q --test store_roundtrip
+cargo test -q --features strict-invariants --test store_roundtrip
+
 echo "== batch executor under strict-invariants =="
 # Drives QueryEngine::run_batch with the audit layer on: every dominance
 # check in every worker thread re-runs the cover-chain debug_assert!.

@@ -195,13 +195,13 @@ fn query_hull_reduction_is_lossless() {
     let queries = generate_queries(&params, 5, 12, 600.0, 17);
     for q in queries {
         let pq = PreparedQuery::new(q);
-        assert!(pq.hull().len() <= pq.points().len());
+        assert!(pq.hull().len() <= pq.instance_points().len());
         for u in objects.iter().take(6) {
             for v in objects.iter().take(6) {
                 let full = osd::geom::closer_to_all(
                     &u.instances()[0].point,
                     &v.instances()[0].point,
-                    pq.points(),
+                    pq.instance_points(),
                 );
                 let hull = osd::geom::closer_to_all(
                     &u.instances()[0].point,
