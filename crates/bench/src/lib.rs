@@ -22,6 +22,7 @@ pub mod datasets;
 pub mod figures;
 pub mod motivation;
 pub mod params;
+pub mod profile;
 pub mod runner;
 pub mod storage;
 pub mod throughput;
@@ -30,8 +31,11 @@ pub use datasets::{build, DatasetId, Workbench};
 pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
 pub use motivation::motivation;
 pub use params::{Scale, Sweeps};
+pub use profile::{measure_profile, profile, ProfileReport};
 pub use runner::{
     print_table, run_all_ops, run_all_ops_parallel, run_cell, run_cell_parallel, CellResult, Report,
 };
 pub use storage::{measure_storage, storage, StorageReport};
-pub use throughput::{host_cpus, measure, throughput, ThroughputPoint, ThroughputReport};
+pub use throughput::{
+    host_cpus, measure, phase_medians, throughput, ThroughputPoint, ThroughputReport,
+};

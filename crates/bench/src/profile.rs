@@ -1,0 +1,212 @@
+//! `repro profile`: the per-phase observability profile of a batch
+//! workload, written to `BENCH_obs.json`.
+//!
+//! Where `throughput` measures *how fast* the parallel engine answers a
+//! batch, this mode measures *where the time goes*: the osd-obs phase
+//! breakdown (prepare, rtree-descent, level-prune, validate, refine),
+//! counters and gauges, folded over every query of the workload.
+//!
+//! The run doubles as an end-to-end check of the exact-merge contract:
+//! the batch executes once sequentially and once on `threads` workers,
+//! and the two folded registries must agree on every deterministic
+//! quantity (counters, phase sample counts, heap high-water, per-operator
+//! tallies) — wall-clock nanoseconds are the only thing allowed to differ.
+
+use crate::datasets::{build, DatasetId, Workbench};
+use crate::params::Scale;
+use osd_core::{batch_metrics, batch_stats, FilterConfig, Operator, QueryEngine, Stats};
+use osd_obs::{expo, Counter, Phase, QueryMetrics};
+
+/// A measured profile: workload description plus the folded registry.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Dataset label (the profile runs on A-N).
+    pub dataset: &'static str,
+    /// Operator label.
+    pub op: &'static str,
+    /// Objects in the database.
+    pub objects: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Worker threads of the parallel run that was validated against the
+    /// sequential baseline.
+    pub threads: usize,
+    /// The folded per-query registries of the parallel run.
+    pub metrics: QueryMetrics,
+    /// The folded legacy counters of the parallel run.
+    pub stats: Stats,
+}
+
+/// The deterministic projection of a registry: everything except
+/// wall-clock nanoseconds and the latency buckets derived from them.
+type Projection = (Vec<u64>, u64, Vec<u64>, Vec<(&'static str, u64)>);
+
+fn projection(m: &QueryMetrics) -> Projection {
+    (
+        Counter::ALL.iter().map(|c| m.counter(*c)).collect(),
+        m.heap_high_water(),
+        Phase::ALL.iter().map(|p| m.phase_count(*p)).collect(),
+        m.candidates_by_op(),
+    )
+}
+
+/// Runs the A-N batch sequentially and on `threads` workers, validates
+/// ids and the deterministic metric projection across the two runs, and
+/// returns the folded profile.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence — differing candidate
+/// ids, or folded totals that depend on the thread count. Either would be
+/// a determinism bug in the engine or the metric merge.
+pub fn measure_profile(
+    scale: &Scale,
+    op: Operator,
+    threads: usize,
+) -> Result<ProfileReport, String> {
+    let bench: Workbench = build(DatasetId::AN, scale);
+    let engine = QueryEngine::with_config(&bench.db, op, FilterConfig::all());
+
+    let seq = engine.run_batch(&bench.queries, 1);
+    let par = engine.run_batch(&bench.queries, threads.max(1));
+
+    let seq_ids: Vec<Vec<usize>> = seq.iter().map(|r| r.ids()).collect();
+    let par_ids: Vec<Vec<usize>> = par.iter().map(|r| r.ids()).collect();
+    if seq_ids != par_ids {
+        return Err(format!(
+            "run_batch({threads} threads) diverged from the sequential baseline"
+        ));
+    }
+    let folded = batch_metrics(&par);
+    if projection(&batch_metrics(&seq)) != projection(&folded) {
+        return Err(format!(
+            "folded metric totals differ between 1 and {threads} threads — \
+             the exact-merge contract is broken"
+        ));
+    }
+
+    Ok(ProfileReport {
+        dataset: DatasetId::AN.label(),
+        op: op.label(),
+        objects: bench.db.len(),
+        queries: bench.queries.len(),
+        threads: threads.max(1),
+        metrics: folded,
+        stats: batch_stats(&par),
+    })
+}
+
+impl ProfileReport {
+    /// Renders the report as a JSON document: a workload header plus the
+    /// osd-obs exposition under `"profile"`, with the non-mirrored legacy
+    /// counters folded in (see the CLI's `--profile` for the same rule).
+    pub fn to_json(&self) -> String {
+        let extra = [
+            ("instance_comparisons", self.stats.instance_comparisons),
+            ("dominance_checks", self.stats.dominance_checks),
+            ("flow_runs", self.stats.flow_runs),
+            ("mbr_checks", self.stats.mbr_checks),
+        ];
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"operator\": \"{}\",\n", self.op));
+        out.push_str(&format!("  \"objects\": {},\n", self.objects));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"profile\": ");
+        out.push_str(expo::to_json(&self.metrics, &extra).trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Prints the per-phase table and writes the JSON document to
+/// `json_path`. Exits non-zero if the determinism validation fails.
+pub fn profile(scale: &Scale, threads: usize, json_path: &str) {
+    let report = match measure_profile(scale, Operator::PSd, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n== Profile: {} on {} ({} objects, {} queries, {} threads, obs {}) ==",
+        report.op,
+        report.dataset,
+        report.objects,
+        report.queries,
+        report.threads,
+        if QueryMetrics::enabled() { "on" } else { "off" }
+    );
+    println!(
+        "{:>16} {:>10} {:>14} {:>12}",
+        "phase", "samples", "total_ns", "mean_ns"
+    );
+    for p in Phase::ALL {
+        let count = report.metrics.phase_count(p);
+        let nanos = report.metrics.phase_nanos(p);
+        let mean = nanos.checked_div(count).unwrap_or(0);
+        println!("{:>16} {count:>10} {nanos:>14} {mean:>12}", p.name());
+    }
+    for c in Counter::ALL {
+        println!("{:>24} {}", c.name(), report.metrics.counter(c));
+    }
+    println!(
+        "{:>24} {}",
+        "heap_high_water",
+        report.metrics.heap_high_water()
+    );
+    match std::fs::write(json_path, report.to_json()) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n: 90,
+            m_d: 4,
+            m_q: 3,
+            queries: 5,
+            ..Scale::laptop()
+        }
+    }
+
+    #[test]
+    fn measure_validates_exact_merge_across_threads() {
+        let report = measure_profile(&tiny(), Operator::PSd, 3).unwrap();
+        assert_eq!(report.threads, 3);
+        assert_eq!(report.queries, 5);
+        if QueryMetrics::enabled() {
+            // Five queries ran, so every query recorded one prepare phase.
+            assert_eq!(report.metrics.phase_count(Phase::Prepare), 5);
+            assert!(report.metrics.counter(Counter::RtreeNodeVisits) > 0);
+        }
+        // The legacy counters fold the same way in either build.
+        assert!(report.stats.dominance_checks > 0);
+    }
+
+    #[test]
+    fn report_json_carries_workload_and_all_phases() {
+        let report = measure_profile(&tiny(), Operator::SSd, 2).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"operator\": \"SSD\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"enabled\""));
+        for p in Phase::ALL {
+            assert!(
+                json.contains(&format!("\"{}\"", p.name())),
+                "missing {}",
+                p.name()
+            );
+        }
+        assert!(json.contains("\"instance_comparisons\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

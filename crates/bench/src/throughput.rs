@@ -13,7 +13,8 @@
 
 use crate::datasets::{build, DatasetId, Workbench};
 use crate::params::Scale;
-use osd_core::{FilterConfig, Operator, QueryEngine};
+use osd_core::{FilterConfig, NncResult, Operator, QueryEngine};
+use osd_obs::Phase;
 use std::time::Instant;
 
 /// One measured point of the throughput curve.
@@ -44,6 +45,10 @@ pub struct ThroughputReport {
     pub host_cpus: usize,
     /// One point per requested thread count.
     pub points: Vec<ThroughputPoint>,
+    /// Median per-query wall-clock per osd-obs phase, in nanoseconds,
+    /// taken over the sequential baseline run (all zeros when the `obs`
+    /// feature is off). One `(phase_name, median_ns)` pair per phase.
+    pub phase_median_ns: Vec<(&'static str, u64)>,
 }
 
 impl ThroughputReport {
@@ -65,9 +70,35 @@ impl ThroughputReport {
                 p.threads, p.elapsed_s, p.qps
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        out.push_str("  \"phase_median_ns\": {");
+        for (i, (name, med)) in self.phase_median_ns.iter().enumerate() {
+            let sep = if i + 1 == self.phase_median_ns.len() {
+                ""
+            } else {
+                ", "
+            };
+            out.push_str(&format!("\"{name}\": {med}{sep}"));
+        }
+        out.push_str("}\n}\n");
         out
     }
+}
+
+/// Median per-query nanoseconds spent in each osd-obs phase across a
+/// batch's results (upper median for even counts; zeros when the batch is
+/// empty or the `obs` feature is off).
+pub fn phase_medians(results: &[NncResult]) -> Vec<(&'static str, u64)> {
+    Phase::ALL
+        .iter()
+        .map(|p| {
+            let mut per_query: Vec<u64> =
+                results.iter().map(|r| r.metrics.phase_nanos(*p)).collect();
+            per_query.sort_unstable();
+            let median = per_query.get(per_query.len() / 2).copied().unwrap_or(0);
+            (p.name(), median)
+        })
+        .collect()
 }
 
 /// Logical CPUs of the host, `1` when the runtime cannot tell.
@@ -100,6 +131,7 @@ pub fn measure(
     let baseline = engine.run_batch(&bench.queries, 1);
     let base_elapsed = started.elapsed().as_secs_f64();
     let reference: Vec<Vec<usize>> = baseline.iter().map(|r| r.ids()).collect();
+    let phase_median_ns = phase_medians(&baseline);
 
     let mut points = Vec::with_capacity(threads_list.len());
     for &threads in threads_list {
@@ -135,6 +167,7 @@ pub fn measure(
         queries: bench.queries.len(),
         host_cpus: host_cpus(),
         points,
+        phase_median_ns,
     })
 }
 
@@ -196,6 +229,18 @@ mod tests {
         for p in &report.points {
             assert!(p.qps > 0.0);
         }
+        // One median per phase, in taxonomy order.
+        let names: Vec<_> = report.phase_median_ns.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "prepare",
+                "rtree-descent",
+                "level-prune",
+                "validate",
+                "refine"
+            ]
+        );
     }
 
     #[test]
@@ -211,10 +256,13 @@ mod tests {
                 elapsed_s: 0.5,
                 qps: 4.0,
             }],
+            phase_median_ns: vec![("prepare", 10), ("refine", 0)],
         };
         let json = report.to_json();
         assert!(json.contains("\"host_cpus\": 1"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"phase_median_ns\": {\"prepare\": 10, \"refine\": 0}"));
         assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -81,6 +81,15 @@ pub fn parse_operator(name: &str) -> Result<Operator, CliError> {
     }
 }
 
+/// Output format selected by `--profile[=json|prom]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileFormat {
+    /// Hand-formatted JSON document (the default).
+    Json,
+    /// Prometheus text exposition format.
+    Prom,
+}
+
 /// A tiny flag scanner: `--name value` pairs plus boolean `--name` flags.
 pub struct Flags {
     args: Vec<String>,
@@ -113,6 +122,29 @@ impl Flags {
     /// Whether the boolean flag `--name` is present.
     pub fn has(&self, name: &str) -> bool {
         self.args.iter().any(|a| a == name)
+    }
+
+    /// The `--profile` selection: `None` when the flag is absent, `Json`
+    /// for a bare `--profile` or `--profile=json`, `Prom` for
+    /// `--profile=prom`.
+    ///
+    /// # Errors
+    /// Returns [`CliError::BadArgument`] for an unknown format.
+    pub fn profile(&self) -> Result<Option<ProfileFormat>, CliError> {
+        for a in &self.args {
+            match a.as_str() {
+                "--profile" | "--profile=json" => return Ok(Some(ProfileFormat::Json)),
+                "--profile=prom" | "--profile=prometheus" => return Ok(Some(ProfileFormat::Prom)),
+                other => {
+                    if let Some(v) = other.strip_prefix("--profile=") {
+                        return Err(CliError::BadArgument(format!(
+                            "--profile={v:?} (use json | prom)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// A parsed optional value with a default.
@@ -175,5 +207,19 @@ mod tests {
         assert_eq!(f.parsed_or("--missing", 7usize).unwrap(), 7);
         assert!(f.required("--data").is_ok());
         assert!(f.required("--query").is_err());
+    }
+
+    #[test]
+    fn profile_flag_forms() {
+        let none = Flags::new(vec!["--data".into(), "x.csv".into()]);
+        assert_eq!(none.profile().unwrap(), None);
+        let bare = Flags::new(vec!["--profile".into()]);
+        assert_eq!(bare.profile().unwrap(), Some(ProfileFormat::Json));
+        let json = Flags::new(vec!["--profile=json".into()]);
+        assert_eq!(json.profile().unwrap(), Some(ProfileFormat::Json));
+        let prom = Flags::new(vec!["--profile=prom".into()]);
+        assert_eq!(prom.profile().unwrap(), Some(ProfileFormat::Prom));
+        let bad = Flags::new(vec!["--profile=xml".into()]);
+        assert!(bad.profile().is_err());
     }
 }

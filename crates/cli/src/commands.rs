@@ -1,9 +1,9 @@
 //! Subcommand implementations for the `osd` CLI.
 
-use crate::args::{parse_operator, parse_query_spec, CliError, Flags};
+use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat};
 use osd_core::{
-    k_nn_candidates, nn_candidates, Database, FilterConfig, PreparedQuery, ProgressiveNnc,
-    QueryEngine,
+    batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates, nn_candidates,
+    Database, FilterConfig, PreparedQuery, ProgressiveNnc, QueryEngine, QueryMetrics, Stats,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -24,6 +24,7 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let k: usize = flags.parsed_or("--k", 1)?;
     let threads: usize = flags.parsed_or("--threads", 1)?;
     let progressive = flags.has("--progressive");
+    let profile = flags.profile()?;
 
     let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
     let dim = objects
@@ -57,6 +58,14 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
                 println!("  object {:>6}  min-dist {:>10.3}", c.id, c.min_dist);
             }
         }
+        if let Some(fmt) = profile {
+            // Per-worker registries fold exactly, so the batch profile is
+            // identical regardless of --threads.
+            print!(
+                "{}",
+                render_profile(fmt, &batch_metrics(&results), &batch_stats(&results))
+            );
+        }
         return Ok(());
     }
 
@@ -78,6 +87,9 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         while let Some(c) = stream.next_candidate() {
             println!("{:>8} {:>12.3} {:>10.2?}", c.id, c.min_dist, c.elapsed);
         }
+        if let Some(fmt) = profile {
+            print!("{}", render_profile(fmt, stream.metrics(), stream.stats()));
+        }
         return Ok(());
     }
     if k > 1 {
@@ -94,14 +106,39 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
                 c.id, c.min_dist, dominators
             );
         }
+        if let Some(fmt) = profile {
+            print!("{}", render_profile(fmt, &res.metrics, &res.stats));
+        }
     } else {
         let res = nn_candidates(&db, &pq, op, &cfg);
         println!("{} candidates under {}:", res.candidates.len(), op.label());
         for c in &res.candidates {
             println!("  object {:>6}  min-dist {:>10.3}", c.id, c.min_dist);
         }
+        if let Some(fmt) = profile {
+            print!("{}", render_profile(fmt, &res.metrics, &res.stats));
+        }
     }
     Ok(())
+}
+
+/// Renders the profile document for `--profile`: the osd-obs registry plus
+/// the legacy [`Stats`] counters folded in as extra pairs. Only the legacy
+/// counters *without* an osd-obs mirror are passed through — R-tree visits
+/// and cache hits/misses already appear as obs counters (the two recordings
+/// are asserted identical by `osd-core`'s tests), so folding them in again
+/// would emit duplicate keys.
+fn render_profile(format: ProfileFormat, metrics: &QueryMetrics, stats: &Stats) -> String {
+    let extra = [
+        ("instance_comparisons", stats.instance_comparisons),
+        ("dominance_checks", stats.dominance_checks),
+        ("flow_runs", stats.flow_runs),
+        ("mbr_checks", stats.mbr_checks),
+    ];
+    match format {
+        ProfileFormat::Json => osd_obs::expo::to_json(metrics, &extra),
+        ProfileFormat::Prom => osd_obs::expo::to_prometheus(metrics, &extra),
+    }
 }
 
 /// Reads a batch-query file: one `"x,y;x,y;…"` spec per line; blank lines
@@ -136,6 +173,89 @@ fn read_query_file(path: &Path, dim: usize) -> Result<Vec<PreparedQuery>, CliErr
         )));
     }
     Ok(queries)
+}
+
+/// `--matrix` is quadratic in both checks and output; refuse beyond this.
+const MATRIX_CAP: usize = 64;
+
+/// `osd explain`: *why* is an object (not) a candidate? Prints the
+/// dominators of `--object V` (empty iff `V` is a candidate), or with
+/// `--matrix` the full pairwise dominance relation of a small dataset.
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags or unreadable data.
+pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
+    let data = flags.required("--data")?;
+    let query = parse_query_spec(flags.required("--query")?)?;
+    let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
+    let matrix = flags.has("--matrix");
+    let object = flags.value("--object");
+    if object.is_none() && !matrix {
+        return Err(CliError::Missing("--object (or --matrix)".into()));
+    }
+
+    let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let dim = objects
+        .first()
+        .map(osd_uncertain::UncertainObject::dim)
+        .ok_or_else(|| CliError::Data(format!("{data}: dataset is empty")))?;
+    if dim != query.dim() {
+        return Err(CliError::Data(format!(
+            "query dimensionality {} does not match the dataset's {}",
+            query.dim(),
+            dim
+        )));
+    }
+    let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
+    let pq = PreparedQuery::new(query);
+    let cfg = FilterConfig::all();
+
+    if let Some(spec) = object {
+        let v: usize = spec
+            .parse()
+            .map_err(|_| CliError::BadArgument("--object must be an id".into()))?;
+        if v >= db.len() {
+            return Err(CliError::Data(format!(
+                "object {v} out of range (n = {})",
+                db.len()
+            )));
+        }
+        let doms = dominators_of(&db, &pq, op, v, &cfg);
+        if doms.is_empty() {
+            println!(
+                "object {v} is a candidate under {}: no dominators",
+                op.label()
+            );
+        } else {
+            println!(
+                "object {v} is not a candidate under {}: dominated by {} object(s):",
+                op.label(),
+                doms.len()
+            );
+            for u in &doms {
+                println!("  object {u:>6}");
+            }
+        }
+    }
+
+    if matrix {
+        if db.len() > MATRIX_CAP {
+            return Err(CliError::BadArgument(format!(
+                "--matrix is quadratic; dataset has {} objects (cap {MATRIX_CAP})",
+                db.len()
+            )));
+        }
+        let m = dominance_matrix(&db, &pq, op, &cfg);
+        println!(
+            "dominance matrix under {} (row dominates column; '#' = dominates):",
+            op.label()
+        );
+        for (u, row) in m.iter().enumerate() {
+            let cells: String = row.iter().map(|&d| if d { '#' } else { '.' }).collect();
+            println!("{u:>6} {cells}");
+        }
+    }
+    Ok(())
 }
 
 /// `osd score`: score one object of the dataset under the implemented NN
@@ -226,10 +346,11 @@ pub fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
 pub fn run(subcommand: &str, flags: &Flags) -> Result<(), CliError> {
     match subcommand {
         "query" => cmd_query(flags),
+        "explain" => cmd_explain(flags),
         "score" => cmd_score(flags),
         "gen" => cmd_gen(flags),
         other => Err(CliError::BadArgument(format!(
-            "unknown subcommand {other:?} (use query | score | gen)"
+            "unknown subcommand {other:?} (use query | explain | score | gen)"
         ))),
     }
 }
@@ -242,10 +363,16 @@ USAGE:
   osd gen   --out data.csv [--dataset anti|indep|gw|nba] [--n N] [--m M]
             [--dim D] [--edge H] [--seed S]
   osd query --data data.csv --query \"x,y;x,y;…\" [--op ssd|sssd|psd|fsd|f+sd]
-            [--k K] [--progressive]
+            [--k K] [--progressive] [--profile[=json|prom]]
   osd query --data data.csv --queries queries.txt [--op …] [--threads N]
+            [--profile[=json|prom]]
             (one \"x,y;x,y;…\" spec per line; blank lines and # comments skipped)
+  osd explain --data data.csv --query \"x,y;…\" (--object ID | --matrix) [--op …]
   osd score --data data.csv --query \"x,y;…\" --object ID
+
+`--profile` appends a per-phase timing/counter breakdown (prepare,
+rtree-descent, level-prune, validate, refine) after the results, as JSON
+(default) or Prometheus text.
 "
 }
 
@@ -400,6 +527,177 @@ mod tests {
         let err = cmd_query(&flags(&["--data", &out, "--query", "1,2"])).unwrap_err();
         std::fs::remove_file(&out).ok();
         assert!(matches!(err, CliError::Data(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn profile_renders_all_phases_and_legacy_counters() {
+        use osd_core::Operator;
+        let out = tmp("profile.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "30",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let objects = read_objects_csv(Path::new(&out)).unwrap();
+        std::fs::remove_file(&out).ok();
+        let db = Database::try_new(objects).unwrap();
+        let pq = PreparedQuery::new(parse_query_spec("5000,5000;5100,5100").unwrap());
+        let res = nn_candidates(&db, &pq, Operator::PSd, &FilterConfig::all());
+        let json = render_profile(ProfileFormat::Json, &res.metrics, &res.stats);
+        for phase in [
+            "prepare",
+            "rtree-descent",
+            "level-prune",
+            "validate",
+            "refine",
+        ] {
+            assert!(json.contains(&format!("\"{phase}\"")), "missing {phase}");
+        }
+        for legacy in [
+            "instance_comparisons",
+            "dominance_checks",
+            "flow_runs",
+            "mbr_checks",
+        ] {
+            assert!(json.contains(legacy), "missing {legacy}");
+        }
+        // The legacy counters that *are* mirrored as obs counters must not
+        // be folded in twice (duplicate JSON keys).
+        assert_eq!(json.matches("cache_hits").count(), 1);
+        assert_eq!(json.matches("rtree_node").count(), 1);
+        let prom = render_profile(ProfileFormat::Prom, &res.metrics, &res.stats);
+        assert!(prom.contains("osd_counter{name=\"dominance_checks\"}"));
+        assert!(prom.contains("osd_phase_latency_bucket{phase=\"validate\""));
+    }
+
+    #[test]
+    fn query_accepts_profile_in_all_modes() {
+        let out = tmp("profmode.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "20",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let base = ["--data", &out, "--query", "5000,5000"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            flags(&v)
+        };
+        cmd_query(&with(&["--profile"])).unwrap();
+        cmd_query(&with(&["--profile=prom", "--k", "2"])).unwrap();
+        cmd_query(&with(&["--profile=json", "--progressive"])).unwrap();
+        assert!(cmd_query(&with(&["--profile=csv"])).is_err());
+        let qfile = tmp("profmode-queries.txt");
+        std::fs::write(&qfile, "5000,5000\n2000,8000\n").unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--threads",
+            "2",
+            "--profile",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qfile).ok();
+    }
+
+    #[test]
+    fn explain_object_and_matrix() {
+        let out = tmp("explain.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "15",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        cmd_explain(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--object",
+            "3",
+            "--op",
+            "ssd",
+        ]))
+        .unwrap();
+        cmd_explain(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--matrix",
+        ]))
+        .unwrap();
+        // Either --object or --matrix is required.
+        let err = cmd_explain(&flags(&["--data", &out, "--query", "5000,5000"])).unwrap_err();
+        assert!(matches!(err, CliError::Missing(_)));
+        // Out-of-range ids are a data error, not a panic.
+        let err = cmd_explain(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--object",
+            "999",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn explain_matrix_refuses_large_datasets() {
+        let out = tmp("explaincap.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "80",
+            "--m",
+            "2",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let err = cmd_explain(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--matrix",
+        ]))
+        .unwrap_err();
+        std::fs::remove_file(&out).ok();
+        assert!(err.to_string().contains("quadratic"));
     }
 
     #[test]

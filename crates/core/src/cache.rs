@@ -4,11 +4,17 @@
 //! (Algorithm 1), so distance distributions, statistics, quantised masses
 //! and distance-space mappings are computed once per object per query and
 //! shared across all pairwise checks.
+//!
+//! Every getter records one cache hit or miss into both the legacy
+//! [`Stats`] counters and the [`QueryMetrics`] registry. Derived getters
+//! (`agg` over `dist_q`, `per_q_agg` over `per_q`) count their nested
+//! lookups too — the counters measure cache traffic, not distinct entries.
 
 use crate::config::Stats;
 use crate::db::Database;
 use crate::query::PreparedQuery;
 use osd_geom::{distance_space_row, Point};
+use osd_obs::{Counter, QueryMetrics};
 use osd_rtree::{Entry, RTree};
 use osd_uncertain::{quantize, DistanceDistribution};
 use std::sync::Arc;
@@ -62,10 +68,15 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> Arc<DistanceDistribution> {
         if let Some(d) = &self.dist_q[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(d);
         }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
         let obj = db.object(id);
         stats.instance_comparisons += (obj.len() * query.len()) as u64;
         let d = Arc::new(DistanceDistribution::between_ref(obj, query.object()));
@@ -81,10 +92,15 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> Arc<Vec<DistanceDistribution>> {
         if let Some(d) = &self.per_q[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(d);
         }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
         let obj = db.object(id);
         stats.instance_comparisons += (obj.len() * query.len()) as u64;
         let d = Arc::new(
@@ -106,11 +122,16 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> AggStats {
         if let Some(a) = self.agg[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return a;
         }
-        let d = self.dist_q(db, query, id, stats);
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
+        let d = self.dist_q(db, query, id, stats, metrics);
         let a = (d.min(), d.mean(), d.max());
         self.agg[id] = Some(a);
         a
@@ -123,11 +144,16 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> Arc<Vec<AggStats>> {
         if let Some(a) = &self.per_q_agg[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(a);
         }
-        let per_q = self.per_q(db, query, id, stats);
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
+        let per_q = self.per_q(db, query, id, stats, metrics);
         let a = Arc::new(
             per_q
                 .iter()
@@ -139,10 +165,20 @@ impl DominanceCache {
     }
 
     /// Fixed-point instance masses of object `id` (summing to `SCALE`).
-    pub fn quanta(&mut self, db: &Database, id: usize) -> Arc<Vec<u64>> {
+    pub fn quanta(
+        &mut self,
+        db: &Database,
+        id: usize,
+        stats: &mut Stats,
+        metrics: &mut QueryMetrics,
+    ) -> Arc<Vec<u64>> {
         if let Some(q) = &self.quanta[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(q);
         }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
         // The store's probability column is already contiguous — quantise
         // the borrowed slice directly, no gather needed.
         let q = Arc::new(quantize(db.object(id).probs()));
@@ -159,10 +195,15 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> Arc<MappedInstances> {
         if let Some(m) = &self.mapped[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(m);
         }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
         let obj = db.object(id);
         let hull = query.hull();
         stats.instance_comparisons += (obj.len() * hull.len()) as u64;
@@ -194,10 +235,15 @@ impl DominanceCache {
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
+        metrics: &mut QueryMetrics,
     ) -> Arc<Vec<usize>> {
         if let Some(l) = &self.in_hull[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
             return Arc::clone(l);
         }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
         let obj = db.object(id);
         let hull = query.hull();
         stats.instance_comparisons += obj.len() as u64;
@@ -243,14 +289,35 @@ mod tests {
         let (db, q) = setup();
         let mut cache = DominanceCache::new(db.len());
         let mut stats = Stats::default();
-        let d1 = cache.dist_q(&db, &q, 0, &mut stats);
+        let mut metrics = QueryMetrics::new();
+        let d1 = cache.dist_q(&db, &q, 0, &mut stats, &mut metrics);
         let after_first = stats.instance_comparisons;
-        let d2 = cache.dist_q(&db, &q, 0, &mut stats);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 1));
+        let d2 = cache.dist_q(&db, &q, 0, &mut stats, &mut metrics);
         assert_eq!(
             stats.instance_comparisons, after_first,
             "second hit must be free"
         );
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        if QueryMetrics::enabled() {
+            assert_eq!(metrics.counter(Counter::CacheHits), stats.cache_hits);
+            assert_eq!(metrics.counter(Counter::CacheMisses), stats.cache_misses);
+        }
         assert!(Arc::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn derived_getters_count_nested_lookups() {
+        let (db, q) = setup();
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let mut metrics = QueryMetrics::new();
+        // agg misses, then builds dist_q (another miss).
+        let _ = cache.agg(&db, &q, 0, &mut stats, &mut metrics);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 2));
+        // Second agg is a single hit; dist_q is not consulted again.
+        let _ = cache.agg(&db, &q, 0, &mut stats, &mut metrics);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 2));
     }
 
     #[test]
@@ -258,7 +325,8 @@ mod tests {
         let (db, q) = setup();
         let mut cache = DominanceCache::new(db.len());
         let mut stats = Stats::default();
-        let per_q = cache.per_q(&db, &q, 1, &mut stats);
+        let mut metrics = QueryMetrics::new();
+        let per_q = cache.per_q(&db, &q, 1, &mut stats, &mut metrics);
         assert_eq!(per_q.len(), 2);
         let direct = DistanceDistribution::to_instance_ref(db.object(1), &q.instance_points()[0]);
         assert!(per_q[0].approx_eq(&direct, 1e-12));
@@ -269,8 +337,9 @@ mod tests {
         let (db, q) = setup();
         let mut cache = DominanceCache::new(db.len());
         let mut stats = Stats::default();
-        let (mn, mean, mx) = cache.agg(&db, &q, 0, &mut stats);
-        let d = cache.dist_q(&db, &q, 0, &mut stats);
+        let mut metrics = QueryMetrics::new();
+        let (mn, mean, mx) = cache.agg(&db, &q, 0, &mut stats, &mut metrics);
+        let d = cache.dist_q(&db, &q, 0, &mut stats, &mut metrics);
         assert_eq!(mn, d.min());
         assert_eq!(mean, d.mean());
         assert_eq!(mx, d.max());
@@ -281,7 +350,8 @@ mod tests {
         let (db, q) = setup();
         let mut cache = DominanceCache::new(db.len());
         let mut stats = Stats::default();
-        let m = cache.mapped(&db, &q, 0, &mut stats);
+        let mut metrics = QueryMetrics::new();
+        let m = cache.mapped(&db, &q, 0, &mut stats, &mut metrics);
         assert_eq!(m.0.len(), 2);
         assert_eq!(m.0[0].dim(), q.hull().len());
         assert_eq!(m.1.len(), 2);

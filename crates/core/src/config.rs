@@ -106,6 +106,13 @@ pub struct Stats {
     /// MBR-level dominance tests (validation / level-by-level / entry
     /// pruning in Algorithm 1).
     pub mbr_checks: u64,
+    /// R-tree nodes expanded by best-first traversals: the global tree of
+    /// Algorithm 1 plus the local-tree nearest/furthest primitives.
+    pub rtree_nodes_visited: u64,
+    /// Per-query derived-state cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Per-query derived-state cache lookups that had to build the entry.
+    pub cache_misses: u64,
 }
 
 impl Stats {
@@ -113,12 +120,27 @@ impl Stats {
     /// the aggregation used by the parallel batch executor, where each
     /// worker accumulates its own `Stats` and the engine folds them
     /// together. Integer counters make this exact: merged parallel totals
-    /// equal the sequential totals regardless of thread count.
+    /// equal the sequential totals regardless of thread count. Every field
+    /// of the struct participates — extending `Stats` means extending this
+    /// merge (the exhaustive destructuring below makes forgetting a field
+    /// a compile error).
     pub fn merge(&mut self, other: &Stats) {
-        self.instance_comparisons += other.instance_comparisons;
-        self.dominance_checks += other.dominance_checks;
-        self.flow_runs += other.flow_runs;
-        self.mbr_checks += other.mbr_checks;
+        let Stats {
+            instance_comparisons,
+            dominance_checks,
+            flow_runs,
+            mbr_checks,
+            rtree_nodes_visited,
+            cache_hits,
+            cache_misses,
+        } = other;
+        self.instance_comparisons += instance_comparisons;
+        self.dominance_checks += dominance_checks;
+        self.flow_runs += flow_runs;
+        self.mbr_checks += mbr_checks;
+        self.rtree_nodes_visited += rtree_nodes_visited;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
     }
 
     /// Adds another counter set into this one (alias of [`Stats::merge`],
@@ -158,16 +180,25 @@ mod tests {
             dominance_checks: 2,
             flow_runs: 3,
             mbr_checks: 4,
+            rtree_nodes_visited: 5,
+            cache_hits: 6,
+            cache_misses: 7,
         };
         let b = Stats {
             instance_comparisons: 10,
             dominance_checks: 20,
             flow_runs: 30,
             mbr_checks: 40,
+            rtree_nodes_visited: 50,
+            cache_hits: 60,
+            cache_misses: 70,
         };
         a.absorb(&b);
         assert_eq!(a.instance_comparisons, 11);
         assert_eq!(a.mbr_checks, 44);
+        assert_eq!(a.rtree_nodes_visited, 55);
+        assert_eq!(a.cache_hits, 66);
+        assert_eq!(a.cache_misses, 77);
     }
 
     #[test]
@@ -178,18 +209,27 @@ mod tests {
                 dominance_checks: 1,
                 flow_runs: 0,
                 mbr_checks: 2,
+                rtree_nodes_visited: 3,
+                cache_hits: 4,
+                cache_misses: 1,
             },
             Stats {
                 instance_comparisons: 11,
                 dominance_checks: 4,
                 flow_runs: 5,
                 mbr_checks: 0,
+                rtree_nodes_visited: 8,
+                cache_hits: 0,
+                cache_misses: 6,
             },
             Stats {
                 instance_comparisons: 13,
                 dominance_checks: 2,
                 flow_runs: 1,
                 mbr_checks: 9,
+                rtree_nodes_visited: 2,
+                cache_hits: 5,
+                cache_misses: 0,
             },
         ];
         let mut fwd = Stats::default();
@@ -205,5 +245,8 @@ mod tests {
         assert_eq!(fwd.dominance_checks, 7);
         assert_eq!(fwd.flow_runs, 6);
         assert_eq!(fwd.mbr_checks, 11);
+        assert_eq!(fwd.rtree_nodes_visited, 13);
+        assert_eq!(fwd.cache_hits, 9);
+        assert_eq!(fwd.cache_misses, 7);
     }
 }

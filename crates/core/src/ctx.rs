@@ -13,6 +13,7 @@ use crate::config::{FilterConfig, Stats};
 use crate::db::Database;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use osd_obs::{Phase, PhaseTimer, QueryMetrics};
 use osd_uncertain::DistanceDistribution;
 use std::sync::Arc;
 
@@ -34,6 +35,9 @@ pub struct CheckCtx<'a> {
     pub cache: DominanceCache,
     /// Cost counters accumulated across every check run in this context.
     pub stats: Stats,
+    /// Instrumentation registry for this query (zero-sized no-op unless
+    /// the `obs` feature is on).
+    pub metrics: QueryMetrics,
 }
 
 impl<'a> CheckCtx<'a> {
@@ -45,6 +49,7 @@ impl<'a> CheckCtx<'a> {
             cfg,
             cache: DominanceCache::new(db.len()),
             stats: Stats::default(),
+            metrics: QueryMetrics::new(),
         }
     }
 
@@ -56,51 +61,59 @@ impl<'a> CheckCtx<'a> {
 
     /// The full distance distribution `U_Q` of object `id` (cached).
     pub fn dist_q(&mut self, id: usize) -> Arc<DistanceDistribution> {
-        self.cache.dist_q(self.db, self.query, id, &mut self.stats)
+        self.cache
+            .dist_q(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// The per-query-instance distributions `U_q` of object `id` (cached).
     pub fn per_q(&mut self, id: usize) -> Arc<Vec<DistanceDistribution>> {
-        self.cache.per_q(self.db, self.query, id, &mut self.stats)
+        self.cache
+            .per_q(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// min/mean/max of `U_Q` (cached).
     pub fn agg(&mut self, id: usize) -> AggStats {
-        self.cache.agg(self.db, self.query, id, &mut self.stats)
+        self.cache
+            .agg(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// min/mean/max of each `U_q` (cached).
     pub fn per_q_agg(&mut self, id: usize) -> Arc<Vec<AggStats>> {
         self.cache
-            .per_q_agg(self.db, self.query, id, &mut self.stats)
+            .per_q_agg(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// Fixed-point instance masses of object `id` (cached).
     pub fn quanta(&mut self, id: usize) -> Arc<Vec<u64>> {
-        self.cache.quanta(self.db, id)
+        self.cache
+            .quanta(self.db, id, &mut self.stats, &mut self.metrics)
     }
 
     /// Distance-space image of object `id` w.r.t. the query hull (cached).
     pub fn mapped(&mut self, id: usize) -> Arc<MappedInstances> {
-        self.cache.mapped(self.db, self.query, id, &mut self.stats)
+        self.cache
+            .mapped(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// Instances of `id` inside the query's convex hull (cached).
     pub fn in_hull_instances(&mut self, id: usize) -> Arc<Vec<usize>> {
         self.cache
-            .in_hull_instances(self.db, self.query, id, &mut self.stats)
+            .in_hull_instances(self.db, self.query, id, &mut self.stats, &mut self.metrics)
     }
 
     /// Cover-based validation (Theorem 4), shared by the strict operators:
     /// the *strict* MBR dominance test guarantees `U_Q ≠ V_Q` on top of
     /// full spatial dominance, so it validates S-SD, SS-SD and P-SD exactly.
     pub(crate) fn validate_mbr(&mut self, u: usize, v: usize) -> bool {
+        let timer = PhaseTimer::start(Phase::Validate);
         self.stats.mbr_checks += 1;
-        osd_geom::mbr_dominates_strict(
+        let validated = osd_geom::mbr_dominates_strict(
             self.db.object(u).mbr(),
             self.db.object(v).mbr(),
             self.query.mbr(),
-        )
+        );
+        self.metrics.record(timer);
+        validated
     }
 
     /// Strictness guard for the exact dominance paths: Definitions 2/3/5
@@ -108,10 +121,13 @@ impl<'a> CheckCtx<'a> {
     /// path, so the extra distribution build amortises to at most one per
     /// discarded object.
     pub(crate) fn strict_guard(&mut self, u: usize, v: usize) -> bool {
+        let timer = PhaseTimer::start(Phase::Validate);
         let du = self.dist_q(u);
         let dv = self.dist_q(v);
         self.stats.instance_comparisons += du.support_size().min(dv.support_size()) as u64;
-        !du.approx_eq(&dv, osd_uncertain::CDF_EPS)
+        let distinct = !du.approx_eq(&dv, osd_uncertain::CDF_EPS);
+        self.metrics.record(timer);
+        distinct
     }
 }
 

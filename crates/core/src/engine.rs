@@ -18,6 +18,7 @@ use crate::db::Database;
 use crate::nnc::{nn_candidates, NncResult};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use osd_obs::QueryMetrics;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A configured NNC executor over one database: the operator and filter
@@ -122,6 +123,20 @@ pub fn batch_stats(results: &[NncResult]) -> Stats {
     total
 }
 
+/// Merges the per-query instrumentation registries of a batch into one
+/// [`QueryMetrics`] total via [`QueryMetrics::merge`]. The merge is exact
+/// and order-independent for every deterministic quantity (counters, phase
+/// sample counts, gauges, per-operator tallies), so 1-thread and N-thread
+/// batches fold to identical totals; only wall-clock nanoseconds vary run
+/// to run. All-zero unless the `obs` feature is on.
+pub fn batch_metrics(results: &[NncResult]) -> QueryMetrics {
+    let mut total = QueryMetrics::new();
+    for r in results {
+        total.merge(&r.metrics);
+    }
+    total
+}
+
 /// Compile-time `Send + Sync` checks for everything the batch executor
 /// shares or moves across threads (the `static_assertions` idiom, without
 /// the dependency). A non-thread-safe field sneaking into any of these
@@ -200,6 +215,26 @@ mod tests {
         }
     }
 
+    /// The deterministic projection of a registry: everything except the
+    /// wall-clock nanoseconds and latency buckets, which legitimately vary
+    /// run to run.
+    type MetricsProjection = (Vec<u64>, u64, Vec<u64>, Vec<(&'static str, u64)>);
+
+    fn metrics_projection(m: &QueryMetrics) -> MetricsProjection {
+        (
+            osd_obs::Counter::ALL
+                .iter()
+                .map(|&c| m.counter(c))
+                .collect(),
+            m.heap_high_water(),
+            osd_obs::Phase::ALL
+                .iter()
+                .map(|&p| m.phase_count(p))
+                .collect(),
+            m.candidates_by_op(),
+        )
+    }
+
     #[test]
     fn batch_is_identical_across_thread_counts() {
         let db = Database::new(scatter(40, 3, 0x0517));
@@ -213,6 +248,56 @@ mod tests {
                 assert_eq!(p.ids(), s.ids(), "{threads} threads");
                 assert_eq!(p.stats, s.stats, "{threads} threads");
                 assert_eq!(p.objects_checked, s.objects_checked, "{threads} threads");
+                assert_eq!(
+                    metrics_projection(&p.metrics),
+                    metrics_projection(&s.metrics),
+                    "{threads} threads: per-query metrics must be deterministic"
+                );
+            }
+            assert_eq!(
+                metrics_projection(&batch_metrics(&parallel)),
+                metrics_projection(&batch_metrics(&sequential)),
+                "{threads} threads: folded totals must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_mirror_stats_counters() {
+        // The registry's rtree/cache counters must agree with the legacy
+        // Stats counters recorded at the same sites — in the enabled build
+        // they are equal, in the disabled build the registry reads zero.
+        let db = Database::new(scatter(25, 3, 0xF00D));
+        let q = queries(1, 42).remove(0);
+        for op in Operator::ALL {
+            let r = QueryEngine::new(&db, op).run(&q);
+            if QueryMetrics::enabled() {
+                assert_eq!(
+                    r.metrics.counter(osd_obs::Counter::RtreeNodeVisits),
+                    r.stats.rtree_nodes_visited,
+                    "{op:?}"
+                );
+                assert_eq!(
+                    r.metrics.counter(osd_obs::Counter::CacheHits),
+                    r.stats.cache_hits,
+                    "{op:?}"
+                );
+                assert_eq!(
+                    r.metrics.counter(osd_obs::Counter::CacheMisses),
+                    r.stats.cache_misses,
+                    "{op:?}"
+                );
+                assert_eq!(
+                    r.metrics.counter(osd_obs::Counter::CandidatesEmitted),
+                    r.candidates.len() as u64,
+                    "{op:?}"
+                );
+            } else {
+                assert_eq!(
+                    r.metrics,
+                    QueryMetrics::new(),
+                    "{op:?}: disabled build records nothing"
+                );
             }
         }
     }

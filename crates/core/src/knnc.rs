@@ -20,10 +20,10 @@ use crate::nnc::Candidate;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict};
+use osd_obs::{Counter, Phase, PhaseTimer, QueryMetrics, Stopwatch};
 use osd_rtree::Node;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 /// Result of a k-robust candidate computation.
 #[derive(Debug)]
@@ -33,6 +33,9 @@ pub struct KnncResult {
     pub candidates: Vec<(Candidate, usize)>,
     /// Cost counters.
     pub stats: Stats,
+    /// Instrumentation registry of the query (all-zero no-op unless the
+    /// `obs` feature is on).
+    pub metrics: QueryMetrics,
 }
 
 impl KnncResult {
@@ -101,9 +104,9 @@ pub fn k_nn_candidates(
     cfg: &FilterConfig,
 ) -> KnncResult {
     assert!(k >= 1, "k must be at least 1");
+    let prepare = PhaseTimer::start(Phase::Prepare);
     let mut ctx = CheckCtx::new(db, query, *cfg);
     let mut kept: Vec<(Candidate, usize)> = Vec::new();
-    let start = Instant::now();
 
     let mut heap = BinaryHeap::new();
     if let Some(root) = db.global_tree().root() {
@@ -113,6 +116,10 @@ pub fn k_nn_candidates(
         });
     }
     let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
+    ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
+    ctx.metrics.heap_depth(heap.len() as u64);
+    ctx.metrics.record(prepare);
+    let start = Stopwatch::start();
 
     while let Some(HeapItem { key, slot }) = heap.pop() {
         match slot {
@@ -136,41 +143,50 @@ pub fn k_nn_candidates(
                         },
                         dominators,
                     ));
+                    ctx.metrics.candidate_emitted(op.label());
                 }
             }
             Slot::Node(node) => {
-                if entry_pruned(&mut ctx, &kept, k, strict, &node.mbr()) {
-                    continue;
-                }
-                match node {
-                    Node::Leaf(entries) => {
-                        for e in entries {
-                            if !entry_pruned(&mut ctx, &kept, k, strict, &e.mbr) {
-                                let key = object_min_dist2(db, query, e.item, &mut ctx.stats);
-                                heap.push(HeapItem {
-                                    key,
-                                    slot: Slot::Object(e.item),
-                                });
+                let timer = PhaseTimer::start(Phase::RtreeDescent);
+                ctx.stats.rtree_nodes_visited += 1;
+                ctx.metrics.incr(Counter::RtreeNodeVisits);
+                if !entry_pruned(&mut ctx, &kept, k, strict, &node.mbr()) {
+                    let depth_before = heap.len();
+                    match node {
+                        Node::Leaf(entries) => {
+                            for e in entries {
+                                if !entry_pruned(&mut ctx, &kept, k, strict, &e.mbr) {
+                                    let key = object_min_dist2(db, query, e.item, &mut ctx);
+                                    heap.push(HeapItem {
+                                        key,
+                                        slot: Slot::Object(e.item),
+                                    });
+                                }
+                            }
+                        }
+                        Node::Inner(children) => {
+                            for c in children {
+                                if !entry_pruned(&mut ctx, &kept, k, strict, &c.mbr) {
+                                    heap.push(HeapItem {
+                                        key: c.mbr.min_dist2(query.mbr()),
+                                        slot: Slot::Node(&c.node),
+                                    });
+                                }
                             }
                         }
                     }
-                    Node::Inner(children) => {
-                        for c in children {
-                            if !entry_pruned(&mut ctx, &kept, k, strict, &c.mbr) {
-                                heap.push(HeapItem {
-                                    key: c.mbr.min_dist2(query.mbr()),
-                                    slot: Slot::Node(&c.node),
-                                });
-                            }
-                        }
-                    }
+                    let pushed = (heap.len() - depth_before) as u64;
+                    ctx.metrics.incr_by(Counter::HeapPushes, pushed);
+                    ctx.metrics.heap_depth(heap.len() as u64);
                 }
+                ctx.metrics.record(timer);
             }
         }
     }
     KnncResult {
         candidates: kept,
         stats: ctx.stats,
+        metrics: ctx.metrics,
     }
 }
 
@@ -225,15 +241,18 @@ fn entry_pruned(
     false
 }
 
-fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, stats: &mut Stats) -> f64 {
+fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, ctx: &mut CheckCtx<'_>) -> f64 {
     let tree = db.local_tree(v);
     let mut best = f64::INFINITY;
+    let mut visits = 0u64;
     for q in query.instance_points() {
-        stats.instance_comparisons += 1;
-        if let Some((_, d)) = tree.nearest(q) {
+        ctx.stats.instance_comparisons += 1;
+        if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
             best = best.min(d * d);
         }
     }
+    ctx.stats.rtree_nodes_visited += visits;
+    ctx.metrics.incr_by(Counter::RtreeNodeVisits, visits);
     best
 }
 

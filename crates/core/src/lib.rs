@@ -36,10 +36,13 @@
 //! * [`nn_candidates`] / [`ProgressiveNnc`] — Algorithm 1 (batch and
 //!   progressive);
 //! * [`QueryEngine`] — single-query and multi-threaded batch execution
-//!   with exact [`Stats`] merging;
+//!   with exact [`Stats`] / [`QueryMetrics`] merging;
 //! * [`nn_candidates_bruteforce`] — the O(n²) reference oracle;
-//! * [`Stats`] — instance-comparison/flow/MBR counters for the Appendix C
-//!   ablation.
+//! * [`Stats`] — instance-comparison/flow/MBR/traversal/cache counters for
+//!   the Appendix C ablation;
+//! * [`QueryMetrics`] (re-exported from `osd-obs`) — phase timers, latency
+//!   histograms and gauges, compiled to no-ops unless the `obs` feature is
+//!   on (see DESIGN.md "Observability").
 
 #![warn(missing_docs)]
 
@@ -62,7 +65,7 @@ pub use cache::DominanceCache;
 pub use config::{FilterConfig, Stats};
 pub use ctx::CheckCtx;
 pub use db::{Database, DbError};
-pub use engine::{batch_stats, QueryEngine};
+pub use engine::{batch_metrics, batch_stats, QueryEngine};
 pub use explain::{dominance_matrix, dominators_of};
 pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};
 pub use nnc::{nn_candidates, Candidate, NncResult, ProgressiveNnc};
@@ -70,4 +73,5 @@ pub use ops::{
     dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate,
     ss_sd, Operator,
 };
+pub use osd_obs::QueryMetrics;
 pub use query::PreparedQuery;

@@ -21,10 +21,11 @@ use crate::db::Database;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr};
+use osd_obs::{Counter, Phase, PhaseTimer, QueryMetrics, Stopwatch};
 use osd_rtree::Node;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One emitted NN candidate with bookkeeping for the progressive analysis.
 #[derive(Debug, Clone)]
@@ -47,6 +48,9 @@ pub struct NncResult {
     /// Total number of objects that reached an instance-level dominance
     /// check (visited and not pruned at entry level).
     pub objects_checked: usize,
+    /// Instrumentation registry of the query (all-zero no-op unless the
+    /// `obs` feature is on).
+    pub metrics: QueryMetrics,
 }
 
 impl NncResult {
@@ -111,7 +115,7 @@ pub struct ProgressiveNnc<'a> {
     candidates: Vec<Candidate>,
     ctx: CheckCtx<'a>,
     objects_checked: usize,
-    start: Instant,
+    start: Stopwatch,
 }
 
 impl<'a> ProgressiveNnc<'a> {
@@ -122,6 +126,8 @@ impl<'a> ProgressiveNnc<'a> {
         op: Operator,
         cfg: &FilterConfig,
     ) -> Self {
+        let timer = PhaseTimer::start(Phase::Prepare);
+        let mut ctx = CheckCtx::new(db, query, *cfg);
         let mut heap = BinaryHeap::new();
         if let Some(root) = db.global_tree().root() {
             heap.push(HeapItem {
@@ -129,13 +135,16 @@ impl<'a> ProgressiveNnc<'a> {
                 slot: Slot::Node(root),
             });
         }
+        ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
+        ctx.metrics.heap_depth(heap.len() as u64);
+        ctx.metrics.record(timer);
         ProgressiveNnc {
             op,
             heap,
             candidates: Vec::new(),
-            ctx: CheckCtx::new(db, query, *cfg),
+            ctx,
             objects_checked: 0,
-            start: Instant::now(),
+            start: Stopwatch::start(),
         }
     }
 
@@ -147,6 +156,12 @@ impl<'a> ProgressiveNnc<'a> {
     /// Cost counters accumulated so far (readable mid-traversal).
     pub fn stats(&self) -> &Stats {
         &self.ctx.stats
+    }
+
+    /// Instrumentation registry accumulated so far (readable
+    /// mid-traversal; all-zero unless the `obs` feature is on).
+    pub fn metrics(&self) -> &QueryMetrics {
+        &self.ctx.metrics
     }
 
     /// Objects that reached a full dominance check so far.
@@ -161,6 +176,7 @@ impl<'a> ProgressiveNnc<'a> {
             candidates: self.candidates,
             stats: self.ctx.stats,
             objects_checked: self.objects_checked,
+            metrics: self.ctx.metrics,
         }
     }
 
@@ -178,41 +194,49 @@ impl<'a> ProgressiveNnc<'a> {
                             elapsed: self.start.elapsed(),
                         };
                         self.candidates.push(c.clone());
+                        self.ctx.metrics.candidate_emitted(self.op.label());
                         return Some(c);
                     }
                 }
                 Slot::Node(node) => {
-                    if self.entry_pruned(&node.mbr()) {
-                        continue;
-                    }
-                    match node {
-                        Node::Leaf(entries) => {
-                            for e in entries {
-                                if !self.entry_pruned(&e.mbr) {
-                                    // Objects are keyed by their *actual*
-                                    // minimal distance δ_min(V, Q): the
-                                    // exactness argument (statistic rule on
-                                    // `min`) needs the true value, and the
-                                    // MBR distance is only a lower bound.
-                                    let key = self.object_min_dist2(e.item);
-                                    self.heap.push(HeapItem {
-                                        key,
-                                        slot: Slot::Object(e.item),
-                                    });
+                    let timer = PhaseTimer::start(Phase::RtreeDescent);
+                    self.ctx.stats.rtree_nodes_visited += 1;
+                    self.ctx.metrics.incr(Counter::RtreeNodeVisits);
+                    if !self.entry_pruned(&node.mbr()) {
+                        let depth_before = self.heap.len();
+                        match node {
+                            Node::Leaf(entries) => {
+                                for e in entries {
+                                    if !self.entry_pruned(&e.mbr) {
+                                        // Objects are keyed by their *actual*
+                                        // minimal distance δ_min(V, Q): the
+                                        // exactness argument (statistic rule on
+                                        // `min`) needs the true value, and the
+                                        // MBR distance is only a lower bound.
+                                        let key = self.object_min_dist2(e.item);
+                                        self.heap.push(HeapItem {
+                                            key,
+                                            slot: Slot::Object(e.item),
+                                        });
+                                    }
+                                }
+                            }
+                            Node::Inner(children) => {
+                                for c in children {
+                                    if !self.entry_pruned(&c.mbr) {
+                                        self.heap.push(HeapItem {
+                                            key: c.mbr.min_dist2(self.ctx.query.mbr()),
+                                            slot: Slot::Node(&c.node),
+                                        });
+                                    }
                                 }
                             }
                         }
-                        Node::Inner(children) => {
-                            for c in children {
-                                if !self.entry_pruned(&c.mbr) {
-                                    self.heap.push(HeapItem {
-                                        key: c.mbr.min_dist2(self.ctx.query.mbr()),
-                                        slot: Slot::Node(&c.node),
-                                    });
-                                }
-                            }
-                        }
+                        let pushed = (self.heap.len() - depth_before) as u64;
+                        self.ctx.metrics.incr_by(Counter::HeapPushes, pushed);
+                        self.ctx.metrics.heap_depth(self.heap.len() as u64);
                     }
+                    self.ctx.metrics.record(timer);
                 }
             }
         }
@@ -236,12 +260,15 @@ impl<'a> ProgressiveNnc<'a> {
     fn object_min_dist2(&mut self, v: usize) -> f64 {
         let tree = self.ctx.db.local_tree(v);
         let mut best = f64::INFINITY;
+        let mut visits = 0u64;
         for q in self.ctx.query.instance_points() {
             self.ctx.stats.instance_comparisons += 1;
-            if let Some((_, d)) = tree.nearest(q) {
+            if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
                 best = best.min(d * d);
             }
         }
+        self.ctx.stats.rtree_nodes_visited += visits;
+        self.ctx.metrics.incr_by(Counter::RtreeNodeVisits, visits);
         best
     }
 

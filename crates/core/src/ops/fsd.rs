@@ -17,6 +17,7 @@
 
 use crate::ctx::CheckCtx;
 use osd_geom::mbr_dominates;
+use osd_obs::{Counter, Phase, PhaseTimer};
 
 pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
     let db = ctx.db;
@@ -40,9 +41,20 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
             continue;
         }
         // Objects are non-empty, so both searches return a hit; fall back to
-        // the (conservative) MBR bounds if a tree were ever empty.
-        let d_max_u = tree_u.furthest(q).map_or(max_u_bound, |(_, d)| d);
-        let d_min_v = tree_v.nearest(q).map_or(min_v_bound, |(_, d)| d);
+        // the (conservative) MBR bounds if a tree were ever empty. The
+        // local-tree searches are the traversal primitives of this check,
+        // so they count as *rtree-descent* work.
+        let timer = PhaseTimer::start(Phase::RtreeDescent);
+        let mut visits = 0u64;
+        let d_max_u = tree_u
+            .furthest_counting(q, &mut visits)
+            .map_or(max_u_bound, |(_, d)| d);
+        let d_min_v = tree_v
+            .nearest_counting(q, &mut visits)
+            .map_or(min_v_bound, |(_, d)| d);
+        ctx.stats.rtree_nodes_visited += visits;
+        ctx.metrics.incr_by(Counter::RtreeNodeVisits, visits);
+        ctx.metrics.record(timer);
         ctx.stats.instance_comparisons += (db.object(u).len() + db.object(v).len()) as u64;
         if d_max_u > d_min_v {
             return false;

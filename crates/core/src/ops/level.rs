@@ -26,6 +26,7 @@ use crate::ctx::CheckCtx;
 use crate::db::Database;
 use crate::query::PreparedQuery;
 use osd_geom::Mbr;
+use osd_obs::{Phase, PhaseTimer};
 use osd_uncertain::stochastic::stochastically_dominates_counted;
 use osd_uncertain::DistanceDistribution;
 
@@ -41,7 +42,21 @@ pub(crate) enum Granularity {
 /// Attempts to decide `U_Q ⪯_st V_Q` (strictly, for the SD side condition)
 /// from R-tree node bounds. `Some(true)` = validated, `Some(false)` =
 /// pruned, `None` = inconclusive.
+///
+/// The whole descent is recorded under the *level-prune* phase.
 pub(crate) fn try_decide(
+    u: usize,
+    v: usize,
+    granularity: Granularity,
+    ctx: &mut CheckCtx<'_>,
+) -> Option<bool> {
+    let timer = PhaseTimer::start(Phase::LevelPrune);
+    let decision = try_decide_inner(u, v, granularity, ctx);
+    ctx.metrics.record(timer);
+    decision
+}
+
+fn try_decide_inner(
     u: usize,
     v: usize,
     granularity: Granularity,

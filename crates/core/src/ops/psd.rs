@@ -20,6 +20,7 @@ use crate::config::Stats;
 use crate::ctx::CheckCtx;
 use osd_flow::MaxFlow;
 use osd_geom::{dist2_slice, mbr_dominates, mbr_dominates_strict, Mbr, Point};
+use osd_obs::{Phase, PhaseTimer};
 use osd_uncertain::{UncertainObject, SCALE};
 
 /// Hull sizes up to this use the distance-space R-tree strategy for network
@@ -79,45 +80,15 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
         }
     }
 
-    // 4. Level-by-level pruning/validation over local R-tree nodes.
+    // 4. Level-by-level pruning/validation over local R-tree nodes
+    //    (recorded under the *level-prune* phase; the embedded flow solves
+    //    additionally record *refine* samples).
     if ctx.cfg.level_by_level {
-        let quanta_u = ctx.quanta(u);
-        let quanta_v = ctx.quanta(v);
-        let tree_u = db.local_tree(u);
-        let tree_v = db.local_tree(v);
-        let depth = tree_u
-            .height()
-            .unwrap_or(0)
-            .max(tree_v.height().unwrap_or(0));
-        for level in 1..=depth {
-            let gu = tree_u.level_groups(level);
-            let gv = tree_v.level_groups(level);
-            let caps_u: Vec<u64> = gu
-                .iter()
-                .map(|(_, items)| items.iter().map(|&&i| quanta_u[i]).sum())
-                .collect();
-            let caps_v: Vec<u64> = gv
-                .iter()
-                .map(|(_, items)| items.iter().map(|&&i| quanta_v[i]).sum())
-                .collect();
-            ctx.stats.mbr_checks += (gu.len() * gv.len()) as u64;
-
-            // Pessimistic network G⁻: group-level full dominance implies
-            // every contained instance pair relates; flow 1 validates P-SD.
-            let val_edges = group_edges(&gu, &gv, |mu, mv| mbr_dominates(mu, mv, query.mbr()));
-            if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, &mut ctx.stats) {
-                return ctx.strict_guard(u, v);
-            }
-
-            // Optimistic network G⁺: an edge survives unless V's group
-            // *strictly* dominates U's (which forbids even tie edges);
-            // failing to saturate disproves P-SD.
-            let prune_edges = group_edges(&gu, &gv, |mu, mv| {
-                !mbr_dominates_strict(mv, mu, query.mbr())
-            });
-            if !saturates(&caps_u, &caps_v, &prune_edges, &mut ctx.stats) {
-                return false;
-            }
+        let timer = PhaseTimer::start(Phase::LevelPrune);
+        let decision = level_filter(u, v, ctx);
+        ctx.metrics.record(timer);
+        if let Some(decided) = decision {
+            return decided;
         }
     }
 
@@ -168,7 +139,54 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
         edges
     };
 
-    saturates(&quanta_u, &quanta_v, &edges, &mut ctx.stats) && ctx.strict_guard(u, v)
+    saturates(&quanta_u, &quanta_v, &edges, ctx) && ctx.strict_guard(u, v)
+}
+
+/// Step 4 of [`check`]: the level-by-level descent over the two local
+/// R-trees with the optimistic (`G⁺`) / pessimistic (`G⁻`) group networks.
+/// `Some(decided)` short-circuits the check; `None` is inconclusive.
+fn level_filter(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> Option<bool> {
+    let db = ctx.db;
+    let query = ctx.query;
+    let quanta_u = ctx.quanta(u);
+    let quanta_v = ctx.quanta(v);
+    let tree_u = db.local_tree(u);
+    let tree_v = db.local_tree(v);
+    let depth = tree_u
+        .height()
+        .unwrap_or(0)
+        .max(tree_v.height().unwrap_or(0));
+    for level in 1..=depth {
+        let gu = tree_u.level_groups(level);
+        let gv = tree_v.level_groups(level);
+        let caps_u: Vec<u64> = gu
+            .iter()
+            .map(|(_, items)| items.iter().map(|&&i| quanta_u[i]).sum())
+            .collect();
+        let caps_v: Vec<u64> = gv
+            .iter()
+            .map(|(_, items)| items.iter().map(|&&i| quanta_v[i]).sum())
+            .collect();
+        ctx.stats.mbr_checks += (gu.len() * gv.len()) as u64;
+
+        // Pessimistic network G⁻: group-level full dominance implies
+        // every contained instance pair relates; flow 1 validates P-SD.
+        let val_edges = group_edges(&gu, &gv, |mu, mv| mbr_dominates(mu, mv, query.mbr()));
+        if !val_edges.is_empty() && saturates(&caps_u, &caps_v, &val_edges, ctx) {
+            return Some(ctx.strict_guard(u, v));
+        }
+
+        // Optimistic network G⁺: an edge survives unless V's group
+        // *strictly* dominates U's (which forbids even tie edges);
+        // failing to saturate disproves P-SD.
+        let prune_edges = group_edges(&gu, &gv, |mu, mv| {
+            !mbr_dominates_strict(mv, mu, query.mbr())
+        });
+        if !saturates(&caps_u, &caps_v, &prune_edges, ctx) {
+            return Some(false);
+        }
+    }
+    None
 }
 
 /// `δ(u, q) ≤ δ(v, q)` for every evaluation point, with comparison counting.
@@ -201,7 +219,26 @@ fn group_edges<T>(
 }
 
 /// Runs the bipartite max-flow: `true` iff all `SCALE` units route.
-fn saturates(caps_u: &[u64], caps_v: &[u64], edges: &[(usize, usize)], stats: &mut Stats) -> bool {
+/// Recorded under the *refine* phase — this is the exact P-SD machinery
+/// of Theorem 12.
+fn saturates(
+    caps_u: &[u64],
+    caps_v: &[u64],
+    edges: &[(usize, usize)],
+    ctx: &mut CheckCtx<'_>,
+) -> bool {
+    let timer = PhaseTimer::start(Phase::Refine);
+    let saturated = saturates_inner(caps_u, caps_v, edges, &mut ctx.stats);
+    ctx.metrics.record(timer);
+    saturated
+}
+
+fn saturates_inner(
+    caps_u: &[u64],
+    caps_v: &[u64],
+    edges: &[(usize, usize)],
+    stats: &mut Stats,
+) -> bool {
     // Cheap necessary condition: every positive-mass u needs an edge.
     let mut has_edge = vec![false; caps_u.len()];
     for &(i, _) in edges {

@@ -1,0 +1,261 @@
+//! Exposition: renders a [`QueryMetrics`] registry as JSON or
+//! Prometheus text format.
+//!
+//! Both renderers are written purely against the registry's accessor
+//! methods, so they compile and run in the disabled build too (emitting
+//! zeros/empties). Callers may pass extra `(name, value)` counter pairs —
+//! the CLI uses this to fold the legacy `Stats` counters into the same
+//! document without this crate depending on `osd-core`.
+//!
+//! JSON is hand-formatted (the workspace is std-only; no serde). The
+//! schema is stable and validated by the `check.sh` smoke step:
+//!
+//! ```json
+//! {
+//!   "enabled": true,
+//!   "phases": { "prepare": {"count": 1, "total_ns": 42, "buckets": [..]}, .. },
+//!   "counters": { "rtree_node_visits": 7, .. },
+//!   "gauges": { "heap_high_water": 5 },
+//!   "candidates_by_op": { "PSD": 11 },
+//!   "spans": { "flow-rebuild": {"count": 2, "total_ns": 99} }
+//! }
+//! ```
+
+use crate::{Counter, Phase, QueryMetrics, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+
+/// Renders the registry (plus `extra` counter pairs) as a JSON object.
+pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"enabled\": {},\n", QueryMetrics::enabled()));
+
+    out.push_str("  \"phases\": {\n");
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        let buckets = m.phase_buckets(*p);
+        let bucket_list = buckets
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"buckets\": [{}]}}{}\n",
+            p.name(),
+            m.phase_count(*p),
+            m.phase_nanos(*p),
+            bucket_list,
+            comma(i, Phase::COUNT)
+        ));
+    }
+    out.push_str("  },\n");
+
+    out.push_str("  \"counters\": {\n");
+    let n_counters = Counter::COUNT + extra.len();
+    for (i, c) in Counter::ALL.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            c.name(),
+            m.counter(*c),
+            comma(i, n_counters)
+        ));
+    }
+    for (j, (name, value)) in extra.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            value,
+            comma(Counter::COUNT + j, n_counters)
+        ));
+    }
+    out.push_str("  },\n");
+
+    out.push_str(&format!(
+        "  \"gauges\": {{\"heap_high_water\": {}}},\n",
+        m.heap_high_water()
+    ));
+
+    let by_op = m.candidates_by_op();
+    out.push_str("  \"candidates_by_op\": {");
+    for (i, (label, count)) in by_op.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\": {}{}",
+            label,
+            count,
+            if i + 1 < by_op.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("},\n");
+
+    let spans = m.spans();
+    out.push_str("  \"spans\": {");
+    for (i, (label, count, total_ns)) in spans.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\": {{\"count\": {}, \"total_ns\": {}}}{}",
+            label,
+            count,
+            total_ns,
+            if i + 1 < spans.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("}\n");
+
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the registry (plus `extra` counter pairs) in Prometheus text
+/// exposition format (metric families `osd_phase_duration_ns`,
+/// `osd_phase_latency_bucket` with cumulative `le` buckets, `osd_counter`,
+/// `osd_heap_high_water`, `osd_candidates_emitted`, `osd_span_ns`).
+pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
+    let mut out = String::with_capacity(2048);
+
+    out.push_str("# TYPE osd_phase_duration_ns counter\n");
+    for p in Phase::ALL {
+        out.push_str(&format!(
+            "osd_phase_duration_ns{{phase=\"{}\"}} {}\n",
+            p.name(),
+            m.phase_nanos(p)
+        ));
+    }
+
+    out.push_str("# TYPE osd_phase_latency histogram\n");
+    for p in Phase::ALL {
+        let buckets = m.phase_buckets(p);
+        let mut cumulative = 0u64;
+        for (i, b) in buckets.iter().take(NUM_BUCKETS).enumerate() {
+            cumulative += b;
+            out.push_str(&format!(
+                "osd_phase_latency_bucket{{phase=\"{}\",le=\"{}\"}} {}\n",
+                p.name(),
+                BUCKET_BOUNDS_NS[i],
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "osd_phase_latency_bucket{{phase=\"{}\",le=\"+Inf\"}} {}\n",
+            p.name(),
+            m.phase_count(p)
+        ));
+        out.push_str(&format!(
+            "osd_phase_latency_sum{{phase=\"{}\"}} {}\n",
+            p.name(),
+            m.phase_nanos(p)
+        ));
+        out.push_str(&format!(
+            "osd_phase_latency_count{{phase=\"{}\"}} {}\n",
+            p.name(),
+            m.phase_count(p)
+        ));
+    }
+
+    out.push_str("# TYPE osd_counter counter\n");
+    for c in Counter::ALL {
+        out.push_str(&format!(
+            "osd_counter{{name=\"{}\"}} {}\n",
+            c.name(),
+            m.counter(c)
+        ));
+    }
+    for (name, value) in extra {
+        out.push_str(&format!("osd_counter{{name=\"{}\"}} {}\n", name, value));
+    }
+
+    out.push_str("# TYPE osd_heap_high_water gauge\n");
+    out.push_str(&format!("osd_heap_high_water {}\n", m.heap_high_water()));
+
+    out.push_str("# TYPE osd_candidates_emitted counter\n");
+    for (label, count) in m.candidates_by_op() {
+        out.push_str(&format!(
+            "osd_candidates_emitted{{op=\"{}\"}} {}\n",
+            label, count
+        ));
+    }
+
+    out.push_str("# TYPE osd_span_ns counter\n");
+    for (label, count, total_ns) in m.spans() {
+        out.push_str(&format!(
+            "osd_span_ns{{span=\"{}\"}} {}\nosd_span_count{{span=\"{}\"}} {}\n",
+            label, total_ns, label, count
+        ));
+    }
+
+    out
+}
+
+fn comma(i: usize, n: usize) -> &'static str {
+    if i + 1 < n {
+        ","
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryMetrics {
+        let mut m = QueryMetrics::new();
+        m.incr_by(Counter::RtreeNodeVisits, 7);
+        m.incr(Counter::CacheHits);
+        m.heap_depth(5);
+        m.candidate_emitted("PSD");
+        m
+    }
+
+    #[test]
+    fn json_has_all_phases_and_counters() {
+        let json = to_json(&sample(), &[("dominance_checks", 3)]);
+        for p in Phase::ALL {
+            assert!(
+                json.contains(&format!("\"{}\"", p.name())),
+                "missing {}",
+                p.name()
+            );
+        }
+        for c in Counter::ALL {
+            assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+        assert!(json.contains("\"dominance_checks\": 3"));
+        assert!(json.contains("\"heap_high_water\""));
+        if QueryMetrics::enabled() {
+            assert!(json.contains("\"rtree_node_visits\": 7"));
+            assert!(json.contains("\"PSD\": 1"));
+            assert!(json.contains("\"enabled\": true"));
+        } else {
+            assert!(json.contains("\"rtree_node_visits\": 0"));
+            assert!(json.contains("\"enabled\": false"));
+        }
+        // Balanced braces — cheap well-formedness check without a parser.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        // No trailing commas before closing braces.
+        assert!(!json.contains(",\n  }"), "trailing comma:\n{json}");
+        assert!(!json.contains(",}"), "trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_end_with_count() {
+        let prom = to_prometheus(&sample(), &[("mbr_checks", 9)]);
+        assert!(prom.contains("# TYPE osd_phase_latency histogram"));
+        for p in Phase::ALL {
+            let inf = format!(
+                "osd_phase_latency_bucket{{phase=\"{}\",le=\"+Inf\"}}",
+                p.name()
+            );
+            assert!(prom.contains(&inf), "missing +Inf bucket for {}", p.name());
+        }
+        assert!(prom.contains("osd_counter{name=\"mbr_checks\"} 9"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("osd_phase_latency_bucket{phase=\"prepare\"") {
+                if let Some(v) = rest.rsplit(' ').next().and_then(|s| s.parse::<u64>().ok()) {
+                    assert!(v >= last, "buckets must be cumulative");
+                    last = v;
+                }
+            }
+        }
+    }
+}

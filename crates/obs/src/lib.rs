@@ -1,0 +1,174 @@
+//! # osd-obs
+//!
+//! Query-pipeline observability: spans, phase timers, counters, gauges and
+//! fixed-bucket latency histograms for the NN-candidate search, plus JSON
+//! and Prometheus-text exposition.
+//!
+//! The paper's efficiency claims (Figures 14–17) are stated in terms of
+//! pruning-cost counters and per-phase wall-clock; this crate makes that
+//! breakdown observable on every query without perturbing the measured
+//! algorithm:
+//!
+//! * [`Phase`] — the five-phase taxonomy of one NNC query (*prepare*,
+//!   *rtree-descent*, *level-prune*, *validate*, *refine*);
+//! * [`PhaseTimer`] / [`Span`] — monotonic-clock timers recorded into a
+//!   [`QueryMetrics`];
+//! * [`QueryMetrics`] — the per-query registry: counters ([`Counter`]),
+//!   the heap high-water gauge, per-phase totals and [`Histogram`]s, and
+//!   labelled per-operator/per-span tallies. Merging is exact and
+//!   order-independent (field-wise `u64` addition, `max` for gauges), so
+//!   per-worker registries fold to the same totals regardless of thread
+//!   count — mirroring `Stats::merge` in `osd-core`;
+//! * [`expo`] — JSON and Prometheus text renderers over the registry.
+//!
+//! ## Zero overhead when disabled
+//!
+//! Everything is gated on the `enabled` cargo feature. Without it,
+//! [`QueryMetrics`], [`PhaseTimer`] and [`Span`] are zero-sized types whose
+//! methods are empty `#[inline]` bodies: no clock reads, no counter
+//! arithmetic, no allocation — the instrumented pipeline compiles to the
+//! uninstrumented one, keeping tier-1 results and counters bit-identical.
+//!
+//! The exception is [`Stopwatch`], which is always live: it backs the
+//! progressive traversal's `Candidate::elapsed` timestamps, a result field
+//! that predates this crate (Figure 14) and must keep working in every
+//! build. It is also the only sanctioned way for `osd-core` / `osd-geom` /
+//! `osd-rtree` to touch the monotonic clock — `cargo run -p xtask -- check`
+//! bans raw `std::time::Instant` there (`no-ad-hoc-timing`).
+
+pub mod expo;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Histogram, QueryMetrics, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+pub use span::{PhaseTimer, Span};
+
+use std::time::{Duration, Instant};
+
+/// The phases of one NNC query, in pipeline order.
+///
+/// The taxonomy follows Algorithm 1 and the §5.1 filter stack: *prepare*
+/// (per-query context/heap construction), *rtree-descent* (global best-first
+/// traversal plus local-tree distance primitives), *level-prune*
+/// (level-by-level bounds over local R-tree nodes, §5.1.1–5.1.2),
+/// *validate* (cover-based MBR validation and the strictness guard,
+/// Theorem 4) and *refine* (the exact P-SD max-flow machinery, Theorem 12).
+///
+/// Phases are recorded where the work happens, so a phase nested inside
+/// another (a flow solve fired from inside level pruning, a strictness
+/// guard fired from a validated level bound) is attributed to **both**
+/// enclosing timers: the breakdown is a profile of where time goes, not a
+/// disjoint partition of wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Per-query setup: context allocation, cache vectors, heap seeding.
+    Prepare,
+    /// Best-first descent of the global R-tree and the local-tree
+    /// nearest/furthest primitives keying the traversal.
+    RtreeDescent,
+    /// Level-by-level pruning/validation over local R-tree node bounds.
+    LevelPrune,
+    /// Cover-based MBR validation and the `U_Q ≠ V_Q` strictness guard.
+    Validate,
+    /// Exact P-SD refinement: bipartite network construction + max-flow.
+    Refine,
+}
+
+impl Phase {
+    /// Number of phases (array dimension for per-phase storage).
+    pub const COUNT: usize = 5;
+
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Prepare,
+        Phase::RtreeDescent,
+        Phase::LevelPrune,
+        Phase::Validate,
+        Phase::Refine,
+    ];
+
+    /// Stable exposition label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Prepare => "prepare",
+            Phase::RtreeDescent => "rtree-descent",
+            Phase::LevelPrune => "level-prune",
+            Phase::Validate => "validate",
+            Phase::Refine => "refine",
+        }
+    }
+
+    /// Dense index into per-phase arrays.
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))] // only the real registry indexes
+    pub(crate) fn idx(self) -> usize {
+        match self {
+            Phase::Prepare => 0,
+            Phase::RtreeDescent => 1,
+            Phase::LevelPrune => 2,
+            Phase::Validate => 3,
+            Phase::Refine => 4,
+        }
+    }
+}
+
+/// A monotonic wall-clock stopwatch — the one timing primitive that stays
+/// live with the `enabled` feature off.
+///
+/// Backs the progressive traversal's `Candidate::elapsed` field (the
+/// Figure 14 emission timestamps), which is part of the query result in
+/// every build. Library crates under the `no-ad-hoc-timing` rule use this
+/// instead of `std::time::Instant`.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (~584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.idx(), i);
+        }
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "prepare",
+                "rtree-descent",
+                "level-prune",
+                "validate",
+                "refine"
+            ]
+        );
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

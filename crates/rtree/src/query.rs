@@ -55,6 +55,26 @@ impl<T> RTree<T> {
             .map(|(t, d2)| (t, (-d2).sqrt()))
     }
 
+    /// [`RTree::nearest`] with a traversal-cost hook: adds the number of
+    /// tree nodes expanded by the best-first search to `visits`.
+    pub fn nearest_counting(&self, p: &Point, visits: &mut u64) -> Option<(&T, f64)> {
+        let p = p.clone();
+        let mut iter = self.iter_by(move |mbr| mbr.min_dist2_point(&p));
+        let hit = iter.next().map(|(t, d2)| (t, d2.sqrt()));
+        *visits += iter.nodes_visited();
+        hit
+    }
+
+    /// [`RTree::furthest`] with a traversal-cost hook: adds the number of
+    /// tree nodes expanded by the best-first search to `visits`.
+    pub fn furthest_counting(&self, p: &Point, visits: &mut u64) -> Option<(&T, f64)> {
+        let p = p.clone();
+        let mut iter = self.iter_by(move |mbr| -mbr.max_dist2_point(&p));
+        let hit = iter.next().map(|(t, d2)| (t, (-d2).sqrt()));
+        *visits += iter.nodes_visited();
+        hit
+    }
+
     /// The `k` items nearest to `p` (by minimal MBR distance), closest first.
     pub fn k_nearest(&self, p: &Point, k: usize) -> Vec<(&T, f64)> {
         let p = p.clone();
@@ -84,7 +104,11 @@ impl<T> RTree<T> {
                 slot: Slot::Node(&c.node),
             });
         }
-        BestFirstIter { heap, key }
+        BestFirstIter {
+            heap,
+            key,
+            nodes_visited: 0,
+        }
     }
 }
 
@@ -158,6 +182,15 @@ impl<T> Ord for HeapItem<'_, T> {
 pub struct BestFirstIter<'a, T, F: Fn(&Mbr) -> f64> {
     heap: BinaryHeap<HeapItem<'a, T>>,
     key: F,
+    nodes_visited: u64,
+}
+
+impl<T, F: Fn(&Mbr) -> f64> BestFirstIter<'_, T, F> {
+    /// Tree nodes (leaf or inner) expanded so far — the traversal-cost
+    /// counter surfaced by the `*_counting` query variants.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_visited
+    }
 }
 
 impl<'a, T, F: Fn(&Mbr) -> f64> Iterator for BestFirstIter<'a, T, F> {
@@ -168,6 +201,7 @@ impl<'a, T, F: Fn(&Mbr) -> f64> Iterator for BestFirstIter<'a, T, F> {
             match slot {
                 Slot::Item(t) => return Some((t, key)),
                 Slot::Node(Node::Leaf(es)) => {
+                    self.nodes_visited += 1;
                     for e in es {
                         self.heap.push(HeapItem {
                             key: (self.key)(&e.mbr),
@@ -176,6 +210,7 @@ impl<'a, T, F: Fn(&Mbr) -> f64> Iterator for BestFirstIter<'a, T, F> {
                     }
                 }
                 Slot::Node(Node::Inner(cs)) => {
+                    self.nodes_visited += 1;
                     for c in cs {
                         self.heap.push(HeapItem {
                             key: (self.key)(&c.mbr),
@@ -186,5 +221,50 @@ impl<'a, T, F: Fn(&Mbr) -> f64> Iterator for BestFirstIter<'a, T, F> {
             }
         }
         None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::node::RTree;
+    use osd_geom::Point;
+
+    fn line_tree(n: usize) -> RTree<usize> {
+        let rows: Vec<f64> = (0..n).flat_map(|i| [i as f64, 0.0]).collect();
+        RTree::bulk_load_rows(4, 2, &rows)
+    }
+
+    #[test]
+    fn counting_variants_match_plain_queries() {
+        let t = line_tree(40);
+        let probe = Point::new(vec![17.2, 0.0]);
+        let mut visits = 0;
+        assert_eq!(t.nearest_counting(&probe, &mut visits), t.nearest(&probe));
+        assert!(visits > 0, "a non-empty tree expands at least the root");
+        let before = visits;
+        assert_eq!(t.furthest_counting(&probe, &mut visits), t.furthest(&probe));
+        assert!(visits > before, "visits accumulate across calls");
+    }
+
+    #[test]
+    fn counting_on_empty_tree_is_zero() {
+        let t: RTree<usize> = RTree::bulk_load_rows(4, 2, &[]);
+        let mut visits = 0;
+        assert!(t
+            .nearest_counting(&Point::new(vec![0.0, 0.0]), &mut visits)
+            .is_none());
+        assert_eq!(visits, 0);
+    }
+
+    #[test]
+    fn best_first_visits_are_bounded_by_node_count() {
+        let t = line_tree(64);
+        let probe = Point::new(vec![0.0, 0.0]);
+        let mut visits = 0;
+        let _ = t.nearest_counting(&probe, &mut visits);
+        // A nearest query can expand at most every node once.
+        let height = t.height().unwrap_or(0) as u64;
+        assert!(visits >= height, "must at least walk root-to-leaf");
+        assert!(visits <= 64 + 16 + 4 + 1, "bounded by total node count");
     }
 }

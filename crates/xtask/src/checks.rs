@@ -23,7 +23,17 @@ const LIB_SRC_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/nncore/src",
     "crates/datagen/src",
+    "crates/obs/src",
 ];
+
+/// Crates under the `no-ad-hoc-timing` rule: every monotonic-clock read in
+/// the query pipeline goes through `osd-obs` (`Stopwatch`, `PhaseTimer`,
+/// `Span`), so the instrumented phase taxonomy is the single source of
+/// timing truth and the obs-disabled build stays free of stray clock
+/// reads. `crates/obs/src` is the sanctioned implementation and exempt;
+/// bench/cli leaves time their own harness loops freely. `Duration` (a
+/// plain data type) is allowed — only clock *sources* are banned.
+const NO_TIMING_DIRS: &[&str] = &["crates/core/src", "crates/geom/src", "crates/rtree/src"];
 
 /// The dominance kernels where exact float comparison is banned outright.
 const KERNEL_DIRS: &[&str] = &["crates/core/src/ops"];
@@ -115,6 +125,9 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     }
     if is_hot_path(&file.path) {
         no_owned_points_in_hot_paths(file, out);
+    }
+    if NO_TIMING_DIRS.iter().any(|d| file.path.starts_with(d)) {
+        no_ad_hoc_timing(file, out);
     }
 }
 
@@ -454,6 +467,36 @@ fn no_owned_points_in_hot_paths(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 8: no raw clock reads in the instrumented library crates —
+/// `Instant` / `SystemTime` tokens (and `std::time::Instant` paths) are
+/// banned outside `osd-obs`. Timing goes through `osd_obs::Stopwatch` for
+/// always-on result timestamps and `PhaseTimer`/`Span` for profile data,
+/// which compile to no-ops when the `enabled` feature is off.
+fn no_ad_hoc_timing(file: &SourceFile, out: &mut Vec<Violation>) {
+    const CLOCKS: &[&str] = &["Instant", "SystemTime"];
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let clock = line
+            .code
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .find(|tok| CLOCKS.contains(tok));
+        if let Some(c) = clock {
+            push(
+                out,
+                file,
+                line.num,
+                "no-ad-hoc-timing",
+                format!(
+                    "`{c}` in an instrumented library crate; time through osd_obs \
+                     (Stopwatch / PhaseTimer / Span) so the obs-off build stays clock-free"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +680,41 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t(v: &[f64]) { let _ = v.to_vec(); }\n}\n",
         )
         .is_empty());
+    }
+
+    #[test]
+    fn flags_ad_hoc_timing_in_instrumented_crates() {
+        let src = "use std::time::Instant;\nfn f() { let _t = Instant::now(); }\n";
+        let v = check_src("crates/core/src/nnc.rs", src);
+        assert!(rules(&v).contains(&"no-ad-hoc-timing"), "{v:?}");
+        assert_eq!(
+            rules(&check_src(
+                "crates/rtree/src/query.rs",
+                "fn f() { let _ = std::time::Instant::now(); }\n"
+            )),
+            vec!["no-ad-hoc-timing"]
+        );
+        assert_eq!(
+            rules(&check_src(
+                "crates/geom/src/point.rs",
+                "fn f() { let _ = std::time::SystemTime::now(); }\n"
+            )),
+            vec!["no-ad-hoc-timing"]
+        );
+        // `Duration` is a data type, not a clock source.
+        assert!(check_src("crates/core/src/nnc.rs", "use std::time::Duration;\n").is_empty());
+        // osd-obs is the sanctioned home of the clock...
+        assert!(check_src("crates/obs/src/span.rs", "use std::time::Instant;\n").is_empty());
+        // ...and the bench/cli leaves are outside the rule entirely.
+        assert!(check_src("crates/bench/src/runner.rs", "use std::time::Instant;\n").is_empty());
+        // Test modules are exempt, as everywhere.
+        assert!(check_src(
+            "crates/core/src/nnc.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n}\n",
+        )
+        .is_empty());
+        // Identifiers merely containing the letters do not trip it.
+        assert!(check_src("crates/core/src/nnc.rs", "fn g(instant_k: u64) {}\n").is_empty());
     }
 
     #[test]

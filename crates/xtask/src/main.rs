@@ -23,6 +23,13 @@
 //! 6. **`no-rc-in-core`** — no `Rc` / `std::rc` anywhere in `osd-core`:
 //!    the parallel batch executor shares the crate's types across worker
 //!    threads, so shared ownership there must be `Arc`.
+//! 7. **`no-owned-points-in-hot-paths`** — the dominance kernels and the
+//!    NNC/k-NNC traversals borrow rows from the columnar instance store;
+//!    `.points()` / `.to_vec(` there allocates per dominance check.
+//! 8. **`no-ad-hoc-timing`** — no raw `Instant` / `SystemTime` in
+//!    `osd-core` / `osd-geom` / `osd-rtree`: wall-clock access goes
+//!    through `osd-obs` (`Stopwatch` / `PhaseTimer` / `Span`), so the
+//!    obs-disabled build is clock-free by construction.
 //!
 //! Diagnostics are `file:line: [rule] message` lines on stdout; the exit
 //! status is nonzero iff any violation was found.

@@ -35,4 +35,20 @@ echo "== batch executor under strict-invariants =="
 cargo test -q --features strict-invariants --test strict_invariants \
   batch_executor_audits_hold_across_threads
 
+echo "== osd query --profile=json smoke (schema) =="
+# End-to-end observability check: a real query through the obs-enabled CLI
+# must emit a profile document carrying every phase of the taxonomy.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo run -q -p osd-cli --bin osd -- gen --out "$SMOKE_DIR/smoke.csv" \
+  --dataset indep --n 60 --m 3 --dim 2 --seed 7
+cargo run -q -p osd-cli --bin osd -- query --data "$SMOKE_DIR/smoke.csv" \
+  --query "5000,5000;5100,5100" --op psd --profile=json > "$SMOKE_DIR/profile.out"
+for key in '"enabled": true' '"prepare"' '"rtree-descent"' '"level-prune"' \
+           '"validate"' '"refine"' '"rtree_node_visits"' '"heap_high_water"' \
+           '"instance_comparisons"'; do
+  grep -qF "$key" "$SMOKE_DIR/profile.out" \
+    || { echo "profile smoke: missing $key"; exit 1; }
+done
+
 echo "check.sh: all gates passed"

@@ -16,6 +16,8 @@
 //!   stochastic & match orders;
 //! * [`nnfuncs`] — the N1 / N2 / N3 NN-function families;
 //! * [`core`] — the dominance operators and Algorithm 1 (NNC);
+//! * [`obs`] — query-pipeline instrumentation: phase timers, metrics,
+//!   JSON/Prometheus exposition (no-op unless the `obs` feature is on);
 //! * [`datagen`] — synthetic and surrogate dataset generators.
 //!
 //! ## Quick start
@@ -44,16 +46,17 @@ pub use osd_flow as flow;
 pub use osd_geom as geom;
 pub use osd_nncore as nncore;
 pub use osd_nnfuncs as nnfuncs;
+pub use osd_obs as obs;
 pub use osd_rtree as rtree;
 pub use osd_uncertain as uncertain;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use osd_core::{
-        batch_stats, dominates, f_plus_sd, f_sd, k_nn_candidates, k_nn_candidates_bruteforce,
-        nn_candidates, nn_candidates_bruteforce, p_sd, s_sd, ss_sd, Candidate, CheckCtx, Database,
-        DominanceCache, FilterConfig, KnncResult, NncResult, Operator, PreparedQuery,
-        ProgressiveNnc, QueryEngine, Stats,
+        batch_metrics, batch_stats, dominates, f_plus_sd, f_sd, k_nn_candidates,
+        k_nn_candidates_bruteforce, nn_candidates, nn_candidates_bruteforce, p_sd, s_sd, ss_sd,
+        Candidate, CheckCtx, Database, DominanceCache, FilterConfig, KnncResult, NncResult,
+        Operator, PreparedQuery, ProgressiveNnc, QueryEngine, QueryMetrics, Stats,
     };
     pub use osd_geom::{Mbr, Point};
     pub use osd_nnfuncs::{
