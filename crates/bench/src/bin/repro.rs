@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|all> [options]
+//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|all> [options]
 //!   --paper-scale      Table 2 defaults (n=100k, m_d=40, 100 queries)
 //!   --n <N>            object count override
 //!   --md <M>           instances per object override
@@ -15,8 +15,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use osd_bench::{
-    fig10_with_threads, fig11_13, fig12, fig14, fig16, motivation, profile, storage, throughput,
-    Report, Scale, SweepParam,
+    fig10_with_threads, fig11_13, fig12, fig14, fig16, kernels, motivation, profile, storage,
+    throughput, Report, Scale, SweepParam,
 };
 
 fn main() {
@@ -37,10 +37,14 @@ fn main() {
     let mut threads = 1usize;
     let mut threads_list: Vec<usize> = vec![1, 2, 4, 8];
     let mut json: Option<String> = None;
+    let mut smoke = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--paper-scale" => {}
+            "--smoke" => {
+                smoke = true;
+            }
             "--n" => {
                 scale.n = next_val(&args, &mut i);
             }
@@ -121,6 +125,16 @@ fn main() {
             json.as_deref().unwrap_or("BENCH_obs.json"),
         ),
         "storage" => storage(&scale, 20, json.as_deref()),
+        "kernels" => {
+            // Smoke runs are assertion-only: never clobber the measured
+            // artifact unless a path was asked for explicitly.
+            let json = match (&json, smoke) {
+                (Some(path), _) => Some(path.as_str()),
+                (None, false) => Some("BENCH_kernels.json"),
+                (None, true) => None,
+            };
+            kernels(&scale, smoke, json);
+        }
         "fig16" => fig16(&scale, paper, &report),
         "all" => {
             fig10_with_threads(&scale, &report, threads);
@@ -151,9 +165,9 @@ fn next_val(args: &[String], i: &mut usize) -> usize {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|all> \
+        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|all> \
          [--paper-scale] [--n N] [--md M] [--mq M] [--queries Q] \
          [--param md|hd|mq|hq|n|d] [--out-dir DIR] [--threads T] \
-         [--threads-list 1,2,4,8] [--json PATH]"
+         [--threads-list 1,2,4,8] [--json PATH] [--smoke]"
     );
 }

@@ -1,0 +1,354 @@
+//! `repro kernels`: before/after measurement of the blocked-kernel and
+//! memoization overhaul, written to `BENCH_kernels.json`.
+//!
+//! The same A-N batch runs twice through [`QueryEngine`]: once on the
+//! scalar reference paths (`FilterConfig::all().scalar()`) and once with
+//! the blocked kernels on (`FilterConfig::all()`). The mode then enforces
+//! the **bit-identity contract** the kernels are written against: every
+//! query must produce the same candidate ids in the same order, the same
+//! `min_dist` down to the last bit, and the same frozen cost counters
+//! (`instance_comparisons`, `dominance_checks`, `flow_runs`,
+//! `mbr_checks`). Only then are the per-phase medians reported — the
+//! kernels are a pure execution strategy, so any divergence is a bug, not
+//! a measurement artefact.
+//!
+//! `rtree_nodes_visited` is reported separately and *not* frozen: the
+//! multi-point pruned descent legitimately expands fewer local-tree nodes
+//! than one nearest search per query instance.
+
+use crate::datasets::{build, DatasetId, Workbench};
+use crate::params::Scale;
+use crate::throughput::phase_medians;
+use osd_core::{FilterConfig, NncResult, Operator, QueryEngine};
+
+/// The PR-4 hot-path medians from `BENCH_throughput.json` (A-N, 2000
+/// objects, 10 queries, P-SD, sequential), the baseline the overhaul is
+/// measured against.
+pub const BASELINE_RTREE_DESCENT_NS: u64 = 267_509;
+/// See [`BASELINE_RTREE_DESCENT_NS`].
+pub const BASELINE_LEVEL_PRUNE_NS: u64 = 96_963;
+
+/// A measured before/after pair with the bit-identity verdict.
+#[derive(Debug, Clone)]
+pub struct KernelsReport {
+    /// Dataset label (the comparison runs on A-N).
+    pub dataset: &'static str,
+    /// Operator label.
+    pub op: &'static str,
+    /// Objects in the database.
+    pub objects: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Whether every query matched across the two strategies: candidate
+    /// ids and order, `min_dist` bits, and the frozen counters. The
+    /// measurement aborts before reporting when this would be `false`.
+    pub bit_identical: bool,
+    /// Median per-query phase nanoseconds of the scalar reference run.
+    pub scalar_phase_median_ns: Vec<(&'static str, u64)>,
+    /// Median per-query phase nanoseconds of the blocked-kernel run.
+    pub kernels_phase_median_ns: Vec<(&'static str, u64)>,
+    /// Total local+global R-tree nodes expanded by the scalar run.
+    pub scalar_rtree_nodes_visited: u64,
+    /// Total R-tree nodes expanded by the kernel run (the multi-point
+    /// descent makes this smaller; it is reported, not frozen).
+    pub kernels_rtree_nodes_visited: u64,
+}
+
+impl KernelsReport {
+    /// Sum of the two hot-path phase medians (`rtree-descent` +
+    /// `level-prune`) for the given run.
+    fn hot_ns(medians: &[(&'static str, u64)]) -> u64 {
+        medians
+            .iter()
+            .filter(|(name, _)| *name == "rtree-descent" || *name == "level-prune")
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+
+    /// Fractional reduction of the hot-path median sum relative to the
+    /// embedded PR-4 baseline (positive = faster than the baseline).
+    pub fn reduction_vs_baseline(&self) -> f64 {
+        let baseline = (BASELINE_RTREE_DESCENT_NS + BASELINE_LEVEL_PRUNE_NS) as f64;
+        1.0 - Self::hot_ns(&self.kernels_phase_median_ns) as f64 / baseline
+    }
+
+    /// Fractional reduction of the hot-path median sum relative to the
+    /// scalar run of the same invocation.
+    pub fn reduction_vs_scalar(&self) -> f64 {
+        let scalar = Self::hot_ns(&self.scalar_phase_median_ns) as f64;
+        if scalar == 0.0 {
+            return 0.0;
+        }
+        1.0 - Self::hot_ns(&self.kernels_phase_median_ns) as f64 / scalar
+    }
+
+    /// Renders the report as a JSON document (hand-formatted; the
+    /// workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"operator\": \"{}\",\n", self.op));
+        out.push_str(&format!("  \"objects\": {},\n", self.objects));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"bit_identical\": {},\n", self.bit_identical));
+        for (key, medians) in [
+            ("scalar_phase_median_ns", &self.scalar_phase_median_ns),
+            ("kernels_phase_median_ns", &self.kernels_phase_median_ns),
+        ] {
+            out.push_str(&format!("  \"{key}\": {{"));
+            for (i, (name, med)) in medians.iter().enumerate() {
+                let sep = if i + 1 == medians.len() { "" } else { ", " };
+                out.push_str(&format!("\"{name}\": {med}{sep}"));
+            }
+            out.push_str("},\n");
+        }
+        out.push_str(&format!(
+            "  \"scalar_rtree_nodes_visited\": {},\n",
+            self.scalar_rtree_nodes_visited
+        ));
+        out.push_str(&format!(
+            "  \"kernels_rtree_nodes_visited\": {},\n",
+            self.kernels_rtree_nodes_visited
+        ));
+        out.push_str(&format!(
+            "  \"baseline_phase_median_ns\": {{\"rtree-descent\": {BASELINE_RTREE_DESCENT_NS}, \
+             \"level-prune\": {BASELINE_LEVEL_PRUNE_NS}}},\n"
+        ));
+        out.push_str(&format!(
+            "  \"hot_path_reduction_vs_baseline\": {:.4},\n",
+            self.reduction_vs_baseline()
+        ));
+        out.push_str(&format!(
+            "  \"hot_path_reduction_vs_scalar\": {:.4}\n",
+            self.reduction_vs_scalar()
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The first bit-identity violation between two per-query result lists,
+/// or `None` when the runs agree on everything the contract freezes.
+fn first_divergence(scalar: &[NncResult], kernels: &[NncResult]) -> Option<String> {
+    if scalar.len() != kernels.len() {
+        return Some(format!(
+            "result counts differ: {} scalar vs {} kernels",
+            scalar.len(),
+            kernels.len()
+        ));
+    }
+    for (qi, (s, k)) in scalar.iter().zip(kernels.iter()).enumerate() {
+        if s.ids() != k.ids() {
+            return Some(format!(
+                "query {qi}: candidate ids diverge ({:?} scalar vs {:?} kernels)",
+                s.ids(),
+                k.ids()
+            ));
+        }
+        for (ci, (sc, kc)) in s.candidates.iter().zip(k.candidates.iter()).enumerate() {
+            if sc.min_dist.to_bits() != kc.min_dist.to_bits() {
+                return Some(format!(
+                    "query {qi} candidate {ci}: min_dist bits diverge \
+                     ({} scalar vs {} kernels)",
+                    sc.min_dist, kc.min_dist
+                ));
+            }
+        }
+        let frozen = |r: &NncResult| {
+            (
+                r.stats.instance_comparisons,
+                r.stats.dominance_checks,
+                r.stats.flow_runs,
+                r.stats.mbr_checks,
+            )
+        };
+        if frozen(s) != frozen(k) {
+            return Some(format!(
+                "query {qi}: frozen counters diverge ({:?} scalar vs {:?} kernels; \
+                 order: instance_comparisons, dominance_checks, flow_runs, mbr_checks)",
+                frozen(s),
+                frozen(k)
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the A-N batch under both strategies and checks the bit-identity
+/// contract.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence between the scalar and
+/// the blocked-kernel run — any difference in candidate ids, `min_dist`
+/// bits or frozen counters means the kernels are not the pure execution
+/// strategy they claim to be.
+pub fn measure_kernels(scale: &Scale, op: Operator) -> Result<KernelsReport, String> {
+    let bench: Workbench = build(DatasetId::AN, scale);
+
+    let scalar_engine = QueryEngine::with_config(&bench.db, op, FilterConfig::all().scalar());
+    let scalar_results = scalar_engine.run_batch(&bench.queries, 1);
+
+    let kernel_engine = QueryEngine::with_config(&bench.db, op, FilterConfig::all());
+    let kernel_results = kernel_engine.run_batch(&bench.queries, 1);
+
+    if let Some(divergence) = first_divergence(&scalar_results, &kernel_results) {
+        return Err(divergence);
+    }
+
+    let visits = |results: &[NncResult]| {
+        results
+            .iter()
+            .map(|r| r.stats.rtree_nodes_visited)
+            .sum::<u64>()
+    };
+    Ok(KernelsReport {
+        dataset: DatasetId::AN.label(),
+        op: op.label(),
+        objects: bench.db.len(),
+        queries: bench.queries.len(),
+        bit_identical: true,
+        scalar_phase_median_ns: phase_medians(&scalar_results),
+        kernels_phase_median_ns: phase_medians(&kernel_results),
+        scalar_rtree_nodes_visited: visits(&scalar_results),
+        kernels_rtree_nodes_visited: visits(&kernel_results),
+    })
+}
+
+/// Prints the before/after table and (optionally) writes the JSON
+/// document. `smoke` shrinks the workload to a seconds-scale run whose
+/// only job is the bit-identity assertion (used by `scripts/check.sh`).
+/// Exits non-zero on any divergence.
+pub fn kernels(scale: &Scale, smoke: bool, json_path: Option<&str>) {
+    let scale = if smoke {
+        Scale {
+            n: 90,
+            m_d: 4,
+            m_q: 3,
+            queries: 5,
+            ..scale.clone()
+        }
+    } else {
+        scale.clone()
+    };
+    let report = match measure_kernels(&scale, Operator::PSd) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kernels: bit-identity violation: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n== Kernels: {} on {} ({} objects, {} queries, bit_identical={}) ==",
+        report.op, report.dataset, report.objects, report.queries, report.bit_identical
+    );
+    println!(
+        "{:>15} {:>12} {:>12} {:>9}",
+        "phase", "scalar_ns", "kernels_ns", "speedup"
+    );
+    for ((name, scalar_ns), (_, kernel_ns)) in report
+        .scalar_phase_median_ns
+        .iter()
+        .zip(report.kernels_phase_median_ns.iter())
+    {
+        let speedup = if *kernel_ns > 0 {
+            *scalar_ns as f64 / *kernel_ns as f64
+        } else {
+            0.0
+        };
+        println!("{name:>15} {scalar_ns:>12} {kernel_ns:>12} {speedup:>8.2}x");
+    }
+    println!(
+        "rtree nodes visited: {} scalar vs {} kernels",
+        report.scalar_rtree_nodes_visited, report.kernels_rtree_nodes_visited
+    );
+    if !smoke {
+        println!(
+            "hot-path (rtree-descent + level-prune) reduction: {:.1}% vs scalar, \
+             {:.1}% vs the PR-4 baseline",
+            100.0 * report.reduction_vs_scalar(),
+            100.0 * report.reduction_vs_baseline()
+        );
+    }
+    if let Some(path) = json_path {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n: 90,
+            m_d: 4,
+            m_q: 3,
+            queries: 5,
+            ..Scale::laptop()
+        }
+    }
+
+    #[test]
+    fn tiny_workload_is_bit_identical() {
+        let report = measure_kernels(&tiny(), Operator::PSd).unwrap();
+        assert!(report.bit_identical);
+        assert_eq!(report.queries, 5);
+        assert!(
+            report.kernels_rtree_nodes_visited <= report.scalar_rtree_nodes_visited,
+            "the multi-point descent must never expand more nodes"
+        );
+        let names: Vec<_> = report
+            .kernels_phase_median_ns
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "prepare",
+                "rtree-descent",
+                "level-prune",
+                "validate",
+                "refine"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_operator_is_bit_identical_on_the_tiny_workload() {
+        for op in Operator::ALL {
+            let report = measure_kernels(&tiny(), op);
+            assert!(report.is_ok(), "{op:?}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn json_carries_the_verdict_and_both_median_sets() {
+        let report = KernelsReport {
+            dataset: "A-N",
+            op: "PSD",
+            objects: 10,
+            queries: 2,
+            bit_identical: true,
+            scalar_phase_median_ns: vec![("rtree-descent", 200), ("level-prune", 100)],
+            kernels_phase_median_ns: vec![("rtree-descent", 100), ("level-prune", 50)],
+            scalar_rtree_nodes_visited: 40,
+            kernels_rtree_nodes_visited: 30,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"scalar_phase_median_ns\": {\"rtree-descent\": 200"));
+        assert!(json.contains("\"kernels_phase_median_ns\": {\"rtree-descent\": 100"));
+        assert!(json.contains("\"baseline_phase_median_ns\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // 150 / 364472 ≈ 0.9996 reduction for the synthetic numbers above.
+        assert!(report.reduction_vs_baseline() > 0.99);
+        let expected = 1.0 - 150.0 / 300.0;
+        assert!((report.reduction_vs_scalar() - expected).abs() < 1e-12);
+    }
+}

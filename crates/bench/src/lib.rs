@@ -20,6 +20,7 @@
 
 pub mod datasets;
 pub mod figures;
+pub mod kernels;
 pub mod motivation;
 pub mod params;
 pub mod profile;
@@ -29,6 +30,7 @@ pub mod throughput;
 
 pub use datasets::{build, DatasetId, Workbench};
 pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
+pub use kernels::{kernels, measure_kernels, KernelsReport};
 pub use motivation::motivation;
 pub use params::{Scale, Sweeps};
 pub use profile::{measure_profile, profile, ProfileReport};

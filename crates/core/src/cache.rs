@@ -13,7 +13,7 @@
 use crate::config::Stats;
 use crate::db::Database;
 use crate::query::PreparedQuery;
-use osd_geom::{distance_space_row, Point};
+use osd_geom::{distance_space_row, Mbr, Point};
 use osd_obs::{Counter, QueryMetrics};
 use osd_rtree::{Entry, RTree};
 use osd_uncertain::{quantize, DistanceDistribution};
@@ -26,6 +26,89 @@ pub type AggStats = (f64, f64, f64);
 /// Distance-space image of an object: the mapped points plus an R-tree over
 /// them (payload = instance index).
 pub type MappedInstances = (Vec<Point>, RTree<usize>);
+
+/// An `(optimistic, pessimistic)` pair of level-bound distributions
+/// (§5.1.1): whole mass of each group placed at its minimal resp. maximal
+/// distance to the query.
+pub type BoundPair = (DistanceDistribution, DistanceDistribution);
+
+/// One level of a [`LevelSnapshot`]: the group MBRs of the §5.1.1
+/// partition `U = {U¹, …, U^k}` with each group's probability mass, both
+/// as the float sum used by the bound distributions and as the quantised
+/// cap used by the group flow networks.
+///
+/// Members are folded in `level_groups` order with the same left-to-right
+/// sums as the scalar per-pair rebuilds, so every derived quantity is
+/// bit-for-bit identical to the unmemoized path.
+#[derive(Debug)]
+pub struct LevelGroups {
+    /// Group MBRs, in `level_groups` order.
+    pub mbrs: Vec<Mbr>,
+    /// Float probability mass per group.
+    pub masses: Vec<f64>,
+    /// Quantised (fixed-point) mass per group.
+    pub caps: Vec<u64>,
+}
+
+impl LevelGroups {
+    /// Number of groups at this level.
+    pub fn len(&self) -> usize {
+        self.mbrs.len()
+    }
+
+    /// Whether the level has no groups (never true for snapshots built
+    /// over the non-empty local trees).
+    pub fn is_empty(&self) -> bool {
+        self.mbrs.is_empty()
+    }
+}
+
+/// Per-object memo of every level's group partition, built once per
+/// traversal and shared by all `(u, v)` pairs the object participates in.
+///
+/// Levels `1..=height+1` are materialised eagerly (level `height + 1` is
+/// the finest, all-singleton partition; every deeper level is identical
+/// to it, which is why [`LevelSnapshot::level`] clamps).
+#[derive(Debug)]
+pub struct LevelSnapshot {
+    height: usize,
+    levels: Vec<LevelGroups>,
+}
+
+impl LevelSnapshot {
+    /// Height of the underlying local R-tree (single leaf root = 0).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The groups at `level` (1-based, as in `RTree::level_groups`);
+    /// levels beyond `height + 1` return the finest partition, exactly as
+    /// the tree itself would.
+    ///
+    /// # Panics
+    /// Panics if `level == 0` — level 0 (the whole object as one group) is
+    /// never consulted by the level-by-level descent.
+    pub fn level(&self, level: usize) -> &LevelGroups {
+        &self.levels[self.clamped(level)]
+    }
+
+    /// Number of materialised levels (`height + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The index into the materialised levels that `level` resolves to;
+    /// levels beyond `height + 1` clamp to the finest partition, so their
+    /// derived state (bounds, caps) is shared with it.
+    ///
+    /// # Panics
+    /// Panics if `level == 0` — level 0 (the whole object as one group) is
+    /// never consulted by the level-by-level descent.
+    pub fn clamped(&self, level: usize) -> usize {
+        assert!(level >= 1, "level-by-level descent starts at level 1");
+        level.min(self.levels.len()) - 1
+    }
+}
 
 /// Lazily-populated per-object derived state for one query.
 pub struct DominanceCache {
@@ -45,6 +128,15 @@ pub struct DominanceCache {
     /// Indices of instances lying inside `CH(Q)`, per object (the geometric
     /// early-reject of the P-SD check).
     in_hull: Vec<Option<Arc<Vec<usize>>>>,
+    /// Per-object level snapshots (group MBRs + masses + caps for every
+    /// R-tree level), per object.
+    levels: Vec<Option<Arc<LevelSnapshot>>>,
+    /// Optimistic/pessimistic bounds on the whole `U_Q`, per object per
+    /// clamped level (lazily sized to the snapshot's level count).
+    bounds_whole: Vec<Vec<Option<Arc<BoundPair>>>>,
+    /// Optimistic/pessimistic bounds on each `U_q` (query-instance order),
+    /// per object per clamped level.
+    bounds_instance: Vec<Vec<Option<Arc<Vec<BoundPair>>>>>,
 }
 
 impl DominanceCache {
@@ -58,6 +150,9 @@ impl DominanceCache {
             quanta: vec![None; n],
             mapped: vec![None; n],
             in_hull: vec![None; n],
+            levels: vec![None; n],
+            bounds_whole: vec![Vec::new(); n],
+            bounds_instance: vec![Vec::new(); n],
         }
     }
 
@@ -226,6 +321,118 @@ impl DominanceCache {
         m
     }
 
+    /// The per-level group partition of object `id`'s local R-tree: MBRs,
+    /// float masses and quantised caps for every level, computed in **one
+    /// pass** per level over `level_groups` and memoized for the rest of
+    /// the traversal (the scalar path rebuilds all three for every `(u, v)`
+    /// pair it checks).
+    pub fn level_snapshot(
+        &mut self,
+        db: &Database,
+        id: usize,
+        stats: &mut Stats,
+        metrics: &mut QueryMetrics,
+    ) -> Arc<LevelSnapshot> {
+        if let Some(s) = &self.levels[id] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
+            return Arc::clone(s);
+        }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
+        let quanta = self.quanta(db, id, stats, metrics);
+        let obj = db.object(id);
+        let tree = db.local_tree(id);
+        let height = tree.height().unwrap_or(0);
+        // Level height+1 is the all-singleton partition; deeper levels
+        // repeat it, so materialising up to height+1 covers every request.
+        let mut levels = Vec::with_capacity(height + 1);
+        for level in 1..=height + 1 {
+            let groups = tree.level_groups(level);
+            let mut mbrs = Vec::with_capacity(groups.len());
+            let mut masses = Vec::with_capacity(groups.len());
+            let mut caps = Vec::with_capacity(groups.len());
+            for (mbr, items) in groups {
+                // Same member order and left-to-right fold as the scalar
+                // `group_masses` / caps rebuilds — bit-identical sums.
+                masses.push(items.iter().map(|&&i| obj.prob(i)).sum());
+                caps.push(items.iter().map(|&&i| quanta[i]).sum());
+                mbrs.push(mbr);
+            }
+            levels.push(LevelGroups { mbrs, masses, caps });
+        }
+        let s = Arc::new(LevelSnapshot { height, levels });
+        self.levels[id] = Some(Arc::clone(&s));
+        s
+    }
+
+    /// Optimistic/pessimistic bounds on the whole `U_Q` of object `id` at
+    /// R-tree `level`, memoized per clamped level for the rest of the
+    /// traversal (the scalar path re-derives and re-sorts both
+    /// distributions for every `(u, v)` pair the object appears in).
+    ///
+    /// The memo carries no comparison cost itself: the caller charges the
+    /// frozen per-use cost (2 comparisons per query instance per group),
+    /// exactly as the scalar rebuild would, so the `Stats` contract of the
+    /// kernels path stays bit-identical.
+    pub fn level_bounds_whole(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        level: usize,
+        stats: &mut Stats,
+        metrics: &mut QueryMetrics,
+    ) -> Arc<BoundPair> {
+        let snap = self.level_snapshot(db, id, stats, metrics);
+        let idx = snap.clamped(level);
+        let slot = &mut self.bounds_whole[id];
+        if slot.is_empty() {
+            slot.resize_with(snap.num_levels(), || None);
+        }
+        if let Some(b) = &slot[idx] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
+            return Arc::clone(b);
+        }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
+        let b = Arc::new(build_bounds_whole(query, snap.level(level)));
+        slot[idx] = Some(Arc::clone(&b));
+        b
+    }
+
+    /// Optimistic/pessimistic bounds on each `U_q` of object `id` at R-tree
+    /// `level`, in query-instance order, memoized per clamped level. Cost
+    /// accounting follows [`Self::level_bounds_whole`]: the caller charges
+    /// 2 comparisons per group per use of one instance's pair.
+    pub fn level_bounds_instance(
+        &mut self,
+        db: &Database,
+        query: &PreparedQuery,
+        id: usize,
+        level: usize,
+        stats: &mut Stats,
+        metrics: &mut QueryMetrics,
+    ) -> Arc<Vec<BoundPair>> {
+        let snap = self.level_snapshot(db, id, stats, metrics);
+        let idx = snap.clamped(level);
+        let slot = &mut self.bounds_instance[id];
+        if slot.is_empty() {
+            slot.resize_with(snap.num_levels(), || None);
+        }
+        if let Some(b) = &slot[idx] {
+            stats.cache_hits += 1;
+            metrics.incr(Counter::CacheHits);
+            return Arc::clone(b);
+        }
+        stats.cache_misses += 1;
+        metrics.incr(Counter::CacheMisses);
+        let b = Arc::new(build_bounds_instance(query, snap.level(level)));
+        slot[idx] = Some(Arc::clone(&b));
+        b
+    }
+
     /// Indices of instances of `id` that lie inside (or on) the convex hull
     /// of the query. An instance inside `CH(Q)` can only be peer-dominated
     /// by a coincident instance (§5.1.2).
@@ -261,6 +468,46 @@ impl DominanceCache {
         self.in_hull[id] = Some(Arc::clone(&list));
         list
     }
+}
+
+/// Builds the whole-`U_Q` bound pair for one snapshot level with the same
+/// atom order and left-to-right folds as the scalar per-pair rebuild in
+/// `ops::level`, so the resulting distributions are bit-identical to it.
+fn build_bounds_whole(query: &PreparedQuery, level: &LevelGroups) -> BoundPair {
+    let mut lo = Vec::with_capacity(level.len() * query.len());
+    let mut hi = Vec::with_capacity(level.len() * query.len());
+    for q in query.object().instances() {
+        for (mbr, &mass) in level.mbrs.iter().zip(level.masses.iter()) {
+            lo.push((mbr.min_dist_point(&q.point), q.prob * mass));
+            hi.push((mbr.max_dist_point(&q.point), q.prob * mass));
+        }
+    }
+    (
+        DistanceDistribution::from_atoms(lo),
+        DistanceDistribution::from_atoms(hi),
+    )
+}
+
+/// Builds the per-`U_q` bound pairs for one snapshot level, in query
+/// instance order, with the scalar rebuild's atom order.
+fn build_bounds_instance(query: &PreparedQuery, level: &LevelGroups) -> Vec<BoundPair> {
+    query
+        .object()
+        .instances()
+        .iter()
+        .map(|q| {
+            let mut lo = Vec::with_capacity(level.len());
+            let mut hi = Vec::with_capacity(level.len());
+            for (mbr, &mass) in level.mbrs.iter().zip(level.masses.iter()) {
+                lo.push((mbr.min_dist_point(&q.point), mass));
+                hi.push((mbr.max_dist_point(&q.point), mass));
+            }
+            (
+                DistanceDistribution::from_atoms(lo),
+                DistanceDistribution::from_atoms(hi),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -343,6 +590,82 @@ mod tests {
         assert_eq!(mn, d.min());
         assert_eq!(mean, d.mean());
         assert_eq!(mx, d.max());
+    }
+
+    #[test]
+    fn level_snapshot_matches_scalar_rebuild_bitwise() {
+        let objects: Vec<UncertainObject> = (0..3)
+            .map(|k| {
+                UncertainObject::uniform(
+                    (0..9)
+                        .map(|i| p2(k as f64 * 10.0 + i as f64 * 0.7, (i % 3) as f64))
+                        .collect(),
+                )
+            })
+            .collect();
+        let db = Database::with_fanouts(objects, 4, 3);
+        let q = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 1.0)]));
+        let mut cache = DominanceCache::new(db.len());
+        let mut stats = Stats::default();
+        let mut metrics = QueryMetrics::new();
+        for id in 0..db.len() {
+            let snap = cache.level_snapshot(&db, id, &mut stats, &mut metrics);
+            let tree = db.local_tree(id);
+            let obj = db.object(id);
+            let quanta = cache.quanta(&db, id, &mut stats, &mut metrics);
+            assert_eq!(snap.height(), tree.height().unwrap_or(0));
+            // Levels past height+1 clamp to the finest (singleton) level.
+            assert_eq!(
+                snap.level(snap.height() + 5).len(),
+                obj.len(),
+                "finest level is one group per instance"
+            );
+            for level in 1..=snap.height() + 1 {
+                let groups = tree.level_groups(level);
+                let lg = snap.level(level);
+                assert_eq!(lg.len(), groups.len());
+                for (g, (mbr, items)) in groups.iter().enumerate() {
+                    let scalar_mass: f64 = items.iter().map(|&&i| obj.prob(i)).sum();
+                    let scalar_cap: u64 = items.iter().map(|&&i| quanta[i]).sum();
+                    assert_eq!(lg.masses[g].to_bits(), scalar_mass.to_bits());
+                    assert_eq!(lg.caps[g], scalar_cap);
+                    assert_eq!(&lg.mbrs[g], mbr);
+                }
+            }
+        }
+        // Second lookup is a pure cache hit.
+        let hits_before = stats.cache_hits;
+        let _ = cache.level_snapshot(&db, 0, &mut stats, &mut metrics);
+        assert_eq!(stats.cache_hits, hits_before + 1);
+
+        // The memoized bound pairs equal a by-hand rebuild with the scalar
+        // atom order, charge nothing at build time, and hit on re-lookup.
+        let comparisons_before = stats.instance_comparisons;
+        for id in 0..db.len() {
+            let snap = cache.level_snapshot(&db, id, &mut stats, &mut metrics);
+            for level in 1..=snap.height() + 1 {
+                let lg = snap.level(level);
+                let bw = cache.level_bounds_whole(&db, &q, id, level, &mut stats, &mut metrics);
+                let mut lo = Vec::new();
+                let mut hi = Vec::new();
+                for qi in q.object().instances() {
+                    for (mbr, &mass) in lg.mbrs.iter().zip(lg.masses.iter()) {
+                        lo.push((mbr.min_dist_point(&qi.point), qi.prob * mass));
+                        hi.push((mbr.max_dist_point(&qi.point), qi.prob * mass));
+                    }
+                }
+                assert!(bw.0.approx_eq(&DistanceDistribution::from_atoms(lo), 0.0));
+                assert!(bw.1.approx_eq(&DistanceDistribution::from_atoms(hi), 0.0));
+                let bi = cache.level_bounds_instance(&db, &q, id, level, &mut stats, &mut metrics);
+                assert_eq!(bi.len(), q.len());
+                let again = cache.level_bounds_whole(&db, &q, id, level, &mut stats, &mut metrics);
+                assert!(Arc::ptr_eq(&bw, &again), "clamped level must be shared");
+            }
+        }
+        assert_eq!(
+            stats.instance_comparisons, comparisons_before,
+            "bound memo construction must not charge frozen counters"
+        );
     }
 
     #[test]

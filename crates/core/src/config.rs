@@ -20,16 +20,30 @@ pub struct FilterConfig {
     pub geometric: bool,
     /// Cover-based validation via the exact MBR dominance test (Theorem 4).
     pub mbr_validation: bool,
+    /// Blocked row kernels and per-traversal memoization on the hot paths:
+    /// the multi-point pruned `δ_min` descent, the batched `⪯_Q` distance
+    /// tables, per-object level snapshots and the reusable flow arena.
+    ///
+    /// Unlike the §5.1 switches this is an *implementation strategy*, not
+    /// an algorithmic filter: results and the paper's cost counters
+    /// (`instance_comparisons`, `mbr_checks`, `flow_runs`) are bit-for-bit
+    /// identical either way — `repro kernels` asserts exactly that. It
+    /// defaults to on; the scalar path exists as the reference
+    /// implementation the bench compares against.
+    pub kernels: bool,
 }
 
 impl FilterConfig {
-    /// Brute force: every filter disabled.
+    /// Brute force: every filter disabled. The `kernels` strategy stays on
+    /// — it changes how work is executed, not which work the ablation
+    /// measures.
     pub const fn bf() -> Self {
         FilterConfig {
             level_by_level: false,
             pruning: false,
             geometric: false,
             mbr_validation: false,
+            kernels: true,
         }
     }
 
@@ -70,6 +84,16 @@ impl FilterConfig {
         FilterConfig {
             mbr_validation: true,
             ..Self::lgp()
+        }
+    }
+
+    /// The same configuration with the blocked-kernel strategy disabled —
+    /// the scalar reference path that `repro kernels` measures the blocked
+    /// path against.
+    pub const fn scalar(self) -> Self {
+        FilterConfig {
+            kernels: false,
+            ..self
         }
     }
 
@@ -171,6 +195,23 @@ mod tests {
     #[test]
     fn default_is_all() {
         assert_eq!(FilterConfig::default(), FilterConfig::all());
+    }
+
+    #[test]
+    fn kernels_default_on_and_scalar_only_flips_kernels() {
+        for (_, cfg) in FilterConfig::ablation_ladder() {
+            assert!(cfg.kernels, "every ladder rung runs the blocked kernels");
+            let scalar = cfg.scalar();
+            assert!(!scalar.kernels);
+            assert_eq!(
+                FilterConfig {
+                    kernels: true,
+                    ..scalar
+                },
+                cfg,
+                "scalar() must not change the §5.1 switches"
+            );
+        }
     }
 
     #[test]

@@ -8,14 +8,37 @@
 //! arguments, and so one query's mutable state (cache + stats) is a single
 //! owned unit that can move onto a worker thread with the query.
 
-use crate::cache::{AggStats, DominanceCache, MappedInstances};
+use crate::cache::{AggStats, BoundPair, DominanceCache, LevelSnapshot, MappedInstances};
 use crate::config::{FilterConfig, Stats};
 use crate::db::Database;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use osd_flow::MaxFlow;
 use osd_obs::{Phase, PhaseTimer, QueryMetrics};
 use osd_uncertain::DistanceDistribution;
 use std::sync::Arc;
+
+/// Reusable scratch buffers for the dominance checks, owned by the context
+/// so the exact-network path of one query allocates O(1) amortised across
+/// all of its checks: edge lists, the necessary-condition bitmap, the
+/// Dinic arena, and the `⪯_Q` distance tables all keep their allocations
+/// between `(u, v)` pairs.
+///
+/// The buffers carry no state across checks — every user clears or
+/// overwrites before reading — so reuse cannot change any result.
+#[derive(Default)]
+pub(crate) struct CheckScratch {
+    /// Bipartite edge list `(i, j)` of the current network.
+    pub(crate) edges: Vec<(usize, usize)>,
+    /// Per-`u` "has an outgoing edge" bitmap (flow necessary condition).
+    pub(crate) has_edge: Vec<bool>,
+    /// Resettable max-flow arena.
+    pub(crate) flow: MaxFlow,
+    /// Blocked distance table `δ²(u_i, q)`, query-major.
+    pub(crate) dist_u: Vec<f64>,
+    /// Blocked distance table `δ²(v_j, q)`, query-major.
+    pub(crate) dist_v: Vec<f64>,
+}
 
 /// The environment of one query's dominance checks: shared read-only data
 /// (`db`, `query`), the filter configuration, and the query-local mutable
@@ -38,6 +61,8 @@ pub struct CheckCtx<'a> {
     /// Instrumentation registry for this query (zero-sized no-op unless
     /// the `obs` feature is on).
     pub metrics: QueryMetrics,
+    /// Reusable scratch buffers for the allocation-free check paths.
+    pub(crate) scratch: CheckScratch,
 }
 
 impl<'a> CheckCtx<'a> {
@@ -50,6 +75,7 @@ impl<'a> CheckCtx<'a> {
             cache: DominanceCache::new(db.len()),
             stats: Stats::default(),
             metrics: QueryMetrics::new(),
+            scratch: CheckScratch::default(),
         }
     }
 
@@ -99,6 +125,39 @@ impl<'a> CheckCtx<'a> {
     pub fn in_hull_instances(&mut self, id: usize) -> Arc<Vec<usize>> {
         self.cache
             .in_hull_instances(self.db, self.query, id, &mut self.stats, &mut self.metrics)
+    }
+
+    /// Per-level group snapshot (MBRs + masses + caps) of object `id`'s
+    /// local R-tree (cached once per traversal).
+    pub fn level_snapshot(&mut self, id: usize) -> Arc<LevelSnapshot> {
+        self.cache
+            .level_snapshot(self.db, id, &mut self.stats, &mut self.metrics)
+    }
+
+    /// Whole-`U_Q` level-bound distributions of object `id` at `level`
+    /// (cached per clamped level; the caller charges the per-use cost).
+    pub(crate) fn level_bounds_whole(&mut self, id: usize, level: usize) -> Arc<BoundPair> {
+        self.cache.level_bounds_whole(
+            self.db,
+            self.query,
+            id,
+            level,
+            &mut self.stats,
+            &mut self.metrics,
+        )
+    }
+
+    /// Per-`U_q` level-bound distributions of object `id` at `level`
+    /// (cached per clamped level; the caller charges the per-use cost).
+    pub(crate) fn level_bounds_instance(&mut self, id: usize, level: usize) -> Arc<Vec<BoundPair>> {
+        self.cache.level_bounds_instance(
+            self.db,
+            self.query,
+            id,
+            level,
+            &mut self.stats,
+            &mut self.metrics,
+        )
     }
 
     /// Cover-based validation (Theorem 4), shared by the strict operators:

@@ -107,6 +107,8 @@ pub fn k_nn_candidates(
     let prepare = PhaseTimer::start(Phase::Prepare);
     let mut ctx = CheckCtx::new(db, query, *cfg);
     let mut kept: Vec<(Candidate, usize)> = Vec::new();
+    // MBR of each kept candidate, cached at emission for entry pruning.
+    let mut kept_mbrs: Vec<osd_geom::Mbr> = Vec::new();
 
     let mut heap = BinaryHeap::new();
     if let Some(root) = db.global_tree().root() {
@@ -143,6 +145,7 @@ pub fn k_nn_candidates(
                         },
                         dominators,
                     ));
+                    kept_mbrs.push(db.object(v).mbr().clone());
                     ctx.metrics.candidate_emitted(op.label());
                 }
             }
@@ -150,12 +153,12 @@ pub fn k_nn_candidates(
                 let timer = PhaseTimer::start(Phase::RtreeDescent);
                 ctx.stats.rtree_nodes_visited += 1;
                 ctx.metrics.incr(Counter::RtreeNodeVisits);
-                if !entry_pruned(&mut ctx, &kept, k, strict, &node.mbr()) {
+                if !entry_pruned(&mut ctx, &kept_mbrs, k, strict, &node.mbr()) {
                     let depth_before = heap.len();
                     match node {
                         Node::Leaf(entries) => {
                             for e in entries {
-                                if !entry_pruned(&mut ctx, &kept, k, strict, &e.mbr) {
+                                if !entry_pruned(&mut ctx, &kept_mbrs, k, strict, &e.mbr) {
                                     let key = object_min_dist2(db, query, e.item, &mut ctx);
                                     heap.push(HeapItem {
                                         key,
@@ -166,7 +169,7 @@ pub fn k_nn_candidates(
                         }
                         Node::Inner(children) => {
                             for c in children {
-                                if !entry_pruned(&mut ctx, &kept, k, strict, &c.mbr) {
+                                if !entry_pruned(&mut ctx, &kept_mbrs, k, strict, &c.mbr) {
                                     heap.push(HeapItem {
                                         key: c.mbr.min_dist2(query.mbr()),
                                         slot: Slot::Node(&c.node),
@@ -211,10 +214,11 @@ pub fn k_nn_candidates_bruteforce(
 }
 
 /// Subtree pruning: discard when at least `k` kept candidates MBR-dominate
-/// the entry (every object inside then has ≥ k dominators).
+/// the entry (every object inside then has ≥ k dominators). `kept_mbrs`
+/// holds the kept candidates' MBRs, cached at emission.
 fn entry_pruned(
     ctx: &mut CheckCtx<'_>,
-    kept: &[(Candidate, usize)],
+    kept_mbrs: &[osd_geom::Mbr],
     k: usize,
     strict: bool,
     e_mbr: &osd_geom::Mbr,
@@ -223,9 +227,8 @@ fn entry_pruned(
         return false;
     }
     let mut dominators = 0usize;
-    for (c, _) in kept {
+    for u_mbr in kept_mbrs {
         ctx.stats.mbr_checks += 1;
-        let u_mbr = ctx.db.object(c.id).mbr();
         let dominated = if strict {
             mbr_dominates_strict(u_mbr, e_mbr, ctx.query.mbr())
         } else {
@@ -241,14 +244,24 @@ fn entry_pruned(
     false
 }
 
+/// Exact squared `δ_min(V, Q)` — same kernel/scalar split (and the same
+/// bit-identity argument) as [`crate::nnc::ProgressiveNnc`]'s helper.
 fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, ctx: &mut CheckCtx<'_>) -> f64 {
     let tree = db.local_tree(v);
     let mut best = f64::INFINITY;
     let mut visits = 0u64;
-    for q in query.instance_points() {
-        ctx.stats.instance_comparisons += 1;
-        if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
-            best = best.min(d * d);
+    if ctx.cfg.kernels {
+        ctx.stats.instance_comparisons += query.len() as u64;
+        if let Some(d2) = tree.min_dist2_multi(query.instance_points(), &mut visits) {
+            let d = d2.sqrt();
+            best = d * d;
+        }
+    } else {
+        for q in query.instance_points() {
+            ctx.stats.instance_comparisons += 1;
+            if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
+                best = best.min(d * d);
+            }
         }
     }
     ctx.stats.rtree_nodes_visited += visits;

@@ -113,6 +113,9 @@ pub struct ProgressiveNnc<'a> {
     op: Operator,
     heap: BinaryHeap<HeapItem<'a>>,
     candidates: Vec<Candidate>,
+    /// MBR of each emitted candidate, cached at emission so entry pruning
+    /// reads a contiguous list instead of chasing the store per check.
+    cand_mbrs: Vec<Mbr>,
     ctx: CheckCtx<'a>,
     objects_checked: usize,
     start: Stopwatch,
@@ -142,6 +145,7 @@ impl<'a> ProgressiveNnc<'a> {
             op,
             heap,
             candidates: Vec::new(),
+            cand_mbrs: Vec::new(),
             ctx,
             objects_checked: 0,
             start: Stopwatch::start(),
@@ -194,6 +198,7 @@ impl<'a> ProgressiveNnc<'a> {
                             elapsed: self.start.elapsed(),
                         };
                         self.candidates.push(c.clone());
+                        self.cand_mbrs.push(self.ctx.db.object(v).mbr().clone());
                         self.ctx.metrics.candidate_emitted(self.op.label());
                         return Some(c);
                     }
@@ -257,14 +262,30 @@ impl<'a> ProgressiveNnc<'a> {
     }
 
     /// Exact squared `δ_min(V, Q)` via the object's local R-tree.
+    ///
+    /// The kernel path answers all query instances in one pruned descent
+    /// sharing the running best as bound; `min` is monotone under
+    /// `sqrt`-then-square, so the result is bit-identical to the per-`q`
+    /// nearest searches of the scalar path (which square each nearest
+    /// distance before folding). `instance_comparisons` charges one unit
+    /// per query instance on both paths; the node-visit saving shows up in
+    /// `rtree_nodes_visited`, which is reported but not frozen.
     fn object_min_dist2(&mut self, v: usize) -> f64 {
         let tree = self.ctx.db.local_tree(v);
         let mut best = f64::INFINITY;
         let mut visits = 0u64;
-        for q in self.ctx.query.instance_points() {
-            self.ctx.stats.instance_comparisons += 1;
-            if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
-                best = best.min(d * d);
+        if self.ctx.cfg.kernels {
+            self.ctx.stats.instance_comparisons += self.ctx.query.len() as u64;
+            if let Some(d2) = tree.min_dist2_multi(self.ctx.query.instance_points(), &mut visits) {
+                let d = d2.sqrt();
+                best = d * d;
+            }
+        } else {
+            for q in self.ctx.query.instance_points() {
+                self.ctx.stats.instance_comparisons += 1;
+                if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
+                    best = best.min(d * d);
+                }
             }
         }
         self.ctx.stats.rtree_nodes_visited += visits;
@@ -285,9 +306,8 @@ impl<'a> ProgressiveNnc<'a> {
             return false;
         }
         let strict = !matches!(self.op, Operator::FPlusSd | Operator::FSd);
-        for c in &self.candidates {
+        for u_mbr in &self.cand_mbrs {
             self.ctx.stats.mbr_checks += 1;
-            let u_mbr = self.ctx.db.object(c.id).mbr();
             let dominated = if strict {
                 mbr_dominates_strict(u_mbr, e_mbr, self.ctx.query.mbr())
             } else {

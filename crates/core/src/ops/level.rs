@@ -62,6 +62,9 @@ fn try_decide_inner(
     granularity: Granularity,
     ctx: &mut CheckCtx<'_>,
 ) -> Option<bool> {
+    if ctx.cfg.kernels {
+        return try_decide_snapshot(u, v, granularity, ctx);
+    }
     let db = ctx.db;
     let query = ctx.query;
     let stats = &mut ctx.stats;
@@ -81,10 +84,12 @@ fn try_decide_inner(
         }
         let masses_u = group_masses(db, u, &gu);
         let masses_v = group_masses(db, v, &gv);
+        let zu = || group_view(&gu, &masses_u);
+        let zv = || group_view(&gv, &masses_v);
         match granularity {
             Granularity::Whole => {
-                let (u_opt, u_pes) = bound_whole(query, &gu, &masses_u, stats);
-                let (v_opt, v_pes) = bound_whole(query, &gv, &masses_v, stats);
+                let (u_opt, u_pes) = bound_whole(query, zu(), stats);
+                let (v_opt, v_pes) = bound_whole(query, zv(), stats);
                 if validated(&u_pes, &v_opt, stats) {
                     return Some(true);
                 }
@@ -99,8 +104,8 @@ fn try_decide_inner(
             Granularity::PerInstance => {
                 let mut all_validated = true;
                 for q in query.object().instances() {
-                    let (u_opt, u_pes) = bound_instance(&q.point, &gu, &masses_u, stats);
-                    let (v_opt, v_pes) = bound_instance(&q.point, &gv, &masses_v, stats);
+                    let (u_opt, u_pes) = bound_instance(&q.point, zu(), stats);
+                    let (v_opt, v_pes) = bound_instance(&q.point, zv(), stats);
                     if !stochastically_dominates_counted(
                         &u_opt,
                         &v_pes,
@@ -121,6 +126,73 @@ fn try_decide_inner(
     None
 }
 
+/// The memoized twin of the scalar descent above: identical level loop,
+/// early stop, decision rules and comparison counting, but the bound
+/// distributions come from the per-(object, level) memo built once per
+/// traversal instead of being re-derived and re-sorted for every `(u, v)`
+/// pair. Each *use* of a memoized pair charges the same 2-per-(instance,
+/// group) comparison cost the scalar rebuild pays, keeping the frozen
+/// counters bit-identical.
+fn try_decide_snapshot(
+    u: usize,
+    v: usize,
+    granularity: Granularity,
+    ctx: &mut CheckCtx<'_>,
+) -> Option<bool> {
+    let db = ctx.db;
+    let m_q = ctx.query.len() as u64;
+    let snap_u = ctx.level_snapshot(u);
+    let snap_v = ctx.level_snapshot(v);
+    let depth = snap_u.height().max(snap_v.height());
+    for level in 1..=depth {
+        let gu = snap_u.level(level).len();
+        let gv = snap_v.level(level).len();
+        if gu == db.object(u).len() && gv == db.object(v).len() {
+            return None;
+        }
+        match granularity {
+            Granularity::Whole => {
+                let bu = ctx.level_bounds_whole(u, level);
+                let bv = ctx.level_bounds_whole(v, level);
+                let stats = &mut ctx.stats;
+                stats.instance_comparisons += 2 * (gu as u64 + gv as u64) * m_q;
+                let (u_opt, u_pes) = &*bu;
+                let (v_opt, v_pes) = &*bv;
+                if validated(u_pes, v_opt, stats) {
+                    return Some(true);
+                }
+                if !stochastically_dominates_counted(u_opt, v_pes, &mut stats.instance_comparisons)
+                {
+                    return Some(false);
+                }
+            }
+            Granularity::PerInstance => {
+                let bu = ctx.level_bounds_instance(u, level);
+                let bv = ctx.level_bounds_instance(v, level);
+                let stats = &mut ctx.stats;
+                let mut all_validated = true;
+                for ((u_opt, u_pes), (v_opt, v_pes)) in bu.iter().zip(bv.iter()) {
+                    stats.instance_comparisons += 2 * (gu as u64 + gv as u64);
+                    if !stochastically_dominates_counted(
+                        u_opt,
+                        v_pes,
+                        &mut stats.instance_comparisons,
+                    ) {
+                        return Some(false);
+                    }
+                    if all_validated && !validated(u_pes, v_opt, stats) {
+                        all_validated = false;
+                    }
+                }
+                if all_validated {
+                    return Some(true);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn group_masses(db: &Database, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<f64> {
     let obj = db.object(id);
     groups
@@ -129,17 +201,25 @@ fn group_masses(db: &Database, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<
         .collect()
 }
 
+/// `(group MBR, group mass)` view over the scalar per-pair rebuild.
+fn group_view<'m>(
+    groups: &'m [(Mbr, Vec<&usize>)],
+    masses: &'m [f64],
+) -> impl Iterator<Item = (&'m Mbr, f64)> + Clone {
+    groups.iter().map(|(m, _)| m).zip(masses.iter().copied())
+}
+
 /// Optimistic / pessimistic bounds on the whole `U_Q`.
-fn bound_whole(
+fn bound_whole<'m>(
     query: &PreparedQuery,
-    groups: &[(Mbr, Vec<&usize>)],
-    masses: &[f64],
+    groups: impl Iterator<Item = (&'m Mbr, f64)> + Clone,
     stats: &mut Stats,
 ) -> (DistanceDistribution, DistanceDistribution) {
-    let mut lo = Vec::with_capacity(groups.len() * query.len());
-    let mut hi = Vec::with_capacity(groups.len() * query.len());
+    let n_groups = groups.size_hint().0;
+    let mut lo = Vec::with_capacity(n_groups * query.len());
+    let mut hi = Vec::with_capacity(n_groups * query.len());
     for q in query.object().instances() {
-        for ((mbr, _), &mass) in groups.iter().zip(masses) {
+        for (mbr, mass) in groups.clone() {
             stats.instance_comparisons += 2;
             lo.push((mbr.min_dist_point(&q.point), q.prob * mass));
             hi.push((mbr.max_dist_point(&q.point), q.prob * mass));
@@ -152,15 +232,15 @@ fn bound_whole(
 }
 
 /// Optimistic / pessimistic bounds on a single `U_q`.
-fn bound_instance(
+fn bound_instance<'m>(
     q: &osd_geom::Point,
-    groups: &[(Mbr, Vec<&usize>)],
-    masses: &[f64],
+    groups: impl Iterator<Item = (&'m Mbr, f64)> + Clone,
     stats: &mut Stats,
 ) -> (DistanceDistribution, DistanceDistribution) {
-    let mut lo = Vec::with_capacity(groups.len());
-    let mut hi = Vec::with_capacity(groups.len());
-    for ((mbr, _), &mass) in groups.iter().zip(masses) {
+    let n_groups = groups.size_hint().0;
+    let mut lo = Vec::with_capacity(n_groups);
+    let mut hi = Vec::with_capacity(n_groups);
+    for (mbr, mass) in groups {
         stats.instance_comparisons += 2;
         lo.push((mbr.min_dist_point(q), mass));
         hi.push((mbr.max_dist_point(q), mass));

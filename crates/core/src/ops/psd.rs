@@ -17,9 +17,9 @@
 //!    the hull vertices or by R-tree range queries in distance space.
 
 use crate::config::Stats;
-use crate::ctx::CheckCtx;
+use crate::ctx::{CheckCtx, CheckScratch};
 use osd_flow::MaxFlow;
-use osd_geom::{dist2_slice, mbr_dominates, mbr_dominates_strict, Mbr, Point};
+use osd_geom::{dist2_rows_batch, dist2_slice, mbr_dominates, mbr_dominates_strict, Mbr, Point};
 use osd_obs::{Phase, PhaseTimer};
 use osd_uncertain::{UncertainObject, SCALE};
 
@@ -112,7 +112,7 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
     let uo = db.object(u);
     let vo = db.object(v);
 
-    let edges: Vec<(usize, usize)> = if ctx.cfg.geometric && query.hull().len() <= MAX_MAPPED_DIM {
+    let saturated = if ctx.cfg.geometric && query.hull().len() <= MAX_MAPPED_DIM {
         // Distance-space strategy: u ⪯_Q v ⟺ u's image is coordinate-wise
         // below v's image; answered per v by a containment range query.
         let mapped_u = ctx.mapped(u);
@@ -125,7 +125,31 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
             ctx.stats.instance_comparisons += (hits.len() + 1) as u64;
             edges.extend(hits.into_iter().map(|&i| (i, j)));
         }
-        edges
+        saturates(&quanta_u, &quanta_v, &edges, ctx)
+    } else if ctx.cfg.kernels {
+        // Blocked strategy: both δ² tables are filled once with the row
+        // kernels, then the nested ⪯_Q scan reads the tables with the
+        // same per-q comparison order and early exit as the scalar path.
+        // All buffers live in the per-query scratch; the `&mut ctx`
+        // re-borrow in `saturates` forces the take/restore dance.
+        let mut edges = std::mem::take(&mut ctx.scratch.edges);
+        let mut du = std::mem::take(&mut ctx.scratch.dist_u);
+        let mut dv = std::mem::take(&mut ctx.scratch.dist_v);
+        exact_edges_blocked(
+            uo.coords(),
+            vo.coords(),
+            uo.dim(),
+            pts,
+            &mut du,
+            &mut dv,
+            &mut edges,
+            &mut ctx.stats,
+        );
+        let sat = saturates(&quanta_u, &quanta_v, &edges, ctx);
+        ctx.scratch.edges = edges;
+        ctx.scratch.dist_u = du;
+        ctx.scratch.dist_v = dv;
+        sat
     } else {
         let dim = uo.dim();
         let mut edges = Vec::new();
@@ -136,16 +160,73 @@ pub(crate) fn check(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> bool {
                 }
             }
         }
-        edges
+        saturates(&quanta_u, &quanta_v, &edges, ctx)
     };
 
-    saturates(&quanta_u, &quanta_v, &edges, ctx) && ctx.strict_guard(u, v)
+    saturated && ctx.strict_guard(u, v)
 }
+
+// alloc-free: begin
+/// Blocked construction of the exact Theorem-12 edge set: fills the two
+/// query-major distance tables `δ²(u_i, q)` / `δ²(v_j, q)` with the row
+/// kernels, then tests `u_i ⪯_Q v_j` by table lookups. Comparison order,
+/// early exit and `instance_comparisons` accounting match the scalar
+/// [`closer_counted`] scan exactly; the distance evaluations themselves are
+/// uncounted in both strategies. Reuses caller buffers; allocation-free
+/// beyond their amortised growth.
+#[allow(clippy::too_many_arguments)]
+fn exact_edges_blocked(
+    u_rows: &[f64],
+    v_rows: &[f64],
+    dim: usize,
+    pts: &[Point],
+    du: &mut Vec<f64>,
+    dv: &mut Vec<f64>,
+    edges: &mut Vec<(usize, usize)>,
+    stats: &mut Stats,
+) {
+    let m_u = u_rows.len() / dim;
+    let m_v = v_rows.len() / dim;
+    du.clear();
+    du.resize(pts.len() * m_u, 0.0);
+    dv.clear();
+    dv.resize(pts.len() * m_v, 0.0);
+    for (qi, q) in pts.iter().enumerate() {
+        dist2_rows_batch(u_rows, dim, q.coords(), &mut du[qi * m_u..(qi + 1) * m_u]);
+        dist2_rows_batch(v_rows, dim, q.coords(), &mut dv[qi * m_v..(qi + 1) * m_v]);
+    }
+    edges.clear();
+    for i in 0..m_u {
+        for j in 0..m_v {
+            let mut closer = true;
+            for qi in 0..pts.len() {
+                stats.instance_comparisons += 1;
+                if du[qi * m_u + i] > dv[qi * m_v + j] {
+                    closer = false;
+                    break;
+                }
+            }
+            if closer {
+                edges.push((i, j));
+            }
+        }
+    }
+}
+// alloc-free: end
 
 /// Step 4 of [`check`]: the level-by-level descent over the two local
 /// R-trees with the optimistic (`G⁺`) / pessimistic (`G⁻`) group networks.
 /// `Some(decided)` short-circuits the check; `None` is inconclusive.
 fn level_filter(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> Option<bool> {
+    if ctx.cfg.kernels {
+        // The reusable edge buffer lives in the context scratch, but
+        // `saturates` needs `&mut ctx` too — take it out for the descent
+        // and put it back after.
+        let mut edges = std::mem::take(&mut ctx.scratch.edges);
+        let decision = level_filter_snapshot(u, v, ctx, &mut edges);
+        ctx.scratch.edges = edges;
+        return decision;
+    }
     let db = ctx.db;
     let query = ctx.query;
     let quanta_u = ctx.quanta(u);
@@ -189,6 +270,47 @@ fn level_filter(u: usize, v: usize, ctx: &mut CheckCtx<'_>) -> Option<bool> {
     None
 }
 
+/// The memoized twin of the scalar [`level_filter`]: group MBRs and
+/// fixed-point capacities come from the per-object [`crate::cache::LevelSnapshot`]
+/// (built once per traversal, groups and caps in a single pass) instead of
+/// being re-derived for every `(u, v)` pair, and both group networks are
+/// built into one reusable edge buffer. Descent order, `mbr_checks`
+/// accounting, edge enumeration order and flow results are identical to the
+/// scalar path.
+fn level_filter_snapshot(
+    u: usize,
+    v: usize,
+    ctx: &mut CheckCtx<'_>,
+    edges: &mut Vec<(usize, usize)>,
+) -> Option<bool> {
+    let query = ctx.query;
+    let snap_u = ctx.level_snapshot(u);
+    let snap_v = ctx.level_snapshot(v);
+    let depth = snap_u.height().max(snap_v.height());
+    for level in 1..=depth {
+        let lu = snap_u.level(level);
+        let lv = snap_v.level(level);
+        ctx.stats.mbr_checks += (lu.len() * lv.len()) as u64;
+
+        // Pessimistic network G⁻ (see the scalar descent above).
+        group_edges_into(&lu.mbrs, &lv.mbrs, edges, |mu, mv| {
+            mbr_dominates(mu, mv, query.mbr())
+        });
+        if !edges.is_empty() && saturates(&lu.caps, &lv.caps, edges, ctx) {
+            return Some(ctx.strict_guard(u, v));
+        }
+
+        // Optimistic network G⁺.
+        group_edges_into(&lu.mbrs, &lv.mbrs, edges, |mu, mv| {
+            !mbr_dominates_strict(mv, mu, query.mbr())
+        });
+        if !saturates(&lu.caps, &lv.caps, edges, ctx) {
+            return Some(false);
+        }
+    }
+    None
+}
+
 /// `δ(u, q) ≤ δ(v, q)` for every evaluation point, with comparison counting.
 /// Operates on borrowed coordinate rows straight out of the instance store.
 fn closer_counted(u: &[f64], v: &[f64], pts: &[Point], stats: &mut Stats) -> bool {
@@ -218,6 +340,24 @@ fn group_edges<T>(
     edges
 }
 
+/// [`group_edges`] over bare MBR lists into a reusable buffer — the same
+/// enumeration order, zero allocations past the buffer's amortised growth.
+fn group_edges_into(
+    gu: &[Mbr],
+    gv: &[Mbr],
+    edges: &mut Vec<(usize, usize)>,
+    relate: impl Fn(&Mbr, &Mbr) -> bool,
+) {
+    edges.clear();
+    for (i, mu) in gu.iter().enumerate() {
+        for (j, mv) in gv.iter().enumerate() {
+            if relate(mu, mv) {
+                edges.push((i, j));
+            }
+        }
+    }
+}
+
 /// Runs the bipartite max-flow: `true` iff all `SCALE` units route.
 /// Recorded under the *refine* phase — this is the exact P-SD machinery
 /// of Theorem 12.
@@ -228,12 +368,18 @@ fn saturates(
     ctx: &mut CheckCtx<'_>,
 ) -> bool {
     let timer = PhaseTimer::start(Phase::Refine);
-    let saturated = saturates_inner(caps_u, caps_v, edges, &mut ctx.stats);
+    let saturated = if ctx.cfg.kernels {
+        saturates_scratch(caps_u, caps_v, edges, &mut ctx.scratch, &mut ctx.stats)
+    } else {
+        saturates_alloc(caps_u, caps_v, edges, &mut ctx.stats)
+    };
     ctx.metrics.record(timer);
     saturated
 }
 
-fn saturates_inner(
+/// The allocating reference implementation of the Theorem-12 saturation
+/// test: fresh bitmap, fresh Dinic network per call.
+fn saturates_alloc(
     caps_u: &[u64],
     caps_v: &[u64],
     edges: &[(usize, usize)],
@@ -268,6 +414,53 @@ fn saturates_inner(
     }
     g.max_flow(s, t) == SCALE
 }
+
+// alloc-free: begin
+/// The arena twin of [`saturates_alloc`]: identical network, identical
+/// `flow_runs` accounting, but the bitmap and the Dinic graph are reset in
+/// place so repeated checks allocate O(1) amortised. Dinic is deterministic
+/// in the edge insertion order, which both builders share, so the flow
+/// value (and hence the decision) is identical.
+fn saturates_scratch(
+    caps_u: &[u64],
+    caps_v: &[u64],
+    edges: &[(usize, usize)],
+    scratch: &mut CheckScratch,
+    stats: &mut Stats,
+) -> bool {
+    // Cheap necessary condition: every positive-mass u needs an edge.
+    let has_edge = &mut scratch.has_edge;
+    has_edge.clear();
+    has_edge.resize(caps_u.len(), false);
+    for &(i, _) in edges {
+        has_edge[i] = true;
+    }
+    if has_edge
+        .iter()
+        .zip(caps_u.iter())
+        .any(|(&h, &c)| c > 0 && !h)
+    {
+        return false;
+    }
+    stats.flow_runs += 1;
+    let nu = caps_u.len();
+    let nv = caps_v.len();
+    let s = nu + nv;
+    let t = s + 1;
+    let g = &mut scratch.flow;
+    g.reset(nu + nv + 2);
+    for (i, &c) in caps_u.iter().enumerate() {
+        g.add_edge(s, i, c);
+    }
+    for (j, &c) in caps_v.iter().enumerate() {
+        g.add_edge(nu + j, t, c);
+    }
+    for &(i, j) in edges {
+        g.add_edge(i, nu + j, u64::MAX / 4);
+    }
+    g.max_flow(s, t) == SCALE
+}
+// alloc-free: end
 
 /// Builds the exact Theorem-12 network for two raw objects and returns
 /// `(max_flow, SCALE)` — exposed so tests can exercise the reduction

@@ -138,6 +138,7 @@ fn in_hull_reject_skips_the_flow() {
         pruning: false,
         level_by_level: false,
         geometric: true,
+        kernels: true,
     };
     let mut ctx = CheckCtx::new(&db, &q, cfg);
     assert!(!ctx.dominates(Operator::PSd, 0, 1));

@@ -90,6 +90,69 @@ impl<T> RTree<T> {
         self.iter_by(key).next()
     }
 
+    /// Minimal squared distance from *any* of `queries` to any item MBR —
+    /// `min_q min_e δ²(e, q)` — in **one** pruned best-first descent.
+    ///
+    /// Nodes are keyed by `min_q min_dist²(mbr, q)` and the single best
+    /// value found so far prunes every probe at once, instead of running
+    /// |queries| independent nearest searches that each re-descend the
+    /// tree. The returned value equals the fold
+    /// `min_q nearest(q).d²` bit-for-bit: each candidate `d²` is computed
+    /// by the same `min_dist2_point` kernel, and `f64::min` over the same
+    /// multiset of non-negative values (squared distances are never
+    /// `-0.0`) is order-insensitive at the bit level.
+    ///
+    /// Expanded tree nodes are added to `visits`; the shared bound makes
+    /// this count at most — and typically far below — the sum of the
+    /// per-query searches. `None` iff the tree or `queries` is empty.
+    pub fn min_dist2_multi(&self, queries: &[Point], visits: &mut u64) -> Option<f64> {
+        let root = self.root.as_ref()?;
+        if queries.is_empty() {
+            return None;
+        }
+        let key_of = |mbr: &Mbr| {
+            queries
+                .iter()
+                .map(|q| mbr.min_dist2_point(q))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut best = f64::INFINITY;
+        let mut found = false;
+        let mut heap = BinaryHeap::new();
+        heap.push(MultiItem {
+            key: key_of(&root.mbr),
+            node: &root.node,
+        });
+        while let Some(MultiItem { key, node }) = heap.pop() {
+            // Shared prune bound: a node whose best-case distance cannot
+            // beat the current minimum is skipped without expansion.
+            if found && key >= best {
+                continue;
+            }
+            *visits += 1;
+            match node {
+                Node::Leaf(es) => {
+                    for e in es {
+                        best = best.min(key_of(&e.mbr));
+                        found = true;
+                    }
+                }
+                Node::Inner(cs) => {
+                    for c in cs {
+                        let k = key_of(&c.mbr);
+                        if !found || k < best {
+                            heap.push(MultiItem {
+                                key: k,
+                                node: &c.node,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        found.then_some(best)
+    }
+
     /// Best-first traversal yielding `(item, key(item_mbr))` in
     /// non-decreasing key order.
     ///
@@ -147,6 +210,31 @@ fn contained_rec<'a, T>(node: &'a Node<T>, query: &Mbr, out: &mut Vec<&'a T>) {
                 }
             }
         }
+    }
+}
+
+/// Heap entry of the multi-point descent: a subtree keyed by its best-case
+/// squared distance over all probe points.
+struct MultiItem<'a, T> {
+    key: f64,
+    node: &'a Node<T>,
+}
+
+impl<T> PartialEq for MultiItem<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key.total_cmp(&other.key).is_eq()
+    }
+}
+impl<T> Eq for MultiItem<'_, T> {}
+impl<T> PartialOrd for MultiItem<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MultiItem<'_, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on key via reversed comparison.
+        other.key.total_cmp(&self.key)
     }
 }
 
@@ -252,6 +340,55 @@ mod tests {
         let mut visits = 0;
         assert!(t
             .nearest_counting(&Point::new(vec![0.0, 0.0]), &mut visits)
+            .is_none());
+        assert_eq!(visits, 0);
+    }
+
+    #[test]
+    fn multi_point_descent_matches_per_query_fold_bitwise() {
+        let t = line_tree(40);
+        let probes = vec![
+            Point::new(vec![17.2, 0.0]),
+            Point::new(vec![3.9, 1.5]),
+            Point::new(vec![-2.0, 0.25]),
+            Point::new(vec![38.6, -4.0]),
+        ];
+        // Scalar baseline: one full nearest search per probe, folding the
+        // squared distances with f64::min (the ProgressiveNnc pattern).
+        let mut scalar_visits = 0u64;
+        let scalar = probes
+            .iter()
+            .map(|q| {
+                let (_, d) = t.nearest_counting(q, &mut scalar_visits).unwrap();
+                d * d
+            })
+            .fold(f64::INFINITY, f64::min);
+        let mut multi_visits = 0u64;
+        let multi = t.min_dist2_multi(&probes, &mut multi_visits).unwrap();
+        // Bit-identity after the sqrt-then-square round trip of the scalar
+        // path: √ and x² are monotone, so min commutes with them.
+        let rounded = {
+            let d = multi.sqrt();
+            d * d
+        };
+        assert_eq!(rounded.to_bits(), scalar.to_bits());
+        assert!(multi_visits > 0);
+        assert!(
+            multi_visits <= scalar_visits,
+            "shared bound must not expand more nodes than |Q| searches \
+             ({multi_visits} vs {scalar_visits})"
+        );
+    }
+
+    #[test]
+    fn multi_point_descent_empty_cases() {
+        let t = line_tree(8);
+        let mut visits = 0u64;
+        assert!(t.min_dist2_multi(&[], &mut visits).is_none());
+        assert_eq!(visits, 0);
+        let empty: RTree<usize> = RTree::bulk_load_rows(4, 2, &[]);
+        assert!(empty
+            .min_dist2_multi(&[Point::new(vec![0.0, 0.0])], &mut visits)
             .is_none());
         assert_eq!(visits, 0);
     }

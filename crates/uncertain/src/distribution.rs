@@ -7,7 +7,7 @@
 
 use crate::object::UncertainObject;
 use crate::store::ObjectRef;
-use osd_geom::{dist_slice, Point};
+use osd_geom::{dist2_rows_batch, Point};
 
 /// A discrete distribution over distances: `(value, probability)` atoms
 /// sorted by non-decreasing value.
@@ -79,12 +79,18 @@ impl DistanceDistribution {
     ///
     /// The atom enumeration order (query-instance outer, object-instance
     /// inner) and the per-pair distance fold are identical to the boxed
-    /// path, so the resulting distribution is bit-for-bit the same.
+    /// path, so the resulting distribution is bit-for-bit the same. The
+    /// inner object scan runs through the blocked [`dist2_rows_batch`]
+    /// kernel over the contiguous store rows — each row's squared distance
+    /// keeps the scalar fold order, and `√δ²` is the scalar `dist_slice`
+    /// by definition, so the bit-identity is preserved.
     pub fn between_ref(object: ObjectRef<'_>, query: &UncertainObject) -> Self {
         let mut atoms = Vec::with_capacity(object.len() * query.len());
+        let mut d2 = vec![0.0; object.len()];
         for q in query.instances() {
-            for u in object.instances() {
-                atoms.push((dist_slice(q.point.coords(), u.row), q.prob * u.prob));
+            dist2_rows_batch(object.coords(), object.dim(), q.point.coords(), &mut d2);
+            for (i, &dd) in d2.iter().enumerate() {
+                atoms.push((dd.sqrt(), q.prob * object.prob(i)));
             }
         }
         DistanceDistribution::from_atoms(atoms)
@@ -92,11 +98,15 @@ impl DistanceDistribution {
 
     /// Borrowed-store twin of [`DistanceDistribution::to_instance`]: `U_q`
     /// for an object held in an [`InstanceStore`](crate::InstanceStore)
-    /// view.
+    /// view. Blocked like [`DistanceDistribution::between_ref`], with the
+    /// same bit-identity argument.
     pub fn to_instance_ref(object: ObjectRef<'_>, q: &Point) -> Self {
-        let atoms = object
-            .instances()
-            .map(|u| (dist_slice(q.coords(), u.row), u.prob))
+        let mut d2 = vec![0.0; object.len()];
+        dist2_rows_batch(object.coords(), object.dim(), q.coords(), &mut d2);
+        let atoms = d2
+            .iter()
+            .enumerate()
+            .map(|(i, &dd)| (dd.sqrt(), object.prob(i)))
             .collect();
         DistanceDistribution::from_atoms(atoms)
     }

@@ -25,7 +25,7 @@
 
 use crate::error::ObjectError;
 use crate::object::{Instance, UncertainObject};
-use osd_geom::{dist_slice, Mbr, Point};
+use osd_geom::{max_dist2_rows, min_dist2_rows, Mbr, Point};
 use std::fmt;
 
 /// Why an [`InstanceStore`] could not be built or extended.
@@ -332,19 +332,22 @@ impl<'a> ObjectRef<'a> {
     }
 
     /// Minimal distance from a point to any instance: `δ_min(q, U)`.
+    ///
+    /// Runs the blocked [`min_dist2_rows`] kernel over the contiguous rows
+    /// and square-roots the folded minimum — bit-identical to the
+    /// row-by-row `dist_slice` fold it replaces, because `√` is monotone
+    /// and squared distances are never `-0.0`.
     pub fn min_dist(&self, q: &Point) -> f64 {
-        self.coords()
-            .chunks_exact(self.dim())
-            .map(|row| dist_slice(row, q.coords()))
-            .fold(f64::INFINITY, f64::min)
+        min_dist2_rows(self.coords(), self.dim(), q.coords()).sqrt()
     }
 
     /// Maximal distance from a point to any instance: `δ_max(q, U)`.
+    ///
+    /// Blocked like [`ObjectRef::min_dist`]; `√(max δ²)` equals the scalar
+    /// `fold(0.0, f64::max)` over `δ` bit-for-bit by the same monotonicity
+    /// argument.
     pub fn max_dist(&self, q: &Point) -> f64 {
-        self.coords()
-            .chunks_exact(self.dim())
-            .map(|row| dist_slice(row, q.coords()))
-            .fold(0.0, f64::max)
+        max_dist2_rows(self.coords(), self.dim(), q.coords()).sqrt()
     }
 
     /// Materialises the view back into a boxed [`UncertainObject`].

@@ -53,6 +53,15 @@ const THREAD_SAFE_DIR: &str = "crates/core/src";
 const HOT_PATH_DIRS: &[&str] = &["crates/core/src/ops"];
 const HOT_PATH_FILES: &[&str] = &["crates/core/src/nnc.rs", "crates/core/src/knnc.rs"];
 
+/// Files whose whole body is an allocation-free kernel: every non-test
+/// line is subject to the `no-alloc-in-kernels` rule.
+const ALLOC_FREE_FILES: &[&str] = &["crates/geom/src/kernels.rs"];
+
+/// Files with `// alloc-free: begin` / `// alloc-free: end` marker regions:
+/// only the marked regions are subject to the rule (the scalar reference
+/// paths next to them may allocate freely).
+const ALLOC_FREE_REGION_FILES: &[&str] = &["crates/core/src/ops/psd.rs"];
+
 /// Directory whose `pub fn`s must cite the paper.
 const OPS_DIR: &str = "crates/core/src/ops";
 
@@ -128,6 +137,15 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     }
     if NO_TIMING_DIRS.iter().any(|d| file.path.starts_with(d)) {
         no_ad_hoc_timing(file, out);
+    }
+    if ALLOC_FREE_FILES.iter().any(|f| Path::new(f) == file.path) {
+        no_alloc_in_kernels(file, true, out);
+    }
+    if ALLOC_FREE_REGION_FILES
+        .iter()
+        .any(|f| Path::new(f) == file.path)
+    {
+        no_alloc_in_kernels(file, false, out);
     }
 }
 
@@ -497,6 +515,48 @@ fn no_ad_hoc_timing(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 9: the blocked distance kernels and the exact-network dominance
+/// loop are written to allocate nothing per call — that is the whole point
+/// of the scratch-buffer design. Allocation idioms (`Vec::new`, `vec![`,
+/// `.to_vec(`, `.collect(`) inside these regions silently reintroduce the
+/// per-check heap traffic. `whole_file` applies the rule to every non-test
+/// line; otherwise only `// alloc-free: begin` / `end` marker regions are
+/// checked (markers are read from the raw line — they are comments, which
+/// the blanked `code` view erases).
+fn no_alloc_in_kernels(file: &SourceFile, whole_file: bool, out: &mut Vec<Violation>) {
+    const BANNED: &[&str] = &["Vec::new", "vec![", ".to_vec(", ".collect::<", ".collect("];
+    let mut in_region = whole_file;
+    for line in &file.lines {
+        if !whole_file {
+            let marker = line.raw.trim();
+            if marker == "// alloc-free: begin" {
+                in_region = true;
+                continue;
+            }
+            if marker == "// alloc-free: end" {
+                in_region = false;
+                continue;
+            }
+        }
+        if !in_region || line.in_test {
+            continue;
+        }
+        for pat in BANNED {
+            if line.code.contains(pat) {
+                push(
+                    out,
+                    file,
+                    line.num,
+                    "no-alloc-in-kernels",
+                    format!(
+                        "`{pat}` inside an allocation-free kernel region; reuse the caller's scratch buffers instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +775,66 @@ mod tests {
         .is_empty());
         // Identifiers merely containing the letters do not trip it.
         assert!(check_src("crates/core/src/nnc.rs", "fn g(instant_k: u64) {}\n").is_empty());
+    }
+
+    #[test]
+    fn flags_alloc_in_whole_file_kernels() {
+        for (src, pat) in [
+            ("pub fn f() { let v: Vec<f64> = Vec::new(); }\n", "Vec::new"),
+            ("pub fn f() { let _v = vec![0.0; 4]; }\n", "vec!["),
+            ("pub fn f(r: &[f64]) { let _ = r.to_vec(); }\n", ".to_vec("),
+            (
+                "pub fn f(r: &[f64]) { let _: Vec<u64> = r.iter().map(|x| x.to_bits()).collect(); }\n",
+                ".collect(",
+            ),
+        ] {
+            let v = check_src("crates/geom/src/kernels.rs", src);
+            assert!(
+                rules(&v).contains(&"no-alloc-in-kernels"),
+                "{pat}: {v:?}"
+            );
+        }
+        // Scratch reuse (clear + resize + push) is exactly what the rule
+        // wants to see.
+        assert!(check_src(
+            "crates/geom/src/kernels.rs",
+            "pub fn f(out: &mut Vec<f64>) { out.clear(); out.resize(4, 0.0); out.push(1.0); }\n",
+        )
+        .is_empty());
+        // Test modules are exempt, as everywhere.
+        assert!(check_src(
+            "crates/geom/src/kernels.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = vec![1.0]; }\n}\n",
+        )
+        .is_empty());
+        // Other geom files are not under the rule.
+        assert!(check_src(
+            "crates/geom/src/point.rs",
+            "fn f() { let _ = vec![1.0]; }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_alloc_only_inside_psd_marker_regions() {
+        let src = "\
+fn scalar_path() { let _edges: Vec<(usize, usize)> = Vec::new(); }
+// alloc-free: begin
+fn kernel_path(buf: &mut Vec<f64>) { buf.clear(); }
+fn leaky_kernel() { let _ = vec![0.0; 8]; }
+// alloc-free: end
+fn other_scalar() { let _ = vec![1.0]; }
+";
+        let v = check_src("crates/core/src/ops/psd.rs", src);
+        let alloc: Vec<_> = v
+            .iter()
+            .filter(|x| x.rule == "no-alloc-in-kernels")
+            .collect();
+        assert_eq!(alloc.len(), 1, "{v:?}");
+        assert_eq!(alloc[0].line, 4, "only the in-region vec! is flagged");
+        // The real psd.rs markers are comments: the blanked code view must
+        // not hide them from the region tracker.
+        assert!(alloc[0].msg.contains("vec!["));
     }
 
     #[test]

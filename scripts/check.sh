@@ -35,6 +35,13 @@ echo "== batch executor under strict-invariants =="
 cargo test -q --features strict-invariants --test strict_invariants \
   batch_executor_audits_hold_across_threads
 
+echo "== repro kernels --smoke (bit-identity of the blocked kernels) =="
+# The blocked hot-path kernels are a pure execution strategy: candidate
+# ids, min_dist bits and the frozen cost counters must match the scalar
+# reference paths exactly. The smoke workload fails the build on the
+# first divergence.
+cargo run -q -p osd-bench --bin repro -- kernels --smoke
+
 echo "== osd query --profile=json smoke (schema) =="
 # End-to-end observability check: a real query through the obs-enabled CLI
 # must emit a profile document carrying every phase of the taxonomy.

@@ -1,0 +1,205 @@
+//! Bit-identity properties of the blocked hot-path kernels.
+//!
+//! The `kernels` strategy of [`FilterConfig`] promises to be a pure
+//! execution strategy: same results, same frozen cost counters, to the
+//! last bit. This suite pins that contract from three directions:
+//!
+//! * the osd-geom row kernels (`dist2_rows_batch`, `min_dist2_rows`,
+//!   `max_dist2_rows`) reproduce the scalar `dist2_slice` folds bitwise
+//!   across dims 1–8, including ±0.0 coordinates, duplicated rows and
+//!   single-row blocks;
+//! * NNC and k-NNC with kernels on emit the same candidates (ids, order,
+//!   `min_dist` bits) and the same frozen counters as the scalar path;
+//! * NNC and k-NNC with kernels on agree with the O(n²) brute-force
+//!   oracle for every dominance operator on randomized A-N workloads.
+
+// Integration test: exact values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
+use osd::prelude::*;
+use osd_core::{k_nn_candidates, k_nn_candidates_bruteforce, nn_candidates_bruteforce};
+use osd_datagen::{generate_objects, CenterDistribution, SynthParams};
+use osd_geom::{dist2_rows_batch, dist2_slice, max_dist2_rows, min_dist2_rows};
+use proptest::prelude::*;
+
+/// Seed-driven coordinate block with the awkward cases over-represented:
+/// both signed zeros, denormal-scale and large magnitudes, and the classic
+/// non-representable decimal, mixed with ordinary values.
+fn awkward_coords(len: usize, seed: u64) -> Vec<f64> {
+    let menu = [0.0, -0.0, 1e-13, -1e-13, 3e7, 0.1 + 0.2, -271.25, 13.5];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pick = (state % 16) as usize;
+            if pick < menu.len() {
+                menu[pick]
+            } else {
+                ((state >> 16) % 2_000_000) as f64 / 1_000.0 - 1_000.0
+            }
+        })
+        .collect()
+}
+
+/// A row block of `n` rows in `dim` dimensions plus one query point, with
+/// the first row duplicated at the end when possible (duplicated rows must
+/// not perturb any fold).
+fn block(dim: usize, n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rows = awkward_coords(dim * n, seed);
+    let q = awkward_coords(dim, seed.wrapping_add(0x5DEE_CE66));
+    if rows.len() >= dim {
+        let first: Vec<f64> = rows[..dim].to_vec();
+        rows.extend(first);
+    }
+    (rows, q)
+}
+
+/// A randomized A-N workload, the dataset family of the paper's evaluation.
+fn an_objects(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+    generate_objects(&SynthParams {
+        n,
+        dim: 2,
+        instances,
+        edge: 800.0,
+        centers: CenterDistribution::AntiCorrelated,
+        seed,
+    })
+}
+
+/// The counters the bit-identity contract freezes (`rtree_nodes_visited`
+/// and the cache tallies are exempt by design).
+fn frozen(stats: &osd_core::Stats) -> (u64, u64, u64, u64) {
+    (
+        stats.instance_comparisons,
+        stats.dominance_checks,
+        stats.flow_runs,
+        stats.mbr_checks,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched distance table equals a per-row `dist2_slice` scan, and
+    /// the min/max folds equal the scalar accumulator folds, all bitwise —
+    /// across dims 1–8, ±0.0, duplicated rows, empty and single-row blocks.
+    #[test]
+    fn prop_row_kernels_match_scalar_folds_bitwise(
+        dim in 1usize..=8,
+        n_rows in 0usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let (rows, q) = block(dim, n_rows, seed);
+        let n = rows.len() / dim;
+        let mut out = vec![f64::NAN; n];
+        dist2_rows_batch(&rows, dim, &q, &mut out);
+        let mut min_fold = f64::INFINITY;
+        let mut max_fold = 0.0f64;
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            let scalar = dist2_slice(row, &q);
+            prop_assert_eq!(out[i].to_bits(), scalar.to_bits(), "row {}", i);
+            min_fold = min_fold.min(scalar);
+            max_fold = max_fold.max(scalar);
+        }
+        prop_assert_eq!(min_dist2_rows(&rows, dim, &q).to_bits(), min_fold.to_bits());
+        prop_assert_eq!(max_dist2_rows(&rows, dim, &q).to_bits(), max_fold.to_bits());
+        // The sqrt-then-square round trip the traversal key relies on:
+        // min is monotone, so folding after sqrt commutes bitwise.
+        let via_sqrt = {
+            let d = min_dist2_rows(&rows, dim, &q).sqrt();
+            d * d
+        };
+        let scalar_key = rows
+            .chunks_exact(dim)
+            .map(|row| {
+                let d = dist2_slice(row, &q).sqrt();
+                d * d
+            })
+            .fold(f64::INFINITY, f64::min);
+        if n > 0 {
+            prop_assert_eq!(via_sqrt.to_bits(), scalar_key.to_bits());
+        }
+    }
+
+    /// Kernels on vs kernels off: identical candidate ids and order,
+    /// identical `min_dist` bits, identical frozen counters — for NNC and
+    /// k-NNC, single- and multi-instance objects and queries alike.
+    #[test]
+    fn prop_kernels_and_scalar_paths_are_bit_identical(
+        n in 2usize..12,
+        m in 1usize..4,
+        m_q in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let db = Database::new(an_objects(n, m, seed));
+        let q_pts = (0..m_q)
+            .map(|i| Point::new(vec![5_000.0 + 150.0 * i as f64, 5_000.0 - 180.0 * i as f64]))
+            .collect();
+        let query = PreparedQuery::new(UncertainObject::uniform(q_pts));
+        let with = FilterConfig::all();
+        let without = with.scalar();
+        for op in Operator::ALL {
+            let k_res = nn_candidates(&db, &query, op, &with);
+            let s_res = nn_candidates(&db, &query, op, &without);
+            prop_assert_eq!(k_res.ids(), s_res.ids(), "{:?} ids", op);
+            for (a, b) in k_res.candidates.iter().zip(s_res.candidates.iter()) {
+                prop_assert_eq!(
+                    a.min_dist.to_bits(),
+                    b.min_dist.to_bits(),
+                    "{:?} min_dist", op
+                );
+            }
+            prop_assert_eq!(frozen(&k_res.stats), frozen(&s_res.stats), "{:?} counters", op);
+            prop_assert!(
+                k_res.stats.rtree_nodes_visited <= s_res.stats.rtree_nodes_visited,
+                "{:?}: the multi-point descent must never expand more nodes", op
+            );
+            for k in [1usize, 2] {
+                let kk = k_nn_candidates(&db, &query, op, k, &with);
+                let ks = k_nn_candidates(&db, &query, op, k, &without);
+                prop_assert_eq!(kk.ids(), ks.ids(), "{:?} k={} ids", op, k);
+                prop_assert_eq!(
+                    frozen(&kk.stats),
+                    frozen(&ks.stats),
+                    "{:?} k={} counters", op, k
+                );
+            }
+        }
+    }
+
+    /// With kernels on, NNC and k-NNC still agree with the O(n²)
+    /// brute-force oracle for every operator.
+    #[test]
+    fn prop_kernel_paths_match_bruteforce(
+        n in 2usize..10,
+        m in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let db = Database::new(an_objects(n, m, seed));
+        let query = PreparedQuery::new(UncertainObject::uniform(vec![
+            Point::new(vec![5_000.0, 5_000.0]),
+            Point::new(vec![5_200.0, 4_800.0]),
+        ]));
+        let cfg = FilterConfig::all();
+        prop_assert!(cfg.kernels);
+        for op in Operator::ALL {
+            let mut algo = nn_candidates(&db, &query, op, &cfg).ids();
+            algo.sort_unstable();
+            let (brute, _) = nn_candidates_bruteforce(&db, &query, op, &cfg);
+            prop_assert_eq!(&algo, &brute, "NNC mismatch for {:?}", op);
+            for k in [1usize, 2] {
+                let mut robust = k_nn_candidates(&db, &query, op, k, &cfg).ids();
+                robust.sort_unstable();
+                let oracle = k_nn_candidates_bruteforce(&db, &query, op, k, &cfg);
+                prop_assert_eq!(&robust, &oracle, "k-NNC mismatch for {:?}, k = {}", op, k);
+            }
+        }
+    }
+}
