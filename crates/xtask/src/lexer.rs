@@ -1,0 +1,565 @@
+//! A std-only Rust lexer producing the token stream the `check` rules
+//! match against.
+//!
+//! This replaces the line-by-line "blanking" scanner of the first
+//! analyzer generation: rules now see real tokens with line numbers, so a
+//! `partial_cmp(..)` chained to an `.unwrap()` three lines later, or a
+//! `.to_vec(` split across a line break, is one adjacent token sequence
+//! instead of an invisible multi-line pattern.
+//!
+//! The lexer handles the constructs that defeat substring scanners:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth, spanning lines) and
+//!   byte/raw-byte strings (`b"…"`, `br#"…"#`);
+//! * nested block comments (`/* /* … */ */`) and doc comments (`///`,
+//!   `//!`, `/** … */`, `/*! … */`), kept in the stream as tokens so the
+//!   doc-citation rule and the `// alloc-free:` region markers still work;
+//! * lifetimes vs char literals (`'a` vs `'a'` vs `'\''` vs `b'x'`);
+//! * float vs integer literals (`1.0`, `1.`, `1e-3`, `0x1f` is an int,
+//!   `1.0f64` keeps its suffix), distinguished in [`Kind`] because the
+//!   float-equality rule needs to know;
+//! * raw identifiers (`r#match` lexes as the identifier `match`);
+//! * multi-character operators (`==`, `!=`, `::`, `..=`, …) as single
+//!   punctuation tokens, so `a <= b` can never be mistaken for `a == b`.
+//!
+//! It is intentionally *not* a full parser: malformed input degrades to
+//! single-character punctuation tokens instead of erroring, because the
+//! analyzer must never be the thing that breaks the build on code rustc
+//! itself accepts (or on a deliberately adversarial test fixture).
+
+/// Token classification. Comments are real tokens (rules that need code
+/// structure skip them via [`crate::model::SourceFile::sig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (raw identifiers are unescaped).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text keeps the quote).
+    Lifetime,
+    /// A char or byte-char literal, e.g. `'x'`, `'\''`, `b'0'`.
+    Char,
+    /// A cooked string or byte-string literal (text keeps the quotes).
+    Str,
+    /// A raw string literal of any hash depth (text keeps the delimiters).
+    RawStr,
+    /// An integer literal (including hex/octal/binary forms).
+    Int,
+    /// A floating-point literal (`1.0`, `1.`, `2e9`, `1f64`).
+    Float,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+    /// A non-doc `//` comment (kept for region markers).
+    LineComment,
+    /// A non-doc `/* … */` comment.
+    BlockComment,
+    /// A doc comment: `///`, `//!`, `/** … */` or `/*! … */`.
+    DocComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: Kind,
+    /// The token text as written (except raw identifiers, which drop the
+    /// `r#` escape so rules match the real name).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            Kind::LineComment | Kind::BlockComment | Kind::DocComment
+        )
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; everything
+/// else — comments included — becomes a token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCT3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.cooked_string(self.i);
+            } else if c == '\'' {
+                self.quote();
+            } else if c == 'r' && self.raw_string_hashes(self.i + 1).is_some() {
+                let h = self.raw_string_hashes(self.i + 1).unwrap_or(0);
+                self.raw_string(self.i, h);
+            } else if c == 'r' && self.peek(1) == Some('#') && self.ident_start_at(self.i + 2) {
+                self.raw_ident();
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                // Byte char literal: consume the `b`, then the quote path.
+                let start = self.i;
+                self.bump();
+                self.char_literal(start);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                let start = self.i;
+                self.bump();
+                self.cooked_string(start);
+            } else if c == 'b'
+                && self.peek(1) == Some('r')
+                && self.raw_string_hashes(self.i + 2).is_some()
+            {
+                let start = self.i;
+                let h = self.raw_string_hashes(self.i + 2).unwrap_or(0);
+                self.bump();
+                self.raw_string(start, h);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                self.punct();
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+        c
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        self.chars[start..self.i].iter().collect()
+    }
+
+    fn push_from(&mut self, kind: Kind, start: usize, line: usize) {
+        let text = self.text_from(start);
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn ident_start_at(&self, at: usize) -> bool {
+        self.chars
+            .get(at)
+            .is_some_and(|c| c.is_alphabetic() || *c == '_')
+    }
+
+    /// If a raw-string delimiter (`#* "`) starts at `at`, returns the hash
+    /// count.
+    fn raw_string_hashes(&self, at: usize) -> Option<usize> {
+        let mut j = at;
+        while self.chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        (self.chars.get(j) == Some(&'"')).then_some(j - at)
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.bump();
+        }
+        let text = self.text_from(start);
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        let kind = if doc {
+            Kind::DocComment
+        } else {
+            Kind::LineComment
+        };
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 && self.i < self.chars.len() {
+            if self.chars[self.i] == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else if self.chars[self.i] == '/' && self.peek(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = self.text_from(start);
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+            || text.starts_with("/*!");
+        let kind = if doc {
+            Kind::DocComment
+        } else {
+            Kind::BlockComment
+        };
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// A cooked (escapable) string; `start` may point at a `b` prefix.
+    fn cooked_string(&mut self, start: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push_from(Kind::Str, start, line);
+    }
+
+    /// A raw string; `start` may point at a `b` prefix, `self.i` is at the
+    /// `r`.
+    fn raw_string(&mut self, start: usize, hashes: usize) {
+        let line = self.line;
+        self.bump(); // r
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '"' && self.closes_raw(self.i + 1, hashes) {
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.push_from(Kind::RawStr, start, line);
+    }
+
+    fn closes_raw(&self, at: usize, hashes: usize) -> bool {
+        (0..hashes).all(|k| self.chars.get(at + k) == Some(&'#'))
+    }
+
+    fn raw_ident(&mut self) {
+        let line = self.line;
+        self.bump(); // r
+        self.bump(); // #
+        let start = self.i;
+        while self
+            .chars
+            .get(self.i)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+        {
+            self.bump();
+        }
+        self.push_from(Kind::Ident, start, line);
+    }
+
+    /// Dispatches a bare `'`: lifetime or char literal.
+    fn quote(&mut self) {
+        // `'a` with no closing quote is a lifetime; `'a'` is a char.
+        if self.ident_start_at(self.i + 1) && self.peek(2) != Some('\'') {
+            let (start, line) = (self.i, self.line);
+            self.bump(); // '
+            while self
+                .chars
+                .get(self.i)
+                .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+            {
+                self.bump();
+            }
+            self.push_from(Kind::Lifetime, start, line);
+        } else {
+            self.char_literal(self.i);
+        }
+    }
+
+    /// A char literal starting at the quote under `self.i`; `start` may
+    /// point at a `b` prefix. Tolerant: an unterminated quote becomes a
+    /// lone punctuation token.
+    fn char_literal(&mut self, start: usize) {
+        let line = self.line;
+        let reset = self.i;
+        self.bump(); // '
+        if self.chars.get(self.i) == Some(&'\\') {
+            self.bump();
+            // Escapes: single char, or `\u{…}`.
+            if self.chars.get(self.i) == Some(&'u') {
+                while self.i < self.chars.len() && self.chars[self.i] != '}' {
+                    self.bump();
+                }
+            }
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.chars.get(self.i) == Some(&'\'') {
+            self.bump();
+            self.push_from(Kind::Char, start, line);
+        } else {
+            // Not a char literal after all — emit the quote alone.
+            self.i = reset;
+            self.bump();
+            self.out.push(Token {
+                kind: Kind::Punct,
+                text: "'".to_string(),
+                line,
+            });
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while self
+            .chars
+            .get(self.i)
+            .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+        {
+            self.bump();
+        }
+        self.push_from(Kind::Ident, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut float = false;
+        if self.chars[self.i] == '0'
+            && matches!(self.peek(1), Some('x' | 'o' | 'b'))
+            && self
+                .peek(2)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+            self.bump();
+            while self
+                .chars
+                .get(self.i)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+            {
+                self.bump();
+            }
+            self.push_from(Kind::Int, start, line);
+            return;
+        }
+        while self
+            .chars
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || *c == '_')
+        {
+            self.bump();
+        }
+        if self.chars.get(self.i) == Some(&'.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    while self
+                        .chars
+                        .get(self.i)
+                        .is_some_and(|c| c.is_ascii_digit() || *c == '_')
+                    {
+                        self.bump();
+                    }
+                }
+                // `1..2` is a range, `1.foo()` a method call; `1.` a float.
+                Some('.') => {}
+                Some(c) if c.is_alphabetic() || c == '_' => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.chars.get(self.i), Some('e' | 'E')) {
+            let (a, b) = (self.peek(1), self.peek(2));
+            let exp = matches!(a, Some(c) if c.is_ascii_digit())
+                || (matches!(a, Some('+' | '-')) && matches!(b, Some(c) if c.is_ascii_digit()));
+            if exp {
+                float = true;
+                self.bump();
+                if matches!(self.chars.get(self.i), Some('+' | '-')) {
+                    self.bump();
+                }
+                while self
+                    .chars
+                    .get(self.i)
+                    .is_some_and(|c| c.is_ascii_digit() || *c == '_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, …).
+        let suffix_start = self.i;
+        while self
+            .chars
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+        {
+            self.bump();
+        }
+        let suffix: String = self.chars[suffix_start..self.i].iter().collect();
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        let kind = if float { Kind::Float } else { Kind::Int };
+        self.push_from(kind, start, line);
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let rest: String = self.chars[self.i..(self.i + 3).min(self.chars.len())]
+            .iter()
+            .collect();
+        let len = if PUNCT3.iter().any(|p| rest.starts_with(p)) {
+            3
+        } else if PUNCT2.iter().any(|p| rest.starts_with(p)) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        self.push_from(Kind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let toks = lex("let s = r#\"a.unwrap()\nstill \"inside\"\"#; x");
+        assert!(toks
+            .iter()
+            .all(|t| !(t.kind == Kind::Ident && t.text == "unwrap")));
+        let raw = toks.iter().find(|t| t.kind == Kind::RawStr).map(|t| t.line);
+        assert_eq!(raw, Some(1));
+        let x = toks.iter().find(|t| t.is_ident("x")).map(|t| t.line);
+        assert_eq!(x, Some(2), "line counting continues through the literal");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner == */ still comment */ let y = 1;");
+        assert_eq!(toks[0].kind, Kind::BlockComment);
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+        assert!(!toks.iter().any(|t| t.is_punct("==")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = '\"'; let d = 'a'; let e = b'x'; }");
+        assert!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count() == 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 3);
+        // The '"' char literal must not open a string.
+        assert!(!toks.iter().any(|(k, _)| *k == Kind::Str));
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let t = kinds("1 1.0 1. 1e-3 0x1f 1..2 1.0f64 3usize");
+        let f: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == Kind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(f, vec!["1.0", "1.", "1e-3", "1.0f64"]);
+        let ints: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == Kind::Int)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ints, vec!["1", "0x1f", "1", "2", "3usize"]);
+    }
+
+    #[test]
+    fn operators_are_single_tokens() {
+        let t = kinds("a <= b == c != d ..= e :: f");
+        let puncts: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == Kind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["<=", "==", "!=", "..=", "::"]);
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let toks = lex("/// outer\n//! inner\n//// not doc\n// plain\n/** block */\nfn x() {}");
+        let docs = toks.iter().filter(|t| t.kind == Kind::DocComment).count();
+        assert_eq!(docs, 3);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::LineComment).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        let toks = lex("let r#match = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn strings_hide_operators_and_macros() {
+        let toks = lex("let s = \"println!(1 == 2)\"; let t = b\"x != y\";");
+        assert!(!toks.iter().any(|t| t.is_ident("println")));
+        assert!(!toks.iter().any(|t| t.is_punct("==") || t.is_punct("!=")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_degrades_gracefully() {
+        let toks = lex("let x = 1; ' let y = 2;");
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+}

@@ -1,0 +1,18 @@
+//! Repo-specific static analysis for the osd workspace.
+//!
+//! The analyzer lexes every scanned file into a Rust token stream
+//! ([`lexer`]), annotates it with structural context — `#[cfg(test)]`,
+//! `#[cfg(feature = "obs")]`, `macro_rules!` bodies, module paths
+//! ([`model`]) — and runs a registry of per-file and cross-crate rules
+//! over it ([`rules`]). Suppressions live in a central waiver ledger
+//! ([`waivers`]); [`driver`] ties it together and renders human or JSON
+//! reports.
+//!
+//! Run it as `cargo run -p xtask -- check` (or `explain <rule>` for any
+//! rule's intent and waiver policy).
+
+pub mod driver;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod waivers;

@@ -1,60 +1,60 @@
 //! `xtask` — repo-specific developer tooling.
 //!
-//! The only subcommand today is `check`, a std-only source scanner that
-//! enforces rules the stock lint stack cannot express (see
-//! `DESIGN.md`, "Static analysis & invariants"):
-//!
-//! 1. **`no-partial-cmp-unwrap`** — distance orderings must use
-//!    `f64::total_cmp`, never `partial_cmp(..).unwrap()` /
-//!    `partial_cmp(..).expect(..)`, which panic on NaN.
-//! 2. **`no-float-eq-in-kernels`** — no `==` / `!=` on floating-point
-//!    values inside the dominance kernels (`geom::dominance`,
-//!    `core::ops`, and the `core::nnc` / `core::knnc` traversal heaps):
-//!    exact float equality there silently changes the operators' tie
-//!    semantics, or makes a heap's `Eq` disagree with its `Ord`.
-//! 3. **`doc-cites-paper`** — every `pub fn` in `core::ops` must carry a
-//!    doc comment citing the paper construct it implements (a
-//!    Definition / Theorem / Lemma / Algorithm / § reference).
-//! 4. **`no-println-in-libs`** — library crates never print; reporting
-//!    belongs to the bench/cli leaves.
-//! 5. **`no-panic-allow-in-libs`** — only the bench/cli/example leaves
-//!    may opt out of the workspace panic-family lints with crate-level
-//!    `#![allow(..)]`; library crates may not.
-//! 6. **`no-rc-in-core`** — no `Rc` / `std::rc` anywhere in `osd-core`:
-//!    the parallel batch executor shares the crate's types across worker
-//!    threads, so shared ownership there must be `Arc`.
-//! 7. **`no-owned-points-in-hot-paths`** — the dominance kernels and the
-//!    NNC/k-NNC traversals borrow rows from the columnar instance store;
-//!    `.points()` / `.to_vec(` there allocates per dominance check.
-//! 8. **`no-ad-hoc-timing`** — no raw `Instant` / `SystemTime` in
-//!    `osd-core` / `osd-geom` / `osd-rtree`: wall-clock access goes
-//!    through `osd-obs` (`Stopwatch` / `PhaseTimer` / `Span`), so the
-//!    obs-disabled build is clock-free by construction.
-//!
-//! Diagnostics are `file:line: [rule] message` lines on stdout; the exit
-//! status is nonzero iff any violation was found.
-//!
 //! ```text
-//! cargo run -p xtask -- check [--root <path>]
+//! cargo run -p xtask -- check [--root <path>] [--format human|json]
+//! cargo run -p xtask -- explain <rule>
+//! cargo run -p xtask -- list
 //! ```
-
-mod checks;
-mod scan;
+//!
+//! `check` lexes every scanned source file into a Rust token stream and
+//! runs the full rule registry over it (see `xtask::rules` or DESIGN.md
+//! §6.2 for the rules and their intent). Diagnostics print as
+//! `file:line: [rule] message` lines (or one JSON object with
+//! `--format json`); the exit status is nonzero iff any diagnostic
+//! survives the waiver ledger. `explain <rule>` prints a rule's scope,
+//! intent and waiver policy straight from the registry.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::{driver, rules};
+
+const USAGE: &str = "usage: cargo run -p xtask -- <command>\n\
+commands:\n  \
+  check [--root <path>] [--format human|json] [--explain <rule>]\n  \
+  explain <rule>\n  \
+  list";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: cargo run -p xtask -- check [--root <path>]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    if cmd != "check" {
-        eprintln!("unknown subcommand `{cmd}`; expected `check`");
-        return ExitCode::FAILURE;
+    match cmd.as_str() {
+        "check" => run_check(args),
+        "explain" => match args.next() {
+            Some(rule) => explain(&rule),
+            None => {
+                eprintln!("explain needs a rule id; `list` shows them all");
+                ExitCode::FAILURE
+            }
+        },
+        "list" => {
+            for rule in rules::registry() {
+                println!("{:<28} {}", rule.id, rule.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
     }
+}
+
+fn run_check(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--root" => match args.next() {
@@ -64,8 +64,25 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    eprintln!("--format needs `human` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => {
+                return match args.next() {
+                    Some(rule) => explain(&rule),
+                    None => {
+                        eprintln!("--explain needs a rule id; `list` shows them all");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             other => {
-                eprintln!("unknown flag `{other}`");
+                eprintln!("unknown flag `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
@@ -80,21 +97,37 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    match checks::run_all(&root) {
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+    match driver::run_check(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", driver::render_json(&report));
+            } else {
+                print!("{}", driver::render_human(&report));
             }
-            if violations.is_empty() {
-                println!("xtask check: ok");
+            if report.ok() {
                 ExitCode::SUCCESS
             } else {
-                println!("xtask check: {} violation(s)", violations.len());
                 ExitCode::FAILURE
             }
         }
         Err(e) => {
             eprintln!("xtask check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn explain(rule_id: &str) -> ExitCode {
+    match rules::find(rule_id) {
+        Some(rule) => {
+            print!("{}", driver::render_explain(rule));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown rule `{rule_id}`; `list` shows all {}",
+                rules::registry().len()
+            );
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,590 @@
+//! The source model the rules run against: token streams with structural
+//! context, plus the workspace view (scanned files + parsed manifests)
+//! that the cross-crate rules need.
+//!
+//! A [`SourceFile`] is a lexed token stream with a parallel flags vector
+//! marking, for every token, whether it sits inside a `#[cfg(test)]`
+//! item, a `#[cfg(feature = "obs")]` item, or a `macro_rules!` body, and
+//! a record of the `mod` path at every point. A [`Workspace`] bundles all
+//! scanned files with the parsed `Cargo.toml` manifests so rules can
+//! reason across crate boundaries (the layering DAG, dev-dependency
+//! allowances for test code).
+
+use crate::lexer::{lex, Kind, Token};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Token flag: inside a `#[cfg(test)]`-gated item.
+pub const IN_TEST: u8 = 1;
+/// Token flag: inside a `#[cfg(feature = "obs")]`-gated item or block.
+pub const IN_OBS_CFG: u8 = 2;
+/// Token flag: inside a `macro_rules! { … }` definition body.
+pub const IN_MACRO_DEF: u8 = 4;
+
+/// Where a scanned file lives, which decides the rule set applied to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileOrigin {
+    /// A library `src/` tree (root facade or `crates/*/src`).
+    LibSrc,
+    /// An integration-test tree (`tests/` or `crates/*/tests`).
+    TestDir,
+    /// An example (`examples/` or `crates/*/examples`).
+    Example,
+}
+
+/// A module-path region: tokens `start..end` live in module `path`.
+#[derive(Debug)]
+pub struct ModSpan {
+    /// First token index of the module body.
+    pub start: usize,
+    /// One past the last token index of the module body.
+    pub end: usize,
+    /// Full `::`-joined module path from the crate root.
+    pub path: String,
+}
+
+/// A lexed and structurally annotated source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root.
+    pub path: PathBuf,
+    /// Which tree the file was found in.
+    pub origin: FileOrigin,
+    /// The package (Cargo) name of the owning crate, e.g. `osd-core`.
+    pub crate_name: String,
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Per-token context flags (`IN_TEST` / `IN_OBS_CFG` / `IN_MACRO_DEF`).
+    pub flags: Vec<u8>,
+    /// Indices of the significant (non-comment) tokens, in order.
+    pub sig: Vec<usize>,
+    /// Module-path spans, innermost-last for nested modules.
+    pub mods: Vec<ModSpan>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `text` as the file `path`.
+    pub fn parse(path: PathBuf, origin: FileOrigin, crate_name: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let (flags, mods) = annotate(&tokens);
+        let sig = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        SourceFile {
+            path,
+            origin,
+            crate_name: crate_name.to_string(),
+            tokens,
+            flags,
+            sig,
+            mods,
+        }
+    }
+
+    /// The significant token at sig-position `p`, if any.
+    pub fn sig_tok(&self, p: usize) -> Option<&Token> {
+        self.sig.get(p).map(|&i| &self.tokens[i])
+    }
+
+    /// The context flags of the significant token at sig-position `p`.
+    pub fn sig_flags(&self, p: usize) -> u8 {
+        self.sig.get(p).map_or(0, |&i| self.flags[i])
+    }
+
+    /// The innermost module path containing token index `idx`, or `""`
+    /// for the crate root.
+    pub fn module_path(&self, idx: usize) -> &str {
+        self.mods
+            .iter()
+            .rfind(|m| m.start <= idx && idx < m.end)
+            .map_or("", |m| m.path.as_str())
+    }
+
+    /// Whether the token at sig-position `p` is exempt as test code: in a
+    /// `#[cfg(test)]` item, or anywhere in an integration-test file.
+    pub fn is_test_code(&self, p: usize) -> bool {
+        self.origin == FileOrigin::TestDir || self.sig_flags(p) & IN_TEST != 0
+    }
+}
+
+/// Computes per-token context flags and module spans.
+fn annotate(tokens: &[Token]) -> (Vec<u8>, Vec<ModSpan>) {
+    struct Region {
+        floor: i64,
+        flag: u8,
+    }
+    let mut flags = vec![0u8; tokens.len()];
+    let mut mods: Vec<ModSpan> = Vec::new();
+    let mut open_mods: Vec<(i64, usize, String)> = Vec::new(); // (floor, start, path)
+    let mut path_stack: Vec<String> = Vec::new();
+    let mut regions: Vec<Region> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending: u8 = 0;
+    let mut pending_depth: i64 = 0;
+    let mut pending_mod: Option<String> = None;
+    let mut pending_macro = false;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let active = regions.iter().fold(pending, |a, r| a | r.flag);
+        flags[i] = active;
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        // Outer attribute: `#[ … ]` (also tolerate inner `#![ … ]`).
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            while tokens.get(j).is_some_and(Token::is_comment) {
+                j += 1;
+            }
+            let inner = tokens.get(j).is_some_and(|t| t.is_punct("!"));
+            if inner {
+                j += 1;
+                while tokens.get(j).is_some_and(Token::is_comment) {
+                    j += 1;
+                }
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+                let close = matching_bracket(tokens, j);
+                let body = &tokens[j + 1..close.min(tokens.len())];
+                if !inner {
+                    pending |= cfg_flags(body);
+                    pending_depth = depth;
+                }
+                for k in i..close.min(tokens.len()) + 1 {
+                    if let Some(f) = flags.get_mut(k) {
+                        *f = active;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        match (t.kind, t.text.as_str()) {
+            (Kind::Ident, "mod") => {
+                if let Some(name) = next_sig(tokens, i + 1)
+                    .filter(|&n| tokens[n].kind == Kind::Ident)
+                    .filter(|&n| next_sig(tokens, n + 1).is_some_and(|b| tokens[b].is_punct("{")))
+                {
+                    pending_mod = Some(tokens[name].text.clone());
+                }
+            }
+            (Kind::Ident, "macro_rules") => {
+                pending_macro = true;
+            }
+            (Kind::Punct, "{") => {
+                depth += 1;
+                if pending != 0 {
+                    regions.push(Region {
+                        floor: depth - 1,
+                        flag: pending,
+                    });
+                    pending = 0;
+                }
+                if pending_macro {
+                    regions.push(Region {
+                        floor: depth - 1,
+                        flag: IN_MACRO_DEF,
+                    });
+                    pending_macro = false;
+                }
+                if let Some(name) = pending_mod.take() {
+                    path_stack.push(name);
+                    open_mods.push((depth - 1, i + 1, path_stack.join("::")));
+                }
+            }
+            (Kind::Punct, "}") => {
+                depth -= 1;
+                regions.retain(|r| r.floor < depth);
+                while open_mods.last().is_some_and(|(f, _, _)| *f >= depth) {
+                    if let Some((_, start, path)) = open_mods.pop() {
+                        path_stack.pop();
+                        mods.push(ModSpan {
+                            start,
+                            end: i,
+                            path,
+                        });
+                    }
+                }
+            }
+            (Kind::Punct, ";") => {
+                // An attribute-carrying item without a body (`mod x;`,
+                // `use …;`) ends at the first `;` back at its depth.
+                if pending != 0 && depth == pending_depth {
+                    pending = 0;
+                }
+                pending_mod = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    mods.sort_by_key(|m| m.start);
+    (flags, mods)
+}
+
+/// The index of the `]` matching the `[` at `open` (token index), or the
+/// stream length if unbalanced.
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// The next non-comment token index at or after `from`.
+fn next_sig(tokens: &[Token], from: usize) -> Option<usize> {
+    (from..tokens.len()).find(|&k| !tokens[k].is_comment())
+}
+
+/// Flags contributed by one attribute body: `cfg(test)` and
+/// `cfg(feature = "obs")` (also matched inside `cfg(all(…))` / `any(…)`).
+fn cfg_flags(body: &[Token]) -> u8 {
+    if !body.first().is_some_and(|t| t.is_ident("cfg")) {
+        return 0;
+    }
+    let mut flags = 0;
+    for (k, t) in body.iter().enumerate() {
+        if t.is_ident("test") {
+            flags |= IN_TEST;
+        }
+        if t.is_ident("feature")
+            && body.get(k + 1).is_some_and(|t| t.is_punct("="))
+            && body
+                .get(k + 2)
+                .is_some_and(|t| t.kind == Kind::Str && t.text == "\"obs\"")
+        {
+            flags |= IN_OBS_CFG;
+        }
+    }
+    flags
+}
+
+/// One parsed dependency entry.
+#[derive(Debug)]
+pub struct Dep {
+    /// Package name as written on the left-hand side.
+    pub name: String,
+    /// 1-based line in the manifest.
+    pub line: usize,
+}
+
+/// A minimally parsed `Cargo.toml` (package name + dependency names with
+/// line numbers — all the layering rule needs).
+#[derive(Debug)]
+pub struct Manifest {
+    /// Manifest path relative to the scan root.
+    pub path: PathBuf,
+    /// `package.name`, e.g. `osd-core`.
+    pub name: String,
+    /// `[dependencies]` entries.
+    pub deps: Vec<Dep>,
+    /// `[dev-dependencies]` entries.
+    pub dev_deps: Vec<Dep>,
+}
+
+impl Manifest {
+    /// Parses manifest text. This is a deliberately small TOML subset:
+    /// section headers, `name = "…"` under `[package]`, and the key names
+    /// of dependency entries (both `foo = …` and `[dependencies.foo]`).
+    pub fn parse(path: PathBuf, text: &str) -> Manifest {
+        #[derive(PartialEq)]
+        enum Section {
+            Package,
+            Deps,
+            DevDeps,
+            Other,
+        }
+        let mut section = Section::Other;
+        let mut name = String::new();
+        let mut deps = Vec::new();
+        let mut dev_deps = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                let header = line.trim_matches(|c| c == '[' || c == ']');
+                section = match header {
+                    "package" => Section::Package,
+                    "dependencies" => Section::Deps,
+                    "dev-dependencies" => Section::DevDeps,
+                    other => {
+                        if let Some(dep) = other.strip_prefix("dependencies.") {
+                            deps.push(Dep {
+                                name: dep.to_string(),
+                                line: i + 1,
+                            });
+                        } else if let Some(dep) = other.strip_prefix("dev-dependencies.") {
+                            dev_deps.push(Dep {
+                                name: dep.to_string(),
+                                line: i + 1,
+                            });
+                        }
+                        Section::Other
+                    }
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            match section {
+                Section::Package if key == "name" => {
+                    name = value.trim().trim_matches('"').to_string();
+                }
+                Section::Deps => deps.push(Dep {
+                    name: key.to_string(),
+                    line: i + 1,
+                }),
+                Section::DevDeps => dev_deps.push(Dep {
+                    name: key.to_string(),
+                    line: i + 1,
+                }),
+                _ => {}
+            }
+        }
+        Manifest {
+            path,
+            name,
+            deps,
+            dev_deps,
+        }
+    }
+}
+
+/// The whole scanned workspace: every source file the rules see, plus the
+/// parsed manifests.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Scan root (the workspace root).
+    pub root: PathBuf,
+    /// All scanned files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Root manifest first, then `crates/*` manifests, sorted by path.
+    pub manifests: Vec<Manifest>,
+}
+
+/// Directories under a package root that are scanned.
+const PKG_TREES: &[(&str, FileOrigin)] = &[
+    ("src", FileOrigin::LibSrc),
+    ("tests", FileOrigin::TestDir),
+    ("examples", FileOrigin::Example),
+];
+
+impl Workspace {
+    /// Walks `root` and loads every Rust source under the scan roots: the
+    /// root package's `src/`, `tests/` and `examples/` trees plus the same
+    /// trees of every `crates/*` member. The analyzer's own crate
+    /// (`crates/xtask`, which carries the seeded-violation fixture corpus)
+    /// and the vendored shims are excluded.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        if let Some(m) = load_manifest(root, Path::new("Cargo.toml"))? {
+            manifests.push(m);
+        }
+        let root_pkg = manifests
+            .first()
+            .map_or_else(String::new, |m| m.name.clone());
+        load_package(root, Path::new(""), &root_pkg, &mut files)?;
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            members.sort();
+            for member in members {
+                let rel = member.strip_prefix(root).unwrap_or(&member).to_path_buf();
+                if rel.ends_with("xtask") {
+                    continue;
+                }
+                let Some(m) = load_manifest(root, &rel.join("Cargo.toml"))? else {
+                    continue;
+                };
+                let name = m.name.clone();
+                manifests.push(m);
+                load_package(root, &rel, &name, &mut files)?;
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        manifests.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            manifests,
+        })
+    }
+
+    /// The manifest of package `name`, if scanned.
+    pub fn manifest(&self, name: &str) -> Option<&Manifest> {
+        self.manifests.iter().find(|m| m.name == name)
+    }
+}
+
+fn load_manifest(root: &Path, rel: &Path) -> io::Result<Option<Manifest>> {
+    let abs = root.join(rel);
+    if !abs.is_file() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&abs)?;
+    Ok(Some(Manifest::parse(rel.to_path_buf(), &text)))
+}
+
+fn load_package(
+    root: &Path,
+    pkg_rel: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    for (tree, origin) in PKG_TREES {
+        let dir = root.join(pkg_rel).join(tree);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rs(&dir, &mut paths)?;
+        for abs in paths {
+            let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
+            let text = fs::read_to_string(&abs)?;
+            out.push(SourceFile::parse(rel, *origin, crate_name, &text));
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), FileOrigin::LibSrc, "osd-test", src)
+    }
+
+    fn flags_of(file: &SourceFile, ident: &str) -> u8 {
+        let idx = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(ident))
+            .unwrap_or(usize::MAX);
+        file.flags[idx]
+    }
+
+    #[test]
+    fn cfg_test_marks_whole_item() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { inner(); }\n}\nfn c() {}\n";
+        let f = parse(src);
+        assert_eq!(flags_of(&f, "a") & IN_TEST, 0);
+        assert_ne!(flags_of(&f, "inner") & IN_TEST, 0);
+        assert_eq!(flags_of(&f, "c") & IN_TEST, 0);
+    }
+
+    #[test]
+    fn cfg_test_fn_without_mod() {
+        let src = "#[cfg(test)]\nfn helper() { x(); }\nfn real() { y(); }\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "x") & IN_TEST, 0);
+        assert_eq!(flags_of(&f, "y") & IN_TEST, 0);
+    }
+
+    #[test]
+    fn cfg_test_use_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::rc::Rc;\nfn real() { y(); }\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "Rc") & IN_TEST, 0);
+        assert_eq!(flags_of(&f, "y") & IN_TEST, 0);
+    }
+
+    #[test]
+    fn cfg_obs_feature_marks_block() {
+        let src = "#[cfg(feature = \"obs\")]\nfn probe() { o(); }\n#[cfg(feature = \"other\")]\nfn other() { p(); }\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "o") & IN_OBS_CFG, 0);
+        assert_eq!(flags_of(&f, "p") & IN_OBS_CFG, 0);
+    }
+
+    #[test]
+    fn cfg_obs_inside_all_matches() {
+        let src = "#[cfg(all(feature = \"obs\", test))]\nfn probe() { o(); }\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "o") & IN_OBS_CFG, 0);
+        assert_ne!(flags_of(&f, "o") & IN_TEST, 0);
+    }
+
+    #[test]
+    fn macro_bodies_are_flagged() {
+        let src = "macro_rules! m {\n    () => { pub fn gen() {} };\n}\nfn outside() {}\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "gen") & IN_MACRO_DEF, 0);
+        assert_eq!(flags_of(&f, "outside") & IN_MACRO_DEF, 0);
+    }
+
+    #[test]
+    fn module_paths_nest() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn shallow() {}\n}\nfn top() {}\n";
+        let f = parse(src);
+        let at = |ident: &str| {
+            f.tokens
+                .iter()
+                .position(|t| t.is_ident(ident))
+                .unwrap_or(usize::MAX)
+        };
+        assert_eq!(f.module_path(at("deep")), "outer::inner");
+        assert_eq!(f.module_path(at("shallow")), "outer");
+        assert_eq!(f.module_path(at("top")), "");
+    }
+
+    #[test]
+    fn stacked_attributes_keep_cfg() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { q(); } }\n";
+        let f = parse(src);
+        assert_ne!(flags_of(&f, "q") & IN_TEST, 0);
+    }
+
+    #[test]
+    fn manifest_parses_names_and_deps() {
+        let m = Manifest::parse(
+            PathBuf::from("crates/x/Cargo.toml"),
+            "[package]\nname = \"osd-x\"\n\n[dependencies]\nosd-geom = { path = \"../geom\" }\nrand = { workspace = true }\n\n[dev-dependencies]\nproptest = { workspace = true }\n",
+        );
+        assert_eq!(m.name, "osd-x");
+        let deps: Vec<&str> = m.deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(deps, vec!["osd-geom", "rand"]);
+        assert_eq!(m.dev_deps.len(), 1);
+        assert_eq!(m.deps[0].line, 5);
+    }
+}

@@ -1,0 +1,119 @@
+//! `determinism`: no unordered-iteration containers or thread-identity
+//! access in the crates whose output is bit-identical by contract.
+
+use super::{push, Violation};
+use crate::model::{SourceFile, Workspace};
+
+/// Crates whose results must not depend on iteration order or thread
+/// identity: the geometry/index/model layers and the query engine.
+const SCOPED_DIRS: &[&str] = &[
+    "crates/geom/src",
+    "crates/rtree/src",
+    "crates/uncertain/src",
+    "crates/core/src",
+];
+
+pub(super) fn determinism(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !SCOPED_DIRS.iter().any(|d| file.path.starts_with(d)) {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        let line = t.line;
+        let msg = if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            Some(format!(
+                "`{}` iterates in random order; use BTreeMap/BTreeSet or a sorted Vec so \
+                 Stats::merge and the batch executor stay bit-identical",
+                t.text
+            ))
+        } else if t.is_ident("RandomState") {
+            Some(
+                "`RandomState` seeds per-process hash order; results must not depend on it"
+                    .to_string(),
+            )
+        } else if t.is_ident("ThreadId") {
+            Some("`ThreadId` leaks thread identity into a result-affecting crate".to_string())
+        } else if t.is_ident("thread_rng") {
+            Some("`thread_rng` is seeded per thread; use the crate's seeded Rng".to_string())
+        } else if t.is_ident("thread")
+            && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("::"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_ident("current"))
+        {
+            Some(
+                "`thread::current()` reads thread identity; 1-vs-N-thread runs must be \
+                  bit-identical"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        if let Some(msg) = msg {
+            push(out, file, line, "determinism", msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{check_src, rules};
+
+    #[test]
+    fn flags_hash_containers_in_scoped_crates() {
+        let v = check_src(
+            "crates/geom/src/grid.rs",
+            "use std::collections::HashMap;\nfn f() { let _m: HashMap<u32, f64> = HashMap::new(); }\n",
+        );
+        assert!(rules(&v).iter().all(|r| *r == "determinism"));
+        assert_eq!(v.len(), 3, "use + type + ctor each flag: {v:?}");
+    }
+
+    #[test]
+    fn btree_and_out_of_scope_crates_are_fine() {
+        assert!(check_src(
+            "crates/geom/src/grid.rs",
+            "use std::collections::BTreeMap;\nfn f() { let _m: BTreeMap<u32, f64> = BTreeMap::new(); }\n"
+        )
+        .is_empty());
+        assert!(check_src(
+            "crates/nnfuncs/src/lib.rs",
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_hash_use_is_exempt() {
+        assert!(check_src(
+            "crates/uncertain/src/world.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let _m: HashMap<u8, u8> = HashMap::new(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_thread_identity_reads() {
+        let v = check_src(
+            "crates/core/src/executor.rs",
+            "fn f() { let _id = std::thread::current().id(); }\n",
+        );
+        assert_eq!(rules(&v), vec!["determinism"]);
+        // Plain scoped-thread spawning is fine.
+        assert!(check_src(
+            "crates/core/src/executor.rs",
+            "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn string_mentions_do_not_flag() {
+        assert!(check_src(
+            "crates/core/src/report.rs",
+            "fn f() -> &'static str { \"HashMap thread::current\" }\n"
+        )
+        .is_empty());
+    }
+}

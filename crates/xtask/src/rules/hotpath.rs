@@ -1,0 +1,240 @@
+//! Hot-path allocation and timing rules:
+//! `no-owned-points-in-hot-paths`, `no-ad-hoc-timing` and
+//! `no-alloc-in-kernels`.
+
+use super::{is_hot_path, push, Violation};
+use crate::model::{SourceFile, Workspace};
+
+/// Hot query paths borrow rows from the columnar store; `.points()` /
+/// `.to_vec()` gathers an owned copy per dominance check and reintroduces
+/// the per-check heap traffic the flat SoA layout removed.
+pub(super) fn no_owned_points_in_hot_paths(
+    _ws: &Workspace,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    if !is_hot_path(&file.path) {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        if !t.is_punct(".") {
+            continue;
+        }
+        let line = t.line;
+        let gathers = file.sig_tok(p + 1).is_some_and(|t| t.is_ident("points"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("("))
+            && file.sig_tok(p + 3).is_some_and(|t| t.is_punct(")"));
+        let copies = file.sig_tok(p + 1).is_some_and(|t| t.is_ident("to_vec"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("("));
+        if gathers || copies {
+            let what = if gathers { ".points()" } else { ".to_vec()" };
+            push(
+                out,
+                file,
+                line,
+                "no-owned-points-in-hot-paths",
+                format!(
+                    "`{what}` in a hot query path gathers an owned copy per dominance \
+                     check; borrow rows via the columnar accessors instead"
+                ),
+            );
+        }
+    }
+}
+
+/// Directories where raw clock access is banned (osd-obs is the
+/// sanctioned wrapper).
+const NO_TIMING_DIRS: &[&str] = &["crates/core/src", "crates/geom/src", "crates/rtree/src"];
+
+/// Wall-clock reads go through osd-obs so the obs-disabled build is
+/// clock-free by construction.
+pub(super) fn no_ad_hoc_timing(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !NO_TIMING_DIRS.iter().any(|d| file.path.starts_with(d)) {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            push(
+                out,
+                file,
+                t.line,
+                "no-ad-hoc-timing",
+                format!(
+                    "raw `{}` in an instrumented crate; time through osd-obs \
+                     (Stopwatch/PhaseTimer/Span) so the obs-off build stays clock-free",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Files that are allocation-free in their entirety.
+const ALLOC_FREE_FILES: &[&str] = &["crates/geom/src/kernels.rs"];
+/// Files with `// alloc-free: begin` / `// alloc-free: end` regions.
+const ALLOC_FREE_REGION_FILES: &[&str] = &["crates/core/src/ops/psd.rs"];
+
+/// The blocked distance kernels and the exact-network dominance loop
+/// reuse caller scratch buffers; allocation idioms inside them silently
+/// reintroduce per-call heap traffic.
+pub(super) fn no_alloc_in_kernels(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    let path = file.path.to_string_lossy();
+    let whole = ALLOC_FREE_FILES.iter().any(|f| *f == path);
+    let regions = ALLOC_FREE_REGION_FILES.iter().any(|f| *f == path);
+    if !whole && !regions {
+        return;
+    }
+    // Per-token activity: the whole file, or the marked comment regions.
+    let mut active = vec![whole; file.tokens.len()];
+    if regions {
+        let mut on = false;
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.is_comment() {
+                if t.text.contains("alloc-free: begin") {
+                    on = true;
+                } else if t.text.contains("alloc-free: end") {
+                    on = false;
+                }
+            }
+            active[i] = on;
+        }
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) || !active[file.sig[p]] {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        let line = t.line;
+        let idiom = if t.is_ident("Vec")
+            && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("::"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_ident("new"))
+        {
+            Some("Vec::new()")
+        } else if t.is_ident("vec") && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("!")) {
+            Some("vec![..]")
+        } else if t.is_punct(".")
+            && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("to_vec"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("("))
+        {
+            Some(".to_vec()")
+        } else if t.is_punct(".") && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("collect")) {
+            Some(".collect()")
+        } else {
+            None
+        };
+        if let Some(what) = idiom {
+            push(
+                out,
+                file,
+                line,
+                "no-alloc-in-kernels",
+                format!(
+                    "`{what}` inside an allocation-free kernel region; reuse the caller's \
+                     scratch buffers"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{check_src, rules};
+
+    #[test]
+    fn flags_points_and_to_vec_in_hot_paths() {
+        let v = check_src(
+            "crates/core/src/nnc.rs",
+            "fn f(s: &Store) { let _ = s.points(); }\n",
+        );
+        assert_eq!(rules(&v), vec!["no-owned-points-in-hot-paths"]);
+        let v = check_src(
+            "crates/core/src/ops/ssd.rs",
+            "/// Per Definition 3.\npub fn f(xs: &[f64]) { let _ = xs.to_vec(); }\n",
+        );
+        assert!(v.iter().any(|x| x.rule == "no-owned-points-in-hot-paths"));
+    }
+
+    #[test]
+    fn to_vec_split_across_lines_is_still_flagged() {
+        let v = check_src(
+            "crates/core/src/knnc.rs",
+            "fn f(xs: &[f64]) {\n    let _ = xs\n        .to_vec\n        ();\n}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-owned-points-in-hot-paths"]);
+    }
+
+    #[test]
+    fn points_fine_outside_hot_paths_and_in_tests() {
+        assert!(check_src(
+            "crates/uncertain/src/object.rs",
+            "fn f(s: &Store) { let _ = s.points(); }\n"
+        )
+        .is_empty());
+        assert!(check_src(
+            "crates/core/src/nnc.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(s: &Store) { let _ = s.points(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_raw_clocks_in_instrumented_crates() {
+        let v = check_src(
+            "crates/rtree/src/node.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(rules(&v), vec!["no-ad-hoc-timing"]);
+        assert!(check_src(
+            "crates/flow/src/lib.rs",
+            "fn f() { let _t = std::time::Instant::now(); }\n"
+        )
+        .is_empty());
+        assert!(check_src(
+            "crates/geom/src/point.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn kernels_file_is_alloc_free_everywhere() {
+        let v = check_src(
+            "crates/geom/src/kernels.rs",
+            "fn f() { let v = vec![1.0];\n    let _: Vec<f64> = v.iter().copied().collect(); }\n",
+        );
+        assert_eq!(
+            rules(&v),
+            vec!["no-alloc-in-kernels", "no-alloc-in-kernels"]
+        );
+    }
+
+    #[test]
+    fn psd_regions_gate_by_markers() {
+        let src = "\
+/// Per Algorithm 2.
+pub fn setup() { let _v = Vec::new(); }
+// alloc-free: begin
+/// Per Algorithm 2.
+pub fn inner(xs: &[f64]) { let _ = xs.to_vec(); }
+// alloc-free: end
+/// Per Algorithm 2.
+pub fn teardown() { let _v: Vec<f64> = vec![]; }
+";
+        let v = check_src("crates/core/src/ops/psd.rs", src);
+        let allocs: Vec<_> = v
+            .iter()
+            .filter(|x| x.rule == "no-alloc-in-kernels")
+            .collect();
+        assert_eq!(allocs.len(), 1, "{v:?}");
+        assert_eq!(allocs[0].line, 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Library-hygiene rules: `no-println-in-libs`, `no-panic-allow-in-libs`
+//! and `no-rc-in-core`.
+
+use super::{in_lib_src, matching_close, push, Violation};
+use crate::model::{SourceFile, Workspace};
+
+/// Library crates never print — reporting belongs to the bench/cli
+/// leaves. Token-level: the macro name must be a whole identifier
+/// followed by `!`, so `println` inside a string or a name like
+/// `my_println` can never match.
+pub(super) fn no_println_in_libs(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    const BANNED: &[&str] = &["println", "print", "eprintln", "eprint"];
+    if !in_lib_src(file) {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        if BANNED.iter().any(|m| t.is_ident(m))
+            && file.sig_tok(p + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(
+                out,
+                file,
+                t.line,
+                "no-println-in-libs",
+                format!(
+                    "`{}!` in a library crate; return data and let bench/cli report it",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Only the bench/cli/example leaves may opt out of the workspace
+/// panic-family lints; a crate-level `#![allow(..)]` of them in a library
+/// crate defeats the whole gate.
+pub(super) fn no_panic_allow_in_libs(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    const GATED: &[&str] = &["unwrap_used", "expect_used", "panic"];
+    if !in_lib_src(file) {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        // `#` `!` `[` `allow` `(` … `)` `]`
+        let is_seq = file.sig_tok(p).is_some_and(|t| t.is_punct("#"))
+            && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("!"))
+            && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("["))
+            && file.sig_tok(p + 3).is_some_and(|t| t.is_ident("allow"));
+        if !is_seq {
+            continue;
+        }
+        let Some(close) = matching_close(file, p + 2, "[", "]") else {
+            continue;
+        };
+        for q in p + 4..close {
+            let lint = file
+                .sig_tok(q)
+                .filter(|t| t.is_ident("clippy"))
+                .and_then(|_| file.sig_tok(q + 1).filter(|t| t.is_punct("::")))
+                .and_then(|_| file.sig_tok(q + 2))
+                .filter(|t| GATED.iter().any(|g| t.is_ident(g)));
+            if let Some(l) = lint {
+                let name = l.text.clone();
+                let line = file.sig_tok(p).map_or(1, |t| t.line);
+                push(
+                    out,
+                    file,
+                    line,
+                    "no-panic-allow-in-libs",
+                    format!(
+                        "crate-level `#![allow(clippy::{name})]` in a library crate; only \
+                         bench/cli leaves may opt out"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// No `Rc` / `std::rc` anywhere in `osd-core`: the parallel batch
+/// executor shares the crate's types across worker threads, so shared
+/// ownership there must be `Arc`.
+pub(super) fn no_rc_in_core(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.path.starts_with("crates/core/src") {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        let std_rc = t.is_ident("rc")
+            && p >= 2
+            && file.sig_tok(p - 1).is_some_and(|t| t.is_punct("::"))
+            && file.sig_tok(p - 2).is_some_and(|t| t.is_ident("std"));
+        if t.is_ident("Rc") || std_rc {
+            push(
+                out,
+                file,
+                t.line,
+                "no-rc-in-core",
+                "`Rc`/`std::rc` in osd-core; the batch executor shares this crate across \
+                 threads — use `Arc`"
+                    .into(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{check_src, rules};
+
+    #[test]
+    fn flags_println_but_not_in_strings_or_tests() {
+        let v = check_src("crates/flow/src/lib.rs", "fn f() { println!(\"x\"); }\n");
+        assert_eq!(rules(&v), vec!["no-println-in-libs"]);
+        let ok = "fn f() { let _ = \"println!\"; }\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"debug\"); }\n}\n";
+        assert!(check_src("crates/flow/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn println_split_across_lines_is_still_flagged() {
+        let v = check_src(
+            "crates/flow/src/lib.rs",
+            "fn f() {\n    println\n        !(\"x\");\n}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-println-in-libs"]);
+    }
+
+    #[test]
+    fn println_fine_in_cli_and_examples() {
+        assert!(check_src("crates/cli/src/main.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+        assert!(check_src("examples/quickstart.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+    }
+
+    #[test]
+    fn flags_crate_level_panic_allow() {
+        let v = check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(clippy::unwrap_used)]\nfn f() {}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-panic-allow-in-libs"]);
+        assert!(check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(clippy::module_name_repetitions)]\nfn f() {}\n"
+        )
+        .is_empty());
+        // `clippy::panic` must not also match `panic_in_result_fn`.
+        assert!(check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(clippy::panic_in_result_fn)]\nfn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn multiline_allow_attribute_is_flagged() {
+        let v = check_src(
+            "crates/rtree/src/lib.rs",
+            "#![allow(\n    clippy::module_name_repetitions,\n    clippy::expect_used,\n)]\nfn f() {}\n",
+        );
+        assert_eq!(rules(&v), vec!["no-panic-allow-in-libs"]);
+    }
+
+    #[test]
+    fn flags_rc_in_core_but_not_arc() {
+        let v = check_src(
+            "crates/core/src/cache.rs",
+            "use std::rc::Rc;\nfn f() { let _x: Rc<u8> = Rc::new(1); }\n",
+        );
+        assert!(rules(&v).iter().all(|r| *r == "no-rc-in-core"));
+        // Token-level: `std::rc` and each `Rc` mention flag individually
+        // (two on the use line, two in the body).
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(check_src(
+            "crates/core/src/cache.rs",
+            "use std::sync::Arc;\nfn f() { let _x: Arc<u8> = Arc::new(1); }\nfn g(marc: usize) -> usize { marc }\n",
+        )
+        .is_empty());
+        assert!(check_src("crates/rtree/src/lib.rs", "use std::rc::Rc;\n").is_empty());
+        assert!(check_src(
+            "crates/core/src/cache.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::rc::Rc;\n}\n",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! `obs-feature-purity`: code gated behind `#[cfg(feature = "obs")]` in
+//! osd-core may observe the pipeline but not steer it — it must not call
+//! into the result-affecting crates and must not assign non-obs state.
+//! tests/obs_purity.rs pins the same contract dynamically (obs-on and
+//! obs-off runs return identical results); this rule enforces it
+//! statically at the token level.
+
+use super::{push, Violation};
+use crate::lexer::Kind;
+use crate::model::{SourceFile, Workspace, IN_OBS_CFG};
+
+/// Crates whose state determines query results; obs-gated code may not
+/// reach into them.
+const RESULT_CRATES: &[&str] = &["osd_geom", "osd_rtree", "osd_flow", "osd_uncertain"];
+
+/// Identifier fragments that mark a place as observability state.
+const OBS_MARKERS: &[&str] = &[
+    "metric",
+    "obs",
+    "span",
+    "timer",
+    "stopwatch",
+    "profile",
+    "phase",
+    "counter",
+    "gauge",
+];
+
+pub(super) fn obs_feature_purity(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.path.starts_with("crates/core/src") {
+        return;
+    }
+    let in_attr = attr_mask(file);
+    for p in 0..file.sig.len() {
+        if file.sig_flags(p) & IN_OBS_CFG == 0 || file.is_test_code(p) || in_attr[file.sig[p]] {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        let line = t.line;
+        // (a) calls into result-affecting crates.
+        if t.kind == Kind::Ident
+            && RESULT_CRATES.iter().any(|c| t.text == *c)
+            && file.sig_tok(p + 1).is_some_and(|n| n.is_punct("::"))
+        {
+            push(
+                out,
+                file,
+                line,
+                "obs-feature-purity",
+                format!(
+                    "obs-gated code reaches into result-affecting crate `{}`; observation \
+                     must not steer the pipeline",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // (b) assignments to non-obs places.
+        if t.kind == Kind::Punct && is_assign_op(&t.text) {
+            if lhs_is_let(file, p) || lhs_mentions_obs(file, p) {
+                continue;
+            }
+            push(
+                out,
+                file,
+                line,
+                "obs-feature-purity",
+                format!(
+                    "obs-gated code assigns (`{}`) a place that names no obs state \
+                     (metrics/span/timer/...); the obs-off build must compute identical \
+                     results",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn is_assign_op(text: &str) -> bool {
+    matches!(
+        text,
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="
+    )
+}
+
+/// Marks tokens that sit inside `#[...]` / `#![...]` attribute groups, so
+/// the `=` of `#[cfg(feature = "obs")]` itself never counts as an
+/// assignment.
+fn attr_mask(file: &SourceFile) -> Vec<bool> {
+    let mut mask = vec![false; file.tokens.len()];
+    let mut i = 0;
+    while i < file.tokens.len() {
+        if file.tokens[i].is_punct("#") {
+            let mut j = i + 1;
+            if file.tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1;
+            }
+            if file.tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+                let mut depth = 0i64;
+                let mut k = j;
+                while k < file.tokens.len() {
+                    if file.tokens[k].is_punct("[") {
+                        depth += 1;
+                    } else if file.tokens[k].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                for m in mask
+                    .iter_mut()
+                    .take(k.min(file.tokens.len() - 1) + 1)
+                    .skip(i)
+                {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Walks left from the assignment operator to the statement boundary
+/// (`;`, `{`, `}` at depth 0); reports whether the statement is a `let`
+/// binding.
+fn lhs_is_let(file: &SourceFile, op_p: usize) -> bool {
+    scan_lhs(file, op_p, |t| t.is_ident("let"))
+}
+
+/// Whether any identifier on the left-hand side names obs state.
+fn lhs_mentions_obs(file: &SourceFile, op_p: usize) -> bool {
+    scan_lhs(file, op_p, |t| {
+        t.kind == Kind::Ident && {
+            let lower = t.text.to_lowercase();
+            OBS_MARKERS.iter().any(|m| lower.contains(m))
+        }
+    })
+}
+
+fn scan_lhs(file: &SourceFile, op_p: usize, pred: impl Fn(&crate::lexer::Token) -> bool) -> bool {
+    let mut depth = 0i64;
+    let mut p = op_p;
+    while p > 0 {
+        p -= 1;
+        let Some(t) = file.sig_tok(p) else {
+            return false;
+        };
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                ";" | "{" | "}" if depth == 0 => return false,
+                _ => {}
+            }
+        }
+        if depth == 0 && pred(t) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::testutil::{check_src, rules};
+
+    #[test]
+    fn flags_result_crate_access_in_obs_block() {
+        let v = check_src(
+            "crates/core/src/engine.rs",
+            "#[cfg(feature = \"obs\")]\nfn probe(q: &Q) { let _ = osd_geom::dist(q.a, q.b); }\n",
+        );
+        assert_eq!(rules(&v), vec!["obs-feature-purity"]);
+    }
+
+    #[test]
+    fn obs_crate_access_is_fine() {
+        assert!(check_src(
+            "crates/core/src/engine.rs",
+            "#[cfg(feature = \"obs\")]\nfn probe() { osd_obs::metrics().counter(\"x\").incr(); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn ungated_code_is_out_of_scope() {
+        assert!(check_src(
+            "crates/core/src/engine.rs",
+            "fn run(q: &Q) -> f64 { osd_geom::dist(q.a, q.b) }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_non_obs_assignment_in_obs_block() {
+        let v = check_src(
+            "crates/core/src/engine.rs",
+            "#[cfg(feature = \"obs\")]\nfn probe(state: &mut State) { state.pruned = 0; }\n",
+        );
+        assert_eq!(rules(&v), vec!["obs-feature-purity"]);
+        assert!(v[0].msg.contains("assigns"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn let_bindings_and_obs_assignments_are_fine() {
+        assert!(check_src(
+            "crates/core/src/engine.rs",
+            "#[cfg(feature = \"obs\")]\nfn probe(m: &mut Metrics) {\n    let started = now();\n    m.phase_timer = started;\n    self.obs_frames += 1;\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_attribute_equals_is_not_an_assignment() {
+        // The whole item is obs-gated; the inner attribute's `=` must not
+        // trip the assignment heuristic.
+        assert!(check_src(
+            "crates/core/src/engine.rs",
+            "#[cfg(feature = \"obs\")]\nmod probes {\n    #[cfg(feature = \"obs\")]\n    fn t() { let x = 1; }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn rule_scoped_to_core() {
+        assert!(check_src(
+            "crates/rtree/src/lib.rs",
+            "#[cfg(feature = \"obs\")]\nfn probe(q: &Q) { let _ = osd_geom::dist(q.a, q.b); }\n"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//~ path: crates/core/src/ops/psd.rs
+/// Setup may allocate freely (Algorithm 2 preamble).
+pub fn setup() -> Vec<f64> {
+    Vec::with_capacity(8)
+}
+// alloc-free: begin
+/// The exact-network inner loop (Algorithm 2).
+pub fn inner(xs: &[f64], out: &mut Vec<f64>) {
+    out.extend(xs.iter().copied());
+    let _bad = vec![0.0; 4];
+}
+// alloc-free: end
+
+//~ expect: no-alloc-in-kernels @ 10

@@ -1,0 +1,4 @@
+//~ path: crates/uncertain/src/index.rs
+type Index = std::collections::HashMap<u64, usize>;
+
+//~ expect: determinism @ 2

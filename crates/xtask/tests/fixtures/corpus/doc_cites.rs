@@ -1,0 +1,28 @@
+//~ path: crates/core/src/ops/seeded.rs
+pub fn undocumented() {}
+
+/// Vague words, citing nothing.
+pub fn vague() {}
+
+macro_rules! bare {
+    ($name:ident) => {
+        pub fn $name() {}
+    };
+}
+bare!(seeded);
+
+macro_rules! fwd {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub fn $name() {}
+    };
+}
+fwd!(
+    /// Nothing cited here either.
+    silent
+);
+
+//~ expect: doc-cites-paper @ 2
+//~ expect: doc-cites-paper @ 5
+//~ expect: doc-cites-paper @ 9
+//~ expect: doc-cites-paper @ 20

@@ -1,0 +1,10 @@
+//~ path: crates/core/src/nnc.rs
+struct H {
+    key: f64,
+}
+fn heap_eq(a: &H, b: &H) -> bool {
+    a.key
+        == b.key
+}
+
+//~ expect: no-float-eq-in-kernels @ 7

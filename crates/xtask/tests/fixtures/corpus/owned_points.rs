@@ -1,0 +1,8 @@
+//~ path: crates/core/src/knnc.rs
+fn gather(xs: &[f64]) -> Vec<f64> {
+    xs
+        .to_vec
+        ()
+}
+
+//~ expect: no-owned-points-in-hot-paths @ 4

@@ -1,0 +1,7 @@
+//~ path: crates/rtree/src/lib.rs
+#![allow(
+    clippy::module_name_repetitions,
+    clippy::unwrap_used,
+)]
+
+//~ expect: no-panic-allow-in-libs @ 2

@@ -1,0 +1,11 @@
+//~ path: crates/geom/src/point.rs
+// A chain split across lines and comments: the line-based scanner's
+// false-negative class. The token engine sees one adjacent sequence.
+fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a
+        .partial_cmp(&b)
+        // NaN "cannot happen"
+        .unwrap()
+}
+
+//~ expect: no-partial-cmp-unwrap @ 6

@@ -1,0 +1,7 @@
+//~ path: crates/flow/src/lib.rs
+fn report(x: f64) {
+    println
+        !("x = {x}");
+}
+
+//~ expect: no-println-in-libs @ 3

@@ -1,0 +1,12 @@
+//~ path: crates/core/src/engine.rs
+#[cfg(feature = "obs")]
+fn probe(state: &mut SearchState) {
+    state.pruned += 1;
+}
+#[cfg(feature = "obs")]
+fn peek(q: &Query) -> f64 {
+    osd_geom::dist(q.a, q.b)
+}
+
+//~ expect: obs-feature-purity @ 4
+//~ expect: obs-feature-purity @ 8

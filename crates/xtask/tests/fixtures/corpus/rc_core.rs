@@ -1,0 +1,4 @@
+//~ path: crates/core/src/cache.rs
+type Shared = Rc<[f64]>;
+
+//~ expect: no-rc-in-core @ 2

@@ -1,0 +1,4 @@
+//~ path: crates/geom/src/lib.rs
+use std::time::Instant;
+
+//~ expect: no-ad-hoc-timing @ 2

@@ -1,0 +1,15 @@
+//~ path: crates/geom/src/point.rs
+// Everything inside the raw string below is inert; if the lexer loses
+// track of it, phantom diagnostics appear and the line anchors shift.
+const RAW: &str = r##"
+partial_cmp(&b).unwrap()
+println!("not real");
+"# not the end either
+"##;
+/* nested /* block comment */ with println!("x") inside */
+const LIFETIMES: fn(&'static str) -> char = |_x: &'static str| 'a';
+fn seeded(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+//~ expect: no-partial-cmp-unwrap @ 12

@@ -1,0 +1,2 @@
+use osd_core::QueryEngine;
+use osd_rtree::Tree;

@@ -1,0 +1,3 @@
+fn noisy() {
+    println!("x");
+}

@@ -15,6 +15,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== xtask check (repo-specific rules) =="
 cargo run -q -p xtask -- check
 
+echo "== xtask check --format json (CI schema) =="
+# The machine-readable report CI consumes: validate the schema keys with
+# plain grep (no jq in the base image) and require a clean verdict.
+JSON_OUT="$(cargo run -q -p xtask -- check --format json)"
+for key in '"tool": "xtask-check"' '"files_scanned"' '"manifests_scanned"' \
+           '"waivers"' '"diagnostics": []' '"ok": true'; do
+  printf '%s' "$JSON_OUT" | grep -qF "$key" \
+    || { echo "xtask json: missing $key"; printf '%s\n' "$JSON_OUT"; exit 1; }
+done
+
 echo "== cargo test =="
 cargo test -q --workspace
 
