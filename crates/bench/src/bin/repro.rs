@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|all> [options]
+//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|all> [options]
 //!   --paper-scale      Table 2 defaults (n=100k, m_d=40, 100 queries)
 //!   --n <N>            object count override
 //!   --md <M>           instances per object override
@@ -38,6 +38,8 @@ fn main() {
     let mut threads_list: Vec<usize> = vec![1, 2, 4, 8];
     let mut json: Option<String> = None;
     let mut smoke = false;
+    let mut shards = 8usize;
+    let mut n_explicit = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,8 +47,12 @@ fn main() {
             "--smoke" => {
                 smoke = true;
             }
+            "--shards" => {
+                shards = next_val(&args, &mut i).max(1);
+            }
             "--n" => {
                 scale.n = next_val(&args, &mut i);
+                n_explicit = true;
             }
             "--md" => {
                 scale.m_d = next_val(&args, &mut i);
@@ -135,6 +141,18 @@ fn main() {
             };
             kernels(&scale, smoke, json);
         }
+        "scale" => {
+            // Like kernels: smoke runs are assertion-only and never
+            // clobber the measured artifact unless a path was given.
+            let json = match (&json, smoke) {
+                (Some(path), _) => Some(path.as_str()),
+                (None, false) => Some("BENCH_scale.json"),
+                (None, true) => None,
+            };
+            let ns: Vec<usize> = if n_explicit { vec![scale.n] } else { vec![] };
+            let threads = if threads > 1 { threads } else { shards };
+            osd_bench::scale::scale(&ns, shards, threads, smoke, json);
+        }
         "fig16" => fig16(&scale, paper, &report),
         "all" => {
             fig10_with_threads(&scale, &report, threads);
@@ -165,9 +183,9 @@ fn next_val(args: &[String], i: &mut usize) -> usize {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|all> \
+        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|all> \
          [--paper-scale] [--n N] [--md M] [--mq M] [--queries Q] \
          [--param md|hd|mq|hq|n|d] [--out-dir DIR] [--threads T] \
-         [--threads-list 1,2,4,8] [--json PATH] [--smoke]"
+         [--threads-list 1,2,4,8] [--shards S] [--json PATH] [--smoke]"
     );
 }

@@ -2,8 +2,9 @@
 
 use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat};
 use osd_core::{
-    batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates, nn_candidates,
-    Database, FilterConfig, PreparedQuery, ProgressiveNnc, QueryEngine, QueryMetrics, Stats,
+    batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates,
+    k_nn_candidates_scatter, nn_candidates, nn_candidates_scatter, Database, FilterConfig,
+    PreparedQuery, ProgressiveNnc, QueryEngine, QueryMetrics, ShardedDatabase, SpatialIndex, Stats,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -12,9 +13,30 @@ use osd_datagen::{
 use osd_nnfuncs::{emd, hausdorff, sum_min, N1Function, StableAggregate};
 use std::path::Path;
 
+/// Builds the index behind the CLI: a flat [`Database`] for `--shards 1`
+/// (the default), an STR-tiled [`ShardedDatabase`] otherwise. Returned
+/// boxed so every downstream path runs against `&dyn SpatialIndex`.
+fn build_index(
+    objects: Vec<osd_uncertain::UncertainObject>,
+    shards: usize,
+) -> Result<Box<dyn SpatialIndex>, CliError> {
+    if shards <= 1 {
+        Database::try_new(objects)
+            .map(|db| Box::new(db) as Box<dyn SpatialIndex>)
+            .map_err(|e| CliError::Data(e.to_string()))
+    } else {
+        ShardedDatabase::try_new(objects, shards)
+            .map(|db| Box::new(db) as Box<dyn SpatialIndex>)
+            .map_err(|e| CliError::Data(e.to_string()))
+    }
+}
+
 /// `osd query`: load a CSV dataset and print the NN candidates of one
 /// query (`--query "x,y;…"`) or of a whole batch (`--queries FILE`, one
-/// spec per line, spread over `--threads N` worker threads).
+/// spec per line, spread over `--threads N` worker threads). `--shards N`
+/// space-partitions the store into N STR tiles (results are bit-identical
+/// to the flat index); `--scatter` switches the single-query path from the
+/// merged-forest traversal to per-shard scatter-gather over `--threads`.
 ///
 /// # Errors
 /// Returns a [`CliError`] on bad flags or unreadable data.
@@ -23,8 +45,15 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
     let k: usize = flags.parsed_or("--k", 1)?;
     let threads: usize = flags.parsed_or("--threads", 1)?;
+    let shards: usize = flags.parsed_or("--shards", 1)?;
     let progressive = flags.has("--progressive");
+    let scatter = flags.has("--scatter");
     let profile = flags.profile()?;
+    if progressive && scatter {
+        return Err(CliError::BadArgument(
+            "--progressive and --scatter are mutually exclusive".into(),
+        ));
+    }
 
     let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
     let dim = objects
@@ -44,8 +73,8 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             ));
         }
         let queries = read_query_file(Path::new(file), dim)?;
-        let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
-        let engine = QueryEngine::new(&db, op);
+        let db = build_index(objects, shards)?;
+        let engine = QueryEngine::new(&*db, op);
         let results = engine.run_batch(&queries, threads.max(1));
         for (i, res) in results.iter().enumerate() {
             println!(
@@ -77,13 +106,13 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             dim
         )));
     }
-    let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
+    let db = build_index(objects, shards)?;
     let pq = PreparedQuery::new(query);
     let cfg = FilterConfig::all();
 
     if progressive {
         println!("{:>8} {:>12} {:>12}", "object", "min-dist", "elapsed");
-        let mut stream = ProgressiveNnc::new(&db, &pq, op, &cfg);
+        let mut stream = ProgressiveNnc::new(&*db, &pq, op, &cfg);
         while let Some(c) = stream.next_candidate() {
             println!("{:>8} {:>12.3} {:>10.2?}", c.id, c.min_dist, c.elapsed);
         }
@@ -93,7 +122,11 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         return Ok(());
     }
     if k > 1 {
-        let res = k_nn_candidates(&db, &pq, op, k, &cfg);
+        let res = if scatter {
+            k_nn_candidates_scatter(&*db, &pq, op, k, &cfg, threads)
+        } else {
+            k_nn_candidates(&*db, &pq, op, k, &cfg)
+        };
         println!(
             "{} {}-robust candidates under {}:",
             res.candidates.len(),
@@ -110,7 +143,11 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
             print!("{}", render_profile(fmt, &res.metrics, &res.stats));
         }
     } else {
-        let res = nn_candidates(&db, &pq, op, &cfg);
+        let res = if scatter {
+            nn_candidates_scatter(&*db, &pq, op, &cfg, threads)
+        } else {
+            nn_candidates(&*db, &pq, op, &cfg)
+        };
         println!("{} candidates under {}:", res.candidates.len(), op.label());
         for c in &res.candidates {
             println!("  object {:>6}  min-dist {:>10.3}", c.id, c.min_dist);
@@ -188,6 +225,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
     let data = flags.required("--data")?;
     let query = parse_query_spec(flags.required("--query")?)?;
     let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
+    let shards: usize = flags.parsed_or("--shards", 1)?;
     let matrix = flags.has("--matrix");
     let object = flags.value("--object");
     if object.is_none() && !matrix {
@@ -206,7 +244,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
             dim
         )));
     }
-    let db = Database::try_new(objects).map_err(|e| CliError::Data(e.to_string()))?;
+    let db = build_index(objects, shards)?;
     let pq = PreparedQuery::new(query);
     let cfg = FilterConfig::all();
 
@@ -220,7 +258,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
                 db.len()
             )));
         }
-        let doms = dominators_of(&db, &pq, op, v, &cfg);
+        let doms = dominators_of(&*db, &pq, op, v, &cfg);
         if doms.is_empty() {
             println!(
                 "object {v} is a candidate under {}: no dominators",
@@ -245,7 +283,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
                 db.len()
             )));
         }
-        let m = dominance_matrix(&db, &pq, op, &cfg);
+        let m = dominance_matrix(&*db, &pq, op, &cfg);
         println!(
             "dominance matrix under {} (row dominates column; '#' = dominates):",
             op.label()
@@ -363,12 +401,19 @@ USAGE:
   osd gen   --out data.csv [--dataset anti|indep|gw|nba] [--n N] [--m M]
             [--dim D] [--edge H] [--seed S]
   osd query --data data.csv --query \"x,y;x,y;…\" [--op ssd|sssd|psd|fsd|f+sd]
-            [--k K] [--progressive] [--profile[=json|prom]]
-  osd query --data data.csv --queries queries.txt [--op …] [--threads N]
+            [--k K] [--progressive] [--shards N] [--scatter] [--threads N]
             [--profile[=json|prom]]
+  osd query --data data.csv --queries queries.txt [--op …] [--threads N]
+            [--shards N] [--profile[=json|prom]]
             (one \"x,y;x,y;…\" spec per line; blank lines and # comments skipped)
-  osd explain --data data.csv --query \"x,y;…\" (--object ID | --matrix) [--op …]
+  osd explain --data data.csv --query \"x,y;…\" (--object ID | --matrix)
+            [--op …] [--shards N]
   osd score --data data.csv --query \"x,y;…\" --object ID
+
+`--shards N` space-partitions the store into N STR tiles, each with its own
+global R-tree; candidates are bit-identical to the flat index. `--scatter`
+runs one independent descent per shard (fanned over --threads) instead of
+the merged shared-bound traversal.
 
 `--profile` appends a per-phase timing/counter breakdown (prepare,
 rtree-descent, level-prune, validate, refine) after the results, as JSON
@@ -614,6 +659,65 @@ mod tests {
             "--threads",
             "2",
             "--profile",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qfile).ok();
+    }
+
+    #[test]
+    fn sharded_query_paths_run() {
+        let out = tmp("shards.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "60",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let base = ["--data", &out, "--query", "5000,5000", "--shards", "4"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            flags(&v)
+        };
+        // Merged traversal, scatter-gather, k-robust scatter, progressive.
+        cmd_query(&with(&[])).unwrap();
+        cmd_query(&with(&["--scatter", "--threads", "3"])).unwrap();
+        cmd_query(&with(&["--scatter", "--k", "2"])).unwrap();
+        cmd_query(&with(&["--progressive"])).unwrap();
+        // --progressive and --scatter together is an error.
+        let err = cmd_query(&with(&["--progressive", "--scatter"])).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+        // Batch mode and explain accept --shards too.
+        let qfile = tmp("shards-queries.txt");
+        std::fs::write(&qfile, "5000,5000\n2000,8000\n").unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        cmd_explain(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--object",
+            "3",
+            "--shards",
+            "4",
         ]))
         .unwrap();
         std::fs::remove_file(&out).ok();

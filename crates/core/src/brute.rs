@@ -6,7 +6,7 @@
 
 use crate::config::{FilterConfig, Stats};
 use crate::ctx::CheckCtx;
-use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
@@ -14,7 +14,7 @@ use crate::query::PreparedQuery;
 /// Returns candidate ids in ascending id order plus the accumulated
 /// counters.
 pub fn nn_candidates_bruteforce(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     cfg: &FilterConfig,

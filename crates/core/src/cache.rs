@@ -11,7 +11,9 @@
 //! lookups too — the counters measure cache traffic, not distinct entries.
 
 use crate::config::Stats;
+#[cfg(test)]
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::query::PreparedQuery;
 use osd_geom::{distance_space_row, Mbr, Point};
 use osd_obs::{Counter, QueryMetrics};
@@ -159,7 +161,7 @@ impl DominanceCache {
     /// The full distance distribution `U_Q` of object `id`.
     pub fn dist_q(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
@@ -183,7 +185,7 @@ impl DominanceCache {
     /// instance order.
     pub fn per_q(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
@@ -213,7 +215,7 @@ impl DominanceCache {
     /// min/mean/max of `U_Q`.
     pub fn agg(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
@@ -235,7 +237,7 @@ impl DominanceCache {
     /// min/mean/max of each `U_q`.
     pub fn per_q_agg(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
@@ -262,7 +264,7 @@ impl DominanceCache {
     /// Fixed-point instance masses of object `id` (summing to `SCALE`).
     pub fn quanta(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         id: usize,
         stats: &mut Stats,
         metrics: &mut QueryMetrics,
@@ -286,7 +288,7 @@ impl DominanceCache {
     /// In this space `u ⪯_Q v` is coordinate-wise dominance (§5.1.2).
     pub fn mapped(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,
@@ -328,7 +330,7 @@ impl DominanceCache {
     /// pair it checks).
     pub fn level_snapshot(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         id: usize,
         stats: &mut Stats,
         metrics: &mut QueryMetrics,
@@ -377,7 +379,7 @@ impl DominanceCache {
     /// kernels path stays bit-identical.
     pub fn level_bounds_whole(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         level: usize,
@@ -408,7 +410,7 @@ impl DominanceCache {
     /// 2 comparisons per group per use of one instance's pair.
     pub fn level_bounds_instance(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         level: usize,
@@ -438,7 +440,7 @@ impl DominanceCache {
     /// by a coincident instance (§5.1.2).
     pub fn in_hull_instances(
         &mut self,
-        db: &Database,
+        db: &dyn SpatialIndex,
         query: &PreparedQuery,
         id: usize,
         stats: &mut Stats,

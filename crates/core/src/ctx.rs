@@ -10,7 +10,9 @@
 
 use crate::cache::{AggStats, BoundPair, DominanceCache, LevelSnapshot, MappedInstances};
 use crate::config::{FilterConfig, Stats};
+#[cfg(test)]
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_flow::MaxFlow;
@@ -49,7 +51,7 @@ pub(crate) struct CheckScratch {
 /// worker, which is what makes inter-query parallelism safe without locks.
 pub struct CheckCtx<'a> {
     /// The database both operands live in.
-    pub db: &'a Database,
+    pub db: &'a dyn SpatialIndex,
     /// The prepared query `Q`.
     pub query: &'a PreparedQuery,
     /// The §5.1 filtering switches in effect.
@@ -67,7 +69,7 @@ pub struct CheckCtx<'a> {
 
 impl<'a> CheckCtx<'a> {
     /// Creates a fresh context (empty cache, zeroed counters) for one query.
-    pub fn new(db: &'a Database, query: &'a PreparedQuery, cfg: FilterConfig) -> Self {
+    pub fn new(db: &'a dyn SpatialIndex, query: &'a PreparedQuery, cfg: FilterConfig) -> Self {
         CheckCtx {
             db,
             query,

@@ -11,6 +11,7 @@
 //! reader (or another thread) is a reference-count bump, never a copy of
 //! the coordinates.
 
+use crate::index::{shard_stats_of, IndexStats, SpatialIndex};
 use osd_rtree::{Entry, RTree};
 use osd_uncertain::{InstanceStore, ObjectRef, StoreError, UncertainObject};
 use std::fmt;
@@ -28,6 +29,9 @@ pub enum DbError {
     Empty,
     /// An object disagrees with the database's dimensionality.
     DimensionMismatch {
+        /// Id (input position, or would-be id on insert) of the offending
+        /// object.
+        object: usize,
         /// Dimensionality of the database (set by the first object).
         expected: usize,
         /// Dimensionality of the offending object.
@@ -39,9 +43,14 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Empty => write!(f, "a database needs at least one object"),
-            DbError::DimensionMismatch { expected, found } => write!(
+            DbError::DimensionMismatch {
+                object,
+                expected,
+                found,
+            } => write!(
                 f,
-                "object dimensionality must match the database: expected {expected}, found {found}"
+                "object {object}: dimensionality must match the database: \
+                 expected {expected}, found {found}"
             ),
         }
     }
@@ -49,34 +58,48 @@ impl fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
-impl From<StoreError> for DbError {
-    fn from(e: StoreError) -> Self {
+impl DbError {
+    /// Lifts a columnar-store error, attaching the id of the offending
+    /// object (the store reports *what* went wrong, the database knows
+    /// *which* object tripped it).
+    pub fn from_store(e: StoreError, object: usize) -> Self {
         match e {
             StoreError::Empty => DbError::Empty,
-            StoreError::DimensionMismatch { expected, found } => {
-                DbError::DimensionMismatch { expected, found }
-            }
+            StoreError::DimensionMismatch { expected, found } => DbError::DimensionMismatch {
+                object,
+                expected,
+                found,
+            },
         }
     }
 }
 
-/// A set of multi-instance objects indexed for NN-candidate search.
+/// A set of multi-instance objects indexed for NN-candidate search with
+/// **one** global R-tree — the flat (unsharded) [`SpatialIndex`] layout.
 ///
 /// Instance data is held in an `Arc<InstanceStore>` snapshot; the database
-/// itself only owns the index structures.
+/// itself only owns the index structures. For the space-partitioned
+/// alternative see [`ShardedDatabase`](crate::ShardedDatabase).
 #[derive(Debug)]
-pub struct Database {
+pub struct FlatDatabase {
     store: Arc<InstanceStore>,
     local: Vec<RTree<usize>>,
     global: RTree<usize>,
 }
 
-impl Database {
+/// The historical name of [`FlatDatabase`] — the default database layout.
+pub type Database = FlatDatabase;
+
+impl FlatDatabase {
     /// Indexes `objects` with default fan-outs.
+    ///
+    /// A thin panicking front over [`Database::try_new`] for trusted,
+    /// programmatic data; `#[track_caller]` points the panic at the caller.
     ///
     /// # Panics
     /// Panics if `objects` is empty or dimensionalities are inconsistent.
     /// Use [`Database::try_new`] for untrusted data.
+    #[track_caller]
     pub fn new(objects: Vec<UncertainObject>) -> Self {
         match Self::try_new(objects) {
             Ok(db) => db,
@@ -94,9 +117,13 @@ impl Database {
 
     /// Indexes `objects` with explicit global/local R-tree fan-outs.
     ///
+    /// A thin panicking front over [`Database::try_with_fanouts`];
+    /// `#[track_caller]` points the panic at the caller.
+    ///
     /// # Panics
     /// Panics if `objects` is empty or dimensionalities are inconsistent.
     /// Use [`Database::try_with_fanouts`] for untrusted data.
+    #[track_caller]
     pub fn with_fanouts(
         objects: Vec<UncertainObject>,
         global_fanout: usize,
@@ -117,7 +144,17 @@ impl Database {
         global_fanout: usize,
         local_fanout: usize,
     ) -> Result<Self, DbError> {
-        let store = InstanceStore::from_objects(&objects)?;
+        if objects.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let store = InstanceStore::from_objects(&objects).map_err(|e| {
+            // The store reports the mismatch; find which input tripped it.
+            let object = objects
+                .iter()
+                .position(|o| o.dim() != objects[0].dim())
+                .unwrap_or(0);
+            DbError::from_store(e, object)
+        })?;
         Self::from_store(Arc::new(store), global_fanout, local_fanout)
     }
 
@@ -149,7 +186,7 @@ impl Database {
             })
             .collect();
         let global = RTree::bulk_load(global_fanout, global_entries);
-        Ok(Database {
+        Ok(FlatDatabase {
             store,
             local,
             global,
@@ -163,8 +200,9 @@ impl Database {
     /// is the single place this crate's `clippy::panic` policy is waived to
     /// honour that contract (mirroring `UncertainObject`).
     #[cold]
+    #[track_caller]
     #[allow(clippy::panic)]
-    fn invalid(e: DbError) -> ! {
+    pub(crate) fn invalid(e: DbError) -> ! {
         panic!("{e}")
     }
 
@@ -211,6 +249,7 @@ impl Database {
     /// # Panics
     /// Panics if the object's dimensionality differs from the database's.
     /// Use [`Database::try_insert_object`] for untrusted data.
+    #[track_caller]
     pub fn insert_object(&mut self, object: UncertainObject) -> usize {
         self.insert_object_with_fanout(object, DEFAULT_LOCAL_FANOUT)
     }
@@ -219,6 +258,7 @@ impl Database {
     ///
     /// # Panics
     /// Panics on dimensionality mismatch.
+    #[track_caller]
     pub fn insert_object_with_fanout(
         &mut self,
         object: UncertainObject,
@@ -252,14 +292,18 @@ impl Database {
         object: UncertainObject,
         local_fanout: usize,
     ) -> Result<usize, DbError> {
+        let would_be = self.len();
         if object.dim() != self.dim() {
             return Err(DbError::DimensionMismatch {
+                object: would_be,
                 expected: self.dim(),
                 found: object.dim(),
             });
         }
         let store = Arc::make_mut(&mut self.store);
-        let id = store.push_object(&object)?;
+        let id = store
+            .push_object(&object)
+            .map_err(|e| DbError::from_store(e, would_be))?;
         let view = store.object(id);
         self.local.push(RTree::bulk_load_rows(
             local_fanout,
@@ -268,6 +312,46 @@ impl Database {
         ));
         self.global.insert(view.mbr().clone(), id);
         Ok(id)
+    }
+}
+
+impl SpatialIndex for FlatDatabase {
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn store(&self) -> &Arc<InstanceStore> {
+        &self.store
+    }
+
+    fn object(&self, id: usize) -> ObjectRef<'_> {
+        self.store.object(id)
+    }
+
+    fn local_tree(&self, id: usize) -> &RTree<usize> {
+        &self.local[id]
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_tree(&self, shard: usize) -> &RTree<usize> {
+        assert_eq!(shard, 0, "a flat database has exactly one shard");
+        &self.global
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        let stats = shard_stats_of(self, &self.global);
+        IndexStats {
+            objects: stats.objects,
+            instances: stats.instances,
+            shards: vec![stats],
+        }
     }
 }
 
@@ -325,6 +409,7 @@ mod tests {
         assert_eq!(
             Database::try_new(mixed).unwrap_err(),
             DbError::DimensionMismatch {
+                object: 1,
                 expected: 2,
                 found: 1
             }
@@ -336,10 +421,13 @@ mod tests {
     fn db_error_display_matches_panic_contract() {
         assert!(format!("{}", DbError::Empty).contains("at least one object"));
         let e = DbError::DimensionMismatch {
+            object: 7,
             expected: 2,
             found: 3,
         };
-        assert!(format!("{e}").contains("dimensionality must match"));
+        let msg = format!("{e}");
+        assert!(msg.contains("dimensionality must match"));
+        assert!(msg.contains("object 7"), "{msg}");
     }
 
     #[test]

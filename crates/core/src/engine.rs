@@ -15,6 +15,7 @@
 
 use crate::config::{FilterConfig, Stats};
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::nnc::{nn_candidates, NncResult};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
@@ -25,24 +26,24 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// configuration are fixed at construction, queries are supplied per call.
 #[derive(Clone, Copy)]
 pub struct QueryEngine<'a> {
-    db: &'a Database,
+    db: &'a dyn SpatialIndex,
     op: Operator,
     cfg: FilterConfig,
 }
 
 impl<'a> QueryEngine<'a> {
     /// Creates an engine with the default (full) filter configuration.
-    pub fn new(db: &'a Database, op: Operator) -> Self {
+    pub fn new(db: &'a dyn SpatialIndex, op: Operator) -> Self {
         Self::with_config(db, op, FilterConfig::all())
     }
 
     /// Creates an engine with an explicit filter configuration.
-    pub fn with_config(db: &'a Database, op: Operator, cfg: FilterConfig) -> Self {
+    pub fn with_config(db: &'a dyn SpatialIndex, op: Operator, cfg: FilterConfig) -> Self {
         QueryEngine { db, op, cfg }
     }
 
     /// The database this engine serves.
-    pub fn db(&self) -> &'a Database {
+    pub fn db(&self) -> &'a dyn SpatialIndex {
         self.db
     }
 
@@ -61,6 +62,16 @@ impl<'a> QueryEngine<'a> {
     /// configuration.
     pub fn run(&self, query: &PreparedQuery) -> NncResult {
         nn_candidates(self.db, query, self.op, &self.cfg)
+    }
+
+    /// Runs one NNC query scatter-gather over a sharded index: each shard
+    /// is searched independently across up to `threads` scoped workers and
+    /// the union is re-filtered sequentially — same candidates as
+    /// [`QueryEngine::run`], different traversal counters (see
+    /// [`nn_candidates_scatter`](crate::nn_candidates_scatter)). On a
+    /// one-shard index this is exactly [`QueryEngine::run`].
+    pub fn run_scatter(&self, query: &PreparedQuery, threads: usize) -> NncResult {
+        crate::nnc::nn_candidates_scatter(self.db, query, self.op, &self.cfg, threads)
     }
 
     /// Runs a batch of queries across up to `threads` worker threads and
@@ -143,6 +154,8 @@ pub fn batch_metrics(results: &[NncResult]) -> QueryMetrics {
 /// types fails compilation here rather than at a distant spawn site.
 const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = assert_send_sync::<Database>();
+const _: () = assert_send_sync::<crate::ShardedDatabase>();
+const _: () = assert_send_sync::<crate::ShardSlice<'static>>();
 const _: () = assert_send_sync::<PreparedQuery>();
 const _: () = assert_send_sync::<crate::DominanceCache>();
 const _: () = assert_send_sync::<NncResult>();

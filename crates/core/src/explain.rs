@@ -6,13 +6,15 @@
 
 use crate::config::FilterConfig;
 use crate::ctx::CheckCtx;
+#[cfg(test)]
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
 /// All objects that dominate `v` under `op` (empty iff `v` is a candidate).
 pub fn dominators_of(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     v: usize,
@@ -28,7 +30,7 @@ pub fn dominators_of(
 /// Quadratic — intended for analysis of small candidate sets, not full
 /// databases.
 pub fn dominance_matrix(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     cfg: &FilterConfig,

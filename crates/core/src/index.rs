@@ -1,0 +1,250 @@
+//! The [`SpatialIndex`] trait: what the dominance search needs from a
+//! database, abstracted over its physical layout.
+//!
+//! Two implementations exist:
+//!
+//! * [`FlatDatabase`](crate::FlatDatabase) — one global R-tree over every
+//!   object MBR (the §6 layout; the default);
+//! * [`ShardedDatabase`](crate::ShardedDatabase) — the columnar store is
+//!   space-partitioned into STR tiles, each tile owning its own global
+//!   R-tree over a contiguous span of the (permuted) store.
+//!
+//! The search algorithms ([`nn_candidates`](crate::nn_candidates),
+//! [`k_nn_candidates`](crate::k_nn_candidates), the caches and the check
+//! contexts) take `&dyn SpatialIndex` and are oblivious to the layout:
+//! a sharded index simply exposes *several* global trees
+//! ([`SpatialIndex::shard_tree`]), and the best-first traversal seeds its
+//! heap with all shard roots — the cross-shard candidate pruning then *is*
+//! the shared lower-bound trick of `min_dist2_multi`, lifted one level up.
+//!
+//! Everything else — object ids, local instance trees, the columnar
+//! snapshot — is layout-independent: ids address the same logical objects
+//! in every implementation, which is what makes flat and sharded results
+//! bit-identical (see `tests/shard_identity.rs`).
+
+use osd_geom::Point;
+use osd_rtree::RTree;
+use osd_uncertain::{InstanceStore, ObjectRef};
+use std::sync::Arc;
+
+/// Per-shard size statistics (one entry per shard; a flat database reports
+/// exactly one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Objects indexed by this shard's global tree.
+    pub objects: usize,
+    /// Instances owned by those objects.
+    pub instances: usize,
+    /// Nodes (leaves + inner) of the shard's global R-tree — an upper bound
+    /// on the node visits any single descent of that tree can charge.
+    pub tree_nodes: usize,
+    /// Height of the shard's global R-tree (`None` when empty).
+    pub tree_height: Option<usize>,
+    /// Approximate bytes of columnar instance data owned by the shard
+    /// (coords + probs + spans + MBRs; excludes the R-trees).
+    pub approx_bytes: usize,
+}
+
+/// Size statistics of a whole index, per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Total objects.
+    pub objects: usize,
+    /// Total instances.
+    pub instances: usize,
+    /// One entry per shard.
+    pub shards: Vec<ShardStats>,
+}
+
+/// What the NN-candidate search needs from a database, independent of its
+/// physical layout (one global R-tree, or many shard trees over a
+/// space-partitioned store).
+///
+/// Object ids are *logical* and layout-independent: `object(id)` denotes
+/// the same object in every implementation over the same data, so result
+/// sets (candidate ids, distances, emission order) are comparable — and,
+/// by the frozen-counter contract, bit-identical — across layouts.
+pub trait SpatialIndex: Send + Sync {
+    /// Number of objects.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no objects (never true for the concrete
+    /// databases, which are non-empty by construction).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the instance space.
+    fn dim(&self) -> usize;
+
+    /// The columnar instance snapshot behind the index. Cloning the `Arc`
+    /// shares the allocation with zero copies.
+    fn store(&self) -> &Arc<InstanceStore>;
+
+    /// Zero-copy view of object `id`.
+    fn object(&self, id: usize) -> ObjectRef<'_>;
+
+    /// Local R-tree over the instances of object `id` (payload = instance
+    /// index *within the object*).
+    fn local_tree(&self, id: usize) -> &RTree<usize>;
+
+    /// Number of global-tree shards (1 for a flat database).
+    fn shard_count(&self) -> usize;
+
+    /// Global R-tree of shard `shard` (payload = logical object id).
+    fn shard_tree(&self, shard: usize) -> &RTree<usize>;
+
+    /// Smallest squared distance from any of `probes` to any instance of
+    /// object `id`, best-first over the local tree with a bound shared
+    /// across probes; `visits` is charged one per expanded tree node.
+    fn min_dist2_multi(&self, id: usize, probes: &[Point], visits: &mut u64) -> Option<f64> {
+        self.local_tree(id).min_dist2_multi(probes, visits)
+    }
+
+    /// Per-shard size statistics.
+    fn index_stats(&self) -> IndexStats;
+}
+
+/// Computes the [`ShardStats`] of one global tree over the objects it
+/// indexes (shared by both concrete databases).
+pub(crate) fn shard_stats_of(index: &dyn SpatialIndex, tree: &RTree<usize>) -> ShardStats {
+    let mut instances = 0;
+    let mut approx_bytes = 0;
+    for &id in tree.items() {
+        let view = index.object(id);
+        instances += view.len();
+        approx_bytes += view.approx_bytes();
+    }
+    ShardStats {
+        objects: tree.len(),
+        instances,
+        tree_nodes: tree.node_count(),
+        tree_height: tree.height(),
+        approx_bytes,
+    }
+}
+
+/// A single shard of a sharded index, viewed *as* a [`SpatialIndex`] — the
+/// adapter behind the scatter execution path: each worker runs the full
+/// sequential search against one `ShardSlice` and the union is merged.
+///
+/// The slice deliberately reports the **whole** index's `len()` and serves
+/// every object id: ids stay logical (per-query caches size to the full
+/// database and shard-local results speak the global id space, so the
+/// gather step can merge them without translation). Only the *global-tree
+/// view* is narrowed — `shard_count()` is 1 and `shard_tree(0)` is the
+/// base's tree for this shard, so a search over the slice visits exactly
+/// this shard's objects.
+#[derive(Clone, Copy)]
+pub struct ShardSlice<'a> {
+    base: &'a dyn SpatialIndex,
+    shard: usize,
+}
+
+impl<'a> ShardSlice<'a> {
+    /// Views shard `shard` of `base` as a one-shard index.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn new(base: &'a dyn SpatialIndex, shard: usize) -> Self {
+        assert!(
+            shard < base.shard_count(),
+            "shard {shard} out of range (index has {})",
+            base.shard_count()
+        );
+        ShardSlice { base, shard }
+    }
+}
+
+impl SpatialIndex for ShardSlice<'_> {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn store(&self) -> &Arc<InstanceStore> {
+        self.base.store()
+    }
+
+    fn object(&self, id: usize) -> ObjectRef<'_> {
+        self.base.object(id)
+    }
+
+    fn local_tree(&self, id: usize) -> &RTree<usize> {
+        self.base.local_tree(id)
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn shard_tree(&self, shard: usize) -> &RTree<usize> {
+        assert_eq!(shard, 0, "a shard slice has exactly one shard");
+        self.base.shard_tree(self.shard)
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        let stats = shard_stats_of(self, self.base.shard_tree(self.shard));
+        IndexStats {
+            objects: stats.objects,
+            instances: stats.instances,
+            shards: vec![stats],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use osd_uncertain::UncertainObject;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    #[test]
+    fn flat_database_is_a_one_shard_index() {
+        let db = Database::new(vec![
+            obj(&[(0.0, 0.0), (1.0, 1.0)]),
+            obj(&[(5.0, 5.0), (6.0, 6.0), (7.0, 5.0)]),
+        ]);
+        let index: &dyn SpatialIndex = &db;
+        assert_eq!(index.shard_count(), 1);
+        assert_eq!(index.shard_tree(0).len(), 2);
+        let stats = index.index_stats();
+        assert_eq!(stats.objects, 2);
+        assert_eq!(stats.instances, 5);
+        assert_eq!(stats.shards.len(), 1);
+        assert_eq!(stats.shards[0].objects, 2);
+        assert_eq!(stats.shards[0].instances, 5);
+        assert!(stats.shards[0].tree_nodes >= 1);
+        assert!(stats.shards[0].approx_bytes > 0);
+    }
+
+    #[test]
+    fn shard_slice_narrows_only_the_tree_view() {
+        let db = Database::new(vec![
+            obj(&[(0.0, 0.0)]),
+            obj(&[(9.0, 9.0)]),
+            obj(&[(4.0, 4.0)]),
+        ]);
+        let slice = ShardSlice::new(&db, 0);
+        // Ids stay logical: every object is addressable through the slice.
+        assert_eq!(slice.len(), 3);
+        assert_eq!(slice.object(2).row(0), &[4.0, 4.0]);
+        assert_eq!(slice.shard_count(), 1);
+        assert_eq!(slice.shard_tree(0).len(), 3);
+        assert!(Arc::ptr_eq(slice.store(), db.store()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_slice_rejects_bad_shard() {
+        let db = Database::new(vec![obj(&[(0.0, 0.0)])]);
+        let _ = ShardSlice::new(&db, 1);
+    }
+}

@@ -17,6 +17,7 @@
 use crate::config::FilterConfig;
 use crate::ctx::CheckCtx;
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 
@@ -24,7 +25,7 @@ use crate::query::PreparedQuery;
 /// of `db`: whenever `u` dominates `v` and `v` dominates `w`, `u` must
 /// dominate `w`. Returns the first violating triple as `(u, v, w)`.
 pub fn transitivity_spot_check(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     cfg: &FilterConfig,
@@ -60,7 +61,7 @@ pub fn transitivity_spot_check(
 /// every pair with identical distance distributions, neither direction may
 /// dominate under the strict operators. Returns the first violating pair.
 pub fn irreflexivity_spot_check(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     cfg: &FilterConfig,

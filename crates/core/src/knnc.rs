@@ -15,7 +15,9 @@
 
 use crate::config::{FilterConfig, Stats};
 use crate::ctx::CheckCtx;
+#[cfg(test)]
 use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::nnc::Candidate;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
@@ -46,7 +48,8 @@ impl KnncResult {
 }
 
 enum Slot<'a> {
-    Node(&'a Node<usize>),
+    /// A tree node tagged with its source shard (0 on a flat database).
+    Node(&'a Node<usize>, usize),
     Object(usize),
 }
 
@@ -55,11 +58,22 @@ struct HeapItem<'a> {
     slot: Slot<'a>,
 }
 
+impl HeapItem<'_> {
+    /// Tie-break rank at equal keys: nodes before objects, then lower
+    /// object id (same contract — and rationale — as the NNC heap).
+    fn rank(&self) -> (u8, usize) {
+        match self.slot {
+            Slot::Node(..) => (0, 0),
+            Slot::Object(id) => (1, id),
+        }
+    }
+}
+
 impl PartialEq for HeapItem<'_> {
     fn eq(&self, other: &Self) -> bool {
-        // Total-order equality, so `==` agrees with `Ord::cmp` below even
+        // Defined via `Ord::cmp` so `==` agrees with the total order even
         // for NaN/±0.0 keys.
-        self.key.total_cmp(&other.key).is_eq()
+        self.cmp(other).is_eq()
     }
 }
 impl Eq for HeapItem<'_> {}
@@ -70,7 +84,10 @@ impl PartialOrd for HeapItem<'_> {
 }
 impl Ord for HeapItem<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.key.total_cmp(&self.key)
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.rank().cmp(&self.rank()))
     }
 }
 
@@ -97,7 +114,7 @@ impl Ord for HeapItem<'_> {
 /// # Panics
 /// Panics if `k == 0`.
 pub fn k_nn_candidates(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     k: usize,
@@ -111,11 +128,15 @@ pub fn k_nn_candidates(
     let mut kept_mbrs: Vec<osd_geom::Mbr> = Vec::new();
 
     let mut heap = BinaryHeap::new();
-    if let Some(root) = db.global_tree().root() {
-        heap.push(HeapItem {
-            key: root.mbr().min_dist2(query.mbr()),
-            slot: Slot::Node(root),
-        });
+    // Seed every shard root — one best-first descent of the whole forest
+    // (see `ProgressiveNnc::new` for the shared-bound rationale).
+    for shard in 0..db.shard_count() {
+        if let Some(root) = db.shard_tree(shard).root() {
+            heap.push(HeapItem {
+                key: root.mbr().min_dist2(query.mbr()),
+                slot: Slot::Node(root, shard),
+            });
+        }
     }
     let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
     ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
@@ -149,12 +170,14 @@ pub fn k_nn_candidates(
                     ctx.metrics.candidate_emitted(op.label());
                 }
             }
-            Slot::Node(node) => {
+            Slot::Node(node, shard) => {
                 let timer = PhaseTimer::start(Phase::RtreeDescent);
                 ctx.stats.rtree_nodes_visited += 1;
                 ctx.metrics.incr(Counter::RtreeNodeVisits);
+                ctx.metrics.shard_visit(shard);
                 if !entry_pruned(&mut ctx, &kept_mbrs, k, strict, &node.mbr()) {
                     let depth_before = heap.len();
+                    // per-shard descent: begin
                     match node {
                         Node::Leaf(entries) => {
                             for e in entries {
@@ -172,12 +195,13 @@ pub fn k_nn_candidates(
                                 if !entry_pruned(&mut ctx, &kept_mbrs, k, strict, &c.mbr) {
                                     heap.push(HeapItem {
                                         key: c.mbr.min_dist2(query.mbr()),
-                                        slot: Slot::Node(&c.node),
+                                        slot: Slot::Node(&c.node, shard),
                                     });
                                 }
                             }
                         }
                     }
+                    // per-shard descent: end
                     let pushed = (heap.len() - depth_before) as u64;
                     ctx.metrics.incr_by(Counter::HeapPushes, pushed);
                     ctx.metrics.heap_depth(heap.len() as u64);
@@ -193,9 +217,77 @@ pub fn k_nn_candidates(
     }
 }
 
+/// Scatter-gather k-NNC over a sharded index: each shard runs the full
+/// k-skyband search independently (up to `threads` scoped workers), then a
+/// sequential gather re-filters the union in `(δ_min, id)` order,
+/// recounting dominators among the globally kept candidates.
+///
+/// Identical candidate set (ids, `min_dist` bits, order, dominator counts)
+/// to [`k_nn_candidates`] over the same index: a union candidate with ≥ k
+/// same-shard kept dominators would — by the distributed k-skyband
+/// argument — also have ≥ k globally kept dominators, so per-shard
+/// exclusion never removes a global candidate; the gather recount then
+/// applies exactly the merged traversal's keep test. Traversal counters
+/// differ (no shared prune bound across the independent descents).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn k_nn_candidates_scatter(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    k: usize,
+    cfg: &FilterConfig,
+    threads: usize,
+) -> KnncResult {
+    assert!(k >= 1, "k must be at least 1");
+    let shards = db.shard_count();
+    if shards <= 1 {
+        return k_nn_candidates(db, query, op, k, cfg);
+    }
+    let parts = crate::nnc::scatter_over_shards(db, threads, |shard| {
+        k_nn_candidates(&crate::index::ShardSlice::new(db, shard), query, op, k, cfg)
+    });
+    let mut union: Vec<Candidate> = parts
+        .iter()
+        .flat_map(|r| r.candidates.iter().map(|(c, _)| c.clone()))
+        .collect();
+    union.sort_by(|a, b| a.min_dist.total_cmp(&b.min_dist).then(a.id.cmp(&b.id)));
+    let mut ctx = CheckCtx::new(db, query, *cfg);
+    let mut kept: Vec<(Candidate, usize)> = Vec::with_capacity(union.len());
+    for c in union {
+        let mut dominators = 0usize;
+        for (kc, _) in &kept {
+            if ctx.dominates(op, kc.id, c.id) {
+                dominators += 1;
+                if dominators >= k {
+                    break;
+                }
+            }
+        }
+        if dominators < k {
+            ctx.metrics.candidate_emitted(op.label());
+            kept.push((c, dominators));
+        }
+    }
+    let mut stats = Stats::default();
+    let mut metrics = QueryMetrics::new();
+    for r in &parts {
+        stats.merge(&r.stats);
+        metrics.merge(&r.metrics);
+    }
+    stats.merge(&ctx.stats);
+    metrics.merge(&ctx.metrics);
+    KnncResult {
+        candidates: kept,
+        stats,
+        metrics,
+    }
+}
+
 /// Brute-force oracle: objects dominated by fewer than `k` others.
 pub fn k_nn_candidates_bruteforce(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     k: usize,
@@ -246,7 +338,12 @@ fn entry_pruned(
 
 /// Exact squared `δ_min(V, Q)` — same kernel/scalar split (and the same
 /// bit-identity argument) as [`crate::nnc::ProgressiveNnc`]'s helper.
-fn object_min_dist2(db: &Database, query: &PreparedQuery, v: usize, ctx: &mut CheckCtx<'_>) -> f64 {
+fn object_min_dist2(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    v: usize,
+    ctx: &mut CheckCtx<'_>,
+) -> f64 {
     let tree = db.local_tree(v);
     let mut best = f64::INFINITY;
     let mut visits = 0u64;
@@ -360,6 +457,22 @@ mod tests {
                 "NNC_k must grow with k"
             );
             prev = ids;
+        }
+    }
+
+    #[test]
+    fn scatter_on_flat_database_matches_merged() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        for k in [1usize, 2, 4] {
+            let merged = k_nn_candidates(&db, &q, Operator::SSd, k, &FilterConfig::all());
+            let scattered =
+                k_nn_candidates_scatter(&db, &q, Operator::SSd, k, &FilterConfig::all(), 4);
+            assert_eq!(merged.ids(), scattered.ids(), "k = {k}");
+            assert_eq!(
+                merged.stats, scattered.stats,
+                "k = {k} (one shard: same path)"
+            );
         }
     }
 

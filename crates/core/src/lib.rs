@@ -26,8 +26,13 @@
 //!
 //! ## Structure
 //!
-//! * [`Database`] — objects indexed by a global R-tree plus per-object
-//!   local R-trees (§6's n+1-tree layout);
+//! * [`SpatialIndex`] — what the search needs from a database, abstracted
+//!   over its physical layout;
+//! * [`Database`] / [`FlatDatabase`] — objects indexed by a global R-tree
+//!   plus per-object local R-trees (§6's n+1-tree layout);
+//! * [`ShardedDatabase`] — the store space-partitioned into STR tiles,
+//!   one global R-tree per tile, searched scatter-gather with a shared
+//!   prune bound;
 //! * [`PreparedQuery`] — the query with its convex hull cached;
 //! * [`Operator`] / [`dominates`] — the five dominance checks with the
 //!   §5.1 filtering techniques, switchable via [`FilterConfig`];
@@ -53,25 +58,29 @@ pub mod ctx;
 pub mod db;
 pub mod engine;
 pub mod explain;
+pub mod index;
 #[cfg(feature = "strict-invariants")]
 pub mod invariants;
 pub mod knnc;
 pub mod nnc;
 pub mod ops;
 pub mod query;
+pub mod sharded;
 
 pub use brute::nn_candidates_bruteforce;
 pub use cache::DominanceCache;
 pub use config::{FilterConfig, Stats};
 pub use ctx::CheckCtx;
-pub use db::{Database, DbError};
+pub use db::{Database, DbError, FlatDatabase};
 pub use engine::{batch_metrics, batch_stats, QueryEngine};
 pub use explain::{dominance_matrix, dominators_of};
-pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, KnncResult};
-pub use nnc::{nn_candidates, Candidate, NncResult, ProgressiveNnc};
+pub use index::{IndexStats, ShardSlice, ShardStats, SpatialIndex};
+pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, k_nn_candidates_scatter, KnncResult};
+pub use nnc::{nn_candidates, nn_candidates_scatter, Candidate, NncResult, ProgressiveNnc};
 pub use ops::{
     dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate,
     ss_sd, Operator,
 };
 pub use osd_obs::QueryMetrics;
 pub use query::PreparedQuery;
+pub use sharded::{ShardConfig, ShardedDatabase};

@@ -17,7 +17,9 @@
 
 use crate::config::{FilterConfig, Stats};
 use crate::ctx::CheckCtx;
+#[cfg(test)]
 use crate::db::Database;
+use crate::index::{ShardSlice, SpatialIndex};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr};
@@ -61,7 +63,9 @@ impl NncResult {
 }
 
 enum Slot<'a> {
-    Node(&'a Node<usize>),
+    /// A tree node, tagged with the shard whose global tree it came from
+    /// (always 0 on a flat database) for per-shard attribution.
+    Node(&'a Node<usize>, usize),
     Object(usize),
 }
 
@@ -70,12 +74,26 @@ struct HeapItem<'a> {
     slot: Slot<'a>,
 }
 
+impl HeapItem<'_> {
+    /// Tie-break rank at equal keys: nodes before objects, then lower
+    /// object id. Nodes-first guarantees every tied-key object is heaped
+    /// before the first tied-key object pops, and the id order then fixes
+    /// the emission sequence — which is what makes flat and sharded
+    /// traversals emit identically even when keys collide.
+    fn rank(&self) -> (u8, usize) {
+        match self.slot {
+            Slot::Node(..) => (0, 0),
+            Slot::Object(id) => (1, id),
+        }
+    }
+}
+
 impl PartialEq for HeapItem<'_> {
     fn eq(&self, other: &Self) -> bool {
-        // Total-order equality, so `==` agrees with `Ord::cmp` below even
+        // Defined via `Ord::cmp` so `==` agrees with the total order even
         // for NaN/±0.0 keys (the `Eq` impl requires the two to be
         // consistent).
-        self.key.total_cmp(&other.key).is_eq()
+        self.cmp(other).is_eq()
     }
 }
 impl Eq for HeapItem<'_> {}
@@ -86,14 +104,17 @@ impl PartialOrd for HeapItem<'_> {
 }
 impl Ord for HeapItem<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.key.total_cmp(&self.key) // min-heap
+        other
+            .key
+            .total_cmp(&self.key) // min-heap: smaller key pops first
+            .then_with(|| other.rank().cmp(&self.rank()))
     }
 }
 
 /// Computes the NN candidates of `query` over `db` under the dominance
 /// operator `op` (Algorithm 1).
 pub fn nn_candidates(
-    db: &Database,
+    db: &dyn SpatialIndex,
     query: &PreparedQuery,
     op: Operator,
     cfg: &FilterConfig,
@@ -101,6 +122,117 @@ pub fn nn_candidates(
     let mut progressive = ProgressiveNnc::new(db, query, op, cfg);
     while progressive.next_candidate().is_some() {}
     progressive.into_result()
+}
+
+/// Scatter-gather NNC over a sharded index: each shard is searched
+/// independently (fanned out over up to `threads` scoped worker threads),
+/// then the per-shard candidate sets are merged by a sequential gather
+/// pass that re-filters the union in `(δ_min, id)` order.
+///
+/// The candidate set — ids, `min_dist` bits and order — is identical to
+/// [`nn_candidates`] over the same index: a union candidate survives the
+/// gather filter exactly when no globally kept candidate dominates it,
+/// which by transitivity of the dominance operators is the same test the
+/// merged traversal applies at emission. Traversal *counters* differ — the
+/// per-shard descents don't share a prune bound, which is precisely the
+/// overhead the merged traversal avoids (measured by `repro scale`).
+///
+/// On a one-shard index this is exactly [`nn_candidates`].
+pub fn nn_candidates_scatter(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+    threads: usize,
+) -> NncResult {
+    let shards = db.shard_count();
+    if shards <= 1 {
+        return nn_candidates(db, query, op, cfg);
+    }
+    let parts = scatter_over_shards(db, threads, |shard| {
+        nn_candidates(&ShardSlice::new(db, shard), query, op, cfg)
+    });
+    // Gather: sort the union by (δ_min, id) — the merged traversal's
+    // emission order — and keep exactly the candidates no kept
+    // predecessor dominates.
+    let mut union: Vec<Candidate> = parts
+        .iter()
+        .flat_map(|r| r.candidates.iter().cloned())
+        .collect();
+    union.sort_by(|a, b| a.min_dist.total_cmp(&b.min_dist).then(a.id.cmp(&b.id)));
+    let mut ctx = CheckCtx::new(db, query, *cfg);
+    let mut kept: Vec<Candidate> = Vec::with_capacity(union.len());
+    for c in union {
+        let mut dominated = false;
+        for k in &kept {
+            if ctx.dominates(op, k.id, c.id) {
+                dominated = true;
+                break;
+            }
+        }
+        if !dominated {
+            ctx.metrics.candidate_emitted(op.label());
+            kept.push(c);
+        }
+    }
+    let mut stats = Stats::default();
+    let mut metrics = QueryMetrics::new();
+    let mut objects_checked = 0;
+    for r in &parts {
+        stats.merge(&r.stats);
+        metrics.merge(&r.metrics);
+        objects_checked += r.objects_checked;
+    }
+    stats.merge(&ctx.stats);
+    metrics.merge(&ctx.metrics);
+    NncResult {
+        candidates: kept,
+        stats,
+        objects_checked,
+        metrics,
+    }
+}
+
+/// Runs `work` for every shard id, fanned out over up to `threads` scoped
+/// worker threads (dynamic claiming, results in shard order). With one
+/// worker the loop runs inline on the caller's thread.
+pub(crate) fn scatter_over_shards<R: Send>(
+    db: &dyn SpatialIndex,
+    threads: usize,
+    work: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let shards = db.shard_count();
+    let workers = threads.max(1).min(shards.max(1));
+    if workers <= 1 {
+        return (0..shards).map(work).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= shards {
+                            break;
+                        }
+                        claimed.push((i, work(i)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// A resumable Algorithm-1 traversal that emits candidates one at a time —
@@ -124,7 +256,7 @@ pub struct ProgressiveNnc<'a> {
 impl<'a> ProgressiveNnc<'a> {
     /// Starts a traversal.
     pub fn new(
-        db: &'a Database,
+        db: &'a dyn SpatialIndex,
         query: &'a PreparedQuery,
         op: Operator,
         cfg: &FilterConfig,
@@ -132,11 +264,17 @@ impl<'a> ProgressiveNnc<'a> {
         let timer = PhaseTimer::start(Phase::Prepare);
         let mut ctx = CheckCtx::new(db, query, *cfg);
         let mut heap = BinaryHeap::new();
-        if let Some(root) = db.global_tree().root() {
-            heap.push(HeapItem {
-                key: root.mbr().min_dist2(query.mbr()),
-                slot: Slot::Node(root),
-            });
+        // Seed every shard root (a flat database has exactly one): the
+        // traversal is then one best-first descent of the whole forest,
+        // and cross-shard candidate pruning acts as a prune bound shared
+        // by all shards — the `min_dist2_multi` trick, one level up.
+        for shard in 0..db.shard_count() {
+            if let Some(root) = db.shard_tree(shard).root() {
+                heap.push(HeapItem {
+                    key: root.mbr().min_dist2(query.mbr()),
+                    slot: Slot::Node(root, shard),
+                });
+            }
         }
         ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
         ctx.metrics.heap_depth(heap.len() as u64);
@@ -203,12 +341,14 @@ impl<'a> ProgressiveNnc<'a> {
                         return Some(c);
                     }
                 }
-                Slot::Node(node) => {
+                Slot::Node(node, shard) => {
                     let timer = PhaseTimer::start(Phase::RtreeDescent);
                     self.ctx.stats.rtree_nodes_visited += 1;
                     self.ctx.metrics.incr(Counter::RtreeNodeVisits);
+                    self.ctx.metrics.shard_visit(shard);
                     if !self.entry_pruned(&node.mbr()) {
                         let depth_before = self.heap.len();
+                        // per-shard descent: begin
                         match node {
                             Node::Leaf(entries) => {
                                 for e in entries {
@@ -231,12 +371,13 @@ impl<'a> ProgressiveNnc<'a> {
                                     if !self.entry_pruned(&c.mbr) {
                                         self.heap.push(HeapItem {
                                             key: c.mbr.min_dist2(self.ctx.query.mbr()),
-                                            slot: Slot::Node(&c.node),
+                                            slot: Slot::Node(&c.node, shard),
                                         });
                                     }
                                 }
                             }
                         }
+                        // per-shard descent: end
                         let pushed = (self.heap.len() - depth_before) as u64;
                         self.ctx.metrics.incr_by(Counter::HeapPushes, pushed);
                         self.ctx.metrics.heap_depth(self.heap.len() as u64);
@@ -379,6 +520,7 @@ mod tests {
 
     #[test]
     fn heap_item_eq_agrees_with_ord_on_special_floats() {
+        // Identical NaN keys: the id tie-break decides, and Eq agrees.
         let a = HeapItem {
             key: f64::NAN,
             slot: Slot::Object(0),
@@ -387,20 +529,59 @@ mod tests {
             key: f64::NAN,
             slot: Slot::Object(1),
         };
-        assert_eq!(a.cmp(&b), Ordering::Equal);
-        assert!(a == b, "Eq must agree with Ord for identical NaN keys");
+        // `a` is greater in the reversed (min-heap) order: lower id pops
+        // first among equal keys.
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+        let same = HeapItem {
+            key: f64::NAN,
+            slot: Slot::Object(0),
+        };
+        assert_eq!(a.cmp(&same), Ordering::Equal);
+        assert!(a == same, "Eq must agree with Ord for identical items");
         let z_pos = HeapItem {
             key: 0.0,
-            slot: Slot::Object(0),
+            slot: Slot::Object(2),
         };
         let z_neg = HeapItem {
             key: -0.0,
-            slot: Slot::Object(1),
+            slot: Slot::Object(2),
         };
         assert_eq!(
             z_pos == z_neg,
             z_pos.cmp(&z_neg) == Ordering::Equal,
             "±0.0 equality must match the total order"
         );
+    }
+
+    #[test]
+    fn nodes_pop_before_objects_at_equal_keys() {
+        let db = line_db();
+        let root = db.global_tree().root().unwrap();
+        let node = HeapItem {
+            key: 1.0,
+            slot: Slot::Node(root, 0),
+        };
+        let object = HeapItem {
+            key: 1.0,
+            slot: Slot::Object(0),
+        };
+        // Greater pops first from `BinaryHeap`.
+        assert_eq!(node.cmp(&object), Ordering::Greater);
+    }
+
+    #[test]
+    fn scatter_on_flat_database_matches_merged() {
+        let db = line_db();
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        for op in Operator::ALL {
+            let merged = nn_candidates(&db, &q, op, &FilterConfig::all());
+            let scattered = nn_candidates_scatter(&db, &q, op, &FilterConfig::all(), 4);
+            assert_eq!(merged.ids(), scattered.ids(), "{op:?}");
+            assert_eq!(
+                merged.stats, scattered.stats,
+                "{op:?} (one shard: same path)"
+            );
+        }
     }
 }

@@ -23,7 +23,7 @@
 
 use crate::config::Stats;
 use crate::ctx::CheckCtx;
-use crate::db::Database;
+use crate::index::SpatialIndex;
 use crate::query::PreparedQuery;
 use osd_geom::Mbr;
 use osd_obs::{Phase, PhaseTimer};
@@ -193,7 +193,7 @@ fn try_decide_snapshot(
     None
 }
 
-fn group_masses(db: &Database, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<f64> {
+fn group_masses(db: &dyn SpatialIndex, id: usize, groups: &[(Mbr, Vec<&usize>)]) -> Vec<f64> {
     let obj = db.object(id);
     groups
         .iter()

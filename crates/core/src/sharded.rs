@@ -1,0 +1,497 @@
+//! [`ShardedDatabase`]: the columnar store space-partitioned into STR
+//! tiles, each tile owning its own global R-tree over a contiguous span.
+//!
+//! The flat layout keeps one global R-tree over every object MBR. At
+//! million-object scale that tree's upper levels become a serial
+//! bottleneck and the columnar store a single cache-hostile span. The
+//! sharded layout instead
+//!
+//! 1. runs the Sort-Tile-Recursive slicing of the bulk loader **once at
+//!    the object-MBR level** ([`osd_rtree::str_partition`]) to cut the
+//!    object set into `shards` spatially coherent tiles,
+//! 2. **permutes the columnar store shard-major** so each tile owns a
+//!    contiguous sub-span of the coordinate/probability columns (readers
+//!    of one shard touch one contiguous memory range), and
+//! 3. bulk-loads one **global R-tree per tile** whose payloads are the
+//!    *logical* (pre-permutation) object ids.
+//!
+//! Object ids stay logical everywhere: `object(id)` resolves through the
+//! `slot` map to the permuted row, and shard-tree payloads carry logical
+//! ids, so NNC results are directly comparable with — and bit-identical
+//! to — the flat layout's (`tests/shard_identity.rs`).
+//!
+//! **One-shard degeneracy.** With `shards <= 1` the STR partition returns
+//! the identity order; the builder detects any identity permutation and
+//! reuses the base `Arc<InstanceStore>` without copying, and the single
+//! shard tree is bulk-loaded exactly like the flat global tree — one
+//! shard is the flat database, bit for bit.
+//!
+//! **Inserts after sharding.** [`ShardedDatabase::try_insert_object`]
+//! appends to the store (copy-on-write) and routes the new object to the
+//! shard whose tree MBR needs the least volume enlargement (ties: smaller
+//! volume, then lower shard id) — classic R-tree subtree choice, lifted to
+//! shard granularity. The contiguous-span property describes the initial
+//! bulk build only; inserted rows live at the store's tail.
+
+use crate::db::{DbError, DEFAULT_GLOBAL_FANOUT, DEFAULT_LOCAL_FANOUT};
+use crate::index::{shard_stats_of, IndexStats, SpatialIndex};
+use osd_geom::Mbr;
+use osd_rtree::{str_partition, Entry, RTree};
+use osd_uncertain::{InstanceStore, ObjectRef, UncertainObject};
+use std::sync::Arc;
+
+/// Layout parameters of a [`ShardedDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Requested number of STR tiles. The slicing may produce a few more
+    /// groups than requested (slab rounding); `shard_count()` reports the
+    /// actual number. `0` and `1` both mean unsharded.
+    pub shards: usize,
+    /// Fan-out of each shard's global R-tree.
+    pub global_fanout: usize,
+    /// Fan-out of the per-object local R-trees.
+    pub local_fanout: usize,
+}
+
+impl ShardConfig {
+    /// `shards` tiles with the default fan-outs.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            global_fanout: DEFAULT_GLOBAL_FANOUT,
+            local_fanout: DEFAULT_LOCAL_FANOUT,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// Global R-tree of this tile; payloads are logical object ids.
+    tree: RTree<usize>,
+    /// Contiguous row span `[lo, hi)` of the permuted store covered by the
+    /// initial bulk build (later inserts live at the store's tail).
+    span: (usize, usize),
+}
+
+/// A set of multi-instance objects indexed as STR tiles, each with its own
+/// global R-tree over a contiguous span of the shard-major-permuted store.
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    /// Shard-major permutation of the input store (or the input `Arc`
+    /// itself when the permutation is the identity).
+    store: Arc<InstanceStore>,
+    /// Local instance trees, indexed by permuted row.
+    local: Vec<RTree<usize>>,
+    shards: Vec<Shard>,
+    /// Logical id → permuted row.
+    slot: Vec<usize>,
+    /// Permuted row → logical id.
+    ext: Vec<usize>,
+    local_fanout: usize,
+}
+
+impl ShardedDatabase {
+    /// Indexes `objects` into (about) `shards` STR tiles with default
+    /// fan-outs.
+    ///
+    /// # Panics
+    /// Panics if `objects` is empty or dimensionalities are inconsistent.
+    /// Use [`ShardedDatabase::try_new`] for untrusted data.
+    #[track_caller]
+    pub fn new(objects: Vec<UncertainObject>, shards: usize) -> Self {
+        match Self::try_new(objects, shards) {
+            Ok(db) => db,
+            Err(e) => crate::db::FlatDatabase::invalid(e),
+        }
+    }
+
+    /// Fallible variant of [`ShardedDatabase::new`].
+    ///
+    /// # Errors
+    /// Returns a [`DbError`] describing the first violated invariant.
+    pub fn try_new(objects: Vec<UncertainObject>, shards: usize) -> Result<Self, DbError> {
+        Self::try_with_config(objects, ShardConfig::with_shards(shards))
+    }
+
+    /// Fallible constructor with explicit layout parameters.
+    ///
+    /// # Errors
+    /// Returns a [`DbError`] describing the first violated invariant.
+    pub fn try_with_config(
+        objects: Vec<UncertainObject>,
+        cfg: ShardConfig,
+    ) -> Result<Self, DbError> {
+        if objects.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let store = InstanceStore::from_objects(&objects).map_err(|e| {
+            let object = objects
+                .iter()
+                .position(|o| o.dim() != objects[0].dim())
+                .unwrap_or(0);
+            DbError::from_store(e, object)
+        })?;
+        Self::from_store(Arc::new(store), cfg)
+    }
+
+    /// Shards an existing columnar snapshot. When the STR order turns out
+    /// to be the identity permutation (always the case for `shards <= 1`),
+    /// the snapshot `Arc` is reused without copying.
+    ///
+    /// # Errors
+    /// [`DbError::Empty`] if the store holds no objects.
+    pub fn from_store(store: Arc<InstanceStore>, cfg: ShardConfig) -> Result<Self, DbError> {
+        if store.is_empty() {
+            return Err(DbError::Empty);
+        }
+        let dim = store.dim();
+        let mbrs: Vec<Mbr> = store.iter().map(|o| o.mbr().clone()).collect();
+        let groups = str_partition(&mbrs, cfg.shards);
+        let ext: Vec<usize> = groups.iter().flatten().copied().collect();
+        let identity = ext.iter().enumerate().all(|(row, &id)| row == id);
+        let store = if identity {
+            store
+        } else {
+            Arc::new(store.permuted(&ext))
+        };
+        let mut slot = vec![0usize; ext.len()];
+        for (row, &id) in ext.iter().enumerate() {
+            slot[id] = row;
+        }
+        let local: Vec<RTree<usize>> = store
+            .iter()
+            .map(|o| RTree::bulk_load_rows(cfg.local_fanout, dim, o.coords()))
+            .collect();
+        let mut shards = Vec::with_capacity(groups.len());
+        let mut lo = 0;
+        for group in &groups {
+            let hi = lo + group.len();
+            let entries: Vec<Entry<usize>> = (lo..hi)
+                .map(|row| Entry {
+                    mbr: store.object(row).mbr().clone(),
+                    item: ext[row],
+                })
+                .collect();
+            shards.push(Shard {
+                tree: RTree::bulk_load(cfg.global_fanout, entries),
+                span: (lo, hi),
+            });
+            lo = hi;
+        }
+        Ok(ShardedDatabase {
+            store,
+            local,
+            shards,
+            slot,
+            ext,
+            local_fanout: cfg.local_fanout,
+        })
+    }
+
+    /// The row span `[lo, hi)` of the permuted store covered by shard
+    /// `shard`'s initial bulk build.
+    pub fn shard_span(&self, shard: usize) -> (usize, usize) {
+        self.shards[shard].span
+    }
+
+    /// The permuted row holding logical object `id`.
+    pub fn row_of(&self, id: usize) -> usize {
+        self.slot[id]
+    }
+
+    /// Appends a new object, routing it to the shard whose tree MBR needs
+    /// the least volume enlargement. Returns the new (logical) object id.
+    ///
+    /// # Panics
+    /// Panics if the object's dimensionality differs from the database's.
+    /// Use [`ShardedDatabase::try_insert_object`] for untrusted data.
+    #[track_caller]
+    pub fn insert_object(&mut self, object: UncertainObject) -> usize {
+        match self.try_insert_object(object) {
+            Ok(id) => id,
+            Err(e) => crate::db::FlatDatabase::invalid(e),
+        }
+    }
+
+    /// Fallible variant of [`ShardedDatabase::insert_object`].
+    ///
+    /// If the snapshot is currently shared, the columns are cloned once
+    /// before the append (copy-on-write). The new object's permuted row
+    /// equals its logical id (both are appended at the tail), so existing
+    /// spans and the slot/ext maps stay consistent.
+    ///
+    /// # Errors
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn try_insert_object(&mut self, object: UncertainObject) -> Result<usize, DbError> {
+        let would_be = self.len();
+        if object.dim() != self.dim() {
+            return Err(DbError::DimensionMismatch {
+                object: would_be,
+                expected: self.dim(),
+                found: object.dim(),
+            });
+        }
+        let store = Arc::make_mut(&mut self.store);
+        let row = store
+            .push_object(&object)
+            .map_err(|e| DbError::from_store(e, would_be))?;
+        debug_assert_eq!(row, would_be, "tail row and logical id coincide");
+        let view = store.object(row);
+        let mbr = view.mbr().clone();
+        self.local.push(RTree::bulk_load_rows(
+            self.local_fanout,
+            view.dim(),
+            view.coords(),
+        ));
+        self.ext.push(would_be);
+        self.slot.push(row);
+        let shard = self.choose_shard(&mbr);
+        self.shards[shard].tree.insert(mbr, would_be);
+        Ok(would_be)
+    }
+
+    /// The shard whose tree MBR needs the least volume enlargement to
+    /// admit `mbr` (ties: smaller current volume, then lower shard id).
+    fn choose_shard(&self, mbr: &Mbr) -> usize {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let key = match shard.tree.mbr() {
+                Some(current) => {
+                    let grown = current.union(mbr).volume();
+                    (grown - current.volume(), current.volume())
+                }
+                // An empty shard admits anything for free.
+                None => (0.0, 0.0),
+            };
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl SpatialIndex for ShardedDatabase {
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn store(&self) -> &Arc<InstanceStore> {
+        &self.store
+    }
+
+    fn object(&self, id: usize) -> ObjectRef<'_> {
+        self.store.object(self.slot[id])
+    }
+
+    fn local_tree(&self, id: usize) -> &RTree<usize> {
+        &self.local[self.slot[id]]
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_tree(&self, shard: usize) -> &RTree<usize> {
+        &self.shards[shard].tree
+    }
+
+    fn index_stats(&self) -> IndexStats {
+        let shards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| shard_stats_of(self, &s.tree))
+            .collect();
+        IndexStats {
+            objects: self.len(),
+            instances: self.store.instance_count(),
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact expected values are intentional in tests.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use crate::db::Database;
+    use osd_geom::Point;
+
+    fn obj(pts: &[(f64, f64)]) -> UncertainObject {
+        UncertainObject::uniform(pts.iter().map(|&(x, y)| Point::new(vec![x, y])).collect())
+    }
+
+    fn grid(n: usize) -> Vec<UncertainObject> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64 * 3.0;
+                let y = (i / 10) as f64 * 3.0;
+                obj(&[(x, y), (x + 1.0, y + 1.0)])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_shard_reuses_the_flat_snapshot_arc() {
+        let flat = Database::new(grid(25));
+        let sharded =
+            ShardedDatabase::from_store(Arc::clone(flat.store()), ShardConfig::with_shards(1))
+                .unwrap();
+        // Identity permutation: the snapshot is shared, not copied.
+        assert!(Arc::ptr_eq(sharded.store(), flat.store()));
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.shard_span(0), (0, 25));
+        for id in 0..25 {
+            assert_eq!(sharded.row_of(id), id);
+        }
+    }
+
+    #[test]
+    fn sharding_permutes_but_preserves_logical_objects() {
+        let objects = grid(40);
+        let flat = Database::new(objects.clone());
+        let sharded = ShardedDatabase::new(objects, 4);
+        assert!(sharded.shard_count() >= 4);
+        assert_eq!(sharded.len(), 40);
+        // Every logical id resolves to bit-identical instance data.
+        for id in 0..40 {
+            let a = flat.object(id);
+            let b = sharded.object(id);
+            assert_eq!(a.coords(), b.coords(), "object {id}");
+            assert_eq!(a.probs(), b.probs(), "object {id}");
+            assert_eq!(a.mbr(), b.mbr(), "object {id}");
+        }
+        // Shard trees partition the logical id space.
+        let mut seen: Vec<usize> = (0..sharded.shard_count())
+            .flat_map(|s| sharded.shard_tree(s).items().into_iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+        // Spans tile the permuted store contiguously.
+        let mut lo = 0;
+        for s in 0..sharded.shard_count() {
+            let (a, b) = sharded.shard_span(s);
+            assert_eq!(a, lo);
+            assert_eq!(b - a, sharded.shard_tree(s).len());
+            lo = b;
+        }
+        assert_eq!(lo, 40);
+    }
+
+    #[test]
+    fn more_shards_than_objects_yields_singletons() {
+        let sharded = ShardedDatabase::new(grid(3), 64);
+        assert_eq!(sharded.shard_count(), 3);
+        for s in 0..3 {
+            assert_eq!(sharded.shard_tree(s).len(), 1);
+        }
+        let stats = sharded.index_stats();
+        assert_eq!(stats.objects, 3);
+        assert_eq!(stats.instances, 6);
+        assert_eq!(stats.shards.len(), 3);
+        assert!(stats.shards.iter().all(|s| s.objects == 1));
+    }
+
+    #[test]
+    fn coincident_objects_still_partition_cleanly() {
+        // All objects in one tile position: STR still cuts the run into
+        // groups (by sort order), and every id must survive the round trip.
+        let objects: Vec<_> = (0..12).map(|_| obj(&[(5.0, 5.0), (5.5, 5.5)])).collect();
+        let sharded = ShardedDatabase::new(objects, 3);
+        let mut seen: Vec<usize> = (0..sharded.shard_count())
+            .flat_map(|s| sharded.shard_tree(s).items().into_iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        for id in 0..12 {
+            assert_eq!(sharded.object(id).row(0), &[5.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn insert_after_sharding_extends_one_shard() {
+        let mut sharded = ShardedDatabase::new(grid(20), 4);
+        let before: usize = (0..sharded.shard_count())
+            .map(|s| sharded.shard_tree(s).len())
+            .sum();
+        let id = sharded.insert_object(obj(&[(2.0, 2.0), (2.5, 2.5)]));
+        assert_eq!(id, 20);
+        assert_eq!(sharded.len(), 21);
+        assert_eq!(sharded.object(20).row(0), &[2.0, 2.0]);
+        let after: usize = (0..sharded.shard_count())
+            .map(|s| sharded.shard_tree(s).len())
+            .sum();
+        assert_eq!(after, before + 1);
+        // The local tree exists and serves NN queries.
+        let q = Point::new(vec![2.1, 2.1]);
+        assert!(sharded.local_tree(20).nearest(&q).is_some());
+    }
+
+    #[test]
+    fn insert_is_copy_on_write_for_shared_snapshots() {
+        let mut sharded = ShardedDatabase::new(grid(8), 2);
+        let before = Arc::clone(sharded.store());
+        sharded.insert_object(obj(&[(50.0, 50.0)]));
+        assert_eq!(before.len(), 8);
+        assert_eq!(sharded.store().len(), 9);
+        assert!(!Arc::ptr_eq(sharded.store(), &before));
+    }
+
+    #[test]
+    fn insert_wrong_dim_reports_would_be_id() {
+        let mut sharded = ShardedDatabase::new(grid(4), 2);
+        let e = sharded
+            .try_insert_object(UncertainObject::uniform(vec![Point::new(vec![1.0])]))
+            .unwrap_err();
+        assert_eq!(
+            e,
+            DbError::DimensionMismatch {
+                object: 4,
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_mixed_inputs_are_rejected() {
+        assert_eq!(
+            ShardedDatabase::try_new(vec![], 4).unwrap_err(),
+            DbError::Empty
+        );
+        let mixed = vec![
+            obj(&[(0.0, 0.0)]),
+            UncertainObject::uniform(vec![Point::new(vec![1.0])]),
+        ];
+        assert_eq!(
+            ShardedDatabase::try_new(mixed, 4).unwrap_err(),
+            DbError::DimensionMismatch {
+                object: 1,
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn index_stats_cover_all_shards() {
+        let sharded = ShardedDatabase::new(grid(30), 3);
+        let stats = sharded.index_stats();
+        assert_eq!(stats.objects, 30);
+        assert_eq!(stats.instances, 60);
+        assert_eq!(stats.shards.len(), sharded.shard_count());
+        assert_eq!(stats.shards.iter().map(|s| s.objects).sum::<usize>(), 30);
+        assert_eq!(stats.shards.iter().map(|s| s.instances).sum::<usize>(), 60);
+        let whole = sharded.store().approx_bytes();
+        let summed: usize = stats.shards.iter().map(|s| s.approx_bytes).sum();
+        assert_eq!(summed, whole);
+    }
+}

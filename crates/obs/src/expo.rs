@@ -96,7 +96,19 @@ pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
             if i + 1 < spans.len() { ", " } else { "" }
         ));
     }
-    out.push_str("}\n");
+    out.push_str("},\n");
+
+    // Fixed-width array: MAX_TRACKED_SHARDS cells plus the overflow cell.
+    let shard_visits = m.shard_visits();
+    out.push_str("  \"shard_node_visits\": [");
+    for (i, v) in shard_visits.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{}",
+            v,
+            if i + 1 < shard_visits.len() { ", " } else { "" }
+        ));
+    }
+    out.push_str("]\n");
 
     out.push_str("}\n");
     out
@@ -179,6 +191,22 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
         ));
     }
 
+    out.push_str("# TYPE osd_shard_node_visits counter\n");
+    let shard_visits = m.shard_visits();
+    for (i, v) in shard_visits.iter().enumerate() {
+        // Only populated cells, to keep one-shard output compact; the
+        // trailing cell aggregates shards past the tracked range.
+        if *v > 0 {
+            if i < shard_visits.len() - 1 {
+                out.push_str(&format!("osd_shard_node_visits{{shard=\"{i}\"}} {v}\n"));
+            } else {
+                out.push_str(&format!(
+                    "osd_shard_node_visits{{shard=\"overflow\"}} {v}\n"
+                ));
+            }
+        }
+    }
+
     out
 }
 
@@ -200,6 +228,8 @@ mod tests {
         m.incr(Counter::CacheHits);
         m.heap_depth(5);
         m.candidate_emitted("PSD");
+        m.shard_visit(0);
+        m.shard_visit(2);
         m
     }
 
@@ -218,10 +248,12 @@ mod tests {
         }
         assert!(json.contains("\"dominance_checks\": 3"));
         assert!(json.contains("\"heap_high_water\""));
+        assert!(json.contains("\"shard_node_visits\": ["));
         if QueryMetrics::enabled() {
             assert!(json.contains("\"rtree_node_visits\": 7"));
             assert!(json.contains("\"PSD\": 1"));
             assert!(json.contains("\"enabled\": true"));
+            assert!(json.contains("\"shard_node_visits\": [1, 0, 1, 0,"));
         } else {
             assert!(json.contains("\"rtree_node_visits\": 0"));
             assert!(json.contains("\"enabled\": false"));
@@ -247,6 +279,11 @@ mod tests {
             assert!(prom.contains(&inf), "missing +Inf bucket for {}", p.name());
         }
         assert!(prom.contains("osd_counter{name=\"mbr_checks\"} 9"));
+        assert!(prom.contains("# TYPE osd_shard_node_visits counter"));
+        if QueryMetrics::enabled() {
+            assert!(prom.contains("osd_shard_node_visits{shard=\"0\"} 1"));
+            assert!(prom.contains("osd_shard_node_visits{shard=\"2\"} 1"));
+        }
         // Cumulative buckets never decrease.
         let mut last = 0u64;
         for line in prom.lines() {

@@ -40,7 +40,9 @@ pub mod expo;
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{Counter, Histogram, QueryMetrics, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+pub use metrics::{
+    Counter, Histogram, QueryMetrics, BUCKET_BOUNDS_NS, MAX_TRACKED_SHARDS, NUM_BUCKETS,
+};
 pub use span::{PhaseTimer, Span};
 
 use std::time::{Duration, Instant};

@@ -14,6 +14,12 @@ use crate::Phase;
 /// Number of finite histogram bucket bounds (one overflow bucket follows).
 pub const NUM_BUCKETS: usize = 16;
 
+/// Shards tracked individually by the per-shard node-visit tally; visits
+/// attributed to shard ids at or past this bound fold into one trailing
+/// overflow cell. Fixed capacity keeps the registry allocation-free on the
+/// query path (the `LabelSet` idiom) and merging exact.
+pub const MAX_TRACKED_SHARDS: usize = 32;
+
 /// Fixed latency bucket upper bounds in nanoseconds: powers of four from
 /// 256 ns to ~4.6 min. Samples above the last bound land in the overflow
 /// bucket. Fixed bounds keep merging exact: equal-shape histograms add
@@ -247,7 +253,7 @@ impl LabelSet {
 /// histograms; without it the struct is zero-sized, every method is an
 /// empty inline body, and every accessor reports zero/empty.
 #[cfg(feature = "enabled")]
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryMetrics {
     counters: [u64; Counter::COUNT],
     phase_nanos: [u64; Phase::COUNT],
@@ -255,6 +261,25 @@ pub struct QueryMetrics {
     heap_high_water: u64,
     per_op: LabelSet,
     spans: LabelSet,
+    /// Global-traversal node visits attributed to their source shard;
+    /// the trailing cell tallies shards ≥ [`MAX_TRACKED_SHARDS`].
+    shard_visits: [u64; MAX_TRACKED_SHARDS + 1],
+}
+
+// Manual because `Default` is not derivable for the 33-cell array.
+#[cfg(feature = "enabled")]
+impl Default for QueryMetrics {
+    fn default() -> Self {
+        QueryMetrics {
+            counters: [0; Counter::COUNT],
+            phase_nanos: [0; Phase::COUNT],
+            phase_hist: [Histogram::new(); Phase::COUNT],
+            heap_high_water: 0,
+            per_op: LabelSet::default(),
+            spans: LabelSet::default(),
+            shard_visits: [0; MAX_TRACKED_SHARDS + 1],
+        }
+    }
 }
 
 /// The per-query metrics registry (disabled build: a zero-sized no-op).
@@ -300,6 +325,13 @@ impl QueryMetrics {
         self.per_op.add(op_label, 1, 0);
     }
 
+    /// Records one global-traversal node visit attributed to `shard`
+    /// (shards ≥ [`MAX_TRACKED_SHARDS`] fold into the overflow cell).
+    #[inline]
+    pub fn shard_visit(&mut self, shard: usize) {
+        self.shard_visits[shard.min(MAX_TRACKED_SHARDS)] += 1;
+    }
+
     /// Stops `timer` and folds its elapsed time into the phase totals and
     /// the phase latency histogram.
     #[inline]
@@ -335,6 +367,9 @@ impl QueryMetrics {
         self.heap_high_water = self.heap_high_water.max(other.heap_high_water);
         self.per_op.merge(&other.per_op);
         self.spans.merge(&other.spans);
+        for (a, b) in self.shard_visits.iter_mut().zip(other.shard_visits.iter()) {
+            *a += b;
+        }
     }
 
     /// Current value of `counter`.
@@ -375,6 +410,12 @@ impl QueryMetrics {
     pub fn spans(&self) -> Vec<(&'static str, u64, u64)> {
         self.spans.entries()
     }
+
+    /// Per-shard global-traversal node visits: [`MAX_TRACKED_SHARDS`]
+    /// individual cells plus one trailing overflow cell.
+    pub fn shard_visits(&self) -> [u64; MAX_TRACKED_SHARDS + 1] {
+        self.shard_visits
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
@@ -405,6 +446,10 @@ impl QueryMetrics {
     /// No-op.
     #[inline(always)]
     pub fn candidate_emitted(&mut self, _op_label: &'static str) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn shard_visit(&mut self, _shard: usize) {}
 
     /// No-op (the timer is zero-sized and never read a clock).
     #[inline(always)]
@@ -451,6 +496,11 @@ impl QueryMetrics {
     /// Always empty in the disabled build.
     pub fn spans(&self) -> Vec<(&'static str, u64, u64)> {
         Vec::new()
+    }
+
+    /// Always zero in the disabled build.
+    pub fn shard_visits(&self) -> [u64; MAX_TRACKED_SHARDS + 1] {
+        [0; MAX_TRACKED_SHARDS + 1]
     }
 }
 
@@ -552,6 +602,27 @@ mod tests {
             assert_eq!(a.counter(Counter::RtreeNodeVisits), 0);
             assert_eq!(a.heap_high_water(), 0);
             assert!(a.candidates_by_op().is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_visits_track_and_overflow() {
+        let mut m = QueryMetrics::new();
+        m.shard_visit(0);
+        m.shard_visit(0);
+        m.shard_visit(3);
+        m.shard_visit(MAX_TRACKED_SHARDS + 5); // folds into the overflow cell
+        let mut other = QueryMetrics::new();
+        other.shard_visit(3);
+        m.merge(&other);
+        let v = m.shard_visits();
+        if QueryMetrics::enabled() {
+            assert_eq!(v[0], 2);
+            assert_eq!(v[3], 2);
+            assert_eq!(v[MAX_TRACKED_SHARDS], 1);
+            assert_eq!(v.iter().sum::<u64>(), 5);
+        } else {
+            assert!(v.iter().all(|&x| x == 0));
         }
     }
 

@@ -154,6 +154,51 @@ fn tile<I: HasMbr, O>(
     }
 }
 
+/// An index tagged with a borrowed rectangle, so the STR tiler can slice
+/// arbitrary MBR collections without owning them.
+struct Tagged<'a> {
+    mbr: &'a Mbr,
+    idx: usize,
+}
+impl HasMbr for Tagged<'_> {
+    fn mbr_ref(&self) -> &Mbr {
+        self.mbr
+    }
+}
+
+/// Space-partitions `mbrs` into roughly `parts` spatially coherent tiles
+/// using the same Sort-Tile-Recursive slicing as [`RTree::bulk_load`], and
+/// returns the member indices of each tile in tiling order.
+///
+/// This is STR applied one level up: instead of packing rectangles into
+/// tree leaves, it packs them into *shards* — each returned group is a
+/// contiguous run of the STR ordering with at most `⌈n / parts⌉` members,
+/// so shard extents overlap as little as the data allows. Slab rounding
+/// can produce slightly more than `parts` groups; callers should treat the
+/// returned length as the actual shard count.
+///
+/// `parts <= 1` returns a single group in the **original** index order
+/// (no re-sorting), so a one-shard partition is layout-identical to the
+/// unpartitioned input. Empty input returns no groups.
+pub fn str_partition(mbrs: &[Mbr], parts: usize) -> Vec<Vec<usize>> {
+    if mbrs.is_empty() {
+        return Vec::new();
+    }
+    if parts <= 1 {
+        return vec![(0..mbrs.len()).collect()];
+    }
+    let dim = mbrs[0].dim();
+    let cap = mbrs.len().div_ceil(parts).max(1);
+    let items: Vec<Tagged<'_>> = mbrs
+        .iter()
+        .enumerate()
+        .map(|(idx, mbr)| Tagged { mbr, idx })
+        .collect();
+    pack(items, cap, dim, |group| {
+        group.into_iter().map(|t| t.idx).collect()
+    })
+}
+
 fn sort_by_center<I: HasMbr>(items: &mut [I], d: usize) {
     items.sort_by(|a, b| {
         let ca = a.mbr_ref().lo()[d] + a.mbr_ref().hi()[d];
@@ -199,5 +244,76 @@ mod tests {
     #[should_panic(expected = "multiple of dim")]
     fn bulk_load_rows_ragged_rejected() {
         let _ = RTree::bulk_load_rows(4, 2, &[1.0, 2.0, 3.0]);
+    }
+
+    fn grid_mbrs(n: usize) -> Vec<Mbr> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                Mbr::new(vec![x, y], vec![x + 0.5, y + 0.5])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn str_partition_covers_every_index_exactly_once() {
+        let mbrs = grid_mbrs(97);
+        for parts in [2, 3, 7, 16] {
+            let groups = str_partition(&mbrs, parts);
+            let cap = mbrs.len().div_ceil(parts);
+            let mut seen = vec![false; mbrs.len()];
+            for g in &groups {
+                assert!(!g.is_empty(), "no empty shard");
+                assert!(g.len() <= cap, "group of {} exceeds cap {cap}", g.len());
+                for &i in g {
+                    assert!(!seen[i], "index {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "partition must be exhaustive");
+            assert!(groups.len() >= parts.min(mbrs.len()));
+        }
+    }
+
+    #[test]
+    fn str_partition_single_part_preserves_input_order() {
+        let mbrs = grid_mbrs(23);
+        let groups = str_partition(&mbrs, 1);
+        assert_eq!(groups, vec![(0..23).collect::<Vec<_>>()]);
+        let groups = str_partition(&mbrs, 0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn str_partition_more_parts_than_items_yields_singletons() {
+        let mbrs = grid_mbrs(5);
+        let groups = str_partition(&mbrs, 64);
+        assert_eq!(groups.len(), 5);
+        assert!(groups.iter().all(|g| g.len() == 1));
+        assert!(str_partition(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn str_partition_groups_are_spatially_coherent() {
+        // A cluster at the origin and one far away: with 2 parts, STR must
+        // not mix members of the two clusters in one shard.
+        let mut mbrs = Vec::new();
+        for i in 0..8 {
+            let x = (i % 4) as f64;
+            mbrs.push(Mbr::new(vec![x, 0.0], vec![x, 0.0]));
+        }
+        for i in 0..8 {
+            let x = 100.0 + (i % 4) as f64;
+            mbrs.push(Mbr::new(vec![x, 0.0], vec![x, 0.0]));
+        }
+        let groups = str_partition(&mbrs, 2);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            let near = g.iter().all(|&i| i < 8);
+            let far = g.iter().all(|&i| i >= 8);
+            assert!(near || far, "shard mixes clusters: {g:?}");
+        }
     }
 }

@@ -46,6 +46,7 @@ mod node;
 mod query;
 mod validate;
 
+pub use bulk::str_partition;
 pub use node::{point_entries, Child, Entry, Node, RTree};
 pub use query::BestFirstIter;
 pub use validate::{StructureError, StructureErrorKind};

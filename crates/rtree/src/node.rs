@@ -102,6 +102,14 @@ impl<T> Node<T> {
             Node::Inner(cs) => cs.iter().map(|c| c.node.item_count()).sum(),
         }
     }
+
+    /// Total number of tree nodes in the subtree, this node included.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 1,
+            Node::Inner(cs) => 1 + cs.iter().map(|c| c.node.node_count()).sum::<usize>(),
+        }
+    }
 }
 
 /// An in-memory R-tree with configurable fan-out.
@@ -158,6 +166,14 @@ impl<T> RTree<T> {
     /// Height of the tree (single leaf = 0). `None` when empty.
     pub fn height(&self) -> Option<usize> {
         self.root.as_ref().map(|c| c.node.height())
+    }
+
+    /// Total number of tree nodes (leaves and inner nodes); 0 when empty.
+    ///
+    /// An upper bound on the `visits` any single best-first descent can
+    /// charge — the per-shard memory/size statistic of the sharded index.
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map_or(0, |c| c.node.node_count())
     }
 
     /// Groups the items by the tree nodes at `level` steps below the root

@@ -394,6 +394,70 @@ mod tests {
     }
 
     #[test]
+    fn multi_point_descent_with_duplicate_probes_matches_single_probe() {
+        let t = line_tree(40);
+        let single = vec![Point::new(vec![17.2, 0.3])];
+        let mut single_visits = 0u64;
+        let single_best = t.min_dist2_multi(&single, &mut single_visits).unwrap();
+        // The same probe repeated: identical distance multiset, identical
+        // best value, and the shared bound keeps the extra probes from
+        // inflating the descent.
+        let dup = vec![single[0].clone(); 5];
+        let mut dup_visits = 0u64;
+        let dup_best = t.min_dist2_multi(&dup, &mut dup_visits).unwrap();
+        assert_eq!(dup_best.to_bits(), single_best.to_bits());
+        assert_eq!(
+            dup_visits, single_visits,
+            "duplicate probes share every key, so the descent is identical"
+        );
+    }
+
+    #[test]
+    fn multi_point_descent_probe_on_mbr_corners() {
+        let t = line_tree(40);
+        // Probes placed exactly on MBR corners of the data: the root MBR
+        // spans (0,0)..(39,0); its corners are data points, so the minimal
+        // squared distance is exactly 0.0 with no rounding slack.
+        let corners = vec![Point::new(vec![0.0, 0.0]), Point::new(vec![39.0, 0.0])];
+        let mut visits = 0u64;
+        let best = t.min_dist2_multi(&corners, &mut visits).unwrap();
+        assert_eq!(best.to_bits(), 0.0f64.to_bits());
+        // A probe on the MBR boundary but between data points: min_dist2 to
+        // the enclosing boxes is 0, yet the true item distance is positive —
+        // the descent must refine through the 0-keyed nodes to the items.
+        let boundary = vec![Point::new(vec![17.5, 0.0])];
+        let mut v2 = 0u64;
+        let d2 = t.min_dist2_multi(&boundary, &mut v2).unwrap();
+        assert_eq!(d2.to_bits(), 0.25f64.to_bits());
+    }
+
+    #[test]
+    fn multi_point_descent_visits_never_exceed_single_probe_sum() {
+        // Shared-bound tightening regression: across many probe sets, the
+        // one-descent multi-probe search must never expand more nodes than
+        // the sum of the per-probe searches it replaces.
+        let t = line_tree(64);
+        for scale in [0.5, 2.0, 7.3] {
+            for n_probes in [1usize, 2, 3, 5, 8] {
+                let probes: Vec<Point> = (0..n_probes)
+                    .map(|i| Point::new(vec![i as f64 * scale, (i % 2) as f64 - 0.5]))
+                    .collect();
+                let mut per_probe_sum = 0u64;
+                for q in &probes {
+                    let _ = t.nearest_counting(q, &mut per_probe_sum);
+                }
+                let mut multi_visits = 0u64;
+                let _ = t.min_dist2_multi(&probes, &mut multi_visits).unwrap();
+                assert!(
+                    multi_visits <= per_probe_sum,
+                    "{n_probes} probes at scale {scale}: multi descent expanded \
+                     {multi_visits} nodes vs per-probe sum {per_probe_sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn best_first_visits_are_bounded_by_node_count() {
         let t = line_tree(64);
         let probe = Point::new(vec![0.0, 0.0]);

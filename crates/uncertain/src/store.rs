@@ -180,6 +180,64 @@ impl InstanceStore {
         self.iter().map(|o| o.to_object()).collect()
     }
 
+    /// Rebuilds the store with its objects rearranged into `order`: the
+    /// object at `order[k]` of `self` becomes object `k` of the result.
+    /// Columns are copied once into the new object order; coordinate and
+    /// probability bits, spans and MBRs are taken verbatim, so every
+    /// per-object derived quantity is bit-for-bit unchanged.
+    ///
+    /// This is the layout step of the sharded index: a Sort-Tile-Recursive
+    /// object ordering turns each spatial shard into one *contiguous*
+    /// sub-span of the columns (see [`InstanceStore::span`]).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..self.len()`.
+    pub fn permuted(&self, order: &[usize]) -> InstanceStore {
+        assert_eq!(order.len(), self.len(), "order must cover every object");
+        let mut seen = vec![false; self.len()];
+        let mut out = InstanceStore {
+            dim: self.dim,
+            coords: Vec::with_capacity(self.coords.len()),
+            probs: Vec::with_capacity(self.probs.len()),
+            spans: Vec::with_capacity(self.spans.len()),
+            mbrs: Vec::with_capacity(self.mbrs.len()),
+        };
+        for &id in order {
+            assert!(!seen[id], "order repeats object {id}");
+            seen[id] = true;
+            let view = self.object(id);
+            let offset = out.probs.len();
+            out.coords.extend_from_slice(view.coords());
+            out.probs.extend_from_slice(view.probs());
+            out.spans.push((offset, view.len()));
+            out.mbrs.push(view.mbr().clone());
+        }
+        out
+    }
+
+    /// A borrowed view of the contiguous object range `lo..hi` — the
+    /// per-shard window of a space-partitioned store.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > self.len()`.
+    pub fn span(&self, lo: usize, hi: usize) -> StoreSpan<'_> {
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "span {lo}..{hi} out of bounds"
+        );
+        StoreSpan {
+            store: self,
+            lo,
+            hi,
+        }
+    }
+
+    /// Approximate resident size of the columns and per-object metadata, in
+    /// bytes (allocation headers and capacity slack excluded).
+    pub fn approx_bytes(&self) -> usize {
+        approx_bytes_for(self.dim, self.probs.len(), self.spans.len())
+    }
+
     /// Audits the span/column invariants listed in the
     /// [module documentation](self). Returns the first violation as text.
     ///
@@ -236,6 +294,91 @@ impl InstanceStore {
             ));
         }
         Ok(())
+    }
+}
+
+/// Shared byte-accounting for stores and spans: coordinate block +
+/// probability column + `(offset, len)` spans + MBR lo/hi arrays.
+fn approx_bytes_for(dim: usize, instances: usize, objects: usize) -> usize {
+    let f = std::mem::size_of::<f64>();
+    let u = std::mem::size_of::<usize>();
+    instances * dim * f          // coords
+        + instances * f          // probs
+        + objects * 2 * u        // spans
+        + objects * (2 * dim * f + std::mem::size_of::<Mbr>()) // mbr payloads + headers
+}
+
+/// A borrowed view of a contiguous object range of an [`InstanceStore`] —
+/// the sub-span a spatial shard owns. All accessors are zero-copy slices
+/// into the parent columns.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreSpan<'a> {
+    store: &'a InstanceStore,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> StoreSpan<'a> {
+    /// Number of objects in the span.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// `true` iff the span covers no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The span's object range in the parent store, as `(lo, hi)`.
+    #[inline]
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Total instances across the span's objects.
+    #[inline]
+    pub fn instance_count(&self) -> usize {
+        self.instance_range().len()
+    }
+
+    /// The span's rows of the parent coordinate block (row-major,
+    /// `dim`-strided) — one contiguous slice, because spans tile the
+    /// instance range in object order.
+    #[inline]
+    pub fn coords(&self) -> &'a [f64] {
+        let r = self.instance_range();
+        &self.store.coords[r.start * self.store.dim..r.end * self.store.dim]
+    }
+
+    /// The span's rows of the parent probability column.
+    #[inline]
+    pub fn probs(&self) -> &'a [f64] {
+        let r = self.instance_range();
+        &self.store.probs[r]
+    }
+
+    /// Iterates over the span's object views, in parent-store id order.
+    pub fn objects(&self) -> impl ExactSizeIterator<Item = ObjectRef<'a>> + '_ {
+        let store = self.store;
+        (self.lo..self.hi).map(move |id| store.object(id))
+    }
+
+    /// Approximate resident bytes attributable to this span's share of the
+    /// columns and metadata (same accounting as
+    /// [`InstanceStore::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        approx_bytes_for(self.store.dim, self.instance_count(), self.len())
+    }
+
+    fn instance_range(&self) -> std::ops::Range<usize> {
+        if self.lo == self.hi {
+            return 0..0;
+        }
+        let (first, _) = self.store.spans[self.lo];
+        let (off, len) = self.store.spans[self.hi - 1];
+        first..off + len
     }
 }
 
@@ -329,6 +472,12 @@ impl<'a> ObjectRef<'a> {
     #[inline]
     pub fn mbr(&self) -> &'a Mbr {
         &self.store.mbrs[self.id]
+    }
+
+    /// Approximate bytes of columnar data held for this object (same model
+    /// as [`InstanceStore::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        approx_bytes_for(self.store.dim, self.len(), 1)
     }
 
     /// Minimal distance from a point to any instance: `δ_min(q, U)`.
@@ -507,6 +656,65 @@ mod tests {
         assert_eq!(store.instance_count(), 8);
         store.validate().unwrap();
         assert_eq!(store.object(3).row(1), &[10.0, 9.0]);
+    }
+
+    #[test]
+    fn permuted_store_is_bitwise_identical_per_object() {
+        let store = InstanceStore::from_objects(&sample_objects()).unwrap();
+        let order = [2usize, 0, 1];
+        let perm = store.permuted(&order);
+        perm.validate().unwrap();
+        assert_eq!(perm.len(), store.len());
+        assert_eq!(perm.instance_count(), store.instance_count());
+        for (new_id, &old_id) in order.iter().enumerate() {
+            let a = perm.object(new_id);
+            let b = store.object(old_id);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.mbr(), b.mbr());
+            for i in 0..a.len() {
+                assert_eq!(a.row(i), b.row(i));
+                assert_eq!(a.prob(i).to_bits(), b.prob(i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order repeats object")]
+    fn permuted_rejects_non_permutations() {
+        let store = InstanceStore::from_objects(&sample_objects()).unwrap();
+        let _ = store.permuted(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn spans_are_zero_copy_windows() {
+        let store = InstanceStore::from_objects(&sample_objects()).unwrap();
+        let span = store.span(1, 3);
+        assert_eq!(span.len(), 2);
+        assert_eq!(span.bounds(), (1, 3));
+        assert_eq!(span.instance_count(), 4); // objects 1 (3 inst) + 2 (1 inst)
+                                              // Coordinate window is a sub-slice of the parent allocation.
+        let base = store.coords().as_ptr() as usize;
+        let sub = span.coords().as_ptr() as usize;
+        assert_eq!((sub - base) / std::mem::size_of::<f64>(), 2 * 2);
+        assert_eq!(span.coords().len(), 4 * 2);
+        assert_eq!(span.probs().len(), 4);
+        let ids: Vec<usize> = span.objects().map(|o| o.len()).collect();
+        assert_eq!(ids, vec![3, 1]);
+        // Degenerate spans and whole-store spans behave.
+        assert!(store.span(2, 2).is_empty());
+        assert_eq!(store.span(2, 2).instance_count(), 0);
+        let whole = store.span(0, store.len());
+        assert_eq!(whole.instance_count(), store.instance_count());
+        assert_eq!(whole.coords().len(), store.coords().len());
+        assert!(whole.approx_bytes() <= store.approx_bytes());
+        assert!(span.approx_bytes() < whole.approx_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn span_bounds_are_checked() {
+        let store = InstanceStore::from_objects(&sample_objects()).unwrap();
+        let _ = store.span(1, 4);
     }
 
     #[test]

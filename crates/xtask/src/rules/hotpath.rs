@@ -1,6 +1,6 @@
 //! Hot-path allocation and timing rules:
-//! `no-owned-points-in-hot-paths`, `no-ad-hoc-timing` and
-//! `no-alloc-in-kernels`.
+//! `no-owned-points-in-hot-paths`, `no-ad-hoc-timing`,
+//! `no-alloc-in-kernels` and `no-per-shard-alloc-in-descent`.
 
 use super::{is_hot_path, push, Violation};
 use crate::model::{SourceFile, Workspace};
@@ -95,17 +95,7 @@ pub(super) fn no_alloc_in_kernels(_ws: &Workspace, file: &SourceFile, out: &mut 
     // Per-token activity: the whole file, or the marked comment regions.
     let mut active = vec![whole; file.tokens.len()];
     if regions {
-        let mut on = false;
-        for (i, t) in file.tokens.iter().enumerate() {
-            if t.is_comment() {
-                if t.text.contains("alloc-free: begin") {
-                    on = true;
-                } else if t.text.contains("alloc-free: end") {
-                    on = false;
-                }
-            }
-            active[i] = on;
-        }
+        mark_regions(file, "alloc-free: begin", "alloc-free: end", &mut active);
     }
     for p in 0..file.sig.len() {
         if file.is_test_code(p) || !active[file.sig[p]] {
@@ -113,24 +103,7 @@ pub(super) fn no_alloc_in_kernels(_ws: &Workspace, file: &SourceFile, out: &mut 
         }
         let Some(t) = file.sig_tok(p) else { break };
         let line = t.line;
-        let idiom = if t.is_ident("Vec")
-            && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("::"))
-            && file.sig_tok(p + 2).is_some_and(|t| t.is_ident("new"))
-        {
-            Some("Vec::new()")
-        } else if t.is_ident("vec") && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("!")) {
-            Some("vec![..]")
-        } else if t.is_punct(".")
-            && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("to_vec"))
-            && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("("))
-        {
-            Some(".to_vec()")
-        } else if t.is_punct(".") && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("collect")) {
-            Some(".collect()")
-        } else {
-            None
-        };
-        if let Some(what) = idiom {
+        if let Some(what) = alloc_idiom_at(file, p) {
             push(
                 out,
                 file,
@@ -142,6 +115,89 @@ pub(super) fn no_alloc_in_kernels(_ws: &Workspace, file: &SourceFile, out: &mut 
                 ),
             );
         }
+    }
+}
+
+/// Files with `// per-shard descent: begin` / `end` regions: the Node
+/// expansion arms of the merged-forest traversals.
+const DESCENT_REGION_FILES: &[&str] = &["crates/core/src/nnc.rs", "crates/core/src/knnc.rs"];
+
+/// The merged-forest heap expansion runs once per visited node per shard;
+/// an allocation there scales with shard count × node visits and would
+/// silently erase the shared-bound advantage the sharded layout exists
+/// to deliver.
+pub(super) fn no_per_shard_alloc_in_descent(
+    _ws: &Workspace,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    let path = file.path.to_string_lossy();
+    if !DESCENT_REGION_FILES.iter().any(|f| *f == path) {
+        return;
+    }
+    let mut active = vec![false; file.tokens.len()];
+    mark_regions(
+        file,
+        "per-shard descent: begin",
+        "per-shard descent: end",
+        &mut active,
+    );
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) || !active[file.sig[p]] {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        let line = t.line;
+        if let Some(what) = alloc_idiom_at(file, p) {
+            push(
+                out,
+                file,
+                line,
+                "no-per-shard-alloc-in-descent",
+                format!(
+                    "`{what}` inside the per-shard descent region; the node-expansion arm \
+                     runs once per visited node per shard — hoist the buffer to the \
+                     traversal state"
+                ),
+            );
+        }
+    }
+}
+
+/// Marks the tokens between `begin`/`end` marker comments as active.
+fn mark_regions(file: &SourceFile, begin: &str, end: &str, active: &mut [bool]) {
+    let mut on = false;
+    for (i, t) in file.tokens.iter().enumerate() {
+        if t.is_comment() {
+            if t.text.contains(begin) {
+                on = true;
+            } else if t.text.contains(end) {
+                on = false;
+            }
+        }
+        active[i] = on;
+    }
+}
+
+/// The allocation idiom starting at significant-token position `p`, if any.
+fn alloc_idiom_at(file: &SourceFile, p: usize) -> Option<&'static str> {
+    let t = file.sig_tok(p)?;
+    if t.is_ident("Vec")
+        && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("::"))
+        && file.sig_tok(p + 2).is_some_and(|t| t.is_ident("new"))
+    {
+        Some("Vec::new()")
+    } else if t.is_ident("vec") && file.sig_tok(p + 1).is_some_and(|t| t.is_punct("!")) {
+        Some("vec![..]")
+    } else if t.is_punct(".")
+        && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("to_vec"))
+        && file.sig_tok(p + 2).is_some_and(|t| t.is_punct("("))
+    {
+        Some(".to_vec()")
+    } else if t.is_punct(".") && file.sig_tok(p + 1).is_some_and(|t| t.is_ident("collect")) {
+        Some(".collect()")
+    } else {
+        None
     }
 }
 
@@ -215,6 +271,43 @@ mod tests {
             rules(&v),
             vec!["no-alloc-in-kernels", "no-alloc-in-kernels"]
         );
+    }
+
+    #[test]
+    fn descent_regions_ban_alloc_idioms() {
+        let src = "\
+pub fn seed() { let _roots: Vec<usize> = (0..4).collect(); }
+// per-shard descent: begin
+pub fn expand(xs: &[usize]) { let _c: Vec<usize> = xs.iter().copied().collect(); }
+// per-shard descent: end
+pub fn gather() { let _v: Vec<usize> = Vec::new(); }
+";
+        for path in ["crates/core/src/nnc.rs", "crates/core/src/knnc.rs"] {
+            let v = check_src(path, src);
+            let hits: Vec<_> = v
+                .iter()
+                .filter(|x| x.rule == "no-per-shard-alloc-in-descent")
+                .collect();
+            assert_eq!(hits.len(), 1, "{v:?}");
+            assert_eq!(hits[0].line, 3);
+        }
+        // Other files are out of scope even with the markers present.
+        let v = check_src("crates/core/src/engine.rs", src);
+        assert!(v.iter().all(|x| x.rule != "no-per-shard-alloc-in-descent"));
+    }
+
+    #[test]
+    fn descent_region_test_code_is_exempt() {
+        let src = "\
+// per-shard descent: begin
+#[cfg(test)]
+mod tests {
+    fn t() { let _v: Vec<usize> = (0..4).collect(); }
+}
+// per-shard descent: end
+";
+        let v = check_src("crates/core/src/knnc.rs", src);
+        assert!(v.iter().all(|x| x.rule != "no-per-shard-alloc-in-descent"));
     }
 
     #[test]

@@ -35,6 +35,13 @@ const LAYERS: &[(&str, u8)] = &[
 /// Crates nothing may depend on: the binary leaves and the facade.
 const LEAVES: &[&str] = &["osd-cli", "osd-bench", "osd"];
 
+/// The `SpatialIndex` trait module: the abstraction every query operator
+/// compiles against. It layers *below* the concrete indexes inside
+/// osd-core, so it must never reach up into them.
+const TRAIT_MODULE: &str = "crates/core/src/index.rs";
+/// The concrete implementation modules the trait module may not import.
+const INDEX_IMPLS: &[&str] = &["db", "sharded"];
+
 fn level(name: &str) -> Option<u8> {
     LAYERS.iter().find(|(n, _)| *n == name).map(|(_, l)| *l)
 }
@@ -88,6 +95,41 @@ pub(super) fn crate_layering(ws: &Workspace, out: &mut Vec<Violation>) {
                 )
             };
             push(out, file, t.line, "crate-layering", msg);
+        }
+    }
+    // Intra-crate layering of the index abstraction: the trait module
+    // (`core::index`) sits below the concrete indexes; `crate::db` /
+    // `crate::sharded` references from it invert that edge (test modules
+    // exercise the concrete types and are exempt).
+    for file in &ws.files {
+        if file.path.to_string_lossy() != TRAIT_MODULE {
+            continue;
+        }
+        for p in 0..file.sig.len() {
+            let Some(t) = file.sig_tok(p) else { break };
+            if !(t.is_ident("crate") || t.is_ident("super")) || file.is_test_code(p) {
+                continue;
+            }
+            let reaches = file.sig_tok(p + 1).is_some_and(|n| n.is_punct("::"))
+                && file
+                    .sig_tok(p + 2)
+                    .is_some_and(|n| INDEX_IMPLS.iter().any(|m| n.is_ident(m)));
+            if reaches {
+                let module = file
+                    .sig_tok(p + 2)
+                    .map_or(String::new(), |n| n.text.clone());
+                push(
+                    out,
+                    file,
+                    t.line,
+                    "crate-layering",
+                    format!(
+                        "the SpatialIndex trait module imports `crate::{module}`; the trait \
+                         layer must stay implementation-agnostic — move shared code into \
+                         index.rs or depend on the trait instead"
+                    ),
+                );
+            }
         }
     }
 }
@@ -306,6 +348,44 @@ mod tests {
         let v = run_layering(&w);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].msg.contains("dev-dependency"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn trait_module_may_not_import_concrete_indexes() {
+        let m = manifest(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"osd-core\"\n[dependencies]\nosd-geom = {}\n",
+        );
+        let bad = file(
+            "crates/core/src/index.rs",
+            FileOrigin::LibSrc,
+            "osd-core",
+            "use crate::db::FlatDatabase;\npub trait SpatialIndex {}\n",
+        );
+        let v = run_layering(&ws(vec![m], vec![bad]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("implementation-agnostic"), "{}", v[0].msg);
+        assert_eq!(v[0].line, 1);
+
+        // Test modules exercise the concrete types and are exempt, and
+        // the restriction is scoped to the trait module only.
+        let m = manifest(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"osd-core\"\n[dependencies]\nosd-geom = {}\n",
+        );
+        let ok_test = file(
+            "crates/core/src/index.rs",
+            FileOrigin::LibSrc,
+            "osd-core",
+            "pub trait SpatialIndex {}\n#[cfg(test)]\nmod tests {\n    use crate::db::Database;\n}\n",
+        );
+        let ok_other = file(
+            "crates/core/src/sharded.rs",
+            FileOrigin::LibSrc,
+            "osd-core",
+            "use crate::db::DbError;\n",
+        );
+        assert!(run_layering(&ws(vec![m], vec![ok_test, ok_other])).is_empty());
     }
 
     #[test]

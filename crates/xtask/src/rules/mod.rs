@@ -75,7 +75,7 @@ pub fn registry() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 14] = [
+static RULES: [Rule; 15] = [
     Rule {
         id: "no-partial-cmp-unwrap",
         summary: "distance orderings use f64::total_cmp, never partial_cmp().unwrap()",
@@ -177,6 +177,20 @@ static RULES: [Rule; 14] = [
         waiver: "acceptable only for a provably once-per-build allocation (e.g. a lazily \
                  initialised table); state the amortisation argument in the reason.",
         run: Run::PerFile(hotpath::no_alloc_in_kernels),
+    },
+    Rule {
+        id: "no-per-shard-alloc-in-descent",
+        summary: "no allocation idioms inside the merged-forest node-expansion regions",
+        scope: "`// per-shard descent: begin/end` regions of crates/core/src/nnc.rs and \
+                crates/core/src/knnc.rs (test modules exempt)",
+        intent: "the merged-forest heap expansion runs once per visited node per shard; \
+                 Vec::new / vec![ / .to_vec( / .collect( there scales heap traffic with \
+                 shard count × node visits and silently erases the shared-bound advantage \
+                 the sharded index exists to deliver (PR 7's contract).",
+        waiver: "acceptable only on a cold error path or a provably once-per-query \
+                 allocation hoisted out of the loop on the next line; state which in the \
+                 reason.",
+        run: Run::PerFile(hotpath::no_per_shard_alloc_in_descent),
     },
     Rule {
         id: "crate-layering",

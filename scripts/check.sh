@@ -52,6 +52,13 @@ echo "== repro kernels --smoke (bit-identity of the blocked kernels) =="
 # first divergence.
 cargo run -q -p osd-bench --bin repro -- kernels --smoke
 
+echo "== repro scale --smoke (sharded-index bit-identity) =="
+# The STR-sharded index is a pure layout change: flat, merged-forest and
+# scatter-gather candidates must be identical, and the merged traversal's
+# shared prune bound must never visit more nodes than the independent
+# per-shard descents. Assertion-only; never touches BENCH_scale.json.
+cargo run -q --release -p osd-bench --bin repro -- scale --smoke
+
 echo "== osd query --profile=json smoke (schema) =="
 # End-to-end observability check: a real query through the obs-enabled CLI
 # must emit a profile document carrying every phase of the taxonomy.
