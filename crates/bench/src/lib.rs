@@ -22,6 +22,7 @@ pub mod datasets;
 pub mod figures;
 pub mod kernels;
 pub mod motivation;
+pub mod mutate;
 pub mod params;
 pub mod profile;
 pub mod runner;
@@ -33,6 +34,7 @@ pub use datasets::{build, DatasetId, Workbench};
 pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
 pub use kernels::{kernels, measure_kernels, KernelsReport};
 pub use motivation::motivation;
+pub use mutate::{measure_mutate, mutate, MutateReport};
 pub use params::{Scale, Sweeps};
 pub use profile::{measure_profile, profile, ProfileReport};
 pub use runner::{

@@ -1,0 +1,377 @@
+//! `repro mutate` — churn benchmark for the epoch-published store.
+//!
+//! Seeds a [`PublishedIndex`] over the USA surrogate, then drives a
+//! writer applying an insert/delete/update churn script while reader
+//! threads pin snapshots and query them. Three things are measured:
+//!
+//! 1. **publish latency** — clone-apply-swap time per mutation (mean,
+//!    p95, max), i.e. the write-side cost of snapshot isolation;
+//! 2. **reader throughput during churn** — queries per second over the
+//!    pinned snapshots while the writer publishes concurrently; every
+//!    reader asserts its candidates are live in the snapshot it pinned;
+//! 3. **continuous-NNC repair vs full re-query** — after every publish a
+//!    standing [`ContinuousNnc`] handle is refreshed from the epoch log
+//!    and a full re-query runs on the same snapshot; the two must be
+//!    bit-identical, and their accumulated times quantify what the
+//!    incremental repair saves.
+//!
+//! The full run writes `BENCH_mutate.json`; `--smoke` runs a small
+//! assertion-only point for CI and never touches the artifact.
+
+use crate::datasets::{build_objects, build_queries, DatasetId};
+use crate::params::Scale;
+use crate::throughput::host_cpus;
+use osd_core::{
+    nn_candidates, ContinuousNnc, FilterConfig, Operator, PublishedIndex, Repair, ShardedDatabase,
+    SpatialIndex,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A full `repro mutate` run.
+#[derive(Debug, Clone)]
+pub struct MutateReport {
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Operator label.
+    pub op: &'static str,
+    /// Seed objects before churn.
+    pub n0: usize,
+    /// Instances per object.
+    pub m_d: usize,
+    /// Mutations published (insert/delete/update round-robin).
+    pub mutations: usize,
+    /// STR tiles of the sharded index (1 = flat layout).
+    pub shards: usize,
+    /// Concurrent reader threads during churn.
+    pub readers: usize,
+    /// Logical CPUs the host reports.
+    pub host_cpus: usize,
+    /// Final snapshot epoch (== mutations that published).
+    pub final_epoch: u64,
+    /// Live objects in the final snapshot.
+    pub final_live: usize,
+    /// Tombstones in the final snapshot's id space.
+    pub final_tombstones: usize,
+    /// Mean publish (clone-apply-swap) latency, seconds.
+    pub publish_mean_s: f64,
+    /// 95th-percentile publish latency, seconds.
+    pub publish_p95_s: f64,
+    /// Worst publish latency, seconds.
+    pub publish_max_s: f64,
+    /// Reader queries per second while the writer churned.
+    pub reader_qps: f64,
+    /// Total queries the readers completed during churn.
+    pub reader_queries: u64,
+    /// Accumulated `ContinuousNnc::refresh` time across all epochs.
+    pub repair_total_s: f64,
+    /// Accumulated full re-query time across the same epochs.
+    pub requery_total_s: f64,
+    /// Epochs repaired incrementally from the change log.
+    pub repairs_incremental: usize,
+    /// Epochs that fell back to a full re-query.
+    pub repairs_full: usize,
+}
+
+impl MutateReport {
+    /// Renders the report as a JSON document (hand-formatted; the
+    /// workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"operator\": \"{}\",\n", self.op));
+        out.push_str(&format!("  \"n0\": {},\n", self.n0));
+        out.push_str(&format!("  \"m_d\": {},\n", self.m_d));
+        out.push_str(&format!("  \"mutations\": {},\n", self.mutations));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"readers\": {},\n", self.readers));
+        out.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        out.push_str(&format!(
+            "  \"snapshot\": {{ \"epoch\": {}, \"live\": {}, \"tombstones\": {} }},\n",
+            self.final_epoch, self.final_live, self.final_tombstones
+        ));
+        out.push_str(&format!(
+            "  \"publish_s\": {{ \"mean\": {:.9}, \"p95\": {:.9}, \"max\": {:.9} }},\n",
+            self.publish_mean_s, self.publish_p95_s, self.publish_max_s
+        ));
+        out.push_str(&format!(
+            "  \"readers_during_churn\": {{ \"qps\": {:.3}, \"queries\": {} }},\n",
+            self.reader_qps, self.reader_queries
+        ));
+        out.push_str(&format!(
+            "  \"continuous\": {{ \"repair_total_s\": {:.9}, \"requery_total_s\": {:.9}, \
+             \"incremental\": {}, \"full\": {} }}\n",
+            self.repair_total_s, self.requery_total_s, self.repairs_incremental, self.repairs_full
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs the churn script against a published index and measures the
+/// three axes. Always cross-validates: every refreshed handle must be
+/// bit-identical to a full re-query on the same snapshot.
+///
+/// # Panics
+/// Panics if a mutation fails to publish, or if the repaired candidate
+/// set ever diverges from the full re-query — either would be an epoch
+/// machinery bug, not a measurement artefact.
+pub fn measure_mutate(
+    scale: &Scale,
+    shards: usize,
+    readers: usize,
+    mutations: usize,
+    op: Operator,
+) -> MutateReport {
+    let objects = build_objects(DatasetId::Usa, scale);
+    let pool_scale = Scale {
+        seed: scale.seed ^ 0x00c0_ffee,
+        ..scale.clone()
+    };
+    let pool = build_objects(DatasetId::Usa, &pool_scale);
+    let queries = build_queries(&objects, DatasetId::Usa, scale);
+    let cfg = FilterConfig::all();
+    let n0 = objects.len();
+
+    let published = PublishedIndex::new(ShardedDatabase::new(objects, shards));
+    let watch_query = queries[0].clone();
+    let mut handle = ContinuousNnc::new(&*published.pin(), watch_query.clone(), op, cfg);
+
+    let mut alive: Vec<usize> = (0..n0).collect();
+    let mut latencies = Vec::with_capacity(mutations);
+    let mut repair_total_s = 0.0f64;
+    let mut requery_total_s = 0.0f64;
+    let mut repairs_incremental = 0usize;
+    let mut repairs_full = 0usize;
+
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let churn_started = Instant::now();
+    std::thread::scope(|s| {
+        for r in 0..readers {
+            let published = &published;
+            let queries = &queries;
+            let cfg = &cfg;
+            let stop = &stop;
+            let reads = &reads;
+            s.spawn(move || {
+                let mut q = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = published.pin();
+                    let res = nn_candidates(&*snap, &queries[q % queries.len()], op, cfg);
+                    // A pinned snapshot is immutable: every candidate it
+                    // emits must be live in that snapshot, churn or not.
+                    assert!(
+                        res.candidates.iter().all(|c| snap.is_live(c.id)),
+                        "reader saw a dead candidate through a pinned snapshot"
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    q += 1;
+                }
+            });
+        }
+
+        for i in 0..mutations {
+            let started = Instant::now();
+            match i % 3 {
+                0 => {
+                    let obj = pool[i % pool.len()].clone();
+                    let id = published.insert(obj).unwrap_or_else(|e| {
+                        unreachable!("insert must publish: {e}");
+                    });
+                    alive.push(id);
+                }
+                1 => {
+                    let victim = alive.remove((i * 7) % alive.len());
+                    published.delete(victim).unwrap_or_else(|e| {
+                        unreachable!("delete of live id {victim} must publish: {e}");
+                    });
+                }
+                _ => {
+                    let target = alive[(i * 5) % alive.len()];
+                    let obj = pool[(i + 1) % pool.len()].clone();
+                    published.update(target, obj).unwrap_or_else(|e| {
+                        unreachable!("update of live id {target} must publish: {e}");
+                    });
+                }
+            }
+            latencies.push(started.elapsed().as_secs_f64());
+
+            let snap = published.pin();
+            let started = Instant::now();
+            let repair = handle.refresh(&*snap);
+            repair_total_s += started.elapsed().as_secs_f64();
+            match repair {
+                Repair::Incremental { .. } => repairs_incremental += 1,
+                Repair::Full => repairs_full += 1,
+                Repair::UpToDate => {}
+            }
+            let started = Instant::now();
+            let full = nn_candidates(&*snap, &watch_query, op, &cfg);
+            requery_total_s += started.elapsed().as_secs_f64();
+            let repaired: Vec<(usize, u64)> = handle
+                .candidates()
+                .iter()
+                .map(|c| (c.id, c.min_dist.to_bits()))
+                .collect();
+            let queried: Vec<(usize, u64)> = full
+                .candidates
+                .iter()
+                .map(|c| (c.id, c.min_dist.to_bits()))
+                .collect();
+            assert_eq!(
+                repaired,
+                queried,
+                "continuous repair diverged from full re-query at epoch {}",
+                snap.epoch()
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let churn_s = churn_started.elapsed().as_secs_f64();
+
+    let final_snap = published.pin();
+    latencies.sort_by(f64::total_cmp);
+    let publish_mean_s = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let publish_p95_s = latencies[(latencies.len().saturating_sub(1)) * 95 / 100];
+    let publish_max_s = latencies.last().copied().unwrap_or(0.0);
+    let reader_queries = reads.load(Ordering::Relaxed);
+
+    MutateReport {
+        dataset: DatasetId::Usa.label(),
+        op: op.label(),
+        n0,
+        m_d: scale.m_d,
+        mutations,
+        shards,
+        readers,
+        host_cpus: host_cpus(),
+        final_epoch: final_snap.epoch(),
+        final_live: final_snap.live_len(),
+        final_tombstones: final_snap.tombstone_count(),
+        publish_mean_s,
+        publish_p95_s,
+        publish_max_s,
+        reader_qps: if churn_s > 0.0 {
+            reader_queries as f64 / churn_s
+        } else {
+            f64::INFINITY
+        },
+        reader_queries,
+        repair_total_s,
+        requery_total_s,
+        repairs_incremental,
+        repairs_full,
+    }
+}
+
+/// The workload shape of a churn point: thin objects and a small query
+/// set, so the measured axes are publishing and repair, not the kernels.
+fn scale_for(n: usize) -> Scale {
+    Scale {
+        n,
+        m_d: 4,
+        m_q: 3,
+        queries: 8,
+        dim: 2,
+        seed: 0x06e7,
+        ..Scale::laptop()
+    }
+}
+
+/// Runs the churn benchmark and prints the table; writes the JSON
+/// artifact when `json_path` is given. `smoke` shrinks the run to an
+/// assertion-heavy CI-sized point.
+pub fn mutate(shards: usize, readers: usize, smoke: bool, json_path: Option<&str>) {
+    let op = Operator::SSd;
+    let (n, mutations) = if smoke { (600, 60) } else { (50_000, 600) };
+    let readers = readers.max(1);
+    println!(
+        "\n== Mutate: {} on USA ({} shards, {} readers, host_cpus={}) ==",
+        op.label(),
+        shards,
+        readers,
+        host_cpus()
+    );
+    let r = measure_mutate(&scale_for(n), shards, readers, mutations, op);
+    if smoke {
+        assert_eq!(
+            r.final_epoch, r.mutations as u64,
+            "every mutation publishes"
+        );
+        assert_eq!(
+            r.final_tombstones,
+            r.mutations.div_ceil(3),
+            "one tombstone per delete in the script"
+        );
+        assert!(
+            r.reader_queries > 0,
+            "readers made no progress during churn"
+        );
+        assert!(
+            r.repairs_incremental + r.repairs_full == r.mutations,
+            "every epoch repairs exactly once"
+        );
+    }
+    println!(
+        "publish: mean {:.1}us  p95 {:.1}us  max {:.1}us over {} mutations",
+        r.publish_mean_s * 1e6,
+        r.publish_p95_s * 1e6,
+        r.publish_max_s * 1e6,
+        r.mutations
+    );
+    println!(
+        "readers: {:.1} qps during churn ({} queries, {} threads)",
+        r.reader_qps, r.reader_queries, r.readers
+    );
+    println!(
+        "continuous: repair {:.3}ms vs re-query {:.3}ms ({} incremental, {} full)",
+        r.repair_total_s * 1e3,
+        r.requery_total_s * 1e3,
+        r.repairs_incremental,
+        r.repairs_full
+    );
+    println!(
+        "snapshot: epoch {}, {} live, {} tombstones",
+        r.final_epoch, r.final_live, r.final_tombstones
+    );
+    if let Some(path) = json_path {
+        match std::fs::write(path, r.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_publishes_and_repairs_bit_identically() {
+        let r = measure_mutate(&scale_for(200), 3, 2, 30, Operator::SSd);
+        assert_eq!(r.final_epoch, 30);
+        assert_eq!(r.mutations, 30);
+        // Script: 10 inserts, 10 deletes, 10 updates over 200 seeds.
+        assert_eq!(r.final_live, 200);
+        assert_eq!(r.final_tombstones, 10);
+        assert_eq!(r.repairs_incremental + r.repairs_full, 30);
+        assert!(r.reader_queries > 0);
+        assert!(r.publish_max_s >= r.publish_p95_s);
+        assert!(r.publish_p95_s >= 0.0 && r.publish_mean_s > 0.0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_metadata() {
+        let r = measure_mutate(&scale_for(120), 2, 1, 12, Operator::PSd);
+        let json = r.to_json();
+        assert!(json.contains("\"mutations\": 12"));
+        assert!(json.contains("\"publish_s\": {"));
+        assert!(json.contains("\"readers_during_churn\": {"));
+        assert!(json.contains("\"continuous\": {"));
+        assert!(json.contains("\"tombstones\": 4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

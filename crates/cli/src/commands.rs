@@ -3,8 +3,9 @@
 use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat};
 use osd_core::{
     batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates,
-    k_nn_candidates_scatter, nn_candidates, nn_candidates_scatter, Database, FilterConfig,
-    PreparedQuery, ProgressiveNnc, QueryEngine, QueryMetrics, ShardedDatabase, SpatialIndex, Stats,
+    k_nn_candidates_scatter, nn_candidates, nn_candidates_scatter, ContinuousNnc, Database,
+    DbError, FilterConfig, PreparedQuery, ProgressiveNnc, PublishedIndex, QueryEngine,
+    QueryMetrics, Repair, ShardedDatabase, SpatialIndex, Stats,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -29,6 +30,292 @@ fn build_index(
             .map(|db| Box::new(db) as Box<dyn SpatialIndex>)
             .map_err(|e| CliError::Data(e.to_string()))
     }
+}
+
+/// An epoch-published index behind the mutation subcommands: the two
+/// concrete layouts wrapped so the rest of the code dispatches once.
+/// (A `Box<dyn …>` will not do here — [`PublishedIndex`] needs `Clone`
+/// snapshots, which is not object-safe.)
+enum Published {
+    Flat(PublishedIndex<Database>),
+    Sharded(PublishedIndex<ShardedDatabase>),
+}
+
+impl Published {
+    fn build(
+        objects: Vec<osd_uncertain::UncertainObject>,
+        shards: usize,
+    ) -> Result<Self, CliError> {
+        if shards <= 1 {
+            Database::try_new(objects)
+                .map(|db| Published::Flat(PublishedIndex::new(db)))
+                .map_err(|e| CliError::Data(e.to_string()))
+        } else {
+            ShardedDatabase::try_new(objects, shards)
+                .map(|db| Published::Sharded(PublishedIndex::new(db)))
+                .map_err(|e| CliError::Data(e.to_string()))
+        }
+    }
+
+    fn pin(&self) -> std::sync::Arc<dyn SpatialIndex> {
+        match self {
+            Published::Flat(p) => p.pin(),
+            Published::Sharded(p) => p.pin(),
+        }
+    }
+
+    fn insert(&self, object: osd_uncertain::UncertainObject) -> Result<usize, DbError> {
+        match self {
+            Published::Flat(p) => p.insert(object),
+            Published::Sharded(p) => p.insert(object),
+        }
+    }
+
+    fn delete(&self, id: usize) -> Result<(), DbError> {
+        match self {
+            Published::Flat(p) => p.delete(id),
+            Published::Sharded(p) => p.delete(id),
+        }
+    }
+
+    fn update(&self, id: usize, object: osd_uncertain::UncertainObject) -> Result<(), DbError> {
+        match self {
+            Published::Flat(p) => p.update(id, object),
+            Published::Sharded(p) => p.update(id, object),
+        }
+    }
+}
+
+/// One line of an `--ops` script.
+enum MutOp {
+    Insert(osd_uncertain::UncertainObject),
+    Delete(usize),
+    Update(usize, osd_uncertain::UncertainObject),
+}
+
+impl MutOp {
+    fn label(&self) -> &'static str {
+        match self {
+            MutOp::Insert(_) => "insert",
+            MutOp::Delete(_) => "delete",
+            MutOp::Update(..) => "update",
+        }
+    }
+}
+
+/// Reads a mutation script: one op per line — `insert x,y;x,y;…`,
+/// `delete ID` or `update ID x,y;…` — with blank lines and `#` comments
+/// skipped. Object specs must match the dataset's dimensionality `dim`.
+fn read_ops_file(path: &Path, dim: usize) -> Result<Vec<MutOp>, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Data(e.to_string()))?;
+    let located = |lineno: usize, msg: String| {
+        CliError::BadArgument(format!("{}:{}: {msg}", path.display(), lineno + 1))
+    };
+    let parse_spec = |lineno: usize, spec: &str| {
+        let obj = parse_query_spec(spec).map_err(|e| located(lineno, e.to_string()))?;
+        if obj.dim() != dim {
+            return Err(located(
+                lineno,
+                format!(
+                    "object dimensionality {} does not match the dataset's {dim}",
+                    obj.dim()
+                ),
+            ));
+        }
+        Ok(obj)
+    };
+    let parse_id = |lineno: usize, token: &str| {
+        token
+            .parse::<usize>()
+            .map_err(|_| located(lineno, format!("expected an object id, got {token:?}")))
+    };
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let verb = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match verb {
+            "insert" => ops.push(MutOp::Insert(parse_spec(lineno, rest)?)),
+            "delete" => ops.push(MutOp::Delete(parse_id(lineno, rest)?)),
+            "update" => {
+                let mut parts = rest.splitn(2, char::is_whitespace);
+                let id = parse_id(lineno, parts.next().unwrap_or(""))?;
+                let spec = parts.next().unwrap_or("").trim();
+                if spec.is_empty() {
+                    return Err(located(lineno, "update needs an object spec".into()));
+                }
+                ops.push(MutOp::Update(id, parse_spec(lineno, spec)?));
+            }
+            other => {
+                return Err(located(
+                    lineno,
+                    format!("unknown op {other:?} (use insert | delete | update)"),
+                ))
+            }
+        }
+    }
+    if ops.is_empty() {
+        return Err(CliError::Data(format!(
+            "{}: no ops (all lines blank or comments)",
+            path.display()
+        )));
+    }
+    Ok(ops)
+}
+
+/// `osd mutate`: load a CSV dataset, apply an `--ops` mutation script
+/// through the epoch-publishing store (insert / delete / update, one
+/// snapshot per op), and report the published epochs. `--out FILE` writes
+/// the surviving objects back as CSV.
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags, unreadable data or a malformed
+/// ops script. Individual ops that fail (dead id, dimension mismatch)
+/// are reported and skipped — they publish nothing.
+pub fn cmd_mutate(flags: &Flags) -> Result<(), CliError> {
+    let data = flags.required("--data")?;
+    let ops_file = flags.required("--ops")?;
+    let shards: usize = flags.parsed_or("--shards", 1)?;
+    let out = flags.value("--out");
+
+    let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let dim = objects
+        .first()
+        .map(osd_uncertain::UncertainObject::dim)
+        .ok_or_else(|| CliError::Data(format!("{data}: dataset is empty")))?;
+    let ops = read_ops_file(Path::new(ops_file), dim)?;
+    // Shadow copy of the logical id space, for `--out`: the store compacts
+    // deleted rows away, so surviving objects are re-emitted from here.
+    let mut shadow: Vec<Option<osd_uncertain::UncertainObject>> =
+        objects.iter().cloned().map(Some).collect();
+    let published = Published::build(objects, shards)?;
+
+    for (i, op) in ops.into_iter().enumerate() {
+        let label = op.label();
+        let outcome = match op {
+            MutOp::Insert(obj) => published.insert(obj.clone()).map(|id| {
+                shadow.push(Some(obj));
+                format!("object {id}")
+            }),
+            MutOp::Delete(id) => published.delete(id).map(|()| {
+                shadow[id] = None;
+                format!("object {id}")
+            }),
+            MutOp::Update(id, obj) => published.update(id, obj.clone()).map(|()| {
+                shadow[id] = Some(obj);
+                format!("object {id}")
+            }),
+        };
+        match outcome {
+            Ok(what) => println!(
+                "op {:>4} {label:<6} {what}: published epoch {}",
+                i + 1,
+                published.pin().epoch()
+            ),
+            Err(e) => println!("op {:>4} {label:<6} failed ({e}); nothing published", i + 1),
+        }
+    }
+
+    let snap = published.pin();
+    println!(
+        "final snapshot: epoch {}, {} live object(s), {} tombstone(s), {} id(s)",
+        snap.epoch(),
+        snap.live_len(),
+        snap.tombstone_count(),
+        snap.len()
+    );
+    if let Some(out) = out {
+        let live: Vec<osd_uncertain::UncertainObject> = shadow.into_iter().flatten().collect();
+        write_objects_csv(Path::new(out), &live).map_err(|e| CliError::Data(e.to_string()))?;
+        println!("wrote {} live objects to {out}", live.len());
+    }
+    Ok(())
+}
+
+/// `osd watch`: a standing NN-candidate query over a mutating dataset.
+/// Loads the data, computes the initial candidate set, then applies each
+/// `--ops` mutation through the epoch-publishing store and incrementally
+/// repairs the candidates after every published snapshot, printing how
+/// each epoch was absorbed (up-to-date / incremental repair / full
+/// re-query).
+///
+/// # Errors
+/// Returns a [`CliError`] on bad flags, unreadable data or a malformed
+/// ops script.
+pub fn cmd_watch(flags: &Flags) -> Result<(), CliError> {
+    let data = flags.required("--data")?;
+    let ops_file = flags.required("--ops")?;
+    let query = parse_query_spec(flags.required("--query")?)?;
+    let op = parse_operator(flags.value("--op").unwrap_or("psd"))?;
+    let shards: usize = flags.parsed_or("--shards", 1)?;
+
+    let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
+    let dim = objects
+        .first()
+        .map(osd_uncertain::UncertainObject::dim)
+        .ok_or_else(|| CliError::Data(format!("{data}: dataset is empty")))?;
+    if dim != query.dim() {
+        return Err(CliError::Data(format!(
+            "query dimensionality {} does not match the dataset's {}",
+            query.dim(),
+            dim
+        )));
+    }
+    let ops = read_ops_file(Path::new(ops_file), dim)?;
+    let published = Published::build(objects, shards)?;
+
+    let snap = published.pin();
+    let mut handle = ContinuousNnc::new(&*snap, PreparedQuery::new(query), op, FilterConfig::all());
+    drop(snap);
+    println!(
+        "epoch {:>4}: {} candidate(s) under {}: {:?}",
+        handle.epoch(),
+        handle.candidates().len(),
+        op.label(),
+        handle.ids()
+    );
+
+    for (i, mop) in ops.into_iter().enumerate() {
+        let label = mop.label();
+        let outcome = match mop {
+            MutOp::Insert(obj) => published.insert(obj).map(|id| format!("object {id}")),
+            MutOp::Delete(id) => published.delete(id).map(|()| format!("object {id}")),
+            MutOp::Update(id, obj) => published.update(id, obj).map(|()| format!("object {id}")),
+        };
+        let what = match outcome {
+            Ok(what) => what,
+            Err(e) => {
+                println!("op {:>4} {label:<6} failed ({e}); nothing published", i + 1);
+                continue;
+            }
+        };
+        let snap = published.pin();
+        let repair = handle.refresh(&*snap);
+        let how = match repair {
+            Repair::UpToDate => "up to date".to_string(),
+            Repair::Full => "full re-query".to_string(),
+            Repair::Incremental {
+                rechecked,
+                mbr_pruned,
+                admitted,
+                evicted,
+            } => format!(
+                "repaired (rechecked {rechecked}, mbr-pruned {mbr_pruned}, \
+                 admitted {admitted}, evicted {evicted})"
+            ),
+        };
+        println!(
+            "epoch {:>4}: {label} {what} → {how} → {} candidate(s): {:?}",
+            handle.epoch(),
+            handle.candidates().len(),
+            handle.ids()
+        );
+    }
+    Ok(())
 }
 
 /// `osd query`: load a CSV dataset and print the NN candidates of one
@@ -247,6 +534,12 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
     let db = build_index(objects, shards)?;
     let pq = PreparedQuery::new(query);
     let cfg = FilterConfig::all();
+    println!(
+        "snapshot: epoch {}, {} live object(s), {} tombstone(s)",
+        db.epoch(),
+        db.live_len(),
+        db.tombstone_count()
+    );
 
     if let Some(spec) = object {
         let v: usize = spec
@@ -387,8 +680,10 @@ pub fn run(subcommand: &str, flags: &Flags) -> Result<(), CliError> {
         "explain" => cmd_explain(flags),
         "score" => cmd_score(flags),
         "gen" => cmd_gen(flags),
+        "mutate" => cmd_mutate(flags),
+        "watch" => cmd_watch(flags),
         other => Err(CliError::BadArgument(format!(
-            "unknown subcommand {other:?} (use query | explain | score | gen)"
+            "unknown subcommand {other:?} (use query | explain | score | gen | mutate | watch)"
         ))),
     }
 }
@@ -409,6 +704,13 @@ USAGE:
   osd explain --data data.csv --query \"x,y;…\" (--object ID | --matrix)
             [--op …] [--shards N]
   osd score --data data.csv --query \"x,y;…\" --object ID
+  osd mutate --data data.csv --ops ops.txt [--shards N] [--out new.csv]
+            (ops.txt: one op per line — insert x,y;… | delete ID |
+             update ID x,y;… — each publishing one snapshot epoch)
+  osd watch --data data.csv --query \"x,y;…\" --ops ops.txt
+            [--op ssd|sssd|psd|fsd|f+sd] [--shards N]
+            (standing query: the candidate set is incrementally repaired
+             after every published epoch)
 
 `--shards N` space-partitions the store into N STR tiles, each with its own
 global R-tree; candidates are bit-identical to the flat index. `--scatter`
@@ -802,6 +1104,115 @@ mod tests {
         .unwrap_err();
         std::fs::remove_file(&out).ok();
         assert!(err.to_string().contains("quadratic"));
+    }
+
+    #[test]
+    fn mutate_applies_script_and_writes_survivors() {
+        let out = tmp("mutate.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "20",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let ops = tmp("mutate-ops.txt");
+        std::fs::write(
+            &ops,
+            "# churn\ninsert 100,100;110,110\ndelete 3\nupdate 5 200,200;210,205\ndelete 3\n",
+        )
+        .unwrap();
+        let rewritten = tmp("mutate-out.csv");
+        // The second `delete 3` fails (dead id) but must not abort the run.
+        cmd_mutate(&flags(&[
+            "--data", &out, "--ops", &ops, "--out", &rewritten,
+        ]))
+        .unwrap();
+        // 20 seeds + 1 insert - 1 delete survive.
+        let survivors = read_objects_csv(Path::new(&rewritten)).unwrap();
+        assert_eq!(survivors.len(), 20);
+        // Sharded layout takes the same script.
+        cmd_mutate(&flags(&["--data", &out, "--ops", &ops, "--shards", "3"])).unwrap();
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&ops).ok();
+        std::fs::remove_file(&rewritten).ok();
+    }
+
+    #[test]
+    fn mutate_rejects_malformed_scripts() {
+        let out = tmp("badops.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "5",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let check = |script: &str, needle: &str| {
+            let ops = tmp("badops-ops.txt");
+            std::fs::write(&ops, script).unwrap();
+            let err = cmd_mutate(&flags(&["--data", &out, "--ops", &ops])).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "script {script:?}: {err} should mention {needle:?}"
+            );
+            std::fs::remove_file(&ops).ok();
+        };
+        check("frobnicate 3\n", "unknown op");
+        check("delete x\n", "expected an object id");
+        check("insert 1,2,3\n", "dimensionality");
+        check("update 2\n", "update needs an object spec");
+        check("# nothing\n\n", "no ops");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn watch_repairs_across_epochs() {
+        let out = tmp("watch.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "25",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let ops = tmp("watch-ops.txt");
+        std::fs::write(
+            &ops,
+            "insert 5000,5000;5010,5010\ninsert 9900,9900\ndelete 2\nupdate 4 4900,4900;4910,4905\n",
+        )
+        .unwrap();
+        for shards in ["1", "3"] {
+            cmd_watch(&flags(&[
+                "--data",
+                &out,
+                "--query",
+                "5000,5000",
+                "--ops",
+                &ops,
+                "--shards",
+                shards,
+            ]))
+            .unwrap();
+        }
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&ops).ok();
     }
 
     #[test]

@@ -21,8 +21,10 @@ pub fn nn_candidates_bruteforce(
 ) -> (Vec<usize>, Stats) {
     let mut ctx = CheckCtx::new(db, query, *cfg);
     let mut out = Vec::new();
-    'outer: for v in 0..db.len() {
-        for u in 0..db.len() {
+    // Tombstoned ids are skipped: the dominance relation ranges over the
+    // live objects of the pinned snapshot only.
+    'outer: for v in (0..db.len()).filter(|&v| db.is_live(v)) {
+        for u in (0..db.len()).filter(|&u| db.is_live(u)) {
             if u != v && ctx.dominates(op, u, v) {
                 continue 'outer;
             }

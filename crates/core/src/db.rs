@@ -13,66 +13,17 @@
 
 use crate::index::{shard_stats_of, IndexStats, SpatialIndex};
 use osd_rtree::{Entry, RTree};
-use osd_uncertain::{InstanceStore, ObjectRef, StoreError, UncertainObject};
-use std::fmt;
+use osd_uncertain::{epoch, Change, EpochLog, InstanceStore, ObjectRef, UncertainObject};
 use std::sync::Arc;
+
+// `DbError` lives with the `SpatialIndex` trait (whose default mutators
+// return it) and is re-exported here, its historical home.
+pub use crate::index::DbError;
 
 /// Default fan-out of the global R-tree.
 pub const DEFAULT_GLOBAL_FANOUT: usize = 32;
 /// Fan-out of the per-object local R-trees (matches the paper's setting).
 pub const DEFAULT_LOCAL_FANOUT: usize = 4;
-
-/// Why a [`Database`] could not be built or extended.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DbError {
-    /// No objects were supplied.
-    Empty,
-    /// An object disagrees with the database's dimensionality.
-    DimensionMismatch {
-        /// Id (input position, or would-be id on insert) of the offending
-        /// object.
-        object: usize,
-        /// Dimensionality of the database (set by the first object).
-        expected: usize,
-        /// Dimensionality of the offending object.
-        found: usize,
-    },
-}
-
-impl fmt::Display for DbError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DbError::Empty => write!(f, "a database needs at least one object"),
-            DbError::DimensionMismatch {
-                object,
-                expected,
-                found,
-            } => write!(
-                f,
-                "object {object}: dimensionality must match the database: \
-                 expected {expected}, found {found}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for DbError {}
-
-impl DbError {
-    /// Lifts a columnar-store error, attaching the id of the offending
-    /// object (the store reports *what* went wrong, the database knows
-    /// *which* object tripped it).
-    pub fn from_store(e: StoreError, object: usize) -> Self {
-        match e {
-            StoreError::Empty => DbError::Empty,
-            StoreError::DimensionMismatch { expected, found } => DbError::DimensionMismatch {
-                object,
-                expected,
-                found,
-            },
-        }
-    }
-}
 
 /// A set of multi-instance objects indexed for NN-candidate search with
 /// **one** global R-tree — the flat (unsharded) [`SpatialIndex`] layout.
@@ -80,11 +31,28 @@ impl DbError {
 /// Instance data is held in an `Arc<InstanceStore>` snapshot; the database
 /// itself only owns the index structures. For the space-partitioned
 /// alternative see [`ShardedDatabase`](crate::ShardedDatabase).
-#[derive(Debug)]
+///
+/// Mutations go through the epoch seam (`uncertain::epoch`): every
+/// insert/delete/update builds the next snapshot copy-on-write and bumps
+/// the epoch. Ids are logical and never reused — a delete compacts the
+/// object's rows out of the columns (later rows shift down by one) and
+/// leaves a tombstone in the id space, so `len()` (id-space size) and
+/// `live_len()` (row count) diverge after the first delete.
+#[derive(Debug, Clone)]
 pub struct FlatDatabase {
     store: Arc<InstanceStore>,
+    /// Local instance trees, indexed by store row.
     local: Vec<RTree<usize>>,
+    /// Global object-MBR tree; payloads are logical ids, live entries only.
     global: RTree<usize>,
+    /// Logical id → store row (`None` = tombstone).
+    slot: Vec<Option<usize>>,
+    /// Store row → logical id.
+    ext: Vec<usize>,
+    /// Fan-out for local trees rebuilt on update.
+    local_fanout: usize,
+    /// Published-mutation log; its length is the snapshot epoch.
+    epochs: EpochLog,
 }
 
 /// The historical name of [`FlatDatabase`] — the default database layout.
@@ -186,11 +154,28 @@ impl FlatDatabase {
             })
             .collect();
         let global = RTree::bulk_load(global_fanout, global_entries);
+        let n = store.len();
         Ok(FlatDatabase {
             store,
             local,
             global,
+            slot: (0..n).map(Some).collect(),
+            ext: (0..n).collect(),
+            local_fanout,
+            epochs: EpochLog::default(),
         })
+    }
+
+    /// The store row holding live object `id`.
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range.
+    fn row_of(&self, id: usize) -> Result<usize, DbError> {
+        self.slot
+            .get(id)
+            .copied()
+            .flatten()
+            .ok_or(DbError::Dead { object: id })
     }
 
     /// Aborts a panicking constructor with the invariant violation `e`.
@@ -206,9 +191,9 @@ impl FlatDatabase {
         panic!("{e}")
     }
 
-    /// Number of objects.
+    /// Size of the logical id space (live objects + tombstones).
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.slot.len()
     }
 
     /// Never true: databases are non-empty by construction.
@@ -227,15 +212,27 @@ impl FlatDatabase {
         &self.store
     }
 
-    /// Zero-copy view of object `id`.
+    /// Zero-copy view of live object `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is tombstoned or out of range.
     pub fn object(&self, id: usize) -> ObjectRef<'_> {
-        self.store.object(id)
+        match self.row_of(id) {
+            Ok(row) => self.store.object(row),
+            Err(e) => Self::invalid(e),
+        }
     }
 
-    /// Local R-tree over the instances of object `id` (payload = instance
-    /// index).
+    /// Local R-tree over the instances of live object `id` (payload =
+    /// instance index).
+    ///
+    /// # Panics
+    /// Panics if `id` is tombstoned or out of range.
     pub fn local_tree(&self, id: usize) -> &RTree<usize> {
-        &self.local[id]
+        match self.row_of(id) {
+            Ok(row) => &self.local[row],
+            Err(e) => Self::invalid(e),
+        }
     }
 
     /// The global R-tree over object MBRs (payload = object id).
@@ -292,32 +289,129 @@ impl FlatDatabase {
         object: UncertainObject,
         local_fanout: usize,
     ) -> Result<usize, DbError> {
-        let would_be = self.len();
-        if object.dim() != self.dim() {
-            return Err(DbError::DimensionMismatch {
-                object: would_be,
-                expected: self.dim(),
-                found: object.dim(),
-            });
-        }
-        let store = Arc::make_mut(&mut self.store);
-        let id = store
-            .push_object(&object)
-            .map_err(|e| DbError::from_store(e, would_be))?;
-        let view = store.object(id);
+        let id = self.slot.len();
+        let row =
+            epoch::append(&mut self.store, &object).map_err(|e| DbError::from_store(e, id))?;
+        debug_assert_eq!(row, self.ext.len(), "appends land at the store tail");
+        let view = self.store.object(row);
         self.local.push(RTree::bulk_load_rows(
             local_fanout,
             view.dim(),
             view.coords(),
         ));
         self.global.insert(view.mbr().clone(), id);
+        self.slot.push(Some(row));
+        self.ext.push(id);
+        self.epochs.record(Change::Inserted(id));
         Ok(id)
+    }
+
+    /// Deletes live object `id`: its rows are compacted out of the
+    /// columnar snapshot (copy-on-write — pinned readers keep the old
+    /// snapshot), its global-tree entry is removed with condensation, and
+    /// its id is tombstoned, never to be reused.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live or the delete would empty the database.
+    /// Use [`Database::try_delete_object`] for untrusted input.
+    #[track_caller]
+    pub fn delete_object(&mut self, id: usize) {
+        if let Err(e) = self.try_delete_object(id) {
+            Self::invalid(e)
+        }
+    }
+
+    /// Fallible variant of [`Database::delete_object`].
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range;
+    /// [`DbError::Empty`] when the delete would leave no live objects.
+    pub fn try_delete_object(&mut self, id: usize) -> Result<(), DbError> {
+        let row = self.row_of(id)?;
+        if self.store.len() == 1 {
+            return Err(DbError::Empty);
+        }
+        let mbr = self.store.object(row).mbr().clone();
+        let removed = self.global.remove_item(&mbr, |&x| x == id);
+        debug_assert!(removed.is_some(), "live id {id} must be in the global tree");
+        epoch::remove(&mut self.store, row);
+        self.local.remove(row);
+        self.ext.remove(row);
+        self.slot[id] = None;
+        for s in self.slot.iter_mut().flatten() {
+            if *s > row {
+                *s -= 1;
+            }
+        }
+        self.epochs.record(Change::Deleted(id));
+        Ok(())
+    }
+
+    /// Replaces live object `id` in place (same logical id): the rows are
+    /// respliced in the snapshot (copy-on-write), the local tree rebuilt,
+    /// and the global-tree entry removed with condensation and
+    /// re-inserted under the new MBR.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live or dimensionalities mismatch. Use
+    /// [`Database::try_update_object`] for untrusted input.
+    #[track_caller]
+    pub fn update_object(&mut self, id: usize, object: UncertainObject) {
+        if let Err(e) = self.try_update_object(id, object) {
+            Self::invalid(e)
+        }
+    }
+
+    /// Fallible variant of [`Database::update_object`].
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range;
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn try_update_object(&mut self, id: usize, object: UncertainObject) -> Result<(), DbError> {
+        let row = self.row_of(id)?;
+        let old_mbr = self.store.object(row).mbr().clone();
+        epoch::replace(&mut self.store, row, &object).map_err(|e| DbError::from_store(e, id))?;
+        let removed = self.global.remove_item(&old_mbr, |&x| x == id);
+        debug_assert!(removed.is_some(), "live id {id} must be in the global tree");
+        let view = self.store.object(row);
+        self.local[row] = RTree::bulk_load_rows(self.local_fanout, view.dim(), view.coords());
+        self.global.insert(view.mbr().clone(), id);
+        self.epochs.record(Change::Updated(id));
+        Ok(())
     }
 }
 
 impl SpatialIndex for FlatDatabase {
     fn len(&self) -> usize {
+        self.slot.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    fn live_len(&self) -> usize {
         self.store.len()
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        self.slot.get(id).copied().flatten().is_some()
+    }
+
+    fn changes_since(&self, since: u64) -> Option<Vec<Change>> {
+        self.epochs.changes_since(since)
+    }
+
+    fn try_insert(&mut self, object: UncertainObject) -> Result<usize, DbError> {
+        self.try_insert_object(object)
+    }
+
+    fn try_delete(&mut self, id: usize) -> Result<(), DbError> {
+        self.try_delete_object(id)
+    }
+
+    fn try_update(&mut self, id: usize, object: UncertainObject) -> Result<(), DbError> {
+        self.try_update_object(id, object)
     }
 
     fn dim(&self) -> usize {
@@ -329,11 +423,11 @@ impl SpatialIndex for FlatDatabase {
     }
 
     fn object(&self, id: usize) -> ObjectRef<'_> {
-        self.store.object(id)
+        FlatDatabase::object(self, id)
     }
 
     fn local_tree(&self, id: usize) -> &RTree<usize> {
-        &self.local[id]
+        FlatDatabase::local_tree(self, id)
     }
 
     fn shard_count(&self) -> usize {
@@ -486,5 +580,114 @@ mod tests {
         db.insert_object(UncertainObject::uniform(vec![Point::new(vec![
             1.0, 2.0, 3.0,
         ])]));
+    }
+
+    #[test]
+    fn delete_compacts_rows_and_tombstones_the_id() {
+        let mut db = Database::new(vec![
+            obj(&[(0.0, 0.0), (1.0, 1.0)]),
+            obj(&[(5.0, 5.0)]),
+            obj(&[(9.0, 9.0), (9.5, 9.0)]),
+        ]);
+        db.delete_object(1);
+        // Id space keeps the tombstone; the row space compacts.
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.live_len(), 2);
+        assert_eq!(db.tombstone_count(), 1);
+        assert!(db.is_live(0) && !db.is_live(1) && db.is_live(2));
+        db.store().validate().unwrap();
+        // Survivors are addressable under their old ids, bits unchanged.
+        assert_eq!(db.object(0).row(1), &[1.0, 1.0]);
+        assert_eq!(db.object(2).row(0), &[9.0, 9.0]);
+        assert_eq!(db.local_tree(2).len(), 2);
+        // The global tree no longer serves the deleted id.
+        assert_eq!(db.global_tree().len(), 2);
+        let hits = db
+            .global_tree()
+            .range_intersecting(&Mbr::new(vec![4.0, 4.0], vec![6.0, 6.0]));
+        assert!(hits.is_empty());
+        // Ids are never reused: the next insert gets a fresh id.
+        let id = db.insert_object(obj(&[(3.0, 3.0)]));
+        assert_eq!(id, 3);
+        assert!(!db.is_live(1));
+    }
+
+    #[test]
+    fn update_reroutes_the_global_entry() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0), (1.0, 1.0)]), obj(&[(5.0, 5.0)])]);
+        db.update_object(0, obj(&[(20.0, 20.0), (21.0, 21.0), (22.0, 20.0)]));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.live_len(), 2);
+        db.store().validate().unwrap();
+        assert_eq!(db.object(0).len(), 3);
+        assert_eq!(db.object(0).row(0), &[20.0, 20.0]);
+        assert_eq!(db.local_tree(0).len(), 3);
+        // Neighbour bits untouched.
+        assert_eq!(db.object(1).row(0), &[5.0, 5.0]);
+        // The global tree serves the new MBR, not the old one.
+        let hits = db
+            .global_tree()
+            .range_intersecting(&Mbr::new(vec![19.0, 19.0], vec![23.0, 23.0]));
+        assert!(hits.into_iter().any(|&h| h == 0));
+        let old = db
+            .global_tree()
+            .range_intersecting(&Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+        assert!(old.is_empty());
+    }
+
+    #[test]
+    fn delete_refuses_dead_ids_and_emptying() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0)]), obj(&[(5.0, 5.0)])]);
+        assert_eq!(
+            db.try_delete_object(7).unwrap_err(),
+            DbError::Dead { object: 7 }
+        );
+        db.delete_object(0);
+        assert_eq!(
+            db.try_delete_object(0).unwrap_err(),
+            DbError::Dead { object: 0 }
+        );
+        assert_eq!(
+            db.try_update_object(0, obj(&[(1.0, 1.0)])).unwrap_err(),
+            DbError::Dead { object: 0 }
+        );
+        // The last live object cannot be deleted.
+        assert_eq!(db.try_delete_object(1).unwrap_err(), DbError::Empty);
+        assert_eq!(db.live_len(), 1);
+    }
+
+    #[test]
+    fn mutations_bump_the_epoch_and_log_changes() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0)]), obj(&[(5.0, 5.0)])]);
+        assert_eq!(db.epoch(), 0);
+        let id = db.insert_object(obj(&[(9.0, 9.0)]));
+        db.update_object(id, obj(&[(8.0, 8.0)]));
+        db.delete_object(0);
+        assert_eq!(db.epoch(), 3);
+        assert_eq!(
+            db.changes_since(0),
+            Some(vec![
+                Change::Inserted(2),
+                Change::Updated(2),
+                Change::Deleted(0)
+            ])
+        );
+        assert_eq!(db.changes_since(3), Some(vec![]));
+        assert_eq!(db.changes_since(9), None);
+        // Failed mutations publish nothing.
+        assert!(db.try_delete_object(0).is_err());
+        assert_eq!(db.epoch(), 3);
+    }
+
+    #[test]
+    fn delete_is_copy_on_write_for_shared_snapshots() {
+        let mut db = Database::new(vec![obj(&[(0.0, 0.0)]), obj(&[(5.0, 5.0)])]);
+        let pinned = Arc::clone(db.store());
+        db.delete_object(0);
+        // Pinned readers keep the pre-delete snapshot bit-for-bit.
+        assert_eq!(pinned.len(), 2);
+        assert_eq!(pinned.object(0).row(0), &[0.0, 0.0]);
+        assert_eq!(db.store().len(), 1);
+        assert!(!Arc::ptr_eq(db.store(), &pinned));
     }
 }

@@ -22,7 +22,7 @@ pub fn dominators_of(
 ) -> Vec<usize> {
     let mut ctx = CheckCtx::new(db, query, *cfg);
     (0..db.len())
-        .filter(|&u| u != v && ctx.dominates(op, u, v))
+        .filter(|&u| u != v && db.is_live(u) && db.is_live(v) && ctx.dominates(op, u, v))
         .collect()
 }
 
@@ -39,8 +39,11 @@ pub fn dominance_matrix(
     let n = db.len();
     let mut m = vec![vec![false; n]; n];
     for (u, row) in m.iter_mut().enumerate() {
+        if !db.is_live(u) {
+            continue;
+        }
         for (v, cell) in row.iter_mut().enumerate() {
-            if u != v {
+            if u != v && db.is_live(v) {
                 *cell = ctx.dominates(op, u, v);
             }
         }

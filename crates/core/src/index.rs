@@ -24,8 +24,78 @@
 
 use osd_geom::Point;
 use osd_rtree::RTree;
-use osd_uncertain::{InstanceStore, ObjectRef};
+use osd_uncertain::{Change, InstanceStore, ObjectRef, StoreError, UncertainObject};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why an index could not be built or mutated.
+///
+/// Lives with the trait (not a concrete layout) because the
+/// [`SpatialIndex`] default mutators return it; `crate::db` re-exports it
+/// from its historical home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// No objects were supplied.
+    Empty,
+    /// An object disagrees with the database's dimensionality.
+    DimensionMismatch {
+        /// Id (input position, or would-be id on insert) of the offending
+        /// object.
+        object: usize,
+        /// Dimensionality of the database (set by the first object).
+        expected: usize,
+        /// Dimensionality of the offending object.
+        found: usize,
+    },
+    /// The addressed id is tombstoned (deleted) or was never assigned.
+    Dead {
+        /// The offending logical object id.
+        object: usize,
+    },
+    /// The index layout does not support mutation (e.g. a read-only
+    /// shard slice).
+    Immutable,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Empty => write!(f, "a database needs at least one object"),
+            DbError::DimensionMismatch {
+                object,
+                expected,
+                found,
+            } => write!(
+                f,
+                "object {object}: dimensionality must match the database: \
+                 expected {expected}, found {found}"
+            ),
+            DbError::Dead { object } => write!(
+                f,
+                "object {object} is not live (deleted, or never inserted)"
+            ),
+            DbError::Immutable => write!(f, "this index layout does not support mutation"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// Lifts a columnar-store error, attaching the id of the offending
+    /// object (the store reports *what* went wrong, the database knows
+    /// *which* object tripped it).
+    pub fn from_store(e: StoreError, object: usize) -> Self {
+        match e {
+            StoreError::Empty => DbError::Empty,
+            StoreError::DimensionMismatch { expected, found } => DbError::DimensionMismatch {
+                object,
+                expected,
+                found,
+            },
+        }
+    }
+}
 
 /// Per-shard size statistics (one entry per shard; a flat database reports
 /// exactly one).
@@ -65,13 +135,84 @@ pub struct IndexStats {
 /// sets (candidate ids, distances, emission order) are comparable — and,
 /// by the frozen-counter contract, bit-identical — across layouts.
 pub trait SpatialIndex: Send + Sync {
-    /// Number of objects.
+    /// Size of the *logical id space*: one slot per object ever inserted,
+    /// live or tombstoned. Ids are stable and never reused, so per-query
+    /// structures sized by `len()` (caches, scratch) stay addressable
+    /// across mutations.
     fn len(&self) -> usize;
 
     /// Whether the index holds no objects (never true for the concrete
     /// databases, which are non-empty by construction).
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Epoch of the current snapshot: the number of mutations ever
+    /// published. A never-mutated index reports 0.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Number of *live* objects (`len()` minus tombstones).
+    fn live_len(&self) -> usize {
+        self.len()
+    }
+
+    /// Whether logical id `id` currently denotes a live object.
+    fn is_live(&self, id: usize) -> bool {
+        id < self.len()
+    }
+
+    /// Number of tombstoned (deleted) ids in the logical id space.
+    fn tombstone_count(&self) -> usize {
+        self.len() - self.live_len()
+    }
+
+    /// The mutations published after epoch `since`, oldest first, or
+    /// `None` when the delta is no longer reconstructible (the reader
+    /// fell behind the retained change window and must refresh fully).
+    fn changes_since(&self, since: u64) -> Option<Vec<Change>> {
+        if since == self.epoch() {
+            Some(Vec::new())
+        } else {
+            None
+        }
+    }
+
+    /// Publishes an insert, returning the new object's logical id.
+    ///
+    /// # Errors
+    /// [`DbError::Immutable`] for read-only layouts (the default);
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    fn try_insert(&mut self, object: UncertainObject) -> Result<usize, DbError> {
+        let _ = object;
+        Err(DbError::Immutable)
+    }
+
+    /// Publishes a delete: the object's rows are compacted out of the
+    /// store, its global-tree entry condensed away, and its id
+    /// tombstoned (never reused).
+    ///
+    /// # Errors
+    /// [`DbError::Immutable`] for read-only layouts (the default);
+    /// [`DbError::Dead`] if `id` is not live; [`DbError::Empty`] when the
+    /// delete would leave the index empty.
+    fn try_delete(&mut self, id: usize) -> Result<(), DbError> {
+        let _ = id;
+        Err(DbError::Immutable)
+    }
+
+    /// Publishes an update: the object is replaced in place under the
+    /// same logical id, and its index entries are re-routed like an
+    /// insert.
+    ///
+    /// # Errors
+    /// [`DbError::Immutable`] for read-only layouts (the default);
+    /// [`DbError::Dead`] if `id` is not live;
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    fn try_update(&mut self, id: usize, object: UncertainObject) -> Result<(), DbError> {
+        let _ = (id, object);
+        Err(DbError::Immutable)
     }
 
     /// Dimensionality of the instance space.
@@ -159,6 +300,22 @@ impl<'a> ShardSlice<'a> {
 impl SpatialIndex for ShardSlice<'_> {
     fn len(&self) -> usize {
         self.base.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.base.epoch()
+    }
+
+    fn live_len(&self) -> usize {
+        self.base.live_len()
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        self.base.is_live(id)
+    }
+
+    fn changes_since(&self, since: u64) -> Option<Vec<Change>> {
+        self.base.changes_since(since)
     }
 
     fn dim(&self) -> usize {

@@ -40,6 +40,11 @@
 //!   against;
 //! * [`nn_candidates`] / [`ProgressiveNnc`] — Algorithm 1 (batch and
 //!   progressive);
+//! * [`PublishedIndex`] — epoch-published snapshot chain for concurrent
+//!   readers over a mutating index (insert/delete/update via the
+//!   [`SpatialIndex`] `try_*` family);
+//! * [`ContinuousNnc`] — a standing NNC query that incrementally repairs
+//!   its candidate set on every published epoch;
 //! * [`QueryEngine`] — single-query and multi-threaded batch execution
 //!   with exact [`Stats`] / [`QueryMetrics`] merging;
 //! * [`nn_candidates_bruteforce`] — the O(n²) reference oracle;
@@ -54,6 +59,7 @@
 pub mod brute;
 pub mod cache;
 pub mod config;
+pub mod continuous;
 pub mod ctx;
 pub mod db;
 pub mod engine;
@@ -64,12 +70,14 @@ pub mod invariants;
 pub mod knnc;
 pub mod nnc;
 pub mod ops;
+pub mod publish;
 pub mod query;
 pub mod sharded;
 
 pub use brute::nn_candidates_bruteforce;
 pub use cache::DominanceCache;
 pub use config::{FilterConfig, Stats};
+pub use continuous::{ContinuousNnc, Repair};
 pub use ctx::CheckCtx;
 pub use db::{Database, DbError, FlatDatabase};
 pub use engine::{batch_metrics, batch_stats, QueryEngine};
@@ -82,5 +90,7 @@ pub use ops::{
     ss_sd, Operator,
 };
 pub use osd_obs::QueryMetrics;
+pub use osd_uncertain::{Change, EpochLog};
+pub use publish::PublishedIndex;
 pub use query::PreparedQuery;
 pub use sharded::{ShardConfig, ShardedDatabase};

@@ -263,6 +263,11 @@ impl<'a> ProgressiveNnc<'a> {
     ) -> Self {
         let timer = PhaseTimer::start(Phase::Prepare);
         let mut ctx = CheckCtx::new(db, query, *cfg);
+        ctx.metrics.snapshot(
+            db.epoch(),
+            db.live_len() as u64,
+            db.tombstone_count() as u64,
+        );
         let mut heap = BinaryHeap::new();
         // Seed every shard root (a flat database has exactly one): the
         // traversal is then one best-first descent of the whole forest,
@@ -403,63 +408,106 @@ impl<'a> ProgressiveNnc<'a> {
     }
 
     /// Exact squared `δ_min(V, Q)` via the object's local R-tree.
-    ///
-    /// The kernel path answers all query instances in one pruned descent
-    /// sharing the running best as bound; `min` is monotone under
-    /// `sqrt`-then-square, so the result is bit-identical to the per-`q`
-    /// nearest searches of the scalar path (which square each nearest
-    /// distance before folding). `instance_comparisons` charges one unit
-    /// per query instance on both paths; the node-visit saving shows up in
-    /// `rtree_nodes_visited`, which is reported but not frozen.
     fn object_min_dist2(&mut self, v: usize) -> f64 {
-        let tree = self.ctx.db.local_tree(v);
-        let mut best = f64::INFINITY;
-        let mut visits = 0u64;
-        if self.ctx.cfg.kernels {
-            self.ctx.stats.instance_comparisons += self.ctx.query.len() as u64;
-            if let Some(d2) = tree.min_dist2_multi(self.ctx.query.instance_points(), &mut visits) {
-                let d = d2.sqrt();
-                best = d * d;
-            }
-        } else {
-            for q in self.ctx.query.instance_points() {
-                self.ctx.stats.instance_comparisons += 1;
-                if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
-                    best = best.min(d * d);
-                }
-            }
-        }
-        self.ctx.stats.rtree_nodes_visited += visits;
-        self.ctx.metrics.incr_by(Counter::RtreeNodeVisits, visits);
-        best
+        object_min_dist2(
+            self.ctx.db,
+            self.ctx.query,
+            self.ctx.cfg.kernels,
+            v,
+            &mut self.ctx.stats,
+            &mut self.ctx.metrics,
+        )
     }
 
-    /// Entry-level pruning: discard a subtree when some candidate's MBR
-    /// fully dominates its MBR w.r.t. the query MBR (Theorem 4). The strict
-    /// operators use the strict MBR test so that a pruned subtree can never
-    /// contain a distribution-equal twin of a candidate.
+    /// Entry-level pruning against the candidates emitted so far.
     fn entry_pruned(&mut self, e_mbr: &Mbr) -> bool {
-        if !self.ctx.cfg.mbr_validation && self.op != Operator::FPlusSd && self.op != Operator::FSd
-        {
-            // With validation disabled (BF-style ablations) entries are
-            // never pruned for the strict operators, to keep the measured
-            // work faithful to the unfiltered algorithm.
-            return false;
+        mbr_pruned(
+            &self.cand_mbrs,
+            e_mbr,
+            self.ctx.query.mbr(),
+            self.op,
+            self.ctx.cfg.mbr_validation,
+            &mut self.ctx.stats,
+        )
+    }
+}
+
+/// Exact squared `δ_min(V, Q)` via the object's local R-tree — the
+/// traversal key of [`ProgressiveNnc`], shared with the continuous repair
+/// path ([`crate::continuous::ContinuousNnc`]) so both compute
+/// bit-identical keys.
+///
+/// The kernel path answers all query instances in one pruned descent
+/// sharing the running best as bound; `min` is monotone under
+/// `sqrt`-then-square, so the result is bit-identical to the per-`q`
+/// nearest searches of the scalar path (which square each nearest
+/// distance before folding). `instance_comparisons` charges one unit
+/// per query instance on both paths; the node-visit saving shows up in
+/// `rtree_nodes_visited`, which is reported but not frozen.
+pub(crate) fn object_min_dist2(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    kernels: bool,
+    v: usize,
+    stats: &mut Stats,
+    metrics: &mut QueryMetrics,
+) -> f64 {
+    let tree = db.local_tree(v);
+    let mut best = f64::INFINITY;
+    let mut visits = 0u64;
+    if kernels {
+        stats.instance_comparisons += query.len() as u64;
+        if let Some(d2) = tree.min_dist2_multi(query.instance_points(), &mut visits) {
+            let d = d2.sqrt();
+            best = d * d;
         }
-        let strict = !matches!(self.op, Operator::FPlusSd | Operator::FSd);
-        for u_mbr in &self.cand_mbrs {
-            self.ctx.stats.mbr_checks += 1;
-            let dominated = if strict {
-                mbr_dominates_strict(u_mbr, e_mbr, self.ctx.query.mbr())
-            } else {
-                mbr_dominates(u_mbr, e_mbr, self.ctx.query.mbr())
-            };
-            if dominated {
-                return true;
+    } else {
+        for q in query.instance_points() {
+            stats.instance_comparisons += 1;
+            if let Some((_, d)) = tree.nearest_counting(q, &mut visits) {
+                best = best.min(d * d);
             }
         }
-        false
     }
+    stats.rtree_nodes_visited += visits;
+    metrics.incr_by(Counter::RtreeNodeVisits, visits);
+    best
+}
+
+/// Entry-level pruning: discard a subtree (or object) when some MBR in
+/// `cand_mbrs` fully dominates `e_mbr` w.r.t. the query MBR (Theorem 4).
+/// The strict operators use the strict MBR test so that a pruned subtree
+/// can never contain a distribution-equal twin of a candidate.
+///
+/// Shared by the traversal's entry pruning and the continuous repair
+/// pre-filter so both apply the exact same gate.
+pub(crate) fn mbr_pruned(
+    cand_mbrs: &[Mbr],
+    e_mbr: &Mbr,
+    query_mbr: &Mbr,
+    op: Operator,
+    mbr_validation: bool,
+    stats: &mut Stats,
+) -> bool {
+    if !mbr_validation && op != Operator::FPlusSd && op != Operator::FSd {
+        // With validation disabled (BF-style ablations) entries are
+        // never pruned for the strict operators, to keep the measured
+        // work faithful to the unfiltered algorithm.
+        return false;
+    }
+    let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
+    for u_mbr in cand_mbrs {
+        stats.mbr_checks += 1;
+        let dominated = if strict {
+            mbr_dominates_strict(u_mbr, e_mbr, query_mbr)
+        } else {
+            mbr_dominates(u_mbr, e_mbr, query_mbr)
+        };
+        if dominated {
+            return true;
+        }
+    }
+    false
 }
 
 impl Iterator for ProgressiveNnc<'_> {

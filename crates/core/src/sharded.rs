@@ -37,7 +37,7 @@ use crate::db::{DbError, DEFAULT_GLOBAL_FANOUT, DEFAULT_LOCAL_FANOUT};
 use crate::index::{shard_stats_of, IndexStats, SpatialIndex};
 use osd_geom::Mbr;
 use osd_rtree::{str_partition, Entry, RTree};
-use osd_uncertain::{InstanceStore, ObjectRef, UncertainObject};
+use osd_uncertain::{epoch, Change, EpochLog, InstanceStore, ObjectRef, UncertainObject};
 use std::sync::Arc;
 
 /// Layout parameters of a [`ShardedDatabase`].
@@ -64,18 +64,19 @@ impl ShardConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Shard {
     /// Global R-tree of this tile; payloads are logical object ids.
     tree: RTree<usize>,
     /// Contiguous row span `[lo, hi)` of the permuted store covered by the
-    /// initial bulk build (later inserts live at the store's tail).
+    /// initial bulk build (later inserts live at the store's tail;
+    /// deletes shrink the spans so they keep tiling the surviving rows).
     span: (usize, usize),
 }
 
 /// A set of multi-instance objects indexed as STR tiles, each with its own
 /// global R-tree over a contiguous span of the shard-major-permuted store.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardedDatabase {
     /// Shard-major permutation of the input store (or the input `Arc`
     /// itself when the permutation is the identity).
@@ -83,11 +84,13 @@ pub struct ShardedDatabase {
     /// Local instance trees, indexed by permuted row.
     local: Vec<RTree<usize>>,
     shards: Vec<Shard>,
-    /// Logical id → permuted row.
-    slot: Vec<usize>,
+    /// Logical id → permuted row (`None` = tombstone).
+    slot: Vec<Option<usize>>,
     /// Permuted row → logical id.
     ext: Vec<usize>,
     local_fanout: usize,
+    /// Published-mutation log; its length is the snapshot epoch.
+    epochs: EpochLog,
 }
 
 impl ShardedDatabase {
@@ -154,9 +157,9 @@ impl ShardedDatabase {
         } else {
             Arc::new(store.permuted(&ext))
         };
-        let mut slot = vec![0usize; ext.len()];
+        let mut slot = vec![None; ext.len()];
         for (row, &id) in ext.iter().enumerate() {
-            slot[id] = row;
+            slot[id] = Some(row);
         }
         let local: Vec<RTree<usize>> = store
             .iter()
@@ -185,18 +188,37 @@ impl ShardedDatabase {
             slot,
             ext,
             local_fanout: cfg.local_fanout,
+            epochs: EpochLog::default(),
         })
     }
 
     /// The row span `[lo, hi)` of the permuted store covered by shard
-    /// `shard`'s initial bulk build.
+    /// `shard`'s initial bulk build, shrunk as deletes compact rows out.
     pub fn shard_span(&self, shard: usize) -> (usize, usize) {
         self.shards[shard].span
     }
 
-    /// The permuted row holding logical object `id`.
+    /// The permuted row holding live logical object `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is tombstoned or out of range.
     pub fn row_of(&self, id: usize) -> usize {
-        self.slot[id]
+        match self.row_of_checked(id) {
+            Ok(row) => row,
+            Err(e) => crate::db::FlatDatabase::invalid(e),
+        }
+    }
+
+    /// The permuted row holding live object `id`.
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range.
+    fn row_of_checked(&self, id: usize) -> Result<usize, DbError> {
+        self.slot
+            .get(id)
+            .copied()
+            .flatten()
+            .ok_or(DbError::Dead { object: id })
     }
 
     /// Appends a new object, routing it to the shard whose tree MBR needs
@@ -223,31 +245,117 @@ impl ShardedDatabase {
     /// # Errors
     /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
     pub fn try_insert_object(&mut self, object: UncertainObject) -> Result<usize, DbError> {
-        let would_be = self.len();
-        if object.dim() != self.dim() {
-            return Err(DbError::DimensionMismatch {
-                object: would_be,
-                expected: self.dim(),
-                found: object.dim(),
-            });
-        }
-        let store = Arc::make_mut(&mut self.store);
-        let row = store
-            .push_object(&object)
-            .map_err(|e| DbError::from_store(e, would_be))?;
-        debug_assert_eq!(row, would_be, "tail row and logical id coincide");
-        let view = store.object(row);
+        let id = self.slot.len();
+        let row =
+            epoch::append(&mut self.store, &object).map_err(|e| DbError::from_store(e, id))?;
+        debug_assert_eq!(row, self.ext.len(), "appends land at the store tail");
+        let view = self.store.object(row);
         let mbr = view.mbr().clone();
         self.local.push(RTree::bulk_load_rows(
             self.local_fanout,
             view.dim(),
             view.coords(),
         ));
-        self.ext.push(would_be);
-        self.slot.push(row);
+        self.ext.push(id);
+        self.slot.push(Some(row));
         let shard = self.choose_shard(&mbr);
-        self.shards[shard].tree.insert(mbr, would_be);
-        Ok(would_be)
+        self.shards[shard].tree.insert(mbr, id);
+        self.epochs.record(Change::Inserted(id));
+        Ok(id)
+    }
+
+    /// Deletes live object `id`: its rows are compacted out of the
+    /// permuted snapshot (copy-on-write), the owning shard's tree entry
+    /// is removed with condensation, and every shard span covering a
+    /// later row shrinks so the spans keep tiling the surviving rows.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live or the delete would empty the database.
+    /// Use [`ShardedDatabase::try_delete_object`] for untrusted input.
+    #[track_caller]
+    pub fn delete_object(&mut self, id: usize) {
+        if let Err(e) = self.try_delete_object(id) {
+            crate::db::FlatDatabase::invalid(e)
+        }
+    }
+
+    /// Fallible variant of [`ShardedDatabase::delete_object`].
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range;
+    /// [`DbError::Empty`] when the delete would leave no live objects.
+    pub fn try_delete_object(&mut self, id: usize) -> Result<(), DbError> {
+        let row = self.row_of_checked(id)?;
+        if self.store.len() == 1 {
+            return Err(DbError::Empty);
+        }
+        let mbr = self.store.object(row).mbr().clone();
+        // Every live id lives in exactly one shard tree; condense the
+        // owner (remove_item leaves non-owning trees untouched).
+        let removed = self
+            .shards
+            .iter_mut()
+            .any(|s| s.tree.remove_item(&mbr, |&x| x == id).is_some());
+        debug_assert!(removed, "live id {id} must be in some shard tree");
+        epoch::remove(&mut self.store, row);
+        self.local.remove(row);
+        self.ext.remove(row);
+        self.slot[id] = None;
+        for s in self.slot.iter_mut().flatten() {
+            if *s > row {
+                *s -= 1;
+            }
+        }
+        for shard in &mut self.shards {
+            let (lo, hi) = shard.span;
+            shard.span = if row < lo {
+                (lo - 1, hi - 1)
+            } else if row < hi {
+                (lo, hi - 1)
+            } else {
+                (lo, hi)
+            };
+        }
+        self.epochs.record(Change::Deleted(id));
+        Ok(())
+    }
+
+    /// Replaces live object `id` in place (same logical id): the rows are
+    /// respliced in the snapshot (copy-on-write), the local tree rebuilt,
+    /// and the global entry re-routed to the shard whose tree MBR needs
+    /// the least enlargement — the same rule as insert.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live or dimensionalities mismatch. Use
+    /// [`ShardedDatabase::try_update_object`] for untrusted input.
+    #[track_caller]
+    pub fn update_object(&mut self, id: usize, object: UncertainObject) {
+        if let Err(e) = self.try_update_object(id, object) {
+            crate::db::FlatDatabase::invalid(e)
+        }
+    }
+
+    /// Fallible variant of [`ShardedDatabase::update_object`].
+    ///
+    /// # Errors
+    /// [`DbError::Dead`] if `id` is tombstoned or out of range;
+    /// [`DbError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn try_update_object(&mut self, id: usize, object: UncertainObject) -> Result<(), DbError> {
+        let row = self.row_of_checked(id)?;
+        let old_mbr = self.store.object(row).mbr().clone();
+        epoch::replace(&mut self.store, row, &object).map_err(|e| DbError::from_store(e, id))?;
+        let removed = self
+            .shards
+            .iter_mut()
+            .any(|s| s.tree.remove_item(&old_mbr, |&x| x == id).is_some());
+        debug_assert!(removed, "live id {id} must be in some shard tree");
+        let view = self.store.object(row);
+        self.local[row] = RTree::bulk_load_rows(self.local_fanout, view.dim(), view.coords());
+        let mbr = view.mbr().clone();
+        let shard = self.choose_shard(&mbr);
+        self.shards[shard].tree.insert(mbr, id);
+        self.epochs.record(Change::Updated(id));
+        Ok(())
     }
 
     /// The shard whose tree MBR needs the least volume enlargement to
@@ -275,7 +383,35 @@ impl ShardedDatabase {
 
 impl SpatialIndex for ShardedDatabase {
     fn len(&self) -> usize {
+        self.slot.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    fn live_len(&self) -> usize {
         self.store.len()
+    }
+
+    fn is_live(&self, id: usize) -> bool {
+        self.slot.get(id).copied().flatten().is_some()
+    }
+
+    fn changes_since(&self, since: u64) -> Option<Vec<Change>> {
+        self.epochs.changes_since(since)
+    }
+
+    fn try_insert(&mut self, object: UncertainObject) -> Result<usize, DbError> {
+        self.try_insert_object(object)
+    }
+
+    fn try_delete(&mut self, id: usize) -> Result<(), DbError> {
+        self.try_delete_object(id)
+    }
+
+    fn try_update(&mut self, id: usize, object: UncertainObject) -> Result<(), DbError> {
+        self.try_update_object(id, object)
     }
 
     fn dim(&self) -> usize {
@@ -287,11 +423,11 @@ impl SpatialIndex for ShardedDatabase {
     }
 
     fn object(&self, id: usize) -> ObjectRef<'_> {
-        self.store.object(self.slot[id])
+        self.store.object(self.row_of(id))
     }
 
     fn local_tree(&self, id: usize) -> &RTree<usize> {
-        &self.local[self.slot[id]]
+        &self.local[self.row_of(id)]
     }
 
     fn shard_count(&self) -> usize {
@@ -309,7 +445,7 @@ impl SpatialIndex for ShardedDatabase {
             .map(|s| shard_stats_of(self, &s.tree))
             .collect();
         IndexStats {
-            objects: self.len(),
+            objects: self.live_len(),
             instances: self.store.instance_count(),
             shards,
         }
@@ -479,6 +615,93 @@ mod tests {
                 found: 1
             }
         );
+    }
+
+    #[test]
+    fn delete_condenses_owner_and_shrinks_spans() {
+        let mut sharded = ShardedDatabase::new(grid(24), 4);
+        let before_live = sharded.live_len();
+        let row = sharded.row_of(7);
+        sharded.delete_object(7);
+        assert_eq!(sharded.len(), 24);
+        assert_eq!(sharded.live_len(), before_live - 1);
+        assert!(!sharded.is_live(7));
+        sharded.store().validate().unwrap();
+        // Shard trees partition the surviving id space.
+        let mut seen: Vec<usize> = (0..sharded.shard_count())
+            .flat_map(|s| sharded.shard_tree(s).items().into_iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let want: Vec<usize> = (0..24).filter(|&i| i != 7).collect();
+        assert_eq!(seen, want);
+        // Spans still tile the compacted row space contiguously.
+        let mut lo = 0;
+        for s in 0..sharded.shard_count() {
+            let (a, b) = sharded.shard_span(s);
+            assert_eq!(a, lo);
+            lo = b;
+        }
+        assert_eq!(lo, sharded.live_len());
+        // Every survivor resolves to its original bits.
+        for id in want {
+            let x = (id % 10) as f64 * 3.0;
+            let y = (id / 10) as f64 * 3.0;
+            assert_eq!(sharded.object(id).row(0), &[x, y], "object {id}");
+        }
+        let _ = row;
+    }
+
+    #[test]
+    fn update_reroutes_to_the_best_shard() {
+        let mut sharded = ShardedDatabase::new(grid(20), 4);
+        // Move object 3 across the plane; it should leave its old shard
+        // tree and appear in exactly one tree under the same id.
+        sharded.update_object(3, obj(&[(27.0, 27.0), (27.5, 27.5)]));
+        assert_eq!(sharded.len(), 20);
+        assert_eq!(sharded.live_len(), 20);
+        sharded.store().validate().unwrap();
+        assert_eq!(sharded.object(3).row(0), &[27.0, 27.0]);
+        let holders: Vec<usize> = (0..sharded.shard_count())
+            .filter(|&s| sharded.shard_tree(s).items().into_iter().any(|&i| i == 3))
+            .collect();
+        assert_eq!(holders.len(), 1);
+        // The full id set is still partitioned across the trees.
+        let total: usize = (0..sharded.shard_count())
+            .map(|s| sharded.shard_tree(s).len())
+            .sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn interleaved_mutations_keep_epoch_log_consistent() {
+        let mut sharded = ShardedDatabase::new(grid(9), 3);
+        sharded.delete_object(2);
+        let id = sharded.insert_object(obj(&[(40.0, 40.0)]));
+        assert_eq!(id, 9, "tombstoned ids are never reused");
+        sharded.update_object(id, obj(&[(41.0, 41.0)]));
+        assert_eq!(sharded.epoch(), 3);
+        assert_eq!(
+            sharded.changes_since(0),
+            Some(vec![
+                Change::Deleted(2),
+                Change::Inserted(9),
+                Change::Updated(9)
+            ])
+        );
+        assert_eq!(
+            sharded.try_delete_object(2).unwrap_err(),
+            DbError::Dead { object: 2 }
+        );
+        // Deleting a tail insert leaves the bulk spans untouched.
+        let spans: Vec<_> = (0..sharded.shard_count())
+            .map(|s| sharded.shard_span(s))
+            .collect();
+        sharded.delete_object(9);
+        let after: Vec<_> = (0..sharded.shard_count())
+            .map(|s| sharded.shard_span(s))
+            .collect();
+        assert_eq!(spans, after);
+        sharded.store().validate().unwrap();
     }
 
     #[test]

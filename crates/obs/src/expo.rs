@@ -15,7 +15,7 @@
 //!   "enabled": true,
 //!   "phases": { "prepare": {"count": 1, "total_ns": 42, "buckets": [..]}, .. },
 //!   "counters": { "rtree_node_visits": 7, .. },
-//!   "gauges": { "heap_high_water": 5 },
+//!   "gauges": { "heap_high_water": 5, "snapshot_epoch": 0, "live_objects": 9, "tombstones": 0 },
 //!   "candidates_by_op": { "PSD": 11 },
 //!   "spans": { "flow-rebuild": {"count": 2, "total_ns": 99} }
 //! }
@@ -69,8 +69,11 @@ pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     out.push_str("  },\n");
 
     out.push_str(&format!(
-        "  \"gauges\": {{\"heap_high_water\": {}}},\n",
-        m.heap_high_water()
+        "  \"gauges\": {{\"heap_high_water\": {}, \"snapshot_epoch\": {}, \"live_objects\": {}, \"tombstones\": {}}},\n",
+        m.heap_high_water(),
+        m.snapshot_epoch(),
+        m.live_objects(),
+        m.tombstones()
     ));
 
     let by_op = m.candidates_by_op();
@@ -117,7 +120,9 @@ pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
 /// Renders the registry (plus `extra` counter pairs) in Prometheus text
 /// exposition format (metric families `osd_phase_duration_ns`,
 /// `osd_phase_latency_bucket` with cumulative `le` buckets, `osd_counter`,
-/// `osd_heap_high_water`, `osd_candidates_emitted`, `osd_span_ns`).
+/// `osd_heap_high_water`, the snapshot gauges `osd_snapshot_epoch` /
+/// `osd_live_objects` / `osd_tombstones`, `osd_candidates_emitted`,
+/// `osd_span_ns`).
 pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     let mut out = String::with_capacity(2048);
 
@@ -175,6 +180,15 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     out.push_str("# TYPE osd_heap_high_water gauge\n");
     out.push_str(&format!("osd_heap_high_water {}\n", m.heap_high_water()));
 
+    out.push_str("# TYPE osd_snapshot_epoch gauge\n");
+    out.push_str(&format!("osd_snapshot_epoch {}\n", m.snapshot_epoch()));
+
+    out.push_str("# TYPE osd_live_objects gauge\n");
+    out.push_str(&format!("osd_live_objects {}\n", m.live_objects()));
+
+    out.push_str("# TYPE osd_tombstones gauge\n");
+    out.push_str(&format!("osd_tombstones {}\n", m.tombstones()));
+
     out.push_str("# TYPE osd_candidates_emitted counter\n");
     for (label, count) in m.candidates_by_op() {
         out.push_str(&format!(
@@ -230,6 +244,7 @@ mod tests {
         m.candidate_emitted("PSD");
         m.shard_visit(0);
         m.shard_visit(2);
+        m.snapshot(4, 11, 2);
         m
     }
 
@@ -248,15 +263,22 @@ mod tests {
         }
         assert!(json.contains("\"dominance_checks\": 3"));
         assert!(json.contains("\"heap_high_water\""));
+        assert!(json.contains("\"snapshot_epoch\""));
+        assert!(json.contains("\"live_objects\""));
+        assert!(json.contains("\"tombstones\""));
         assert!(json.contains("\"shard_node_visits\": ["));
         if QueryMetrics::enabled() {
             assert!(json.contains("\"rtree_node_visits\": 7"));
             assert!(json.contains("\"PSD\": 1"));
             assert!(json.contains("\"enabled\": true"));
             assert!(json.contains("\"shard_node_visits\": [1, 0, 1, 0,"));
+            assert!(json.contains("\"snapshot_epoch\": 4"));
+            assert!(json.contains("\"live_objects\": 11"));
+            assert!(json.contains("\"tombstones\": 2"));
         } else {
             assert!(json.contains("\"rtree_node_visits\": 0"));
             assert!(json.contains("\"enabled\": false"));
+            assert!(json.contains("\"snapshot_epoch\": 0"));
         }
         // Balanced braces — cheap well-formedness check without a parser.
         let open = json.matches('{').count();
@@ -280,9 +302,15 @@ mod tests {
         }
         assert!(prom.contains("osd_counter{name=\"mbr_checks\"} 9"));
         assert!(prom.contains("# TYPE osd_shard_node_visits counter"));
+        assert!(prom.contains("# TYPE osd_snapshot_epoch gauge"));
+        assert!(prom.contains("# TYPE osd_live_objects gauge"));
+        assert!(prom.contains("# TYPE osd_tombstones gauge"));
         if QueryMetrics::enabled() {
             assert!(prom.contains("osd_shard_node_visits{shard=\"0\"} 1"));
             assert!(prom.contains("osd_shard_node_visits{shard=\"2\"} 1"));
+            assert!(prom.contains("osd_snapshot_epoch 4\n"));
+            assert!(prom.contains("osd_live_objects 11\n"));
+            assert!(prom.contains("osd_tombstones 2\n"));
         }
         // Cumulative buckets never decrease.
         let mut last = 0u64;

@@ -259,6 +259,13 @@ pub struct QueryMetrics {
     phase_nanos: [u64; Phase::COUNT],
     phase_hist: [Histogram; Phase::COUNT],
     heap_high_water: u64,
+    /// Epoch of the snapshot the query ran against (merged by `max`: a
+    /// batch reports the newest snapshot any of its queries saw).
+    snapshot_epoch: u64,
+    /// Live objects of that snapshot (merged by `max`, like the epoch).
+    live_objects: u64,
+    /// Tombstoned ids of that snapshot (merged by `max`, like the epoch).
+    tombstones: u64,
     per_op: LabelSet,
     spans: LabelSet,
     /// Global-traversal node visits attributed to their source shard;
@@ -275,6 +282,9 @@ impl Default for QueryMetrics {
             phase_nanos: [0; Phase::COUNT],
             phase_hist: [Histogram::new(); Phase::COUNT],
             heap_high_water: 0,
+            snapshot_epoch: 0,
+            live_objects: 0,
+            tombstones: 0,
             per_op: LabelSet::default(),
             spans: LabelSet::default(),
             shard_visits: [0; MAX_TRACKED_SHARDS + 1],
@@ -316,6 +326,16 @@ impl QueryMetrics {
     #[inline]
     pub fn heap_depth(&mut self, depth: u64) {
         self.heap_high_water = self.heap_high_water.max(depth);
+    }
+
+    /// Records the snapshot the query runs against: its epoch, live
+    /// object count and tombstone count. Each gauge merges by `max`, so a
+    /// merged batch reports the newest snapshot state any query saw.
+    #[inline]
+    pub fn snapshot(&mut self, epoch: u64, live_objects: u64, tombstones: u64) {
+        self.snapshot_epoch = self.snapshot_epoch.max(epoch);
+        self.live_objects = self.live_objects.max(live_objects);
+        self.tombstones = self.tombstones.max(tombstones);
     }
 
     /// Records one emitted candidate under the operator's label.
@@ -365,6 +385,9 @@ impl QueryMetrics {
             a.merge(b);
         }
         self.heap_high_water = self.heap_high_water.max(other.heap_high_water);
+        self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
+        self.live_objects = self.live_objects.max(other.live_objects);
+        self.tombstones = self.tombstones.max(other.tombstones);
         self.per_op.merge(&other.per_op);
         self.spans.merge(&other.spans);
         for (a, b) in self.shard_visits.iter_mut().zip(other.shard_visits.iter()) {
@@ -395,6 +418,21 @@ impl QueryMetrics {
     /// Highest traversal-heap depth seen.
     pub fn heap_high_water(&self) -> u64 {
         self.heap_high_water
+    }
+
+    /// Epoch of the newest snapshot any merged query ran against.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch
+    }
+
+    /// Live object count of the newest snapshot seen.
+    pub fn live_objects(&self) -> u64 {
+        self.live_objects
+    }
+
+    /// Tombstone count of the newest snapshot seen.
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones
     }
 
     /// Candidates emitted per operator label, label-sorted.
@@ -445,6 +483,10 @@ impl QueryMetrics {
 
     /// No-op.
     #[inline(always)]
+    pub fn snapshot(&mut self, _epoch: u64, _live_objects: u64, _tombstones: u64) {}
+
+    /// No-op.
+    #[inline(always)]
     pub fn candidate_emitted(&mut self, _op_label: &'static str) {}
 
     /// No-op.
@@ -485,6 +527,21 @@ impl QueryMetrics {
 
     /// Always zero in the disabled build.
     pub fn heap_high_water(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn snapshot_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn live_objects(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn tombstones(&self) -> u64 {
         0
     }
 
@@ -602,6 +659,24 @@ mod tests {
             assert_eq!(a.counter(Counter::RtreeNodeVisits), 0);
             assert_eq!(a.heap_high_water(), 0);
             assert!(a.candidates_by_op().is_empty());
+        }
+    }
+
+    #[test]
+    fn snapshot_gauges_merge_by_max() {
+        let mut a = QueryMetrics::new();
+        a.snapshot(3, 100, 2);
+        let mut b = QueryMetrics::new();
+        b.snapshot(5, 98, 4);
+        a.merge(&b);
+        if QueryMetrics::enabled() {
+            assert_eq!(a.snapshot_epoch(), 5);
+            assert_eq!(a.live_objects(), 100);
+            assert_eq!(a.tombstones(), 4);
+        } else {
+            assert_eq!(a.snapshot_epoch(), 0);
+            assert_eq!(a.live_objects(), 0);
+            assert_eq!(a.tombstones(), 0);
         }
     }
 

@@ -24,7 +24,7 @@ pub struct Entry<T> {
 }
 
 /// An internal-node slot: a child subtree with its bounding box.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Child<T> {
     /// Bounding box of the whole subtree.
     pub mbr: Mbr,
@@ -33,7 +33,7 @@ pub struct Child<T> {
 }
 
 /// An R-tree node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Node<T> {
     /// A leaf holding data entries.
     Leaf(Vec<Entry<T>>),
@@ -117,7 +117,7 @@ impl<T> Node<T> {
 /// Built either by [`RTree::bulk_load`] (Sort-Tile-Recursive packing, the
 /// way the experiment datasets are indexed) or incrementally with
 /// [`RTree::insert`] (Guttman-style with quadratic split).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RTree<T> {
     pub(crate) root: Option<Child<T>>,
     pub(crate) max_entries: usize,

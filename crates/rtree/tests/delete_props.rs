@@ -1,0 +1,145 @@
+//! Property tests for `RTree::remove_item` condensation: random remove
+//! sequences must leave a tree that is structurally valid and
+//! query-equivalent to a tree bulk-rebuilt from the survivors.
+//!
+//! Run with `--features strict-invariants` to additionally audit the tree
+//! after every internal mutation step (the delete path self-validates).
+
+use osd_geom::{Mbr, Point};
+use osd_rtree::{Entry, RTree};
+use proptest::prelude::*;
+
+fn pt(x: f64, y: f64) -> Point {
+    Point::new(vec![x, y])
+}
+
+fn point_tree(points: &[(f64, f64)], fanout: usize) -> RTree<usize> {
+    let entries: Vec<Entry<usize>> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Entry {
+            mbr: Mbr::from_point(&pt(x, y)),
+            item: i,
+        })
+        .collect();
+    RTree::bulk_load(fanout, entries)
+}
+
+fn survivor_tree(points: &[(f64, f64)], alive: &[usize], fanout: usize) -> RTree<usize> {
+    let entries: Vec<Entry<usize>> = alive
+        .iter()
+        .map(|&i| Entry {
+            mbr: Mbr::from_point(&pt(points[i].0, points[i].1)),
+            item: i,
+        })
+        .collect();
+    RTree::bulk_load(fanout, entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every removal of a random sequence, the tree validates and
+    /// answers nearest/min-dist queries identically to a tree bulk-rebuilt
+    /// from the surviving items.
+    #[test]
+    fn prop_remove_sequence_matches_bulk_rebuild(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..60),
+        order in prop::collection::vec(0usize..1000, 1..60),
+        qx in -10.0f64..110.0, qy in -10.0f64..110.0,
+        fanout in 2usize..7,
+    ) {
+        let mut t = point_tree(&pts, fanout);
+        let mut alive: Vec<usize> = (0..pts.len()).collect();
+        let q = pt(qx, qy);
+        for &pick in &order {
+            if alive.len() <= 1 {
+                break;
+            }
+            let victim = alive[pick % alive.len()];
+            let target = Mbr::from_point(&pt(pts[victim].0, pts[victim].1));
+            prop_assert_eq!(t.remove_item(&target, |&x| x == victim), Some(victim));
+            alive.retain(|&x| x != victim);
+
+            t.validate_structure().map_err(|e| {
+                TestCaseError::fail(format!("invalid after removing {victim}: {e}"))
+            })?;
+            let rebuilt = survivor_tree(&pts, &alive, fanout);
+            prop_assert_eq!(t.len(), rebuilt.len());
+
+            let mut got: Vec<usize> = t.items().into_iter().copied().collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = rebuilt.items().into_iter().copied().collect();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "item sets diverge after removing {}", victim);
+
+            // Query equivalence: the condensed tree and the rebuilt tree
+            // agree exactly on nearest distances (both are exact searches
+            // over the same point set).
+            let dn = t.nearest(&q).map(|(_, d)| d);
+            let dn_rebuilt = rebuilt.nearest(&q).map(|(_, d)| d);
+            prop_assert_eq!(dn, dn_rebuilt);
+            let mut visits = 0u64;
+            let d2 = t.min_dist2_multi(std::slice::from_ref(&q), &mut visits);
+            let mut visits_rebuilt = 0u64;
+            let d2_rebuilt =
+                rebuilt.min_dist2_multi(std::slice::from_ref(&q), &mut visits_rebuilt);
+            prop_assert_eq!(d2, d2_rebuilt);
+        }
+    }
+
+    /// A predicate that matches nothing returns `None` and leaves the tree
+    /// untouched — the "try each shard's tree" owner-discovery contract of
+    /// the sharded delete path.
+    #[test]
+    fn prop_no_match_means_no_mutation(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40),
+        pick in 0usize..1000,
+        fanout in 2usize..7,
+    ) {
+        let mut t = point_tree(&pts, fanout);
+        let victim = pick % pts.len();
+        let target = Mbr::from_point(&pt(pts[victim].0, pts[victim].1));
+        // Right place, wrong payload: probes the exact leaf region the
+        // entry lives in, so the no-match path walks the full descent.
+        prop_assert_eq!(t.remove_item(&target, |&x| x == pts.len() + 7), None);
+        prop_assert_eq!(t.len(), pts.len());
+        t.validate_structure().map_err(|e| {
+            TestCaseError::fail(format!("no-match removal mutated the tree: {e}"))
+        })?;
+        let mut got: Vec<usize> = t.items().into_iter().copied().collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    /// Removing everything but one item in random order never wedges the
+    /// tree: condensation keeps every intermediate tree valid down to a
+    /// single-entry root, and re-inserting afterwards works.
+    #[test]
+    fn prop_drain_then_reuse(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..40),
+        seed in 0usize..1000,
+        fanout in 2usize..6,
+    ) {
+        let mut t = point_tree(&pts, fanout);
+        let mut alive: Vec<usize> = (0..pts.len()).collect();
+        while alive.len() > 1 {
+            let victim = alive[(seed + alive.len()) % alive.len()];
+            let target = Mbr::from_point(&pt(pts[victim].0, pts[victim].1));
+            prop_assert_eq!(t.remove_item(&target, |&x| x == victim), Some(victim));
+            alive.retain(|&x| x != victim);
+        }
+        prop_assert_eq!(t.len(), 1);
+        t.validate_structure().map_err(|e| {
+            TestCaseError::fail(format!("invalid after drain: {e}"))
+        })?;
+        // The condensed tree keeps working as an insertion target.
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            t.insert(Mbr::from_point(&pt(x, y)), pts.len() + i);
+        }
+        prop_assert_eq!(t.len(), 1 + pts.len());
+        t.validate_structure().map_err(|e| {
+            TestCaseError::fail(format!("invalid after refill: {e}"))
+        })?;
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod epoch;
 pub mod error;
 pub mod matching;
 pub mod metric;
@@ -56,6 +57,7 @@ pub mod store;
 pub mod world;
 
 pub use distribution::DistanceDistribution;
+pub use epoch::{Change, EpochLog, DEFAULT_LOG_CAP};
 pub use error::ObjectError;
 pub use matching::{construct_match, is_valid_match, match_dominates, MatchTuple};
 pub use metric::{s_sd_metric, ss_sd_metric, Metric};
@@ -78,3 +80,5 @@ const _: () = _assert_send_sync::<InstanceStore>();
 const _: () = _assert_send_sync::<ObjectRef<'static>>();
 const _: () = _assert_send_sync::<InstanceRef<'static>>();
 const _: () = _assert_send_sync::<StoreError>();
+const _: () = _assert_send_sync::<Change>();
+const _: () = _assert_send_sync::<EpochLog>();

@@ -122,6 +122,67 @@ impl InstanceStore {
         Ok(id)
     }
 
+    /// Removes the object at `row`, splicing its instances out of the
+    /// columns and shifting every later span left so the spans keep tiling
+    /// the instance range. Rows after `row` each move down by one; the
+    /// surviving rows' coordinate and probability bits are untouched.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn remove_object(&mut self, row: usize) {
+        assert!(row < self.spans.len(), "object row out of bounds");
+        let (offset, len) = self.spans[row];
+        self.coords
+            .drain(offset * self.dim..(offset + len) * self.dim);
+        self.probs.drain(offset..offset + len);
+        self.spans.remove(row);
+        self.mbrs.remove(row);
+        for s in &mut self.spans[row..] {
+            s.0 -= len;
+        }
+    }
+
+    /// Replaces the object at `row` in place: its instance rows are spliced
+    /// out and the new object's rows spliced in, with later span offsets
+    /// adjusted by the length difference. Other rows' bits are untouched.
+    ///
+    /// # Errors
+    /// [`StoreError::DimensionMismatch`] if the object's dimensionality
+    /// differs from the store's (the store is left unchanged).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn replace_object(
+        &mut self,
+        row: usize,
+        object: &UncertainObject,
+    ) -> Result<(), StoreError> {
+        assert!(row < self.spans.len(), "object row out of bounds");
+        if object.dim() != self.dim {
+            return Err(StoreError::DimensionMismatch {
+                expected: self.dim,
+                found: object.dim(),
+            });
+        }
+        let (offset, old_len) = self.spans[row];
+        let new_len = object.len();
+        let mut new_coords = Vec::with_capacity(new_len * self.dim);
+        let mut new_probs = Vec::with_capacity(new_len);
+        for inst in object.instances() {
+            new_coords.extend_from_slice(inst.point.coords());
+            new_probs.push(inst.prob);
+        }
+        self.coords
+            .splice(offset * self.dim..(offset + old_len) * self.dim, new_coords);
+        self.probs.splice(offset..offset + old_len, new_probs);
+        self.spans[row] = (offset, new_len);
+        self.mbrs[row] = object.mbr().clone();
+        for s in &mut self.spans[row + 1..] {
+            s.0 = s.0 - old_len + new_len;
+        }
+        Ok(())
+    }
+
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
@@ -656,6 +717,58 @@ mod tests {
         assert_eq!(store.instance_count(), 8);
         store.validate().unwrap();
         assert_eq!(store.object(3).row(1), &[10.0, 9.0]);
+    }
+
+    #[test]
+    fn remove_object_splices_columns_and_revalidates() {
+        let objects = sample_objects();
+        let mut store = InstanceStore::from_objects(&objects).unwrap();
+        store.remove_object(1);
+        store.validate().unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.instance_count(), 3);
+        // Survivors keep their bits: old object 0 stays row 0, old 2 → row 1.
+        for (row, old) in [(0usize, 0usize), (1, 2)] {
+            let view = store.object(row);
+            let orig = &objects[old];
+            assert_eq!(view.len(), orig.len());
+            assert_eq!(view.mbr(), orig.mbr());
+            for (i, inst) in orig.instances().iter().enumerate() {
+                assert_eq!(view.row(i), inst.point.coords());
+                assert_eq!(view.prob(i).to_bits(), inst.prob.to_bits());
+            }
+        }
+        // Removing down to one object keeps the store valid.
+        store.remove_object(0);
+        store.validate().unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.object(0).row(0), &[-1.0, 3.0]);
+    }
+
+    #[test]
+    fn replace_object_respliced_with_different_len() {
+        let objects = sample_objects();
+        let mut store = InstanceStore::from_objects(&objects).unwrap();
+        // Replace the 3-instance middle object with a single instance.
+        let shrunk = UncertainObject::uniform(vec![p2(8.0, 8.0)]);
+        store.replace_object(1, &shrunk).unwrap();
+        store.validate().unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.instance_count(), 4);
+        assert_eq!(store.object(1).row(0), &[8.0, 8.0]);
+        assert_eq!(store.object(2).row(0), &[-1.0, 3.0]);
+        // Grow it back to two instances.
+        let grown = UncertainObject::uniform(vec![p2(1.0, 1.0), p2(2.0, 2.0)]);
+        store.replace_object(1, &grown).unwrap();
+        store.validate().unwrap();
+        assert_eq!(store.instance_count(), 5);
+        assert_eq!(store.object(1).row(1), &[2.0, 2.0]);
+        assert_eq!(store.object(2).row(0), &[-1.0, 3.0]);
+        // Dimension mismatches leave the store untouched.
+        let bad = UncertainObject::uniform(vec![Point::new(vec![1.0])]);
+        assert!(store.replace_object(1, &bad).is_err());
+        store.validate().unwrap();
+        assert_eq!(store.object(1).row(1), &[2.0, 2.0]);
     }
 
     #[test]

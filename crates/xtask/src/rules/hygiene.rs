@@ -1,5 +1,5 @@
-//! Library-hygiene rules: `no-println-in-libs`, `no-panic-allow-in-libs`
-//! and `no-rc-in-core`.
+//! Library-hygiene rules: `no-println-in-libs`, `no-panic-allow-in-libs`,
+//! `no-rc-in-core` and `no-raw-cow-outside-epoch`.
 
 use super::{in_lib_src, matching_close, push, Violation};
 use crate::model::{SourceFile, Workspace};
@@ -113,6 +113,41 @@ pub(super) fn no_rc_in_core(_ws: &Workspace, file: &SourceFile, out: &mut Vec<Vi
     }
 }
 
+/// Copy-on-write splices of the instance store happen only inside
+/// `uncertain::epoch` — the module that pairs every splice with an epoch
+/// bump and a change-log append. Token-level: the triple `Arc` `::`
+/// `make_mut` anywhere else in library code is a mutation the published
+/// snapshot chain cannot see.
+pub(super) fn no_raw_cow_outside_epoch(
+    _ws: &Workspace,
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+) {
+    if !in_lib_src(file) || file.path == std::path::Path::new("crates/uncertain/src/epoch.rs") {
+        return;
+    }
+    for p in 0..file.sig.len() {
+        if file.is_test_code(p) {
+            continue;
+        }
+        let Some(t) = file.sig_tok(p) else { break };
+        if t.is_ident("Arc")
+            && file.sig_tok(p + 1).is_some_and(|n| n.is_punct("::"))
+            && file.sig_tok(p + 2).is_some_and(|n| n.is_ident("make_mut"))
+        {
+            push(
+                out,
+                file,
+                t.line,
+                "no-raw-cow-outside-epoch",
+                "`Arc::make_mut` outside uncertain::epoch; route the splice through \
+                 epoch::append/remove/replace so the epoch log records it"
+                    .into(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::rules::testutil::{check_src, rules};
@@ -188,6 +223,27 @@ mod tests {
         assert!(check_src(
             "crates/core/src/cache.rs",
             "#[cfg(test)]\nmod tests {\n    use std::rc::Rc;\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_raw_cow_outside_epoch_only() {
+        let bad = "fn f(s: &mut Arc<InstanceStore>) { Arc::make_mut(s).push(1.0); }\n";
+        let v = check_src("crates/uncertain/src/store.rs", bad);
+        assert_eq!(rules(&v), vec!["no-raw-cow-outside-epoch"]);
+        // The sanctioned site, the leaves, and test code are exempt.
+        assert!(check_src("crates/uncertain/src/epoch.rs", bad).is_empty());
+        assert!(check_src("crates/cli/src/commands.rs", bad).is_empty());
+        assert!(check_src(
+            "crates/core/src/db.rs",
+            "#[cfg(test)]\nmod tests {\n    fn g(s: &mut Arc<u8>) { Arc::make_mut(s); }\n}\n",
+        )
+        .is_empty());
+        // `make_mut` on something other than `Arc` is out of scope.
+        assert!(check_src(
+            "crates/core/src/db.rs",
+            "fn f(s: &mut Cow<str>) { Cow::make_mut(s); s.make_mut(); }\n",
         )
         .is_empty());
     }

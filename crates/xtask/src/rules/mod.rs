@@ -75,7 +75,7 @@ pub fn registry() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 15] = [
+static RULES: [Rule; 16] = [
     Rule {
         id: "no-partial-cmp-unwrap",
         summary: "distance orderings use f64::total_cmp, never partial_cmp().unwrap()",
@@ -143,6 +143,18 @@ static RULES: [Rule; 15] = [
                  assertions. Shared ownership in core uses Arc.",
         waiver: "never waived.",
         run: Run::PerFile(hygiene::no_rc_in_core),
+    },
+    Rule {
+        id: "no-raw-cow-outside-epoch",
+        summary: "Arc::make_mut copy-on-write splices happen only in uncertain::epoch",
+        scope: "library src/ trees except crates/uncertain/src/epoch.rs (test modules, \
+                bench/cli leaves and examples exempt)",
+        intent: "the epoch module pairs every store splice with an epoch bump and a \
+                 change-log append; a raw `Arc::make_mut` anywhere else mutates a shared \
+                 snapshot behind the backs of pinned readers and standing ContinuousNnc \
+                 handles, which repair incrementally from that log.",
+        waiver: "never waived — add an epoch::* builder instead.",
+        run: Run::PerFile(hygiene::no_raw_cow_outside_epoch),
     },
     Rule {
         id: "no-owned-points-in-hot-paths",

@@ -109,7 +109,7 @@ fn corpus_every_seeded_violation_fires_exactly_once() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 11,
+        entries.len() >= 12,
         "corpus shrank: {} files",
         entries.len()
     );
@@ -135,6 +135,7 @@ fn corpus_every_seeded_violation_fires_exactly_once() {
         "no-println-in-libs",
         "no-panic-allow-in-libs",
         "no-rc-in-core",
+        "no-raw-cow-outside-epoch",
         "no-owned-points-in-hot-paths",
         "no-ad-hoc-timing",
         "no-alloc-in-kernels",

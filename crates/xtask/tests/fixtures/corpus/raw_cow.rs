@@ -1,0 +1,17 @@
+//~ path: crates/uncertain/src/store.rs
+pub fn splice(store: &mut Arc<InstanceStore>, x: f64) {
+    Arc::make_mut(store).push(x);
+}
+
+pub fn clone_is_fine(store: &Arc<InstanceStore>) -> Arc<InstanceStore> {
+    Arc::clone(store)
+}
+
+#[cfg(test)]
+mod tests {
+    fn scratch(store: &mut Arc<InstanceStore>) {
+        Arc::make_mut(store);
+    }
+}
+
+//~ expect: no-raw-cow-outside-epoch @ 3

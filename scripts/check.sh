@@ -59,6 +59,14 @@ echo "== repro scale --smoke (sharded-index bit-identity) =="
 # per-shard descents. Assertion-only; never touches BENCH_scale.json.
 cargo run -q --release -p osd-bench --bin repro -- scale --smoke
 
+echo "== repro mutate --smoke (epoch churn under concurrent readers) =="
+# The epoch-published store under churn: every mutation must publish
+# exactly one epoch, pinned reader snapshots must never expose a dead
+# candidate, and the standing continuous-NNC handle must stay
+# bit-identical to a full re-query on every snapshot. Assertion-only;
+# never touches BENCH_mutate.json.
+cargo run -q --release -p osd-bench --bin repro -- mutate --smoke
+
 echo "== osd query --profile=json smoke (schema) =="
 # End-to-end observability check: a real query through the obs-enabled CLI
 # must emit a profile document carrying every phase of the taxonomy.

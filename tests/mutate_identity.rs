@@ -1,0 +1,236 @@
+//! Mutation identity: an index that grew through interleaved
+//! insert/delete/update publishes **bit-identical** query results to an
+//! index rebuilt from scratch over the surviving objects — ids (through
+//! the tombstone-aware id map), `min_dist` bits, and emission order — for
+//! both physical layouts. A standing [`ContinuousNnc`] handle refreshed
+//! across the same epochs must match a full re-query on every snapshot.
+//!
+//! Everything here also runs under `--features strict-invariants`, where
+//! the store audits and R-tree structure checks ride along with every
+//! mutation.
+
+// Integration test: exact values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
+use osd_core::{
+    k_nn_candidates, nn_candidates, ContinuousNnc, Database, FilterConfig, Operator, PreparedQuery,
+    ShardedDatabase, SpatialIndex,
+};
+use osd_datagen::{generate_objects, CenterDistribution, SynthParams};
+use osd_uncertain::UncertainObject;
+use proptest::prelude::*;
+
+/// A randomized A-N (anti-correlated) pool, the paper's main data family.
+fn an_objects(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+    generate_objects(&SynthParams {
+        n,
+        dim: 2,
+        instances,
+        edge: 800.0,
+        centers: CenterDistribution::AntiCorrelated,
+        seed,
+    })
+}
+
+/// One scripted mutation; `pick` indexes into the live id set, `fresh`
+/// into the replacement-object pool.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert { fresh: usize },
+    Delete { pick: usize },
+    Update { pick: usize, fresh: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0usize..3, 0usize..1000, 0usize..1000).prop_map(|(kind, pick, fresh)| match kind {
+        0 => Op::Insert { fresh },
+        1 => Op::Delete { pick },
+        _ => Op::Update { pick, fresh },
+    })
+}
+
+/// The rebuild-from-scratch oracle: a fresh flat database over the live
+/// objects in logical-id order, plus the dense→logical id map. The map is
+/// monotone, so `(δ, id)` tie-breaks agree between the two id spaces.
+fn oracle_of(shadow: &[Option<UncertainObject>]) -> (Database, Vec<usize>) {
+    let mut logical_of = Vec::new();
+    let mut live = Vec::new();
+    for (id, slot) in shadow.iter().enumerate() {
+        if let Some(obj) = slot {
+            logical_of.push(id);
+            live.push(obj.clone());
+        }
+    }
+    (Database::new(live), logical_of)
+}
+
+/// Asserts the mutated index and the rebuilt oracle emit bit-identical
+/// candidates (ids through the id map, `min_dist` bits, order).
+fn assert_matches_oracle(
+    db: &dyn SpatialIndex,
+    shadow: &[Option<UncertainObject>],
+    query: &PreparedQuery,
+    op: Operator,
+) {
+    let cfg = FilterConfig::all();
+    let mutated = nn_candidates(db, query, op, &cfg);
+    let (oracle, logical_of) = oracle_of(shadow);
+    let fresh = nn_candidates(&oracle, query, op, &cfg);
+    let got: Vec<(usize, u64)> = mutated
+        .candidates
+        .iter()
+        .map(|c| (c.id, c.min_dist.to_bits()))
+        .collect();
+    let want: Vec<(usize, u64)> = fresh
+        .candidates
+        .iter()
+        .map(|c| (logical_of[c.id], c.min_dist.to_bits()))
+        .collect();
+    assert_eq!(got, want, "{op:?}: mutated index diverged from rebuild");
+
+    // k-NNC (k = 2): ids, min_dist bits, order AND dominator counts.
+    let mutated_k = k_nn_candidates(db, query, op, 2, &cfg);
+    let fresh_k = k_nn_candidates(&oracle, query, op, 2, &cfg);
+    let got_k: Vec<(usize, u64, usize)> = mutated_k
+        .candidates
+        .iter()
+        .map(|(c, doms)| (c.id, c.min_dist.to_bits(), *doms))
+        .collect();
+    let want_k: Vec<(usize, u64, usize)> = fresh_k
+        .candidates
+        .iter()
+        .map(|(c, doms)| (logical_of[c.id], c.min_dist.to_bits(), *doms))
+        .collect();
+    assert_eq!(got_k, want_k, "{op:?}: mutated k-NNC diverged from rebuild");
+}
+
+/// Asserts a refreshed standing handle is bit-identical to a full
+/// re-query on the same snapshot.
+fn assert_handle_matches(handle: &ContinuousNnc, db: &dyn SpatialIndex) {
+    let full = nn_candidates(db, handle.query(), handle.op(), &FilterConfig::all());
+    let got: Vec<(usize, u64)> = handle
+        .candidates()
+        .iter()
+        .map(|c| (c.id, c.min_dist.to_bits()))
+        .collect();
+    let want: Vec<(usize, u64)> = full
+        .candidates
+        .iter()
+        .map(|c| (c.id, c.min_dist.to_bits()))
+        .collect();
+    assert_eq!(
+        got,
+        want,
+        "continuous repair diverged from full re-query at epoch {}",
+        db.epoch()
+    );
+}
+
+/// Drives one scripted run against both layouts, checking the oracle and
+/// the standing handles after every published epoch.
+fn run_script(seed: u64, ops: &[Op], op: Operator, shards: usize) {
+    let pool = an_objects(64, 3, seed ^ 0x9e37_79b9);
+    let mut next_fresh = 0usize;
+    let mut take = |fresh: usize| {
+        let obj = pool[(fresh + next_fresh) % pool.len()].clone();
+        next_fresh += 1;
+        obj
+    };
+
+    let seed_objects = an_objects(24, 3, seed);
+    let mut shadow: Vec<Option<UncertainObject>> = seed_objects.iter().cloned().map(Some).collect();
+    let mut flat = Database::new(seed_objects.clone());
+    let mut sharded = ShardedDatabase::new(seed_objects, shards);
+
+    let query = PreparedQuery::new(pool[pool.len() - 1].clone());
+    let mut flat_handle = ContinuousNnc::new(&flat, query.clone(), op, FilterConfig::all());
+    let mut sharded_handle = ContinuousNnc::new(&sharded, query.clone(), op, FilterConfig::all());
+
+    for &scripted in ops {
+        let live: Vec<usize> = (0..shadow.len()).filter(|&i| shadow[i].is_some()).collect();
+        match scripted {
+            Op::Insert { fresh } => {
+                let obj = take(fresh);
+                let id_flat = flat.try_insert(obj.clone()).expect("insert");
+                let id_sharded = sharded.try_insert(obj.clone()).expect("insert");
+                assert_eq!(id_flat, shadow.len(), "ids are dense over the id space");
+                assert_eq!(id_flat, id_sharded, "layouts must agree on ids");
+                shadow.push(Some(obj));
+            }
+            Op::Delete { pick } => {
+                if live.len() <= 1 {
+                    continue;
+                }
+                let id = live[pick % live.len()];
+                flat.try_delete(id).expect("live id deletes");
+                sharded.try_delete(id).expect("live id deletes");
+                shadow[id] = None;
+            }
+            Op::Update { pick, fresh } => {
+                let id = live[pick % live.len()];
+                let obj = take(fresh);
+                flat.try_update(id, obj.clone()).expect("live id updates");
+                sharded
+                    .try_update(id, obj.clone())
+                    .expect("live id updates");
+                shadow[id] = Some(obj);
+            }
+        }
+        assert_eq!(flat.epoch(), sharded.epoch(), "epochs advance in lockstep");
+        assert_matches_oracle(&flat, &shadow, &query, op);
+        assert_matches_oracle(&sharded, &shadow, &query, op);
+        flat_handle.refresh(&flat);
+        sharded_handle.refresh(&sharded);
+        assert_handle_matches(&flat_handle, &flat);
+        assert_handle_matches(&sharded_handle, &sharded);
+        assert_eq!(
+            flat_handle.ids(),
+            sharded_handle.ids(),
+            "standing handles agree across layouts"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings, flat and 3-way sharded, peer dominance.
+    #[test]
+    fn prop_interleaved_mutations_match_rebuild_psd(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        run_script(seed, &ops, Operator::PSd, 3);
+    }
+
+    /// Same scripts under strict stochastic dominance and more shards.
+    #[test]
+    fn prop_interleaved_mutations_match_rebuild_ssd(
+        seed in 0u64..1_000_000,
+        ops in prop::collection::vec(op_strategy(), 1..10),
+    ) {
+        run_script(seed, &ops, Operator::SSd, 4);
+    }
+}
+
+/// Every operator survives a fixed interleaving touching all three
+/// mutation kinds (cheap determinism on top of the randomized runs).
+#[test]
+fn all_operators_survive_a_fixed_interleaving() {
+    let script = [
+        Op::Insert { fresh: 3 },
+        Op::Delete { pick: 5 },
+        Op::Update { pick: 2, fresh: 11 },
+        Op::Insert { fresh: 29 },
+        Op::Delete { pick: 0 },
+        Op::Update { pick: 7, fresh: 41 },
+    ];
+    for op in Operator::ALL {
+        run_script(7, &script, op, 3);
+    }
+}
