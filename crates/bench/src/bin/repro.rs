@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|mutate|all> [options]
+//! repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|mutate|trace|all> [options]
 //!   --paper-scale      Table 2 defaults (n=100k, m_d=40, 100 queries)
 //!   --n <N>            object count override
 //!   --md <M>           instances per object override
@@ -163,6 +163,16 @@ fn main() {
             };
             osd_bench::mutate::mutate(shards, threads.max(2), smoke, json);
         }
+        "trace" => {
+            // Like kernels/scale/mutate: smoke runs are assertion-only and
+            // never clobber the measured artifact unless a path was given.
+            let json = match (&json, smoke) {
+                (Some(path), _) => Some(path.as_str()),
+                (None, false) => Some("BENCH_trace.json"),
+                (None, true) => None,
+            };
+            osd_bench::trace::trace(&scale, smoke, json);
+        }
         "fig16" => fig16(&scale, paper, &report),
         "all" => {
             fig10_with_threads(&scale, &report, threads);
@@ -193,7 +203,7 @@ fn next_val(args: &[String], i: &mut usize) -> usize {
 
 fn usage() {
     eprintln!(
-        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|mutate|all> \
+        "usage: repro <fig10|fig11|fig12|fig13|fig14|fig16|motivation|throughput|profile|storage|kernels|scale|mutate|trace|all> \
          [--paper-scale] [--n N] [--md M] [--mq M] [--queries Q] \
          [--param md|hd|mq|hq|n|d] [--out-dir DIR] [--threads T] \
          [--threads-list 1,2,4,8] [--shards S] [--json PATH] [--smoke]"

@@ -29,6 +29,7 @@ pub mod runner;
 pub mod scale;
 pub mod storage;
 pub mod throughput;
+pub mod trace;
 
 pub use datasets::{build, DatasetId, Workbench};
 pub use figures::{fig10, fig10_with_threads, fig11_13, fig12, fig14, fig16, SweepParam};
@@ -45,3 +46,4 @@ pub use storage::{measure_storage, storage, StorageReport};
 pub use throughput::{
     host_cpus, measure, phase_medians, throughput, ThroughputPoint, ThroughputReport,
 };
+pub use trace::{measure_trace, trace, TraceReport};

@@ -1,0 +1,315 @@
+//! `repro trace`: tracer-overhead quantification, written to
+//! `BENCH_trace.json`.
+//!
+//! The flight recorder's contract is that tracing is *pure observability*:
+//! switching it on may cost a bounded slice of wall-clock but must never
+//! change a result. This mode measures both halves of that claim on the
+//! A-N workload — every query runs traced and untraced in interleaved
+//! rounds, the candidate sets (ids, `min_dist` bit patterns) and legacy
+//! counters must match exactly, and the per-query latency medians give the
+//! tracer's overhead. With the `obs` feature off the traced run must
+//! additionally produce no traces at all (the recorder stays empty), which
+//! is the zero-cost half of the contract.
+//!
+//! Smoke runs (`--smoke`) are assertion-only: they validate bit-identity
+//! and trace structure but skip the overhead gate (timing on a loaded CI
+//! box is noise) and never clobber the measured artifact unless `--json`
+//! names a path explicitly.
+
+use crate::datasets::{build, DatasetId, Workbench};
+use crate::params::Scale;
+use osd_core::{nn_candidates, FilterConfig, FlightRecorder, Operator, QueryTrace, Stats};
+use osd_obs::Stopwatch;
+
+/// How slow a query must be (relative to nothing — the threshold is in
+/// absolute nanoseconds) for the bench recorder to promote it to the slow
+/// log. Low enough that a real workload always promotes a few.
+const BENCH_SLOW_THRESHOLD_NS: u64 = 50_000;
+
+/// A measured tracer-overhead report.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Dataset label (the bench runs on A-N).
+    pub dataset: &'static str,
+    /// Operator label.
+    pub op: &'static str,
+    /// Objects in the database.
+    pub objects: usize,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Interleaved measurement rounds per configuration.
+    pub rounds: usize,
+    /// Whether the build records anything at all.
+    pub traced_enabled: bool,
+    /// Median per-query latency without tracing, nanoseconds.
+    pub untraced_median_ns: u64,
+    /// Median per-query latency with tracing, nanoseconds.
+    pub traced_median_ns: u64,
+    /// `(traced - untraced) / untraced`, percent; negative values are
+    /// measurement noise and clamp to zero.
+    pub overhead_pct: f64,
+    /// Total spans across the final round's traces (0 with obs off).
+    pub spans_total: usize,
+    /// The recorder fed by the final traced round.
+    pub recorder: FlightRecorder,
+}
+
+fn median(ns: &mut [u64]) -> u64 {
+    if ns.is_empty() {
+        return 0;
+    }
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+/// The bit-exact projection of one query result: ids, `min_dist` bit
+/// patterns and the deterministic counters.
+fn fingerprint(
+    db: &osd_core::Database,
+    q: &osd_core::PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+) -> (Vec<(usize, u64)>, Stats) {
+    let res = nn_candidates(db, q, op, cfg);
+    (
+        res.candidates
+            .iter()
+            .map(|c| (c.id, c.min_dist.to_bits()))
+            .collect(),
+        res.stats,
+    )
+}
+
+/// Runs the A-N workload traced and untraced in interleaved rounds,
+/// validates bit-identity, and returns the latency medians plus the
+/// recorder state of the final traced round.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: a traced query whose
+/// candidates or counters differ from the untraced run, a traced query
+/// that produced no trace (obs on), or a trace that appeared in a build
+/// that must not record (obs off).
+pub fn measure_trace(scale: &Scale, op: Operator, rounds: usize) -> Result<TraceReport, String> {
+    let bench: Workbench = build(DatasetId::AN, scale);
+    let plain = FilterConfig::all();
+    let traced = FilterConfig::all().traced();
+    let rounds = rounds.max(1);
+
+    // Bit-identity first, once per query: tracing must be invisible in
+    // the result.
+    for (i, q) in bench.queries.iter().enumerate() {
+        if fingerprint(&bench.db, q, op, &plain) != fingerprint(&bench.db, q, op, &traced) {
+            return Err(format!(
+                "query {i}: tracing changed the result — the observer is not pure"
+            ));
+        }
+    }
+
+    // Interleaved timing rounds; the last traced round also feeds the
+    // recorder so the report can show ring/slow-log behaviour.
+    let mut untraced_ns = Vec::with_capacity(rounds * bench.queries.len());
+    let mut traced_ns = Vec::with_capacity(rounds * bench.queries.len());
+    let mut recorder = FlightRecorder::new(
+        osd_obs::trace::DEFAULT_RING_CAPACITY,
+        BENCH_SLOW_THRESHOLD_NS,
+        osd_obs::trace::DEFAULT_SLOW_CAPACITY,
+    );
+    let mut spans_total = 0usize;
+    for round in 0..rounds {
+        let last = round + 1 == rounds;
+        for (i, q) in bench.queries.iter().enumerate() {
+            let sw = Stopwatch::start();
+            let _ = nn_candidates(&bench.db, q, op, &plain);
+            untraced_ns.push(sw.elapsed_nanos());
+
+            let sw = Stopwatch::start();
+            let res = nn_candidates(&bench.db, q, op, &traced);
+            traced_ns.push(sw.elapsed_nanos());
+
+            match (res.trace, QueryTrace::enabled()) {
+                (Some(mut t), true) => {
+                    if t.spans.is_empty() || !t.spans[0].is_root() {
+                        return Err(format!("query {i}: trace has no root span"));
+                    }
+                    if last {
+                        spans_total += t.spans.len();
+                        t.seq = i as u64;
+                        recorder.record(t);
+                    }
+                }
+                (None, true) => {
+                    return Err(format!("query {i}: traced run produced no trace"));
+                }
+                (Some(_), false) => {
+                    return Err(format!(
+                        "query {i}: obs-off build recorded a trace — the tracer is not compiled out"
+                    ));
+                }
+                (None, false) => {}
+            }
+        }
+    }
+
+    let untraced_median_ns = median(&mut untraced_ns);
+    let traced_median_ns = median(&mut traced_ns);
+    let overhead_pct = if untraced_median_ns == 0 {
+        0.0
+    } else {
+        let raw = (traced_median_ns as f64 - untraced_median_ns as f64) / untraced_median_ns as f64
+            * 100.0;
+        raw.max(0.0)
+    };
+
+    Ok(TraceReport {
+        dataset: DatasetId::AN.label(),
+        op: op.label(),
+        objects: bench.db.len(),
+        queries: bench.queries.len(),
+        rounds,
+        traced_enabled: QueryTrace::enabled(),
+        untraced_median_ns,
+        traced_median_ns,
+        overhead_pct,
+        spans_total,
+        recorder,
+    })
+}
+
+impl TraceReport {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        out.push_str(&format!("  \"operator\": \"{}\",\n", self.op));
+        out.push_str(&format!("  \"objects\": {},\n", self.objects));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"traced_enabled\": {},\n", self.traced_enabled));
+        out.push_str("  \"bit_identical\": true,\n");
+        out.push_str(&format!(
+            "  \"untraced_median_ns\": {},\n",
+            self.untraced_median_ns
+        ));
+        out.push_str(&format!(
+            "  \"traced_median_ns\": {},\n",
+            self.traced_median_ns
+        ));
+        out.push_str(&format!("  \"overhead_pct\": {:.2},\n", self.overhead_pct));
+        out.push_str(&format!("  \"spans_total\": {},\n", self.spans_total));
+        out.push_str("  \"recorder\": {\n");
+        out.push_str(&format!(
+            "    \"recorded\": {},\n",
+            self.recorder.recorded()
+        ));
+        out.push_str(&format!("    \"retained\": {},\n", self.recorder.len()));
+        out.push_str(&format!("    \"evicted\": {},\n", self.recorder.evicted()));
+        out.push_str(&format!(
+            "    \"promoted_slow\": {},\n",
+            self.recorder.promoted()
+        ));
+        out.push_str(&format!(
+            "    \"slow_threshold_ns\": {}\n",
+            self.recorder.slow_threshold_ns()
+        ));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// `repro trace`: prints the overhead table, optionally writes the JSON
+/// artifact, and exits non-zero if the purity validation (or, on full
+/// runs of an obs build, the <5% median-overhead gate) fails.
+pub fn trace(scale: &Scale, smoke: bool, json: Option<&str>) {
+    let rounds = if smoke { 2 } else { 9 };
+    let report = match measure_trace(scale, Operator::PSd, rounds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\n== Tracer overhead: {} on {} ({} objects, {} queries × {} rounds, obs {}) ==",
+        report.op,
+        report.dataset,
+        report.objects,
+        report.queries,
+        report.rounds,
+        if report.traced_enabled { "on" } else { "off" }
+    );
+    println!(
+        "{:>24} {:>14}",
+        "untraced median ns", report.untraced_median_ns
+    );
+    println!("{:>24} {:>14}", "traced median ns", report.traced_median_ns);
+    println!("{:>24} {:>13.2}%", "overhead", report.overhead_pct);
+    println!("{:>24} {:>14}", "spans (final round)", report.spans_total);
+    println!(
+        "{:>24} {:>14}",
+        "slow-log promotions",
+        report.recorder.promoted()
+    );
+    if report.traced_enabled && !smoke && report.overhead_pct >= 5.0 {
+        eprintln!(
+            "trace: median overhead {:.2}% breaches the 5% budget",
+            report.overhead_pct
+        );
+        std::process::exit(1);
+    }
+    if let Some(path) = json {
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            n: 80,
+            m_d: 4,
+            m_q: 3,
+            queries: 6,
+            ..Scale::laptop()
+        }
+    }
+
+    #[test]
+    fn measure_validates_purity_and_counts_spans() {
+        let report = measure_trace(&tiny(), Operator::PSd, 2).unwrap();
+        assert_eq!(report.queries, 6);
+        assert_eq!(report.rounds, 2);
+        assert_eq!(report.traced_enabled, QueryTrace::enabled());
+        if QueryTrace::enabled() {
+            assert!(report.spans_total > 0);
+            assert_eq!(report.recorder.recorded(), 6);
+        } else {
+            assert_eq!(report.spans_total, 0);
+            assert!(report.recorder.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_carries_the_gate_fields() {
+        let report = measure_trace(&tiny(), Operator::SSd, 1).unwrap();
+        let json = report.to_json();
+        for key in [
+            "\"untraced_median_ns\"",
+            "\"traced_median_ns\"",
+            "\"overhead_pct\"",
+            "\"bit_identical\": true",
+            "\"recorder\"",
+            "\"promoted_slow\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -90,6 +90,15 @@ pub enum ProfileFormat {
     Prom,
 }
 
+/// Output format selected by `--trace[=text|chrome]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Human-readable indented span tree (the default).
+    Text,
+    /// Chrome trace-event JSON, loadable in `chrome://tracing` / Perfetto.
+    Chrome,
+}
+
 /// A tiny flag scanner: `--name value` pairs plus boolean `--name` flags.
 pub struct Flags {
     args: Vec<String>,
@@ -145,6 +154,35 @@ impl Flags {
             }
         }
         Ok(None)
+    }
+
+    /// The `--trace` selection: `None` when the flag is absent, `Text`
+    /// for a bare `--trace` or `--trace=text`, `Chrome` for
+    /// `--trace=chrome`.
+    ///
+    /// # Errors
+    /// Returns [`CliError::BadArgument`] for an unknown format.
+    pub fn trace(&self) -> Result<Option<TraceFormat>, CliError> {
+        for a in &self.args {
+            match a.as_str() {
+                "--trace" | "--trace=text" => return Ok(Some(TraceFormat::Text)),
+                "--trace=chrome" => return Ok(Some(TraceFormat::Chrome)),
+                other => {
+                    if let Some(v) = other.strip_prefix("--trace=") {
+                        return Err(CliError::BadArgument(format!(
+                            "--trace={v:?} (use text | chrome)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The raw argument list — for subcommands taking positional words
+    /// (`osd trace last 5`).
+    pub fn raw(&self) -> &[String] {
+        &self.args
     }
 
     /// A parsed optional value with a default.
@@ -207,6 +245,20 @@ mod tests {
         assert_eq!(f.parsed_or("--missing", 7usize).unwrap(), 7);
         assert!(f.required("--data").is_ok());
         assert!(f.required("--query").is_err());
+    }
+
+    #[test]
+    fn trace_flag_forms() {
+        let none = Flags::new(vec!["--data".into(), "x.csv".into()]);
+        assert_eq!(none.trace().unwrap(), None);
+        let bare = Flags::new(vec!["--trace".into()]);
+        assert_eq!(bare.trace().unwrap(), Some(TraceFormat::Text));
+        let text = Flags::new(vec!["--trace=text".into()]);
+        assert_eq!(text.trace().unwrap(), Some(TraceFormat::Text));
+        let chrome = Flags::new(vec!["--trace=chrome".into()]);
+        assert_eq!(chrome.trace().unwrap(), Some(TraceFormat::Chrome));
+        let bad = Flags::new(vec!["--trace=xml".into()]);
+        assert!(bad.trace().is_err());
     }
 
     #[test]

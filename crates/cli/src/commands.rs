@@ -1,11 +1,11 @@
 //! Subcommand implementations for the `osd` CLI.
 
-use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat};
+use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat, TraceFormat};
 use osd_core::{
     batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates,
     k_nn_candidates_scatter, nn_candidates, nn_candidates_scatter, ContinuousNnc, Database,
-    DbError, FilterConfig, PreparedQuery, ProgressiveNnc, PublishedIndex, QueryEngine,
-    QueryMetrics, Repair, ShardedDatabase, SpatialIndex, Stats,
+    DbError, FilterConfig, FlightRecorder, PreparedQuery, ProgressiveNnc, PublishedIndex,
+    QueryEngine, QueryMetrics, Repair, ShardedDatabase, SpatialIndex, Stats, TraceData,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -13,6 +13,67 @@ use osd_datagen::{
 };
 use osd_nnfuncs::{emd, hausdorff, sum_min, N1Function, StableAggregate};
 use std::path::Path;
+
+/// Default flight-recorder file of `osd query --trace` / `osd trace`.
+const DEFAULT_RECORDER_FILE: &str = "osd-flight.log";
+
+/// Loads the flight recorder behind `--recorder PATH` (default
+/// `osd-flight.log`): parses an existing file, otherwise starts a fresh
+/// recorder whose slow-query threshold comes from `--slow-ms N` (0, the
+/// default, disables the slow log). An existing file keeps the parameters
+/// in its header.
+fn load_recorder(flags: &Flags) -> Result<(FlightRecorder, std::path::PathBuf), CliError> {
+    let path = std::path::PathBuf::from(flags.value("--recorder").unwrap_or(DEFAULT_RECORDER_FILE));
+    let slow_ms: u64 = flags.parsed_or("--slow-ms", 0)?;
+    let recorder = if path.exists() {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
+        FlightRecorder::from_log(&text)
+            .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?
+    } else {
+        FlightRecorder::new(
+            osd_obs::trace::DEFAULT_RING_CAPACITY,
+            slow_ms.saturating_mul(1_000_000),
+            osd_obs::trace::DEFAULT_SLOW_CAPACITY,
+        )
+    };
+    Ok((recorder, path))
+}
+
+/// Renders the traces a `--trace` query produced and appends them to the
+/// flight-recorder file, re-stamping `seq` so invocations compose into
+/// one stream. With the `obs` feature off a traced run yields no traces;
+/// that is reported rather than silently printing nothing.
+fn emit_traces(format: TraceFormat, traces: &[&TraceData], flags: &Flags) -> Result<(), CliError> {
+    if traces.is_empty() {
+        println!("no traces recorded (binary built without the `obs` feature)");
+        return Ok(());
+    }
+    match format {
+        TraceFormat::Chrome => println!("{}", osd_obs::chrome_trace(traces)),
+        TraceFormat::Text => {
+            for t in traces {
+                print!("{}", osd_obs::render_text(t));
+            }
+        }
+    }
+    let (mut recorder, path) = load_recorder(flags)?;
+    let base = recorder.recorded();
+    for (i, t) in traces.iter().enumerate() {
+        let mut t = (*t).clone();
+        t.seq = base + i as u64;
+        recorder.record(t);
+    }
+    std::fs::write(&path, recorder.to_log())
+        .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
+    println!(
+        "recorded {} trace(s) into {} ({} total)",
+        traces.len(),
+        path.display(),
+        recorder.recorded()
+    );
+    Ok(())
+}
 
 /// Builds the index behind the CLI: a flat [`Database`] for `--shards 1`
 /// (the default), an STR-tiled [`ShardedDatabase`] otherwise. Returned
@@ -336,11 +397,19 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let progressive = flags.has("--progressive");
     let scatter = flags.has("--scatter");
     let profile = flags.profile()?;
+    let trace_fmt = flags.trace()?;
     if progressive && scatter {
         return Err(CliError::BadArgument(
             "--progressive and --scatter are mutually exclusive".into(),
         ));
     }
+    // Tracing is pure observability: candidates and counters are
+    // bit-identical with or without it.
+    let cfg = if trace_fmt.is_some() {
+        FilterConfig::all().traced()
+    } else {
+        FilterConfig::all()
+    };
 
     let objects = read_objects_csv(Path::new(data)).map_err(|e| CliError::Data(e.to_string()))?;
     let dim = objects
@@ -361,7 +430,7 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         }
         let queries = read_query_file(Path::new(file), dim)?;
         let db = build_index(objects, shards)?;
-        let engine = QueryEngine::new(&*db, op);
+        let engine = QueryEngine::with_config(&*db, op, cfg);
         let results = engine.run_batch(&queries, threads.max(1));
         for (i, res) in results.iter().enumerate() {
             println!(
@@ -382,6 +451,10 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
                 render_profile(fmt, &batch_metrics(&results), &batch_stats(&results))
             );
         }
+        if let Some(fmt) = trace_fmt {
+            let traces: Vec<&TraceData> = results.iter().filter_map(|r| r.trace.as_ref()).collect();
+            emit_traces(fmt, &traces, flags)?;
+        }
         return Ok(());
     }
 
@@ -395,7 +468,6 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     }
     let db = build_index(objects, shards)?;
     let pq = PreparedQuery::new(query);
-    let cfg = FilterConfig::all();
 
     if progressive {
         println!("{:>8} {:>12} {:>12}", "object", "min-dist", "elapsed");
@@ -403,8 +475,13 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         while let Some(c) = stream.next_candidate() {
             println!("{:>8} {:>12.3} {:>10.2?}", c.id, c.min_dist, c.elapsed);
         }
+        let res = stream.into_result();
         if let Some(fmt) = profile {
-            print!("{}", render_profile(fmt, stream.metrics(), stream.stats()));
+            print!("{}", render_profile(fmt, &res.metrics, &res.stats));
+        }
+        if let Some(fmt) = trace_fmt {
+            let traces: Vec<&TraceData> = res.trace.as_ref().into_iter().collect();
+            emit_traces(fmt, &traces, flags)?;
         }
         return Ok(());
     }
@@ -429,6 +506,10 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         if let Some(fmt) = profile {
             print!("{}", render_profile(fmt, &res.metrics, &res.stats));
         }
+        if let Some(fmt) = trace_fmt {
+            let traces: Vec<&TraceData> = res.trace.as_ref().into_iter().collect();
+            emit_traces(fmt, &traces, flags)?;
+        }
     } else {
         let res = if scatter {
             nn_candidates_scatter(&*db, &pq, op, &cfg, threads)
@@ -441,6 +522,72 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         }
         if let Some(fmt) = profile {
             print!("{}", render_profile(fmt, &res.metrics, &res.stats));
+        }
+        if let Some(fmt) = trace_fmt {
+            let traces: Vec<&TraceData> = res.trace.as_ref().into_iter().collect();
+            emit_traces(fmt, &traces, flags)?;
+        }
+    }
+    Ok(())
+}
+
+/// `osd trace`: inspect a flight-recorder file written by
+/// `osd query --trace`. `osd trace last [N]` prints the N most recent
+/// traces, `osd trace slowest [N]` the N slowest known ones (slow log ∪
+/// ring). `--trace=chrome` switches the rendering to Chrome trace-event
+/// JSON.
+///
+/// # Errors
+/// Returns a [`CliError`] on an unknown mode, a malformed count or an
+/// unreadable/corrupt recorder file.
+pub fn cmd_trace(flags: &Flags) -> Result<(), CliError> {
+    let words: Vec<&str> = flags
+        .raw()
+        .iter()
+        .map(String::as_str)
+        .take_while(|w| !w.starts_with("--"))
+        .collect();
+    let mode = words.first().copied().unwrap_or("last");
+    let n: usize = match words.get(1) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::BadArgument(format!("trace count {v:?}")))?,
+        None => 8,
+    };
+    if words.len() > 2 {
+        return Err(CliError::BadArgument(format!(
+            "unexpected argument {:?} (usage: osd trace last|slowest [N])",
+            words[2]
+        )));
+    }
+    let path = std::path::PathBuf::from(flags.value("--recorder").unwrap_or(DEFAULT_RECORDER_FILE));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
+    let recorder = FlightRecorder::from_log(&text)
+        .map_err(|e| CliError::Data(format!("{}: {e}", path.display())))?;
+    let traces = match mode {
+        "last" => recorder.last(n),
+        "slowest" => recorder.slowest(n),
+        other => {
+            return Err(CliError::BadArgument(format!(
+                "unknown trace mode {other:?} (use last | slowest)"
+            )))
+        }
+    };
+    println!(
+        "flight recorder {}: {} recorded, {} in ring, {} evicted, {} promoted slow",
+        path.display(),
+        recorder.recorded(),
+        recorder.len(),
+        recorder.evicted(),
+        recorder.promoted()
+    );
+    match flags.trace()?.unwrap_or(TraceFormat::Text) {
+        TraceFormat::Chrome => println!("{}", osd_obs::chrome_trace(&traces)),
+        TraceFormat::Text => {
+            for t in traces {
+                print!("{}", osd_obs::render_text(t));
+            }
         }
     }
     Ok(())
@@ -682,8 +829,9 @@ pub fn run(subcommand: &str, flags: &Flags) -> Result<(), CliError> {
         "gen" => cmd_gen(flags),
         "mutate" => cmd_mutate(flags),
         "watch" => cmd_watch(flags),
+        "trace" => cmd_trace(flags),
         other => Err(CliError::BadArgument(format!(
-            "unknown subcommand {other:?} (use query | explain | score | gen | mutate | watch)"
+            "unknown subcommand {other:?} (use query | explain | score | gen | mutate | watch | trace)"
         ))),
     }
 }
@@ -697,10 +845,13 @@ USAGE:
             [--dim D] [--edge H] [--seed S]
   osd query --data data.csv --query \"x,y;x,y;…\" [--op ssd|sssd|psd|fsd|f+sd]
             [--k K] [--progressive] [--shards N] [--scatter] [--threads N]
-            [--profile[=json|prom]]
+            [--profile[=json|prom]] [--trace[=text|chrome]]
+            [--recorder FILE] [--slow-ms MS]
   osd query --data data.csv --queries queries.txt [--op …] [--threads N]
-            [--shards N] [--profile[=json|prom]]
+            [--shards N] [--profile[=json|prom]] [--trace[=text|chrome]]
             (one \"x,y;x,y;…\" spec per line; blank lines and # comments skipped)
+  osd trace [last|slowest] [N] [--recorder FILE] [--trace=text|chrome]
+            (inspect the flight-recorder file written by osd query --trace)
   osd explain --data data.csv --query \"x,y;…\" (--object ID | --matrix)
             [--op …] [--shards N]
   osd score --data data.csv --query \"x,y;…\" --object ID
@@ -720,6 +871,13 @@ the merged shared-bound traversal.
 `--profile` appends a per-phase timing/counter breakdown (prepare,
 rtree-descent, level-prune, validate, refine) after the results, as JSON
 (default) or Prometheus text.
+
+`--trace` records a per-query structured trace tree and appends it to a
+flight-recorder file (default osd-flight.log, override with --recorder;
+--slow-ms sets the slow-query promotion threshold for new recorder
+files). `--trace=chrome` prints Chrome trace-event JSON for
+chrome://tracing / Perfetto instead of the indented text tree; `osd
+trace` reads the file back.
 "
 }
 
@@ -1213,6 +1371,89 @@ mod tests {
         }
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&ops).ok();
+    }
+
+    #[test]
+    fn traced_query_writes_recorder_and_trace_reads_it_back() {
+        let out = tmp("trace.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "30",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let rec = tmp("trace-flight.log");
+        std::fs::remove_file(&rec).ok();
+        // Text trace on the single-query path, chrome on k>1, text again
+        // progressively: all append to the same recorder file.
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--trace",
+            "--recorder",
+            &rec,
+        ]))
+        .unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "5000,5000",
+            "--k",
+            "2",
+            "--trace=chrome",
+            "--recorder",
+            &rec,
+        ]))
+        .unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--query",
+            "2000,8000",
+            "--progressive",
+            "--trace",
+            "--recorder",
+            &rec,
+        ]))
+        .unwrap();
+        if osd_core::QueryTrace::enabled() {
+            let text = std::fs::read_to_string(&rec).unwrap();
+            let recorder = FlightRecorder::from_log(&text).unwrap();
+            assert_eq!(recorder.recorded(), 3);
+            // Appended runs re-stamp seq so the stream stays coherent.
+            let seqs: Vec<u64> = recorder.last(10).iter().map(|t| t.seq).collect();
+            assert_eq!(seqs, vec![2, 1, 0]);
+            cmd_trace(&flags(&["last", "2", "--recorder", &rec])).unwrap();
+            cmd_trace(&flags(&["slowest", "--recorder", &rec, "--trace=chrome"])).unwrap();
+            std::fs::remove_file(&rec).ok();
+        } else {
+            // obs off: a traced run records nothing and writes no file.
+            assert!(!Path::new(&rec).exists());
+            assert!(cmd_trace(&flags(&["last", "--recorder", &rec])).is_err());
+        }
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn trace_rejects_bad_modes_and_counts() {
+        let rec = tmp("trace-bad.log");
+        std::fs::write(&rec, FlightRecorder::default().to_log()).unwrap();
+        assert!(cmd_trace(&flags(&["sideways", "--recorder", &rec])).is_err());
+        assert!(cmd_trace(&flags(&["last", "many", "--recorder", &rec])).is_err());
+        assert!(cmd_trace(&flags(&["last", "1", "extra", "--recorder", &rec])).is_err());
+        cmd_trace(&flags(&["--recorder", &rec])).unwrap(); // defaults: last 8
+        std::fs::remove_file(&rec).ok();
+        assert!(cmd_trace(&flags(&["last", "--recorder", &rec])).is_err());
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct FilterConfig {
     /// defaults to on; the scalar path exists as the reference
     /// implementation the bench compares against.
     pub kernels: bool,
+    /// Record a per-query structured trace tree (`osd_obs::QueryTrace`)
+    /// alongside the result.
+    ///
+    /// Pure observability, not a filter: the tracer only ever writes into
+    /// its own span arena, so candidate ids, `min_dist` bits and every
+    /// cost counter are bit-identical traced or untraced (`repro trace`
+    /// asserts this), and with the `obs` feature off the flag is inert —
+    /// the tracer compiles to a zero-sized no-op. Off in every named
+    /// configuration; enabled per query by `--trace` / the trace bench.
+    pub trace: bool,
 }
 
 impl FilterConfig {
@@ -44,6 +54,7 @@ impl FilterConfig {
             geometric: false,
             mbr_validation: false,
             kernels: true,
+            trace: false,
         }
     }
 
@@ -93,6 +104,15 @@ impl FilterConfig {
     pub const fn scalar(self) -> Self {
         FilterConfig {
             kernels: false,
+            ..self
+        }
+    }
+
+    /// The same configuration with per-query tracing switched on — results
+    /// are bit-identical either way (tracing is observation only).
+    pub const fn traced(self) -> Self {
+        FilterConfig {
+            trace: true,
             ..self
         }
     }

@@ -44,8 +44,9 @@ use crate::nnc::{mbr_pruned, nn_candidates, object_min_dist2, Candidate};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::Mbr;
-use osd_obs::Stopwatch;
+use osd_obs::{trace::DEFAULT_TRACE_EVENTS, AttrValue, QueryTrace, SpanId, Stopwatch, TraceData};
 use osd_uncertain::Change;
+use std::borrow::Cow;
 
 /// How a [`ContinuousNnc::refresh`] brought the candidate set up to date.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,11 @@ pub struct ContinuousNnc {
     epoch: u64,
     candidates: Vec<Candidate>,
     cand_mbrs: Vec<Mbr>,
+    /// Refreshes that found work (the `seq` source for repair traces).
+    refreshes: u64,
+    /// Trace of the most recent repairing refresh, when `cfg.trace` is on
+    /// and the `obs` feature is enabled.
+    last_trace: Option<TraceData>,
 }
 
 impl ContinuousNnc {
@@ -101,6 +107,8 @@ impl ContinuousNnc {
             epoch: 0,
             candidates: Vec::new(),
             cand_mbrs: Vec::new(),
+            refreshes: 0,
+            last_trace: None,
         };
         this.requery(db);
         this
@@ -136,6 +144,13 @@ impl ContinuousNnc {
         self.candidates.iter().any(|c| c.id == id)
     }
 
+    /// Trace of the most recent refresh that found work — `None` until a
+    /// repairing refresh runs with tracing configured (`cfg.trace` and the
+    /// `obs` feature on). `seq` counts repairing refreshes of this handle.
+    pub fn last_trace(&self) -> Option<&TraceData> {
+        self.last_trace.as_ref()
+    }
+
     /// Brings the candidate set up to date with `db`'s snapshot and
     /// reports how.
     ///
@@ -146,17 +161,32 @@ impl ContinuousNnc {
         if now == self.epoch {
             return Repair::UpToDate;
         }
+        let mut trace = if self.cfg.trace {
+            QueryTrace::start("repair", DEFAULT_TRACE_EVENTS)
+        } else {
+            QueryTrace::off()
+        };
         let Some(changes) = db.changes_since(self.epoch) else {
             // The reader fell behind the retained change window (or the
             // handle was moved across unrelated indexes): start over.
-            self.requery(db);
+            self.full_requery(db, trace, "stale-window");
             return Repair::Full;
         };
-        if changes
+        let scan = trace.open("changes-scan");
+        if scan != SpanId::NONE {
+            trace.attr(scan, "changes", AttrValue::U64(changes.len() as u64));
+            for c in &changes {
+                let event = trace.instant("change");
+                trace.attr(event, "kind", AttrValue::Str(Cow::Borrowed(c.label())));
+                trace.attr(event, "id", AttrValue::U64(c.id() as u64));
+            }
+        }
+        let candidate_touched = changes
             .iter()
-            .any(|c| matches!(c, Change::Deleted(id) | Change::Updated(id) if self.contains(*id)))
-        {
-            self.requery(db);
+            .any(|c| matches!(c, Change::Deleted(id) | Change::Updated(id) if self.contains(*id)));
+        trace.close(scan);
+        if candidate_touched {
+            self.full_requery(db, trace, "candidate-touched");
             return Repair::Full;
         }
         // Insert-shaped delta: deletes of non-candidates are free, and
@@ -177,9 +207,18 @@ impl ContinuousNnc {
 
         // Fresh context: the old snapshot's per-object caches are keyed by
         // id but derived from object *content*, which an update may have
-        // changed — a new epoch always gets a clean cache.
-        let mut ctx = CheckCtx::new(db, &self.query, self.cfg);
+        // changed — a new epoch always gets a clean cache. The repair owns
+        // the trace, so the context runs untraced.
+        let mut ctx = CheckCtx::new(
+            db,
+            &self.query,
+            FilterConfig {
+                trace: false,
+                ..self.cfg
+            },
+        );
         let start = Stopwatch::start();
+        let recheck_span = trace.open("recheck");
 
         // MBR pre-filter (the traversal's entry pruning, Theorem 4): only
         // objects whose MBR survives the standing prune bound pay for an
@@ -209,10 +248,16 @@ impl ContinuousNnc {
             );
             keyed.push((key.max(0.0).sqrt(), w));
         }
+        if recheck_span != SpanId::NONE {
+            trace.attr(recheck_span, "rechecked", AttrValue::U64(rechecked as u64));
+            trace.attr(recheck_span, "mbr_pruned", AttrValue::U64(pruned as u64));
+        }
+        trace.close(recheck_span);
         // Process survivors in the traversal's emission order so each is
         // checked against exactly its kept predecessors.
         keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
+        let admit_span = trace.open("admit");
         let mut admitted = 0usize;
         let mut evicted = 0usize;
         for (dist, w) in keyed {
@@ -254,7 +299,13 @@ impl ContinuousNnc {
                 }
             }
         }
+        if admit_span != SpanId::NONE {
+            trace.attr(admit_span, "admitted", AttrValue::U64(admitted as u64));
+            trace.attr(admit_span, "evicted", AttrValue::U64(evicted as u64));
+        }
+        trace.close(admit_span);
         self.epoch = now;
+        self.store_trace(trace);
         Repair::Incremental {
             rechecked,
             mbr_pruned: pruned,
@@ -263,9 +314,46 @@ impl ContinuousNnc {
         }
     }
 
-    /// Replaces the standing set with a full re-query on `db`.
+    /// The full-requery arm of a refresh: wraps [`Self::requery`] in a
+    /// `requery` span tagged with why the incremental repair was abandoned,
+    /// then stores the finished trace.
+    fn full_requery(&mut self, db: &dyn SpatialIndex, mut trace: QueryTrace, reason: &'static str) {
+        let span = trace.open("requery");
+        if span != SpanId::NONE {
+            trace.attr(span, "reason", AttrValue::Str(Cow::Borrowed(reason)));
+        }
+        self.requery(db);
+        if span != SpanId::NONE {
+            trace.attr(
+                span,
+                "candidates",
+                AttrValue::U64(self.candidates.len() as u64),
+            );
+        }
+        trace.close(span);
+        self.store_trace(trace);
+    }
+
+    /// Finishes a repair trace, stamps its `seq` from the refresh counter
+    /// and retains it as [`Self::last_trace`].
+    fn store_trace(&mut self, trace: QueryTrace) {
+        let seq = self.refreshes;
+        self.refreshes += 1;
+        if let Some(mut t) = trace.finish() {
+            t.seq = seq;
+            self.last_trace = Some(t);
+        }
+    }
+
+    /// Replaces the standing set with a full re-query on `db`. Runs
+    /// untraced: a refresh's repair trace (if any) is owned by the caller,
+    /// and the initial query of [`Self::new`] records none.
     fn requery(&mut self, db: &dyn SpatialIndex) {
-        let result = nn_candidates(db, &self.query, self.op, &self.cfg);
+        let cfg = FilterConfig {
+            trace: false,
+            ..self.cfg
+        };
+        let result = nn_candidates(db, &self.query, self.op, &cfg);
         self.cand_mbrs = result
             .candidates
             .iter()
@@ -419,6 +507,43 @@ mod tests {
         db.insert_object(obj(&[(0.25, 0.25)]));
         let repair = handle.refresh(&db);
         assert!(matches!(repair, Repair::Incremental { .. }), "{repair:?}");
+        assert_matches_full(&handle, &db);
+    }
+
+    #[test]
+    fn repair_traces_narrate_both_arms() {
+        let mut db = Database::new(line_objects(5));
+        let q = PreparedQuery::new(obj(&[(0.0, 0.0)]));
+        let mut handle = ContinuousNnc::new(&db, q, Operator::SSd, FilterConfig::all().traced());
+        assert!(handle.last_trace().is_none(), "no repair has run yet");
+
+        // Incremental arm: an insert-only delta.
+        db.insert_object(obj(&[(0.5, 0.0), (0.6, 0.0)]));
+        let repair = handle.refresh(&db);
+        assert!(matches!(repair, Repair::Incremental { .. }), "{repair:?}");
+        if !QueryTrace::enabled() {
+            assert!(handle.last_trace().is_none(), "obs off: tracing is inert");
+            return;
+        }
+        let t = handle.last_trace().expect("incremental repair traced");
+        assert_eq!(t.seq, 0);
+        assert_eq!(t.label, "repair");
+        assert_eq!(t.count("changes-scan"), 1);
+        assert_eq!(t.count("change"), 1, "one per-change event");
+        assert_eq!(t.count("recheck"), 1);
+        assert_eq!(t.count("admit"), 1);
+        assert_eq!(t.count("requery"), 0);
+
+        // Full arm: deleting a standing candidate.
+        let first = handle.ids()[0];
+        db.delete_object(first);
+        assert_eq!(handle.refresh(&db), Repair::Full);
+        let t = handle.last_trace().expect("full repair traced");
+        assert_eq!(t.seq, 1, "refresh counter advances");
+        assert_eq!(t.count("requery"), 1);
+        assert_eq!(t.count("recheck"), 0);
+
+        // Untraced results stay bit-identical to the traced repair.
         assert_matches_full(&handle, &db);
     }
 

@@ -16,7 +16,9 @@ use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_flow::MaxFlow;
-use osd_obs::{Phase, PhaseTimer, QueryMetrics};
+use osd_obs::{
+    trace::DEFAULT_TRACE_EVENTS, AttrValue, Phase, PhaseTimer, QueryMetrics, QueryTrace,
+};
 use osd_uncertain::DistanceDistribution;
 use std::sync::Arc;
 
@@ -63,6 +65,11 @@ pub struct CheckCtx<'a> {
     /// Instrumentation registry for this query (zero-sized no-op unless
     /// the `obs` feature is on).
     pub metrics: QueryMetrics,
+    /// Per-query structured trace recorder. Active only when
+    /// `cfg.trace` is set *and* the `obs` feature is on; otherwise every
+    /// call is an inert no-op, so the check kernels instrument
+    /// unconditionally.
+    pub trace: QueryTrace,
     /// Reusable scratch buffers for the allocation-free check paths.
     pub(crate) scratch: CheckScratch,
 }
@@ -77,20 +84,54 @@ impl<'a> CheckCtx<'a> {
             cache: DominanceCache::new(db.len()),
             stats: Stats::default(),
             metrics: QueryMetrics::new(),
+            trace: if cfg.trace {
+                QueryTrace::start("query", DEFAULT_TRACE_EVENTS)
+            } else {
+                QueryTrace::off()
+            },
             scratch: CheckScratch::default(),
         }
     }
 
     /// Checks whether object `u` dominates object `v` under `op` — the
     /// method form of [`crate::ops::dominates`].
+    ///
+    /// When tracing, every check becomes a `check` span carrying the
+    /// operand pair, the flow-run delta it cost and its verdict — the
+    /// per-pair narrative the aggregate `dominance_checks` counter can't
+    /// give.
     pub fn dominates(&mut self, op: Operator, u: usize, v: usize) -> bool {
-        crate::ops::dominates(op, u, v, self)
+        let span = self.trace.open("check");
+        let flows_before = self.stats.flow_runs;
+        let result = crate::ops::dominates(op, u, v, self);
+        if span != osd_obs::SpanId::NONE {
+            self.trace.attr(span, "u", AttrValue::U64(u as u64));
+            self.trace.attr(span, "v", AttrValue::U64(v as u64));
+            self.trace.attr(
+                span,
+                "flow_runs",
+                AttrValue::U64(self.stats.flow_runs - flows_before),
+            );
+            self.trace
+                .attr(span, "dominates", AttrValue::U64(result as u64));
+        }
+        self.trace.close(span);
+        result
     }
 
     /// The full distance distribution `U_Q` of object `id` (cached).
     pub fn dist_q(&mut self, id: usize) -> Arc<DistanceDistribution> {
-        self.cache
-            .dist_q(self.db, self.query, id, &mut self.stats, &mut self.metrics)
+        let misses_before = self.stats.cache_misses;
+        let dist = self
+            .cache
+            .dist_q(self.db, self.query, id, &mut self.stats, &mut self.metrics);
+        if self.trace.is_active() && self.stats.cache_misses > misses_before {
+            let event = self.trace.instant("cache-build");
+            self.trace
+                .attr(event, "kind", AttrValue::Str("dist_q".into()));
+            self.trace.attr(event, "id", AttrValue::U64(id as u64));
+        }
+        dist
     }
 
     /// The per-query-instance distributions `U_q` of object `id` (cached).
@@ -167,12 +208,20 @@ impl<'a> CheckCtx<'a> {
     /// full spatial dominance, so it validates S-SD, SS-SD and P-SD exactly.
     pub(crate) fn validate_mbr(&mut self, u: usize, v: usize) -> bool {
         let timer = PhaseTimer::start(Phase::Validate);
+        let span = self.trace.open("validate");
         self.stats.mbr_checks += 1;
         let validated = osd_geom::mbr_dominates_strict(
             self.db.object(u).mbr(),
             self.db.object(v).mbr(),
             self.query.mbr(),
         );
+        if span != osd_obs::SpanId::NONE {
+            self.trace.attr(span, "u", AttrValue::U64(u as u64));
+            self.trace.attr(span, "v", AttrValue::U64(v as u64));
+            self.trace
+                .attr(span, "validated", AttrValue::U64(validated as u64));
+        }
+        self.trace.close(span);
         self.metrics.record(timer);
         validated
     }
@@ -183,10 +232,16 @@ impl<'a> CheckCtx<'a> {
     /// discarded object.
     pub(crate) fn strict_guard(&mut self, u: usize, v: usize) -> bool {
         let timer = PhaseTimer::start(Phase::Validate);
+        let span = self.trace.open("strict-guard");
         let du = self.dist_q(u);
         let dv = self.dist_q(v);
         self.stats.instance_comparisons += du.support_size().min(dv.support_size()) as u64;
         let distinct = !du.approx_eq(&dv, osd_uncertain::CDF_EPS);
+        if span != osd_obs::SpanId::NONE {
+            self.trace
+                .attr(span, "distinct", AttrValue::U64(distinct as u64));
+        }
+        self.trace.close(span);
         self.metrics.record(timer);
         distinct
     }

@@ -19,7 +19,7 @@ use crate::index::SpatialIndex;
 use crate::nnc::{nn_candidates, NncResult};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
-use osd_obs::QueryMetrics;
+use osd_obs::{FlightRecorder, QueryMetrics};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A configured NNC executor over one database: the operator and filter
@@ -87,39 +87,51 @@ impl<'a> QueryEngine<'a> {
     /// `threads` is clamped to `[1, queries.len()]`; with one thread the
     /// batch runs inline on the caller's thread. A panicking query is
     /// propagated to the caller after the scope unwinds.
+    ///
+    /// When tracing is on, each result's trace is stamped with its input
+    /// index as `seq` — the stable identity the flight recorder keys its
+    /// order-independent retention on, so per-worker recorders merge to
+    /// the same retained set regardless of how the workers claimed work.
     pub fn run_batch(&self, queries: &[PreparedQuery], threads: usize) -> Vec<NncResult> {
         let n = queries.len();
         let workers = threads.max(1).min(n.max(1));
-        if workers <= 1 {
-            return queries.iter().map(|q| self.run(q)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, NncResult)> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut claimed = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
+        let mut results: Vec<NncResult> = if workers <= 1 {
+            queries.iter().map(|q| self.run(q)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, NncResult)> = Vec::with_capacity(n);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut claimed = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                claimed.push((i, self.run(&queries[i])));
                             }
-                            claimed.push((i, self.run(&queries[i])));
-                        }
-                        claimed
+                            claimed
+                        })
                     })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join() {
-                    Ok(part) => indexed.extend(part),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    .collect();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(part) => indexed.extend(part),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
+            });
+            indexed.sort_by_key(|&(i, _)| i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        };
+        for (i, r) in results.iter_mut().enumerate() {
+            if let Some(t) = r.trace.as_mut() {
+                t.seq = i as u64;
             }
-        });
-        indexed.sort_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        }
+        results
     }
 }
 
@@ -146,6 +158,19 @@ pub fn batch_metrics(results: &[NncResult]) -> QueryMetrics {
         total.merge(&r.metrics);
     }
     total
+}
+
+/// Records every trace a batch produced into `recorder`, in input order.
+/// A no-op on untraced results (the common case); with tracing on, each
+/// trace carries the `seq` stamped by [`QueryEngine::run_batch`], so
+/// feeding disjoint slices into per-worker recorders and merging them
+/// retains exactly the traces one sequential recorder would.
+pub fn record_batch(recorder: &mut FlightRecorder, results: &[NncResult]) {
+    for r in results {
+        if let Some(t) = &r.trace {
+            recorder.record(t.clone());
+        }
+    }
 }
 
 /// Compile-time `Send + Sync` checks for everything the batch executor
@@ -326,6 +351,69 @@ mod tests {
         }
         let batched = engine.run_batch(&qs, 4);
         assert_eq!(batch_stats(&batched), expected);
+    }
+
+    #[test]
+    fn batch_stamps_trace_seq_and_tracing_changes_nothing() {
+        let db = Database::new(scatter(30, 3, 0x7AC3));
+        let qs = queries(6, 17);
+        let plain = QueryEngine::with_config(&db, Operator::SSd, FilterConfig::all());
+        let traced = QueryEngine::with_config(&db, Operator::SSd, FilterConfig::all().traced());
+        let base = plain.run_batch(&qs, 3);
+        let with_traces = traced.run_batch(&qs, 3);
+        for (i, (p, t)) in base.iter().zip(with_traces.iter()).enumerate() {
+            assert_eq!(p.ids(), t.ids(), "tracing must not change candidates");
+            assert_eq!(p.stats, t.stats, "tracing must not change counters");
+            assert!(p.trace.is_none(), "untraced results carry no trace");
+            if osd_obs::QueryTrace::enabled() {
+                let trace = t.trace.as_ref().expect("traced run yields a trace");
+                assert_eq!(trace.seq, i as u64, "seq is the input index");
+                assert_eq!(trace.label, Operator::SSd.label());
+                assert!(!trace.spans.is_empty());
+            } else {
+                assert!(t.trace.is_none(), "obs off: the trace flag is inert");
+            }
+        }
+    }
+
+    /// Per-worker recorders fed disjoint slices of a batch merge to the
+    /// same retained set as one recorder fed sequentially — the engine-level
+    /// face of `FlightRecorder::merge`'s order independence.
+    #[test]
+    fn per_worker_recorders_merge_exactly() {
+        if !osd_obs::QueryTrace::enabled() {
+            return;
+        }
+        let db = Database::new(scatter(30, 3, 0x51AB));
+        let qs = queries(8, 23);
+        let engine = QueryEngine::with_config(&db, Operator::PSd, FilterConfig::all().traced());
+        let results = engine.run_batch(&qs, 4);
+        let mut sequential = FlightRecorder::new(4, 0, 2);
+        record_batch(&mut sequential, &results);
+        for split in 1..results.len() {
+            let mut left = FlightRecorder::new(4, 0, 2);
+            let mut right = FlightRecorder::new(4, 0, 2);
+            record_batch(&mut left, &results[..split]);
+            record_batch(&mut right, &results[split..]);
+            left.merge(right);
+            let seqs = |r: &FlightRecorder, n: usize| -> Vec<u64> {
+                r.last(n).iter().map(|t| t.seq).collect()
+            };
+            assert_eq!(
+                seqs(&left, 8),
+                seqs(&sequential, 8),
+                "split at {split}: merged ring must equal the sequential ring"
+            );
+            assert_eq!(
+                left.slowest(2).iter().map(|t| t.seq).collect::<Vec<_>>(),
+                sequential
+                    .slowest(2)
+                    .iter()
+                    .map(|t| t.seq)
+                    .collect::<Vec<_>>(),
+                "split at {split}: merged slow log must match"
+            );
+        }
     }
 
     #[test]

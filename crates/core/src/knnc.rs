@@ -22,8 +22,9 @@ use crate::nnc::Candidate;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict};
-use osd_obs::{Counter, Phase, PhaseTimer, QueryMetrics, Stopwatch};
+use osd_obs::{AttrValue, Counter, Phase, PhaseTimer, QueryMetrics, SpanId, Stopwatch, TraceData};
 use osd_rtree::Node;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -38,6 +39,9 @@ pub struct KnncResult {
     /// Instrumentation registry of the query (all-zero no-op unless the
     /// `obs` feature is on).
     pub metrics: QueryMetrics,
+    /// Structured trace tree of the query — present only when the filter
+    /// configuration requested tracing *and* the `obs` feature is on.
+    pub trace: Option<TraceData>,
 }
 
 impl KnncResult {
@@ -123,6 +127,7 @@ pub fn k_nn_candidates(
     assert!(k >= 1, "k must be at least 1");
     let prepare = PhaseTimer::start(Phase::Prepare);
     let mut ctx = CheckCtx::new(db, query, *cfg);
+    let prep = ctx.trace.open("prepare");
     let mut kept: Vec<(Candidate, usize)> = Vec::new();
     // MBR of each kept candidate, cached at emission for entry pruning.
     let mut kept_mbrs: Vec<osd_geom::Mbr> = Vec::new();
@@ -141,6 +146,14 @@ pub fn k_nn_candidates(
     let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
     ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
     ctx.metrics.heap_depth(heap.len() as u64);
+    if prep != SpanId::NONE {
+        ctx.trace
+            .attr(prep, "shards", AttrValue::U64(db.shard_count() as u64));
+        ctx.trace
+            .attr(prep, "seeds", AttrValue::U64(heap.len() as u64));
+        ctx.trace.attr(prep, "k", AttrValue::U64(k as u64));
+    }
+    ctx.trace.close(prep);
     ctx.metrics.record(prepare);
     let start = Stopwatch::start();
 
@@ -168,10 +181,23 @@ pub fn k_nn_candidates(
                     ));
                     kept_mbrs.push(db.object(v).mbr().clone());
                     ctx.metrics.candidate_emitted(op.label());
+                    if ctx.trace.is_active() {
+                        let event = ctx.trace.instant("candidate");
+                        ctx.trace.attr(event, "id", AttrValue::U64(v as u64));
+                        ctx.trace
+                            .attr(event, "min_dist", AttrValue::F64(key.max(0.0).sqrt()));
+                        ctx.trace
+                            .attr(event, "dominators", AttrValue::U64(dominators as u64));
+                    }
                 }
             }
             Slot::Node(node, shard) => {
                 let timer = PhaseTimer::start(Phase::RtreeDescent);
+                let span = ctx.trace.open("rtree-descent");
+                if span != SpanId::NONE {
+                    ctx.trace.attr(span, "shard", AttrValue::U64(shard as u64));
+                    ctx.trace.attr(span, "key", AttrValue::F64(key));
+                }
                 ctx.stats.rtree_nodes_visited += 1;
                 ctx.metrics.incr(Counter::RtreeNodeVisits);
                 ctx.metrics.shard_visit(shard);
@@ -205,15 +231,28 @@ pub fn k_nn_candidates(
                     let pushed = (heap.len() - depth_before) as u64;
                     ctx.metrics.incr_by(Counter::HeapPushes, pushed);
                     ctx.metrics.heap_depth(heap.len() as u64);
+                    ctx.trace.attr(span, "pushed", AttrValue::U64(pushed));
+                } else {
+                    ctx.trace.attr(
+                        span,
+                        "pruned",
+                        AttrValue::Str(Cow::Borrowed("mbr-dominated")),
+                    );
                 }
+                ctx.trace.close(span);
                 ctx.metrics.record(timer);
             }
         }
+    }
+    let mut trace = ctx.trace.finish();
+    if let Some(t) = trace.as_mut() {
+        t.label = Cow::Borrowed(op.label());
     }
     KnncResult {
         candidates: kept,
         stats: ctx.stats,
         metrics: ctx.metrics,
+        trace,
     }
 }
 
@@ -254,6 +293,25 @@ pub fn k_nn_candidates_scatter(
         .collect();
     union.sort_by(|a, b| a.min_dist.total_cmp(&b.min_dist).then(a.id.cmp(&b.id)));
     let mut ctx = CheckCtx::new(db, query, *cfg);
+    // Scatter parts appear in the gather trace as one point event each —
+    // same folding as `nn_candidates_scatter`.
+    for (shard, r) in parts.iter().enumerate() {
+        if !ctx.trace.is_active() {
+            break;
+        }
+        let event = ctx.trace.instant("scatter-part");
+        ctx.trace.attr(event, "shard", AttrValue::U64(shard as u64));
+        ctx.trace.attr(
+            event,
+            "candidates",
+            AttrValue::U64(r.candidates.len() as u64),
+        );
+        if let Some(t) = &r.trace {
+            ctx.trace.attr(event, "part_ns", AttrValue::U64(t.total_ns));
+        }
+    }
+    let gather = ctx.trace.open("gather");
+    let union_len = union.len();
     let mut kept: Vec<(Candidate, usize)> = Vec::with_capacity(union.len());
     for c in union {
         let mut dominators = 0usize;
@@ -270,6 +328,13 @@ pub fn k_nn_candidates_scatter(
             kept.push((c, dominators));
         }
     }
+    if gather != SpanId::NONE {
+        ctx.trace
+            .attr(gather, "union", AttrValue::U64(union_len as u64));
+        ctx.trace
+            .attr(gather, "kept", AttrValue::U64(kept.len() as u64));
+    }
+    ctx.trace.close(gather);
     let mut stats = Stats::default();
     let mut metrics = QueryMetrics::new();
     for r in &parts {
@@ -278,10 +343,15 @@ pub fn k_nn_candidates_scatter(
     }
     stats.merge(&ctx.stats);
     metrics.merge(&ctx.metrics);
+    let mut trace = ctx.trace.finish();
+    if let Some(t) = trace.as_mut() {
+        t.label = Cow::Borrowed(op.label());
+    }
     KnncResult {
         candidates: kept,
         stats,
         metrics,
+        trace,
     }
 }
 

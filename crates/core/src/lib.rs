@@ -52,7 +52,12 @@
 //!   the Appendix C ablation;
 //! * [`QueryMetrics`] (re-exported from `osd-obs`) — phase timers, latency
 //!   histograms and gauges, compiled to no-ops unless the `obs` feature is
-//!   on (see DESIGN.md "Observability").
+//!   on (see DESIGN.md "Observability");
+//! * [`QueryTrace`] / [`TraceData`] / [`FlightRecorder`] (re-exported from
+//!   `osd-obs`) — per-query structured trace trees, switched on per query
+//!   by [`FilterConfig::traced`](FilterConfig::traced) and retained in
+//!   fixed-capacity flight-recorder rings with a slow-query log (see
+//!   DESIGN.md "Tracing & flight recorder").
 
 #![warn(missing_docs)]
 
@@ -80,7 +85,7 @@ pub use config::{FilterConfig, Stats};
 pub use continuous::{ContinuousNnc, Repair};
 pub use ctx::CheckCtx;
 pub use db::{Database, DbError, FlatDatabase};
-pub use engine::{batch_metrics, batch_stats, QueryEngine};
+pub use engine::{batch_metrics, batch_stats, record_batch, QueryEngine};
 pub use explain::{dominance_matrix, dominators_of};
 pub use index::{IndexStats, ShardSlice, ShardStats, SpatialIndex};
 pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, k_nn_candidates_scatter, KnncResult};
@@ -89,7 +94,7 @@ pub use ops::{
     dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate,
     ss_sd, Operator,
 };
-pub use osd_obs::QueryMetrics;
+pub use osd_obs::{FlightRecorder, QueryMetrics, QueryTrace, TraceData};
 pub use osd_uncertain::{Change, EpochLog};
 pub use publish::PublishedIndex;
 pub use query::PreparedQuery;

@@ -23,8 +23,9 @@ use crate::index::{ShardSlice, SpatialIndex};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr};
-use osd_obs::{Counter, Phase, PhaseTimer, QueryMetrics, Stopwatch};
+use osd_obs::{AttrValue, Counter, Phase, PhaseTimer, QueryMetrics, SpanId, Stopwatch, TraceData};
 use osd_rtree::Node;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Duration;
@@ -53,6 +54,11 @@ pub struct NncResult {
     /// Instrumentation registry of the query (all-zero no-op unless the
     /// `obs` feature is on).
     pub metrics: QueryMetrics,
+    /// The query's structured trace tree — present only when
+    /// `cfg.trace` was set *and* the `obs` feature is on. The batch
+    /// executor stamps `seq` with the query's input index before feeding
+    /// the trace to a flight recorder.
+    pub trace: Option<TraceData>,
 }
 
 impl NncResult {
@@ -161,6 +167,26 @@ pub fn nn_candidates_scatter(
         .collect();
     union.sort_by(|a, b| a.min_dist.total_cmp(&b.min_dist).then(a.id.cmp(&b.id)));
     let mut ctx = CheckCtx::new(db, query, *cfg);
+    // The gather trace summarises each scatter part as one point event
+    // (per-shard interior spans live in the parts, which are folded away
+    // here — the merged traversal is the path that yields full depth).
+    for (shard, r) in parts.iter().enumerate() {
+        if !ctx.trace.is_active() {
+            break;
+        }
+        let event = ctx.trace.instant("scatter-part");
+        ctx.trace.attr(event, "shard", AttrValue::U64(shard as u64));
+        ctx.trace.attr(
+            event,
+            "candidates",
+            AttrValue::U64(r.candidates.len() as u64),
+        );
+        if let Some(t) = &r.trace {
+            ctx.trace.attr(event, "part_ns", AttrValue::U64(t.total_ns));
+        }
+    }
+    let gather = ctx.trace.open("gather");
+    let union_len = union.len();
     let mut kept: Vec<Candidate> = Vec::with_capacity(union.len());
     for c in union {
         let mut dominated = false;
@@ -175,6 +201,13 @@ pub fn nn_candidates_scatter(
             kept.push(c);
         }
     }
+    if gather != SpanId::NONE {
+        ctx.trace
+            .attr(gather, "union", AttrValue::U64(union_len as u64));
+        ctx.trace
+            .attr(gather, "kept", AttrValue::U64(kept.len() as u64));
+    }
+    ctx.trace.close(gather);
     let mut stats = Stats::default();
     let mut metrics = QueryMetrics::new();
     let mut objects_checked = 0;
@@ -185,11 +218,16 @@ pub fn nn_candidates_scatter(
     }
     stats.merge(&ctx.stats);
     metrics.merge(&ctx.metrics);
+    let mut trace = ctx.trace.finish();
+    if let Some(t) = trace.as_mut() {
+        t.label = Cow::Borrowed(op.label());
+    }
     NncResult {
         candidates: kept,
         stats,
         objects_checked,
         metrics,
+        trace,
     }
 }
 
@@ -263,6 +301,7 @@ impl<'a> ProgressiveNnc<'a> {
     ) -> Self {
         let timer = PhaseTimer::start(Phase::Prepare);
         let mut ctx = CheckCtx::new(db, query, *cfg);
+        let prep = ctx.trace.open("prepare");
         ctx.metrics.snapshot(
             db.epoch(),
             db.live_len() as u64,
@@ -283,6 +322,14 @@ impl<'a> ProgressiveNnc<'a> {
         }
         ctx.metrics.incr_by(Counter::HeapPushes, heap.len() as u64);
         ctx.metrics.heap_depth(heap.len() as u64);
+        if prep != SpanId::NONE {
+            ctx.trace
+                .attr(prep, "shards", AttrValue::U64(db.shard_count() as u64));
+            ctx.trace
+                .attr(prep, "seeds", AttrValue::U64(heap.len() as u64));
+            ctx.trace.attr(prep, "epoch", AttrValue::U64(db.epoch()));
+        }
+        ctx.trace.close(prep);
         ctx.metrics.record(timer);
         ProgressiveNnc {
             op,
@@ -319,11 +366,16 @@ impl<'a> ProgressiveNnc<'a> {
     /// Consumes the traversal into an [`NncResult`] with everything emitted
     /// so far.
     pub fn into_result(self) -> NncResult {
+        let mut trace = self.ctx.trace.finish();
+        if let Some(t) = trace.as_mut() {
+            t.label = Cow::Borrowed(self.op.label());
+        }
         NncResult {
             candidates: self.candidates,
             stats: self.ctx.stats,
             objects_checked: self.objects_checked,
             metrics: self.ctx.metrics,
+            trace,
         }
     }
 
@@ -343,11 +395,25 @@ impl<'a> ProgressiveNnc<'a> {
                         self.candidates.push(c.clone());
                         self.cand_mbrs.push(self.ctx.db.object(v).mbr().clone());
                         self.ctx.metrics.candidate_emitted(self.op.label());
+                        let event = self.ctx.trace.instant("candidate");
+                        if event != SpanId::NONE {
+                            self.ctx.trace.attr(event, "id", AttrValue::U64(v as u64));
+                            self.ctx
+                                .trace
+                                .attr(event, "min_dist", AttrValue::F64(c.min_dist));
+                        }
                         return Some(c);
                     }
                 }
                 Slot::Node(node, shard) => {
                     let timer = PhaseTimer::start(Phase::RtreeDescent);
+                    let span = self.ctx.trace.open("rtree-descent");
+                    if span != SpanId::NONE {
+                        self.ctx
+                            .trace
+                            .attr(span, "shard", AttrValue::U64(shard as u64));
+                        self.ctx.trace.attr(span, "key", AttrValue::F64(key));
+                    }
                     self.ctx.stats.rtree_nodes_visited += 1;
                     self.ctx.metrics.incr(Counter::RtreeNodeVisits);
                     self.ctx.metrics.shard_visit(shard);
@@ -386,7 +452,15 @@ impl<'a> ProgressiveNnc<'a> {
                         let pushed = (self.heap.len() - depth_before) as u64;
                         self.ctx.metrics.incr_by(Counter::HeapPushes, pushed);
                         self.ctx.metrics.heap_depth(self.heap.len() as u64);
+                        self.ctx.trace.attr(span, "pushed", AttrValue::U64(pushed));
+                    } else {
+                        self.ctx.trace.attr(
+                            span,
+                            "pruned",
+                            AttrValue::Str(Cow::Borrowed("mbr-dominated")),
+                        );
                     }
+                    self.ctx.trace.close(span);
                     self.ctx.metrics.record(timer);
                 }
             }

@@ -26,9 +26,10 @@ use crate::ctx::CheckCtx;
 use crate::index::SpatialIndex;
 use crate::query::PreparedQuery;
 use osd_geom::Mbr;
-use osd_obs::{Phase, PhaseTimer};
+use osd_obs::{AttrValue, Phase, PhaseTimer, SpanId};
 use osd_uncertain::stochastic::stochastically_dominates_counted;
 use osd_uncertain::DistanceDistribution;
+use std::borrow::Cow;
 
 /// Which distribution the level bounds approximate.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -51,7 +52,22 @@ pub(crate) fn try_decide(
     ctx: &mut CheckCtx<'_>,
 ) -> Option<bool> {
     let timer = PhaseTimer::start(Phase::LevelPrune);
+    let span = ctx.trace.open("level-prune");
     let decision = try_decide_inner(u, v, granularity, ctx);
+    if span != SpanId::NONE {
+        ctx.trace.attr(span, "u", AttrValue::U64(u as u64));
+        ctx.trace.attr(span, "v", AttrValue::U64(v as u64));
+        ctx.trace.attr(
+            span,
+            "decision",
+            AttrValue::Str(Cow::Borrowed(match decision {
+                Some(true) => "validated",
+                Some(false) => "pruned",
+                None => "inconclusive",
+            })),
+        );
+    }
+    ctx.trace.close(span);
     ctx.metrics.record(timer);
     decision
 }

@@ -368,11 +368,21 @@ fn saturates(
     ctx: &mut CheckCtx<'_>,
 ) -> bool {
     let timer = PhaseTimer::start(Phase::Refine);
+    let named = osd_obs::Span::enter("flow-solve");
+    let span = ctx.trace.open("flow");
     let saturated = if ctx.cfg.kernels {
         saturates_scratch(caps_u, caps_v, edges, &mut ctx.scratch, &mut ctx.stats)
     } else {
         saturates_alloc(caps_u, caps_v, edges, &mut ctx.stats)
     };
+    if span != osd_obs::SpanId::NONE {
+        ctx.trace
+            .attr(span, "edges", osd_obs::AttrValue::U64(edges.len() as u64));
+        ctx.trace
+            .attr(span, "saturated", osd_obs::AttrValue::U64(saturated as u64));
+    }
+    ctx.trace.close(span);
+    ctx.metrics.record_span(named);
     ctx.metrics.record(timer);
     saturated
 }

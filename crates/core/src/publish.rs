@@ -17,7 +17,13 @@
 
 use crate::db::DbError;
 use crate::index::SpatialIndex;
+use osd_obs::{AttrValue, FlightRecorder, QueryTrace, SpanId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// Span arena capacity of a mutation trace — a publish records a handful
+/// of spans (clone / splice / swap), far below a query's event volume.
+const MUTATION_TRACE_EVENTS: usize = 16;
 
 /// A concurrently readable, snapshot-published index.
 ///
@@ -33,6 +39,13 @@ pub struct PublishedIndex<D> {
     /// Serialises writers so snapshot construction happens off every
     /// reader-visible lock.
     writer: Mutex<()>,
+    /// Flight recorder for mutation traces — `None` (the default) records
+    /// nothing. Behind its own mutex: recording happens on the writer path
+    /// only, and taking the recorder never blocks readers.
+    recorder: Mutex<Option<FlightRecorder>>,
+    /// Publishes attempted — the `seq` source for mutation traces, so the
+    /// recorder's retention key stays unique across the writer stream.
+    publishes: AtomicU64,
 }
 
 impl<D: SpatialIndex + Clone> PublishedIndex<D> {
@@ -41,7 +54,31 @@ impl<D: SpatialIndex + Clone> PublishedIndex<D> {
         PublishedIndex {
             current: RwLock::new(Arc::new(db)),
             writer: Mutex::new(()),
+            recorder: Mutex::new(None),
+            publishes: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a flight recorder for mutation traces: every subsequent
+    /// [`publish`](PublishedIndex::publish) records a `mutate` trace with
+    /// `clone` → `splice` → `swap` children. Inert (the recorder stays
+    /// empty) unless the `obs` feature is on. Replaces any previous
+    /// recorder.
+    pub fn enable_tracing(&self, capacity: usize, slow_threshold_ns: u64, slow_capacity: usize) {
+        *self.recorder.lock().unwrap_or_else(PoisonError::into_inner) = Some(FlightRecorder::new(
+            capacity,
+            slow_threshold_ns,
+            slow_capacity,
+        ));
+    }
+
+    /// Removes and returns the mutation recorder (if tracing was enabled),
+    /// stopping further recording.
+    pub fn take_recorder(&self) -> Option<FlightRecorder> {
+        self.recorder
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 
     /// Pins the current snapshot. The returned `Arc` stays valid — and
@@ -71,12 +108,47 @@ impl<D: SpatialIndex + Clone> PublishedIndex<D> {
         mutate: impl FnOnce(&mut D) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
         let _writing = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let tracing = self
+            .recorder
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some();
+        let mut trace = if tracing {
+            QueryTrace::start("mutate", MUTATION_TRACE_EVENTS)
+        } else {
+            QueryTrace::off()
+        };
         // Clone off-lock: readers pin and query the old snapshot while the
         // next one is under construction.
+        let span = trace.open("clone");
         let mut next = D::clone(&self.pin());
-        let out = mutate(&mut next)?;
-        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
-        Ok(out)
+        trace.close(span);
+        let span = trace.open("splice");
+        let out = mutate(&mut next);
+        if span != SpanId::NONE {
+            trace.attr(span, "ok", AttrValue::U64(out.is_ok() as u64));
+        }
+        trace.close(span);
+        let seq = self.publishes.fetch_add(1, Ordering::Relaxed);
+        let out = out.inspect(|_| {
+            let span = trace.open("swap");
+            let epoch = next.epoch();
+            *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+            trace.attr(span, "epoch", AttrValue::U64(epoch));
+            trace.close(span);
+        });
+        if let Some(mut t) = trace.finish() {
+            t.seq = seq;
+            if let Some(rec) = self
+                .recorder
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .as_mut()
+            {
+                rec.record(t);
+            }
+        }
+        out
     }
 
     /// Publishes an insert; returns the new object's logical id.
@@ -213,6 +285,42 @@ mod tests {
         assert_eq!(handle.epoch(), snap.epoch());
         let full = nn_candidates(&*snap, handle.query(), Operator::PSd, &FilterConfig::all());
         assert_eq!(handle.ids(), full.ids());
+    }
+
+    #[test]
+    fn mutation_traces_reach_the_recorder() {
+        let published = PublishedIndex::new(seed());
+        published.enable_tracing(8, 0, 4);
+        let id = published
+            .insert(obj(&[(0.5, 0.0)]))
+            .expect("insert publishes");
+        published.delete(id).expect("fresh id is live");
+        assert!(published.delete(99).is_err(), "dead delete fails");
+        let recorder = published.take_recorder().expect("tracing was enabled");
+        assert!(
+            published.take_recorder().is_none(),
+            "taking the recorder stops recording"
+        );
+        if !QueryTrace::enabled() {
+            assert_eq!(recorder.recorded(), 0, "obs off: tracing is inert");
+            return;
+        }
+        assert_eq!(recorder.recorded(), 3, "every publish attempt traced");
+        let last = recorder.last(3);
+        assert_eq!(
+            last.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![2, 1, 0],
+            "publish counter stamps unique seqs, newest first"
+        );
+        for t in &last {
+            assert_eq!(t.label, "mutate");
+            assert_eq!(t.count("clone"), 1);
+            assert_eq!(t.count("splice"), 1);
+        }
+        // The failed delete (seq 2) never reaches the swap.
+        assert_eq!(last[0].count("swap"), 0);
+        assert_eq!(last[1].count("swap"), 1);
+        assert_eq!(last[2].count("swap"), 1);
     }
 
     #[test]

@@ -134,11 +134,8 @@ fn in_hull_reject_skips_the_flow() {
     let q = PreparedQuery::new(obj(&[(0.0, 0.0), (3.0, 0.0), (0.0, 3.0), (3.0, 3.0)]));
     let db = Database::new(vec![u, v]);
     let cfg = FilterConfig {
-        mbr_validation: false,
-        pruning: false,
-        level_by_level: false,
         geometric: true,
-        kernels: true,
+        ..FilterConfig::bf()
     };
     let mut ctx = CheckCtx::new(&db, &q, cfg);
     assert!(!ctx.dominates(Operator::PSd, 0, 1));

@@ -122,10 +122,13 @@ pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
 /// `osd_phase_latency_bucket` with cumulative `le` buckets, `osd_counter`,
 /// `osd_heap_high_water`, the snapshot gauges `osd_snapshot_epoch` /
 /// `osd_live_objects` / `osd_tombstones`, `osd_candidates_emitted`,
-/// `osd_span_ns`).
+/// `osd_span_ns` / `osd_span_count`). Every family carries a `# HELP`
+/// line immediately before its `# TYPE` line, as the exposition format
+/// prescribes.
 pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     let mut out = String::with_capacity(2048);
 
+    out.push_str("# HELP osd_phase_duration_ns Total wall-clock nanoseconds per query phase.\n");
     out.push_str("# TYPE osd_phase_duration_ns counter\n");
     for p in Phase::ALL {
         out.push_str(&format!(
@@ -135,6 +138,7 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
         ));
     }
 
+    out.push_str("# HELP osd_phase_latency Per-sample phase latency distribution, nanoseconds.\n");
     out.push_str("# TYPE osd_phase_latency histogram\n");
     for p in Phase::ALL {
         let buckets = m.phase_buckets(p);
@@ -165,6 +169,7 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
         ));
     }
 
+    out.push_str("# HELP osd_counter Pipeline event counters (node visits, cache traffic, …).\n");
     out.push_str("# TYPE osd_counter counter\n");
     for c in Counter::ALL {
         out.push_str(&format!(
@@ -177,18 +182,25 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
         out.push_str(&format!("osd_counter{{name=\"{}\"}} {}\n", name, value));
     }
 
+    out.push_str("# HELP osd_heap_high_water Deepest best-first traversal heap observed.\n");
     out.push_str("# TYPE osd_heap_high_water gauge\n");
     out.push_str(&format!("osd_heap_high_water {}\n", m.heap_high_water()));
 
+    out.push_str(
+        "# HELP osd_snapshot_epoch Epoch of the published snapshot the query ran against.\n",
+    );
     out.push_str("# TYPE osd_snapshot_epoch gauge\n");
     out.push_str(&format!("osd_snapshot_epoch {}\n", m.snapshot_epoch()));
 
+    out.push_str("# HELP osd_live_objects Live objects in the snapshot.\n");
     out.push_str("# TYPE osd_live_objects gauge\n");
     out.push_str(&format!("osd_live_objects {}\n", m.live_objects()));
 
+    out.push_str("# HELP osd_tombstones Deleted-but-unreclaimed rows in the snapshot.\n");
     out.push_str("# TYPE osd_tombstones gauge\n");
     out.push_str(&format!("osd_tombstones {}\n", m.tombstones()));
 
+    out.push_str("# HELP osd_candidates_emitted NN candidates emitted, by dominance operator.\n");
     out.push_str("# TYPE osd_candidates_emitted counter\n");
     for (label, count) in m.candidates_by_op() {
         out.push_str(&format!(
@@ -197,14 +209,19 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
         ));
     }
 
+    out.push_str("# HELP osd_span_ns Total nanoseconds inside named code spans.\n");
     out.push_str("# TYPE osd_span_ns counter\n");
-    for (label, count, total_ns) in m.spans() {
-        out.push_str(&format!(
-            "osd_span_ns{{span=\"{}\"}} {}\nosd_span_count{{span=\"{}\"}} {}\n",
-            label, total_ns, label, count
-        ));
+    let spans = m.spans();
+    for (label, _, total_ns) in &spans {
+        out.push_str(&format!("osd_span_ns{{span=\"{label}\"}} {total_ns}\n"));
+    }
+    out.push_str("# HELP osd_span_count Entries into named code spans.\n");
+    out.push_str("# TYPE osd_span_count counter\n");
+    for (label, count, _) in &spans {
+        out.push_str(&format!("osd_span_count{{span=\"{label}\"}} {count}\n"));
     }
 
+    out.push_str("# HELP osd_shard_node_visits R-tree node visits per STR shard.\n");
     out.push_str("# TYPE osd_shard_node_visits counter\n");
     let shard_visits = m.shard_visits();
     for (i, v) in shard_visits.iter().enumerate() {
@@ -321,6 +338,57 @@ mod tests {
                     last = v;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn prometheus_families_are_well_formed() {
+        let mut m = sample();
+        m.record_span(crate::Span::enter("flow-solve"));
+        let prom = to_prometheus(&m, &[("dominance_checks", 3)]);
+
+        // Every # TYPE line is immediately preceded by the matching # HELP
+        // line, and every sample line belongs to the family most recently
+        // declared (allowing the histogram's _bucket/_sum/_count and the
+        // shard/overflow suffix-free names).
+        let lines: Vec<&str> = prom.lines().collect();
+        let mut current_family: Option<&str> = None;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                let help = lines
+                    .get(i.wrapping_sub(1))
+                    .and_then(|l| l.strip_prefix("# HELP "));
+                match help {
+                    Some(h) => {
+                        assert_eq!(
+                            h.split(' ').next().unwrap(),
+                            name,
+                            "# HELP does not name the family of the following # TYPE"
+                        );
+                        assert!(
+                            h.split_once(' ')
+                                .map(|x| x.1)
+                                .is_some_and(|d| !d.is_empty()),
+                            "# HELP {name} has no description"
+                        );
+                    }
+                    None => panic!("# TYPE {name} lacks a preceding # HELP line"),
+                }
+                current_family = Some(name);
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let family = current_family.expect("sample line before any # TYPE");
+                let metric = line.split(['{', ' ']).next().unwrap();
+                assert!(
+                    metric.starts_with(family),
+                    "sample {metric} emitted under family {family}"
+                );
+            }
+        }
+        // The span registry renders as two families, values paired.
+        if QueryMetrics::enabled() {
+            assert!(prom.contains("osd_span_count{span=\"flow-solve\"} 1"));
+            assert!(prom.contains("osd_span_ns{span=\"flow-solve\"}"));
         }
     }
 }

@@ -19,31 +19,43 @@
 //!   order-independent (field-wise `u64` addition, `max` for gauges), so
 //!   per-worker registries fold to the same totals regardless of thread
 //!   count — mirroring `Stats::merge` in `osd-core`;
+//! * [`trace`] — per-query structured trace trees ([`QueryTrace`]), the
+//!   flight-recorder ring buffer and slow-query log
+//!   ([`FlightRecorder`]), and the Chrome-trace/text exporters — the
+//!   forensic layer over the same pipeline the registry aggregates;
 //! * [`expo`] — JSON and Prometheus text renderers over the registry.
 //!
 //! ## Zero overhead when disabled
 //!
 //! Everything is gated on the `enabled` cargo feature. Without it,
-//! [`QueryMetrics`], [`PhaseTimer`] and [`Span`] are zero-sized types whose
-//! methods are empty `#[inline]` bodies: no clock reads, no counter
-//! arithmetic, no allocation — the instrumented pipeline compiles to the
-//! uninstrumented one, keeping tier-1 results and counters bit-identical.
+//! [`QueryMetrics`], [`PhaseTimer`], [`Span`] and [`QueryTrace`] are
+//! zero-sized types whose methods are empty `#[inline]` bodies: no clock
+//! reads, no counter arithmetic, no allocation — the instrumented pipeline
+//! compiles to the uninstrumented one, keeping tier-1 results and counters
+//! bit-identical.
 //!
 //! The exception is [`Stopwatch`], which is always live: it backs the
 //! progressive traversal's `Candidate::elapsed` timestamps, a result field
 //! that predates this crate (Figure 14) and must keep working in every
-//! build. It is also the only sanctioned way for `osd-core` / `osd-geom` /
-//! `osd-rtree` to touch the monotonic clock — `cargo run -p xtask -- check`
-//! bans raw `std::time::Instant` there (`no-ad-hoc-timing`).
+//! build. It is also the single sanctioned clock shim of the workspace:
+//! `cargo run -p xtask -- check` bans raw `std::time::Instant` /
+//! `SystemTime` in `osd-core` / `osd-geom` / `osd-rtree` *and* in every
+//! module of this crate except this file (`no-ad-hoc-timing`), so the
+//! timers and the tracer all read time through `Stopwatch`.
 
 pub mod expo;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{
     Counter, Histogram, QueryMetrics, BUCKET_BOUNDS_NS, MAX_TRACKED_SHARDS, NUM_BUCKETS,
 };
 pub use span::{PhaseTimer, Span};
+pub use trace::{
+    chrome_trace, render_text, AttrValue, FlightRecorder, QueryTrace, SpanId, SpanKind, SpanRecord,
+    TraceData,
+};
 
 use std::time::{Duration, Instant};
 

@@ -10,7 +10,7 @@
 use crate::Phase;
 
 #[cfg(feature = "enabled")]
-use std::time::Instant;
+use crate::Stopwatch;
 
 /// A running timer for one of the five pipeline [`Phase`]s.
 ///
@@ -21,7 +21,7 @@ use std::time::Instant;
 pub struct PhaseTimer {
     phase: Phase,
     #[cfg(feature = "enabled")]
-    started: Instant,
+    started: Stopwatch,
 }
 
 impl PhaseTimer {
@@ -31,7 +31,7 @@ impl PhaseTimer {
         PhaseTimer {
             phase,
             #[cfg(feature = "enabled")]
-            started: Instant::now(),
+            started: Stopwatch::start(),
         }
     }
 
@@ -43,8 +43,7 @@ impl PhaseTimer {
     /// Stops the timer, yielding `(phase, elapsed_ns)`.
     #[cfg(feature = "enabled")]
     pub(crate) fn stop(self) -> (Phase, u64) {
-        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        (self.phase, ns)
+        (self.phase, self.started.elapsed_nanos())
     }
 }
 
@@ -57,7 +56,7 @@ impl PhaseTimer {
 pub struct Span {
     label: &'static str,
     #[cfg(feature = "enabled")]
-    started: Instant,
+    started: Stopwatch,
 }
 
 impl Span {
@@ -67,7 +66,7 @@ impl Span {
         Span {
             label,
             #[cfg(feature = "enabled")]
-            started: Instant::now(),
+            started: Stopwatch::start(),
         }
     }
 
@@ -79,8 +78,7 @@ impl Span {
     /// Stops the span, yielding `(label, elapsed_ns)`.
     #[cfg(feature = "enabled")]
     pub(crate) fn stop(self) -> (&'static str, u64) {
-        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        (self.label, ns)
+        (self.label, self.started.elapsed_nanos())
     }
 }
 

@@ -46,6 +46,17 @@ impl Change {
             Change::Inserted(id) | Change::Deleted(id) | Change::Updated(id) => id,
         }
     }
+
+    /// Short static name of the change kind — the value repair traces
+    /// attach to their per-change events.
+    #[inline]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Change::Inserted(_) => "insert",
+            Change::Deleted(_) => "delete",
+            Change::Updated(_) => "update",
+        }
+    }
 }
 
 /// How many published changes an [`EpochLog`] retains for incremental

@@ -170,11 +170,13 @@ static RULES: [Rule; 16] = [
     Rule {
         id: "no-ad-hoc-timing",
         summary: "no raw Instant/SystemTime in the instrumented library crates",
-        scope: "crates/core/src, crates/geom/src, crates/rtree/src (test modules exempt; \
-                crates/obs/src is the sanctioned implementation)",
-        intent: "wall-clock access goes through osd-obs (Stopwatch/PhaseTimer/Span) so the \
-                 obs-disabled build is clock-free by construction and the phase taxonomy is \
-                 the single source of timing truth.",
+        scope: "crates/core/src, crates/geom/src, crates/rtree/src (any mention), plus \
+                crates/obs/src itself (std::time paths / ::now() calls; the Stopwatch shim \
+                in crates/obs/src/lib.rs is the one sanctioned clock; test modules exempt)",
+        intent: "wall-clock access goes through osd-obs (Stopwatch/PhaseTimer/Span/QueryTrace) \
+                 so the obs-disabled build is clock-free by construction, and within osd-obs \
+                 through the single Stopwatch shim so the timers and the tracer share one \
+                 auditable time source (DESIGN §6.2).",
         waiver: "never waived — add an osd-obs primitive instead.",
         run: Run::PerFile(hotpath::no_ad_hoc_timing),
     },

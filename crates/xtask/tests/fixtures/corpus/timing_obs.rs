@@ -1,0 +1,23 @@
+//~ path: crates/obs/src/trace.rs
+
+// Inside osd-obs the ban is path-shaped: std::time imports and ::now()
+// calls are clock access, but naming an `Instant` span kind is not.
+use std::time::Instant;
+
+/// Region or point event — the `Instant` variant here must NOT fire the
+/// rule (it is a name, not a clock read).
+pub enum SpanKind {
+    /// An open/close region.
+    Region,
+    /// A zero-duration point event.
+    Instant,
+}
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let _ = SpanKind::Instant;
+    t.elapsed().as_nanos() as u64
+}
+
+//~ expect: no-ad-hoc-timing @ 5
+//~ expect: no-ad-hoc-timing @ 17

@@ -67,6 +67,13 @@ echo "== repro mutate --smoke (epoch churn under concurrent readers) =="
 # never touches BENCH_mutate.json.
 cargo run -q --release -p osd-bench --bin repro -- mutate --smoke
 
+echo "== repro trace --smoke (tracer purity) =="
+# The flight recorder is pure observability: traced and untraced runs of
+# the same workload must be bit-identical (ids, min_dist bits, counters),
+# every traced query must yield a rooted span tree, and the obs-off build
+# must record nothing. Assertion-only; never touches BENCH_trace.json.
+cargo run -q --release -p osd-bench --bin repro -- trace --smoke --n 300 --queries 6
+
 echo "== osd query --profile=json smoke (schema) =="
 # End-to-end observability check: a real query through the obs-enabled CLI
 # must emit a profile document carrying every phase of the taxonomy.
@@ -82,5 +89,23 @@ for key in '"enabled": true' '"prepare"' '"rtree-descent"' '"level-prune"' \
   grep -qF "$key" "$SMOKE_DIR/profile.out" \
     || { echo "profile smoke: missing $key"; exit 1; }
 done
+
+echo "== osd query --trace=chrome smoke (trace-event schema) =="
+# The Chrome trace export must be loadable by chrome://tracing: a JSON
+# array of complete/instant events with the trace-event keys, plus the
+# span names of the query taxonomy. The same run must append to the
+# flight-recorder file and `osd trace` must read it back.
+cargo run -q -p osd-cli --bin osd -- query --data "$SMOKE_DIR/smoke.csv" \
+  --query "5000,5000;5100,5100" --op psd --trace=chrome \
+  --recorder "$SMOKE_DIR/flight.log" > "$SMOKE_DIR/trace.out"
+for key in '"traceEvents"' '"ph":"X"' '"ph":"i"' '"ts":' '"dur":' '"pid":0' \
+           '"tid":0' '"name":"query"' '"name":"prepare"' '"name":"rtree-descent"'; do
+  grep -qF "$key" "$SMOKE_DIR/trace.out" \
+    || { echo "trace smoke: missing $key"; exit 1; }
+done
+cargo run -q -p osd-cli --bin osd -- trace last 1 \
+  --recorder "$SMOKE_DIR/flight.log" > "$SMOKE_DIR/trace-read.out"
+grep -qF "recorded" "$SMOKE_DIR/trace-read.out" \
+  || { echo "trace smoke: osd trace could not read the recorder back"; exit 1; }
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,207 @@
+//! Instrumentation-purity regression test (workspace facade level).
+//!
+//! The deeper per-operator baseline table lives in
+//! `crates/core/tests/obs_purity.rs`; this suite pins the same contract
+//! through the `osd` facade, where the tier-1 build runs with the `obs`
+//! feature *off*:
+//!
+//! * with `obs` off, the metrics registry and the tracer are zero-sized
+//!   no-ops — a traced run produces no trace and costs nothing;
+//! * in **both** builds, turning instrumentation on (`--profile`-style
+//!   metrics or `FilterConfig::traced` flight recording) leaves every
+//!   candidate id, `min_dist` bit pattern and legacy counter bit-identical
+//!   to the bare run;
+//! * a fixed pre-instrumentation baseline (captured from commit 71f4287)
+//!   still holds, so the hooks cannot have leaked into the computation.
+
+// Integration test: exact values and aborts are intentional.
+#![allow(
+    clippy::float_cmp,
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic
+)]
+
+use osd::prelude::*;
+
+/// The deterministic xorshift scatter used by the engine determinism tests.
+fn scatter(n: usize, instances: usize, seed: u64) -> Vec<UncertainObject> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+    };
+    (0..n)
+        .map(|_| {
+            UncertainObject::uniform(
+                (0..instances)
+                    .map(|_| Point::new(vec![next(), next()]))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Everything deterministic about one query result.
+fn fingerprint(db: &Database, q: &PreparedQuery, op: Operator, cfg: &FilterConfig) -> String {
+    let r = nn_candidates(db, q, op, cfg);
+    format!(
+        "{:?}|{:?}|{}",
+        r.candidates
+            .iter()
+            .map(|c| (c.id, c.min_dist.to_bits()))
+            .collect::<Vec<_>>(),
+        r.stats,
+        r.objects_checked
+    )
+}
+
+#[test]
+fn disabled_instrumentation_is_zero_sized() {
+    if QueryMetrics::enabled() {
+        return; // obs build: the registry is real by design.
+    }
+    assert_eq!(std::mem::size_of::<QueryMetrics>(), 0);
+    assert!(!QueryTrace::enabled());
+    assert_eq!(std::mem::size_of::<QueryTrace>(), 0);
+    // The no-op tracer also records nothing through the full API surface.
+    let mut t = QueryTrace::start("noop", 64);
+    assert!(!t.is_active());
+    let span = t.open("child");
+    t.attr(span, "k", osd::obs::AttrValue::U64(1));
+    t.close(span);
+    assert!(t.finish().is_none());
+}
+
+#[test]
+fn tracing_and_metrics_never_change_results() {
+    let db = Database::new(scatter(40, 3, 0x0517));
+    let queries: Vec<PreparedQuery> = scatter(5, 2, 99)
+        .into_iter()
+        .map(PreparedQuery::new)
+        .collect();
+    let plain = FilterConfig::all();
+    let traced = FilterConfig::all().traced();
+    for op in Operator::ALL {
+        for q in &queries {
+            assert_eq!(
+                fingerprint(&db, q, op, &plain),
+                fingerprint(&db, q, op, &traced),
+                "{op:?}: tracing changed the result"
+            );
+        }
+    }
+}
+
+#[test]
+fn traces_exist_exactly_when_obs_is_on_and_requested() {
+    let db = Database::new(scatter(30, 3, 0x0517));
+    let q = PreparedQuery::new(scatter(1, 2, 7).remove(0));
+
+    // Not requested: never a trace, in either build.
+    let bare = nn_candidates(&db, &q, Operator::PSd, &FilterConfig::all());
+    assert!(bare.trace.is_none());
+
+    let traced = nn_candidates(&db, &q, Operator::PSd, &FilterConfig::all().traced());
+    match traced.trace {
+        Some(t) => {
+            assert!(QueryTrace::enabled(), "obs-off build produced a trace");
+            assert_eq!(t.label, Operator::PSd.label());
+            assert!(!t.spans.is_empty());
+            assert!(t.spans[0].is_root());
+            // A recorder accepts it and retains it.
+            let mut rec = FlightRecorder::default();
+            rec.record(t);
+            assert_eq!(rec.recorded(), 1);
+        }
+        None => assert!(
+            !QueryTrace::enabled(),
+            "obs build dropped a requested trace"
+        ),
+    }
+}
+
+#[test]
+fn results_and_stats_match_pre_instrumentation_baseline() {
+    let db = Database::new(scatter(40, 3, 0x0517));
+    let queries: Vec<PreparedQuery> = scatter(5, 2, 99)
+        .into_iter()
+        .map(PreparedQuery::new)
+        .collect();
+
+    // (operator, query index, candidate ids in emission order,
+    //  instance_comparisons, dominance_checks, flow_runs, mbr_checks,
+    //  objects_checked) — captured from commit 71f4287 (pre-osd-obs);
+    // the P-SD rows exercise every phase including the flow refinement.
+    #[allow(clippy::type_complexity)]
+    let baseline: &[(Operator, usize, &[usize], u64, u64, u64, u64, usize)] = &[
+        (
+            Operator::PSd,
+            0,
+            &[5, 0, 14, 25, 31, 9, 20, 24, 32, 21, 37],
+            5130,
+            278,
+            44,
+            387,
+            40,
+        ),
+        (
+            Operator::PSd,
+            4,
+            &[
+                28, 34, 24, 1, 13, 9, 7, 2, 29, 10, 35, 3, 17, 20, 11, 19, 36, 0, 21, 38, 6, 26,
+                16, 15,
+            ],
+            5516,
+            366,
+            33,
+            453,
+            40,
+        ),
+        (
+            Operator::SSd,
+            4,
+            &[28, 34, 24, 1, 2, 10, 17, 36, 26],
+            1430,
+            103,
+            0,
+            103,
+            40,
+        ),
+        (
+            Operator::FPlusSd,
+            0,
+            &[
+                5, 0, 14, 25, 31, 9, 20, 24, 32, 21, 37, 38, 7, 18, 13, 12, 16, 1, 27, 10, 2, 29,
+                17, 15, 34, 6, 11, 19, 22, 3, 35, 36, 26, 33,
+            ],
+            80,
+            615,
+            0,
+            1230,
+            40,
+        ),
+    ];
+
+    // The baseline must hold bare *and* traced: instrumentation reads,
+    // never writes.
+    for cfg in [FilterConfig::all(), FilterConfig::all().traced()] {
+        for &(op, qi, ids, ic, dc, fl, mbr, checked) in baseline {
+            let r = QueryEngine::with_config(&db, op, cfg).run(&queries[qi]);
+            assert_eq!(r.ids(), ids, "{op:?} q{qi}: candidate ids drifted");
+            assert_eq!(
+                (
+                    r.stats.instance_comparisons,
+                    r.stats.dominance_checks,
+                    r.stats.flow_runs,
+                    r.stats.mbr_checks,
+                    r.objects_checked,
+                ),
+                (ic, dc, fl, mbr, checked),
+                "{op:?} q{qi}: legacy counters drifted"
+            );
+        }
+    }
+}
