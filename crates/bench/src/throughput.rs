@@ -13,7 +13,7 @@
 
 use crate::datasets::{build, DatasetId, Workbench};
 use crate::params::Scale;
-use osd_core::{FilterConfig, NncResult, Operator, QueryEngine};
+use osd_core::{FilterConfig, NncResult, Operator, QueryEngine, WarmPool};
 use osd_obs::Phase;
 use std::time::Instant;
 
@@ -22,10 +22,15 @@ use std::time::Instant;
 pub struct ThroughputPoint {
     /// Worker-thread count handed to [`QueryEngine::run_batch`].
     pub threads: usize,
-    /// Wall-clock seconds for the whole batch.
+    /// Wall-clock seconds for the whole batch, warm cache off.
     pub elapsed_s: f64,
-    /// Queries per second (`queries / elapsed_s`).
+    /// Queries per second (`queries / elapsed_s`), warm cache off.
     pub qps: f64,
+    /// Wall-clock seconds for the same batch through a shared
+    /// (pre-populated) [`WarmPool`].
+    pub warm_elapsed_s: f64,
+    /// Queries per second with the warm cache on.
+    pub warm_qps: f64,
 }
 
 /// A full throughput run: the workload description plus one point per
@@ -66,8 +71,9 @@ impl ThroughputReport {
         for (i, p) in self.points.iter().enumerate() {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{ \"threads\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.3} }}{sep}\n",
-                p.threads, p.elapsed_s, p.qps
+                "    {{ \"threads\": {}, \"elapsed_s\": {:.6}, \"qps\": {:.3}, \
+                 \"warm_elapsed_s\": {:.6}, \"warm_qps\": {:.3} }}{sep}\n",
+                p.threads, p.elapsed_s, p.qps, p.warm_elapsed_s, p.warm_qps
             ));
         }
         out.push_str("  ],\n");
@@ -133,6 +139,25 @@ pub fn measure(
     let reference: Vec<Vec<usize>> = baseline.iter().map(|r| r.ids()).collect();
     let phase_median_ns = phase_medians(&baseline);
 
+    // Warm column: one shared snapshot-scoped pool, pre-populated by a
+    // sequential pass so every thread count measures steady-state reuse
+    // rather than first-touch builds. Bit-identical by contract.
+    let pool = WarmPool::new();
+    let warm_engine = engine.with_warm(&pool);
+    let started = Instant::now();
+    let warm_baseline = warm_engine.run_batch(&bench.queries, 1);
+    let warm_base_elapsed = started.elapsed().as_secs_f64();
+    if warm_baseline.iter().map(NncResult::ids).collect::<Vec<_>>() != reference {
+        return Err("warm run_batch diverged from the cold sequential baseline".into());
+    }
+
+    let qps_of = |elapsed_s: f64| {
+        if elapsed_s > 0.0 {
+            bench.queries.len() as f64 / elapsed_s
+        } else {
+            f64::INFINITY
+        }
+    };
     let mut points = Vec::with_capacity(threads_list.len());
     for &threads in threads_list {
         let (elapsed_s, ids) = if threads <= 1 {
@@ -148,15 +173,28 @@ pub fn measure(
                 "run_batch({threads} threads) diverged from the sequential baseline"
             ));
         }
-        let qps = if elapsed_s > 0.0 {
-            bench.queries.len() as f64 / elapsed_s
+        let (warm_elapsed_s, warm_ids) = if threads <= 1 {
+            (
+                warm_base_elapsed,
+                warm_baseline.iter().map(NncResult::ids).collect(),
+            )
         } else {
-            f64::INFINITY
+            let started = Instant::now();
+            let results = warm_engine.run_batch(&bench.queries, threads);
+            let elapsed = started.elapsed().as_secs_f64();
+            (elapsed, results.iter().map(|r| r.ids()).collect::<Vec<_>>())
         };
+        if warm_ids != reference {
+            return Err(format!(
+                "warm run_batch({threads} threads) diverged from the sequential baseline"
+            ));
+        }
         points.push(ThroughputPoint {
             threads,
             elapsed_s,
-            qps,
+            qps: qps_of(elapsed_s),
+            warm_elapsed_s,
+            warm_qps: qps_of(warm_elapsed_s),
         });
     }
 
@@ -186,8 +224,8 @@ pub fn throughput(scale: &Scale, threads_list: &[usize], json_path: Option<&str>
         report.op, report.dataset, report.objects, report.queries, report.host_cpus
     );
     println!(
-        "{:>8} {:>12} {:>10} {:>9}",
-        "threads", "elapsed_s", "qps", "speedup"
+        "{:>8} {:>12} {:>10} {:>10} {:>9}",
+        "threads", "elapsed_s", "qps", "warm_qps", "speedup"
     );
     let base_qps = report.points.first().map(|p| p.qps).unwrap_or(0.0);
     for p in &report.points {
@@ -197,8 +235,8 @@ pub fn throughput(scale: &Scale, threads_list: &[usize], json_path: Option<&str>
             0.0
         };
         println!(
-            "{:>8} {:>12.4} {:>10.2} {:>8.2}x",
-            p.threads, p.elapsed_s, p.qps, speedup
+            "{:>8} {:>12.4} {:>10.2} {:>10.2} {:>8.2}x",
+            p.threads, p.elapsed_s, p.qps, p.warm_qps, speedup
         );
     }
     if let Some(path) = json_path {
@@ -228,6 +266,7 @@ mod tests {
         assert!(report.host_cpus >= 1);
         for p in &report.points {
             assert!(p.qps > 0.0);
+            assert!(p.warm_qps > 0.0);
         }
         // One median per phase, in taxonomy order.
         let names: Vec<_> = report.phase_median_ns.iter().map(|(n, _)| *n).collect();
@@ -255,12 +294,15 @@ mod tests {
                 threads: 4,
                 elapsed_s: 0.5,
                 qps: 4.0,
+                warm_elapsed_s: 0.25,
+                warm_qps: 8.0,
             }],
             phase_median_ns: vec![("prepare", 10), ("refine", 0)],
         };
         let json = report.to_json();
         assert!(json.contains("\"host_cpus\": 1"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"warm_qps\": 8.000"));
         assert!(json.contains("\"phase_median_ns\": {\"prepare\": 10, \"refine\": 0}"));
         assert!(json.ends_with("}\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -179,6 +179,29 @@ impl Flags {
         Ok(None)
     }
 
+    /// The `--warm` selection: `true` (warm execution on) when the flag is
+    /// absent or spelled `--warm`/`--warm=on`, `false` for `--warm=off` —
+    /// the escape hatch back to fully cold per-query caches.
+    ///
+    /// # Errors
+    /// Returns [`CliError::BadArgument`] for an unknown value.
+    pub fn warm(&self) -> Result<bool, CliError> {
+        for a in &self.args {
+            match a.as_str() {
+                "--warm" | "--warm=on" => return Ok(true),
+                "--warm=off" => return Ok(false),
+                other => {
+                    if let Some(v) = other.strip_prefix("--warm=") {
+                        return Err(CliError::BadArgument(format!(
+                            "--warm={v:?} (use on | off)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
     /// The raw argument list — for subcommands taking positional words
     /// (`osd trace last 5`).
     pub fn raw(&self) -> &[String] {
@@ -259,6 +282,18 @@ mod tests {
         assert_eq!(chrome.trace().unwrap(), Some(TraceFormat::Chrome));
         let bad = Flags::new(vec!["--trace=xml".into()]);
         assert!(bad.trace().is_err());
+    }
+
+    #[test]
+    fn warm_flag_forms() {
+        let none = Flags::new(vec!["--data".into(), "x.csv".into()]);
+        assert!(none.warm().unwrap(), "warm execution is the default");
+        let on = Flags::new(vec!["--warm=on".into()]);
+        assert!(on.warm().unwrap());
+        let off = Flags::new(vec!["--warm=off".into()]);
+        assert!(!off.warm().unwrap());
+        let bad = Flags::new(vec!["--warm=tepid".into()]);
+        assert!(bad.warm().is_err());
     }
 
     #[test]

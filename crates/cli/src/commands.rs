@@ -2,10 +2,10 @@
 
 use crate::args::{parse_operator, parse_query_spec, CliError, Flags, ProfileFormat, TraceFormat};
 use osd_core::{
-    batch_metrics, batch_stats, dominance_matrix, dominators_of, k_nn_candidates,
+    batch_metrics, batch_stats, dominance_matrix, dominators_of_with, k_nn_candidates,
     k_nn_candidates_scatter, nn_candidates, nn_candidates_scatter, ContinuousNnc, Database,
     DbError, FilterConfig, FlightRecorder, PreparedQuery, ProgressiveNnc, PublishedIndex,
-    QueryEngine, QueryMetrics, Repair, ShardedDatabase, SpatialIndex, Stats, TraceData,
+    QueryEngine, QueryMetrics, Repair, ShardedDatabase, SpatialIndex, Stats, TraceData, WarmPool,
 };
 use osd_datagen::{
     generate_objects, gowalla_like, nba_like, read_objects_csv, write_objects_csv,
@@ -386,6 +386,12 @@ pub fn cmd_watch(flags: &Flags) -> Result<(), CliError> {
 /// to the flat index); `--scatter` switches the single-query path from the
 /// merged-forest traversal to per-shard scatter-gather over `--threads`.
 ///
+/// Batch mode runs warm by default — one snapshot-scoped cache shared by
+/// all queries — and dispatches in Morton order for locality; results are
+/// **always printed in input order** regardless. `--warm=off` and
+/// `--no-reorder` are the escape hatches back to fully cold, in-order
+/// execution (both are bit-identical to the default output).
+///
 /// # Errors
 /// Returns a [`CliError`] on bad flags or unreadable data.
 pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
@@ -396,6 +402,8 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
     let shards: usize = flags.parsed_or("--shards", 1)?;
     let progressive = flags.has("--progressive");
     let scatter = flags.has("--scatter");
+    let warm = flags.warm()?;
+    let reorder = !flags.has("--no-reorder");
     let profile = flags.profile()?;
     let trace_fmt = flags.trace()?;
     if progressive && scatter {
@@ -430,7 +438,11 @@ pub fn cmd_query(flags: &Flags) -> Result<(), CliError> {
         }
         let queries = read_query_file(Path::new(file), dim)?;
         let db = build_index(objects, shards)?;
-        let engine = QueryEngine::with_config(&*db, op, cfg);
+        let pool = WarmPool::new();
+        let mut engine = QueryEngine::with_config(&*db, op, cfg).with_reorder(reorder);
+        if warm {
+            engine = engine.with_warm(&pool);
+        }
         let results = engine.run_batch(&queries, threads.max(1));
         for (i, res) in results.iter().enumerate() {
             println!(
@@ -681,6 +693,7 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
     let db = build_index(objects, shards)?;
     let pq = PreparedQuery::new(query);
     let cfg = FilterConfig::all();
+    let pool = WarmPool::new();
     println!(
         "snapshot: epoch {}, {} live object(s), {} tombstone(s)",
         db.epoch(),
@@ -698,7 +711,12 @@ pub fn cmd_explain(flags: &Flags) -> Result<(), CliError> {
                 db.len()
             )));
         }
-        let doms = dominators_of(&*db, &pq, op, v, &cfg);
+        let doms = dominators_of_with(&*db, &pq, op, v, &cfg, Some(&pool));
+        let ws = pool.stats();
+        println!(
+            "warm: {} hit(s), {} miss(es), {} eviction(s), {} resident byte(s)",
+            ws.hits, ws.misses, ws.evictions, ws.resident_bytes
+        );
         if doms.is_empty() {
             println!(
                 "object {v} is a candidate under {}: no dominators",
@@ -848,7 +866,8 @@ USAGE:
             [--profile[=json|prom]] [--trace[=text|chrome]]
             [--recorder FILE] [--slow-ms MS]
   osd query --data data.csv --queries queries.txt [--op …] [--threads N]
-            [--shards N] [--profile[=json|prom]] [--trace[=text|chrome]]
+            [--shards N] [--warm=on|off] [--no-reorder]
+            [--profile[=json|prom]] [--trace[=text|chrome]]
             (one \"x,y;x,y;…\" spec per line; blank lines and # comments skipped)
   osd trace [last|slowest] [N] [--recorder FILE] [--trace=text|chrome]
             (inspect the flight-recorder file written by osd query --trace)
@@ -867,6 +886,12 @@ USAGE:
 global R-tree; candidates are bit-identical to the flat index. `--scatter`
 runs one independent descent per shard (fanned over --threads) instead of
 the merged shared-bound traversal.
+
+Batch mode (`--queries`) runs warm by default: one snapshot-scoped cache is
+shared by every query, and queries are dispatched in Morton (locality)
+order. Output order always matches input order regardless. `--warm=off`
+falls back to fully cold per-query caches; `--no-reorder` dispatches in
+input order. Both escape hatches are bit-identical to the default output.
 
 `--profile` appends a per-phase timing/counter breakdown (prepare,
 rtree-descent, level-prune, validate, refine) after the results, as JSON
@@ -980,6 +1005,48 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("mutually exclusive"));
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&qfile).ok();
+    }
+
+    #[test]
+    fn batch_escape_hatches_run_and_bad_warm_is_rejected() {
+        let out = tmp("batch-cold.csv");
+        cmd_gen(&flags(&[
+            "--out",
+            &out,
+            "--dataset",
+            "indep",
+            "--n",
+            "30",
+            "--m",
+            "3",
+            "--dim",
+            "2",
+        ]))
+        .unwrap();
+        let qfile = tmp("batch-cold-queries.txt");
+        std::fs::write(&qfile, "5000,5000\n2000,8000\n7500,2500\n").unwrap();
+        cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--warm=off",
+            "--no-reorder",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        let err = cmd_query(&flags(&[
+            "--data",
+            &out,
+            "--queries",
+            &qfile,
+            "--warm=tepid",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--warm"));
         std::fs::remove_file(&out).ok();
         std::fs::remove_file(&qfile).ok();
     }

@@ -15,6 +15,7 @@ use crate::config::Stats;
 use crate::db::Database;
 use crate::index::SpatialIndex;
 use crate::query::PreparedQuery;
+use crate::warm::WarmView;
 use osd_geom::{distance_space_row, Mbr, Point};
 use osd_obs::{Counter, QueryMetrics};
 use osd_rtree::{Entry, RTree};
@@ -139,11 +140,22 @@ pub struct DominanceCache {
     /// Optimistic/pessimistic bounds on each `U_q` (query-instance order),
     /// per object per clamped level.
     bounds_instance: Vec<Vec<Option<Arc<Vec<BoundPair>>>>>,
+    /// Snapshot-scoped warm view, consulted only on the miss path of the
+    /// snapshot-pure getters (`quanta`, `level_snapshot`, level bounds) so
+    /// the legacy per-query hit/miss counters keep their exact semantics.
+    warm: Option<WarmView>,
 }
 
 impl DominanceCache {
     /// Creates an empty cache for a database of `n` objects.
     pub fn new(n: usize) -> Self {
+        Self::with_warm(n, None)
+    }
+
+    /// Creates an empty cache that resolves snapshot-pure misses through
+    /// `warm` (a per-query view into the shared epoch-keyed cache) instead
+    /// of rebuilding locally. `None` is the plain cold cache.
+    pub fn with_warm(n: usize, warm: Option<WarmView>) -> Self {
         DominanceCache {
             dist_q: vec![None; n],
             per_q: vec![None; n],
@@ -155,7 +167,14 @@ impl DominanceCache {
             levels: vec![None; n],
             bounds_whole: vec![Vec::new(); n],
             bounds_instance: vec![Vec::new(); n],
+            warm,
         }
+    }
+
+    /// The warm view this cache resolves snapshot-pure misses through, if
+    /// any.
+    pub fn warm(&self) -> Option<&WarmView> {
+        self.warm.as_ref()
     }
 
     /// The full distance distribution `U_Q` of object `id`.
@@ -276,9 +295,12 @@ impl DominanceCache {
         }
         stats.cache_misses += 1;
         metrics.incr(Counter::CacheMisses);
-        // The store's probability column is already contiguous — quantise
-        // the borrowed slice directly, no gather needed.
-        let q = Arc::new(quantize(db.object(id).probs()));
+        let q = match &self.warm {
+            Some(w) => w.quanta(db, id, metrics),
+            // The store's probability column is already contiguous —
+            // quantise the borrowed slice directly, no gather needed.
+            None => Arc::new(quantize(db.object(id).probs())),
+        };
         self.quanta[id] = Some(Arc::clone(&q));
         q
     }
@@ -342,28 +364,13 @@ impl DominanceCache {
         }
         stats.cache_misses += 1;
         metrics.incr(Counter::CacheMisses);
+        // The nested quanta lookup records its own hit/miss first, exactly
+        // as the cold path does, before the warm view is consulted.
         let quanta = self.quanta(db, id, stats, metrics);
-        let obj = db.object(id);
-        let tree = db.local_tree(id);
-        let height = tree.height().unwrap_or(0);
-        // Level height+1 is the all-singleton partition; deeper levels
-        // repeat it, so materialising up to height+1 covers every request.
-        let mut levels = Vec::with_capacity(height + 1);
-        for level in 1..=height + 1 {
-            let groups = tree.level_groups(level);
-            let mut mbrs = Vec::with_capacity(groups.len());
-            let mut masses = Vec::with_capacity(groups.len());
-            let mut caps = Vec::with_capacity(groups.len());
-            for (mbr, items) in groups {
-                // Same member order and left-to-right fold as the scalar
-                // `group_masses` / caps rebuilds — bit-identical sums.
-                masses.push(items.iter().map(|&&i| obj.prob(i)).sum());
-                caps.push(items.iter().map(|&&i| quanta[i]).sum());
-                mbrs.push(mbr);
-            }
-            levels.push(LevelGroups { mbrs, masses, caps });
-        }
-        let s = Arc::new(LevelSnapshot { height, levels });
+        let s = match &self.warm {
+            Some(w) => w.level_snapshot(db, id, &quanta, metrics),
+            None => Arc::new(build_level_snapshot(db, id, &quanta)),
+        };
         self.levels[id] = Some(Arc::clone(&s));
         s
     }
@@ -399,8 +406,11 @@ impl DominanceCache {
         }
         stats.cache_misses += 1;
         metrics.incr(Counter::CacheMisses);
-        let b = Arc::new(build_bounds_whole(query, snap.level(level)));
-        slot[idx] = Some(Arc::clone(&b));
+        let b = match &self.warm {
+            Some(w) => w.bounds_whole(query, id, &snap, level, metrics),
+            None => Arc::new(build_bounds_whole(query, snap.level(level))),
+        };
+        self.bounds_whole[id][idx] = Some(Arc::clone(&b));
         b
     }
 
@@ -430,8 +440,11 @@ impl DominanceCache {
         }
         stats.cache_misses += 1;
         metrics.incr(Counter::CacheMisses);
-        let b = Arc::new(build_bounds_instance(query, snap.level(level)));
-        slot[idx] = Some(Arc::clone(&b));
+        let b = match &self.warm {
+            Some(w) => w.bounds_instance(query, id, &snap, level, metrics),
+            None => Arc::new(build_bounds_instance(query, snap.level(level))),
+        };
+        self.bounds_instance[id][idx] = Some(Arc::clone(&b));
         b
     }
 
@@ -472,10 +485,43 @@ impl DominanceCache {
     }
 }
 
+/// Builds the full per-level group partition of object `id`'s local R-tree
+/// — the single sanctioned [`LevelSnapshot`] constructor, shared by the
+/// per-query cold path and the snapshot-scoped warm cache so both produce
+/// bit-identical snapshots. Charges nothing: the quantisation it consumes
+/// is the caller's `quanta` entry.
+pub(crate) fn build_level_snapshot(
+    db: &dyn SpatialIndex,
+    id: usize,
+    quanta: &[u64],
+) -> LevelSnapshot {
+    let obj = db.object(id);
+    let tree = db.local_tree(id);
+    let height = tree.height().unwrap_or(0);
+    // Level height+1 is the all-singleton partition; deeper levels
+    // repeat it, so materialising up to height+1 covers every request.
+    let mut levels = Vec::with_capacity(height + 1);
+    for level in 1..=height + 1 {
+        let groups = tree.level_groups(level);
+        let mut mbrs = Vec::with_capacity(groups.len());
+        let mut masses = Vec::with_capacity(groups.len());
+        let mut caps = Vec::with_capacity(groups.len());
+        for (mbr, items) in groups {
+            // Same member order and left-to-right fold as the scalar
+            // `group_masses` / caps rebuilds — bit-identical sums.
+            masses.push(items.iter().map(|&&i| obj.prob(i)).sum());
+            caps.push(items.iter().map(|&&i| quanta[i]).sum());
+            mbrs.push(mbr);
+        }
+        levels.push(LevelGroups { mbrs, masses, caps });
+    }
+    LevelSnapshot { height, levels }
+}
+
 /// Builds the whole-`U_Q` bound pair for one snapshot level with the same
 /// atom order and left-to-right folds as the scalar per-pair rebuild in
 /// `ops::level`, so the resulting distributions are bit-identical to it.
-fn build_bounds_whole(query: &PreparedQuery, level: &LevelGroups) -> BoundPair {
+pub(crate) fn build_bounds_whole(query: &PreparedQuery, level: &LevelGroups) -> BoundPair {
     let mut lo = Vec::with_capacity(level.len() * query.len());
     let mut hi = Vec::with_capacity(level.len() * query.len());
     for q in query.object().instances() {
@@ -492,7 +538,7 @@ fn build_bounds_whole(query: &PreparedQuery, level: &LevelGroups) -> BoundPair {
 
 /// Builds the per-`U_q` bound pairs for one snapshot level, in query
 /// instance order, with the scalar rebuild's atom order.
-fn build_bounds_instance(query: &PreparedQuery, level: &LevelGroups) -> Vec<BoundPair> {
+pub(crate) fn build_bounds_instance(query: &PreparedQuery, level: &LevelGroups) -> Vec<BoundPair> {
     query
         .object()
         .instances()

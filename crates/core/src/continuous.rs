@@ -40,9 +40,10 @@
 use crate::config::FilterConfig;
 use crate::ctx::CheckCtx;
 use crate::index::SpatialIndex;
-use crate::nnc::{mbr_pruned, nn_candidates, object_min_dist2, Candidate};
+use crate::nnc::{mbr_pruned, nn_candidates, nn_candidates_warm, object_min_dist2, Candidate};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::WarmPool;
 use osd_geom::Mbr;
 use osd_obs::{trace::DEFAULT_TRACE_EVENTS, AttrValue, QueryTrace, SpanId, Stopwatch, TraceData};
 use osd_uncertain::Change;
@@ -157,6 +158,14 @@ impl ContinuousNnc {
     /// After this returns, the set is bit-identical — ids, `min_dist`
     /// bits, order — to `nn_candidates(db, …)` on the same snapshot.
     pub fn refresh(&mut self, db: &dyn SpatialIndex) -> Repair {
+        self.refresh_with(db, None)
+    }
+
+    /// [`Self::refresh`], optionally resolving the repair's snapshot-pure
+    /// cache misses through `warm` (see `core::warm`). Same repair
+    /// decisions, same bit-identical candidate set — the warm pool only
+    /// changes where derived state is rebuilt.
+    pub fn refresh_with(&mut self, db: &dyn SpatialIndex, warm: Option<&WarmPool>) -> Repair {
         let now = db.epoch();
         if now == self.epoch {
             return Repair::UpToDate;
@@ -169,7 +178,7 @@ impl ContinuousNnc {
         let Some(changes) = db.changes_since(self.epoch) else {
             // The reader fell behind the retained change window (or the
             // handle was moved across unrelated indexes): start over.
-            self.full_requery(db, trace, "stale-window");
+            self.full_requery(db, warm, trace, "stale-window");
             return Repair::Full;
         };
         let scan = trace.open("changes-scan");
@@ -186,7 +195,7 @@ impl ContinuousNnc {
             .any(|c| matches!(c, Change::Deleted(id) | Change::Updated(id) if self.contains(*id)));
         trace.close(scan);
         if candidate_touched {
-            self.full_requery(db, trace, "candidate-touched");
+            self.full_requery(db, warm, trace, "candidate-touched");
             return Repair::Full;
         }
         // Insert-shaped delta: deletes of non-candidates are free, and
@@ -209,13 +218,14 @@ impl ContinuousNnc {
         // id but derived from object *content*, which an update may have
         // changed — a new epoch always gets a clean cache. The repair owns
         // the trace, so the context runs untraced.
-        let mut ctx = CheckCtx::new(
+        let mut ctx = CheckCtx::with_warm(
             db,
             &self.query,
             FilterConfig {
                 trace: false,
                 ..self.cfg
             },
+            warm.map(|pool| pool.view_for(db, &self.query)),
         );
         let start = Stopwatch::start();
         let recheck_span = trace.open("recheck");
@@ -317,12 +327,18 @@ impl ContinuousNnc {
     /// The full-requery arm of a refresh: wraps [`Self::requery`] in a
     /// `requery` span tagged with why the incremental repair was abandoned,
     /// then stores the finished trace.
-    fn full_requery(&mut self, db: &dyn SpatialIndex, mut trace: QueryTrace, reason: &'static str) {
+    fn full_requery(
+        &mut self,
+        db: &dyn SpatialIndex,
+        warm: Option<&WarmPool>,
+        mut trace: QueryTrace,
+        reason: &'static str,
+    ) {
         let span = trace.open("requery");
         if span != SpanId::NONE {
             trace.attr(span, "reason", AttrValue::Str(Cow::Borrowed(reason)));
         }
-        self.requery(db);
+        self.requery_with(db, warm);
         if span != SpanId::NONE {
             trace.attr(
                 span,
@@ -349,11 +365,18 @@ impl ContinuousNnc {
     /// untraced: a refresh's repair trace (if any) is owned by the caller,
     /// and the initial query of [`Self::new`] records none.
     fn requery(&mut self, db: &dyn SpatialIndex) {
+        self.requery_with(db, None);
+    }
+
+    fn requery_with(&mut self, db: &dyn SpatialIndex, warm: Option<&WarmPool>) {
         let cfg = FilterConfig {
             trace: false,
             ..self.cfg
         };
-        let result = nn_candidates(db, &self.query, self.op, &cfg);
+        let result = match warm {
+            Some(pool) => nn_candidates_warm(db, &self.query, self.op, &cfg, pool),
+            None => nn_candidates(db, &self.query, self.op, &cfg),
+        };
         self.cand_mbrs = result
             .candidates
             .iter()

@@ -15,6 +15,7 @@ use crate::db::Database;
 use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::WarmView;
 use osd_flow::MaxFlow;
 use osd_obs::{
     trace::DEFAULT_TRACE_EVENTS, AttrValue, Phase, PhaseTimer, QueryMetrics, QueryTrace,
@@ -77,11 +78,23 @@ pub struct CheckCtx<'a> {
 impl<'a> CheckCtx<'a> {
     /// Creates a fresh context (empty cache, zeroed counters) for one query.
     pub fn new(db: &'a dyn SpatialIndex, query: &'a PreparedQuery, cfg: FilterConfig) -> Self {
+        Self::with_warm(db, query, cfg, None)
+    }
+
+    /// Creates a fresh context whose cache resolves snapshot-pure misses
+    /// through `warm` (see `core::warm`). `None` gives the plain cold
+    /// context of [`CheckCtx::new`]; results are bit-identical either way.
+    pub fn with_warm(
+        db: &'a dyn SpatialIndex,
+        query: &'a PreparedQuery,
+        cfg: FilterConfig,
+        warm: Option<WarmView>,
+    ) -> Self {
         CheckCtx {
             db,
             query,
             cfg,
-            cache: DominanceCache::new(db.len()),
+            cache: DominanceCache::with_warm(db.len(), warm),
             stats: Stats::default(),
             metrics: QueryMetrics::new(),
             trace: if cfg.trace {

@@ -12,13 +12,29 @@
 //! Because every query runs the identical sequential Algorithm 1 against
 //! an identical environment, the batch result is byte-for-byte the same
 //! regardless of thread count — only wall-clock throughput changes.
+//!
+//! ## Warm execution and batch locality
+//!
+//! [`QueryEngine::with_warm`] attaches a shared [`WarmPool`]: each query
+//! then resolves its snapshot-pure cache misses through the pool's
+//! epoch-keyed [`WarmCache`](crate::WarmCache) instead of rebuilding them
+//! privately — bit-identical results, fewer rebuilds (see `core::warm`).
+//! [`QueryEngine::run_batch`] additionally dispatches queries in Morton
+//! (Z-order) order of their MBR centers so that consecutively claimed
+//! queries touch overlapping index regions — and therefore overlapping
+//! warm entries — back to back. The schedule is deterministic and results
+//! are always returned in **input order**; [`QueryEngine::with_reorder`]
+//! switches the reordering off.
 
 use crate::config::{FilterConfig, Stats};
 use crate::db::Database;
 use crate::index::SpatialIndex;
-use crate::nnc::{nn_candidates, NncResult};
+use crate::nnc::{
+    nn_candidates, nn_candidates_scatter, nn_candidates_scatter_warm, nn_candidates_warm, NncResult,
+};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::WarmPool;
 use osd_obs::{FlightRecorder, QueryMetrics};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -29,6 +45,11 @@ pub struct QueryEngine<'a> {
     db: &'a dyn SpatialIndex,
     op: Operator,
     cfg: FilterConfig,
+    /// Shared snapshot-scoped cache; `None` (the default) runs every query
+    /// fully cold, exactly as before the warm path existed.
+    warm: Option<&'a WarmPool>,
+    /// Morton-reorder batches for locality (results stay in input order).
+    reorder: bool,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -39,7 +60,29 @@ impl<'a> QueryEngine<'a> {
 
     /// Creates an engine with an explicit filter configuration.
     pub fn with_config(db: &'a dyn SpatialIndex, op: Operator, cfg: FilterConfig) -> Self {
-        QueryEngine { db, op, cfg }
+        QueryEngine {
+            db,
+            op,
+            cfg,
+            warm: None,
+            reorder: true,
+        }
+    }
+
+    /// Attaches a shared [`WarmPool`]: queries resolve snapshot-pure cache
+    /// misses through it (bit-identical results — see `core::warm`).
+    #[must_use]
+    pub fn with_warm(mut self, pool: &'a WarmPool) -> Self {
+        self.warm = Some(pool);
+        self
+    }
+
+    /// Enables or disables Morton reordering of batch dispatch (on by
+    /// default). Results are returned in input order either way.
+    #[must_use]
+    pub fn with_reorder(mut self, reorder: bool) -> Self {
+        self.reorder = reorder;
+        self
     }
 
     /// The database this engine serves.
@@ -59,9 +102,13 @@ impl<'a> QueryEngine<'a> {
 
     /// Runs one NNC query (Algorithm 1) — identical to
     /// [`nn_candidates`](crate::nn_candidates) under this engine's
-    /// configuration.
+    /// configuration (warm execution changes which cache served a value,
+    /// never the value).
     pub fn run(&self, query: &PreparedQuery) -> NncResult {
-        nn_candidates(self.db, query, self.op, &self.cfg)
+        match self.warm {
+            Some(pool) => nn_candidates_warm(self.db, query, self.op, &self.cfg, pool),
+            None => nn_candidates(self.db, query, self.op, &self.cfg),
+        }
     }
 
     /// Runs one NNC query scatter-gather over a sharded index: each shard
@@ -71,7 +118,12 @@ impl<'a> QueryEngine<'a> {
     /// [`nn_candidates_scatter`](crate::nn_candidates_scatter)). On a
     /// one-shard index this is exactly [`QueryEngine::run`].
     pub fn run_scatter(&self, query: &PreparedQuery, threads: usize) -> NncResult {
-        crate::nnc::nn_candidates_scatter(self.db, query, self.op, &self.cfg, threads)
+        match self.warm {
+            Some(pool) => {
+                nn_candidates_scatter_warm(self.db, query, self.op, &self.cfg, threads, pool)
+            }
+            None => nn_candidates_scatter(self.db, query, self.op, &self.cfg, threads),
+        }
     }
 
     /// Runs a batch of queries across up to `threads` worker threads and
@@ -92,13 +144,25 @@ impl<'a> QueryEngine<'a> {
     /// index as `seq` — the stable identity the flight recorder keys its
     /// order-independent retention on, so per-worker recorders merge to
     /// the same retained set regardless of how the workers claimed work.
+    ///
+    /// Unless [`QueryEngine::with_reorder`]`(false)` was requested, work is
+    /// *claimed* in Morton order of the query MBR centers (nearby queries
+    /// run back to back, maximising warm-cache and index locality), but
+    /// results are always **returned in input order** — the schedule is an
+    /// internal detail and is fully deterministic for a given batch.
     pub fn run_batch(&self, queries: &[PreparedQuery], threads: usize) -> Vec<NncResult> {
         let n = queries.len();
         let workers = threads.max(1).min(n.max(1));
-        let mut results: Vec<NncResult> = if workers <= 1 {
-            queries.iter().map(|q| self.run(q)).collect()
+        let order: Vec<usize> = if self.reorder {
+            morton_order(queries)
+        } else {
+            (0..n).collect()
+        };
+        let mut indexed: Vec<(usize, NncResult)> = if workers <= 1 {
+            order.iter().map(|&i| (i, self.run(&queries[i]))).collect()
         } else {
             let cursor = AtomicUsize::new(0);
+            let order = &order;
             let mut indexed: Vec<(usize, NncResult)> = Vec::with_capacity(n);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -106,10 +170,11 @@ impl<'a> QueryEngine<'a> {
                         scope.spawn(|| {
                             let mut claimed = Vec::new();
                             loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= n {
+                                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                                if j >= n {
                                     break;
                                 }
+                                let i = order[j];
                                 claimed.push((i, self.run(&queries[i])));
                             }
                             claimed
@@ -123,9 +188,10 @@ impl<'a> QueryEngine<'a> {
                     }
                 }
             });
-            indexed.sort_by_key(|&(i, _)| i);
-            indexed.into_iter().map(|(_, r)| r).collect()
+            indexed
         };
+        indexed.sort_by_key(|&(i, _)| i);
+        let mut results: Vec<NncResult> = indexed.into_iter().map(|(_, r)| r).collect();
         for (i, r) in results.iter_mut().enumerate() {
             if let Some(t) = r.trace.as_mut() {
                 t.seq = i as u64;
@@ -133,6 +199,64 @@ impl<'a> QueryEngine<'a> {
         }
         results
     }
+}
+
+/// The Morton (Z-order) schedule of a batch: input indices sorted by the
+/// bit-interleaved quantized coordinates of each query MBR's center, ties
+/// broken by input index. Queries whose centers are close in space end up
+/// close in the schedule, so consecutively claimed queries revisit the
+/// same index regions — and the same warm-cache entries — back to back.
+///
+/// Purely a scheduling permutation: deterministic for a given batch, and
+/// callers re-emit results in input order regardless.
+fn morton_order(queries: &[PreparedQuery]) -> Vec<usize> {
+    let n = queries.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let dim = queries[0].mbr().dim();
+    // Bounding box of the query centers, over the dimensions all share.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for q in queries {
+        let c = q.mbr().center();
+        for (d, slot) in lo.iter_mut().enumerate() {
+            let x = c.coords().get(d).copied().unwrap_or(0.0);
+            *slot = slot.min(x);
+            hi[d] = hi[d].max(x);
+        }
+    }
+    let bits = (64 / dim.max(1)).min(16) as u32;
+    let scale = ((1u64 << bits) - 1) as f64;
+    let mut keyed: Vec<(u64, usize)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let c = q.mbr().center();
+            let cells: Vec<u64> = (0..dim)
+                .map(|d| {
+                    let span = hi[d] - lo[d];
+                    let x = c.coords().get(d).copied().unwrap_or(lo[d]);
+                    let t = if span > 0.0 && span.is_finite() {
+                        ((x - lo[d]) / span).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    (t * scale) as u64
+                })
+                .collect();
+            // MSB-first interleave: bit b of every dimension, high to low.
+            let mut key = 0u64;
+            for b in (0..bits).rev() {
+                for cell in &cells {
+                    key = (key << 1) | ((cell >> b) & 1);
+                }
+            }
+            (key, i)
+        })
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
 }
 
 /// Merges the per-query counters of a batch into one [`Stats`] total via
@@ -188,6 +312,9 @@ const _: () = assert_send_sync::<QueryEngine<'static>>();
 const _: () = assert_send_sync::<crate::CheckCtx<'static>>();
 const _: () = assert_send_sync::<osd_rtree::RTree<usize>>();
 const _: () = assert_send_sync::<osd_uncertain::UncertainObject>();
+const _: () = assert_send_sync::<crate::WarmPool>();
+const _: () = assert_send_sync::<crate::WarmCache>();
+const _: () = assert_send_sync::<crate::WarmView>();
 
 #[cfg(test)]
 mod tests {
@@ -436,5 +563,82 @@ mod tests {
         let engine = QueryEngine::new(&db, Operator::FSd);
         assert!(engine.run_batch(&[], 4).is_empty());
         assert_eq!(batch_stats(&[]), Stats::default());
+    }
+
+    /// Warm execution and Morton reordering are both transparent: the
+    /// candidate sets, `min_dist` bits and `Stats` of every result equal
+    /// the cold, unordered baseline, and results come back in input order.
+    #[test]
+    fn warm_and_reordered_batches_match_cold_in_input_order() {
+        let db = Database::new(scatter(40, 3, 0xC0FFEE));
+        let qs = queries(10, 123);
+        let cold = QueryEngine::new(&db, Operator::SSd)
+            .with_reorder(false)
+            .run_batch(&qs, 1);
+        let pool = crate::WarmPool::new();
+        for threads in [1usize, 4] {
+            let warm = QueryEngine::new(&db, Operator::SSd)
+                .with_warm(&pool)
+                .run_batch(&qs, threads);
+            assert_eq!(warm.len(), cold.len());
+            for (w, c) in warm.iter().zip(cold.iter()) {
+                assert_eq!(w.ids(), c.ids(), "{threads} threads");
+                assert_eq!(w.stats, c.stats, "{threads} threads: Stats are warm-blind");
+                let bits = |r: &NncResult| -> Vec<u64> {
+                    r.candidates.iter().map(|c| c.min_dist.to_bits()).collect()
+                };
+                assert_eq!(bits(w), bits(c), "{threads} threads: min_dist bits");
+            }
+        }
+        if QueryMetrics::enabled() {
+            let stats = pool.stats();
+            assert!(
+                stats.hits > 0,
+                "repeated batch over one snapshot must hit the warm cache"
+            );
+        }
+    }
+
+    /// The Morton schedule is a permutation, is deterministic, and groups
+    /// spatially close queries; `with_reorder(false)` restores the
+    /// identity schedule (observable only through scheduling, so we pin
+    /// the permutation property itself).
+    #[test]
+    fn morton_order_is_a_deterministic_permutation() {
+        let qs = queries(17, 0x5EED);
+        let a = morton_order(&qs);
+        let b = morton_order(&qs);
+        assert_eq!(a, b, "schedule must be deterministic");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..qs.len()).collect::<Vec<_>>(), "permutation");
+        // Two co-located clusters: the schedule must not interleave them.
+        let near: Vec<PreparedQuery> = (0..4)
+            .map(|i| {
+                PreparedQuery::new(UncertainObject::uniform(vec![Point::new(vec![
+                    i as f64 * 0.01,
+                    0.0,
+                ])]))
+            })
+            .collect();
+        let far: Vec<PreparedQuery> = (0..4)
+            .map(|i| {
+                PreparedQuery::new(UncertainObject::uniform(vec![Point::new(vec![
+                    90.0 + i as f64 * 0.01,
+                    90.0,
+                ])]))
+            })
+            .collect();
+        let mut mixed = Vec::new();
+        for i in 0..4 {
+            mixed.push(near[i].clone());
+            mixed.push(far[i].clone());
+        }
+        let order = morton_order(&mixed);
+        let first_half: Vec<usize> = order[..4].to_vec();
+        assert!(
+            first_half.iter().all(|&i| i % 2 == 0) || first_half.iter().all(|&i| i % 2 == 1),
+            "clusters must be contiguous in the schedule, got {order:?}"
+        );
     }
 }

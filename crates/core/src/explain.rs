@@ -11,6 +11,7 @@ use crate::db::Database;
 use crate::index::SpatialIndex;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::WarmPool;
 
 /// All objects that dominate `v` under `op` (empty iff `v` is a candidate).
 pub fn dominators_of(
@@ -20,7 +21,22 @@ pub fn dominators_of(
     v: usize,
     cfg: &FilterConfig,
 ) -> Vec<usize> {
-    let mut ctx = CheckCtx::new(db, query, *cfg);
+    dominators_of_with(db, query, op, v, cfg, None)
+}
+
+/// [`dominators_of`], optionally resolving snapshot-pure cache misses
+/// through `warm` — same answer, fewer rebuilds when the explanation runs
+/// next to a warmed query session.
+pub fn dominators_of_with(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    v: usize,
+    cfg: &FilterConfig,
+    warm: Option<&WarmPool>,
+) -> Vec<usize> {
+    let view = warm.map(|pool| pool.view_for(db, query));
+    let mut ctx = CheckCtx::with_warm(db, query, *cfg, view);
     (0..db.len())
         .filter(|&u| u != v && db.is_live(u) && db.is_live(v) && ctx.dominates(op, u, v))
         .collect()

@@ -21,12 +21,14 @@ use crate::index::SpatialIndex;
 use crate::nnc::Candidate;
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::{WarmPool, WarmView};
 use osd_geom::{mbr_dominates, mbr_dominates_strict};
 use osd_obs::{AttrValue, Counter, Phase, PhaseTimer, QueryMetrics, SpanId, Stopwatch, TraceData};
 use osd_rtree::Node;
-use std::borrow::Cow;
+use std::borrow::{Borrow, Cow};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Result of a k-robust candidate computation.
 #[derive(Debug)]
@@ -124,13 +126,42 @@ pub fn k_nn_candidates(
     k: usize,
     cfg: &FilterConfig,
 ) -> KnncResult {
+    k_nn_with(db, query, op, k, cfg, None)
+}
+
+/// [`k_nn_candidates`] resolving snapshot-pure cache misses through
+/// `warm` (see `core::warm`). Candidate set, `min_dist` bits, order,
+/// dominator counts and `Stats` are bit-identical to the cold path.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn k_nn_candidates_warm(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    k: usize,
+    cfg: &FilterConfig,
+    warm: &WarmPool,
+) -> KnncResult {
+    k_nn_with(db, query, op, k, cfg, Some(warm.view_for(db, query)))
+}
+
+fn k_nn_with(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    k: usize,
+    cfg: &FilterConfig,
+    warm: Option<WarmView>,
+) -> KnncResult {
     assert!(k >= 1, "k must be at least 1");
     let prepare = PhaseTimer::start(Phase::Prepare);
-    let mut ctx = CheckCtx::new(db, query, *cfg);
+    let mut ctx = CheckCtx::with_warm(db, query, *cfg, warm);
     let prep = ctx.trace.open("prepare");
     let mut kept: Vec<(Candidate, usize)> = Vec::new();
-    // MBR of each kept candidate, cached at emission for entry pruning.
-    let mut kept_mbrs: Vec<osd_geom::Mbr> = Vec::new();
+    // MBR of each kept candidate, cached at emission for entry pruning
+    // (`Arc`ed so a warm run shares the snapshot-scoped copy).
+    let mut kept_mbrs: Vec<Arc<osd_geom::Mbr>> = Vec::new();
 
     let mut heap = BinaryHeap::new();
     // Seed every shard root — one best-first descent of the whole forest
@@ -179,7 +210,11 @@ pub fn k_nn_candidates(
                         },
                         dominators,
                     ));
-                    kept_mbrs.push(db.object(v).mbr().clone());
+                    let mbr = match ctx.cache.warm() {
+                        Some(w) => w.object_mbr(db, v, &mut ctx.metrics),
+                        None => Arc::new(db.object(v).mbr().clone()),
+                    };
+                    kept_mbrs.push(mbr);
                     ctx.metrics.candidate_emitted(op.label());
                     if ctx.trace.is_active() {
                         let event = ctx.trace.instant("candidate");
@@ -243,6 +278,9 @@ pub fn k_nn_candidates(
                 ctx.metrics.record(timer);
             }
         }
+    }
+    if let Some(w) = ctx.cache.warm() {
+        w.record_gauges(&mut ctx.metrics);
     }
     let mut trace = ctx.trace.finish();
     if let Some(t) = trace.as_mut() {
@@ -378,9 +416,9 @@ pub fn k_nn_candidates_bruteforce(
 /// Subtree pruning: discard when at least `k` kept candidates MBR-dominate
 /// the entry (every object inside then has ≥ k dominators). `kept_mbrs`
 /// holds the kept candidates' MBRs, cached at emission.
-fn entry_pruned(
+fn entry_pruned<M: Borrow<osd_geom::Mbr>>(
     ctx: &mut CheckCtx<'_>,
-    kept_mbrs: &[osd_geom::Mbr],
+    kept_mbrs: &[M],
     k: usize,
     strict: bool,
     e_mbr: &osd_geom::Mbr,
@@ -390,6 +428,7 @@ fn entry_pruned(
     }
     let mut dominators = 0usize;
     for u_mbr in kept_mbrs {
+        let u_mbr = u_mbr.borrow();
         ctx.stats.mbr_checks += 1;
         let dominated = if strict {
             mbr_dominates_strict(u_mbr, e_mbr, ctx.query.mbr())

@@ -78,6 +78,7 @@ pub mod ops;
 pub mod publish;
 pub mod query;
 pub mod sharded;
+pub mod warm;
 
 pub use brute::nn_candidates_bruteforce;
 pub use cache::DominanceCache;
@@ -86,10 +87,16 @@ pub use continuous::{ContinuousNnc, Repair};
 pub use ctx::CheckCtx;
 pub use db::{Database, DbError, FlatDatabase};
 pub use engine::{batch_metrics, batch_stats, record_batch, QueryEngine};
-pub use explain::{dominance_matrix, dominators_of};
+pub use explain::{dominance_matrix, dominators_of, dominators_of_with};
 pub use index::{IndexStats, ShardSlice, ShardStats, SpatialIndex};
-pub use knnc::{k_nn_candidates, k_nn_candidates_bruteforce, k_nn_candidates_scatter, KnncResult};
-pub use nnc::{nn_candidates, nn_candidates_scatter, Candidate, NncResult, ProgressiveNnc};
+pub use knnc::{
+    k_nn_candidates, k_nn_candidates_bruteforce, k_nn_candidates_scatter, k_nn_candidates_warm,
+    KnncResult,
+};
+pub use nnc::{
+    nn_candidates, nn_candidates_scatter, nn_candidates_scatter_warm, nn_candidates_warm,
+    Candidate, NncResult, ProgressiveNnc,
+};
 pub use ops::{
     dominates, enclosing_ball, f_plus_sd, f_sd, p_sd, peer_network_flow, s_sd, sphere_validate,
     ss_sd, Operator,
@@ -99,3 +106,4 @@ pub use osd_uncertain::{Change, EpochLog};
 pub use publish::PublishedIndex;
 pub use query::PreparedQuery;
 pub use sharded::{ShardConfig, ShardedDatabase};
+pub use warm::{WarmCache, WarmPool, WarmStats, WarmView};

@@ -22,12 +22,14 @@ use crate::db::Database;
 use crate::index::{ShardSlice, SpatialIndex};
 use crate::ops::Operator;
 use crate::query::PreparedQuery;
+use crate::warm::{WarmPool, WarmView};
 use osd_geom::{mbr_dominates, mbr_dominates_strict, Mbr};
 use osd_obs::{AttrValue, Counter, Phase, PhaseTimer, QueryMetrics, SpanId, Stopwatch, TraceData};
 use osd_rtree::Node;
-use std::borrow::Cow;
+use std::borrow::{Borrow, Cow};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One emitted NN candidate with bookkeeping for the progressive analysis.
@@ -125,7 +127,31 @@ pub fn nn_candidates(
     op: Operator,
     cfg: &FilterConfig,
 ) -> NncResult {
-    let mut progressive = ProgressiveNnc::new(db, query, op, cfg);
+    run_with(db, query, op, cfg, None)
+}
+
+/// [`nn_candidates`] resolving snapshot-pure cache misses through `warm`
+/// (see `core::warm`). Result ids, `min_dist` bits, ordering and `Stats`
+/// are bit-identical to the cold path; warm traffic is counted only in
+/// the dedicated `warm_hits` / `warm_misses` metrics.
+pub fn nn_candidates_warm(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+    warm: &WarmPool,
+) -> NncResult {
+    run_with(db, query, op, cfg, Some(warm.view_for(db, query)))
+}
+
+fn run_with(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+    warm: Option<WarmView>,
+) -> NncResult {
+    let mut progressive = ProgressiveNnc::with_warm(db, query, op, cfg, warm);
     while progressive.next_candidate().is_some() {}
     progressive.into_result()
 }
@@ -151,12 +177,39 @@ pub fn nn_candidates_scatter(
     cfg: &FilterConfig,
     threads: usize,
 ) -> NncResult {
+    scatter_with(db, query, op, cfg, threads, None)
+}
+
+/// [`nn_candidates_scatter`] with warm-cache resolution: the query's warm
+/// view is resolved once and shared by every per-shard worker and the
+/// gather pass (all shard slices of an index share its store snapshot, so
+/// one view serves them all). Same bit-identity contract as
+/// [`nn_candidates_warm`].
+pub fn nn_candidates_scatter_warm(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+    threads: usize,
+    warm: &WarmPool,
+) -> NncResult {
+    scatter_with(db, query, op, cfg, threads, Some(warm.view_for(db, query)))
+}
+
+fn scatter_with(
+    db: &dyn SpatialIndex,
+    query: &PreparedQuery,
+    op: Operator,
+    cfg: &FilterConfig,
+    threads: usize,
+    warm: Option<WarmView>,
+) -> NncResult {
     let shards = db.shard_count();
     if shards <= 1 {
-        return nn_candidates(db, query, op, cfg);
+        return run_with(db, query, op, cfg, warm);
     }
     let parts = scatter_over_shards(db, threads, |shard| {
-        nn_candidates(&ShardSlice::new(db, shard), query, op, cfg)
+        run_with(&ShardSlice::new(db, shard), query, op, cfg, warm.clone())
     });
     // Gather: sort the union by (δ_min, id) — the merged traversal's
     // emission order — and keep exactly the candidates no kept
@@ -166,7 +219,7 @@ pub fn nn_candidates_scatter(
         .flat_map(|r| r.candidates.iter().cloned())
         .collect();
     union.sort_by(|a, b| a.min_dist.total_cmp(&b.min_dist).then(a.id.cmp(&b.id)));
-    let mut ctx = CheckCtx::new(db, query, *cfg);
+    let mut ctx = CheckCtx::with_warm(db, query, *cfg, warm);
     // The gather trace summarises each scatter part as one point event
     // (per-shard interior spans live in the parts, which are folded away
     // here — the merged traversal is the path that yields full depth).
@@ -285,7 +338,9 @@ pub struct ProgressiveNnc<'a> {
     candidates: Vec<Candidate>,
     /// MBR of each emitted candidate, cached at emission so entry pruning
     /// reads a contiguous list instead of chasing the store per check.
-    cand_mbrs: Vec<Mbr>,
+    /// `Arc`ed so a warm run shares the snapshot-scoped copy instead of
+    /// cloning coordinates per query.
+    cand_mbrs: Vec<Arc<Mbr>>,
     ctx: CheckCtx<'a>,
     objects_checked: usize,
     start: Stopwatch,
@@ -299,8 +354,20 @@ impl<'a> ProgressiveNnc<'a> {
         op: Operator,
         cfg: &FilterConfig,
     ) -> Self {
+        Self::with_warm(db, query, op, cfg, None)
+    }
+
+    /// Starts a traversal whose context resolves snapshot-pure cache
+    /// misses through `warm`; results are bit-identical to [`Self::new`].
+    pub fn with_warm(
+        db: &'a dyn SpatialIndex,
+        query: &'a PreparedQuery,
+        op: Operator,
+        cfg: &FilterConfig,
+        warm: Option<WarmView>,
+    ) -> Self {
         let timer = PhaseTimer::start(Phase::Prepare);
-        let mut ctx = CheckCtx::new(db, query, *cfg);
+        let mut ctx = CheckCtx::with_warm(db, query, *cfg, warm);
         let prep = ctx.trace.open("prepare");
         ctx.metrics.snapshot(
             db.epoch(),
@@ -365,7 +432,12 @@ impl<'a> ProgressiveNnc<'a> {
 
     /// Consumes the traversal into an [`NncResult`] with everything emitted
     /// so far.
-    pub fn into_result(self) -> NncResult {
+    pub fn into_result(mut self) -> NncResult {
+        // Stamp the warm gauges at completion, when resident bytes reflect
+        // everything this query published (max-merged, so late is safe).
+        if let Some(w) = self.ctx.cache.warm() {
+            w.record_gauges(&mut self.ctx.metrics);
+        }
         let mut trace = self.ctx.trace.finish();
         if let Some(t) = trace.as_mut() {
             t.label = Cow::Borrowed(self.op.label());
@@ -393,7 +465,11 @@ impl<'a> ProgressiveNnc<'a> {
                             elapsed: self.start.elapsed(),
                         };
                         self.candidates.push(c.clone());
-                        self.cand_mbrs.push(self.ctx.db.object(v).mbr().clone());
+                        let mbr = match self.ctx.cache.warm() {
+                            Some(w) => w.object_mbr(self.ctx.db, v, &mut self.ctx.metrics),
+                            None => Arc::new(self.ctx.db.object(v).mbr().clone()),
+                        };
+                        self.cand_mbrs.push(mbr);
                         self.ctx.metrics.candidate_emitted(self.op.label());
                         let event = self.ctx.trace.instant("candidate");
                         if event != SpanId::NONE {
@@ -554,9 +630,11 @@ pub(crate) fn object_min_dist2(
 /// can never contain a distribution-equal twin of a candidate.
 ///
 /// Shared by the traversal's entry pruning and the continuous repair
-/// pre-filter so both apply the exact same gate.
-pub(crate) fn mbr_pruned(
-    cand_mbrs: &[Mbr],
+/// pre-filter so both apply the exact same gate. Generic over the MBR
+/// holder so the traversal's warm-shared `Arc<Mbr>` list and the repair
+/// path's owned `Vec<Mbr>` go through the identical code.
+pub(crate) fn mbr_pruned<M: Borrow<Mbr>>(
+    cand_mbrs: &[M],
     e_mbr: &Mbr,
     query_mbr: &Mbr,
     op: Operator,
@@ -571,6 +649,7 @@ pub(crate) fn mbr_pruned(
     }
     let strict = !matches!(op, Operator::FPlusSd | Operator::FSd);
     for u_mbr in cand_mbrs {
+        let u_mbr = u_mbr.borrow();
         stats.mbr_checks += 1;
         let dominated = if strict {
             mbr_dominates_strict(u_mbr, e_mbr, query_mbr)

@@ -17,6 +17,7 @@
 
 use crate::db::DbError;
 use crate::index::SpatialIndex;
+use crate::warm::WarmPool;
 use osd_obs::{AttrValue, FlightRecorder, QueryTrace, SpanId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -46,6 +47,11 @@ pub struct PublishedIndex<D> {
     /// Publishes attempted — the `seq` source for mutation traces, so the
     /// recorder's retention key stays unique across the writer stream.
     publishes: AtomicU64,
+    /// Snapshot-scoped warm cache pool following this publish chain. A
+    /// published index is exactly "one snapshot chain", the granularity
+    /// `core::warm`'s incremental invalidation is correct at, so owning the
+    /// pool here gives every reader the right sharing scope for free.
+    warm: WarmPool,
 }
 
 impl<D: SpatialIndex + Clone> PublishedIndex<D> {
@@ -56,7 +62,17 @@ impl<D: SpatialIndex + Clone> PublishedIndex<D> {
             writer: Mutex::new(()),
             recorder: Mutex::new(None),
             publishes: AtomicU64::new(0),
+            warm: WarmPool::new(),
         }
+    }
+
+    /// The warm-cache pool that follows this publish chain. Pass it to
+    /// [`QueryEngine::with_warm`](crate::QueryEngine::with_warm) (or the
+    /// `*_warm` search entry points) together with a pinned snapshot:
+    /// queries over the current epoch share one [`crate::WarmCache`], and a
+    /// publish rolls the pool forward incrementally on next use.
+    pub fn warm_pool(&self) -> &WarmPool {
+        &self.warm
     }
 
     /// Installs a flight recorder for mutation traces: every subsequent

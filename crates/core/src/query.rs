@@ -17,6 +17,31 @@ struct QueryState {
     object: UncertainObject,
     hull: Vec<Point>,
     all_points: Vec<Point>,
+    fingerprint: u64,
+}
+
+/// FNV-1a over the exact bit patterns of every instance coordinate and
+/// probability, in instance order. Two queries with equal fingerprints are
+/// (modulo a 64-bit hash collision, which the warm cache verifies against)
+/// bit-identical, so snapshot-scoped bound tables keyed on it are safe to
+/// share across equal repeated queries.
+fn fingerprint_of(object: &UncertainObject) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |bits: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            h ^= (bits >> shift) & 0xff;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for inst in object.instances() {
+        for &c in inst.point.coords() {
+            mix(c.to_bits());
+        }
+        mix(inst.prob.to_bits());
+    }
+    h
 }
 
 /// A query with its derived geometry cached.
@@ -33,13 +58,22 @@ impl PreparedQuery {
     pub fn new(object: UncertainObject) -> Self {
         let all_points: Vec<Point> = object.instances().iter().map(|i| i.point.clone()).collect();
         let hull = hull_vertices(&all_points);
+        let fingerprint = fingerprint_of(&object);
         PreparedQuery {
             shared: Arc::new(QueryState {
                 object,
                 hull,
                 all_points,
+                fingerprint,
             }),
         }
+    }
+
+    /// A 64-bit content fingerprint of the query (exact coordinate and
+    /// probability bits, instance order significant). Used by the warm
+    /// cache to key per-query bound tables.
+    pub fn fingerprint(&self) -> u64 {
+        self.shared.fingerprint
     }
 
     /// The underlying query object.
@@ -141,6 +175,16 @@ mod tests {
             q.instance_points().as_ptr(),
             c.instance_points().as_ptr()
         ));
+    }
+
+    #[test]
+    fn fingerprint_separates_queries_and_is_stable() {
+        let a = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]));
+        let b = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.0)]));
+        let c = PreparedQuery::new(UncertainObject::uniform(vec![p2(0.0, 0.0), p2(1.0, 0.5)]));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal content, equal key");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
     }
 
     #[test]

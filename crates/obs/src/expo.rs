@@ -69,11 +69,13 @@ pub fn to_json(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     out.push_str("  },\n");
 
     out.push_str(&format!(
-        "  \"gauges\": {{\"heap_high_water\": {}, \"snapshot_epoch\": {}, \"live_objects\": {}, \"tombstones\": {}}},\n",
+        "  \"gauges\": {{\"heap_high_water\": {}, \"snapshot_epoch\": {}, \"live_objects\": {}, \"tombstones\": {}, \"warm_evictions\": {}, \"warm_resident_bytes\": {}}},\n",
         m.heap_high_water(),
         m.snapshot_epoch(),
         m.live_objects(),
-        m.tombstones()
+        m.tombstones(),
+        m.warm_evictions(),
+        m.warm_resident_bytes()
     ));
 
     let by_op = m.candidates_by_op();
@@ -200,6 +202,19 @@ pub fn to_prometheus(m: &QueryMetrics, extra: &[(&str, u64)]) -> String {
     out.push_str("# TYPE osd_tombstones gauge\n");
     out.push_str(&format!("osd_tombstones {}\n", m.tombstones()));
 
+    out.push_str(
+        "# HELP osd_warm_evictions Warm-cache entries discarded by epoch invalidation (pool-cumulative).\n",
+    );
+    out.push_str("# TYPE osd_warm_evictions gauge\n");
+    out.push_str(&format!("osd_warm_evictions {}\n", m.warm_evictions()));
+
+    out.push_str("# HELP osd_warm_resident_bytes Approximate bytes resident in the warm cache.\n");
+    out.push_str("# TYPE osd_warm_resident_bytes gauge\n");
+    out.push_str(&format!(
+        "osd_warm_resident_bytes {}\n",
+        m.warm_resident_bytes()
+    ));
+
     out.push_str("# HELP osd_candidates_emitted NN candidates emitted, by dominance operator.\n");
     out.push_str("# TYPE osd_candidates_emitted counter\n");
     for (label, count) in m.candidates_by_op() {
@@ -262,6 +277,7 @@ mod tests {
         m.shard_visit(0);
         m.shard_visit(2);
         m.snapshot(4, 11, 2);
+        m.warm_cache(3, 2048);
         m
     }
 
@@ -283,6 +299,8 @@ mod tests {
         assert!(json.contains("\"snapshot_epoch\""));
         assert!(json.contains("\"live_objects\""));
         assert!(json.contains("\"tombstones\""));
+        assert!(json.contains("\"warm_evictions\""));
+        assert!(json.contains("\"warm_resident_bytes\""));
         assert!(json.contains("\"shard_node_visits\": ["));
         if QueryMetrics::enabled() {
             assert!(json.contains("\"rtree_node_visits\": 7"));
@@ -292,10 +310,13 @@ mod tests {
             assert!(json.contains("\"snapshot_epoch\": 4"));
             assert!(json.contains("\"live_objects\": 11"));
             assert!(json.contains("\"tombstones\": 2"));
+            assert!(json.contains("\"warm_evictions\": 3"));
+            assert!(json.contains("\"warm_resident_bytes\": 2048"));
         } else {
             assert!(json.contains("\"rtree_node_visits\": 0"));
             assert!(json.contains("\"enabled\": false"));
             assert!(json.contains("\"snapshot_epoch\": 0"));
+            assert!(json.contains("\"warm_evictions\": 0"));
         }
         // Balanced braces — cheap well-formedness check without a parser.
         let open = json.matches('{').count();
@@ -322,12 +343,16 @@ mod tests {
         assert!(prom.contains("# TYPE osd_snapshot_epoch gauge"));
         assert!(prom.contains("# TYPE osd_live_objects gauge"));
         assert!(prom.contains("# TYPE osd_tombstones gauge"));
+        assert!(prom.contains("# TYPE osd_warm_evictions gauge"));
+        assert!(prom.contains("# TYPE osd_warm_resident_bytes gauge"));
         if QueryMetrics::enabled() {
             assert!(prom.contains("osd_shard_node_visits{shard=\"0\"} 1"));
             assert!(prom.contains("osd_shard_node_visits{shard=\"2\"} 1"));
             assert!(prom.contains("osd_snapshot_epoch 4\n"));
             assert!(prom.contains("osd_live_objects 11\n"));
             assert!(prom.contains("osd_tombstones 2\n"));
+            assert!(prom.contains("osd_warm_evictions 3\n"));
+            assert!(prom.contains("osd_warm_resident_bytes 2048\n"));
         }
         // Cumulative buckets never decrease.
         let mut last = 0u64;

@@ -127,11 +127,19 @@ pub enum Counter {
     CandidatesEmitted,
     /// Entries pushed onto the progressive traversal heap.
     HeapPushes,
+    /// Snapshot-scoped warm-cache lookups served from an already published
+    /// entry. Deliberately *not* folded into [`Counter::CacheHits`]: the
+    /// legacy counters keep their per-query semantics bit-identical with
+    /// the warm cache on or off.
+    WarmHits,
+    /// Snapshot-scoped warm-cache lookups that had to build (and publish)
+    /// the entry.
+    WarmMisses,
 }
 
 impl Counter {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// All counters, in exposition order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -140,6 +148,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CandidatesEmitted,
         Counter::HeapPushes,
+        Counter::WarmHits,
+        Counter::WarmMisses,
     ];
 
     /// Stable exposition name.
@@ -150,6 +160,8 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::CandidatesEmitted => "candidates_emitted",
             Counter::HeapPushes => "heap_pushes",
+            Counter::WarmHits => "warm_hits",
+            Counter::WarmMisses => "warm_misses",
         }
     }
 
@@ -161,6 +173,8 @@ impl Counter {
             Counter::CacheMisses => 2,
             Counter::CandidatesEmitted => 3,
             Counter::HeapPushes => 4,
+            Counter::WarmHits => 5,
+            Counter::WarmMisses => 6,
         }
     }
 }
@@ -266,6 +280,13 @@ pub struct QueryMetrics {
     live_objects: u64,
     /// Tombstoned ids of that snapshot (merged by `max`, like the epoch).
     tombstones: u64,
+    /// Cumulative warm-cache entries discarded by epoch invalidation, as
+    /// observed by this query's warm view (merged by `max`: the count is
+    /// already cumulative per pool, so adding would double-count).
+    warm_evictions: u64,
+    /// Approximate bytes resident in the warm cache this query ran against
+    /// (merged by `max`, like the snapshot gauges).
+    warm_resident_bytes: u64,
     per_op: LabelSet,
     spans: LabelSet,
     /// Global-traversal node visits attributed to their source shard;
@@ -285,6 +306,8 @@ impl Default for QueryMetrics {
             snapshot_epoch: 0,
             live_objects: 0,
             tombstones: 0,
+            warm_evictions: 0,
+            warm_resident_bytes: 0,
             per_op: LabelSet::default(),
             spans: LabelSet::default(),
             shard_visits: [0; MAX_TRACKED_SHARDS + 1],
@@ -338,6 +361,16 @@ impl QueryMetrics {
         self.tombstones = self.tombstones.max(tombstones);
     }
 
+    /// Records the state of the warm cache the query ran against: its
+    /// cumulative eviction count and approximate resident bytes. Both
+    /// gauges merge by `max` (the values are pool-cumulative snapshots,
+    /// not per-query deltas).
+    #[inline]
+    pub fn warm_cache(&mut self, evictions: u64, resident_bytes: u64) {
+        self.warm_evictions = self.warm_evictions.max(evictions);
+        self.warm_resident_bytes = self.warm_resident_bytes.max(resident_bytes);
+    }
+
     /// Records one emitted candidate under the operator's label.
     #[inline]
     pub fn candidate_emitted(&mut self, op_label: &'static str) {
@@ -388,6 +421,8 @@ impl QueryMetrics {
         self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
         self.live_objects = self.live_objects.max(other.live_objects);
         self.tombstones = self.tombstones.max(other.tombstones);
+        self.warm_evictions = self.warm_evictions.max(other.warm_evictions);
+        self.warm_resident_bytes = self.warm_resident_bytes.max(other.warm_resident_bytes);
         self.per_op.merge(&other.per_op);
         self.spans.merge(&other.spans);
         for (a, b) in self.shard_visits.iter_mut().zip(other.shard_visits.iter()) {
@@ -433,6 +468,17 @@ impl QueryMetrics {
     /// Tombstone count of the newest snapshot seen.
     pub fn tombstones(&self) -> u64 {
         self.tombstones
+    }
+
+    /// Cumulative warm-cache evictions observed (largest merged value).
+    pub fn warm_evictions(&self) -> u64 {
+        self.warm_evictions
+    }
+
+    /// Approximate warm-cache resident bytes observed (largest merged
+    /// value).
+    pub fn warm_resident_bytes(&self) -> u64 {
+        self.warm_resident_bytes
     }
 
     /// Candidates emitted per operator label, label-sorted.
@@ -484,6 +530,10 @@ impl QueryMetrics {
     /// No-op.
     #[inline(always)]
     pub fn snapshot(&mut self, _epoch: u64, _live_objects: u64, _tombstones: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn warm_cache(&mut self, _evictions: u64, _resident_bytes: u64) {}
 
     /// No-op.
     #[inline(always)]
@@ -542,6 +592,16 @@ impl QueryMetrics {
 
     /// Always zero in the disabled build.
     pub fn tombstones(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn warm_evictions(&self) -> u64 {
+        0
+    }
+
+    /// Always zero in the disabled build.
+    pub fn warm_resident_bytes(&self) -> u64 {
         0
     }
 
@@ -677,6 +737,27 @@ mod tests {
             assert_eq!(a.snapshot_epoch(), 0);
             assert_eq!(a.live_objects(), 0);
             assert_eq!(a.tombstones(), 0);
+        }
+    }
+
+    #[test]
+    fn warm_gauges_merge_by_max() {
+        let mut a = QueryMetrics::new();
+        a.warm_cache(2, 4096);
+        a.incr(Counter::WarmHits);
+        let mut b = QueryMetrics::new();
+        b.warm_cache(5, 1024);
+        b.incr_by(Counter::WarmMisses, 3);
+        a.merge(&b);
+        if QueryMetrics::enabled() {
+            assert_eq!(a.warm_evictions(), 5);
+            assert_eq!(a.warm_resident_bytes(), 4096);
+            assert_eq!(a.counter(Counter::WarmHits), 1);
+            assert_eq!(a.counter(Counter::WarmMisses), 3);
+        } else {
+            assert_eq!(a.warm_evictions(), 0);
+            assert_eq!(a.warm_resident_bytes(), 0);
+            assert_eq!(a.counter(Counter::WarmHits), 0);
         }
     }
 

@@ -129,6 +129,18 @@ impl EpochLog {
     }
 }
 
+/// The distinct logical object ids touched by a change window, sorted
+/// ascending. This is the invalidation set of an incremental cache
+/// advance: an id absent from it had no insert, delete or update in the
+/// window, so every snapshot-pure derived value of that object is
+/// bit-identical across the window's epochs.
+pub fn touched_ids(changes: &[Change]) -> Vec<usize> {
+    let mut ids: Vec<usize> = changes.iter().map(Change::id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
 /// Builds the next snapshot with one appended object, returning its row
 /// (== its logical id for a flat store that has never compacted).
 ///

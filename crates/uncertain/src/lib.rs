@@ -57,7 +57,7 @@ pub mod store;
 pub mod world;
 
 pub use distribution::DistanceDistribution;
-pub use epoch::{Change, EpochLog, DEFAULT_LOG_CAP};
+pub use epoch::{touched_ids, Change, EpochLog, DEFAULT_LOG_CAP};
 pub use error::ObjectError;
 pub use matching::{construct_match, is_valid_match, match_dominates, MatchTuple};
 pub use metric::{s_sd_metric, ss_sd_metric, Metric};

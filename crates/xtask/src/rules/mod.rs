@@ -15,6 +15,7 @@ mod hygiene;
 mod layering;
 mod ordering;
 mod purity;
+mod warm;
 
 use crate::model::{FileOrigin, SourceFile, Workspace};
 use std::fmt;
@@ -75,7 +76,7 @@ pub fn registry() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 16] = [
+static RULES: [Rule; 17] = [
     Rule {
         id: "no-partial-cmp-unwrap",
         summary: "distance orderings use f64::total_cmp, never partial_cmp().unwrap()",
@@ -205,6 +206,21 @@ static RULES: [Rule; 16] = [
                  allocation hoisted out of the loop on the next line; state which in the \
                  reason.",
         run: Run::PerFile(hotpath::no_per_shard_alloc_in_descent),
+    },
+    Rule {
+        id: "no-warm-bypass",
+        summary: "hot query paths never construct level snapshots or bound tables directly",
+        scope: "crates/core/src/ops, crates/core/src/nnc.rs, crates/core/src/knnc.rs \
+                (test modules exempt; core::cache and core::warm own the constructors)",
+        intent: "level snapshots, group MBRs and bound-distribution tables are built by \
+                 the shared constructors in core::cache and promoted to snapshot lifetime \
+                 by core::warm. A `LevelSnapshot { .. }`/`LevelGroups { .. }` literal or a \
+                 direct build_level_snapshot/build_bounds_* call in a hot path bypasses \
+                 both the legacy hit/miss accounting and the epoch-keyed invalidation \
+                 protocol — a stale table could survive a publish unnoticed. Bounds flow \
+                 through CheckCtx's DominanceCache, which consults the warm view.",
+        waiver: "never waived — add an accessor to DominanceCache instead.",
+        run: Run::PerFile(warm::no_warm_bypass),
     },
     Rule {
         id: "crate-layering",

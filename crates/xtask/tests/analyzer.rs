@@ -141,6 +141,7 @@ fn corpus_every_seeded_violation_fires_exactly_once() {
         "no-alloc-in-kernels",
         "determinism",
         "obs-feature-purity",
+        "no-warm-bypass",
     ] {
         assert!(rules_covered.contains(rule), "corpus does not cover {rule}");
     }

@@ -74,6 +74,13 @@ echo "== repro trace --smoke (tracer purity) =="
 # must record nothing. Assertion-only; never touches BENCH_trace.json.
 cargo run -q --release -p osd-bench --bin repro -- trace --smoke --n 300 --queries 6
 
+echo "== repro warm --smoke (warm-cache bit-identity & eviction) =="
+# The epoch-keyed warm cache is a pure memoisation layer: warm answers
+# must be bit-identical to cold (flat, sharded, and at every churn
+# epoch), a repeated workload must hit, and epoch invalidation must
+# evict touched entries. Assertion-only; never touches BENCH_warm.json.
+cargo run -q --release -p osd-bench --bin repro -- warm --smoke
+
 echo "== osd query --profile=json smoke (schema) =="
 # End-to-end observability check: a real query through the obs-enabled CLI
 # must emit a profile document carrying every phase of the taxonomy.
